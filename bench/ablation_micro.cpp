@@ -1,0 +1,155 @@
+// Ablation micro-benchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out:
+//   * KMP vs naive window search in RelExprAndAdv / RelSimCov,
+//   * subscription-tree (pruned) vs flat publication matching,
+//   * the literal Fig. 3 recursive matcher vs the exact automaton,
+//   * subscription-tree insertion with and without covered-tracking.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "adv/derive.hpp"
+#include "index/subscription_tree.hpp"
+#include "match/adv_match.hpp"
+#include "match/covering.hpp"
+#include "match/rec_adv_match.hpp"
+#include "router/routing_tables.hpp"
+#include "util/rng.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/set_builder.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+
+namespace {
+
+using namespace xroute;
+
+std::vector<Xpe> bench_xpes(std::size_t count, double wildcard,
+                            double descendant) {
+  XpathGenOptions options;
+  options.count = count;
+  options.seed = 42;
+  options.wildcard_prob = wildcard;
+  options.descendant_prob = descendant;
+  return generate_xpaths(news_dtd(), options);
+}
+
+std::vector<Path> bench_paths(std::size_t docs) {
+  Rng rng(7);
+  std::vector<Path> out;
+  for (std::size_t d = 0; d < docs; ++d) {
+    for (Path& p : extract_paths(generate_document(news_dtd(), rng, {}))) {
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+// ---- window search: KMP vs naive ----------------------------------------
+
+void BM_RelMatch(benchmark::State& state, SearchStrategy strategy) {
+  // Wildcard-free queries and advertisements: the KMP-eligible case.
+  auto queries = bench_xpes(400, 0.0, 0.0);
+  for (Xpe& q : queries) q = Xpe::relative(q.steps());  // force relative
+  auto derived = derive_advertisements(news_dtd());
+  std::vector<std::vector<std::string>> advs;
+  for (const auto& a : derived.advertisements) {
+    if (a.non_recursive()) advs.push_back(a.flat_elements());
+    if (advs.size() == 200) break;
+  }
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const Xpe& q : queries) {
+      for (const auto& adv : advs) {
+        hits += rel_expr_and_adv(adv, q, strategy);
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size() * advs.size()));
+}
+BENCHMARK_CAPTURE(BM_RelMatch, naive, SearchStrategy::kNaive);
+BENCHMARK_CAPTURE(BM_RelMatch, kmp, SearchStrategy::kKmpWhenSound);
+
+// ---- publication matching: covering tree vs flat scan -------------------
+
+void BM_PubMatch(benchmark::State& state, bool covering) {
+  CoverSetOptions copts;
+  copts.count = static_cast<std::size_t>(state.range(0));
+  copts.target_rate = 0.9;
+  copts.seed = 11;
+  CoverSet set = build_covering_set(news_dtd(), copts);
+  Prt prt(covering);
+  Rng rng(3);
+  for (const Xpe& x : set.xpes) prt.insert(x, rng.uniform_int(0, 3));
+  auto pubs = bench_paths(10);
+  for (auto _ : state) {
+    std::size_t hops = 0;
+    for (const Path& p : pubs) hops += prt.match_hops(p).size();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pubs.size()));
+}
+BENCHMARK_CAPTURE(BM_PubMatch, flat, false)->Arg(1000)->Arg(2000);
+BENCHMARK_CAPTURE(BM_PubMatch, covering_tree, true)->Arg(1000)->Arg(2000);
+
+// ---- recursive advertisement matching: Fig. 3 vs automaton --------------
+
+void BM_RecAdv(benchmark::State& state, bool automaton) {
+  std::vector<std::string> a1{"news", "body", "body.content"};
+  std::vector<std::string> a2{"block"};
+  std::vector<std::string> a3{"p", "em"};
+  Advertisement adv = parse_advertisement("/news/body/body.content(/block)+/p/em");
+  AdvAutomaton compiled(adv);
+  auto queries = bench_xpes(500, 0.2, 0.0);
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const Xpe& q : queries) {
+      if (!q.is_absolute_simple()) continue;
+      hits += automaton ? compiled.overlaps(q)
+                        : abs_expr_and_sim_rec_adv(a1, a2, a3, q);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK_CAPTURE(BM_RecAdv, fig3_literal, false);
+BENCHMARK_CAPTURE(BM_RecAdv, automaton, true);
+
+// ---- tree insertion: covered-tracking on/off -----------------------------
+
+void BM_TreeInsert(benchmark::State& state, bool track_covered) {
+  auto queries = bench_xpes(static_cast<std::size_t>(state.range(0)), 0.2, 0.2);
+  for (auto _ : state) {
+    SubscriptionTree::Options options;
+    options.track_covered = track_covered;
+    SubscriptionTree tree(options);
+    for (const Xpe& q : queries) tree.insert(q, 0);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(BM_TreeInsert, tracked, true)->Arg(1000);
+BENCHMARK_CAPTURE(BM_TreeInsert, untracked, false)->Arg(1000);
+
+// ---- covering detection dispatch cost ------------------------------------
+
+void BM_Covers(benchmark::State& state) {
+  auto queries = bench_xpes(300, 0.2, 0.2);
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      hits += covers(queries[i], queries[(i * 7 + 1) % queries.size()]);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_Covers);
+
+}  // namespace
+
+BENCHMARK_MAIN();

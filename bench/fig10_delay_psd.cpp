@@ -1,0 +1,10 @@
+// Fig. 10 — Notification delay vs hops for PSD documents (2K/10K/20K),
+// with and without covering, on the PlanetLab-profile chain.
+#include "delay_bench.hpp"
+#include "workload/dtd_corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xroute;
+  return benchsupport::delay_figure_main(
+      "Fig. 10 (PSD XML)", psd_dtd(), {2048, 10240, 20480}, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Fig. 11 — Notification delay vs hops for NEWS documents (2K/20K/40K),
+// with and without covering, on the PlanetLab-profile chain.
+#include "delay_bench.hpp"
+#include "workload/dtd_corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xroute;
+  return benchsupport::delay_figure_main(
+      "Fig. 11 (NEWS XML)", news_dtd(), {2048, 20480, 40960}, argc, argv);
+}

@@ -1,0 +1,154 @@
+// Fig. 9 — False positives vs imperfect merging degree.
+//
+// The paper sweeps D_imperfect from 0 to 0.2 on the PSD workload and
+// measures the fraction of matched publications that are false positives
+// introduced by imperfect mergers (≤2% for D_imperfect < 0.1; false
+// positives occur only inside the network, never at clients).
+//
+// Subscribers here hold sparse *concrete* interests (random subsets of the
+// DTD's root-to-leaf paths), so the merging rules aggregate partial
+// sibling families — e.g. 8 of the 10 annotation kinds merge into
+// /…/annotation/* at D_imperfect = 0.2 — and published documents carrying
+// the unsubscribed siblings travel as in-network false positives.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "dtd/graph.hpp"
+#include "dtd/universe.hpp"
+#include "util/flags.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/xml_gen.hpp"
+
+using namespace xroute;
+
+int main(int argc, char** argv) {
+  Flags flags("Fig. 9: false positives vs imperfect merging degree");
+  flags.define("subs-per-subscriber", "18", "concrete interests per subscriber");
+  flags.define("docs", "60", "documents to publish");
+  flags.define("seed", "9", "workload seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::size_t subs_each = flags.get_int("subs-per-subscriber");
+  const std::size_t docs = flags.get_int("docs");
+  const std::uint64_t seed = flags.get_int64("seed");
+  Dtd dtd = psd_dtd();
+
+  // Concrete root-to-leaf interests.
+  ElementGraph graph(dtd);
+  PathUniverse universe(dtd);
+  std::vector<Path> leaf_paths;
+  for (const Path& p : universe.paths()) {
+    if (graph.is_leaf(p.elements.back())) leaf_paths.push_back(p);
+  }
+
+  // Group leaf paths into sibling families (same parent path). A
+  // subscriber interested in a topic typically wants most — but not all —
+  // of a family: exactly the situation imperfect merging aggregates.
+  std::map<std::string, std::vector<std::size_t>> families;
+  for (std::size_t i = 0; i < leaf_paths.size(); ++i) {
+    Path prefix = leaf_paths[i];
+    prefix.elements.pop_back();
+    families[prefix.to_string()].push_back(i);
+  }
+
+  Rng rng(seed);
+  auto as_xpe = [&](const Path& p) {
+    std::vector<Step> steps;
+    for (const std::string& e : p.elements) {
+      steps.push_back(Step{Axis::kChild, e});
+    }
+    return Xpe::absolute(std::move(steps));
+  };
+  std::vector<std::vector<Xpe>> interests(4);
+  for (auto& list : interests) {
+    std::set<std::string> taken;
+    // Family-oriented interests: ~85% of each of a few sibling families.
+    std::size_t family_budget = subs_each;
+    for (auto it = families.begin();
+         it != families.end() && family_budget > 0; ++it) {
+      if (it->second.size() < 3 || !rng.chance(0.8)) continue;
+      // Each family is wanted to a different degree of completeness, so
+      // the sweep's tolerance admits more and more of them.
+      double completeness = 0.6 + 0.35 * rng.uniform();
+      for (std::size_t idx : it->second) {
+        if (family_budget == 0) break;
+        if (!rng.chance(completeness)) continue;
+        Xpe xpe = as_xpe(leaf_paths[idx]);
+        if (taken.insert(xpe.to_string()).second) {
+          list.push_back(std::move(xpe));
+          --family_budget;
+        }
+      }
+    }
+    // Top up with random singles.
+    while (list.size() < subs_each) {
+      Xpe xpe = as_xpe(leaf_paths[rng.index(leaf_paths.size())]);
+      if (taken.insert(xpe.to_string()).second) list.push_back(std::move(xpe));
+    }
+  }
+
+  std::vector<std::pair<std::vector<Path>, std::size_t>> documents;
+  std::size_t publications = 0;
+  Rng doc_rng(seed + 1);
+  XmlGenOptions gen;
+  gen.more_prob = 0.6;  // richer documents: more annotation variety
+  for (std::size_t d = 0; d < docs; ++d) {
+    XmlDocument doc = generate_document(dtd, doc_rng, gen);
+    auto paths = extract_paths(doc);
+    publications += paths.size();
+    documents.emplace_back(std::move(paths), doc.byte_size());
+  }
+
+  std::cout << "Fig. 9 reproduction: false positives vs D_imperfect "
+            << "(7-broker overlay, 4 subscribers x " << subs_each
+            << " concrete XPEs, " << publications << " publications)\n\n";
+
+  TextTable table({"D_imperfect", "matched pubs", "false positives",
+                   "FP (%)", "RTS total", "merges"});
+  for (double degree : {0.0, 0.05, 0.10, 0.15, 0.20}) {
+    Network::Options options;
+    options.topology = complete_binary_tree(3);
+    options.strategy = RoutingStrategy::with_adv_with_cov_ipm(degree);
+    options.dtd = dtd;
+    options.seed = seed;
+    options.processing_scale = 0.0;
+    options.merge_interval = 6;
+    Network net(std::move(options));
+
+    int publisher = net.add_publisher(0);
+    net.run();
+    auto leaves = complete_binary_tree(3).leaf_brokers();
+    for (std::size_t i = 0; i < interests.size(); ++i) {
+      int sub = net.add_subscriber(leaves[i]);
+      for (const Xpe& x : interests[i]) net.subscribe(sub, x);
+    }
+    net.run();
+    for (const auto& [paths, bytes] : documents) {
+      net.publish_paths(publisher, paths, bytes);
+    }
+    net.run();
+
+    std::size_t merges = 0;
+    for (std::size_t b = 0; b < net.simulator().broker_count(); ++b) {
+      merges += net.simulator().broker(static_cast<int>(b)).merges_applied();
+    }
+    // The paper's metric: matched publications that are false positives —
+    // merger matches not backed by any merged original, anywhere in the
+    // network.
+    const std::size_t matched = net.stats().publication_matches();
+    const std::size_t fp = net.stats().merger_false_matches();
+    table.add_row({TextTable::fmt(degree), TextTable::fmt(matched),
+                   TextTable::fmt(fp),
+                   TextTable::fmt(matched > 0 ? 100.0 * fp / matched : 0.0),
+                   TextTable::fmt(net.total_prt_size()),
+                   TextTable::fmt(merges)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfalse positives rise with the tolerated imperfect degree"
+            << " and stay inside\nthe network (suppressed at the edge); the"
+            << " paper keeps FP <= 2% below 0.1.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared runner for the network-level experiments (Tables 2/3, Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+
+namespace xroute::benchsupport {
+
+struct NetworkWorkload {
+  /// Per-subscriber XPE lists (one subscriber per leaf broker).
+  std::vector<std::vector<Xpe>> subscriptions;
+  /// (paths, doc bytes) per published document.
+  std::vector<std::pair<std::vector<Path>, std::size_t>> documents;
+  std::size_t publications = 0;
+};
+
+inline NetworkWorkload make_network_workload(const Dtd& dtd,
+                                             std::size_t subscribers,
+                                             std::size_t subs_each,
+                                             std::size_t docs,
+                                             std::uint64_t seed) {
+  NetworkWorkload w;
+  XpathGenOptions xopts;
+  xopts.count = subscribers * subs_each;
+  xopts.seed = seed;
+  // Mostly-concrete maximal queries: realistic subscriber interests with
+  // sibling structure the merging rules can aggregate (paper §4.3).
+  xopts.leaf_only = true;
+  xopts.wildcard_prob = 0.12;
+  xopts.descendant_prob = 0.08;
+  auto xpes = generate_xpaths(dtd, xopts);
+  w.subscriptions.resize(subscribers);
+  for (std::size_t i = 0; i < xpes.size(); ++i) {
+    w.subscriptions[i % subscribers].push_back(xpes[i]);
+  }
+  Rng rng(seed + 1);
+  for (std::size_t d = 0; d < docs; ++d) {
+    XmlDocument doc = generate_document(dtd, rng, {});
+    auto paths = extract_paths(doc);
+    w.publications += paths.size();
+    w.documents.emplace_back(std::move(paths), doc.byte_size());
+  }
+  return w;
+}
+
+struct NetworkRun {
+  std::size_t traffic = 0;          ///< messages received by all brokers
+  std::size_t adv_msgs = 0;
+  std::size_t sub_msgs = 0;         ///< subscribe + unsubscribe
+  std::size_t pub_msgs = 0;
+  double delay_ms = 0.0;            ///< mean notification delay
+  std::size_t notifications = 0;
+  std::size_t false_positives = 0;  ///< merger matches with no original
+  std::size_t total_prt = 0;
+};
+
+/// Runs one strategy on a complete binary tree with `levels` levels, one
+/// subscriber per leaf broker, one publisher attached at random.
+inline NetworkRun run_strategy(const Dtd& dtd, const NetworkWorkload& w,
+                               const RoutingStrategy& strategy,
+                               std::size_t levels, std::uint64_t seed,
+                               double processing_scale = 1.0) {
+  Topology topology = complete_binary_tree(levels);
+  Network::Options options;
+  options.topology = topology;
+  options.strategy = strategy;
+  options.dtd = dtd;
+  options.seed = seed;
+  options.processing_scale = processing_scale;
+  options.merge_interval = 50;
+  Network net(std::move(options));
+
+  // "Publishers randomly connect to the broker overlay."
+  Rng rng(seed + 17);
+  int publisher =
+      net.add_publisher(rng.uniform_int(0, static_cast<int>(topology.num_brokers) - 1));
+  net.run();
+
+  auto leaves = topology.leaf_brokers();
+  std::vector<int> subscribers;
+  for (std::size_t i = 0; i < w.subscriptions.size(); ++i) {
+    int sub = net.add_subscriber(leaves[i % leaves.size()]);
+    subscribers.push_back(sub);
+    for (const Xpe& x : w.subscriptions[i]) net.subscribe(sub, x);
+  }
+  net.run();
+
+  for (const auto& [paths, bytes] : w.documents) {
+    net.publish_paths(publisher, paths, bytes);
+  }
+  net.run();
+
+  NetworkRun result;
+  result.traffic = net.stats().total_broker_messages();
+  result.adv_msgs = net.stats().broker_messages(MessageType::kAdvertise);
+  result.sub_msgs = net.stats().broker_messages(MessageType::kSubscribe) +
+                    net.stats().broker_messages(MessageType::kUnsubscribe);
+  result.pub_msgs = net.stats().broker_messages(MessageType::kPublish);
+  result.delay_ms = net.stats().delay_summary().mean_ms;
+  result.notifications = net.stats().notifications();
+  result.false_positives = net.stats().merger_false_matches();
+  result.total_prt = net.total_prt_size();
+  return result;
+}
+
+}  // namespace xroute::benchsupport

@@ -1,0 +1,60 @@
+// Table 3 — Network traffic and notification delay, 127-broker overlay.
+//
+// The paper's large overlay: a 7-level binary tree (127 brokers, 64 leaf
+// subscribers), same workload family as Table 2. The benefit of
+// advertisements + covering + merging grows with network size.
+#include <iostream>
+
+#include "network_bench.hpp"
+#include "util/flags.hpp"
+#include "workload/dtd_corpus.hpp"
+
+using namespace xroute;
+using namespace xroute::benchsupport;
+
+int main(int argc, char** argv) {
+  Flags flags("Table 3: 127-broker network, strategy matrix");
+  flags.define("subs-per-subscriber", "60", "XPEs per subscriber (paper: 1000)");
+  flags.define("docs", "10", "documents to publish (paper: 50)");
+  flags.define("imperfect", "0.1", "imperfect-merging tolerance");
+  flags.define("seed", "6", "workload seed");
+  flags.define("processing-scale", "1.0",
+               "fold measured broker processing time into simulated delay");
+  flags.define("full", "false", "paper-scale workload (much slower)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const bool full = flags.get_bool("full");
+  const std::size_t subs_each =
+      full ? 1000 : flags.get_int("subs-per-subscriber");
+  const std::size_t docs = full ? 50 : flags.get_int("docs");
+  const std::size_t levels = 7;  // 127 brokers, 64 leaf subscribers
+
+  Dtd dtd = psd_dtd();
+  NetworkWorkload w = make_network_workload(
+      dtd, /*subscribers=*/64, subs_each, docs, flags.get_int64("seed"));
+
+  std::cout << "Table 3 reproduction: 127-broker binary tree, 64 subscribers"
+            << " x " << subs_each << " XPEs, " << docs << " documents ("
+            << w.publications << " publications)\n\n";
+
+  TextTable table({"Method", "Network Traffic", "(adv/sub/pub)", "Delay (ms)",
+                   "RTS total", "in-net FPs"});
+  for (const StrategySpec& spec :
+       paper_strategy_matrix(flags.get_double("imperfect"))) {
+    NetworkRun run =
+        run_strategy(dtd, w, spec.strategy, levels, flags.get_int64("seed"),
+                     flags.get_double("processing-scale"));
+    table.add_row({spec.name, TextTable::fmt(run.traffic),
+                   TextTable::fmt(run.adv_msgs) + "/" +
+                       TextTable::fmt(run.sub_msgs) + "/" +
+                       TextTable::fmt(run.pub_msgs),
+                   TextTable::fmt(run.delay_ms),
+                   TextTable::fmt(run.total_prt),
+                   TextTable::fmt(run.false_positives)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape: in the larger overlay the savings grow —\n"
+            << "adv+cov cuts traffic to ~50% of the baseline and covering\n"
+            << "cuts the delay by ~5x; merging compacts tables further.\n";
+  return 0;
+}

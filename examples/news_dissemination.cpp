@@ -1,0 +1,106 @@
+// News dissemination scenario (the paper's motivating workload):
+//
+// A news agency publishes NITF-like documents into a 7-broker overlay;
+// branch offices at the leaves subscribe to the sections they care about.
+// The example runs the same workload under two routing strategies and
+// contrasts traffic, routing state and delays — the paper's §5 story in
+// miniature.
+//
+//   ./news_dissemination [--docs N] [--subs-per-office N] [--seed S]
+#include <iostream>
+#include <iterator>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "util/flags.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+#include "xpath/parser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xroute;
+  Flags flags("news dissemination over a 7-broker overlay");
+  flags.define("docs", "20", "number of news documents to publish");
+  flags.define("subs-per-office", "40", "XPath subscriptions per office");
+  flags.define("seed", "7", "workload seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::size_t docs = flags.get_int("docs");
+  const std::size_t subs_each = flags.get_int("subs-per-office");
+  const std::uint64_t seed = flags.get_int64("seed");
+
+  Dtd dtd = news_dtd();
+  Topology topology = complete_binary_tree(3);  // 7 brokers, 4 leaf offices
+
+  // Branch-office interests: DTD-guided queries plus a few hand-written
+  // ones a real office would register.
+  XpathGenOptions xopts;
+  xopts.count = subs_each * 4;
+  xopts.seed = seed;
+  xopts.wildcard_prob = 0.15;
+  xopts.descendant_prob = 0.2;
+  auto queries = generate_xpaths(dtd, xopts);
+  const char* curated[] = {
+      "/news/head/docdata/urgency",        // wire-priority watchers
+      "//hedline/hl1",                     // headline tickers
+      "/news/body/body.content//media",    // photo desk
+      "//byline/person",                   // attribution tracking
+  };
+
+  Rng doc_rng(seed + 1);
+  std::vector<XmlDocument> documents;
+  XmlGenOptions gen;
+  gen.target_bytes = 4096;
+  for (std::size_t i = 0; i < docs; ++i) {
+    documents.push_back(generate_document(dtd, doc_rng, gen));
+  }
+
+  TextTable table({"strategy", "adv msgs", "sub msgs", "pub msgs",
+                   "total RTS", "delivered"});
+  for (const StrategySpec& spec :
+       {StrategySpec{"no-Adv-no-Cov", RoutingStrategy::no_adv_no_cov()},
+        StrategySpec{"with-Adv-with-Cov",
+                     RoutingStrategy::with_adv_with_cov()}}) {
+    Network::Options options;
+    options.topology = topology;
+    options.strategy = spec.strategy;
+    options.dtd = dtd;
+    options.seed = seed;
+    Network net(std::move(options));
+
+    int agency = net.add_publisher(0);
+    net.run();
+    auto leaves = topology.leaf_brokers();
+    std::vector<int> offices;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      int office = net.add_subscriber(leaves[i]);
+      offices.push_back(office);
+      net.subscribe(office, parse_xpe(curated[i % std::size(curated)]));
+      for (std::size_t q = 0; q < subs_each; ++q) {
+        net.subscribe(office, queries[(i * subs_each + q) % queries.size()]);
+      }
+    }
+    net.run();
+    for (const XmlDocument& doc : documents) net.publish(agency, doc);
+    net.run();
+
+    std::size_t delivered = 0;
+    for (int office : offices) {
+      delivered += net.simulator().notifications_of(office);
+    }
+    table.add_row({spec.name,
+                   TextTable::fmt(net.stats().broker_messages(MessageType::kAdvertise)),
+                   TextTable::fmt(net.stats().broker_messages(MessageType::kSubscribe)),
+                   TextTable::fmt(net.stats().broker_messages(MessageType::kPublish)),
+                   TextTable::fmt(net.total_prt_size()),
+                   TextTable::fmt(delivered)});
+  }
+  std::cout << "News dissemination: " << docs << " documents to 4 offices, "
+            << subs_each << "+1 subscriptions each\n\n";
+  table.print(std::cout);
+  std::cout << "\nDeliveries are identical by construction. Covering slashes\n"
+               "subscription traffic and routing state; the advertisement\n"
+               "flood is a one-off cost that amortises over subscription\n"
+               "volume (NEWS derives ~960 advertisements).\n";
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "adv/advertisement.hpp"
+
+#include <cctype>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace xroute {
+
+Advertisement::Advertisement(std::vector<AdvNode> nodes)
+    : nodes_(std::move(nodes)) {}
+
+Advertisement Advertisement::from_elements(std::vector<std::string> elements) {
+  std::vector<AdvNode> nodes;
+  nodes.reserve(elements.size());
+  for (std::string& e : elements) nodes.push_back(AdvNode::element(std::move(e)));
+  return Advertisement(std::move(nodes));
+}
+
+bool Advertisement::non_recursive() const {
+  for (const AdvNode& n : nodes_) {
+    if (n.kind == AdvNode::Kind::kGroup) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool group_is_flat(const AdvNode& group) {
+  for (const AdvNode& c : group.children) {
+    if (c.kind == AdvNode::Kind::kGroup) return false;
+  }
+  return true;
+}
+
+/// Maximum group nesting depth below (not counting) `nodes` themselves.
+std::size_t nesting_depth(const std::vector<AdvNode>& nodes) {
+  std::size_t depth = 0;
+  for (const AdvNode& n : nodes) {
+    if (n.kind == AdvNode::Kind::kGroup) {
+      depth = std::max(depth, 1 + nesting_depth(n.children));
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+Advertisement::Shape Advertisement::shape() const {
+  std::size_t top_groups = 0;
+  bool nested = false;
+  for (const AdvNode& n : nodes_) {
+    if (n.kind == AdvNode::Kind::kGroup) {
+      ++top_groups;
+      if (!group_is_flat(n)) nested = true;
+    }
+  }
+  if (top_groups == 0) return Shape::kNonRecursive;
+  if (nested) {
+    // One nesting level with a single top group is the paper's embedded
+    // shape a1(a2(a3)+a4)+a5; anything deeper or wider is kGeneral.
+    if (top_groups == 1 && nesting_depth(nodes_) == 2) {
+      return Shape::kEmbeddedRecursive;
+    }
+    return Shape::kGeneral;
+  }
+  return top_groups == 1 ? Shape::kSimpleRecursive : Shape::kSeriesRecursive;
+}
+
+std::vector<std::string> Advertisement::flat_elements() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const AdvNode& n : nodes_) {
+    if (n.kind != AdvNode::Kind::kElement) {
+      throw std::logic_error(
+          "flat_elements() called on a recursive advertisement: " +
+          to_string());
+    }
+    out.push_back(n.name);
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t min_length_of(const std::vector<AdvNode>& nodes) {
+  std::size_t len = 0;
+  for (const AdvNode& n : nodes) {
+    len += (n.kind == AdvNode::Kind::kElement) ? 1 : min_length_of(n.children);
+  }
+  return len;
+}
+
+void expand(const std::vector<AdvNode>& nodes, std::size_t index,
+            std::vector<std::string>& current, std::size_t max_len,
+            const std::function<void()>& done) {
+  if (index == nodes.size()) {
+    done();
+    return;
+  }
+  const AdvNode& node = nodes[index];
+  if (node.kind == AdvNode::Kind::kElement) {
+    if (current.size() + 1 > max_len) return;
+    current.push_back(node.name);
+    expand(nodes, index + 1, current, max_len, done);
+    current.pop_back();
+    return;
+  }
+  // Group: one or more repetitions, each a full expansion of the children.
+  // Depth-first over repetition counts with length pruning.
+  std::function<void()> after_one_repetition = [&]() {
+    // Continue after the group...
+    expand(nodes, index + 1, current, max_len, done);
+    // ...or repeat the group once more.
+    expand(node.children, 0, current, max_len, after_one_repetition);
+  };
+  expand(node.children, 0, current, max_len, after_one_repetition);
+}
+
+}  // namespace
+
+std::size_t Advertisement::min_length() const { return min_length_of(nodes_); }
+
+std::vector<std::vector<std::string>> Advertisement::expansions(
+    std::size_t max_len) const {
+  std::vector<std::vector<std::string>> out;
+  std::vector<std::string> current;
+  expand(nodes_, 0, current, max_len,
+         [&]() { out.push_back(current); });
+  return out;
+}
+
+namespace {
+
+void print_nodes(const std::vector<AdvNode>& nodes, std::ostringstream& os) {
+  for (const AdvNode& n : nodes) {
+    if (n.kind == AdvNode::Kind::kElement) {
+      os << '/' << n.name;
+    } else {
+      os << '(';
+      print_nodes(n.children, os);
+      os << ")+";
+    }
+  }
+}
+
+}  // namespace
+
+std::string Advertisement::to_string() const {
+  std::ostringstream os;
+  print_nodes(nodes_, os);
+  return os.str();
+}
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '.' || c == '-';
+}
+
+std::vector<AdvNode> parse_nodes(std::string_view text, std::size_t& pos,
+                                 bool inside_group) {
+  std::vector<AdvNode> nodes;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == '(') {
+      ++pos;
+      std::vector<AdvNode> kids = parse_nodes(text, pos, /*inside_group=*/true);
+      if (pos >= text.size() || text[pos] != ')') {
+        throw ParseError("advertisement group not closed in '" +
+                         std::string(text) + "'");
+      }
+      ++pos;
+      if (pos >= text.size() || text[pos] != '+') {
+        throw ParseError("advertisement group must be one-or-more '(...)+'");
+      }
+      ++pos;
+      if (kids.empty()) throw ParseError("empty advertisement group");
+      nodes.push_back(AdvNode::group(std::move(kids)));
+      continue;
+    }
+    if (c == ')') {
+      if (!inside_group) {
+        throw ParseError("unmatched ')' in advertisement '" +
+                         std::string(text) + "'");
+      }
+      break;
+    }
+    if (c != '/') {
+      throw ParseError("expected '/' at offset " + std::to_string(pos) +
+                       " in advertisement '" + std::string(text) + "'");
+    }
+    ++pos;
+    if (pos >= text.size()) throw ParseError("advertisement ends with '/'");
+    if (text[pos] == '*') {
+      nodes.push_back(AdvNode::element("*"));
+      ++pos;
+      continue;
+    }
+    std::size_t start = pos;
+    while (pos < text.size() && is_name_char(text[pos])) ++pos;
+    if (pos == start) {
+      throw ParseError("expected element name at offset " +
+                       std::to_string(pos) + " in advertisement '" +
+                       std::string(text) + "'");
+    }
+    nodes.push_back(
+        AdvNode::element(std::string(text.substr(start, pos - start))));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Advertisement parse_advertisement(std::string_view text) {
+  if (text.empty()) throw ParseError("empty advertisement");
+  std::size_t pos = 0;
+  std::vector<AdvNode> nodes = parse_nodes(text, pos, /*inside_group=*/false);
+  if (pos != text.size()) {
+    throw ParseError("trailing characters in advertisement '" +
+                     std::string(text) + "'");
+  }
+  if (nodes.empty()) throw ParseError("empty advertisement");
+  return Advertisement(std::move(nodes));
+}
+
+namespace {
+
+void hash_nodes(const std::vector<AdvNode>& nodes, std::size_t& h) {
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  for (const AdvNode& n : nodes) {
+    if (n.kind == AdvNode::Kind::kElement) {
+      mix(std::hash<std::string>{}(n.name));
+    } else {
+      mix(0x5bd1e995);
+      hash_nodes(n.children, h);
+      mix(0xc2b2ae35);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t AdvHash::operator()(const Advertisement& a) const {
+  std::size_t h = 14695981039346656037ull;
+  hash_nodes(a.nodes(), h);
+  return h;
+}
+
+}  // namespace xroute

@@ -1,0 +1,114 @@
+// Advertisement model (paper §3.1).
+//
+// An advertisement is an absolute, '//'-free path pattern whose positions
+// are element names or wildcards, with optional one-or-more repetition
+// groups for recursive DTDs:
+//
+//   non-recursive:       /t1/t2/.../tn
+//   simple-recursive:    a1 (a2)+ a3            e.g.  /a/*/c(/e/d)+/*/c/e
+//   series-recursive:    a1 (a2)+ a3 (a4)+ a5
+//   embedded-recursive:  a1 (a2 (a3)+ a4)+ a5
+//
+// P(a) is the set of concrete paths obtained by expanding every group one
+// or more times and instantiating wildcards; publications in P(a) have
+// exactly the length of the chosen expansion. The "(...)+ " syntax is a
+// system-internal extension of XPath and never reaches clients.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xroute {
+
+/// A node of an advertisement pattern: either one position (element name or
+/// "*"), or a one-or-more repetition group of nested nodes.
+struct AdvNode {
+  enum class Kind : unsigned char { kElement, kGroup };
+
+  Kind kind = Kind::kElement;
+  std::string name;               ///< for kElement ("*" = wildcard)
+  std::vector<AdvNode> children;  ///< for kGroup
+
+  static AdvNode element(std::string n) {
+    AdvNode node;
+    node.kind = Kind::kElement;
+    node.name = std::move(n);
+    return node;
+  }
+  static AdvNode group(std::vector<AdvNode> kids) {
+    AdvNode node;
+    node.kind = Kind::kGroup;
+    node.children = std::move(kids);
+    return node;
+  }
+
+  friend bool operator==(const AdvNode&, const AdvNode&) = default;
+};
+
+class Advertisement {
+ public:
+  /// The paper's taxonomy (§3.1). kGeneral covers shapes beyond the three
+  /// named ones (e.g. a group nested two levels deep inside two series
+  /// groups); the automaton matcher handles them uniformly.
+  enum class Shape : unsigned char {
+    kNonRecursive,
+    kSimpleRecursive,
+    kSeriesRecursive,
+    kEmbeddedRecursive,
+    kGeneral,
+  };
+
+  Advertisement() = default;
+  explicit Advertisement(std::vector<AdvNode> nodes);
+
+  /// Builds a non-recursive advertisement from element names / wildcards.
+  static Advertisement from_elements(std::vector<std::string> elements);
+
+  const std::vector<AdvNode>& nodes() const { return nodes_; }
+  bool non_recursive() const;
+  Shape shape() const;
+
+  /// Positions of a non-recursive advertisement; throws std::logic_error if
+  /// the advertisement has groups.
+  std::vector<std::string> flat_elements() const;
+
+  /// Length of the shortest expansion (every group taken exactly once).
+  std::size_t min_length() const;
+
+  /// All complete expansions whose length does not exceed max_len. Used by
+  /// test oracles and by the D_imperfect computation; matching in the
+  /// router uses the algorithms in src/match instead.
+  std::vector<std::vector<std::string>> expansions(std::size_t max_len) const;
+
+  /// Prints in the paper's notation, e.g. "/a/*/c(/e/d)+/*/c/e".
+  std::string to_string() const;
+
+  friend bool operator==(const Advertisement& a, const Advertisement& b) {
+    return a.nodes_ == b.nodes_;
+  }
+
+ private:
+  std::vector<AdvNode> nodes_;
+};
+
+/// Parses the paper's advertisement notation (inverse of to_string);
+/// throws ParseError on malformed input.
+Advertisement parse_advertisement(std::string_view text);
+
+/// Hash functor for unordered containers keyed by advertisements.
+struct AdvHash {
+  std::size_t operator()(const Advertisement& a) const;
+};
+
+/// Orders advertisements by their printed form (stable container ordering).
+struct AdvLess {
+  bool operator()(const Advertisement& a, const Advertisement& b) const {
+    return a.to_string() < b.to_string();
+  }
+};
+
+}  // namespace xroute

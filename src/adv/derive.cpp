@@ -1,0 +1,227 @@
+#include "adv/derive.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "dtd/graph.hpp"
+#include "dtd/universe.hpp"
+#include "match/adv_automaton.hpp"
+#include "match/rules.hpp"
+
+namespace xroute {
+
+namespace {
+
+/// A repetition region of the current walk stack: stack[start..end]
+/// (inclusive) may repeat one or more times; the walk re-enters the
+/// element stack[start] at position end+1.
+struct Interval {
+  std::size_t start;
+  std::size_t end;
+};
+
+class Walker {
+ public:
+  Walker(const Dtd& dtd, const ElementGraph& graph,
+         const DeriveOptions& options)
+      : dtd_(dtd), graph_(graph), options_(options) {}
+
+  void run() { walk(graph_.root()); }
+
+  std::vector<Advertisement> take() { return std::move(out_); }
+  bool truncated() const { return truncated_; }
+
+ private:
+  void walk(const std::string& element) {
+    if (truncated_) return;
+    stack_.push_back(element);
+    const ElementDecl& decl = dtd_.element(element);
+    if (decl.is_leaf() || decl.may_be_childless()) emit();
+
+    for (const std::string& child : graph_.children(element)) {
+      if (truncated_) break;
+      // Deepest prior occurrence of the child on the walk stack.
+      std::size_t occurrence = stack_.size();
+      for (std::size_t i = stack_.size(); i-- > 0;) {
+        if (stack_[i] == child) {
+          occurrence = i;
+          break;
+        }
+      }
+      if (occurrence == stack_.size()) {
+        walk(child);
+        continue;
+      }
+      // Back edge: the segment stack[occurrence..top] forms a cycle.
+      auto edge = std::make_pair(element, child);
+      if (used_backedges_.count(edge)) continue;
+      Interval candidate{occurrence, stack_.size() - 1};
+      if (conflicts(candidate)) {
+        // The loop structure is not expressible as nested/series groups
+        // (e.g. mutual 2-cycles); fall back to a coarse but complete
+        // pattern: everything below the loop head is unconstrained.
+        emit_coarse(occurrence + 1);
+        continue;
+      }
+      used_backedges_.insert(edge);
+      intervals_.push_back(candidate);
+      walk(child);
+      intervals_.pop_back();
+      used_backedges_.erase(edge);
+    }
+    stack_.pop_back();
+  }
+
+  bool conflicts(const Interval& candidate) const {
+    for (const Interval& iv : intervals_) {
+      // Existing intervals always end before the current top, so the only
+      // clean arrangements are disjoint (iv ends before the candidate
+      // starts) or nested (the candidate contains iv entirely).
+      if (iv.start < candidate.start && candidate.start <= iv.end) return true;
+    }
+    return false;
+  }
+
+  void emit() {
+    if (out_.size() >= options_.max_advertisements) {
+      truncated_ = true;
+      return;
+    }
+    Advertisement a(render_range(0, stack_.size()));
+    record(std::move(a));
+  }
+
+  void emit_coarse(std::size_t prefix_len) {
+    if (out_.size() >= options_.max_advertisements) {
+      truncated_ = true;
+      return;
+    }
+    // Render the (possibly grouped) prefix, then append an unconstrained
+    // one-or-more wildcard group.
+    std::vector<AdvNode> nodes = render_range(0, prefix_len);
+    nodes.push_back(AdvNode::group({AdvNode::element(kWildcard)}));
+    record(Advertisement(std::move(nodes)));
+  }
+
+  void record(Advertisement a) {
+    std::string key = a.to_string();
+    if (emitted_.insert(std::move(key)).second) out_.push_back(std::move(a));
+  }
+
+  /// Renders stack positions [lo, hi) into advertisement nodes, expanding
+  /// the recorded repetition intervals into groups (outermost first).
+  std::vector<AdvNode> render_range(std::size_t lo, std::size_t hi) const {
+    std::vector<AdvNode> nodes;
+    std::size_t pos = lo;
+    while (pos < hi) {
+      // Outermost interval starting exactly here and contained in range.
+      const Interval* best = nullptr;
+      for (const Interval& iv : intervals_) {
+        if (iv.start == pos && iv.end < hi && (!best || iv.end > best->end) &&
+            !(rendering_ && iv.start == rendering_->start &&
+              iv.end == rendering_->end)) {
+          best = &iv;
+        }
+      }
+      if (best) {
+        const Interval* outer = rendering_;
+        rendering_ = best;
+        nodes.push_back(AdvNode::group(render_range(pos, best->end + 1)));
+        rendering_ = outer;
+        pos = best->end + 1;
+      } else {
+        nodes.push_back(AdvNode::element(stack_[pos]));
+        ++pos;
+      }
+    }
+    return nodes;
+  }
+
+  const Dtd& dtd_;
+  const ElementGraph& graph_;
+  const DeriveOptions& options_;
+  std::vector<std::string> stack_;
+  std::vector<Interval> intervals_;
+  std::set<std::pair<std::string, std::string>> used_backedges_;
+  std::set<std::string> emitted_;
+  std::vector<Advertisement> out_;
+  bool truncated_ = false;
+  /// Interval currently being rendered (so the recursive call does not
+  /// re-pick it and recurse forever).
+  mutable const Interval* rendering_ = nullptr;
+};
+
+/// Fast membership check of a concrete path against a non-recursive
+/// advertisement (positionwise, equal length).
+bool nonrec_accepts(const std::vector<std::string>& adv, const Path& p) {
+  if (adv.size() != p.size()) return false;
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    if (adv[i] != kWildcard && adv[i] != p[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DerivedAdvertisements derive_advertisements(const Dtd& dtd,
+                                            const DeriveOptions& options) {
+  DerivedAdvertisements result;
+  ElementGraph graph(dtd);
+  Walker walker(dtd, graph, options);
+  walker.run();
+  result.truncated = walker.truncated();
+  result.advertisements = walker.take();
+
+  if (!options.repair) return result;
+
+  // Completeness repair: every conforming path (up to the configured
+  // depth) must match some advertisement.
+  PathUniverse::Options uopts;
+  uopts.max_depth = options.repair_depth;
+  uopts.max_paths = options.repair_max_paths;
+  PathUniverse universe(dtd, uopts);
+
+  // Index non-recursive advertisements by length; keep automata for the
+  // recursive ones.
+  std::map<std::size_t, std::vector<std::vector<std::string>>> by_length;
+  std::vector<AdvAutomaton> automata;
+  for (const Advertisement& a : result.advertisements) {
+    if (a.non_recursive()) {
+      auto flat = a.flat_elements();
+      by_length[flat.size()].push_back(std::move(flat));
+    } else {
+      automata.emplace_back(a);
+    }
+  }
+
+  for (const Path& path : universe.paths()) {
+    if (result.advertisements.size() >= options.max_advertisements) {
+      result.truncated = true;
+      break;
+    }
+    bool matched = false;
+    auto it = by_length.find(path.size());
+    if (it != by_length.end()) {
+      for (const auto& flat : it->second) {
+        if (nonrec_accepts(flat, path)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; !matched && i < automata.size(); ++i) {
+      matched = automata[i].accepts_path(path);
+    }
+    if (!matched) {
+      Advertisement repair = Advertisement::from_elements(path.elements);
+      by_length[path.size()].push_back(path.elements);
+      result.advertisements.push_back(std::move(repair));
+      ++result.repaired;
+    }
+  }
+  return result;
+}
+
+}  // namespace xroute

@@ -1,0 +1,51 @@
+// Advertisement derivation from a DTD (paper §3.1): "the DTD allows
+// deriving all possible paths from the root to the leaves appearing in
+// related XML documents".
+//
+// Non-recursive DTDs yield one non-recursive advertisement per distinct
+// root-to-leaf path. Recursive DTDs yield recursive advertisements: when
+// the derivation walk meets an element already on its path, the cycle
+// segment becomes a one-or-more group; nested back edges yield the paper's
+// embedded shape and sequential ones the series shape.
+//
+// Completeness contract: every root-to-leaf path a conforming document can
+// contain (up to the configured depth) matches at least one derived
+// advertisement. The walk guarantees this for cleanly structured recursion
+// and a repair pass guarantees it in general: any universe path the
+// derived set misses is added verbatim. Incompleteness of the
+// advertisement set would break routing (subscriptions would not reach the
+// publisher), so this contract is property-tested.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "adv/advertisement.hpp"
+#include "dtd/dtd.hpp"
+
+namespace xroute {
+
+struct DeriveOptions {
+  /// Hard cap on the advertisement count (the paper floods advertisements;
+  /// an unbounded set would be a DoS on the network).
+  std::size_t max_advertisements = 20000;
+  /// Completeness repair: universe paths up to this depth are checked
+  /// against the derived set and added verbatim when missed.
+  std::size_t repair_depth = 12;
+  std::size_t repair_max_paths = 100000;
+  bool repair = true;
+};
+
+struct DerivedAdvertisements {
+  std::vector<Advertisement> advertisements;
+  /// Number of exact-path advertisements added by the repair pass (0 for
+  /// cleanly recursive DTDs — asserted for the bundled corpus).
+  std::size_t repaired = 0;
+  /// True if max_advertisements was hit (the set may then be incomplete).
+  bool truncated = false;
+};
+
+DerivedAdvertisements derive_advertisements(const Dtd& dtd,
+                                            const DeriveOptions& options = {});
+
+}  // namespace xroute

@@ -1,0 +1,64 @@
+#include "core/experiment.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace xroute {
+
+std::vector<StrategySpec> paper_strategy_matrix(double imperfect_degree) {
+  return {
+      {"no-Adv-no-Cov", RoutingStrategy::no_adv_no_cov()},
+      {"no-Adv-with-Cov", RoutingStrategy::no_adv_with_cov()},
+      {"with-Adv-no-Cov", RoutingStrategy::with_adv_no_cov()},
+      {"with-Adv-with-Cov", RoutingStrategy::with_adv_with_cov()},
+      {"with-Adv-with-CovPM", RoutingStrategy::with_adv_with_cov_pm()},
+      {"with-Adv-with-CovIPM",
+       RoutingStrategy::with_adv_with_cov_ipm(imperfect_degree)},
+  };
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << std::left << std::setw(static_cast<int>(widths[c]))
+         << (c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::fmt(std::size_t value) { return std::to_string(value); }
+
+}  // namespace xroute

@@ -1,0 +1,53 @@
+// Shared experiment plumbing for the bench harnesses: the paper's strategy
+// matrix, fixed-width table printing, and a tiny wall-clock stopwatch.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace xroute {
+
+struct StrategySpec {
+  std::string name;  ///< the paper's label, e.g. "with-Adv-with-CovPM"
+  RoutingStrategy strategy;
+};
+
+/// The six rows of the paper's Tables 2 and 3, in order.
+std::vector<StrategySpec> paper_strategy_matrix(double imperfect_degree = 0.1);
+
+/// Fixed-width text table, printed as the benches' primary output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(std::size_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Wall-clock stopwatch in milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,115 @@
+// xroute public facade: an XML/XPath data-dissemination network.
+//
+// Wires together everything below it — DTD-derived advertisements,
+// content-based brokers with covering/merging, and the discrete-event
+// overlay — behind the handful of operations a user of the system
+// performs: build a topology, attach publishers and subscribers, register
+// XPEs, publish documents, run, inspect what arrived where.
+//
+//   Network net({.topology = complete_binary_tree(3), .dtd = news_dtd()});
+//   int pub = net.add_publisher(0);           // floods the advertisements
+//   int sub = net.add_subscriber(6);
+//   net.subscribe(sub, parse_xpe("/news/body//block/p"));
+//   net.run();                                 // propagate control plane
+//   net.publish(pub, document);
+//   net.run();                                 // deliver
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adv/derive.hpp"
+#include "dtd/universe.hpp"
+#include "net/simulator.hpp"
+#include "workload/dtd_corpus.hpp"
+
+namespace xroute {
+
+/// The paper's routing-strategy axes (§5, Tables 2/3).
+struct RoutingStrategy {
+  bool advertisements = true;
+  bool covering = true;
+  bool merging = false;
+  /// Maximum D_imperfect for merging; 0 = perfect merging only.
+  double max_imperfect_degree = 0.0;
+
+  static RoutingStrategy no_adv_no_cov() { return {false, false, false, 0.0}; }
+  static RoutingStrategy no_adv_with_cov() { return {false, true, false, 0.0}; }
+  static RoutingStrategy with_adv_no_cov() { return {true, false, false, 0.0}; }
+  static RoutingStrategy with_adv_with_cov() { return {true, true, false, 0.0}; }
+  static RoutingStrategy with_adv_with_cov_pm() {
+    return {true, true, true, 0.0};
+  }
+  static RoutingStrategy with_adv_with_cov_ipm(double degree = 0.1) {
+    return {true, true, true, degree};
+  }
+};
+
+class Network {
+ public:
+  struct Options {
+    Topology topology;
+    LatencyProfile profile = LatencyProfile::kCluster;
+    RoutingStrategy strategy;
+    /// The data producers' DTD: source of advertisements and of the
+    /// merging universe.
+    Dtd dtd;
+    /// Further producer DTDs for multi-publisher networks; their
+    /// advertisement sets are derived too and their paths join the
+    /// merging universe. Index 0 is `dtd`, additional ones follow.
+    std::vector<Dtd> additional_dtds;
+    std::size_t merge_interval = 200;
+    std::size_t universe_depth = 12;
+    std::size_t universe_max_paths = 50000;
+    std::uint64_t seed = 42;
+    /// 0 disables folding measured processing time into simulated time
+    /// (deterministic message counting); 1.0 = wall clock.
+    double processing_scale = 1.0;
+  };
+
+  explicit Network(Options options);
+
+  /// Attaches a subscriber client to `broker`; returns the client id.
+  int add_subscriber(int broker);
+
+  /// Attaches a publisher client to `broker` and (under advertisement-based
+  /// routing) floods the DTD-derived advertisement set from it.
+  /// `dtd_index` selects the producer's DTD: 0 = Options::dtd, i >= 1 =
+  /// additional_dtds[i-1].
+  int add_publisher(int broker, std::size_t dtd_index = 0);
+
+  void subscribe(int subscriber, const Xpe& xpe);
+  void unsubscribe(int subscriber, const Xpe& xpe);
+  std::uint64_t publish(int publisher, const XmlDocument& doc);
+  std::uint64_t publish_paths(int publisher, const std::vector<Path>& paths,
+                              std::size_t doc_bytes);
+
+  /// Drains pending events; call between control-plane and data-plane
+  /// phases and before reading statistics.
+  void run() { sim_.run(); }
+
+  Simulator& simulator() { return sim_; }
+  const Simulator& simulator() const { return sim_; }
+  const NetworkStats& stats() const { return sim_.stats(); }
+  const std::vector<Advertisement>& advertisements(std::size_t dtd_index = 0) const {
+    return advertisement_sets_.at(dtd_index).advertisements;
+  }
+  const PathUniverse& universe() const { return *universe_; }
+
+  /// Sum of PRT sizes across brokers (network-wide routing state).
+  std::size_t total_prt_size() const;
+  /// PRT size of one broker.
+  std::size_t prt_size(int broker) const {
+    return sim_.broker(broker).prt_size();
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<PathUniverse> universe_;
+  std::vector<DerivedAdvertisements> advertisement_sets_;
+  Simulator sim_;
+  Rng rng_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,110 @@
+#include "dtd/dtd.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <stdexcept>
+
+namespace xroute {
+
+void ContentParticle::collect_element_names(
+    std::vector<std::string>& out) const {
+  switch (kind) {
+    case Kind::kElement:
+      if (std::find(out.begin(), out.end(), name) == out.end()) {
+        out.push_back(name);
+      }
+      break;
+    case Kind::kSequence:
+    case Kind::kChoice:
+      for (const ContentParticle& c : children) c.collect_element_names(out);
+      break;
+    case Kind::kPcdata:
+    case Kind::kEmpty:
+    case Kind::kAny:
+      break;
+  }
+}
+
+std::vector<std::string> ElementDecl::child_elements() const {
+  std::vector<std::string> out;
+  content.collect_element_names(out);
+  return out;
+}
+
+bool particle_may_be_empty(const ContentParticle& particle) {
+  if (particle.occurrence == Occurrence::kOptional ||
+      particle.occurrence == Occurrence::kZeroOrMore) {
+    return true;
+  }
+  switch (particle.kind) {
+    case ContentParticle::Kind::kPcdata:
+    case ContentParticle::Kind::kEmpty:
+    case ContentParticle::Kind::kAny:  // ANY admits empty content
+      return true;
+    case ContentParticle::Kind::kElement:
+      return false;
+    case ContentParticle::Kind::kSequence:
+      for (const ContentParticle& c : particle.children) {
+        if (!particle_may_be_empty(c)) return false;
+      }
+      return true;
+    case ContentParticle::Kind::kChoice:
+      for (const ContentParticle& c : particle.children) {
+        if (particle_may_be_empty(c)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool ElementDecl::may_be_childless() const {
+  return particle_may_be_empty(content);
+}
+
+void Dtd::add(ElementDecl decl) {
+  if (root_.empty()) root_ = decl.name;
+  auto [it, inserted] = elements_.emplace(decl.name, std::move(decl));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate element declaration: " + it->first);
+  }
+  order_.push_back(it->first);
+}
+
+void Dtd::add_attributes(const std::string& element,
+                         std::vector<AttributeDecl> attributes) {
+  auto it = elements_.find(element);
+  if (it == elements_.end()) {
+    throw std::invalid_argument("ATTLIST for undeclared element: " + element);
+  }
+  auto& list = it->second.attributes;
+  list.insert(list.end(), std::make_move_iterator(attributes.begin()),
+              std::make_move_iterator(attributes.end()));
+}
+
+void Dtd::set_root(const std::string& name) {
+  if (!has_element(name)) {
+    throw std::invalid_argument("root element not declared: " + name);
+  }
+  root_ = name;
+}
+
+const ElementDecl& Dtd::element(const std::string& name) const {
+  auto it = elements_.find(name);
+  if (it == elements_.end()) {
+    throw std::out_of_range("element not declared: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Dtd::undeclared_references() const {
+  std::set<std::string> missing;
+  for (const auto& [name, decl] : elements_) {
+    for (const std::string& child : decl.child_elements()) {
+      if (!has_element(child)) missing.insert(child);
+    }
+  }
+  return {missing.begin(), missing.end()};
+}
+
+}  // namespace xroute

@@ -1,0 +1,124 @@
+// DTD model: element declarations with content models.
+//
+// The paper derives the complete advertisement set of a publisher from its
+// DTD (§3.1): the DTD determines every root-to-leaf element path that can
+// appear in conforming documents, including recursive patterns when the
+// DTD is recursive (e.g. NITF).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xroute {
+
+/// How often a content particle may occur.
+enum class Occurrence : unsigned char {
+  kOne,         ///< exactly once (no suffix)
+  kOptional,    ///< '?'
+  kZeroOrMore,  ///< '*'
+  kOneOrMore,   ///< '+'
+};
+
+/// A node of a content-model expression tree:
+///   <!ELEMENT a (b, (c | d)*, e+)>  =>  Sequence[b, Choice[c,d]*, e+]
+struct ContentParticle {
+  enum class Kind : unsigned char {
+    kElement,   ///< reference to a child element by name
+    kSequence,  ///< ordered group (a, b, c)
+    kChoice,    ///< alternative group (a | b | c)
+    kPcdata,    ///< #PCDATA (character data, no child elements)
+    kEmpty,     ///< EMPTY declared content
+    kAny,       ///< ANY declared content
+  };
+
+  Kind kind = Kind::kEmpty;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string name;                       ///< for kElement
+  std::vector<ContentParticle> children;  ///< for kSequence / kChoice
+
+  static ContentParticle element(std::string n,
+                                 Occurrence occ = Occurrence::kOne) {
+    ContentParticle p;
+    p.kind = Kind::kElement;
+    p.name = std::move(n);
+    p.occurrence = occ;
+    return p;
+  }
+  static ContentParticle group(Kind kind, std::vector<ContentParticle> kids,
+                               Occurrence occ = Occurrence::kOne) {
+    ContentParticle p;
+    p.kind = kind;
+    p.children = std::move(kids);
+    p.occurrence = occ;
+    return p;
+  }
+
+  /// Collects every distinct element name referenced by this particle tree.
+  void collect_element_names(std::vector<std::string>& out) const;
+};
+
+/// One attribute declared by <!ATTLIST>: name, type (enumerated values or
+/// free-form CDATA / numeric hint), and whether it is #REQUIRED.
+struct AttributeDecl {
+  std::string name;
+  /// Allowed values for enumerated attributes, e.g. (photo|video|audio);
+  /// empty for CDATA and other free-form types.
+  std::vector<std::string> enumeration;
+  bool required = false;
+};
+
+/// One <!ELEMENT name content> declaration. Mixed content
+/// (#PCDATA | a | b)* is represented as a Choice particle whose children
+/// include kPcdata.
+struct ElementDecl {
+  std::string name;
+  ContentParticle content;
+  std::vector<AttributeDecl> attributes;
+
+  /// Distinct child element names this element may contain.
+  std::vector<std::string> child_elements() const;
+
+  /// True if no child element can ever appear (EMPTY or pure #PCDATA).
+  bool is_leaf() const { return child_elements().empty(); }
+
+  /// True if the content model can be instantiated with zero element
+  /// children, i.e. an instance of this element may terminate a
+  /// root-to-leaf path even though child elements are allowed. Drives both
+  /// advertisement derivation and the XML generator's depth capping.
+  bool may_be_childless() const;
+};
+
+/// True if `particle` can be instantiated without producing any element.
+bool particle_may_be_empty(const ContentParticle& particle);
+
+/// A parsed DTD. The document root defaults to the first declared element
+/// (conventional for the DTDs the paper uses) and can be overridden.
+class Dtd {
+ public:
+  void add(ElementDecl decl);
+  /// Attaches attribute declarations to an already-declared element.
+  void add_attributes(const std::string& element,
+                      std::vector<AttributeDecl> attributes);
+  void set_root(const std::string& name);
+
+  const std::string& root() const { return root_; }
+  bool has_element(const std::string& name) const {
+    return elements_.find(name) != elements_.end();
+  }
+  const ElementDecl& element(const std::string& name) const;
+  const std::vector<std::string>& declaration_order() const { return order_; }
+  std::size_t size() const { return elements_.size(); }
+
+  /// Element names referenced in content models but never declared; a
+  /// well-formed corpus DTD has none (checked by tests).
+  std::vector<std::string> undeclared_references() const;
+
+ private:
+  std::map<std::string, ElementDecl> elements_;
+  std::vector<std::string> order_;
+  std::string root_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,128 @@
+#include "dtd/graph.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace xroute {
+
+namespace {
+
+/// Tarjan-style SCC detection restricted to what we need: mark every node
+/// that belongs to a strongly connected component of size > 1, or that has
+/// a self-loop, as cyclic.
+class CycleFinder {
+ public:
+  explicit CycleFinder(
+      const std::map<std::string, std::vector<std::string>>& adj)
+      : adj_(adj) {}
+
+  std::set<std::string> run() {
+    for (const auto& [node, kids] : adj_) {
+      (void)kids;
+      if (!index_.count(node)) strongconnect(node);
+    }
+    return cyclic_;
+  }
+
+ private:
+  void strongconnect(const std::string& v) {
+    index_[v] = lowlink_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    auto it = adj_.find(v);
+    if (it != adj_.end()) {
+      for (const std::string& w : it->second) {
+        if (!index_.count(w)) {
+          strongconnect(w);
+          lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+        } else if (on_stack_.count(w)) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+        if (w == v) self_loop_.insert(v);
+      }
+    }
+    if (lowlink_[v] == index_[v]) {
+      std::vector<std::string> component;
+      while (true) {
+        std::string w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        component.push_back(w);
+        if (w == v) break;
+      }
+      if (component.size() > 1 ||
+          (component.size() == 1 && self_loop_.count(component[0]))) {
+        for (const std::string& w : component) cyclic_.insert(w);
+      }
+    }
+  }
+
+  const std::map<std::string, std::vector<std::string>>& adj_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::set<std::string> self_loop_;
+  std::set<std::string> cyclic_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+ElementGraph::ElementGraph(const Dtd& dtd) : root_(dtd.root()) {
+  for (const std::string& name : dtd.declaration_order()) {
+    const ElementDecl& decl = dtd.element(name);
+    if (decl.content.kind == ContentParticle::Kind::kAny) {
+      children_[name] = dtd.declaration_order();
+    } else {
+      std::vector<std::string> kids;
+      for (const std::string& child : decl.child_elements()) {
+        if (dtd.has_element(child)) kids.push_back(child);
+      }
+      children_[name] = std::move(kids);
+    }
+  }
+
+  // Reachability from the root.
+  std::vector<std::string> frontier{root_};
+  reachable_.insert(root_);
+  while (!frontier.empty()) {
+    std::string node = std::move(frontier.back());
+    frontier.pop_back();
+    for (const std::string& child : children_[node]) {
+      if (reachable_.insert(child).second) frontier.push_back(child);
+    }
+  }
+
+  // Cycles, restricted to the reachable part.
+  std::map<std::string, std::vector<std::string>> reachable_adj;
+  for (const std::string& node : reachable_) {
+    std::vector<std::string> kids;
+    for (const std::string& child : children_[node]) {
+      if (reachable_.count(child)) kids.push_back(child);
+    }
+    reachable_adj[node] = std::move(kids);
+  }
+  cyclic_ = CycleFinder(reachable_adj).run();
+}
+
+const std::vector<std::string>& ElementGraph::children(
+    const std::string& element) const {
+  auto it = children_.find(element);
+  if (it == children_.end()) {
+    throw std::out_of_range("element not in graph: " + element);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ElementGraph::all_elements() const {
+  std::vector<std::string> out;
+  out.reserve(children_.size());
+  for (const auto& [name, kids] : children_) {
+    (void)kids;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace xroute

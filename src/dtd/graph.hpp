@@ -1,0 +1,58 @@
+// Element reachability graph of a DTD.
+//
+// Nodes are declared elements; there is an edge a -> b when b may appear as
+// a direct child of a according to a's content model. The graph drives
+// recursion detection (paper §3.1: recursive vs non-recursive DTDs),
+// advertisement derivation and the concrete-path universe.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+
+namespace xroute {
+
+class ElementGraph {
+ public:
+  explicit ElementGraph(const Dtd& dtd);
+
+  const std::string& root() const { return root_; }
+
+  /// Possible direct children (declaration-ordered, distinct). ANY content
+  /// expands to every declared element.
+  const std::vector<std::string>& children(const std::string& element) const;
+
+  /// True if no element can appear below `element`.
+  bool is_leaf(const std::string& element) const {
+    return children(element).empty();
+  }
+
+  /// Elements reachable from the root (including the root itself).
+  const std::set<std::string>& reachable() const { return reachable_; }
+
+  /// True if some element reachable from the root lies on a cycle, i.e.
+  /// conforming documents can nest an element within itself (directly or
+  /// transitively). This is the paper's "recursive DTD".
+  bool is_recursive() const { return !cyclic_.empty(); }
+
+  /// Elements that lie on a cycle reachable from the root.
+  const std::set<std::string>& cyclic_elements() const { return cyclic_; }
+
+  /// True if `element` can (transitively) contain itself.
+  bool is_cyclic(const std::string& element) const {
+    return cyclic_.count(element) != 0;
+  }
+
+  std::vector<std::string> all_elements() const;
+
+ private:
+  std::string root_;
+  std::map<std::string, std::vector<std::string>> children_;
+  std::set<std::string> reachable_;
+  std::set<std::string> cyclic_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,233 @@
+#include "dtd/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace xroute {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char get() { return text_[pos_++]; }
+
+  bool starts_with(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+  void advance(std::size_t n) { pos_ += n; }
+
+  void skip_whitespace() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void expect(char c, const char* context) {
+    if (done() || peek() != c) {
+      fail(std::string("expected '") + c + "' " + context);
+    }
+    ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("DTD parse error at offset " + std::to_string(pos_) +
+                     ": " + message);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '.' || c == '-';
+}
+
+std::string parse_name(Cursor& cur) {
+  cur.skip_whitespace();
+  if (cur.done() || !is_name_start(cur.peek())) {
+    cur.fail("expected element name");
+  }
+  std::string name;
+  name += cur.get();
+  while (!cur.done() && is_name_char(cur.peek())) name += cur.get();
+  return name;
+}
+
+Occurrence parse_occurrence(Cursor& cur) {
+  if (cur.done()) return Occurrence::kOne;
+  switch (cur.peek()) {
+    case '?': cur.get(); return Occurrence::kOptional;
+    case '*': cur.get(); return Occurrence::kZeroOrMore;
+    case '+': cur.get(); return Occurrence::kOneOrMore;
+    default: return Occurrence::kOne;
+  }
+}
+
+ContentParticle parse_group(Cursor& cur);
+
+/// Parses a single content particle: NAME occ? | group occ?
+ContentParticle parse_cp(Cursor& cur) {
+  cur.skip_whitespace();
+  if (cur.done()) cur.fail("unexpected end inside content model");
+  if (cur.peek() == '(') return parse_group(cur);
+  if (cur.peek() == '%') cur.fail("parameter entities are not supported");
+  std::string name = parse_name(cur);
+  Occurrence occ = parse_occurrence(cur);
+  return ContentParticle::element(std::move(name), occ);
+}
+
+/// Parses '(' ... ')' occ?; decides Sequence vs Choice vs mixed from the
+/// separators, enforcing that they are not mixed within one group.
+ContentParticle parse_group(Cursor& cur) {
+  cur.expect('(', "to open a content group");
+  cur.skip_whitespace();
+
+  // Mixed content: (#PCDATA ...)
+  if (cur.starts_with("#PCDATA")) {
+    cur.advance(7);
+    std::vector<ContentParticle> kids;
+    ContentParticle pcdata;
+    pcdata.kind = ContentParticle::Kind::kPcdata;
+    kids.push_back(pcdata);
+    cur.skip_whitespace();
+    while (!cur.done() && cur.peek() == '|') {
+      cur.get();
+      kids.push_back(ContentParticle::element(parse_name(cur)));
+      cur.skip_whitespace();
+    }
+    cur.expect(')', "to close mixed content");
+    Occurrence occ = parse_occurrence(cur);
+    if (kids.size() > 1 && occ != Occurrence::kZeroOrMore) {
+      cur.fail("mixed content with elements must be (...)* ");
+    }
+    return ContentParticle::group(ContentParticle::Kind::kChoice,
+                                  std::move(kids), occ);
+  }
+
+  std::vector<ContentParticle> kids;
+  kids.push_back(parse_cp(cur));
+  cur.skip_whitespace();
+  char separator = 0;
+  while (!cur.done() && cur.peek() != ')') {
+    char sep = cur.get();
+    if (sep != ',' && sep != '|') cur.fail("expected ',' or '|' in group");
+    if (separator == 0) {
+      separator = sep;
+    } else if (separator != sep) {
+      cur.fail("cannot mix ',' and '|' within one group");
+    }
+    kids.push_back(parse_cp(cur));
+    cur.skip_whitespace();
+  }
+  cur.expect(')', "to close content group");
+  Occurrence occ = parse_occurrence(cur);
+  auto kind = (separator == '|') ? ContentParticle::Kind::kChoice
+                                 : ContentParticle::Kind::kSequence;
+  return ContentParticle::group(kind, std::move(kids), occ);
+}
+
+ContentParticle parse_content(Cursor& cur) {
+  cur.skip_whitespace();
+  if (cur.starts_with("EMPTY")) {
+    cur.advance(5);
+    ContentParticle p;
+    p.kind = ContentParticle::Kind::kEmpty;
+    return p;
+  }
+  if (cur.starts_with("ANY")) {
+    cur.advance(3);
+    ContentParticle p;
+    p.kind = ContentParticle::Kind::kAny;
+    return p;
+  }
+  if (!cur.done() && cur.peek() == '(') return parse_group(cur);
+  cur.fail("expected EMPTY, ANY or '(' in content model");
+}
+
+}  // namespace
+
+Dtd parse_dtd(std::string_view text) {
+  Cursor cur(text);
+  Dtd dtd;
+  while (true) {
+    cur.skip_whitespace();
+    if (cur.done()) break;
+    if (cur.starts_with("<!--")) {
+      cur.advance(4);
+      // Find the comment terminator.
+      while (!cur.done() && !cur.starts_with("-->")) cur.advance(1);
+      if (cur.done()) cur.fail("unterminated comment");
+      cur.advance(3);
+      continue;
+    }
+    if (cur.starts_with("<!ELEMENT")) {
+      cur.advance(9);
+      ElementDecl decl;
+      decl.name = parse_name(cur);
+      decl.content = parse_content(cur);
+      cur.skip_whitespace();
+      cur.expect('>', "to close <!ELEMENT>");
+      dtd.add(std::move(decl));
+      continue;
+    }
+    if (cur.starts_with("<!ATTLIST")) {
+      cur.advance(9);
+      std::string element = parse_name(cur);
+      std::vector<AttributeDecl> attributes;
+      while (true) {
+        cur.skip_whitespace();
+        if (cur.done()) cur.fail("unterminated <!ATTLIST>");
+        if (cur.peek() == '>') {
+          cur.advance(1);
+          break;
+        }
+        AttributeDecl attribute;
+        attribute.name = parse_name(cur);
+        cur.skip_whitespace();
+        // Type: CDATA / ID / IDREF / NMTOKEN / ... or an enumeration.
+        if (!cur.done() && cur.peek() == '(') {
+          cur.advance(1);
+          while (true) {
+            attribute.enumeration.push_back(parse_name(cur));
+            cur.skip_whitespace();
+            if (cur.done()) cur.fail("unterminated attribute enumeration");
+            char c = cur.get();
+            if (c == ')') break;
+            if (c != '|') cur.fail("expected '|' or ')' in enumeration");
+          }
+        } else {
+          parse_name(cur);  // a keyword type; free-form values
+        }
+        cur.skip_whitespace();
+        // Default declaration: #REQUIRED / #IMPLIED / #FIXED "v" / "v".
+        if (!cur.done() && cur.peek() == '#') {
+          cur.advance(1);
+          std::string keyword = parse_name(cur);
+          attribute.required = (keyword == "REQUIRED");
+          if (keyword == "FIXED") cur.skip_whitespace();
+        }
+        if (!cur.done() && (cur.peek() == '"' || cur.peek() == '\'')) {
+          char quote = cur.get();
+          while (!cur.done() && cur.peek() != quote) cur.advance(1);
+          if (cur.done()) cur.fail("unterminated attribute default");
+          cur.advance(1);
+        }
+        attributes.push_back(std::move(attribute));
+      }
+      dtd.add_attributes(element, std::move(attributes));
+      continue;
+    }
+    cur.fail("expected <!ELEMENT>, <!ATTLIST> or comment");
+  }
+  if (dtd.size() == 0) throw ParseError("DTD declares no elements");
+  return dtd;
+}
+
+}  // namespace xroute

@@ -1,0 +1,25 @@
+// Parser for the DTD subset used by the corpus DTDs:
+//
+//   <!ELEMENT name EMPTY>
+//   <!ELEMENT name ANY>
+//   <!ELEMENT name (#PCDATA)>
+//   <!ELEMENT name (#PCDATA | a | b)*>          (mixed content)
+//   <!ELEMENT name (a, (b | c)*, d+, e?)>       (children content)
+//   <!ATTLIST ...>                              (skipped)
+//   <!-- comments -->                           (skipped)
+//
+// Parameter entities are not supported (the bundled corpus does not use
+// them); encountering '%' raises ParseError rather than misparsing.
+#pragma once
+
+#include <string_view>
+
+#include "dtd/dtd.hpp"
+#include "util/error.hpp"
+
+namespace xroute {
+
+/// Parses a DTD; throws ParseError with offsets on malformed input.
+Dtd parse_dtd(std::string_view text);
+
+}  // namespace xroute

@@ -1,0 +1,63 @@
+#include "dtd/universe.hpp"
+
+#include "match/pub_match.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+namespace {
+
+struct Enumerator {
+  const Dtd& dtd;
+  const ElementGraph& graph;
+  const PathUniverse::Options& options;
+  std::vector<Path>* out;
+  bool truncated = false;
+  Path current;
+
+  void walk(const std::string& element) {
+    if (out->size() >= options.max_paths) {
+      truncated = true;
+      return;
+    }
+    current.elements.push_back(element);
+    const ElementDecl& decl = dtd.element(element);
+    // A conforming instance of `element` may terminate the path here if
+    // its content model admits zero element children.
+    if (decl.is_leaf() || decl.may_be_childless()) {
+      out->push_back(current);
+    }
+    if (current.size() < options.max_depth) {
+      for (const std::string& child : graph.children(element)) {
+        walk(child);
+        if (truncated) break;
+      }
+    }
+    current.elements.pop_back();
+  }
+};
+
+}  // namespace
+
+PathUniverse::PathUniverse(const Dtd& dtd, const Options& options) {
+  ElementGraph graph(dtd);
+  Enumerator e{dtd, graph, options, &paths_, false, Path{}};
+  e.walk(graph.root());
+  truncated_ = e.truncated;
+}
+
+std::size_t PathUniverse::count_matching(const Xpe& xpe) const {
+  std::size_t count = 0;
+  for (const Path& p : paths_) {
+    if (matches(p, xpe)) ++count;
+  }
+  return count;
+}
+
+double PathUniverse::selectivity(const Xpe& xpe) const {
+  if (paths_.empty()) return 0.0;
+  return static_cast<double>(count_matching(xpe)) /
+         static_cast<double>(paths_.size());
+}
+
+}  // namespace xroute

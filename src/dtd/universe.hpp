@@ -1,0 +1,51 @@
+// Concrete path universe of a DTD.
+//
+// Enumerates (up to caps) every distinct root-to-leaf element path that a
+// conforming document can contain. The universe backs three things:
+//   * the D_imperfect computation for merging (paper §4.3: "each broker in
+//     the network knows the DTD relative to the XML data producer"),
+//   * the completeness-repair pass of advertisement derivation,
+//   * brute-force oracles in the property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+#include "dtd/graph.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+
+class PathUniverse {
+ public:
+  struct Options {
+    /// Paths longer than this are cut off (a cyclic DTD has unbounded
+    /// paths; the paper caps documents and XPEs at 10 levels).
+    std::size_t max_depth = 12;
+    /// Enumeration stops (truncated() == true) after this many paths.
+    std::size_t max_paths = 200000;
+  };
+
+  PathUniverse(const Dtd& dtd, const Options& options);
+  explicit PathUniverse(const Dtd& dtd) : PathUniverse(dtd, Options{}) {}
+  /// A universe over an explicit path set — e.g. the union of several
+  /// producers' DTD universes in a multi-publisher network.
+  explicit PathUniverse(std::vector<Path> paths)
+      : paths_(std::move(paths)) {}
+
+  const std::vector<Path>& paths() const { return paths_; }
+  bool truncated() const { return truncated_; }
+
+  /// Number of universe paths matched by `xpe` (exact, by scanning).
+  std::size_t count_matching(const class Xpe& xpe) const;
+
+  /// count_matching / |universe| in [0, 1]; 0 if the universe is empty.
+  double selectivity(const class Xpe& xpe) const;
+
+ private:
+  std::vector<Path> paths_;
+  bool truncated_ = false;
+};
+
+}  // namespace xroute

@@ -1,0 +1,296 @@
+#include "index/merging.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "match/covering.hpp"
+#include "match/pub_match.hpp"
+
+namespace xroute {
+
+MergeEngine::MergeEngine(const PathUniverse* universe, MergeOptions options)
+    : universe_(universe), options_(options) {}
+
+std::optional<Xpe> MergeEngine::merge_one_difference(
+    const std::vector<Xpe>& group) {
+  if (group.size() < 2) return std::nullopt;
+  const Xpe& ref = group[0];
+  std::size_t diff_pos = ref.size();  // sentinel: none yet
+  for (std::size_t g = 1; g < group.size(); ++g) {
+    const Xpe& other = group[g];
+    if (other.size() != ref.size()) return std::nullopt;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (other.step(i).axis != ref.step(i).axis) return std::nullopt;
+      bool name_differs = other.step(i).name != ref.step(i).name;
+      bool preds_differ = other.step(i).predicates != ref.step(i).predicates;
+      if (name_differs || preds_differ) {
+        // All differences (name or predicates) must sit at one common
+        // position, which the merger generalises to a bare '*'.
+        if (diff_pos == ref.size()) {
+          diff_pos = i;
+        } else if (diff_pos != i) {
+          return std::nullopt;  // differences at more than one position
+        }
+      }
+    }
+  }
+  if (diff_pos == ref.size()) return std::nullopt;  // group is all-equal
+  // An unconstrained wildcard at the differing position would mean a
+  // covering relation among the group — those belong in the tree.
+  for (const Xpe& s : group) {
+    if (s.step(diff_pos).unconstrained_wildcard()) return std::nullopt;
+  }
+  std::vector<Step> steps = ref.steps();
+  steps[diff_pos].name = kWildcard;
+  steps[diff_pos].predicates.clear();
+  return ref.relative() ? Xpe::relative(std::move(steps))
+                        : Xpe::absolute(std::move(steps));
+}
+
+std::optional<Xpe> MergeEngine::merge_two_differences(const Xpe& a,
+                                                      const Xpe& b) {
+  if (a.size() != b.size() || a.size() == 0) return std::nullopt;
+  std::size_t name_diffs = 0, axis_diffs = 0;
+  std::size_t name_pos = 0, axis_pos = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bool differs = a.step(i).name != b.step(i).name ||
+                   a.step(i).predicates != b.step(i).predicates;
+    if (differs) {
+      ++name_diffs;
+      name_pos = i;
+    }
+    if (a.step(i).axis != b.step(i).axis) {
+      ++axis_diffs;
+      axis_pos = i;
+    }
+  }
+  // The paper's own example merges /a/c/*/* with /a//c/*/c: a wildcard at
+  // the differing-name position is fine here (unlike Rule 1, the axis
+  // difference prevents a covering relation between the inputs).
+  if (name_diffs != 1 || axis_diffs != 1) return std::nullopt;
+  std::vector<Step> steps = a.steps();
+  steps[name_pos].name = kWildcard;
+  steps[name_pos].predicates.clear();
+  steps[axis_pos].axis = Axis::kDescendant;
+  bool relative = a.relative() && b.relative();
+  return relative ? Xpe::relative(std::move(steps))
+                  : Xpe::absolute(std::move(steps));
+}
+
+std::optional<Xpe> MergeEngine::merge_general(const Xpe& a, const Xpe& b,
+                                              std::size_t min_common) {
+  if (a == b || a.empty() || b.empty()) return std::nullopt;
+  const std::size_t min_len = std::min(a.size(), b.size());
+  std::size_t prefix = 0;
+  while (prefix < min_len && a.step(prefix) == b.step(prefix)) ++prefix;
+  if (prefix == 0) return std::nullopt;  // the paper's form keeps a prefix
+  std::size_t suffix = 0;
+  while (suffix < min_len - prefix &&
+         a.step(a.size() - 1 - suffix) == b.step(b.size() - 1 - suffix)) {
+    ++suffix;
+  }
+  if (suffix == 0) return std::nullopt;  // '//' needs a following step
+  if (prefix + suffix < min_common) return std::nullopt;
+  std::vector<Step> steps(a.steps().begin(), a.steps().begin() + prefix);
+  for (std::size_t i = a.size() - suffix; i < a.size(); ++i) {
+    steps.push_back(a.step(i));
+  }
+  steps[prefix].axis = Axis::kDescendant;  // prefix // suffix
+  bool relative = a.relative() && b.relative();
+  return relative ? Xpe::relative(std::move(steps))
+                  : Xpe::absolute(std::move(steps));
+}
+
+const std::vector<bool>& MergeEngine::match_bits(const Xpe& xpe) const {
+  auto it = bits_cache_.find(xpe);
+  if (it != bits_cache_.end()) return it->second;
+  const auto& paths = universe_->paths();
+  std::vector<bool> bits(paths.size(), false);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    bits[i] = matches(paths[i], xpe);
+  }
+  return bits_cache_.emplace(xpe, std::move(bits)).first->second;
+}
+
+double MergeEngine::imperfect_degree(const Xpe& merger,
+                                     const std::vector<Xpe>& originals) const {
+  const std::vector<bool>& merged = match_bits(merger);
+  std::vector<bool> covered(merged.size(), false);
+  for (const Xpe& original : originals) {
+    const std::vector<bool>& bits = match_bits(original);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) covered[i] = true;
+    }
+  }
+  std::size_t merger_count = 0, extra = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i]) {
+      ++merger_count;
+      if (!covered[i]) ++extra;
+    }
+  }
+  if (merger_count == 0) return 0.0;
+  return static_cast<double>(extra) / static_cast<double>(merger_count);
+}
+
+namespace {
+
+/// Signature of an XPE with one position's name masked out; XPEs sharing a
+/// signature are Rule-1 candidates.
+std::string masked_signature(const Xpe& xpe, std::size_t masked_pos) {
+  std::ostringstream os;
+  os << (xpe.relative() ? 'r' : 'a');
+  for (std::size_t i = 0; i < xpe.size(); ++i) {
+    const Step& step = xpe.step(i);
+    os << (step.axis == Axis::kChild ? '/' : '~');
+    if (i == masked_pos) {
+      os << '\x01';  // the differing position: name+predicates masked
+    } else {
+      os << step.name;
+      for (const Predicate& p : step.predicates) os << p.to_string();
+    }
+  }
+  os << '#' << masked_pos;
+  return os.str();
+}
+
+}  // namespace
+
+MergeReport MergeEngine::run(SubscriptionTree& tree) const {
+  MergeReport report;
+  if (!universe_) return report;
+
+  // Merges one sibling group to a fixed point; children lists are re-read
+  // after every applied merge. Returns true if anything merged.
+  auto merge_level = [&](SubscriptionTree::Node* parent) {
+    bool any = false;
+    bool merged_something = true;
+    while (merged_something) {
+      merged_something = false;
+
+      std::vector<SubscriptionTree::Node*> siblings;
+      siblings.reserve(parent->children.size());
+      for (auto& c : parent->children) siblings.push_back(c.get());
+
+      // ---- Rule 1: group siblings by masked signature.
+      if (options_.rule_one_difference && siblings.size() >= 2) {
+        std::map<std::string, std::vector<SubscriptionTree::Node*>> groups;
+        for (SubscriptionTree::Node* node : siblings) {
+          for (std::size_t k = 0; k < node->xpe.size(); ++k) {
+            if (node->xpe.step(k).unconstrained_wildcard()) continue;
+            groups[masked_signature(node->xpe, k)].push_back(node);
+          }
+        }
+        // Prefer the largest group.
+        std::vector<SubscriptionTree::Node*>* best = nullptr;
+        for (auto& [sig, members] : groups) {
+          (void)sig;
+          if (members.size() >= 2 && (!best || members.size() > best->size())) {
+            best = &members;
+          }
+        }
+        if (best) {
+          std::vector<Xpe> xpes;
+          for (auto* n : *best) xpes.push_back(n->xpe);
+          if (auto merger = merge_one_difference(xpes)) {
+            if (try_apply(tree, parent, *best, *merger, report)) {
+              merged_something = any = true;
+              continue;
+            }
+          }
+        }
+      }
+
+      // ---- Rule 2: pairwise, same-length siblings.
+      if (options_.rule_two_differences && siblings.size() >= 2) {
+        bool applied = false;
+        for (std::size_t i = 0; i < siblings.size() && !applied; ++i) {
+          for (std::size_t j = i + 1; j < siblings.size() && !applied; ++j) {
+            auto merger =
+                merge_two_differences(siblings[i]->xpe, siblings[j]->xpe);
+            if (merger && try_apply(tree, parent, {siblings[i], siblings[j]},
+                                    *merger, report)) {
+              applied = true;
+            }
+          }
+        }
+        if (applied) {
+          merged_something = any = true;
+          continue;
+        }
+      }
+
+      // ---- Rule 3: general prefix-//-suffix merging.
+      if (options_.rule_general && siblings.size() >= 2) {
+        bool applied = false;
+        for (std::size_t i = 0; i < siblings.size() && !applied; ++i) {
+          for (std::size_t j = i + 1; j < siblings.size() && !applied; ++j) {
+            auto merger = merge_general(siblings[i]->xpe, siblings[j]->xpe,
+                                        options_.rule_general_min_common);
+            if (merger && try_apply(tree, parent, {siblings[i], siblings[j]},
+                                    *merger, report)) {
+              applied = true;
+            }
+          }
+        }
+        if (applied) {
+          merged_something = any = true;
+          continue;
+        }
+      }
+    }
+    return any;
+  };
+
+  // A merger may be adopted at an ancestor of the level that produced it,
+  // so instead of a recursive walk (whose child iterators a deeper merge
+  // would invalidate) each pass snapshots the node set by XPE, revalidates
+  // each entry, and repeats until nothing merges anywhere. Every applied
+  // merge strictly reduces the node count, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Xpe> keys;
+    tree.for_each(
+        [&](const SubscriptionTree::Node& node) { keys.push_back(node.xpe); });
+    if (merge_level(tree.root())) changed = true;
+    for (const Xpe& key : keys) {
+      SubscriptionTree::Node* node = tree.find(key);
+      if (!node) continue;  // merged away in the meantime
+      if (merge_level(node)) changed = true;
+    }
+  }
+  return report;
+}
+
+bool MergeEngine::try_apply(SubscriptionTree& tree,
+                            SubscriptionTree::Node* parent,
+                            const std::vector<SubscriptionTree::Node*>& nodes,
+                            const Xpe& merger, MergeReport& report) const {
+  // Safety gate 1: the sound covering algorithm must confirm the merger
+  // covers every original — guarantees no delivery is lost.
+  std::vector<Xpe> originals;
+  originals.reserve(nodes.size());
+  for (auto* n : nodes) {
+    if (!covers(merger, n->xpe)) return false;
+    originals.push_back(n->xpe);
+  }
+  // Safety gate 2: imperfectness within tolerance.
+  double degree = imperfect_degree(merger, originals);
+  if (degree > options_.max_imperfect_degree + 1e-12) return false;
+
+  SubscriptionTree::Node* node = tree.merge_children(parent, nodes, merger);
+  if (!node) return false;  // merger XPE already present elsewhere
+
+  MergeRecord record;
+  record.merger = merger;
+  record.originals = std::move(originals);
+  record.d_imperfect = degree;
+  report.nodes_removed += nodes.size() - 1;
+  report.merges.push_back(std::move(record));
+  return true;
+}
+
+}  // namespace xroute

@@ -1,0 +1,94 @@
+// XPE merging (paper §4.3).
+//
+// Siblings of the subscription tree with no covering relation can be
+// merged into one more general XPE, shrinking the routing table at the
+// cost of possible false positives inside the network. Three rules:
+//
+//   Rule 1 (one difference):   a/*/c/d , a/*/c/e          -> a/*/c/*
+//   Rule 2 (two differences):  /a/c/*/* , /a//c/*/c       -> /a//c/*/*
+//                              (differing elements -> '*',
+//                               differing / vs // operator -> '//')
+//   Rule 3 (general):          prefix XPE1 suffix , prefix XPE2 suffix
+//                                                         -> prefix // suffix
+//
+// The imperfect degree of a merger s over originals s1..sn,
+//     D_imperfect = |P(s) - U P(si)| / |P(s)|,
+// is computed against the DTD-derived path universe (paper: "if each
+// broker ... knows the DTD"). A merge is applied only when its degree is
+// within the configured tolerance (0 = perfect merging) AND the sound
+// covering algorithm confirms the merger covers every original — so an
+// applied merge can never lose deliveries.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dtd/universe.hpp"
+#include "index/subscription_tree.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+struct MergeOptions {
+  /// Maximum tolerated D_imperfect; 0 = perfect merging only.
+  double max_imperfect_degree = 0.0;
+  /// Enable the individual rules.
+  bool rule_one_difference = true;
+  bool rule_two_differences = true;
+  /// Rule 3 introduces the most false positives; the paper applies it only
+  /// "if most parts in two subscriptions are equal".
+  bool rule_general = false;
+  /// Rule 3 guard: minimum number of equal prefix+suffix steps.
+  std::size_t rule_general_min_common = 3;
+};
+
+/// One applied merge.
+struct MergeRecord {
+  Xpe merger;
+  std::vector<Xpe> originals;
+  double d_imperfect = 0.0;
+};
+
+struct MergeReport {
+  std::vector<MergeRecord> merges;
+  std::size_t nodes_removed = 0;  ///< originals removed minus mergers added
+};
+
+class MergeEngine {
+ public:
+  /// `universe` supplies P(·) counts for D_imperfect; without it (nullptr)
+  /// no merge can prove its degree and the engine merges nothing
+  /// (paper §4.3: the degree computation requires DTD knowledge).
+  MergeEngine(const PathUniverse* universe, MergeOptions options);
+
+  /// One merging pass over every sibling group of the tree ("we
+  /// periodically apply the merging rules on the subscription tree").
+  MergeReport run(SubscriptionTree& tree) const;
+
+  /// D_imperfect of `merger` w.r.t. `originals` over the universe.
+  double imperfect_degree(const Xpe& merger,
+                          const std::vector<Xpe>& originals) const;
+
+  // Rule constructors, exposed for unit tests. They return the merged XPE
+  // or nullopt when the rule does not apply.
+  static std::optional<Xpe> merge_one_difference(const std::vector<Xpe>& group);
+  static std::optional<Xpe> merge_two_differences(const Xpe& a, const Xpe& b);
+  static std::optional<Xpe> merge_general(const Xpe& a, const Xpe& b,
+                                          std::size_t min_common);
+
+ private:
+  /// Universe match bitset for an XPE, memoised.
+  const std::vector<bool>& match_bits(const Xpe& xpe) const;
+
+  /// Verifies safety gates and applies one merge; returns true on success.
+  bool try_apply(SubscriptionTree& tree, SubscriptionTree::Node* parent,
+                 const std::vector<SubscriptionTree::Node*>& nodes,
+                 const Xpe& merger, MergeReport& report) const;
+
+  const PathUniverse* universe_;
+  MergeOptions options_;
+  mutable std::unordered_map<Xpe, std::vector<bool>, XpeHash> bits_cache_;
+};
+
+}  // namespace xroute

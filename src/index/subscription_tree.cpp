@@ -1,0 +1,424 @@
+#include "index/subscription_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xroute {
+
+SubscriptionTree::SubscriptionTree() : SubscriptionTree(Options{}) {}
+
+SubscriptionTree::SubscriptionTree(Options options)
+    : options_(options), root_(std::make_unique<Node>()) {}
+
+SubscriptionTree::~SubscriptionTree() = default;
+
+namespace {
+
+/// Constant-time necessary condition for covers(c, x), used to prune the
+/// descent and sibling scans (the paper's §4.1 node properties: an
+/// anchored coverer must be anchored-compatible at position 0; a longer
+/// expression never covers a shorter one).
+bool may_cover(const Xpe& c, const Xpe& x) {
+  if (c.size() > x.size()) return false;
+  if (c.anchored()) {
+    // Positionwise coverage at the root is necessary for anchored
+    // coverers ("A relative XPE ... will never be inserted in a subtree
+    // rooted by an absolute XPE" is the contrapositive).
+    if (!x.anchored()) return false;
+    const Step& c0 = c.step(0);
+    const Step& x0 = x.step(0);
+    if (!c0.is_wildcard() && c0.name != x0.name) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SubscriptionTree::covers_cached(const Xpe& a, const Xpe& b) const {
+  ++comparisons_;
+  if (!may_cover(a, b)) return false;
+  return covers(a, b);
+}
+
+const SubscriptionTree::Node* SubscriptionTree::find(const Xpe& xpe) const {
+  auto it = by_xpe_.find(xpe);
+  return it == by_xpe_.end() ? nullptr : it->second;
+}
+
+SubscriptionTree::Node* SubscriptionTree::find(const Xpe& xpe) {
+  auto it = by_xpe_.find(xpe);
+  return it == by_xpe_.end() ? nullptr : it->second;
+}
+
+SubscriptionTree::InsertResult SubscriptionTree::insert(const Xpe& xpe,
+                                                        int hop) {
+  if (Node* existing = find(xpe)) {
+    InsertResult result;
+    existing->hops.insert(hop);
+    result.node = existing;
+    result.was_new = false;
+    result.covered_by_existing = existing->parent != root_.get() ||
+                                 !existing->super_sources.empty();
+    return result;
+  }
+  return insert_new(xpe, hop);
+}
+
+SubscriptionTree::InsertResult SubscriptionTree::insert_new(const Xpe& xpe,
+                                                            int hop) {
+  InsertResult result;
+  result.was_new = true;
+
+  // Descend to the deepest node covering the newcomer (paper Case 3).
+  Node* parent = root_.get();
+  while (true) {
+    Node* covering_child = nullptr;
+    for (const auto& child : parent->children) {
+      if (covers_cached(child->xpe, xpe)) {
+        covering_child = child.get();
+        break;
+      }
+    }
+    if (!covering_child) break;
+    parent = covering_child;
+  }
+
+  // Children of the insertion point that the newcomer covers move below it
+  // (paper Case 2, generalised to any number of covered siblings).
+  auto node = std::make_unique<Node>();
+  node->xpe = xpe;
+  node->hops.insert(hop);
+  Node* raw = node.get();
+
+  std::vector<std::unique_ptr<Node>> kept;
+  kept.reserve(parent->children.size());
+  for (auto& child : parent->children) {
+    if (covers_cached(xpe, child->xpe)) {
+      if (parent == root_.get()) result.now_covered.push_back(child->xpe);
+      child->parent = raw;
+      raw->children.push_back(std::move(child));
+    } else {
+      kept.push_back(std::move(child));
+    }
+  }
+  parent->children = std::move(kept);
+
+  raw->parent = parent;
+  parent->children.push_back(std::move(node));
+  by_xpe_.emplace(xpe, raw);
+  result.node = raw;
+  result.covered_by_existing = parent != root_.get();
+
+  if (options_.track_covered) {
+    // Search the rest of the tree for covering relations the tree shape
+    // cannot express; record them as super pointers (paper §4.1).
+    collect_covered_outside(xpe, raw, raw, &result.now_covered);
+    if (!raw->super_sources.empty()) result.covered_by_existing = true;
+  }
+  return result;
+}
+
+void SubscriptionTree::collect_covered_outside(const Xpe& xpe,
+                                               const Node* skip,
+                                               Node* origin_node,
+                                               std::vector<Xpe>* out) {
+  // Iterative DFS over the whole tree except `skip`'s subtree.
+  std::vector<Node*> stack;
+  for (auto& child : root_->children) {
+    if (child.get() != skip) stack.push_back(child.get());
+  }
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (covers_cached(xpe, node->xpe)) {
+      // The newcomer covers this top-of-covered-region node: shortcut via
+      // a super pointer; its subtree is covered transitively, so there is
+      // no need to descend.
+      origin_node->super.push_back(node);
+      node->super_sources.push_back(origin_node);
+      if (node->parent == root_.get()) out->push_back(node->xpe);
+      continue;
+    }
+    if (covers_cached(node->xpe, xpe)) {
+      // An additional coverer — but only outside the ancestor chain, where
+      // the tree edge already expresses the relation.
+      bool is_ancestor = false;
+      for (Node* walk = origin_node->parent; walk; walk = walk->parent) {
+        if (walk == node) {
+          is_ancestor = true;
+          break;
+        }
+      }
+      if (!is_ancestor) {
+        node->super.push_back(origin_node);
+        origin_node->super_sources.push_back(node);
+      }
+    }
+    for (auto& child : node->children) {
+      if (child.get() != skip) stack.push_back(child.get());
+    }
+  }
+}
+
+void SubscriptionTree::unlink_super(Node* node) {
+  for (Node* target : node->super) {
+    auto& sources = target->super_sources;
+    sources.erase(std::remove(sources.begin(), sources.end(), node),
+                  sources.end());
+  }
+  for (Node* source : node->super_sources) {
+    auto& supers = source->super;
+    supers.erase(std::remove(supers.begin(), supers.end(), node),
+                 supers.end());
+  }
+  node->super.clear();
+  node->super_sources.clear();
+}
+
+void SubscriptionTree::detach_node(Node* node) {
+  unlink_super(node);
+  Node* parent = node->parent;
+  // Splice children to the parent: covering is transitive, so the
+  // parent-covers-child invariant is preserved.
+  for (auto& child : node->children) {
+    child->parent = parent;
+  }
+  by_xpe_.erase(node->xpe);
+  auto& siblings = parent->children;
+  auto it = std::find_if(siblings.begin(), siblings.end(),
+                         [&](const auto& p) { return p.get() == node; });
+  // Steal the children before destroying the node.
+  std::vector<std::unique_ptr<Node>> orphans = std::move(node->children);
+  siblings.erase(it);
+  for (auto& orphan : orphans) siblings.push_back(std::move(orphan));
+}
+
+SubscriptionTree::Node* SubscriptionTree::adopt(Node* parent,
+                                                std::unique_ptr<Node> child) {
+  child->parent = parent;
+  Node* raw = child.get();
+  by_xpe_.emplace(raw->xpe, raw);
+  parent->children.push_back(std::move(child));
+  return raw;
+}
+
+SubscriptionTree::Node* SubscriptionTree::merge_children(
+    Node* parent, const std::vector<Node*>& originals, const Xpe& merger_xpe) {
+  if (find(merger_xpe) != nullptr) return nullptr;
+
+  // The merger is strictly more general than its originals and may escape
+  // the parent's coverage (e.g. a '//' introduced by the general rule):
+  // adopt it at the nearest ancestor that still covers it, preserving the
+  // parent-covers-child invariant the pruned matching relies on.
+  Node* adoption_parent = parent;
+  while (adoption_parent != root_.get() &&
+         !covers_cached(adoption_parent->xpe, merger_xpe)) {
+    adoption_parent = adoption_parent->parent;
+  }
+
+  auto merger = std::make_unique<Node>();
+  merger->xpe = merger_xpe;
+  merger->merger = true;
+  Node* raw = merger.get();
+
+  for (Node* original : originals) {
+    raw->hops.insert(original->hops.begin(), original->hops.end());
+    if (original->merger) {
+      raw->merged_from.insert(raw->merged_from.end(),
+                              original->merged_from.begin(),
+                              original->merged_from.end());
+    } else {
+      raw->merged_from.push_back(original->xpe);
+    }
+    // Super pointers FROM the original still denote covering (the merger
+    // is more general); re-home them unless the target is itself being
+    // merged away.
+    for (Node* target : original->super) {
+      if (std::find(originals.begin(), originals.end(), target) ==
+          originals.end()) {
+        raw->super.push_back(target);
+        auto& sources = target->super_sources;
+        sources.erase(std::remove(sources.begin(), sources.end(), original),
+                      sources.end());
+        target->super_sources.push_back(raw);
+      }
+    }
+    original->super.clear();
+    // Super pointers TO the original are dropped: their owners covered the
+    // original but need not cover the merger (paper §4.3).
+    for (Node* source : original->super_sources) {
+      auto& supers = source->super;
+      supers.erase(std::remove(supers.begin(), supers.end(), original),
+                   supers.end());
+    }
+    original->super_sources.clear();
+
+    // The originals' children become the merger's children.
+    for (auto& child : original->children) {
+      child->parent = raw;
+      raw->children.push_back(std::move(child));
+    }
+    original->children.clear();
+  }
+
+  // Remove the originals from the parent and the lookup map.
+  auto& siblings = parent->children;
+  for (Node* original : originals) {
+    by_xpe_.erase(original->xpe);
+    auto it = std::find_if(siblings.begin(), siblings.end(),
+                           [&](const auto& p) { return p.get() == original; });
+    siblings.erase(it);
+  }
+
+  Node* adopted = adopt(adoption_parent, std::move(merger));
+
+  // Like insertion Case 2: siblings the merger covers move below it.
+  std::vector<std::unique_ptr<Node>> kept;
+  kept.reserve(adoption_parent->children.size());
+  for (auto& child : adoption_parent->children) {
+    if (child.get() != adopted && covers_cached(adopted->xpe, child->xpe)) {
+      child->parent = adopted;
+      adopted->children.push_back(std::move(child));
+    } else {
+      kept.push_back(std::move(child));
+    }
+  }
+  adoption_parent->children = std::move(kept);
+
+  // A super target that ended up inside the merger's own subtree (it was a
+  // child of another original, or a covered sibling) is now expressed by
+  // tree edges: drop the pointer.
+  auto in_subtree = [&](Node* target) {
+    for (Node* walk = target; walk; walk = walk->parent) {
+      if (walk == adopted) return true;
+    }
+    return false;
+  };
+  for (auto it = adopted->super.begin(); it != adopted->super.end();) {
+    if (in_subtree(*it)) {
+      auto& sources = (*it)->super_sources;
+      sources.erase(std::remove(sources.begin(), sources.end(), adopted),
+                    sources.end());
+      it = adopted->super.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  return adopted;
+}
+
+bool SubscriptionTree::remove(const Xpe& xpe, int hop) {
+  Node* node = find(xpe);
+  if (!node || node->hops.erase(hop) == 0) return false;
+  if (node->hops.empty()) detach_node(node);
+  return true;
+}
+
+bool SubscriptionTree::erase(const Xpe& xpe) {
+  Node* node = find(xpe);
+  if (!node) return false;
+  detach_node(node);
+  return true;
+}
+
+bool SubscriptionTree::covered(const Xpe& xpe) const {
+  std::vector<const Node*> stack;
+  for (const auto& child : root_->children) stack.push_back(child.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!(node->xpe == xpe) && covers_cached(node->xpe, xpe)) return true;
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return false;
+}
+
+std::set<int> SubscriptionTree::match_hops(const Path& path) const {
+  std::set<int> hops;
+  for (const Node* node : match_nodes(path)) {
+    hops.insert(node->hops.begin(), node->hops.end());
+  }
+  return hops;
+}
+
+std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes(
+    const Path& path) const {
+  std::vector<const Node*> out;
+  std::vector<const Node*> stack;
+  for (const auto& child : root_->children) stack.push_back(child.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++comparisons_;
+    if (!matches(path, node->xpe)) {
+      // The node covers its whole subtree: nothing below can match either.
+      continue;
+    }
+    out.push_back(node);
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return out;
+}
+
+void SubscriptionTree::for_each(
+    const std::function<void(const Node&)>& fn) const {
+  std::vector<const Node*> stack;
+  for (const auto& child : root_->children) stack.push_back(child.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    fn(*node);
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+}
+
+std::string SubscriptionTree::validate() const {
+  std::size_t seen = 0;
+  std::vector<const Node*> stack;
+  for (const auto& child : root_->children) {
+    if (child->parent != root_.get()) return "root child with bad parent link";
+    stack.push_back(child.get());
+  }
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++seen;
+    auto it = by_xpe_.find(node->xpe);
+    if (it == by_xpe_.end() || it->second != node) {
+      return "node missing from lookup map: " + node->xpe.to_string();
+    }
+    if (node->hops.empty() && !node->merger) {
+      return "non-merger node without hops: " + node->xpe.to_string();
+    }
+    for (const Node* target : node->super) {
+      // A super target must be covered and must not be a descendant
+      // (otherwise the pointer is redundant with the tree edge).
+      if (!covers(node->xpe, target->xpe)) {
+        return "super pointer without covering: " + node->xpe.to_string() +
+               " -> " + target->xpe.to_string();
+      }
+      for (const Node* walk = target; walk; walk = walk->parent) {
+        if (walk == node) {
+          return "super pointer into own subtree: " + node->xpe.to_string();
+        }
+      }
+    }
+    for (const auto& child : node->children) {
+      if (child->parent != node) {
+        return "bad parent link under " + node->xpe.to_string();
+      }
+      if (!covers(node->xpe, child->xpe)) {
+        std::ostringstream os;
+        os << "parent does not cover child: " << node->xpe.to_string()
+           << " !>= " << child->xpe.to_string();
+        return os.str();
+      }
+      stack.push_back(child.get());
+    }
+  }
+  if (seen != by_xpe_.size()) return "lookup map size mismatch";
+  return "";
+}
+
+}  // namespace xroute

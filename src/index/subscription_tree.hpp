@@ -1,0 +1,158 @@
+// Subscription tree (paper §4.1): the covering index.
+//
+// Subscriptions are kept in a tree in which every node's XPE covers all
+// XPEs in its subtree. Because covering is only a partial order, a node may
+// be covered by subscriptions outside its ancestor chain; those extra
+// covering relations are recorded as *super pointers*, making the overall
+// structure a DAG. The tree supports:
+//
+//   * insert     — the paper's three-case insertion (new sibling / new
+//                  inner node above covered siblings / descend into the
+//                  covering child), returning what covering-based routing
+//                  needs: whether the newcomer is covered, and which
+//                  now-covered subscriptions should be unsubscribed
+//                  upstream.
+//   * remove     — unsubscription: children splice to the grandparent
+//                  (covering is transitive, so the invariant holds).
+//   * match      — publication matching with subtree pruning: if a path
+//                  does not match a node it cannot match anything the node
+//                  covers, so the whole subtree is skipped.
+//   * merging support — nodes carry merger metadata (see merging.h).
+//
+// Each node carries the set of last hops the subscription was received
+// from (the PRT payload), so the tree doubles as the publication routing
+// table.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "match/covering.hpp"
+#include "match/pub_match.hpp"
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+class SubscriptionTree {
+ public:
+  struct Node {
+    Xpe xpe;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+    /// Covering shortcuts to nodes outside this node's subtree.
+    std::vector<Node*> super;
+    /// Nodes holding a super pointer to this node (for O(1) unlinking).
+    std::vector<Node*> super_sources;
+    /// Last hops (destinations) this subscription was received from.
+    std::set<int> hops;
+    /// Merger bookkeeping (paper §4.3).
+    bool merger = false;
+    std::vector<Xpe> merged_from;
+  };
+
+  struct InsertResult {
+    Node* node = nullptr;
+    /// False if the XPE was already present (hop added to existing node).
+    bool was_new = false;
+    /// True if some *other* existing subscription covers the new one — the
+    /// covering-routing signal not to forward it.
+    bool covered_by_existing = false;
+    /// Existing subscriptions the newcomer covers that were previously
+    /// top-level w.r.t. it (candidates for upstream unsubscription).
+    std::vector<Xpe> now_covered;
+  };
+
+  SubscriptionTree();
+  ~SubscriptionTree();
+  SubscriptionTree(const SubscriptionTree&) = delete;
+  SubscriptionTree& operator=(const SubscriptionTree&) = delete;
+
+  struct Options {
+    /// When true, insertion searches the whole tree for subscriptions the
+    /// newcomer covers (needed for upstream unsubscription and super
+    /// pointers). When false, only covered siblings along the descent are
+    /// reported — cheaper, still delivery-correct.
+    bool track_covered = true;
+  };
+  explicit SubscriptionTree(Options options);
+
+  /// Inserts `xpe` received from `hop`.
+  InsertResult insert(const Xpe& xpe, int hop);
+
+  /// Removes `hop` from the subscription; the node disappears when no hop
+  /// remains. Returns true if the subscription existed with that hop.
+  bool remove(const Xpe& xpe, int hop);
+
+  /// Removes the subscription entirely (all hops). Returns true if found.
+  bool erase(const Xpe& xpe);
+
+  /// True if some subscription other than `xpe` itself covers `xpe`.
+  bool covered(const Xpe& xpe) const;
+
+  /// Destination hops of every subscription matching `path` (deduplicated).
+  std::set<int> match_hops(const Path& path) const;
+
+  /// Matching subscriptions themselves (used by edge delivery and tests).
+  std::vector<const Node*> match_nodes(const Path& path) const;
+
+  /// Number of subscriptions stored — the paper's "routing table size".
+  std::size_t size() const { return by_xpe_.size(); }
+  bool empty() const { return by_xpe_.empty(); }
+
+  const Node* find(const Xpe& xpe) const;
+  Node* find(const Xpe& xpe);
+
+  /// Depth-first visit of every node (parents before children).
+  void for_each(const std::function<void(const Node&)>& fn) const;
+
+  /// Comparison counter: number of covers()/matches() evaluations since
+  /// construction; the processing-time experiments report it.
+  std::size_t comparisons() const { return comparisons_; }
+
+  /// Test hook: checks all structural invariants, returning a description
+  /// of the first violation or an empty string if consistent.
+  std::string validate() const;
+
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+
+  /// Internal/merging API: detaches `node` from the tree, splicing its
+  /// children to its parent. The node is destroyed.
+  void detach_node(Node* node);
+
+  /// Internal/merging API: adopts `child` (currently parentless, newly
+  /// created) under `parent`. Registers the XPE in the lookup map.
+  Node* adopt(Node* parent, std::unique_ptr<Node> child);
+
+  /// Merging support (paper §4.3): replaces `originals` (children of
+  /// `parent`) with a single merger node carrying `merger_xpe`. The
+  /// originals' children become the merger's children; hops and
+  /// merged_from lists are unioned; super pointers to the originals are
+  /// dropped (the pointer owners need not cover the more general merger),
+  /// super pointers from the originals move to the merger. Returns the
+  /// merger node, or nullptr if `merger_xpe` already exists in the tree
+  /// (the merge is skipped).
+  Node* merge_children(Node* parent, const std::vector<Node*>& originals,
+                       const Xpe& merger_xpe);
+
+ private:
+  InsertResult insert_new(const Xpe& xpe, int hop);
+  void collect_covered_outside(const Xpe& xpe, const Node* skip,
+                               Node* origin_node,
+                               std::vector<Xpe>* out);
+  bool covers_cached(const Xpe& a, const Xpe& b) const;
+  void unlink_super(Node* node);
+
+  Options options_;
+  std::unique_ptr<Node> root_;  ///< virtual root; xpe empty, matches all
+  std::unordered_map<Xpe, Node*, XpeHash> by_xpe_;
+  mutable std::size_t comparisons_ = 0;
+};
+
+}  // namespace xroute

@@ -1,0 +1,144 @@
+#include "match/adv_automaton.hpp"
+
+#include <set>
+
+#include "match/rules.hpp"
+
+namespace xroute {
+
+int AdvAutomaton::new_state() {
+  labeled_.emplace_back();
+  eps_.emplace_back();
+  return static_cast<int>(labeled_.size()) - 1;
+}
+
+int AdvAutomaton::compile(const std::vector<AdvNode>& nodes, int from) {
+  int current = from;
+  for (const AdvNode& node : nodes) {
+    if (node.kind == AdvNode::Kind::kElement) {
+      int next = new_state();
+      labeled_[current].emplace_back(node.name, next);
+      current = next;
+    } else {
+      int entry = current;
+      int exit = compile(node.children, entry);
+      // One-or-more: after a full traversal of the group body, loop back
+      // for another repetition or continue past the group.
+      eps_[exit].push_back(entry);
+      current = exit;
+    }
+  }
+  return current;
+}
+
+AdvAutomaton::AdvAutomaton(const Advertisement& a) {
+  start_ = new_state();
+  accept_ = compile(a.nodes(), start_);
+
+  // Reverse reachability to accept over all edges.
+  std::vector<std::vector<int>> reverse(labeled_.size());
+  for (std::size_t q = 0; q < labeled_.size(); ++q) {
+    for (const auto& [label, to] : labeled_[q]) {
+      (void)label;
+      reverse[to].push_back(static_cast<int>(q));
+    }
+    for (int to : eps_[q]) reverse[to].push_back(static_cast<int>(q));
+  }
+  can_reach_accept_.assign(labeled_.size(), false);
+  std::vector<int> frontier{accept_};
+  can_reach_accept_[accept_] = true;
+  while (!frontier.empty()) {
+    int q = frontier.back();
+    frontier.pop_back();
+    for (int p : reverse[q]) {
+      if (!can_reach_accept_[p]) {
+        can_reach_accept_[p] = true;
+        frontier.push_back(p);
+      }
+    }
+  }
+}
+
+std::vector<int> AdvAutomaton::closure(const std::vector<int>& states) const {
+  std::vector<bool> seen(labeled_.size(), false);
+  std::vector<int> out;
+  std::vector<int> frontier;
+  for (int q : states) {
+    if (!seen[q]) {
+      seen[q] = true;
+      out.push_back(q);
+      frontier.push_back(q);
+    }
+  }
+  while (!frontier.empty()) {
+    int q = frontier.back();
+    frontier.pop_back();
+    for (int to : eps_[q]) {
+      if (!seen[to]) {
+        seen[to] = true;
+        out.push_back(to);
+        frontier.push_back(to);
+      }
+    }
+  }
+  return out;
+}
+
+bool AdvAutomaton::overlaps(const Xpe& s) const {
+  const std::size_t k = s.size();
+  // Product states (q, i): advertisement NFA state q, i = XPE steps already
+  // embedded. Success when i == k and accept is reachable from q (the
+  // remaining expansion positions are unconstrained under prefix
+  // semantics).
+  std::set<std::pair<int, std::size_t>> visited;
+  std::vector<std::pair<int, std::size_t>> frontier;
+
+  auto push = [&](int q, std::size_t i) {
+    if (visited.emplace(q, i).second) frontier.emplace_back(q, i);
+  };
+  for (int q : closure({start_})) push(q, 0);
+
+  while (!frontier.empty()) {
+    auto [q, i] = frontier.back();
+    frontier.pop_back();
+    if (i == k) {
+      if (can_reach_accept_[q]) return true;
+      continue;
+    }
+    const Step& step = s.step(i);
+    for (const auto& [label, to] : labeled_[q]) {
+      if (step.axis == Axis::kDescendant) {
+        // The descendant operator may skip this expansion position.
+        for (int c : closure({to})) push(c, i);
+      }
+      if (elements_overlap(label, step.name)) {
+        for (int c : closure({to})) push(c, i + 1);
+      }
+    }
+  }
+  return false;
+}
+
+bool AdvAutomaton::accepts_path(const Path& p) const {
+  std::vector<int> current = closure({start_});
+  for (const std::string& element : p.elements) {
+    std::vector<int> next;
+    std::vector<bool> seen(labeled_.size(), false);
+    for (int q : current) {
+      for (const auto& [label, to] : labeled_[q]) {
+        if ((label == kWildcard || label == element) && !seen[to]) {
+          seen[to] = true;
+          next.push_back(to);
+        }
+      }
+    }
+    if (next.empty()) return false;
+    current = closure(next);
+  }
+  for (int q : current) {
+    if (q == accept_) return true;
+  }
+  return false;
+}
+
+}  // namespace xroute

@@ -1,0 +1,55 @@
+// Exact matcher for arbitrary (possibly recursive) advertisements.
+//
+// An advertisement with one-or-more groups denotes a regular language of
+// element paths. Compiling it to a small NFA gives exact answers for
+//  * overlap with any XPE in the {/, //, *} fragment (product-reachability
+//    between the advertisement NFA and the XPE's step automaton), and
+//  * membership of a concrete path in P(a) (plain NFA simulation).
+//
+// This generalises the paper's AbsExprAndSimRecAdv / SerRecAdv / EmbRecAdv
+// family to every group shape and every XPE type; the literal Fig. 3
+// algorithm lives in rec_adv_match.* and is cross-checked against this one
+// in the tests.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adv/advertisement.hpp"
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+class AdvAutomaton {
+ public:
+  explicit AdvAutomaton(const Advertisement& a);
+
+  /// P(a) ∩ P(s) ≠ ∅ — exact for every XPE in the supported fragment.
+  bool overlaps(const Xpe& s) const;
+
+  /// p ∈ P(a): the path instantiates some complete expansion (same length,
+  /// positionwise wildcard-compatible).
+  bool accepts_path(const Path& p) const;
+
+  std::size_t state_count() const { return labeled_.size(); }
+
+ private:
+  int new_state();
+  int compile(const std::vector<AdvNode>& nodes, int from);
+  std::vector<int> closure(const std::vector<int>& states) const;
+
+  /// labeled_[q] = list of (element-or-wildcard label, target state).
+  std::vector<std::vector<std::pair<std::string, int>>> labeled_;
+  /// eps_[q] = epsilon targets (group repetition back-edges).
+  std::vector<std::vector<int>> eps_;
+  int start_ = 0;
+  int accept_ = 0;
+  /// can_reach_accept_[q]: accept reachable from q via any edges. Used for
+  /// prefix semantics: once the XPE is fully embedded, the advertisement
+  /// may finish its expansion with unconstrained positions.
+  std::vector<bool> can_reach_accept_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,115 @@
+#include "match/adv_match.hpp"
+
+#include "match/rules.hpp"
+
+namespace xroute {
+
+bool kmp_contains(const std::vector<std::string>& text,
+                  const std::vector<std::string>& pattern) {
+  if (pattern.empty()) return true;
+  if (pattern.size() > text.size()) return false;
+  // Failure function.
+  std::vector<std::size_t> fail(pattern.size(), 0);
+  for (std::size_t i = 1; i < pattern.size(); ++i) {
+    std::size_t j = fail[i - 1];
+    while (j > 0 && pattern[i] != pattern[j]) j = fail[j - 1];
+    if (pattern[i] == pattern[j]) ++j;
+    fail[i] = j;
+  }
+  // Scan.
+  std::size_t j = 0;
+  for (const std::string& t : text) {
+    while (j > 0 && t != pattern[j]) j = fail[j - 1];
+    if (t == pattern[j]) ++j;
+    if (j == pattern.size()) return true;
+  }
+  return false;
+}
+
+bool abs_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s) {
+  // Publications in P(a) have exactly |adv| elements, so an XPE with more
+  // steps cannot be satisfied (paper §3.2).
+  if (s.size() > adv.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!elements_overlap(adv[i], s.step(i).name)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool window_overlaps(const std::vector<std::string>& adv, const Xpe& s,
+                     std::size_t offset) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!elements_overlap(adv[offset + i], s.step(i).name)) return false;
+  }
+  return true;
+}
+
+bool any_wildcard(const std::vector<std::string>& v) {
+  for (const std::string& e : v) {
+    if (e == kWildcard) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool rel_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s,
+                      SearchStrategy strategy) {
+  if (s.size() > adv.size()) return false;
+  if (strategy == SearchStrategy::kKmpWhenSound && !s.has_wildcard() &&
+      !any_wildcard(adv)) {
+    // With no wildcard on either side the overlap relation degenerates to
+    // equality and KMP is an exact substring search.
+    std::vector<std::string> pattern;
+    pattern.reserve(s.size());
+    for (const Step& step : s.steps()) pattern.push_back(step.name);
+    return kmp_contains(adv, pattern);
+  }
+  for (std::size_t j = 0; j + s.size() <= adv.size(); ++j) {
+    if (window_overlaps(adv, s, j)) return true;
+  }
+  return false;
+}
+
+bool des_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s) {
+  if (s.size() > adv.size()) return false;
+  std::size_t pos = 0;
+  for (const Segment& seg : s.segments()) {
+    // Find the earliest window (at `pos` or later; exactly `pos` if the
+    // segment is anchored) where every position overlaps.
+    bool placed = false;
+    for (std::size_t j = pos; j + seg.length <= adv.size(); ++j) {
+      bool fits = true;
+      for (std::size_t i = 0; i < seg.length; ++i) {
+        if (!elements_overlap(adv[j + i], s.step(seg.first + i).name)) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        pos = j + seg.length;
+        placed = true;
+        break;
+      }
+      if (seg.anchored) break;  // anchored segment may only sit at pos 0
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+bool nonrec_adv_overlaps(const std::vector<std::string>& adv, const Xpe& s,
+                         SearchStrategy strategy) {
+  if (s.empty()) return true;
+  if (s.is_absolute_simple()) return abs_expr_and_adv(adv, s);
+  // A single floating segment is the "relative simple" case; everything
+  // else contains a descendant operator in the middle.
+  if (!s.anchored() && s.segments().size() == 1) {
+    return rel_expr_and_adv(adv, s, strategy);
+  }
+  return des_expr_and_adv(adv, s);
+}
+
+}  // namespace xroute

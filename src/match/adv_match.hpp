@@ -1,0 +1,56 @@
+// Matching of subscriptions against non-recursive advertisements
+// (paper §3.2): decides P(a) ∩ P(s) ≠ ∅ for an advertisement
+// a = /t1/.../tn (elements or wildcards, no '//') and an XPE s.
+//
+// All three algorithms are exact for this advertisement class:
+//  * AbsExprAndAdv — absolute simple XPEs: positionwise overlap after the
+//    length check (an XPE longer than the advertisement can never match,
+//    because publications in P(a) have exactly the advertisement's length).
+//  * RelExprAndAdv — relative simple XPEs: window search. The paper
+//    suggests KMP; KMP shift tables are only sound here when neither side
+//    contains wildcards (see DESIGN.md), so kKmpWhenSound applies KMP in
+//    that case and falls back to the naive scan otherwise.
+//  * DesExprAndAdv — XPEs with descendant operators: greedy earliest
+//    embedding of the '//'-free segments (complete because positions are
+//    constrained independently).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+/// Window-search strategy for RelExprAndAdv / RelSimCov. The paper
+/// proposes KMP; our ablation (bench/ablation_micro) measures the naive
+/// scan ~6x faster at the paper's length cap of 10 — the failure-table
+/// setup dominates at these sizes — so kNaive is the default and
+/// kKmpWhenSound is kept for fidelity and for longer expressions.
+enum class SearchStrategy : unsigned char {
+  kNaive,         ///< O(n·k) scan, always sound
+  kKmpWhenSound,  ///< KMP when provably sound for the relation, else naive
+};
+
+/// KMP substring search on element-name sequences under plain equality.
+/// Exposed for the covering algorithms and the ablation bench.
+bool kmp_contains(const std::vector<std::string>& text,
+                  const std::vector<std::string>& pattern);
+
+/// Paper's AbsExprAndAdv: `s` must be an absolute simple XPE.
+bool abs_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s);
+
+/// Paper's RelExprAndAdv: `s` must be a relative (or '//'-led) simple XPE,
+/// i.e. a single floating segment.
+bool rel_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s,
+                      SearchStrategy strategy = SearchStrategy::kNaive);
+
+/// Paper's DesExprAndAdv: XPEs containing descendant operators.
+bool des_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s);
+
+/// Dispatcher: routes `s` to the appropriate algorithm above.
+bool nonrec_adv_overlaps(
+    const std::vector<std::string>& adv, const Xpe& s,
+    SearchStrategy strategy = SearchStrategy::kNaive);
+
+}  // namespace xroute

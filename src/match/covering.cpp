@@ -1,0 +1,139 @@
+#include "match/covering.hpp"
+
+#include "match/rules.hpp"
+
+namespace xroute {
+
+bool abs_sim_cov(const Xpe& s1, const Xpe& s2) {
+  // A longer (or equal-length, more constrained) expression selects a
+  // smaller publication set; s1 must be a prefix-coverer of s2.
+  if (s1.size() > s2.size()) return false;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    if (!step_covers(s1.step(i), s2.step(i))) return false;
+  }
+  return true;
+}
+
+bool rel_sim_cov(const Xpe& s1, const Xpe& s2, SearchStrategy strategy) {
+  if (s1.size() > s2.size()) return false;
+  if (strategy == SearchStrategy::kKmpWhenSound && !s1.has_wildcard() &&
+      !s1.has_predicates() && !s2.has_predicates()) {
+    // With a wildcard-free coverer the covering rule is plain equality
+    // ('*' on the covered side is never covered by a concrete name, i.e.
+    // behaves as just another symbol), so KMP is exact.
+    std::vector<std::string> pattern, text;
+    pattern.reserve(s1.size());
+    text.reserve(s2.size());
+    for (const Step& step : s1.steps()) pattern.push_back(step.name);
+    for (const Step& step : s2.steps()) text.push_back(step.name);
+    return kmp_contains(text, pattern);
+  }
+  for (std::size_t j = 0; j + s1.size() <= s2.size(); ++j) {
+    bool ok = true;
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+      if (!step_covers(s1.step(i), s2.step(j + i))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Can segment `seg` of s1 be placed over s2's steps starting at `j`?
+/// Implements the covering window rule including the paper's special case:
+/// a '//' boundary inside the window may only be crossed if every
+/// remaining position of the segment is a wildcard (wildcards cover both
+/// the gap elements the boundary implies and any constrained positions
+/// they spill onto).
+bool segment_placeable(const Xpe& s1, const Segment& seg, const Xpe& s2,
+                       std::size_t j) {
+  if (j + seg.length > s2.size()) return false;
+  for (std::size_t i = 0; i < seg.length; ++i) {
+    const std::size_t q = j + i;
+    if (i >= 1 && s2.step(q).axis == Axis::kDescendant) {
+      // Boundary crossing: the rest of the segment must be unconstrained
+      // wildcards (a predicated wildcard does not match arbitrary gap
+      // elements).
+      for (std::size_t r = i; r < seg.length; ++r) {
+        if (!s1.step(seg.first + r).unconstrained_wildcard()) return false;
+      }
+      return true;
+    }
+    if (!step_covers(s1.step(seg.first + i), s2.step(q))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Backtracking placement of s1's segments (from `seg_index` on) over s2's
+/// steps at positions >= min_pos.
+bool place_segments(const Xpe& s1, const std::vector<Segment>& segs,
+                    std::size_t seg_index, const Xpe& s2,
+                    std::size_t min_pos) {
+  if (seg_index == segs.size()) return true;
+  const Segment& seg = segs[seg_index];
+  if (seg.anchored) {
+    // Only the first segment of an anchored s1 is anchored: it must sit at
+    // the very start of (an equally anchored) s2.
+    return segment_placeable(s1, seg, s2, 0) &&
+           place_segments(s1, segs, seg_index + 1, s2, seg.length);
+  }
+  for (std::size_t j = min_pos; j + seg.length <= s2.size(); ++j) {
+    if (segment_placeable(s1, seg, s2, j) &&
+        place_segments(s1, segs, seg_index + 1, s2, j + seg.length)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool des_cov(const Xpe& s1, const Xpe& s2) {
+  if (s1.anchored() && !s2.anchored()) return false;
+  if (s1.size() > s2.size()) return false;
+  return place_segments(s1, s1.segments(), 0, s2, 0);
+}
+
+bool covers(const Xpe& s1, const Xpe& s2, SearchStrategy strategy) {
+  if (s1.empty() || s2.empty()) return false;
+  if (s1.anchored() && !s2.anchored()) {
+    // An anchored coverer constrains the root; a floating expression does
+    // not, so its publication set cannot be contained (paper §4.2).
+    return false;
+  }
+  // "Simple" = a single '//'-free run of steps (a leading '//' or relative
+  // start only floats the run; windows inside the expression stay
+  // contiguous, so the simple algorithms apply).
+  auto single_segment = [](const Xpe& x) {
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      if (x.step(i).axis == Axis::kDescendant) return false;
+    }
+    return true;
+  };
+  const bool s1_simple = single_segment(s1);
+  const bool s2_simple = single_segment(s2);
+  if (s1_simple && s2_simple) {
+    if (s1.anchored()) return abs_sim_cov(s1, s2);  // s2 anchored (checked)
+    return rel_sim_cov(s1, s2, strategy);
+  }
+  return des_cov(s1, s2);
+}
+
+bool adv_covers(const std::vector<std::string>& a1,
+                const std::vector<std::string>& a2) {
+  // Advertised publications have exactly the advertisement's length, so
+  // containment is only possible between equal-length advertisements.
+  if (a1.size() != a2.size()) return false;
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    if (!element_covers(a1[i], a2[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xroute

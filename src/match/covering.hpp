@@ -1,0 +1,49 @@
+// Covering (containment) algorithms for XPEs (paper §4.2).
+//
+// covers(s1, s2) decides P(s1) ⊇ P(s2). Containment for the full
+// XP{/,//,*} fragment is coNP-complete (Miklau & Suciu), so the paper's
+// PTIME algorithms — which we implement — are *sound* (a reported covering
+// always holds; verified against a brute-force oracle in the property
+// tests) but may miss rare coverings mixing '*' and '//'. Missing a
+// covering only costs routing-table compaction, never delivery
+// correctness.
+//
+//  * AbsSimCov — both absolute simple: length check + positionwise
+//    covering rule.
+//  * RelSimCov — relative simple coverer: window search (KMP when the
+//    coverer has no wildcard, in which case the covering relation is plain
+//    equality with '*' acting as an ordinary symbol on the covered side).
+//  * DesCov    — descendant operators on either side: exhaustive ordered
+//    placement of the coverer's segments over the covered expression's
+//    steps, with the paper's special case allowing a trailing-wildcard
+//    run to cross a '//' boundary.
+#pragma once
+
+#include "match/adv_match.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+/// Both `s1` and `s2` must be absolute simple XPEs.
+bool abs_sim_cov(const Xpe& s1, const Xpe& s2);
+
+/// `s1` must be a relative (or '//'-led) simple XPE — a single floating
+/// segment; `s2` must be simple (no internal '//').
+bool rel_sim_cov(const Xpe& s1, const Xpe& s2,
+                 SearchStrategy strategy = SearchStrategy::kNaive);
+
+/// General algorithm: either side may contain descendant operators.
+bool des_cov(const Xpe& s1, const Xpe& s2);
+
+/// Dispatcher: does `s1` cover `s2` (P(s1) ⊇ P(s2))? Routes to the
+/// cheapest applicable algorithm above.
+bool covers(const Xpe& s1, const Xpe& s2,
+            SearchStrategy strategy = SearchStrategy::kNaive);
+
+/// Covering between two non-recursive advertisements (paper §4.2: "the
+/// same with the covering detection for subscriptions"): P(a1) ⊇ P(a2)
+/// requires equal lengths and positionwise covering.
+bool adv_covers(const std::vector<std::string>& a1,
+                const std::vector<std::string>& a2);
+
+}  // namespace xroute

@@ -1,0 +1,79 @@
+#include "match/pub_match.hpp"
+
+namespace xroute {
+
+namespace {
+
+/// Evaluates a step's predicates against the path node's payload. A
+/// predicate on a structural-only path (no annotations) fails: nothing is
+/// known to satisfy it.
+bool predicates_hold(const Step& step, const Path& p, std::size_t position) {
+  if (step.predicates.empty()) return true;
+  const PathNodeData* data = p.node_data(position);
+  if (!data) return false;
+  for (const Predicate& pred : step.predicates) {
+    if (pred.target == Predicate::Target::kAttribute) {
+      auto it = data->attributes.find(pred.name);
+      if (it == data->attributes.end()) return false;
+      if (pred.op != Predicate::Op::kExists &&
+          !compare_values(it->second, pred.op, pred.value)) {
+        return false;
+      }
+    } else {  // text()
+      if (!compare_values(data->text, pred.op, pred.value)) return false;
+    }
+  }
+  return true;
+}
+
+/// Does the '//'-free segment starting at step `first` (length `len`) of
+/// `s` fit the path at offset `j`?
+bool segment_fits(const Path& p, const Xpe& s, std::size_t first,
+                  std::size_t len, std::size_t j) {
+  if (j + len > p.size()) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    const Step& step = s.step(first + i);
+    if (!step.is_wildcard() && step.name != p[j + i]) return false;
+    if (!predicates_hold(step, p, j + i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool matches(const Path& p, const Xpe& s) {
+  if (s.empty()) return true;
+  // Iterate the '//'-free segments in place (building the segment vector
+  // allocates; this is the hottest function in the router).
+  std::size_t pos = 0;
+  std::size_t first = 0;
+  const std::size_t n = s.size();
+  while (first < n) {
+    std::size_t last = first + 1;
+    while (last < n && s.step(last).axis == Axis::kChild) ++last;
+    const std::size_t length = last - first;
+    const bool anchored = (first == 0 && s.step(0).axis == Axis::kChild);
+
+    if (anchored) {
+      if (!segment_fits(p, s, first, length, 0)) return false;
+      pos = length;
+    } else {
+      // Floating segment: greedy earliest occurrence at or after `pos`.
+      // Greedy is complete because the path is concrete — taking the
+      // earliest occurrence only leaves more room for later segments.
+      bool placed = false;
+      for (std::size_t j = pos; j + length <= p.size(); ++j) {
+        if (segment_fits(p, s, first, length, j)) {
+          pos = j + length;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) return false;
+    }
+    first = last;
+  }
+  return true;
+}
+
+}  // namespace xroute

@@ -1,0 +1,20 @@
+// Publication-vs-subscription matching: does a concrete root-to-leaf path
+// satisfy an XPE?
+//
+// Semantics: the XPE's steps embed into the path — a child step consumes
+// the immediately next position, a descendant step may first skip any
+// number of positions, '*' matches any element. Standard XPath
+// node-selection ("prefix") semantics: the XPE need not consume the whole
+// path. An anchored XPE ("/a…") must start at the root.
+#pragma once
+
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+/// True if path `p` matches subscription `s`. Exact (greedy segment
+/// embedding, which is complete because the path is concrete).
+bool matches(const Path& p, const Xpe& s);
+
+}  // namespace xroute

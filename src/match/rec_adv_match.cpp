@@ -1,0 +1,112 @@
+#include "match/rec_adv_match.hpp"
+
+#include <algorithm>
+
+#include "match/adv_automaton.hpp"
+#include "match/adv_match.hpp"
+#include "match/rules.hpp"
+
+namespace xroute {
+
+bool abs_expr_and_sim_rec_adv(const std::vector<std::string>& a1,
+                              const std::vector<std::string>& a2,
+                              const std::vector<std::string>& a3,
+                              const Xpe& s) {
+  const std::size_t n1 = a1.size(), n2 = a2.size(), n3 = a3.size();
+  const std::size_t k = s.size();
+  if (n2 == 0) return abs_expr_and_adv(a1, s);  // degenerate
+
+  // Position i of the expansion a1 a2^r a3.
+  auto element_at = [&](std::size_t r, std::size_t i) -> const std::string& {
+    if (i < n1) return a1[i];
+    if (i < n1 + r * n2) return a2[(i - n1) % n2];
+    return a3[i - n1 - r * n2];
+  };
+
+  // Once n1 + r*n2 >= k the first k positions no longer depend on r, so
+  // trying r beyond that point is pointless (paper Fig. 3 lines 4-6 bound
+  // the repetition count the same way).
+  std::size_t r_max = 1;
+  if (k > n1) r_max = std::max<std::size_t>(1, (k - n1 + n2 - 1) / n2);
+
+  for (std::size_t r = 1; r <= r_max; ++r) {
+    const std::size_t length = n1 + r * n2 + n3;
+    if (length < k) continue;  // publications of this expansion are too short
+    bool ok = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!elements_overlap(element_at(r, i), s.step(i).name)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::size_t max_group_body_length(const std::vector<AdvNode>& nodes) {
+  std::size_t best = 0;
+  for (const AdvNode& n : nodes) {
+    if (n.kind == AdvNode::Kind::kGroup) {
+      std::size_t body = 0;
+      for (const AdvNode& c : n.children) {
+        body += (c.kind == AdvNode::Kind::kElement)
+                    ? 1
+                    : max_group_body_length({c});
+      }
+      best = std::max({best, body, max_group_body_length(n.children)});
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool abs_expr_and_rec_adv(const Advertisement& a, const Xpe& s) {
+  // "The matching determines how many times the first recursive pattern
+  // could be repeated, and ... tries all possible advertisement formats"
+  // (paper §3.3). Any witness expansion can be trimmed so its length is
+  // below |s| + 2·(largest group body) + min_length, so enumerating up to
+  // that bound is exact.
+  const std::size_t bound =
+      s.size() + 2 * std::max<std::size_t>(1, max_group_body_length(a.nodes())) +
+      a.min_length();
+  for (const auto& expansion : a.expansions(bound)) {
+    if (expansion.size() < s.size()) continue;
+    bool ok = true;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!elements_overlap(expansion[i], s.step(i).name)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+bool adv_overlaps(const Advertisement& a, const Xpe& s) {
+  if (a.non_recursive()) {
+    return nonrec_adv_overlaps(a.flat_elements(), s);
+  }
+  if (s.is_absolute_simple() &&
+      a.shape() == Advertisement::Shape::kSimpleRecursive) {
+    // Fast literal path for the paper's main case.
+    std::vector<std::string> a1, a2, a3;
+    std::vector<std::string>* part = &a1;
+    for (const AdvNode& n : a.nodes()) {
+      if (n.kind == AdvNode::Kind::kGroup) {
+        for (const AdvNode& c : n.children) a2.push_back(c.name);
+        part = &a3;
+      } else {
+        part->push_back(n.name);
+      }
+    }
+    return abs_expr_and_sim_rec_adv(a1, a2, a3, s);
+  }
+  return AdvAutomaton(a).overlaps(s);
+}
+
+}  // namespace xroute

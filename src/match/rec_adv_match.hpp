@@ -1,0 +1,40 @@
+// The paper's recursive-advertisement matching algorithms (§3.3, Fig. 3).
+//
+// AbsExprAndSimRecAdv decides overlap between an absolute simple XPE and a
+// simple-recursive advertisement a = a1(a2)+a3 by bounding the number of
+// repetitions of a2 that can matter for a subscription of length |s| and
+// testing each resulting expansion positionwise — O(n²) as the paper notes.
+// The series/embedded variants recurse over the leading group.
+//
+// The exact automaton (AdvAutomaton) covers every shape and every XPE
+// type; these literal algorithms exist for fidelity, as a fast path for
+// the common shapes, and are cross-checked against the automaton in the
+// property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adv/advertisement.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+/// Paper Fig. 3: overlap of absolute simple XPE `s` with a1(a2)+a3.
+/// `a2` must be non-empty; `a1`/`a3` may be empty.
+bool abs_expr_and_sim_rec_adv(const std::vector<std::string>& a1,
+                              const std::vector<std::string>& a2,
+                              const std::vector<std::string>& a3, const Xpe& s);
+
+/// Overlap of an absolute simple XPE with any advertisement whose groups
+/// are flat and at the top level (simple or series shape): enumerates
+/// repetition counts group-by-group, recursively (paper §3.3,
+/// AbsExprAndSerRecAdv).
+bool abs_expr_and_rec_adv(const Advertisement& a, const Xpe& s);
+
+/// Full dispatcher used by the router's SRT: picks the cheapest exact
+/// algorithm for the advertisement shape and XPE type (non-recursive
+/// algorithms from adv_match.h, Fig. 3 family, or the automaton).
+bool adv_overlaps(const Advertisement& a, const Xpe& s);
+
+}  // namespace xroute

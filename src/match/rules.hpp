@@ -1,0 +1,49 @@
+// Element-level matching rules.
+//
+// Two relations drive everything (paper Fig. 2(b) and §4.2):
+//   * overlap  — used between advertisement and subscription positions: do
+//     there exist concrete elements satisfying both?  '*' overlaps
+//     anything; two concrete names overlap iff equal.
+//   * covers   — used between two subscription positions: does every
+//     element satisfying the second satisfy the first?  '*' covers
+//     anything; a concrete name covers only itself (in particular a
+//     concrete name does NOT cover '*').
+#pragma once
+
+#include <string>
+
+#include "xpath/step.hpp"
+
+namespace xroute {
+
+/// Overlap rule: position `a` (advertisement side) vs `s` (subscription
+/// side). Symmetric.
+inline bool elements_overlap(const std::string& a, const std::string& s) {
+  return a == kWildcard || s == kWildcard || a == s;
+}
+
+/// Covering rule: does element test `t` (coverer) cover test `m` (covered)?
+/// Asymmetric: covers("*", "a") but not covers("a", "*").
+inline bool element_covers(const std::string& t, const std::string& m) {
+  return t == kWildcard || t == m;
+}
+
+/// Step-level covering: element test + predicate implication. Every
+/// predicate of the coverer must be implied by some predicate of the
+/// covered step (the covered step is at least as constrained).
+inline bool step_covers(const Step& coverer, const Step& covered) {
+  if (!element_covers(coverer.name, covered.name)) return false;
+  for (const Predicate& general : coverer.predicates) {
+    bool implied = false;
+    for (const Predicate& specific : covered.predicates) {
+      if (predicate_implies(specific, general)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
+}
+
+}  // namespace xroute

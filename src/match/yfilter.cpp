@@ -1,0 +1,103 @@
+#include "match/yfilter.hpp"
+
+#include <algorithm>
+
+#include "match/pub_match.hpp"
+
+namespace xroute {
+
+YFilterIndex::YFilterIndex() { new_state(); /* state 0 = root */ }
+
+int YFilterIndex::new_state() {
+  states_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+int YFilterIndex::descendant_of(int from) {
+  if (states_[from].descendant == -1) {
+    int d = new_state();
+    states_[d].self_loop = true;
+    states_[from].descendant = d;
+  }
+  return states_[from].descendant;
+}
+
+int YFilterIndex::add(const Xpe& xpe) {
+  int id = static_cast<int>(queries_.size());
+  queries_.push_back(xpe);
+  needs_verification_.push_back(xpe.has_predicates());
+
+  int current = 0;
+  for (const Step& step : xpe.steps()) {
+    if (step.axis == Axis::kDescendant) current = descendant_of(current);
+    if (step.is_wildcard()) {
+      if (states_[current].star == -1) {
+        int t = new_state();
+        states_[current].star = t;
+      }
+      current = states_[current].star;
+    } else {
+      auto [it, inserted] = states_[current].named.emplace(step.name, -1);
+      if (inserted || it->second == -1) it->second = new_state();
+      current = it->second;
+    }
+  }
+  states_[current].accepts.push_back(id);
+  return id;
+}
+
+std::vector<int> YFilterIndex::match(const Path& path) const {
+  std::vector<bool> matched(queries_.size(), false);
+  std::vector<int> out;
+
+  // Active-set NFA simulation. The epsilon closure pulls in each active
+  // state's descendant self-loop state.
+  std::vector<int> active;
+  std::vector<bool> in_active(states_.size(), false);
+  auto activate = [&](int s, auto&& self) -> void {
+    if (in_active[s]) return;
+    in_active[s] = true;
+    active.push_back(s);
+    if (states_[s].descendant != -1) self(states_[s].descendant, self);
+  };
+  activate(0, activate);
+
+  auto accept = [&](int s) {
+    for (int id : states_[s].accepts) {
+      if (matched[id]) continue;
+      if (needs_verification_[id] &&
+          !matches(path, queries_[static_cast<std::size_t>(id)])) {
+        continue;  // structural hit, predicates fail
+      }
+      matched[id] = true;
+      out.push_back(id);
+    }
+  };
+
+  for (const std::string& element : path.elements) {
+    std::vector<int> next;
+    std::vector<bool> in_next(states_.size(), false);
+    auto push = [&](int s, auto&& self) -> void {
+      if (in_next[s]) return;
+      in_next[s] = true;
+      next.push_back(s);
+      accept(s);
+      if (states_[s].descendant != -1) self(states_[s].descendant, self);
+    };
+    for (int s : active) {
+      const State& state = states_[s];
+      if (state.self_loop) push(s, push);
+      auto it = state.named.find(element);
+      if (it != state.named.end()) push(it->second, push);
+      if (state.star != -1) push(state.star, push);
+    }
+    active = std::move(next);
+    in_active = std::move(in_next);
+    if (active.empty()) break;
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xroute

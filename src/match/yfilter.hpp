@@ -1,0 +1,65 @@
+// YFilter-style shared-NFA matcher — the baseline system the paper's
+// evaluation refers to (Diao, Altinel & Franklin, TODS 2003; paper §5:
+// "the performance of non-covering-based routing ... has been evaluated
+// against YFilter [10] in our previous work [16]").
+//
+// All queries compile into one NFA whose common prefixes are shared:
+//   * a child step adds a labelled (or '*') transition,
+//   * a descendant step routes through a self-loop state that consumes any
+//     number of elements,
+//   * a query's id is attached to the state its last step reaches; under
+//     the prefix semantics a query matches as soon as that state activates.
+//
+// Predicates are handled by post-verification (YFilter's "selection
+// postponed" flavour): structural acceptance first, then the full matcher
+// re-checks the rare predicated queries.
+//
+// Exposed as an alternative publication-matching backend and benchmarked
+// against the covering subscription tree in bench/baseline_yfilter.cpp,
+// reproducing the paper's observation of a workload-dependent crossover.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+class YFilterIndex {
+ public:
+  YFilterIndex();
+
+  /// Adds a query; returns its id (dense, starting at 0). Duplicate
+  /// expressions get distinct ids (callers dedupe if they care).
+  int add(const Xpe& xpe);
+
+  /// Ids of all queries matching the path, ascending, deduplicated.
+  std::vector<int> match(const Path& path) const;
+
+  std::size_t size() const { return queries_.size(); }
+  std::size_t state_count() const { return states_.size(); }
+  const Xpe& query(int id) const { return queries_[static_cast<std::size_t>(id)]; }
+
+ private:
+  struct State {
+    std::unordered_map<std::string, int> named;
+    int star = -1;        ///< '*' transition target
+    int descendant = -1;  ///< epsilon target with a self-loop (for '//')
+    bool self_loop = false;
+    std::vector<int> accepts;  ///< queries whose last step lands here
+  };
+
+  int new_state();
+  /// The self-loop state reachable by epsilon from `from`.
+  int descendant_of(int from);
+
+  std::vector<State> states_;
+  std::vector<Xpe> queries_;
+  std::vector<bool> needs_verification_;  ///< query has predicates
+};
+
+}  // namespace xroute

@@ -1,0 +1,48 @@
+// Discrete-event core: a time-ordered queue of closures. Ties break by
+// insertion order, which gives FIFO behaviour on equal-latency links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace xroute {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(double time, Action action) {
+    queue_.push(Event{time, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Pops and returns the earliest event; advances now().
+  Action pop(double* time) {
+    Event event = queue_.top();
+    queue_.pop();
+    *time = event.time;
+    return std::move(event.action);
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace xroute

@@ -1,0 +1,190 @@
+#include "net/simulator.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "router/snapshot.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+
+Simulator::Simulator() : Simulator(Options{}) {}
+
+Simulator::Simulator(Options options) : options_(options) {}
+
+int Simulator::new_endpoint() {
+  endpoints_.emplace_back();
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+int Simulator::add_broker(const Broker::Config& config) {
+  int id = static_cast<int>(brokers_.size());
+  brokers_.push_back(std::make_unique<Broker>(id, config));
+  broker_configs_.push_back(config);
+  return id;
+}
+
+void Simulator::restart_broker(int broker, const std::string& snapshot) {
+  auto fresh = std::make_unique<Broker>(broker, broker_configs_.at(
+                                                    static_cast<std::size_t>(broker)));
+  // Re-declare the interfaces from the wiring records.
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    const Endpoint& endpoint = endpoints_[e];
+    if (endpoint.is_client || endpoint.broker != broker) continue;
+    if (endpoint.client >= 0) {
+      fresh->add_client(static_cast<int>(e));
+    } else {
+      fresh->add_neighbor(static_cast<int>(e));
+    }
+  }
+  if (!snapshot.empty()) snapshot_from_string(*fresh, snapshot);
+  brokers_[static_cast<std::size_t>(broker)] = std::move(fresh);
+}
+
+void Simulator::connect(int broker_a, int broker_b, const LinkConfig& link) {
+  int end_a = new_endpoint();
+  int end_b = new_endpoint();
+  endpoints_[end_a] = Endpoint{false, broker_a, -1, end_b, link};
+  endpoints_[end_b] = Endpoint{false, broker_b, -1, end_a, link};
+  brokers_[broker_a]->add_neighbor(end_a);
+  brokers_[broker_b]->add_neighbor(end_b);
+}
+
+void Simulator::build(const Topology& topology, const Broker::Config& config,
+                      LatencyProfile profile, Rng& rng) {
+  for (std::size_t i = 0; i < topology.num_brokers; ++i) add_broker(config);
+  for (auto [a, b] : topology.edges) {
+    connect(a, b, sample_link(profile, rng));
+  }
+}
+
+int Simulator::attach_client(int broker, const LinkConfig& link) {
+  int client_id = static_cast<int>(clients_.size());
+  int client_end = new_endpoint();
+  int broker_end = new_endpoint();
+  endpoints_[client_end] = Endpoint{true, -1, client_id, broker_end, link};
+  endpoints_[broker_end] = Endpoint{false, broker, client_id, client_end, link};
+  brokers_[broker]->add_client(broker_end);
+  clients_.push_back(Client{broker, client_end, broker_end, {}});
+  return client_id;
+}
+
+void Simulator::send_from_client(int client, Message msg) {
+  const Client& c = clients_.at(client);
+  transmit(c.endpoint, std::move(msg), now_);
+}
+
+void Simulator::subscribe(int client, const Xpe& xpe) {
+  send_from_client(client, Message::subscribe(xpe));
+}
+
+void Simulator::unsubscribe(int client, const Xpe& xpe) {
+  send_from_client(client, Message::unsubscribe(xpe));
+}
+
+void Simulator::advertise(int client, const Advertisement& adv) {
+  send_from_client(client, Message::advertise(adv, clients_.at(client).broker));
+}
+
+void Simulator::unadvertise(int client, const Advertisement& adv) {
+  send_from_client(client,
+                   Message::unadvertise(adv, clients_.at(client).broker));
+}
+
+std::uint64_t Simulator::publish(int client, const XmlDocument& doc) {
+  return publish_paths(client, extract_paths(doc), doc.byte_size());
+}
+
+std::uint64_t Simulator::publish_paths(int client,
+                                       const std::vector<Path>& paths,
+                                       std::size_t doc_bytes) {
+  std::uint64_t doc_id = next_doc_id_++;
+  std::uint32_t path_id = 0;
+  for (const Path& path : paths) {
+    PublishMsg msg;
+    msg.path = path;
+    msg.doc_id = doc_id;
+    msg.path_id = path_id++;
+    msg.doc_bytes = doc_bytes;
+    msg.paths_in_doc = static_cast<std::uint32_t>(paths.size());
+    msg.publish_time = now_;
+    send_from_client(client, Message{std::move(msg)});
+  }
+  return doc_id;
+}
+
+void Simulator::transmit(int from_endpoint, Message msg,
+                         double departure_time) {
+  const Endpoint& from = endpoints_.at(from_endpoint);
+  int peer = from.peer;
+  if (peer < 0) throw std::logic_error("endpoint has no peer");
+  const Endpoint& to = endpoints_.at(peer);
+  double arrival = departure_time + from.link.latency_ms +
+                   static_cast<double>(msg.wire_bytes()) / from.link.bytes_per_ms;
+  queue_.schedule(arrival, [this, peer, to, msg = std::move(msg)]() mutable {
+    if (to.is_client) {
+      deliver_to_client(to.client, std::move(msg));
+    } else {
+      deliver_to_broker(to.broker, peer, std::move(msg));
+    }
+  });
+}
+
+void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
+  stats_.count_broker_message(msg.type(), msg.wire_bytes());
+  if (trace_) trace_(broker, at_endpoint, msg);
+
+  auto started = std::chrono::steady_clock::now();
+  Broker::HandleResult result = brokers_[broker]->handle(at_endpoint, msg);
+  auto finished = std::chrono::steady_clock::now();
+  double processing_ms =
+      std::chrono::duration<double, std::milli>(finished - started).count() *
+      options_.processing_scale;
+  stats_.add_processing_time(processing_ms);
+  stats_.count_suppressed_false_positive(result.suppressed_false_positives);
+  if (result.publication_matched) stats_.count_publication_match();
+  stats_.count_merger_false_matches(result.merger_false_matches);
+
+  double departure = now_ + processing_ms;
+  for (Broker::Forward& fwd : result.forwards) {
+    transmit(fwd.interface, std::move(fwd.message), departure);
+  }
+}
+
+void Simulator::deliver_to_client(int client, Message msg) {
+  if (msg.type() != MessageType::kPublish) return;
+  const PublishMsg& pub = std::get<PublishMsg>(msg.payload);
+  Client& c = clients_.at(client);
+  auto [it, first] = c.first_arrival.emplace(pub.doc_id, now_);
+  if (first) {
+    stats_.count_notification(now_ - pub.publish_time);
+    c.delays.push_back(now_ - pub.publish_time);
+  } else {
+    stats_.count_duplicate_notification();
+  }
+}
+
+std::size_t Simulator::run() { return run_limited(0); }
+
+std::size_t Simulator::run_limited(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    if (max_events != 0 && processed >= max_events) break;
+    double time = now_;
+    EventQueue::Action action = queue_.pop(&time);
+    now_ = time;
+    action();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Simulator::notifications_of(int client) const {
+  return clients_.at(client).first_arrival.size();
+}
+
+const std::vector<double>& Simulator::delays_of(int client) const {
+  return clients_.at(client).delays;
+}
+
+}  // namespace xroute

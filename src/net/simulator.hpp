@@ -1,0 +1,129 @@
+// Discrete-event overlay simulator.
+//
+// Stands in for the paper's 20-node cluster and PlanetLab deployments
+// (DESIGN.md §2): brokers run the *real* routing code; the simulator
+// provides transport with per-link latency + bandwidth and folds each
+// broker's measured wall-clock processing time into simulated time, so
+// notification-delay curves keep their shape (linear in hops, slope set by
+// routing-table size).
+//
+// Interface-id scheme: every link end and every client gets a globally
+// unique endpoint id; a broker addresses its neighbours and local clients
+// by the endpoint on its own side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/event_queue.hpp"
+#include "net/stats.hpp"
+#include "net/topology.hpp"
+#include "router/broker.hpp"
+#include "xml/document.hpp"
+
+namespace xroute {
+
+class Simulator {
+ public:
+  struct Options {
+    /// Scale factor applied to measured broker processing time before it
+    /// enters simulated time (1.0 = wall clock as-is; 0 disables the
+    /// processing component for deterministic runs).
+    double processing_scale = 1.0;
+  };
+
+  Simulator();
+  explicit Simulator(Options options);
+
+  // -- Construction --------------------------------------------------------
+  int add_broker(const Broker::Config& config);
+  void connect(int broker_a, int broker_b, const LinkConfig& link);
+  /// Builds all brokers and links of `topology` at once.
+  void build(const Topology& topology, const Broker::Config& config,
+             LatencyProfile profile, Rng& rng);
+  /// Attaches a client to `broker`; returns the client id.
+  int attach_client(int broker, const LinkConfig& link = LinkConfig{});
+
+  /// Simulates a crash-restart of a broker: the instance is replaced by a
+  /// fresh one with the same configuration and interfaces. With an empty
+  /// `snapshot` all routing state is lost (cold restart); otherwise state
+  /// is rebuilt via router/snapshot.h.
+  void restart_broker(int broker, const std::string& snapshot = "");
+
+  // -- Client actions (enqueued at the current simulated time) -------------
+  void subscribe(int client, const Xpe& xpe);
+  void unsubscribe(int client, const Xpe& xpe);
+  void advertise(int client, const Advertisement& adv);
+  void unadvertise(int client, const Advertisement& adv);
+  /// Decomposes the document into paths and publishes each (paper §3.1).
+  /// Returns the document id assigned.
+  std::uint64_t publish(int client, const XmlDocument& doc);
+  std::uint64_t publish_paths(int client, const std::vector<Path>& paths,
+                              std::size_t doc_bytes);
+
+  // -- Execution ------------------------------------------------------------
+  /// Drains the event queue; returns the number of events processed.
+  std::size_t run();
+  /// Like run(), but stops after `max_events` (0 = unlimited). Returns the
+  /// number processed; a return value equal to `max_events` with a
+  /// non-empty queue indicates the network has not quiesced (useful for
+  /// livelock detection in tests and tools).
+  std::size_t run_limited(std::size_t max_events);
+  bool idle() const { return queue_.empty(); }
+
+  /// Optional message trace: invoked for every message a broker receives.
+  using TraceFn =
+      std::function<void(int broker, int endpoint, const Message& msg)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+  double now() const { return now_; }
+
+  // -- Inspection -----------------------------------------------------------
+  Broker& broker(int id) { return *brokers_[id]; }
+  const Broker& broker(int id) const { return *brokers_[id]; }
+  std::size_t broker_count() const { return brokers_.size(); }
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+  /// Documents delivered to `client` (distinct doc ids).
+  std::size_t notifications_of(int client) const;
+  /// Per-document notification delays observed by `client`.
+  const std::vector<double>& delays_of(int client) const;
+
+ private:
+  struct Endpoint {
+    bool is_client = false;
+    int broker = -1;      ///< owning broker (for broker-side endpoints)
+    int client = -1;      ///< owning client (for client endpoints)
+    int peer = -1;        ///< endpoint on the other side of the link
+    LinkConfig link;
+  };
+  struct Client {
+    int broker = -1;
+    int endpoint = -1;         ///< the client's own endpoint id
+    int broker_endpoint = -1;  ///< the broker-side endpoint id
+    std::map<std::uint64_t, double> first_arrival;  ///< doc id -> time
+    std::vector<double> delays;                      ///< first-arrival delays
+  };
+
+  int new_endpoint();
+  void send_from_client(int client, Message msg);
+  /// Delivers `msg` into `broker` via its endpoint `at`; processes it and
+  /// schedules the resulting forwards.
+  void deliver_to_broker(int broker, int at_endpoint, Message msg);
+  void deliver_to_client(int client, Message msg);
+  void transmit(int from_endpoint, Message msg, double departure_time);
+
+  Options options_;
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<Broker::Config> broker_configs_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<Client> clients_;
+  NetworkStats stats_;
+  std::uint64_t next_doc_id_ = 1;
+  TraceFn trace_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,112 @@
+// Network-wide measurement aggregation for the evaluation experiments.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "router/message.hpp"
+
+namespace xroute {
+
+struct DelaySummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+class NetworkStats {
+ public:
+  void count_broker_message(MessageType type, std::size_t wire_bytes) {
+    ++broker_messages_[static_cast<std::size_t>(type)];
+    broker_bytes_[static_cast<std::size_t>(type)] += wire_bytes;
+  }
+  void count_notification(double delay_ms) {
+    ++notifications_;
+    delays_.push_back(delay_ms);
+  }
+  void count_duplicate_notification() { ++duplicate_notifications_; }
+  void count_suppressed_false_positive(std::size_t n) {
+    suppressed_false_positives_ += n;
+  }
+  void count_publication_match() { ++publication_matches_; }
+  void count_merger_false_matches(std::size_t n) {
+    merger_false_matches_ += n;
+  }
+  void add_processing_time(double ms) { processing_ms_ += ms; }
+
+  /// Paper Tables 2/3: "total number of messages ... received by all
+  /// brokers ... including advertisements, publications and subscriptions".
+  std::size_t total_broker_messages() const {
+    std::size_t total = 0;
+    for (std::size_t n : broker_messages_) total += n;
+    return total;
+  }
+  std::size_t broker_messages(MessageType type) const {
+    return broker_messages_[static_cast<std::size_t>(type)];
+  }
+  /// Bytes received by brokers, total and per message type.
+  std::size_t total_broker_bytes() const {
+    std::size_t total = 0;
+    for (std::size_t n : broker_bytes_) total += n;
+    return total;
+  }
+  std::size_t broker_bytes(MessageType type) const {
+    return broker_bytes_[static_cast<std::size_t>(type)];
+  }
+
+  std::size_t notifications() const { return notifications_; }
+  std::size_t duplicate_notifications() const {
+    return duplicate_notifications_;
+  }
+  std::size_t suppressed_false_positives() const {
+    return suppressed_false_positives_;
+  }
+  /// (broker, publication) pairs with at least one PRT match.
+  std::size_t publication_matches() const { return publication_matches_; }
+  /// Merger matches not backed by an original (in-network false positives).
+  std::size_t merger_false_matches() const { return merger_false_matches_; }
+  double total_processing_ms() const { return processing_ms_; }
+
+  DelaySummary delay_summary() const {
+    DelaySummary s;
+    if (delays_.empty()) return s;
+    s.count = delays_.size();
+    std::vector<double> sorted = delays_;
+    std::sort(sorted.begin(), sorted.end());
+    s.min_ms = sorted.front();
+    s.max_ms = sorted.back();
+    double sum = 0.0;
+    for (double d : sorted) sum += d;
+    s.mean_ms = sum / static_cast<double>(sorted.size());
+    auto percentile = [&](double q) {
+      std::size_t index = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[index];
+    };
+    s.p50_ms = percentile(0.50);
+    s.p95_ms = percentile(0.95);
+    return s;
+  }
+  const std::vector<double>& delays() const { return delays_; }
+
+ private:
+  std::array<std::size_t, kMessageTypeCount> broker_messages_{};
+  std::array<std::size_t, kMessageTypeCount> broker_bytes_{};
+  std::size_t notifications_ = 0;
+  std::size_t duplicate_notifications_ = 0;
+  std::size_t suppressed_false_positives_ = 0;
+  std::size_t publication_matches_ = 0;
+  std::size_t merger_false_matches_ = 0;
+  double processing_ms_ = 0.0;
+  std::vector<double> delays_;
+};
+
+}  // namespace xroute

@@ -1,0 +1,101 @@
+#include "net/topology.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace xroute {
+
+std::vector<int> Topology::leaf_brokers() const {
+  std::map<int, int> degree;
+  for (auto [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  std::vector<int> leaves;
+  for (std::size_t i = 0; i < num_brokers; ++i) {
+    int id = static_cast<int>(i);
+    auto it = degree.find(id);
+    if (it != degree.end() && it->second == 1) leaves.push_back(id);
+  }
+  return leaves;
+}
+
+Topology complete_binary_tree(std::size_t levels) {
+  Topology t;
+  t.num_brokers = (std::size_t{1} << levels) - 1;
+  for (std::size_t i = 0; i < t.num_brokers; ++i) {
+    std::size_t left = 2 * i + 1;
+    std::size_t right = 2 * i + 2;
+    if (left < t.num_brokers) {
+      t.edges.emplace_back(static_cast<int>(i), static_cast<int>(left));
+    }
+    if (right < t.num_brokers) {
+      t.edges.emplace_back(static_cast<int>(i), static_cast<int>(right));
+    }
+  }
+  return t;
+}
+
+Topology chain(std::size_t n) {
+  Topology t;
+  t.num_brokers = n;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.edges.emplace_back(static_cast<int>(i), static_cast<int>(i + 1));
+  }
+  return t;
+}
+
+Topology star(std::size_t leaves) {
+  Topology t;
+  t.num_brokers = leaves + 1;
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    t.edges.emplace_back(0, static_cast<int>(i));
+  }
+  return t;
+}
+
+Topology random_connected(std::size_t n, std::size_t extra_edges, Rng& rng) {
+  Topology t;
+  t.num_brokers = n;
+  if (n < 2) return t;
+  // Random spanning tree: attach each node to a random earlier one.
+  std::set<std::pair<int, int>> used;
+  for (std::size_t i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.index(i));
+    t.edges.emplace_back(parent, static_cast<int>(i));
+    used.emplace(parent, static_cast<int>(i));
+  }
+  std::size_t attempts = 0;
+  std::size_t added = 0;
+  while (added < extra_edges && attempts++ < extra_edges * 20 + 20) {
+    int a = static_cast<int>(rng.index(n));
+    int b = static_cast<int>(rng.index(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.emplace(a, b).second) continue;
+    t.edges.emplace_back(a, b);
+    ++added;
+  }
+  return t;
+}
+
+LinkConfig sample_link(LatencyProfile profile, Rng& rng) {
+  LinkConfig link;
+  switch (profile) {
+    case LatencyProfile::kCluster:
+      // Gigabit LAN: 0.3-0.7 ms RTT/2, ~100 MB/s.
+      link.latency_ms = 0.3 + 0.4 * rng.uniform();
+      link.bytes_per_ms = 100000.0;
+      break;
+    case LatencyProfile::kPlanetLab:
+      // Wide-area: 1-3.5 ms one-way, ~10 MB/s; heterogeneous per link
+      // (the paper reports up to 15% per-point variation on PlanetLab).
+      link.latency_ms = 1.0 + 2.5 * rng.uniform();
+      link.bytes_per_ms = 10000.0;
+      break;
+  }
+  return link;
+}
+
+}  // namespace xroute

@@ -1,0 +1,61 @@
+// Broker overlay topologies and link-latency profiles.
+//
+// The paper evaluates complete binary trees of 7 and 127 brokers (three
+// and seven levels, subscribers at the leaves) plus PlanetLab chains of up
+// to 7 hops; the builders here produce those shapes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace xroute {
+
+struct Topology {
+  std::size_t num_brokers = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  /// Broker ids with exactly one link (subscriber attachment points in the
+  /// tree experiments).
+  std::vector<int> leaf_brokers() const;
+};
+
+/// Complete binary tree with `levels` levels: 2^levels - 1 brokers, root
+/// id 0, children of i at 2i+1 / 2i+2. levels=3 -> the paper's 7-broker
+/// overlay; levels=7 -> the 127-broker overlay.
+Topology complete_binary_tree(std::size_t levels);
+
+/// A chain of n brokers (ids 0..n-1): the hop-count experiments.
+Topology chain(std::size_t n);
+
+/// A star: broker 0 in the centre, `leaves` brokers around it.
+Topology star(std::size_t leaves);
+
+/// A random connected overlay: a random spanning tree plus `extra_edges`
+/// additional random links (cycles). The paper evaluates trees. With
+/// cycles, advertisement flooding, subscription forwarding and
+/// publication routing remain exact for *static* subscription sets
+/// (brokers deduplicate floods and publications); dynamic client
+/// unsubscription additionally requires an acyclic overlay — a
+/// subscribe/unsubscribe pair can otherwise chase each other around a
+/// cycle indefinitely, the classic reason content-based routing protocols
+/// run over spanning trees.
+Topology random_connected(std::size_t n, std::size_t extra_edges, Rng& rng);
+
+/// Per-link latency/bandwidth profile.
+struct LinkConfig {
+  double latency_ms = 0.5;
+  double bytes_per_ms = 100000.0;  // 100 MB/s
+};
+
+enum class LatencyProfile {
+  kCluster,    ///< the paper's 20-node cluster: sub-millisecond LAN
+  kPlanetLab,  ///< heterogeneous WAN links, milliseconds each
+};
+
+/// Samples one link's configuration from a profile.
+LinkConfig sample_link(LatencyProfile profile, Rng& rng);
+
+}  // namespace xroute

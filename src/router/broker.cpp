@@ -1,0 +1,362 @@
+#include "router/broker.hpp"
+
+#include <algorithm>
+
+#include "match/pub_match.hpp"
+
+namespace xroute {
+
+Broker::Broker(int id, Config config)
+    : id_(id),
+      config_(config),
+      prt_(config.use_covering, config.track_covered) {}
+
+void Broker::add_neighbor(int interface_id) { neighbors_.insert(interface_id); }
+
+void Broker::add_client(int interface_id) { clients_.insert(interface_id); }
+
+const std::vector<Xpe>* Broker::client_subscriptions(int interface_id) const {
+  auto it = client_subs_.find(interface_id);
+  return it == client_subs_.end() ? nullptr : &it->second;
+}
+
+void Broker::restore_advertisement(const Advertisement& adv,
+                                   const std::set<int>& hops) {
+  for (int hop : hops) srt_.add(adv, hop);
+}
+
+void Broker::restore_subscription(const Xpe& xpe, const std::set<int>& hops) {
+  for (int hop : hops) prt_.insert(xpe, hop);
+}
+
+void Broker::restore_merger(const Xpe& merger,
+                            const std::vector<Xpe>& originals) {
+  if (!prt_.covering()) return;
+  if (SubscriptionTree::Node* node = prt_.tree()->find(merger)) {
+    node->merger = true;
+    node->merged_from = originals;
+  }
+}
+
+void Broker::restore_client_table(int interface_id, std::vector<Xpe> xpes) {
+  client_subs_[interface_id] = std::move(xpes);
+}
+
+void Broker::restore_forwarding(const Xpe& xpe, std::set<int> interfaces) {
+  forwarded_to_[xpe] = std::move(interfaces);
+}
+
+Broker::HandleResult Broker::handle(int from_interface, const Message& msg) {
+  HandleResult out;
+  switch (msg.type()) {
+    case MessageType::kAdvertise:
+      handle_advertise(from_interface, std::get<AdvertiseMsg>(msg.payload),
+                       &out);
+      break;
+    case MessageType::kSubscribe:
+      handle_subscribe(from_interface, std::get<SubscribeMsg>(msg.payload),
+                       &out);
+      break;
+    case MessageType::kUnsubscribe:
+      handle_unsubscribe(from_interface,
+                         std::get<UnsubscribeMsg>(msg.payload), &out);
+      break;
+    case MessageType::kPublish:
+      handle_publish(from_interface, std::get<PublishMsg>(msg.payload), &out);
+      break;
+    case MessageType::kUnadvertise:
+      handle_unadvertise(from_interface,
+                         std::get<UnadvertiseMsg>(msg.payload), &out);
+      break;
+  }
+  return out;
+}
+
+void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
+                              HandleResult* out) {
+  bool is_new = srt_.add(msg.advertisement, from);
+  if (!is_new) return;
+
+  // Flood the advertisement to every other neighbour (paper §2.1:
+  // "advertisements are flooded in the publish/subscribe overlay").
+  for (int neighbor : neighbors_) {
+    if (neighbor != from) {
+      out->forwards.push_back(Forward{
+          neighbor, Message::advertise(msg.advertisement, msg.origin_broker)});
+    }
+  }
+
+  // Route existing (top-level, uncovered) subscriptions toward the new
+  // advertisement: publishers may connect after subscribers did. Only
+  // relevant under advertisement-based routing and only over broker links
+  // (an advertisement from a local publisher terminates here — this broker
+  // is the root of its advertisement tree).
+  if (!config_.use_advertisements || neighbors_.count(from) == 0) return;
+
+  const Srt::Entry* entry = nullptr;
+  for (const auto& e : srt_.entries()) {
+    if (e->advertisement == msg.advertisement) {
+      entry = e.get();
+      break;
+    }
+  }
+  if (!entry) return;
+
+  for (const Xpe& xpe : prt_.top_level_xpes()) {
+    if (!srt_.entry_overlaps(*entry, xpe)) continue;
+    std::set<int>& sent = forwarded_to_[xpe];
+    if (sent.insert(from).second) {
+      out->forwards.push_back(Forward{from, Message::subscribe(xpe)});
+    }
+  }
+}
+
+void Broker::handle_unadvertise(int from, const UnadvertiseMsg& msg,
+                                HandleResult* out) {
+  // Withdraw the advertisement for this hop; once no hop holds it the
+  // withdrawal floods on, mirroring the advertisement flood. Forwarded
+  // subscriptions are left in place: they become stale routing state, not
+  // incorrect behaviour (publications simply stop flowing from there).
+  if (!srt_.remove(msg.advertisement, from)) return;
+  bool gone = true;
+  for (const auto& entry : srt_.entries()) {
+    if (entry->advertisement == msg.advertisement) {
+      gone = false;
+      break;
+    }
+  }
+  if (!gone) return;
+  for (int neighbor : neighbors_) {
+    if (neighbor != from) {
+      out->forwards.push_back(Forward{
+          neighbor,
+          Message::unadvertise(msg.advertisement, msg.origin_broker)});
+    }
+  }
+}
+
+std::set<int> Broker::subscription_targets(const Xpe& xpe, int exclude) const {
+  std::set<int> targets;
+  if (config_.use_advertisements) {
+    for (int hop : srt_.hops_overlapping(xpe)) {
+      // Only broker links: a hop can be a publisher client's interface
+      // (the advertisement entered here); matching then happens locally.
+      if (neighbors_.count(hop) && hop != exclude) targets.insert(hop);
+    }
+  } else {
+    for (int neighbor : neighbors_) {
+      if (neighbor != exclude) targets.insert(neighbor);
+    }
+  }
+  return targets;
+}
+
+std::set<int> Broker::coverage_interfaces(const Xpe& xpe) const {
+  std::set<int> out;
+  if (!prt_.covering()) return out;
+  const SubscriptionTree::Node* node = prt_.tree()->find(xpe);
+  if (!node) return out;
+  auto add_chain = [&](const SubscriptionTree::Node* start) {
+    // Walk a coverer chain toward the root (every ancestor covers xpe by
+    // transitivity); union the interfaces each coverer was forwarded to.
+    for (const SubscriptionTree::Node* walk = start; walk && walk->parent;
+         walk = walk->parent) {
+      auto it = forwarded_to_.find(walk->xpe);
+      if (it != forwarded_to_.end()) {
+        out.insert(it->second.begin(), it->second.end());
+      }
+    }
+  };
+  add_chain(node->parent);
+  for (const SubscriptionTree::Node* source : node->super_sources) {
+    add_chain(source);
+  }
+  return out;
+}
+
+void Broker::forward_subscription(const Xpe& xpe, int exclude,
+                                  HandleResult* out) {
+  std::set<int>& sent = forwarded_to_[xpe];
+  std::set<int> covered_on;
+  if (config_.use_covering) covered_on = coverage_interfaces(xpe);
+  for (int target : subscription_targets(xpe, exclude)) {
+    if (covered_on.count(target)) continue;  // a coverer routes this way
+    if (sent.insert(target).second) {
+      out->forwards.push_back(Forward{target, Message::subscribe(xpe)});
+    }
+  }
+  if (sent.empty()) forwarded_to_.erase(xpe);
+}
+
+void Broker::unsubscribe_covered(const Xpe& covered, const std::set<int>& via,
+                                 HandleResult* out) {
+  auto it = forwarded_to_.find(covered);
+  if (it == forwarded_to_.end()) return;
+  for (int target : via) {
+    if (it->second.erase(target) > 0) {
+      out->forwards.push_back(Forward{target, Message::unsubscribe(covered)});
+    }
+  }
+  if (it->second.empty()) forwarded_to_.erase(it);
+}
+
+void Broker::forward_unsubscription(const Xpe& xpe, int exclude,
+                                    HandleResult* out) {
+  auto it = forwarded_to_.find(xpe);
+  if (it == forwarded_to_.end()) return;
+  for (int target : it->second) {
+    if (target != exclude) {
+      out->forwards.push_back(Forward{target, Message::unsubscribe(xpe)});
+    }
+  }
+  forwarded_to_.erase(it);
+}
+
+void Broker::handle_subscribe(int from, const SubscribeMsg& msg,
+                              HandleResult* out) {
+  if (clients_.count(from)) {
+    client_subs_[from].push_back(msg.xpe);
+  }
+  Prt::InsertOutcome outcome = prt_.insert(msg.xpe, from);
+  if (outcome.was_new) ++new_subs_since_merge_;
+
+  if (outcome.was_new) {
+    // Per-interface covering decision happens inside forward_subscription:
+    // the newcomer goes wherever no coverer already provides a route.
+    forward_subscription(msg.xpe, from, out);
+    // Withdraw the subscriptions the newcomer covers (paper §4.1) — but
+    // only on interfaces the newcomer itself was forwarded to. On any
+    // other interface (in particular the one it arrived from) the
+    // newcomer provides no route, so the covered subscription must stay.
+    if (config_.use_covering && !outcome.now_covered.empty()) {
+      auto it = forwarded_to_.find(msg.xpe);
+      if (it != forwarded_to_.end()) {
+        for (const Xpe& covered : outcome.now_covered) {
+          unsubscribe_covered(covered, it->second, out);
+        }
+      }
+    }
+  }
+
+  if (config_.merging_enabled && prt_.covering() &&
+      config_.merge_interval > 0 &&
+      new_subs_since_merge_ >= config_.merge_interval) {
+    run_merge_pass(out);
+    new_subs_since_merge_ = 0;
+  }
+}
+
+void Broker::handle_unsubscribe(int from, const UnsubscribeMsg& msg,
+                                HandleResult* out) {
+  if (clients_.count(from)) {
+    auto it = client_subs_.find(from);
+    if (it != client_subs_.end()) {
+      auto& subs = it->second;
+      auto pos = std::find(subs.begin(), subs.end(), msg.xpe);
+      if (pos != subs.end()) subs.erase(pos);
+    }
+  }
+
+  // Subscriptions the departing one covered (tree children and super
+  // targets) may have been absorbed on its account: re-issue them after
+  // removal (forward_subscription skips interfaces where another coverer
+  // still provides the route).
+  std::vector<Xpe> orphaned;
+  if (prt_.covering()) {
+    if (const SubscriptionTree::Node* node = prt_.tree()->find(msg.xpe)) {
+      if (node->hops.size() == 1 && node->hops.count(from)) {
+        for (const auto& child : node->children) {
+          orphaned.push_back(child->xpe);
+        }
+        for (const SubscriptionTree::Node* target : node->super) {
+          orphaned.push_back(target->xpe);
+        }
+      }
+    }
+  }
+
+  if (!prt_.remove(msg.xpe, from)) return;
+  if (prt_.contains(msg.xpe)) return;  // other hops still hold it
+  forward_unsubscription(msg.xpe, from, out);
+
+  for (const Xpe& xpe : orphaned) {
+    forward_subscription(xpe, /*exclude=*/-1, out);
+  }
+}
+
+void Broker::handle_publish(int from, const PublishMsg& msg,
+                            HandleResult* out) {
+  // Duplicate suppression: on overlays with cycles the same publication
+  // can arrive over several paths; processing it once keeps routing loop-
+  // free and deliveries exact.
+  if (!seen_publications_.emplace(msg.doc_id, msg.path_id).second) return;
+
+  std::set<int> hops;
+  if (prt_.covering()) {
+    for (const SubscriptionTree::Node* node :
+         prt_.tree()->match_nodes(msg.path)) {
+      hops.insert(node->hops.begin(), node->hops.end());
+      if (node->merger) {
+        // A merger match that no merged original backs is an in-network
+        // false positive introduced by imperfect merging (paper Fig. 9).
+        bool backed = false;
+        for (const Xpe& original : node->merged_from) {
+          if (matches(msg.path, original)) {
+            backed = true;
+            break;
+          }
+        }
+        if (!backed) ++out->merger_false_matches;
+      }
+    }
+  } else {
+    hops = prt_.match_hops(msg.path);
+  }
+  out->publication_matched = !hops.empty();
+  // The hop set deduplicates: several matching subscriptions sharing a
+  // next hop yield one forwarded copy.
+  for (int hop : hops) {
+    if (hop == from) continue;
+    if (clients_.count(hop)) {
+      // Edge exactness: deliver only if one of the client's original XPEs
+      // matches; merged-entry surplus is a network-internal false positive
+      // and is suppressed here (paper §4.3: "The false positives are not
+      // delivered to subscribers").
+      const std::vector<Xpe>* originals = client_subscriptions(hop);
+      bool exact = false;
+      if (originals) {
+        for (const Xpe& original : *originals) {
+          if (matches(msg.path, original)) {
+            exact = true;
+            break;
+          }
+        }
+      }
+      if (exact) {
+        out->forwards.push_back(Forward{hop, Message{msg}});
+        ++out->deliveries;
+      } else {
+        ++out->suppressed_false_positives;
+      }
+    } else {
+      out->forwards.push_back(Forward{hop, Message{msg}});
+    }
+  }
+}
+
+void Broker::run_merge_pass(HandleResult* out) {
+  MergeEngine engine(config_.merge_universe, config_.merge_options);
+  MergeReport report = engine.run(*prt_.tree());
+  merges_applied_ += report.merges.size();
+  for (const MergeRecord& record : report.merges) {
+    // Subscribe the merger upstream first so no delivery gap opens, then
+    // withdraw the originals — only where the merger provides coverage.
+    forward_subscription(record.merger, /*exclude=*/-1, out);
+    const std::set<int>& coverage = forwarded_to_[record.merger];
+    for (const Xpe& original : record.originals) {
+      unsubscribe_covered(original, coverage, out);
+    }
+  }
+}
+
+}  // namespace xroute

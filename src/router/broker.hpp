@@ -1,0 +1,167 @@
+// The XML content-based router ("broker", paper Fig. 1).
+//
+// A broker owns an SRT and a PRT, knows its neighbour links and locally
+// attached clients (both addressed by interface ids), and implements the
+// routing strategies the paper evaluates:
+//
+//   * advertisement-based routing — advertisements flood; subscriptions
+//     follow SRT entries whose publication sets overlap them; without
+//     advertisements, subscriptions flood.
+//   * covering-based routing — a subscription covered by an existing one
+//     is absorbed (not forwarded); a subscription that covers existing
+//     ones triggers upstream unsubscription of the covered ones.
+//   * merging — a periodic merge pass compacts the PRT; the merger is
+//     subscribed upstream and the originals unsubscribed.
+//
+// Edge exactness: a broker delivers a publication to a local client only
+// if one of the client's *original* XPEs matches, so false positives from
+// imperfect merging stay inside the network (paper §4.3/§5).
+//
+// The broker is a pure message transformer: handle() maps one incoming
+// message to the set of outgoing (interface, message) pairs; the
+// discrete-event simulator (src/net) provides transport and timing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "index/merging.hpp"
+#include "router/message.hpp"
+#include "router/routing_tables.hpp"
+
+namespace xroute {
+
+class Broker {
+ public:
+  struct Config {
+    bool use_advertisements = true;
+    bool use_covering = true;
+    /// Track subscriptions a newcomer covers (enables the upstream
+    /// unsubscription optimisation; costs an extra tree sweep per insert).
+    bool track_covered = true;
+    bool merging_enabled = false;
+    MergeOptions merge_options;
+    /// Path universe for D_imperfect (required for merging to take effect).
+    const PathUniverse* merge_universe = nullptr;
+    /// Run a merge pass after this many newly inserted subscriptions.
+    std::size_t merge_interval = 100;
+  };
+
+  struct Forward {
+    int interface = -1;
+    Message message;
+  };
+
+  struct HandleResult {
+    std::vector<Forward> forwards;
+    /// Publications that matched a (merged) PRT entry pointing at a local
+    /// client but none of the client's own XPEs: suppressed at the edge.
+    std::size_t suppressed_false_positives = 0;
+    /// Publications delivered to local clients in this call.
+    std::size_t deliveries = 0;
+    /// Publication matched at least one PRT entry here.
+    bool publication_matched = false;
+    /// Matches against merger entries not backed by any merged original:
+    /// the paper's in-network false positives (Fig. 9).
+    std::size_t merger_false_matches = 0;
+  };
+
+  Broker(int id, Config config);
+
+  /// Declares `interface_id` as a link to a neighbouring broker.
+  void add_neighbor(int interface_id);
+  /// Declares `interface_id` as a locally attached client.
+  void add_client(int interface_id);
+
+  /// Processes one message arriving on `from_interface` (use the client's
+  /// interface id for client-issued messages).
+  HandleResult handle(int from_interface, const Message& msg);
+
+  int id() const { return id_; }
+  const Config& config() const { return config_; }
+  std::size_t prt_size() const { return prt_.size(); }
+  std::size_t srt_size() const { return srt_.size(); }
+  std::size_t comparisons() const {
+    return prt_.comparisons() + srt_.comparisons();
+  }
+  std::size_t merges_applied() const { return merges_applied_; }
+  const std::set<int>& neighbors() const { return neighbors_; }
+  const std::vector<Xpe>* client_subscriptions(int interface_id) const;
+
+  // -- Snapshot support (router/snapshot.h) --------------------------------
+  const Srt& srt() const { return srt_; }
+  const Prt& prt() const { return prt_; }
+  Prt& prt() { return prt_; }
+  const std::map<int, std::vector<Xpe>>& client_tables() const {
+    return client_subs_;
+  }
+  const std::unordered_map<Xpe, std::set<int>, XpeHash>& forwarding_record()
+      const {
+    return forwarded_to_;
+  }
+  /// Restore-time mutators: rebuild state without emitting messages.
+  void restore_advertisement(const Advertisement& adv, const std::set<int>& hops);
+  void restore_subscription(const Xpe& xpe, const std::set<int>& hops);
+  void restore_merger(const Xpe& merger, const std::vector<Xpe>& originals);
+  void restore_client_table(int interface_id, std::vector<Xpe> xpes);
+  void restore_forwarding(const Xpe& xpe, std::set<int> interfaces);
+
+ private:
+  void handle_advertise(int from, const AdvertiseMsg& msg, HandleResult* out);
+  void handle_unadvertise(int from, const UnadvertiseMsg& msg,
+                          HandleResult* out);
+  void handle_subscribe(int from, const SubscribeMsg& msg, HandleResult* out);
+  void handle_unsubscribe(int from, const UnsubscribeMsg& msg,
+                          HandleResult* out);
+  void handle_publish(int from, const PublishMsg& msg, HandleResult* out);
+  void run_merge_pass(HandleResult* out);
+
+  /// Next-hop broker interfaces for a subscription: SRT overlap when
+  /// advertisements are on, otherwise every neighbour. `exclude` is the
+  /// arrival interface.
+  std::set<int> subscription_targets(const Xpe& xpe, int exclude) const;
+
+  /// Sends `subscribe(xpe)` to every target not yet holding it and records
+  /// the forwarding. Under covering-based routing the decision is made
+  /// per interface: a target is skipped only when some subscription
+  /// covering `xpe` has already been forwarded there (a coverer provides
+  /// no route on the interface it arrived from, so global absorption
+  /// would lose deliveries).
+  void forward_subscription(const Xpe& xpe, int exclude, HandleResult* out);
+
+  /// Interfaces on which some covering subscription already provides a
+  /// route for `xpe` (union of the coverers' forwarding records).
+  std::set<int> coverage_interfaces(const Xpe& xpe) const;
+
+  /// Sends `unsubscribe(xpe)` along the recorded forwarding paths.
+  void forward_unsubscription(const Xpe& xpe, int exclude, HandleResult* out);
+
+  /// Withdraws a covered subscription, but only on interfaces in `via`
+  /// (where the covering subscription provides a route); its forwarding
+  /// record shrinks accordingly.
+  void unsubscribe_covered(const Xpe& covered, const std::set<int>& via,
+                           HandleResult* out);
+
+  int id_;
+  Config config_;
+  std::set<int> neighbors_;
+  std::set<int> clients_;
+  Srt srt_;
+  Prt prt_;
+  /// Original XPEs per locally attached client (edge exactness).
+  std::map<int, std::vector<Xpe>> client_subs_;
+  /// Interfaces each subscription was forwarded to (for unsubscription).
+  std::unordered_map<Xpe, std::set<int>, XpeHash> forwarded_to_;
+  std::size_t new_subs_since_merge_ = 0;
+  std::size_t merges_applied_ = 0;
+  /// Publications already processed, for duplicate suppression on cyclic
+  /// overlays (a publication can arrive over several paths; forwarding it
+  /// again would loop). Keyed by (doc id, path id).
+  std::set<std::pair<std::uint64_t, std::uint32_t>> seen_publications_;
+};
+
+}  // namespace xroute

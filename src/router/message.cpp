@@ -1,0 +1,55 @@
+#include "router/message.hpp"
+
+#include <algorithm>
+
+namespace xroute {
+
+namespace {
+
+std::size_t xpe_bytes(const Xpe& xpe) {
+  std::size_t bytes = 0;
+  for (const Step& step : xpe.steps()) bytes += step.name.size() + 2;
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t Message::wire_bytes() const {
+  constexpr std::size_t kHeader = 16;  // type, ids, framing
+  switch (type()) {
+    case MessageType::kAdvertise:
+      return kHeader +
+             std::get<AdvertiseMsg>(payload).advertisement.to_string().size();
+    case MessageType::kSubscribe:
+      return kHeader + xpe_bytes(std::get<SubscribeMsg>(payload).xpe);
+    case MessageType::kUnsubscribe:
+      return kHeader + xpe_bytes(std::get<UnsubscribeMsg>(payload).xpe);
+    case MessageType::kUnadvertise:
+      return kHeader +
+             std::get<UnadvertiseMsg>(payload).advertisement.to_string().size();
+    case MessageType::kPublish: {
+      // A publication carries its path; the document body travels with it
+      // (subscribers receive the full document, unlike ONYX — paper §1),
+      // amortised over the document's paths.
+      const auto& pub = std::get<PublishMsg>(payload);
+      std::size_t path_bytes = 0;
+      for (const std::string& e : pub.path.elements) path_bytes += e.size() + 1;
+      return kHeader + path_bytes +
+             pub.doc_bytes / std::max<std::uint32_t>(1, pub.paths_in_doc);
+    }
+  }
+  return kHeader;
+}
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kAdvertise: return "advertise";
+    case MessageType::kSubscribe: return "subscribe";
+    case MessageType::kUnsubscribe: return "unsubscribe";
+    case MessageType::kPublish: return "publish";
+    case MessageType::kUnadvertise: return "unadvertise";
+  }
+  return "unknown";
+}
+
+}  // namespace xroute

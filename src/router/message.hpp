@@ -1,0 +1,90 @@
+// Message types exchanged in the dissemination network.
+//
+// Publications are the root-to-leaf paths of an XML document, annotated
+// with (docId, pathId) (paper §3.1); clients publish whole documents and
+// the edge broker performs the decomposition, so the annotation is
+// transparent to them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "adv/advertisement.hpp"
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+struct AdvertiseMsg {
+  Advertisement advertisement;
+  /// Broker the advertising publisher is attached to (for diagnostics).
+  int origin_broker = -1;
+};
+
+struct SubscribeMsg {
+  Xpe xpe;
+};
+
+struct UnadvertiseMsg {
+  Advertisement advertisement;
+  int origin_broker = -1;
+};
+
+struct UnsubscribeMsg {
+  Xpe xpe;
+};
+
+struct PublishMsg {
+  Path path;
+  std::uint64_t doc_id = 0;
+  std::uint32_t path_id = 0;
+  /// Serialised size of the whole document this path belongs to; the last
+  /// path of a document carries the document to the subscriber, so byte
+  /// accounting uses this figure (paper Figs. 10/11 vary document size).
+  std::size_t doc_bytes = 0;
+  /// Number of paths extracted from the document (so edge brokers know
+  /// when a document is complete; we deliver on first matching path).
+  std::uint32_t paths_in_doc = 1;
+  /// Simulated publish timestamp (set by the simulator) for delay metrics.
+  double publish_time = 0.0;
+};
+
+using Payload = std::variant<AdvertiseMsg, SubscribeMsg, UnsubscribeMsg,
+                             PublishMsg, UnadvertiseMsg>;
+
+enum class MessageType : unsigned char {
+  kAdvertise,
+  kSubscribe,
+  kUnsubscribe,
+  kPublish,
+  kUnadvertise,
+};
+
+inline constexpr std::size_t kMessageTypeCount = 5;
+
+struct Message {
+  Payload payload;
+
+  MessageType type() const {
+    return static_cast<MessageType>(payload.index());
+  }
+
+  /// Approximate wire size in bytes, for the bandwidth model.
+  std::size_t wire_bytes() const;
+
+  static Message advertise(Advertisement a, int origin) {
+    return Message{AdvertiseMsg{std::move(a), origin}};
+  }
+  static Message subscribe(Xpe x) { return Message{SubscribeMsg{std::move(x)}}; }
+  static Message unsubscribe(Xpe x) {
+    return Message{UnsubscribeMsg{std::move(x)}};
+  }
+  static Message unadvertise(Advertisement a, int origin) {
+    return Message{UnadvertiseMsg{std::move(a), origin}};
+  }
+};
+
+const char* to_string(MessageType type);
+
+}  // namespace xroute

@@ -1,0 +1,189 @@
+#include "router/routing_tables.hpp"
+
+#include <algorithm>
+
+#include "match/adv_match.hpp"
+#include "match/pub_match.hpp"
+
+namespace xroute {
+
+bool Srt::add(const Advertisement& adv, int hop) {
+  auto it = by_adv_.find(adv);
+  if (it != by_adv_.end()) {
+    it->second->hops.insert(hop);
+    return false;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->advertisement = adv;
+  entry->hops.insert(hop);
+  by_adv_.emplace(adv, entry.get());
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+bool Srt::remove(const Advertisement& adv, int hop) {
+  auto it = by_adv_.find(adv);
+  if (it == by_adv_.end()) return false;
+  Entry* entry = it->second;
+  if (entry->hops.erase(hop) == 0) return false;
+  if (entry->hops.empty()) {
+    by_adv_.erase(it);
+    entries_.erase(std::find_if(
+        entries_.begin(), entries_.end(),
+        [&](const std::unique_ptr<Entry>& e) { return e.get() == entry; }));
+  }
+  return true;
+}
+
+bool Srt::entry_overlaps(const Entry& entry, const Xpe& xpe) const {
+  ++comparisons_;
+  if (entry.advertisement.non_recursive()) {
+    return nonrec_adv_overlaps(entry.advertisement.flat_elements(), xpe);
+  }
+  if (!entry.automaton) {
+    // Lazily compile; Entry is owned by unique_ptr so the address is
+    // stable and the cache is per-advertisement.
+    const_cast<Entry&>(entry).automaton =
+        std::make_unique<AdvAutomaton>(entry.advertisement);
+  }
+  return entry.automaton->overlaps(xpe);
+}
+
+std::set<int> Srt::hops_overlapping(const Xpe& xpe) const {
+  std::set<int> hops;
+  for (const auto& entry : entries_) {
+    // Skip entries whose every hop is already selected.
+    bool all_present = std::all_of(entry->hops.begin(), entry->hops.end(),
+                                   [&](int h) { return hops.count(h) > 0; });
+    if (all_present) continue;
+    if (entry_overlaps(*entry, xpe)) {
+      hops.insert(entry->hops.begin(), entry->hops.end());
+    }
+  }
+  return hops;
+}
+
+Prt::Prt(bool covering, bool track_covered) : covering_(covering) {
+  if (covering_) {
+    SubscriptionTree::Options opts;
+    opts.track_covered = track_covered;
+    tree_ = std::make_unique<SubscriptionTree>(opts);
+  }
+}
+
+Prt::InsertOutcome Prt::insert(const Xpe& xpe, int hop) {
+  InsertOutcome outcome;
+  if (covering_) {
+    auto result = tree_->insert(xpe, hop);
+    outcome.was_new = result.was_new;
+    outcome.covered = result.covered_by_existing;
+    outcome.now_covered = std::move(result.now_covered);
+    return outcome;
+  }
+  auto it = flat_index_.find(xpe);
+  if (it != flat_index_.end()) {
+    flat_[it->second].hops.insert(hop);
+    outcome.was_new = false;
+    return outcome;
+  }
+  flat_index_.emplace(xpe, flat_.size());
+  flat_.push_back(FlatEntry{xpe, {hop}});
+  outcome.was_new = true;
+  return outcome;
+}
+
+bool Prt::remove(const Xpe& xpe, int hop) {
+  if (covering_) return tree_->remove(xpe, hop);
+  auto it = flat_index_.find(xpe);
+  if (it == flat_index_.end()) return false;
+  FlatEntry& entry = flat_[it->second];
+  if (entry.hops.erase(hop) == 0) return false;
+  if (entry.hops.empty()) {
+    // Swap-and-pop, fixing the displaced entry's index.
+    std::size_t pos = it->second;
+    flat_index_.erase(it);
+    if (pos + 1 != flat_.size()) {
+      flat_[pos] = std::move(flat_.back());
+      flat_index_[flat_[pos].xpe] = pos;
+    }
+    flat_.pop_back();
+  }
+  return true;
+}
+
+std::set<int> Prt::match_hops(const Path& path) const {
+  if (covering_) return tree_->match_hops(path);
+  std::set<int> hops;
+  for (const FlatEntry& entry : flat_) {
+    ++flat_comparisons_;
+    if (matches(path, entry.xpe)) {
+      hops.insert(entry.hops.begin(), entry.hops.end());
+    }
+  }
+  return hops;
+}
+
+std::vector<std::pair<const Xpe*, const std::set<int>*>> Prt::match_entries(
+    const Path& path) const {
+  std::vector<std::pair<const Xpe*, const std::set<int>*>> out;
+  if (covering_) {
+    for (const SubscriptionTree::Node* node : tree_->match_nodes(path)) {
+      out.emplace_back(&node->xpe, &node->hops);
+    }
+    return out;
+  }
+  for (const FlatEntry& entry : flat_) {
+    ++flat_comparisons_;
+    if (matches(path, entry.xpe)) out.emplace_back(&entry.xpe, &entry.hops);
+  }
+  return out;
+}
+
+std::size_t Prt::size() const {
+  return covering_ ? tree_->size() : flat_.size();
+}
+
+bool Prt::contains(const Xpe& xpe) const {
+  if (covering_) return tree_->find(xpe) != nullptr;
+  return flat_index_.find(xpe) != flat_index_.end();
+}
+
+std::vector<Xpe> Prt::all_xpes() const {
+  std::vector<Xpe> out;
+  if (covering_) {
+    out.reserve(tree_->size());
+    tree_->for_each(
+        [&](const SubscriptionTree::Node& node) { out.push_back(node.xpe); });
+  } else {
+    out.reserve(flat_.size());
+    for (const FlatEntry& entry : flat_) out.push_back(entry.xpe);
+  }
+  return out;
+}
+
+std::vector<std::pair<Xpe, std::set<int>>> Prt::entries_with_hops() const {
+  std::vector<std::pair<Xpe, std::set<int>>> out;
+  if (covering_) {
+    tree_->for_each([&](const SubscriptionTree::Node& node) {
+      out.emplace_back(node.xpe, node.hops);
+    });
+  } else {
+    for (const FlatEntry& entry : flat_) out.emplace_back(entry.xpe, entry.hops);
+  }
+  return out;
+}
+
+std::vector<Xpe> Prt::top_level_xpes() const {
+  if (!covering_) return all_xpes();
+  std::vector<Xpe> out;
+  for (const auto& node : tree_->root()->children) {
+    if (node->super_sources.empty()) out.push_back(node->xpe);
+  }
+  return out;
+}
+
+std::size_t Prt::comparisons() const {
+  return covering_ ? tree_->comparisons() : flat_comparisons_;
+}
+
+}  // namespace xroute

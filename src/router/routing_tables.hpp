@@ -1,0 +1,114 @@
+// The two routing tables of an XML content-based router (paper §2.1):
+//
+//   SRT — subscription routing table: <advertisement, lasthop> tuples.
+//         Subscriptions are matched against it to decide which neighbours
+//         lead to publishers whose data can satisfy them.
+//   PRT — publication routing table: <subscription, lasthop> tuples.
+//         Publications are matched against it to trace back along the
+//         paths subscriptions built. With covering enabled the PRT *is*
+//         the subscription tree of §4.1; without it, a flat list (the
+//         paper's no-covering baseline).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adv/advertisement.hpp"
+#include "index/subscription_tree.hpp"
+#include "match/adv_automaton.hpp"
+#include "match/rec_adv_match.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+/// Subscription routing table.
+class Srt {
+ public:
+  struct Entry {
+    Advertisement advertisement;
+    std::set<int> hops;
+    /// Compiled matcher for recursive advertisements (lazily built).
+    std::unique_ptr<AdvAutomaton> automaton;
+  };
+
+  /// Records the advertisement as reachable via `hop`. Returns true if the
+  /// advertisement itself is new to this broker (=> flood it on).
+  bool add(const Advertisement& adv, int hop);
+
+  /// Drops an advertisement/hop pair (unadvertise support).
+  bool remove(const Advertisement& adv, int hop);
+
+  /// All hops through which some advertisement overlapping `xpe` arrived —
+  /// the next hops for forwarding the subscription.
+  std::set<int> hops_overlapping(const Xpe& xpe) const;
+
+  /// Does any advertisement from `hop` overlap `xpe`? (Used to route
+  /// existing subscriptions toward a newly arrived advertisement.)
+  bool entry_overlaps(const Entry& entry, const Xpe& xpe) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<std::unique_ptr<Entry>>& entries() const {
+    return entries_;
+  }
+
+  /// Overlap-test counter (reported by the processing-time experiments).
+  std::size_t comparisons() const { return comparisons_; }
+
+ private:
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<Advertisement, Entry*, AdvHash> by_adv_;
+  mutable std::size_t comparisons_ = 0;
+};
+
+/// Publication routing table: subscription-tree or flat, behind one
+/// interface so the broker code is oblivious to the covering mode.
+class Prt {
+ public:
+  struct InsertOutcome {
+    bool was_new = false;
+    bool covered = false;
+    std::vector<Xpe> now_covered;
+  };
+
+  explicit Prt(bool covering, bool track_covered = true);
+
+  InsertOutcome insert(const Xpe& xpe, int hop);
+  bool remove(const Xpe& xpe, int hop);
+  std::set<int> match_hops(const Path& path) const;
+  /// Matching subscriptions with their hop sets (edge delivery needs both).
+  std::vector<std::pair<const Xpe*, const std::set<int>*>> match_entries(
+      const Path& path) const;
+  std::size_t size() const;
+  std::size_t comparisons() const;
+  bool covering() const { return covering_; }
+  bool contains(const Xpe& xpe) const;
+  /// Every stored subscription (tree or flat).
+  std::vector<Xpe> all_xpes() const;
+  /// Subscriptions that are not covered by any other (covering mode: tree
+  /// roots without super sources; flat mode: everything).
+  std::vector<Xpe> top_level_xpes() const;
+  /// Every stored subscription with its hop set (both modes; snapshots).
+  std::vector<std::pair<Xpe, std::set<int>>> entries_with_hops() const;
+
+  /// Covering mode only: the underlying tree (merging runs on it).
+  SubscriptionTree* tree() { return tree_.get(); }
+  const SubscriptionTree* tree() const { return tree_.get(); }
+
+ private:
+  bool covering_;
+  std::unique_ptr<SubscriptionTree> tree_;  // covering mode
+  // Flat mode storage.
+  struct FlatEntry {
+    Xpe xpe;
+    std::set<int> hops;
+  };
+  std::vector<FlatEntry> flat_;
+  std::unordered_map<Xpe, std::size_t, XpeHash> flat_index_;
+  mutable std::size_t flat_comparisons_ = 0;
+};
+
+}  // namespace xroute

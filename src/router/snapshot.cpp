@@ -1,0 +1,153 @@
+#include "router/snapshot.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+
+namespace {
+
+constexpr const char kHeader[] = "xroute-broker-snapshot 1";
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      return fields;
+    }
+    fields.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+}
+
+int parse_int(const std::string& field) {
+  try {
+    return std::stoi(field);
+  } catch (const std::exception&) {
+    throw ParseError("snapshot: bad integer '" + field + "'");
+  }
+}
+
+}  // namespace
+
+void save_snapshot(const Broker& broker, std::ostream& out) {
+  out << kHeader << '\n';
+
+  for (const auto& entry : broker.srt().entries()) {
+    out << "srt\t" << entry->advertisement.to_string();
+    for (int hop : entry->hops) out << '\t' << hop;
+    out << '\n';
+  }
+
+  for (const auto& [xpe, hops] : broker.prt().entries_with_hops()) {
+    out << "sub\t" << xpe.to_string();
+    for (int hop : hops) out << '\t' << hop;
+    out << '\n';
+  }
+  if (broker.prt().covering()) {
+    broker.prt().tree()->for_each([&](const SubscriptionTree::Node& node) {
+      if (!node.merger) return;
+      out << "merger\t" << node.xpe.to_string();
+      for (const Xpe& original : node.merged_from) {
+        out << '\t' << original.to_string();
+      }
+      out << '\n';
+    });
+  }
+
+  for (const auto& [interface_id, xpes] : broker.client_tables()) {
+    out << "client\t" << interface_id;
+    for (const Xpe& xpe : xpes) out << '\t' << xpe.to_string();
+    out << '\n';
+  }
+
+  for (const auto& [xpe, interfaces] : broker.forwarding_record()) {
+    out << "fwd\t" << xpe.to_string();
+    for (int interface_id : interfaces) out << '\t' << interface_id;
+    out << '\n';
+  }
+
+  out << "end\n";
+  if (!out) throw std::runtime_error("snapshot: write failure");
+}
+
+void load_snapshot(Broker& broker, std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw ParseError("snapshot: missing or unsupported header");
+  }
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      ended = true;
+      break;
+    }
+    std::vector<std::string> fields = split_tabs(line);
+    const std::string& kind = fields[0];
+    if (kind == "srt") {
+      if (fields.size() < 3) throw ParseError("snapshot: srt needs hops");
+      Advertisement adv = parse_advertisement(fields[1]);
+      std::set<int> hops;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        hops.insert(parse_int(fields[i]));
+      }
+      broker.restore_advertisement(adv, hops);
+    } else if (kind == "sub") {
+      if (fields.size() < 3) throw ParseError("snapshot: sub needs hops");
+      Xpe xpe = parse_xpe(fields[1]);
+      std::set<int> hops;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        hops.insert(parse_int(fields[i]));
+      }
+      broker.restore_subscription(xpe, hops);
+    } else if (kind == "merger") {
+      if (fields.size() < 2) throw ParseError("snapshot: bad merger line");
+      Xpe merger = parse_xpe(fields[1]);
+      std::vector<Xpe> originals;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        originals.push_back(parse_xpe(fields[i]));
+      }
+      broker.restore_merger(merger, originals);
+    } else if (kind == "client") {
+      if (fields.size() < 2) throw ParseError("snapshot: bad client line");
+      int interface_id = parse_int(fields[1]);
+      std::vector<Xpe> xpes;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        xpes.push_back(parse_xpe(fields[i]));
+      }
+      broker.restore_client_table(interface_id, std::move(xpes));
+    } else if (kind == "fwd") {
+      if (fields.size() < 2) throw ParseError("snapshot: bad fwd line");
+      Xpe xpe = parse_xpe(fields[1]);
+      std::set<int> interfaces;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        interfaces.insert(parse_int(fields[i]));
+      }
+      broker.restore_forwarding(xpe, std::move(interfaces));
+    } else {
+      throw ParseError("snapshot: unknown record '" + kind + "'");
+    }
+  }
+  if (!ended) throw ParseError("snapshot: truncated (no 'end')");
+}
+
+std::string snapshot_to_string(const Broker& broker) {
+  std::ostringstream os;
+  save_snapshot(broker, os);
+  return os.str();
+}
+
+void snapshot_from_string(Broker& broker, const std::string& text) {
+  std::istringstream is(text);
+  load_snapshot(broker, is);
+}
+
+}  // namespace xroute

@@ -1,0 +1,43 @@
+// Broker state snapshot & restore.
+//
+// A broker's routing state is fully reconstructible from four relations:
+// SRT entries (advertisement, hops), PRT subscriptions (XPE, hops, merger
+// metadata), per-client original XPEs, and the forwarding record
+// (XPE, interfaces). The snapshot serialises them to a line-oriented text
+// format (every element already has an exact textual round-trip) so a
+// restarted broker resumes routing without a network-wide re-subscription
+// storm.
+//
+// Format (one record per line, '\t'-separated fields; strings are the
+// canonical to_string forms, which never contain tabs or newlines):
+//
+//   xroute-broker-snapshot 1
+//   srt\t<advertisement>\t<hop>...
+//   sub\t<xpe>\t<hop>...
+//   merger\t<xpe>\t<original>...
+//   client\t<interface>\t<xpe>...
+//   fwd\t<xpe>\t<interface>...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "router/broker.hpp"
+
+namespace xroute {
+
+/// Writes `broker`'s routing state. Throws on stream failure.
+void save_snapshot(const Broker& broker, std::ostream& out);
+
+/// Rebuilds routing state into `broker` — a freshly constructed Broker
+/// with the same interfaces (neighbors/clients) declared. Throws
+/// ParseError on malformed input. Existing state is not cleared; restoring
+/// into a non-empty broker is undefined.
+void load_snapshot(Broker& broker, std::istream& in);
+
+/// Convenience round-trip through a string (used by tests and tools).
+std::string snapshot_to_string(const Broker& broker);
+void snapshot_from_string(Broker& broker, const std::string& text);
+
+}  // namespace xroute

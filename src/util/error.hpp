@@ -1,0 +1,16 @@
+// Error types shared across the xroute parsers and engines.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xroute {
+
+/// Raised by the XPath, XML and DTD parsers on malformed input. Carries a
+/// human-readable message including the offending position where available.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace xroute

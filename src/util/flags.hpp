@@ -1,0 +1,101 @@
+// Minimal command-line flag parsing for the bench harnesses and examples.
+//
+// Supported syntax:  --name=value   --name value   --flag   (boolean true)
+// Unknown flags raise an error listing the registered names, so a typo in a
+// bench invocation fails loudly instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xroute {
+
+/// Registry-style flag parser: declare flags with defaults, then parse().
+class Flags {
+ public:
+  explicit Flags(std::string description) : description_(std::move(description)) {}
+
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help) {
+    values_[name] = default_value;
+    help_[name] = help;
+  }
+
+  /// Parses argv; returns false (after printing usage) if --help was given.
+  bool parse(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      std::string arg = args[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(argv[0]);
+        return false;
+      }
+      if (arg.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected positional argument: " + arg);
+      }
+      arg = arg.substr(2);
+      std::string name, value;
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+      } else {
+        name = arg;
+        // A flag without '=' consumes the next token unless it looks like
+        // another flag; bare flags become boolean true.
+        if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+          value = args[++i];
+        } else {
+          value = "true";
+        }
+      }
+      auto it = values_.find(name);
+      if (it == values_.end()) {
+        std::ostringstream os;
+        os << "unknown flag --" << name << "; known flags:";
+        for (const auto& [k, v] : values_) os << " --" << k;
+        throw std::invalid_argument(os.str());
+      }
+      it->second = value;
+    }
+    return true;
+  }
+
+  std::string get_string(const std::string& name) const { return at(name); }
+  int get_int(const std::string& name) const { return std::stoi(at(name)); }
+  std::int64_t get_int64(const std::string& name) const { return std::stoll(at(name)); }
+  double get_double(const std::string& name) const { return std::stod(at(name)); }
+  bool get_bool(const std::string& name) const {
+    const std::string& v = at(name);
+    return v == "true" || v == "1" || v == "yes";
+  }
+
+  void print_usage(const char* prog) const {
+    std::cout << prog << " — " << description_ << "\n\nFlags:\n";
+    for (const auto& [name, def] : values_) {
+      std::cout << "  --" << name << " (default: " << def << ")\n      "
+                << help_.at(name) << "\n";
+    }
+  }
+
+ private:
+  const std::string& at(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      throw std::invalid_argument("flag not defined: " + name);
+    }
+    return it->second;
+  }
+
+  std::string description_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace xroute

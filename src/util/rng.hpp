@@ -1,0 +1,52 @@
+// Deterministic, seedable random number utilities.
+//
+// Every stochastic component in xroute (workload generators, topology
+// builders, experiment drivers) takes an explicit Rng so runs are
+// reproducible from a single seed printed by the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace xroute {
+
+/// Thin wrapper around std::mt19937_64 with the handful of draws we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t in [0, n-1]. Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Derives an independent child generator (for parallel workloads).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xroute

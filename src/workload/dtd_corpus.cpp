@@ -1,0 +1,201 @@
+#include "workload/dtd_corpus.hpp"
+
+#include <stdexcept>
+
+#include "dtd/parser.hpp"
+
+namespace xroute {
+
+namespace {
+
+// NEWS: a NITF-like news mark-up DTD. Recursive through the self-nesting
+// `block` container (NITF's block can contain block). Rich, shared inline
+// and flow content multiplies the number of distinct root-to-leaf paths,
+// giving a large derived-advertisement set.
+const char kNewsDtd[] = R"DTD(
+<!-- NEWS: synthetic NITF-like DTD (see workload/dtd_corpus.h) -->
+<!ELEMENT news (head, body)>
+
+<!ELEMENT head (title, meta*, tobject?, docdata, pubdata*, revision?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT tobject (tobject.property*, tobject.subject*)>
+<!ELEMENT tobject.property EMPTY>
+<!ELEMENT tobject.subject EMPTY>
+<!ELEMENT docdata (doc-id, urgency?, fixture?, date.issue, date.release?,
+                   date.expire?, doc-scope*, ed-msg?, du-key?,
+                   doc.copyright?, doc.rights?, key-list?,
+                   identified-content?)>
+<!ELEMENT doc-id EMPTY>
+<!ELEMENT urgency (#PCDATA)>
+<!ATTLIST urgency level (flash | urgent | routine) #REQUIRED>
+<!ELEMENT fixture EMPTY>
+<!ELEMENT date.issue (#PCDATA)>
+<!ELEMENT date.release (#PCDATA)>
+<!ELEMENT date.expire (#PCDATA)>
+<!ELEMENT doc-scope (#PCDATA)>
+<!ELEMENT ed-msg (#PCDATA)>
+<!ELEMENT du-key (#PCDATA)>
+<!ELEMENT doc.copyright (#PCDATA)>
+<!ELEMENT doc.rights (#PCDATA)>
+<!ELEMENT key-list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT identified-content (classifier | location | person | org | event)*>
+<!ELEMENT classifier (#PCDATA)>
+<!ELEMENT org (#PCDATA)>
+<!ELEMENT event (#PCDATA)>
+<!ELEMENT pubdata EMPTY>
+<!ELEMENT revision (#PCDATA)>
+
+<!ELEMENT body (body.head?, body.content, body.end?)>
+<!ELEMENT body.head (hedline?, note*, rights?, byline*, distributor?,
+                     dateline*, abstract?)>
+<!ELEMENT hedline (hl1, hl2*)>
+<!ELEMENT hl1 (#PCDATA)>
+<!ELEMENT hl2 (#PCDATA)>
+<!ELEMENT note (p | ul | ol | table | media)*>
+<!ELEMENT rights (#PCDATA)>
+<!ELEMENT byline (person?, byttl?, location?)>
+<!ELEMENT person (#PCDATA)>
+<!ELEMENT byttl (#PCDATA)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT distributor (#PCDATA)>
+<!ELEMENT dateline (location?, story.date?)>
+<!ELEMENT story.date (#PCDATA)>
+<!ELEMENT abstract (p | block)*>
+
+<!ELEMENT body.content (block | sidebar)*>
+<!ELEMENT sidebar (p | block | media | ul)*>
+<!-- The recursion: a block may contain further blocks, as NITF's does. -->
+<!ELEMENT block (p | hl2 | ul | ol | dl | table | media | note | bq | fn |
+                 pre | block)*>
+<!ATTLIST block style CDATA #IMPLIED>
+<!ELEMENT bq (p | credit)*>
+<!ELEMENT credit (#PCDATA)>
+<!ELEMENT fn (p)*>
+<!ELEMENT pre (#PCDATA)>
+<!ELEMENT p (#PCDATA | em | strong | a | q | sub | sup | abbr | cite |
+             code | span)*>
+<!ELEMENT abbr (#PCDATA)>
+<!ELEMENT cite (#PCDATA)>
+<!ELEMENT code (#PCDATA)>
+<!ELEMENT span (#PCDATA)>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT strong (#PCDATA)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT q (#PCDATA)>
+<!ELEMENT sub (#PCDATA)>
+<!ELEMENT sup (#PCDATA)>
+<!ELEMENT ul (li)+>
+<!ELEMENT ol (li)+>
+<!ELEMENT li (#PCDATA | p | em)*>
+<!ELEMENT dl (dt | dd)+>
+<!ELEMENT dt (#PCDATA)>
+<!ELEMENT dd (#PCDATA | p)*>
+<!ELEMENT table (caption?, tr+)>
+<!ELEMENT caption (#PCDATA | em)*>
+<!ELEMENT tr (th | td)+>
+<!ELEMENT th (#PCDATA | em | strong)*>
+<!ELEMENT td (#PCDATA | em | strong)*>
+<!ELEMENT media (media-metadata*, media-reference+, media-caption*,
+                 media-producer?)>
+<!ATTLIST media type (photo | video | audio | graphic) #REQUIRED
+                width CDATA #IMPLIED>
+<!ELEMENT media-metadata EMPTY>
+<!ELEMENT media-reference (#PCDATA)>
+<!ELEMENT media-caption (#PCDATA | em)*>
+<!ELEMENT media-producer (#PCDATA)>
+
+<!ELEMENT body.end (tagline?, bibliography?, block*)>
+<!ELEMENT tagline (#PCDATA | em)*>
+<!ELEMENT bibliography (#PCDATA)>
+)DTD";
+
+// PSD: a protein-sequence-database-like DTD. Non-recursive, deep-ish,
+// with a small set of root-to-leaf paths.
+const char kPsdDtd[] = R"DTD(
+<!-- PSD: synthetic Protein Sequence Database-like DTD -->
+<!ELEMENT ProteinDatabase (ProteinEntry)+>
+<!ELEMENT ProteinEntry (header, protein, organism, reference*, genetics?,
+                        classification?, keywords?, feature*, annotation*,
+                        summary, sequence)>
+<!ELEMENT header (uid, accession+, created?, seq-rev?)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created (#PCDATA)>
+<!ELEMENT seq-rev (#PCDATA)>
+<!ELEMENT protein (name, name-class?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT name-class (#PCDATA)>
+<!ELEMENT organism (source, common?, formal?)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo?)>
+<!ELEMENT refinfo (authors, citation, volume?, year)>
+<!ELEMENT authors (author)+>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT accinfo (mol-type?, label?)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+<!ELEMENT genetics (gene*, codon?)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT codon (#PCDATA)>
+<!ELEMENT classification (superfamily)*>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT keywords (keyword)*>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (seq-spec, description?)>
+<!ELEMENT annotation (site | region | domain | motif | ptm | variant |
+                      conflict | signal | transit | binding)>
+<!ATTLIST annotation status (experimental | predicted) #REQUIRED
+                     position CDATA #IMPLIED>
+<!ELEMENT site (#PCDATA)><!ELEMENT region (#PCDATA)>
+<!ELEMENT domain (#PCDATA)><!ELEMENT motif (#PCDATA)>
+<!ELEMENT ptm (#PCDATA)><!ELEMENT variant (#PCDATA)>
+<!ELEMENT conflict (#PCDATA)><!ELEMENT signal (#PCDATA)>
+<!ELEMENT transit (#PCDATA)><!ELEMENT binding (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT summary (length, type)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence length CDATA #REQUIRED>
+)DTD";
+
+}  // namespace
+
+const std::string& news_dtd_text() {
+  static const std::string text(kNewsDtd);
+  return text;
+}
+
+const std::string& psd_dtd_text() {
+  static const std::string text(kPsdDtd);
+  return text;
+}
+
+Dtd news_dtd() {
+  Dtd dtd = parse_dtd(news_dtd_text());
+  dtd.set_root("news");
+  return dtd;
+}
+
+Dtd psd_dtd() {
+  Dtd dtd = parse_dtd(psd_dtd_text());
+  dtd.set_root("ProteinDatabase");
+  return dtd;
+}
+
+Dtd corpus_dtd(const std::string& name) {
+  if (name == "news") return news_dtd();
+  if (name == "psd") return psd_dtd();
+  throw std::invalid_argument("unknown corpus DTD: " + name +
+                              " (expected 'news' or 'psd')");
+}
+
+}  // namespace xroute

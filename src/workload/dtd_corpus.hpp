@@ -1,0 +1,30 @@
+// Bundled corpus DTDs.
+//
+// The paper experiments with the NITF (News Industry Text Format) DTD —
+// recursive, with a large derived-advertisement set — and the PSD (Protein
+// Sequence Database) DTD — non-recursive, small advertisement set, deep
+// paths. Both originals are third-party artefacts; the corpus bundles
+// synthetic stand-ins, NEWS and PSD, engineered to preserve the structural
+// properties the experiments depend on: NEWS is recursive (self-nesting
+// `block` containers, like NITF) and derives an advertisement set well
+// over an order of magnitude larger than PSD's (the paper reports ~35x).
+#pragma once
+
+#include <string>
+
+#include "dtd/dtd.hpp"
+
+namespace xroute {
+
+const std::string& news_dtd_text();
+const std::string& psd_dtd_text();
+
+/// Parsed corpus DTDs (root element set).
+Dtd news_dtd();
+Dtd psd_dtd();
+
+/// Convenience: corpus lookup by name ("news" | "psd"); throws
+/// std::invalid_argument otherwise.
+Dtd corpus_dtd(const std::string& name);
+
+}  // namespace xroute

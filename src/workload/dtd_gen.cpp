@@ -1,0 +1,101 @@
+#include "workload/dtd_gen.hpp"
+
+#include <string>
+#include <vector>
+
+namespace xroute {
+
+namespace {
+
+std::string element_name(std::size_t i) { return "e" + std::to_string(i); }
+
+}  // namespace
+
+Dtd generate_random_dtd(Rng& rng, const DtdGenOptions& options) {
+  const std::size_t n = std::max<std::size_t>(2, options.elements);
+  Dtd dtd;
+
+  // Layered construction: element i may reference only elements j > i
+  // (guaranteeing reachable leaves and finite minimal depth), plus
+  // optional self-references wrapped in a zero-or-more choice (clean
+  // recursion) and optional i+1 -> i back references (mutual 2-cycles).
+  for (std::size_t i = 0; i < n; ++i) {
+    ElementDecl decl;
+    decl.name = element_name(i);
+
+    const bool is_leaf = i + 1 >= n || (i > 0 && rng.chance(0.25));
+    if (is_leaf) {
+      ContentParticle content;
+      content.kind = rng.chance(0.5) ? ContentParticle::Kind::kPcdata
+                                     : ContentParticle::Kind::kEmpty;
+      decl.content = content;
+      dtd.add(std::move(decl));
+      continue;
+    }
+
+    std::size_t child_count =
+        1 + rng.index(std::min(options.max_children, n - i - 1));
+    std::vector<ContentParticle> kids;
+    for (std::size_t c = 0; c < child_count; ++c) {
+      std::size_t target = i + 1 + rng.index(n - i - 1);
+      Occurrence occ;
+      switch (rng.index(4)) {
+        case 0: occ = Occurrence::kOne; break;
+        case 1: occ = Occurrence::kOptional; break;
+        case 2: occ = Occurrence::kZeroOrMore; break;
+        default: occ = Occurrence::kOneOrMore; break;
+      }
+      kids.push_back(ContentParticle::element(element_name(target), occ));
+    }
+    if (rng.chance(options.self_recursion_prob)) {
+      // Self reference; kZeroOrMore keeps the minimal expansion finite.
+      kids.push_back(ContentParticle::element(element_name(i),
+                                              Occurrence::kZeroOrMore));
+    }
+    if (i > 0 && rng.chance(options.mutual_recursion_prob)) {
+      kids.push_back(ContentParticle::element(element_name(i - 1),
+                                              Occurrence::kZeroOrMore));
+    }
+
+    auto kind = rng.chance(options.choice_prob)
+                    ? ContentParticle::Kind::kChoice
+                    : ContentParticle::Kind::kSequence;
+    // Choices need a terminating alternative; make the whole group
+    // repeatable-or-absent half of the time so may_be_childless varies.
+    Occurrence group_occ =
+        rng.chance(0.5) ? Occurrence::kZeroOrMore : Occurrence::kOne;
+    if (kind == ContentParticle::Kind::kChoice &&
+        group_occ == Occurrence::kOne) {
+      // Guarantee finiteness: ensure at least one alternative terminates
+      // (references only later elements — true by construction) — nothing
+      // more needed; choices pick one child.
+    }
+    decl.content = ContentParticle::group(kind, std::move(kids), group_occ);
+    dtd.add(std::move(decl));
+  }
+
+  // Random attribute declarations.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(options.attribute_prob)) continue;
+    std::vector<AttributeDecl> attributes;
+    std::size_t count = 1 + rng.index(2);
+    for (std::size_t a = 0; a < count; ++a) {
+      AttributeDecl attribute;
+      attribute.name = "a" + std::to_string(a);
+      attribute.required = rng.chance(0.5);
+      if (rng.chance(0.5)) {
+        std::size_t values = 2 + rng.index(3);
+        for (std::size_t v = 0; v < values; ++v) {
+          attribute.enumeration.push_back("v" + std::to_string(v));
+        }
+      }
+      attributes.push_back(std::move(attribute));
+    }
+    dtd.add_attributes(element_name(i), std::move(attributes));
+  }
+
+  dtd.set_root(element_name(0));
+  return dtd;
+}
+
+}  // namespace xroute

@@ -1,0 +1,40 @@
+// Random DTD generator for fuzzing.
+//
+// Produces structurally valid DTDs by construction: closed (every
+// referenced element is declared), rooted, every element has a finite
+// minimal expansion, and recursion — when enabled — is the clean
+// self-loop kind the advertisement derivation handles exactly (mutual
+// cycles can be enabled separately to exercise the coarse-pattern +
+// repair fallback).
+//
+// Used by the fuzz tests to check, across hundreds of DTD shapes, that
+// advertisement derivation stays complete, generated documents stay
+// within the derived advertisement language, and generated queries stay
+// satisfiable.
+#pragma once
+
+#include <cstdint>
+
+#include "dtd/dtd.hpp"
+#include "util/rng.hpp"
+
+namespace xroute {
+
+struct DtdGenOptions {
+  std::size_t elements = 20;
+  /// Max direct children per content model.
+  std::size_t max_children = 4;
+  /// Probability an eligible element references itself (clean recursion).
+  double self_recursion_prob = 0.15;
+  /// Probability of a mutual 2-cycle (exercises the derivation fallback).
+  double mutual_recursion_prob = 0.0;
+  /// Probability a group is a choice rather than a sequence.
+  double choice_prob = 0.5;
+  /// Probability an element gets an <!ATTLIST> with 1-2 attributes.
+  double attribute_prob = 0.3;
+};
+
+/// Generates a random DTD; deterministic in `rng`'s state.
+Dtd generate_random_dtd(Rng& rng, const DtdGenOptions& options = {});
+
+}  // namespace xroute

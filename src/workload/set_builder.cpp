@@ -1,0 +1,234 @@
+#include "workload/set_builder.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "dtd/graph.hpp"
+#include "dtd/universe.hpp"
+#include "index/subscription_tree.hpp"
+#include "util/rng.hpp"
+
+namespace xroute {
+
+namespace {
+
+/// A member with substitution capacity: its wildcard positions and the
+/// underlying concrete path.
+struct Member {
+  Xpe xpe;
+  Path base;
+  std::vector<std::size_t> wildcards;
+};
+
+/// Per-path bookkeeping for the uncovered tier: variants with disjoint
+/// wildcard supports are pairwise incomparable, so claimed positions are
+/// never reused by another uncovered variant of the same path.
+struct PathState {
+  enum class Mode : unsigned char { kUnused, kConcrete, kVariants };
+
+  Path path;
+  std::vector<bool> claimed;
+  Mode mode = Mode::kUnused;
+
+  std::vector<std::size_t> free_positions() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (!claimed[i]) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+Xpe with_wildcards(const Path& path,
+                   const std::vector<std::size_t>& positions) {
+  std::vector<Step> steps;
+  steps.reserve(path.size());
+  for (const std::string& e : path.elements) {
+    steps.push_back(Step{Axis::kChild, e});
+  }
+  for (std::size_t pos : positions) steps[pos].name = kWildcard;
+  return Xpe::absolute(std::move(steps));
+}
+
+}  // namespace
+
+CoverSet build_covering_set(const Dtd& dtd, const CoverSetOptions& options) {
+  CoverSet result;
+  Rng rng(options.seed);
+
+  ElementGraph graph(dtd);
+  PathUniverse::Options uopts;
+  uopts.max_depth = options.max_length;
+  uopts.max_paths = 500000;
+  PathUniverse universe(dtd, uopts);
+  std::vector<PathState> paths;
+  for (const Path& p : universe.paths()) {
+    if (p.size() >= 2 &&
+        (p.size() == options.max_length || graph.is_leaf(p.elements.back()))) {
+      paths.push_back(
+          PathState{p, std::vector<bool>(p.size(), false),
+                    PathState::Mode::kUnused});
+    }
+  }
+  if (paths.empty()) return result;
+  std::shuffle(paths.begin(), paths.end(), rng.engine());
+  std::vector<std::string> alphabet = graph.all_elements();
+
+  // Exact covering-state tracking: `uncovered` mirrors the tree's
+  // knowledge, updated from each InsertResult.
+  SubscriptionTree tree;
+  std::unordered_set<Xpe, XpeHash> uncovered;
+  std::unordered_set<std::string> emitted;
+  std::vector<Member> members;
+  std::vector<std::size_t> specializable;
+
+  auto insert = [&](const Xpe& xpe, const Path& base,
+                    std::vector<std::size_t> wildcards) {
+    if (!emitted.insert(xpe.to_string()).second) return false;
+    auto r = tree.insert(xpe, 0);
+    if (!r.was_new) return false;
+    if (!r.covered_by_existing) uncovered.insert(xpe);
+    for (const Xpe& newly : r.now_covered) uncovered.erase(newly);
+    members.push_back(Member{xpe, base, std::move(wildcards)});
+    if (!members.back().wildcards.empty()) {
+      specializable.push_back(members.size() - 1);
+    }
+    result.xpes.push_back(xpe);
+    return true;
+  };
+
+  // ---- uncovered tier ------------------------------------------------
+  // Concrete maximal paths first (pairwise incomparable), then
+  // disjoint-support wildcard variants, pre-checked against the tree so a
+  // candidate that would land covered is discarded.
+  std::size_t next_concrete = 0;
+  std::size_t path_cursor = 0;
+  // A candidate meant to stay uncovered must neither be covered by the
+  // set nor cover an uncovered member (which would flip that member and
+  // destabilise the rate).
+  auto stays_independent = [&](const Xpe& candidate) {
+    if (tree.covered(candidate)) return false;
+    for (const Xpe& u : uncovered) {
+      if (covers(candidate, u)) return false;
+    }
+    return true;
+  };
+
+  auto add_variant_uncovered = [&]() {
+    for (std::size_t tries = 0; tries < paths.size(); ++tries) {
+      PathState& state = paths[path_cursor];
+      path_cursor = (path_cursor + 1) % paths.size();
+      // Variants live only on paths whose concrete form is NOT in the set
+      // (a variant of P covers concrete(P)).
+      if (state.mode == PathState::Mode::kConcrete) continue;
+      std::vector<std::size_t> free = state.free_positions();
+      if (free.empty()) continue;
+      std::shuffle(free.begin(), free.end(), rng.engine());
+      std::size_t support =
+          std::min<std::size_t>(free.size(), rng.chance(0.5) ? 1 : 2);
+      std::vector<std::size_t> positions(free.begin(),
+                                         free.begin() + support);
+      Xpe candidate = with_wildcards(state.path, positions);
+      if (emitted.count(candidate.to_string())) continue;
+      for (std::size_t pos : positions) state.claimed[pos] = true;
+      if (!stays_independent(candidate)) continue;
+      if (insert(candidate, state.path, positions)) {
+        state.mode = PathState::Mode::kVariants;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto add_uncovered_intent = [&]() {
+    while (next_concrete < paths.size()) {
+      PathState& state = paths[next_concrete++];
+      if (state.mode != PathState::Mode::kUnused) continue;
+      Xpe candidate = with_wildcards(state.path, {});
+      if (emitted.count(candidate.to_string())) continue;
+      if (!stays_independent(candidate)) continue;
+      if (insert(candidate, state.path, {})) {
+        state.mode = PathState::Mode::kConcrete;
+        return true;
+      }
+    }
+    return add_variant_uncovered();
+  };
+
+  // ---- covered tier ----------------------------------------------------
+  // Specialise an existing wildcarded member: substitute one wildcard with
+  // a concrete element; the donor covers the result by construction. If no
+  // donor exists yet, mint one (a fresh singleton variant).
+  auto add_covered_intent = [&]() {
+    for (int round = 0; round < 3; ++round) {
+      // Mint a fresh wildcarded donor when none exists, when earlier
+      // rounds failed (small donors' instantiation spaces exhaust under
+      // the distinctness requirement), and occasionally regardless — a
+      // single donor fathering the whole covered tier would make the
+      // set's covering structure degenerate.
+      if (specializable.empty() || round > 0 || rng.chance(0.1)) {
+        add_variant_uncovered();
+        if (specializable.empty()) return false;
+        if (result.xpes.size() >= options.count) return true;
+      }
+      for (int tries = 0; tries < 16; ++tries) {
+        const Member& donor =
+            members[specializable[rng.index(specializable.size())]];
+        // Fully instantiate every wildcard (ascending, so a substituted
+        // parent guides its child): the result is concrete, covered by
+        // the donor, and — crucially — covers nothing itself, so it can
+        // never flip an existing uncovered member and destabilise the
+        // rate. Early tries substitute elements the DTD allows under the
+        // (possibly substituted) parent, keeping queries plausible; later
+        // tries fall back to the whole element alphabet so small
+        // restricted spaces cannot exhaust the covered tier.
+        const bool restricted = tries < 8;
+        Path base = donor.base;
+        std::vector<std::size_t> positions = donor.wildcards;
+        std::sort(positions.begin(), positions.end());
+        for (std::size_t pos : positions) {
+          const std::vector<std::string>& allowed =
+              graph.children(base.elements[pos - 1]);
+          base.elements[pos] =
+              (restricted && !allowed.empty())
+                  ? allowed[rng.index(allowed.size())]
+                  : alphabet[rng.index(alphabet.size())];
+        }
+        Xpe candidate = with_wildcards(base, {});
+        if (emitted.count(candidate.to_string())) continue;
+        if (insert(candidate, base, {})) return true;
+      }
+    }
+    return false;
+  };
+
+  std::size_t stall = 0;
+  while (result.xpes.size() < options.count && stall < 4000) {
+    double rate =
+        result.xpes.empty()
+            ? 0.0
+            : 1.0 - static_cast<double>(uncovered.size()) /
+                        static_cast<double>(result.xpes.size());
+    bool want_covered = rate < options.target_rate;
+    bool ok = want_covered ? add_covered_intent() : add_uncovered_intent();
+    if (!ok && want_covered) {
+      // Covered sources dried up; drifting the rate down is harmless.
+      ok = add_uncovered_intent();
+    }
+    // When the uncovered tier is exhausted, stop rather than overshoot the
+    // target by padding with covered members.
+    if (!ok) break;
+    stall = ok ? 0 : stall + 1;
+  }
+
+  if (!result.xpes.empty()) {
+    result.constructed_rate =
+        1.0 - static_cast<double>(uncovered.size()) /
+                  static_cast<double>(result.xpes.size());
+  }
+  std::shuffle(result.xpes.begin(), result.xpes.end(), rng.engine());
+  return result;
+}
+
+}  // namespace xroute

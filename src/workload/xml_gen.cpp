@@ -1,0 +1,227 @@
+#include "workload/xml_gen.hpp"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace xroute {
+
+namespace {
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+/// Minimal depth contributed by a particle given current element-depth
+/// estimates (0 = can be instantiated with no element children).
+std::size_t particle_depth(const ContentParticle& p,
+                           const std::map<std::string, std::size_t>& depths) {
+  if (p.occurrence == Occurrence::kOptional ||
+      p.occurrence == Occurrence::kZeroOrMore) {
+    return 0;
+  }
+  switch (p.kind) {
+    case ContentParticle::Kind::kPcdata:
+    case ContentParticle::Kind::kEmpty:
+    case ContentParticle::Kind::kAny:
+      return 0;
+    case ContentParticle::Kind::kElement: {
+      auto it = depths.find(p.name);
+      return it == depths.end() ? kInf : it->second;
+    }
+    case ContentParticle::Kind::kSequence: {
+      std::size_t deepest = 0;
+      for (const ContentParticle& c : p.children) {
+        std::size_t d = particle_depth(c, depths);
+        if (d == kInf) return kInf;
+        deepest = std::max(deepest, d);
+      }
+      return deepest;
+    }
+    case ContentParticle::Kind::kChoice: {
+      std::size_t best = kInf;
+      for (const ContentParticle& c : p.children) {
+        best = std::min(best, particle_depth(c, depths));
+      }
+      return best;
+    }
+  }
+  return kInf;
+}
+
+std::map<std::string, std::size_t> compute_min_depths(const Dtd& dtd) {
+  std::map<std::string, std::size_t> depths;
+  for (const std::string& name : dtd.declaration_order()) depths[name] = kInf;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& name : dtd.declaration_order()) {
+      std::size_t content = particle_depth(dtd.element(name).content, depths);
+      std::size_t candidate = (content == kInf) ? kInf : content + 1;
+      if (candidate < depths[name]) {
+        depths[name] = candidate;
+        changed = true;
+      }
+    }
+  }
+  return depths;
+}
+
+const char* kFiller[] = {"lorem", "ipsum", "dolor", "sit",   "amet",
+                         "sed",   "diam",  "magna", "erat",  "ut",
+                         "labore", "quis", "ipso",  "facto", "novum"};
+
+class Generator {
+ public:
+  Generator(const Dtd& dtd, Rng& rng, const XmlGenOptions& options)
+      : dtd_(dtd), rng_(rng), options_(options),
+        min_depths_(compute_min_depths(dtd)) {
+    for (const auto& [name, depth] : min_depths_) {
+      if (depth == kInf) {
+        throw std::runtime_error("element '" + name +
+                                 "' has no finite expansion");
+      }
+    }
+  }
+
+  XmlNode make_element(const std::string& name, std::size_t depth) {
+    XmlNode node;
+    node.name = name;
+    const ElementDecl& decl = dtd_.element(name);
+    for (const AttributeDecl& attribute : decl.attributes) {
+      // Required attributes always appear; optional ones often do.
+      if (!attribute.required && !rng_.chance(0.7)) continue;
+      std::string value;
+      if (!attribute.enumeration.empty()) {
+        value = attribute.enumeration[rng_.index(attribute.enumeration.size())];
+      } else {
+        value = std::to_string(rng_.uniform_int(0, 999));
+      }
+      node.attributes.emplace_back(attribute.name, std::move(value));
+    }
+    expand(decl.content, node, depth);
+    return node;
+  }
+
+ private:
+  std::size_t repeats(Occurrence occ, bool minimal) {
+    switch (occ) {
+      case Occurrence::kOne:
+        return 1;
+      case Occurrence::kOptional:
+        return (!minimal && rng_.chance(options_.optional_prob)) ? 1 : 0;
+      case Occurrence::kZeroOrMore: {
+        if (minimal) return 0;
+        std::size_t n = 0;
+        while (n < options_.max_repeats && rng_.chance(options_.more_prob)) {
+          ++n;
+        }
+        return n;
+      }
+      case Occurrence::kOneOrMore: {
+        std::size_t n = 1;
+        while (!minimal && n < options_.max_repeats &&
+               rng_.chance(options_.more_prob)) {
+          ++n;
+        }
+        return n;
+      }
+    }
+    return 0;
+  }
+
+  void expand(const ContentParticle& p, XmlNode& node, std::size_t depth) {
+    bool minimal = depth >= options_.max_levels;
+    std::size_t n = repeats(p.occurrence, minimal);
+    for (std::size_t i = 0; i < n; ++i) {
+      instantiate_once(p, node, depth, minimal);
+    }
+  }
+
+  void instantiate_once(const ContentParticle& p, XmlNode& node,
+                        std::size_t depth, bool minimal) {
+    switch (p.kind) {
+      case ContentParticle::Kind::kElement:
+        node.children.push_back(make_element(p.name, depth + 1));
+        break;
+      case ContentParticle::Kind::kSequence:
+        for (const ContentParticle& c : p.children) expand(c, node, depth);
+        break;
+      case ContentParticle::Kind::kChoice: {
+        const ContentParticle* chosen = nullptr;
+        if (minimal) {
+          // Pick the shallowest alternative so the expansion terminates.
+          std::size_t best = kInf;
+          for (const ContentParticle& c : p.children) {
+            std::size_t d = particle_depth(c, min_depths_);
+            if (d < best) {
+              best = d;
+              chosen = &c;
+            }
+          }
+        } else {
+          chosen = &p.children[rng_.index(p.children.size())];
+        }
+        if (!chosen) return;
+        if (chosen->kind == ContentParticle::Kind::kPcdata) {
+          append_text(node);
+        } else {
+          // The alternative's own occurrence applies within the choice
+          // (an optional alternative may legally produce nothing).
+          expand(*chosen, node, depth);
+        }
+        break;
+      }
+      case ContentParticle::Kind::kPcdata:
+        append_text(node);
+        break;
+      case ContentParticle::Kind::kEmpty:
+      case ContentParticle::Kind::kAny:
+        break;
+    }
+  }
+
+  void append_text(XmlNode& node) {
+    std::size_t words = 2 + rng_.index(5);
+    for (std::size_t i = 0; i < words; ++i) {
+      if (!node.text.empty()) node.text += ' ';
+      node.text += kFiller[rng_.index(std::size(kFiller))];
+    }
+  }
+
+  const Dtd& dtd_;
+  Rng& rng_;
+  const XmlGenOptions& options_;
+  std::map<std::string, std::size_t> min_depths_;
+};
+
+}  // namespace
+
+std::size_t minimal_depth(const Dtd& dtd, const std::string& element) {
+  auto depths = compute_min_depths(dtd);
+  auto it = depths.find(element);
+  if (it == depths.end() || it->second == kInf) {
+    throw std::runtime_error("element '" + element +
+                             "' has no finite expansion");
+  }
+  return it->second;
+}
+
+XmlDocument generate_document(const Dtd& dtd, Rng& rng,
+                              const XmlGenOptions& options) {
+  Generator gen(dtd, rng, options);
+  XmlDocument doc(gen.make_element(dtd.root(), 1));
+
+  if (options.target_bytes > 0) {
+    std::size_t current = doc.byte_size();
+    if (current < options.target_bytes) {
+      // Pad character data at the root; filler text serialises 1:1.
+      std::string& text = doc.root().text;
+      std::size_t deficit = options.target_bytes - current;
+      text.reserve(text.size() + deficit);
+      static const char kPad[] = "abcdefgh ";
+      while (deficit-- > 0) text += kPad[deficit % 9];
+    }
+  }
+  return doc;
+}
+
+}  // namespace xroute

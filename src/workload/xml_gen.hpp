@@ -1,0 +1,44 @@
+// DTD-driven XML document generator.
+//
+// Models the IBM XML Generator the paper uses: stochastic expansion of the
+// DTD's content models with a cap on nesting depth (the paper sets 10
+// levels, matching the XPE length cap). Optionally pads character data to
+// reach a target serialized size, for the document-size delay experiments
+// (paper Figs. 10/11: 2K-40K documents).
+#pragma once
+
+#include <cstdint>
+
+#include "dtd/dtd.hpp"
+#include "util/rng.hpp"
+#include "xml/document.hpp"
+
+namespace xroute {
+
+struct XmlGenOptions {
+  /// Maximum element nesting depth; at the cap, expansion switches to the
+  /// minimal-depth instantiation of each content model.
+  std::size_t max_levels = 10;
+  /// Probability an optional ('?') particle is instantiated.
+  double optional_prob = 0.5;
+  /// Geometric continuation probability for '*' and '+' repetitions.
+  double more_prob = 0.35;
+  /// Hard cap on repetitions of one particle.
+  std::size_t max_repeats = 3;
+  /// If non-zero, pad character data until serialize() is at least this
+  /// many bytes.
+  std::size_t target_bytes = 0;
+};
+
+/// Generates one document conforming to `dtd` (element structure; character
+/// data is filler).
+XmlDocument generate_document(const Dtd& dtd, Rng& rng,
+                              const XmlGenOptions& options = {});
+
+/// Minimal achievable subtree depth of `element` under `dtd` (1 = the
+/// element itself can be a leaf). Used by the generator's depth capping;
+/// throws std::runtime_error if no finite expansion exists (a DTD where
+/// some element can never terminate).
+std::size_t minimal_depth(const Dtd& dtd, const std::string& element);
+
+}  // namespace xroute

@@ -1,0 +1,144 @@
+#include "workload/xpath_gen.hpp"
+
+#include <set>
+#include <string>
+
+#include "dtd/graph.hpp"
+#include "index/subscription_tree.hpp"
+
+namespace xroute {
+
+namespace {
+
+/// Random walk over the element graph starting at `start`, up to `length`
+/// elements (shorter if a leaf is reached).
+std::vector<std::string> random_walk(const ElementGraph& graph,
+                                     const std::string& start,
+                                     std::size_t length, Rng& rng) {
+  std::vector<std::string> walk;
+  std::string current = start;
+  walk.push_back(current);
+  while (walk.size() < length) {
+    const auto& kids = graph.children(current);
+    if (kids.empty()) break;
+    current = rng.pick(kids);
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+}  // namespace
+
+namespace {
+
+/// Decorates a concrete step with a random predicate over one of its
+/// element's declared attributes, when any exist.
+void maybe_add_predicate(const Dtd& dtd, const std::string& element,
+                         Step& step, double probability, Rng& rng) {
+  if (probability <= 0.0 || !rng.chance(probability)) return;
+  const auto& attributes = dtd.element(element).attributes;
+  if (attributes.empty()) return;
+  const AttributeDecl& attribute = attributes[rng.index(attributes.size())];
+  Predicate p;
+  p.target = Predicate::Target::kAttribute;
+  p.name = attribute.name;
+  if (!attribute.enumeration.empty()) {
+    p.op = rng.chance(0.8) ? Predicate::Op::kEq : Predicate::Op::kNe;
+    p.value = attribute.enumeration[rng.index(attribute.enumeration.size())];
+  } else if (rng.chance(0.5)) {
+    // Numeric range over the generator's 0..999 value space.
+    static const Predicate::Op kRangeOps[] = {
+        Predicate::Op::kLt, Predicate::Op::kLe, Predicate::Op::kGt,
+        Predicate::Op::kGe};
+    p.op = kRangeOps[rng.index(4)];
+    p.value = std::to_string(rng.uniform_int(0, 999));
+  } else {
+    p.op = Predicate::Op::kExists;
+  }
+  step.predicates.push_back(std::move(p));
+}
+
+}  // namespace
+
+std::vector<Xpe> generate_xpaths(const Dtd& dtd,
+                                 const XpathGenOptions& options) {
+  ElementGraph graph(dtd);
+  Rng rng(options.seed);
+
+  // Elements a relative query may start from.
+  std::vector<std::string> reachable(graph.reachable().begin(),
+                                     graph.reachable().end());
+
+  std::vector<Xpe> out;
+  std::set<std::string> seen;
+  const std::size_t max_attempts = options.count * 200 + 1000;
+  std::size_t attempts = 0;
+
+  while (out.size() < options.count && attempts < max_attempts) {
+    ++attempts;
+    bool relative = rng.chance(options.relative_prob);
+    const std::string& start =
+        relative ? reachable[rng.index(reachable.size())] : graph.root();
+    std::size_t target_len =
+        options.leaf_only
+            ? options.max_length
+            : static_cast<std::size_t>(
+                  rng.uniform_int(static_cast<int>(options.min_length),
+                                  static_cast<int>(options.max_length)));
+
+    // Walk far enough that '//' steps can skip levels and still find
+    // elements; the query consumes a (non-contiguous) subsequence.
+    std::vector<std::string> walk =
+        random_walk(graph, start, target_len + 4, rng);
+
+    std::vector<Step> steps;
+    std::size_t pos = 0;
+    while (steps.size() < target_len && pos < walk.size()) {
+      Step step;
+      if (steps.empty()) {
+        step.axis = relative ? Axis::kDescendant : Axis::kChild;
+      } else if (rng.chance(options.descendant_prob)) {
+        step.axis = Axis::kDescendant;
+        // '//' may skip 1-2 document levels.
+        pos += rng.index(3);
+        if (pos >= walk.size()) break;
+      } else {
+        step.axis = Axis::kChild;
+      }
+      if (rng.chance(options.wildcard_prob)) {
+        step.name = kWildcard;
+      } else {
+        step.name = walk[pos];
+        maybe_add_predicate(dtd, walk[pos], step, options.predicate_prob, rng);
+      }
+      steps.push_back(std::move(step));
+      ++pos;
+    }
+    if (steps.size() < options.min_length) continue;
+
+    Xpe xpe = relative ? Xpe::relative(std::move(steps))
+                       : Xpe::absolute(std::move(steps));
+    if (options.distinct) {
+      if (!seen.insert(xpe.to_string()).second) continue;
+    }
+    out.push_back(std::move(xpe));
+  }
+  return out;
+}
+
+double covering_rate(const std::vector<Xpe>& xpes) {
+  if (xpes.empty()) return 0.0;
+  SubscriptionTree tree;
+  for (const Xpe& xpe : xpes) tree.insert(xpe, /*hop=*/0);
+  std::size_t covered = 0;
+  tree.for_each([&](const SubscriptionTree::Node& node) {
+    if (node.parent->parent != nullptr || !node.super_sources.empty()) {
+      // Parent is a real node (not the virtual root), or a super pointer
+      // targets this node: it is covered by some other query.
+      ++covered;
+    }
+  });
+  return static_cast<double>(covered) / static_cast<double>(tree.size());
+}
+
+}  // namespace xroute

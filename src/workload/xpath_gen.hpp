@@ -1,0 +1,53 @@
+// DTD-guided XPath query generator.
+//
+// Models the generator of Diao et al. the paper uses: distinct queries,
+// maximum length 10, with two tuning knobs the paper calls W (probability
+// of '*' at a location step) and DO (probability of '//' at a location
+// step). Queries follow random walks over the DTD's element graph so they
+// are satisfiable by documents of the same DTD; the W/DO knobs control how
+// general the queries are and therefore the covering rate of a query set
+// (paper §5: Set A ~90% covering, Set B ~50%).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtd/dtd.hpp"
+#include "util/rng.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+struct XpathGenOptions {
+  std::size_t count = 1000;
+  std::size_t min_length = 2;
+  std::size_t max_length = 10;  // the paper's cap
+  double wildcard_prob = 0.15;   // W
+  double descendant_prob = 0.15; // DO
+  /// Probability a query is relative (starts at an arbitrary element).
+  double relative_prob = 0.1;
+  std::uint64_t seed = 1;
+  /// Require distinct queries ("Queries are distinct", paper §5).
+  bool distinct = true;
+  /// Probability a concrete step gains a predicate over one of its
+  /// element's declared attributes (the extension workload; 0 = the
+  /// paper's pure structural queries).
+  double predicate_prob = 0.0;
+  /// When true, only maximal walks are used (the underlying element walk
+  /// runs to a leaf or to max_length), eliminating prefix-covering between
+  /// queries; the covering rate is then driven by W/DO alone. The paper's
+  /// Set A (~90% covering) and Set B (~50%) are produced by tuning these
+  /// knobs (see core/experiment.h).
+  bool leaf_only = false;
+};
+
+/// Generates queries; returns fewer than `count` only if the space of
+/// distinct queries is exhausted (bounded retry).
+std::vector<Xpe> generate_xpaths(const Dtd& dtd, const XpathGenOptions& options);
+
+/// Fraction of queries covered by at least one other query in the set —
+/// the paper's "covering rate" of a data set. Computed by a
+/// subscription-tree insertion sweep.
+double covering_rate(const std::vector<Xpe>& xpes);
+
+}  // namespace xroute

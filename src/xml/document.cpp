@@ -1,0 +1,61 @@
+#include "xml/document.hpp"
+
+#include <sstream>
+
+namespace xroute {
+
+std::size_t XmlNode::subtree_size() const {
+  std::size_t n = 1;
+  for (const XmlNode& c : children) n += c.subtree_size();
+  return n;
+}
+
+std::size_t XmlNode::depth() const {
+  std::size_t d = 0;
+  for (const XmlNode& c : children) d = std::max(d, c.depth());
+  return d + 1;
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void serialize_node(const XmlNode& node, std::ostringstream& os) {
+  os << '<' << node.name;
+  for (const auto& [key, value] : node.attributes) {
+    os << ' ' << key << "=\"" << xml_escape(value) << '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    os << "/>";
+    return;
+  }
+  os << '>';
+  if (!node.text.empty()) os << xml_escape(node.text);
+  for (const XmlNode& c : node.children) serialize_node(c, os);
+  os << "</" << node.name << '>';
+}
+
+}  // namespace
+
+std::string XmlDocument::serialize() const {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>";
+  serialize_node(root_, os);
+  return os.str();
+}
+
+}  // namespace xroute

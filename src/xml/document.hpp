@@ -1,0 +1,55 @@
+// Minimal XML document model: an element tree with attributes and text.
+//
+// The dissemination system treats XML documents as trees of elements
+// (paper §3.1); attributes and character data are carried along so that
+// document sizes are realistic for the delay experiments, but routing
+// decisions are made on element paths only.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xroute {
+
+/// One element node. Plain aggregate: the tree owns its children by value.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;  ///< concatenated character data directly under this node
+  std::vector<XmlNode> children;
+
+  bool is_leaf() const { return children.empty(); }
+
+  /// Number of element nodes in this subtree (including this node).
+  std::size_t subtree_size() const;
+
+  /// Depth of the deepest element below (and including) this node.
+  std::size_t depth() const;
+};
+
+/// A parsed XML document.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  explicit XmlDocument(XmlNode root) : root_(std::move(root)) {}
+
+  const XmlNode& root() const { return root_; }
+  XmlNode& root() { return root_; }
+
+  /// Serialises the document back to markup (no pretty-printing beyond
+  /// newlines between top-level children; round-trips through the parser).
+  std::string serialize() const;
+
+  /// Size in bytes of the serialised form; used as the "document size" in
+  /// the notification-delay experiments (paper Figs. 10 and 11).
+  std::size_t byte_size() const { return serialize().size(); }
+
+ private:
+  XmlNode root_;
+};
+
+/// Escapes the five predefined XML entities in character data.
+std::string xml_escape(const std::string& s);
+
+}  // namespace xroute

@@ -1,0 +1,18 @@
+// Recursive-descent XML parser covering the subset the dissemination
+// system produces and consumes: elements, attributes, character data,
+// comments, processing instructions, DOCTYPE declarations (skipped) and
+// the five predefined entities. Not a validating parser.
+#pragma once
+
+#include <string_view>
+
+#include "util/error.hpp"
+#include "xml/document.hpp"
+
+namespace xroute {
+
+/// Parses a complete document; throws ParseError with position information
+/// on malformed markup (mismatched tags, bad names, unterminated literals).
+XmlDocument parse_xml(std::string_view text);
+
+}  // namespace xroute

@@ -1,0 +1,67 @@
+#include "xml/paths.hpp"
+
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xroute {
+
+std::string Path::to_string() const {
+  std::ostringstream os;
+  for (const std::string& e : elements) os << '/' << e;
+  return os.str();
+}
+
+Path parse_path(const std::string& text) {
+  if (text.empty() || text[0] != '/') {
+    throw ParseError("path must start with '/': '" + text + "'");
+  }
+  Path path;
+  std::size_t pos = 1;
+  while (pos <= text.size()) {
+    std::size_t next = text.find('/', pos);
+    if (next == std::string::npos) next = text.size();
+    if (next == pos) throw ParseError("empty path element in '" + text + "'");
+    path.elements.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return path;
+}
+
+namespace {
+
+void walk(const XmlNode& node, Path& current, std::size_t max_depth,
+          std::set<Path>& seen, std::vector<Path>& out) {
+  current.elements.push_back(node.name);
+  PathNodeData data;
+  for (const auto& [key, value] : node.attributes) data.attributes[key] = value;
+  data.text = node.text;
+  current.data.push_back(std::move(data));
+  if (node.is_leaf() || current.size() >= max_depth) {
+    if (seen.insert(current).second) out.push_back(current);
+  } else {
+    for (const XmlNode& child : node.children) {
+      walk(child, current, max_depth, seen, out);
+    }
+  }
+  current.elements.pop_back();
+  current.data.pop_back();
+}
+
+}  // namespace
+
+std::vector<Path> extract_paths(const XmlDocument& doc, std::size_t max_depth) {
+  std::vector<Path> out;
+  std::set<Path> seen;
+  Path current;
+  walk(doc.root(), current, max_depth, seen, out);
+  return out;
+}
+
+std::vector<Path> extract_paths(const XmlDocument& doc) {
+  return extract_paths(doc, std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace xroute

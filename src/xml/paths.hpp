@@ -1,0 +1,62 @@
+// Path extraction: the paper decomposes each XML document into its set of
+// root-to-leaf element paths (§3.1). Publications routed through the
+// network are these paths, annotated with (docId, pathId); the annotation
+// lives in router::Publication, the bare path lives here.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xml/document.hpp"
+
+namespace xroute {
+
+/// Attribute/text payload of one element along a path; evaluated by the
+/// predicate extension (xpath/predicate.hpp).
+struct PathNodeData {
+  std::map<std::string, std::string> attributes;
+  std::string text;
+
+  friend bool operator==(const PathNodeData&, const PathNodeData&) = default;
+  friend auto operator<=>(const PathNodeData&, const PathNodeData&) = default;
+};
+
+/// A concrete root-to-leaf element path "/t1/t2/.../tn", optionally
+/// annotated with each element's attributes and text (`data` is either
+/// empty — a purely structural path — or elementwise parallel).
+struct Path {
+  std::vector<std::string> elements;
+  std::vector<PathNodeData> data;
+
+  std::size_t size() const { return elements.size(); }
+  bool empty() const { return elements.empty(); }
+  const std::string& operator[](std::size_t i) const { return elements[i]; }
+  bool annotated() const { return !data.empty(); }
+  /// Annotation for position i (null when the path is structural-only).
+  const PathNodeData* node_data(std::size_t i) const {
+    return data.empty() ? nullptr : &data[i];
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+  friend auto operator<=>(const Path&, const Path&) = default;
+};
+
+/// Parses "/t1/t2/.../tn" into a Path; throws ParseError on bad syntax
+/// (the inverse of Path::to_string, used by tests and tools).
+Path parse_path(const std::string& text);
+
+/// Extracts every distinct root-to-leaf path of the document, in document
+/// order of first occurrence, annotated with attributes and text.
+/// Duplicates (same elements AND same annotations) collapse to a single
+/// path, matching the paper's "queries are distinct" treatment.
+std::vector<Path> extract_paths(const XmlDocument& doc);
+
+/// Same, but capped at `max_depth` levels: a path longer than the cap is
+/// truncated (the paper caps documents and XPEs at 10 levels, so by default
+/// nothing truncates; the cap guards against adversarial inputs).
+std::vector<Path> extract_paths(const XmlDocument& doc, std::size_t max_depth);
+
+}  // namespace xroute

@@ -1,0 +1,178 @@
+#include "xpath/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace xroute {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == ':' || c == '-';
+}
+
+}  // namespace
+
+bool is_valid_name(std::string_view name) {
+  if (name.empty() || !is_name_start(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!is_name_char(c)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Predicate::Op parse_predicate_op(std::string_view text, std::size_t& pos) {
+  auto two = text.substr(pos, 2);
+  if (two == "!=") { pos += 2; return Predicate::Op::kNe; }
+  if (two == "<=") { pos += 2; return Predicate::Op::kLe; }
+  if (two == ">=") { pos += 2; return Predicate::Op::kGe; }
+  switch (text[pos]) {
+    case '=': ++pos; return Predicate::Op::kEq;
+    case '<': ++pos; return Predicate::Op::kLt;
+    case '>': ++pos; return Predicate::Op::kGt;
+    default:
+      throw ParseError("expected comparison operator at position " +
+                       std::to_string(pos) + " in '" + std::string(text) +
+                       "'");
+  }
+}
+
+std::string parse_predicate_value(std::string_view text, std::size_t& pos) {
+  if (pos >= text.size()) throw ParseError("predicate value missing");
+  if (text[pos] == '\'' || text[pos] == '"') {
+    char quote = text[pos++];
+    std::size_t start = pos;
+    while (pos < text.size() && text[pos] != quote) ++pos;
+    if (pos >= text.size()) throw ParseError("unterminated predicate value");
+    std::string value(text.substr(start, pos - start));
+    ++pos;  // closing quote
+    return value;
+  }
+  // Unquoted: a number.
+  std::size_t start = pos;
+  while (pos < text.size() && (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                               text[pos] == '.' || text[pos] == '-' ||
+                               text[pos] == '+')) {
+    ++pos;
+  }
+  if (pos == start) {
+    throw ParseError("expected quoted string or number at position " +
+                     std::to_string(start) + " in '" + std::string(text) + "'");
+  }
+  return std::string(text.substr(start, pos - start));
+}
+
+/// Parses "[...]*" predicate blocks following a node test.
+std::vector<Predicate> parse_predicates(std::string_view text,
+                                        std::size_t& pos) {
+  std::vector<Predicate> out;
+  while (pos < text.size() && text[pos] == '[') {
+    ++pos;
+    Predicate p;
+    if (pos < text.size() && text[pos] == '@') {
+      ++pos;
+      std::size_t start = pos;
+      if (pos >= text.size() || !is_name_start(text[pos])) {
+        throw ParseError("expected attribute name after '@' in '" +
+                         std::string(text) + "'");
+      }
+      ++pos;
+      while (pos < text.size() && is_name_char(text[pos])) ++pos;
+      p.target = Predicate::Target::kAttribute;
+      p.name = std::string(text.substr(start, pos - start));
+    } else if (text.substr(pos, 6) == "text()") {
+      pos += 6;
+      p.target = Predicate::Target::kText;
+    } else {
+      throw ParseError("expected '@attr' or 'text()' in predicate of '" +
+                       std::string(text) + "'");
+    }
+    if (pos < text.size() && text[pos] != ']') {
+      p.op = parse_predicate_op(text, pos);
+      p.value = parse_predicate_value(text, pos);
+    } else if (p.target == Predicate::Target::kText) {
+      throw ParseError("text() predicate requires a comparison in '" +
+                       std::string(text) + "'");
+    }
+    if (pos >= text.size() || text[pos] != ']') {
+      throw ParseError("predicate not closed with ']' in '" +
+                       std::string(text) + "'");
+    }
+    ++pos;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+Xpe parse_xpe(std::string_view text) {
+  if (text.empty()) throw ParseError("empty XPath expression");
+
+  std::vector<Step> steps;
+  bool relative = false;
+  std::size_t pos = 0;
+
+  Axis next_axis;
+  if (text[0] == '/') {
+    if (text.size() > 1 && text[1] == '/') {
+      next_axis = Axis::kDescendant;
+      pos = 2;
+    } else {
+      next_axis = Axis::kChild;
+      pos = 1;
+    }
+  } else {
+    relative = true;
+    next_axis = Axis::kDescendant;  // semantic normalisation of relative XPEs
+  }
+
+  while (true) {
+    if (pos >= text.size()) {
+      throw ParseError("XPath expression '" + std::string(text) +
+                       "' ends with an operator");
+    }
+    std::string name;
+    if (text[pos] == '*') {
+      name = kWildcard;
+      ++pos;
+    } else {
+      std::size_t start = pos;
+      if (!is_name_start(text[pos])) {
+        throw ParseError("bad character '" + std::string(1, text[pos]) +
+                         "' at position " + std::to_string(pos) + " in '" +
+                         std::string(text) + "'");
+      }
+      ++pos;
+      while (pos < text.size() && is_name_char(text[pos])) ++pos;
+      name = std::string(text.substr(start, pos - start));
+    }
+    std::vector<Predicate> predicates = parse_predicates(text, pos);
+    steps.push_back(Step{next_axis, std::move(name), std::move(predicates)});
+
+    if (pos == text.size()) break;
+    if (text[pos] != '/') {
+      throw ParseError("expected '/' at position " + std::to_string(pos) +
+                       " in '" + std::string(text) + "'");
+    }
+    if (pos + 1 < text.size() && text[pos + 1] == '/') {
+      next_axis = Axis::kDescendant;
+      pos += 2;
+    } else {
+      next_axis = Axis::kChild;
+      pos += 1;
+    }
+  }
+
+  return relative ? Xpe::relative(std::move(steps))
+                  : Xpe::absolute(std::move(steps));
+}
+
+}  // namespace xroute

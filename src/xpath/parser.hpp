@@ -1,0 +1,31 @@
+// Parser for the paper's XPath fragment.
+//
+// Grammar (no whitespace):
+//   xpe      := '/' steps | '//' steps | steps      (absolute / abs-desc / relative)
+//   steps    := step (('/' | '//') step)*
+//   step     := test predicate*
+//   test     := NAME | '*'
+//   predicate:= '[' ('@' NAME | 'text()') (op value)? ']'
+//   op       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   value    := '\'' chars '\'' | '"' chars '"' | NUMBER
+//   NAME     := [A-Za-z_][A-Za-z0-9_.:-]*
+//
+// Examples: "/a/b", "/*/c/*/b/c", "*/a//d/*/c//b", "d/a" (paper §3/§4),
+// "//media[@type='photo']/media-reference", "//title[text()='x']".
+#pragma once
+
+#include <string_view>
+
+#include "util/error.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+
+/// Parses an XPE; throws ParseError on malformed input (empty expression,
+/// empty step, bad characters, trailing slash).
+Xpe parse_xpe(std::string_view text);
+
+/// Validates a candidate element name (also used by the XML/DTD parsers).
+bool is_valid_name(std::string_view name);
+
+}  // namespace xroute

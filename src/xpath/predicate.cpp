@@ -1,0 +1,121 @@
+#include "xpath/predicate.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace xroute {
+
+const char* to_string(Predicate::Op op) {
+  switch (op) {
+    case Predicate::Op::kExists: return "";
+    case Predicate::Op::kEq: return "=";
+    case Predicate::Op::kNe: return "!=";
+    case Predicate::Op::kLt: return "<";
+    case Predicate::Op::kLe: return "<=";
+    case Predicate::Op::kGt: return ">";
+    case Predicate::Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Predicate::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  if (target == Target::kAttribute) {
+    os << '@' << name;
+  } else {
+    os << "text()";
+  }
+  if (op != Op::kExists) {
+    os << xroute::to_string(op) << '\'' << value << '\'';
+  }
+  os << ']';
+  return os.str();
+}
+
+std::optional<double> parse_number(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+bool compare_values(const std::string& document_value, Predicate::Op op,
+                    const std::string& predicate_value) {
+  auto lhs = parse_number(document_value);
+  auto rhs = parse_number(predicate_value);
+  int cmp;
+  if (lhs && rhs) {
+    cmp = (*lhs < *rhs) ? -1 : (*lhs > *rhs) ? 1 : 0;
+  } else {
+    cmp = document_value.compare(predicate_value);
+    cmp = (cmp < 0) ? -1 : (cmp > 0) ? 1 : 0;
+  }
+  switch (op) {
+    case Predicate::Op::kExists: return true;
+    case Predicate::Op::kEq: return cmp == 0;
+    case Predicate::Op::kNe: return cmp != 0;
+    case Predicate::Op::kLt: return cmp < 0;
+    case Predicate::Op::kLe: return cmp <= 0;
+    case Predicate::Op::kGt: return cmp > 0;
+    case Predicate::Op::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+namespace {
+
+/// Interval view of a numeric predicate: [lo, hi] with openness flags.
+struct Interval {
+  double lo, hi;
+  bool lo_open, hi_open;
+};
+
+std::optional<Interval> as_interval(const Predicate& p) {
+  auto v = parse_number(p.value);
+  if (!v) return std::nullopt;
+  constexpr double kInf = 1e308;
+  switch (p.op) {
+    case Predicate::Op::kEq: return Interval{*v, *v, false, false};
+    case Predicate::Op::kLt: return Interval{-kInf, *v, false, true};
+    case Predicate::Op::kLe: return Interval{-kInf, *v, false, false};
+    case Predicate::Op::kGt: return Interval{*v, kInf, true, false};
+    case Predicate::Op::kGe: return Interval{*v, kInf, false, false};
+    default: return std::nullopt;  // kExists / kNe are not intervals
+  }
+}
+
+bool interval_contains(const Interval& outer, const Interval& inner) {
+  bool lo_ok = outer.lo < inner.lo ||
+               (outer.lo == inner.lo && (!outer.lo_open || inner.lo_open));
+  bool hi_ok = outer.hi > inner.hi ||
+               (outer.hi == inner.hi && (!outer.hi_open || inner.hi_open));
+  return lo_ok && hi_ok;
+}
+
+}  // namespace
+
+bool predicate_implies(const Predicate& specific, const Predicate& general) {
+  if (specific.target != general.target) return false;
+  if (specific.target == Predicate::Target::kAttribute &&
+      specific.name != general.name) {
+    return false;
+  }
+  // Anything on the same target implies bare existence.
+  if (general.op == Predicate::Op::kExists) return true;
+  // Identical predicates imply each other.
+  if (specific == general) return true;
+  // Equality on the left: evaluate the general predicate on the value.
+  if (specific.op == Predicate::Op::kEq) {
+    return compare_values(specific.value, general.op, general.value);
+  }
+  // Numeric interval containment for range predicates.
+  auto inner = as_interval(specific);
+  auto outer = as_interval(general);
+  if (inner && outer) return interval_contains(*outer, *inner);
+  // kNe: x != a implies x != b only when a == b (handled by equality above).
+  return false;
+}
+
+}  // namespace xroute

@@ -1,0 +1,63 @@
+// XPath predicates on attributes and text content.
+//
+// The paper focuses on element structure and notes the approach "could be
+// easily extended to element attributes and content [16] ... through
+// value comparison". This is that extension, following the predicate
+// fragment of Hou & Jacobsen (ICDE'06):
+//
+//   /news/head/title[text() = 'breaking']
+//   //media[@type]/media-reference[@source != 'wire']
+//   //annotation/site[@position < 100]
+//
+// One predicate = target (attribute by name, or text()) + comparison.
+// Values compare numerically when both sides parse as numbers, lexically
+// otherwise.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+
+namespace xroute {
+
+struct Predicate {
+  enum class Target : unsigned char { kAttribute, kText };
+  enum class Op : unsigned char {
+    kExists,  ///< [@name] — the attribute is present
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+  };
+
+  Target target = Target::kAttribute;
+  std::string name;   ///< attribute name (empty for text())
+  Op op = Op::kExists;
+  std::string value;  ///< right-hand side (empty for kExists)
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+  friend auto operator<=>(const Predicate&, const Predicate&) = default;
+
+  /// Prints in XPath syntax, e.g. "[@type='photo']" or "[text()!='x']".
+  std::string to_string() const;
+};
+
+/// Evaluates `op` between a document value and a predicate value
+/// (numeric when both parse as numbers, lexicographic otherwise).
+bool compare_values(const std::string& document_value, Predicate::Op op,
+                    const std::string& predicate_value);
+
+/// Does `general` logically imply... i.e. does every (element, value)
+/// satisfying `specific` also satisfy `general`? Used by the covering
+/// algorithms: coverer predicates must be implied by covered predicates.
+/// Sound and conservative (unknown cases return false).
+bool predicate_implies(const Predicate& specific, const Predicate& general);
+
+/// Numeric parse helper shared by comparison and implication.
+std::optional<double> parse_number(const std::string& text);
+
+const char* to_string(Predicate::Op op);
+
+}  // namespace xroute

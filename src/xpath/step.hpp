@@ -1,0 +1,40 @@
+// A single location step of an XPath expression in the paper's fragment:
+// child ('/') and descendant ('//') axes with element-name or wildcard tests.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "xpath/predicate.hpp"
+
+namespace xroute {
+
+/// Axis connecting a step to the previous one (or to the path root for the
+/// first step of an absolute expression).
+enum class Axis : unsigned char {
+  kChild,       ///< '/'  — the element is at the immediately next level
+  kDescendant,  ///< '//' — the element is at any strictly lower level
+};
+
+/// The wildcard node test. Stored as the literal "*" in Step::name so that
+/// steps print back exactly as written.
+inline constexpr const char* kWildcard = "*";
+
+/// One location step: axis + node test (element name or "*") + optional
+/// attribute/text predicates (see xpath/predicate.hpp).
+struct Step {
+  Axis axis = Axis::kChild;
+  std::string name;
+  std::vector<Predicate> predicates;
+
+  bool is_wildcard() const { return name == kWildcard; }
+  bool unconstrained_wildcard() const {
+    return is_wildcard() && predicates.empty();
+  }
+
+  friend bool operator==(const Step&, const Step&) = default;
+  friend auto operator<=>(const Step&, const Step&) = default;
+};
+
+}  // namespace xroute

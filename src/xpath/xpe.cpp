@@ -1,0 +1,93 @@
+#include "xpath/xpe.hpp"
+
+#include <sstream>
+
+namespace xroute {
+
+Xpe Xpe::absolute(std::vector<Step> steps) {
+  Xpe x;
+  x.steps_ = std::move(steps);
+  x.relative_ = false;
+  return x;
+}
+
+Xpe Xpe::relative(std::vector<Step> steps) {
+  Xpe x;
+  x.steps_ = std::move(steps);
+  if (!x.steps_.empty()) x.steps_[0].axis = Axis::kDescendant;
+  x.relative_ = true;
+  return x;
+}
+
+bool Xpe::has_descendant() const {
+  for (const Step& s : steps_) {
+    if (s.axis == Axis::kDescendant) return true;
+  }
+  return false;
+}
+
+bool Xpe::has_wildcard() const {
+  for (const Step& s : steps_) {
+    if (s.is_wildcard()) return true;
+  }
+  return false;
+}
+
+bool Xpe::has_predicates() const {
+  for (const Step& s : steps_) {
+    if (!s.predicates.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<Segment> Xpe::segments() const {
+  std::vector<Segment> out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (i == 0 || steps_[i].axis == Axis::kDescendant) {
+      Segment seg;
+      seg.first = i;
+      seg.length = 1;
+      seg.anchored = (i == 0 && steps_[i].axis == Axis::kChild);
+      out.push_back(seg);
+    } else {
+      ++out.back().length;
+    }
+  }
+  return out;
+}
+
+std::string Xpe::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& s = steps_[i];
+    if (i == 0 && relative_) {
+      // relative form: no leading operator
+    } else {
+      os << (s.axis == Axis::kChild ? "/" : "//");
+    }
+    os << s.name;
+    for (const Predicate& p : s.predicates) os << p.to_string();
+  }
+  return os.str();
+}
+
+std::size_t XpeHash::operator()(const Xpe& x) const {
+  std::size_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::size_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  for (const Step& s : x.steps()) {
+    mix(static_cast<std::size_t>(s.axis) + 1);
+    mix(std::hash<std::string>{}(s.name));
+    for (const Predicate& p : s.predicates) {
+      mix(static_cast<std::size_t>(p.target));
+      mix(static_cast<std::size_t>(p.op) + 17);
+      mix(std::hash<std::string>{}(p.name));
+      mix(std::hash<std::string>{}(p.value));
+    }
+  }
+  return h;
+}
+
+}  // namespace xroute

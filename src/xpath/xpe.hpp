@@ -1,0 +1,96 @@
+// XPath expression (XPE) model for the paper's subscription language:
+// single-path expressions over '/', '//', '*' and element names.
+//
+// An XPE is *absolute* if it is written with a leading '/' (its first step
+// then uses the child axis and must match at the path root) or a leading
+// '//' (first step uses the descendant axis). It is *relative* if it starts
+// directly with a node test; a relative XPE may match starting at any
+// position, which makes it semantically identical to the same expression
+// with a leading '//'. We keep the written form for faithful printing but
+// define equality and matching on the semantic (axis-normalised) form.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xpath/step.hpp"
+
+namespace xroute {
+
+/// A contiguous run of child-axis steps. XPEs are processed segment-wise by
+/// the descendant-operator algorithms (paper §3.2 DesExprAndAdv, §4.2
+/// DesCov): segments are the maximal '//'-free sub-expressions.
+struct Segment {
+  /// Index of the segment's first step within Xpe::steps().
+  std::size_t first = 0;
+  /// Number of steps in the segment.
+  std::size_t length = 0;
+  /// True if the segment is anchored: it must start exactly where the
+  /// previous match ended (child axis), false if it may float ('//').
+  bool anchored = false;
+};
+
+/// An XPath expression in the {/, //, *} single-path fragment.
+class Xpe {
+ public:
+  Xpe() = default;
+
+  /// Builds an absolute XPE; the first step's axis distinguishes '/a…'
+  /// (Axis::kChild) from '//a…' (Axis::kDescendant).
+  static Xpe absolute(std::vector<Step> steps);
+
+  /// Builds a relative XPE ('a/b…'); forces the first step's axis to
+  /// Axis::kDescendant, the semantic equivalent.
+  static Xpe relative(std::vector<Step> steps);
+
+  const std::vector<Step>& steps() const { return steps_; }
+  const Step& step(std::size_t i) const { return steps_[i]; }
+  std::size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+  /// True if written without a leading slash.
+  bool relative() const { return relative_; }
+
+  /// True if the expression must match starting at the path root, i.e. the
+  /// first step uses the child axis (written form "/a…").
+  bool anchored() const {
+    return !steps_.empty() && steps_[0].axis == Axis::kChild;
+  }
+
+  bool has_descendant() const;
+  bool has_wildcard() const;
+  bool has_predicates() const;
+
+  /// Absolute, child-axis-only expression ("/a/b/c", wildcards allowed):
+  /// the class handled by AbsExprAndAdv / AbsSimCov.
+  bool is_absolute_simple() const { return anchored() && !has_descendant(); }
+
+  /// Splits the expression into maximal '//'-free segments (see Segment).
+  /// The first segment is anchored iff the XPE is anchored.
+  std::vector<Segment> segments() const;
+
+  /// Prints the expression back in its written form.
+  std::string to_string() const;
+
+  /// Semantic equality: same steps after axis normalisation. "a/b" equals
+  /// "//a/b" (both match anywhere) but not "/a/b".
+  friend bool operator==(const Xpe& a, const Xpe& b) {
+    return a.steps_ == b.steps_;
+  }
+  friend auto operator<=>(const Xpe& a, const Xpe& b) {
+    return a.steps_ <=> b.steps_;
+  }
+
+ private:
+  std::vector<Step> steps_;
+  bool relative_ = false;
+};
+
+/// Hash functor so XPEs can key unordered containers (routing tables).
+struct XpeHash {
+  std::size_t operator()(const Xpe& x) const;
+};
+
+}  // namespace xroute

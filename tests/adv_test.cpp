@@ -1,0 +1,186 @@
+// Unit tests for the advertisement model, recursive matching (paper §3.3,
+// Fig. 3) and the exact automaton matcher.
+#include <gtest/gtest.h>
+
+#include "adv/advertisement.hpp"
+#include "match/adv_automaton.hpp"
+#include "match/rec_adv_match.hpp"
+#include "util/error.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+TEST(Advertisement, NonRecursiveBasics) {
+  Advertisement a = Advertisement::from_elements({"a", "*", "c"});
+  EXPECT_TRUE(a.non_recursive());
+  EXPECT_EQ(a.shape(), Advertisement::Shape::kNonRecursive);
+  EXPECT_EQ(a.min_length(), 3u);
+  EXPECT_EQ(a.to_string(), "/a/*/c");
+  EXPECT_EQ(a.flat_elements(), (std::vector<std::string>{"a", "*", "c"}));
+}
+
+TEST(Advertisement, ParseRoundTrip) {
+  for (const char* text :
+       {"/a/b/c", "/a/*/c(/e/d)+/*/c/e", "(/a/b)+/c", "/a(/b)+(/c)+/d",
+        "/a(/b(/c)+/d)+/e", "/x(/*)+"}) {
+    EXPECT_EQ(parse_advertisement(text).to_string(), text) << text;
+  }
+}
+
+TEST(Advertisement, ParseErrors) {
+  EXPECT_THROW(parse_advertisement(""), ParseError);
+  EXPECT_THROW(parse_advertisement("a/b"), ParseError);
+  EXPECT_THROW(parse_advertisement("/a/"), ParseError);
+  EXPECT_THROW(parse_advertisement("/a(/b)"), ParseError);   // missing '+'
+  EXPECT_THROW(parse_advertisement("/a(/b"), ParseError);    // unclosed
+  EXPECT_THROW(parse_advertisement("/a()+/b"), ParseError);  // empty group
+  EXPECT_THROW(parse_advertisement("/a)/b"), ParseError);
+}
+
+TEST(Advertisement, Shapes) {
+  EXPECT_EQ(parse_advertisement("/a/b").shape(),
+            Advertisement::Shape::kNonRecursive);
+  EXPECT_EQ(parse_advertisement("/a(/b/c)+/d").shape(),
+            Advertisement::Shape::kSimpleRecursive);
+  EXPECT_EQ(parse_advertisement("/a(/b)+/c(/d)+/e").shape(),
+            Advertisement::Shape::kSeriesRecursive);
+  EXPECT_EQ(parse_advertisement("/a(/b(/c)+/d)+/e").shape(),
+            Advertisement::Shape::kEmbeddedRecursive);
+  EXPECT_EQ(parse_advertisement("/a(/b(/c(/x)+)+/d)+/e").shape(),
+            Advertisement::Shape::kGeneral);
+}
+
+TEST(Advertisement, MinLength) {
+  EXPECT_EQ(parse_advertisement("/a(/b/c)+/d").min_length(), 4u);
+  EXPECT_EQ(parse_advertisement("/a(/b(/c)+/d)+/e").min_length(), 5u);
+}
+
+TEST(Advertisement, Expansions) {
+  Advertisement a = parse_advertisement("/a(/b)+/c");
+  auto exps = a.expansions(5);
+  // a b c; a b b c; a b b b c.
+  ASSERT_EQ(exps.size(), 3u);
+  EXPECT_EQ(exps[0], (std::vector<std::string>{"a", "b", "c"}));
+  for (const auto& e : exps) {
+    EXPECT_LE(e.size(), 5u);
+    EXPECT_EQ(e.front(), "a");
+    EXPECT_EQ(e.back(), "c");
+  }
+}
+
+TEST(Advertisement, NestedExpansions) {
+  Advertisement a = parse_advertisement("(/a(/b)+)+");
+  auto exps = a.expansions(4);
+  // a b; a b b; a b b b; a b a b; a b b a b(5 too long)... enumerate:
+  // [ab], [abb], [abbb], [abab].
+  ASSERT_EQ(exps.size(), 4u);
+}
+
+// ---------- Fig. 3: AbsExprAndSimRecAdv ----------
+
+TEST(SimRecAdv, PaperExample) {
+  // a = /a/*/c(/e/d)+/*/c/e, s = /*/a/c/*/d/e/d/* -> 1 (two repetitions).
+  std::vector<std::string> a1{"a", "*", "c"};
+  std::vector<std::string> a2{"e", "d"};
+  std::vector<std::string> a3{"*", "c", "e"};
+  EXPECT_TRUE(
+      abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/*/a/c/*/d/e/d/*")));
+}
+
+TEST(SimRecAdv, ShortSubscriptionUsesPrefix) {
+  std::vector<std::string> a1{"a"};
+  std::vector<std::string> a2{"b"};
+  std::vector<std::string> a3{"c"};
+  EXPECT_TRUE(abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/a")));
+  EXPECT_TRUE(abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/a/b")));
+  EXPECT_TRUE(abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/a/b/c")));
+  EXPECT_TRUE(abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/a/b/b/c")));
+  EXPECT_FALSE(abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/a/c")));
+  EXPECT_FALSE(abs_expr_and_sim_rec_adv(a1, a2, a3, parse_xpe("/b")));
+}
+
+TEST(SimRecAdv, SuffixAlignment) {
+  // a = (/x)+/y: subscription /x/x/y matches with r=2.
+  EXPECT_TRUE(abs_expr_and_sim_rec_adv({}, {"x"}, {"y"}, parse_xpe("/x/x/y")));
+  EXPECT_TRUE(abs_expr_and_sim_rec_adv({}, {"x"}, {"y"}, parse_xpe("/x/y")));
+  EXPECT_FALSE(abs_expr_and_sim_rec_adv({}, {"x"}, {"y"}, parse_xpe("/y")));
+  EXPECT_FALSE(
+      abs_expr_and_sim_rec_adv({}, {"x"}, {"y"}, parse_xpe("/x/y/x")));
+}
+
+// ---------- the exact automaton ----------
+
+TEST(Automaton, AcceptsPathNonRecursive) {
+  AdvAutomaton m(parse_advertisement("/a/*/c"));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/b/c")));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/z/c")));
+  EXPECT_FALSE(m.accepts_path(parse_path("/a/b")));      // exact length
+  EXPECT_FALSE(m.accepts_path(parse_path("/a/b/c/d")));  // exact length
+  EXPECT_FALSE(m.accepts_path(parse_path("/a/b/d")));
+}
+
+TEST(Automaton, AcceptsPathRecursive) {
+  AdvAutomaton m(parse_advertisement("/a(/b/c)+/d"));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/b/c/d")));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/b/c/b/c/d")));
+  EXPECT_FALSE(m.accepts_path(parse_path("/a/d")));        // group >= 1
+  EXPECT_FALSE(m.accepts_path(parse_path("/a/b/c/b/d")));  // partial repeat
+}
+
+TEST(Automaton, AcceptsPathEmbedded) {
+  AdvAutomaton m(parse_advertisement("/a(/b(/c)+)+/d"));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/b/c/d")));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/b/c/c/d")));
+  EXPECT_TRUE(m.accepts_path(parse_path("/a/b/c/b/c/c/d")));
+  EXPECT_FALSE(m.accepts_path(parse_path("/a/b/b/c/d")));
+}
+
+TEST(Automaton, OverlapSimple) {
+  AdvAutomaton m(parse_advertisement("/a(/b/c)+/d"));
+  EXPECT_TRUE(m.overlaps(parse_xpe("/a/b")));
+  EXPECT_TRUE(m.overlaps(parse_xpe("/a//d")));
+  EXPECT_TRUE(m.overlaps(parse_xpe("b/c/d")));
+  EXPECT_TRUE(m.overlaps(parse_xpe("//c/b")));   // across a repetition
+  EXPECT_FALSE(m.overlaps(parse_xpe("/b")));
+  EXPECT_FALSE(m.overlaps(parse_xpe("/a/c")));
+  EXPECT_FALSE(m.overlaps(parse_xpe("//d/c")));
+}
+
+TEST(Automaton, OverlapRespectsMinimumLength) {
+  AdvAutomaton m(parse_advertisement("/a/b"));
+  // Publications have exactly 2 elements; a longer XPE cannot match.
+  EXPECT_FALSE(m.overlaps(parse_xpe("/a/b/c")));
+  EXPECT_FALSE(m.overlaps(parse_xpe("//a/b/c")));
+  EXPECT_TRUE(m.overlaps(parse_xpe("/a/b")));
+  // But a recursive advertisement can pump length.
+  AdvAutomaton r(parse_advertisement("/a(/b)+"));
+  EXPECT_TRUE(r.overlaps(parse_xpe("/a/b/b/b/b")));
+}
+
+TEST(Automaton, DispatcherMatchesLiteralAlgorithms) {
+  Advertisement a = parse_advertisement("/a/*/c(/e/d)+/*/c/e");
+  EXPECT_TRUE(adv_overlaps(a, parse_xpe("/*/a/c/*/d/e/d/*")));
+  EXPECT_TRUE(adv_overlaps(a, parse_xpe("/a/c")));  // '*' overlaps 'c'
+  EXPECT_FALSE(adv_overlaps(a, parse_xpe("/a/c/a")));
+  EXPECT_FALSE(adv_overlaps(a, parse_xpe("/b")));
+  Advertisement flat = parse_advertisement("/x/y");
+  EXPECT_TRUE(adv_overlaps(flat, parse_xpe("y")));
+}
+
+TEST(RecAdvGeneral, ExpansionEnumerationAgrees) {
+  Advertisement a = parse_advertisement("/a(/b)+/c(/d)+/e");
+  EXPECT_TRUE(abs_expr_and_rec_adv(a, parse_xpe("/a/b/b/c/d/e")));
+  EXPECT_TRUE(abs_expr_and_rec_adv(a, parse_xpe("/a/b/c")));
+  EXPECT_FALSE(abs_expr_and_rec_adv(a, parse_xpe("/a/c")));
+  AdvAutomaton m(a);
+  for (const char* q :
+       {"/a/b/b/c/d/e", "/a/b/c", "/a/c", "/a/b/c/d/d/e", "/a/b/b/b/b/c"}) {
+    EXPECT_EQ(abs_expr_and_rec_adv(a, parse_xpe(q)), m.overlaps(parse_xpe(q)))
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace xroute

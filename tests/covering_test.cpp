@@ -1,0 +1,137 @@
+// Unit tests for the covering algorithms (paper §4.2), including the
+// paper's worked examples.
+#include <gtest/gtest.h>
+
+#include "match/covering.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+bool C(const char* s1, const char* s2) {
+  return covers(parse_xpe(s1), parse_xpe(s2));
+}
+
+TEST(AbsSimCovTest, PrefixAndWildcards) {
+  EXPECT_TRUE(abs_sim_cov(parse_xpe("/a/b"), parse_xpe("/a/b/c")));
+  EXPECT_TRUE(abs_sim_cov(parse_xpe("/a/*"), parse_xpe("/a/b")));
+  EXPECT_TRUE(abs_sim_cov(parse_xpe("/*/b"), parse_xpe("/a/b/c")));
+  EXPECT_FALSE(abs_sim_cov(parse_xpe("/a/b/c"), parse_xpe("/a/b")));
+  EXPECT_FALSE(abs_sim_cov(parse_xpe("/a/b"), parse_xpe("/a/c")));
+  // A concrete name does not cover '*'.
+  EXPECT_FALSE(abs_sim_cov(parse_xpe("/a/b"), parse_xpe("/a/*")));
+  EXPECT_TRUE(abs_sim_cov(parse_xpe("/a/*"), parse_xpe("/a/*/c")));
+  EXPECT_TRUE(abs_sim_cov(parse_xpe("/a"), parse_xpe("/a")));
+}
+
+TEST(RelSimCovTest, WindowSearch) {
+  EXPECT_TRUE(rel_sim_cov(parse_xpe("b/c"), parse_xpe("/a/b/c")));
+  EXPECT_TRUE(rel_sim_cov(parse_xpe("c"), parse_xpe("/a/b/c/d")));
+  EXPECT_FALSE(rel_sim_cov(parse_xpe("c/b"), parse_xpe("/a/b/c")));
+  EXPECT_TRUE(rel_sim_cov(parse_xpe("a"), parse_xpe("a/b")));
+  // Coverer wildcard covers covered-side concrete and wildcard positions.
+  EXPECT_TRUE(rel_sim_cov(parse_xpe("*/c"), parse_xpe("/a/*/c")));
+  // Covered-side wildcard is NOT covered by a concrete name.
+  EXPECT_FALSE(rel_sim_cov(parse_xpe("b/c"), parse_xpe("/a/*/c")));
+}
+
+TEST(RelSimCovTest, KmpAgreesWithNaive) {
+  const char* coverers[] = {"b/c", "c", "a/b", "b/b", "c/a"};
+  const char* covered[] = {"/a/b/c", "b/c/a", "/a/*/c", "/b/b/b", "c/a"};
+  for (const char* s1 : coverers) {
+    for (const char* s2 : covered) {
+      EXPECT_EQ(rel_sim_cov(parse_xpe(s1), parse_xpe(s2), SearchStrategy::kNaive),
+                rel_sim_cov(parse_xpe(s1), parse_xpe(s2),
+                            SearchStrategy::kKmpWhenSound))
+          << s1 << " vs " << s2;
+    }
+  }
+}
+
+TEST(DesCovTest, PaperExampleOne) {
+  // s1 = /*/a//*/c covers s2 = /a/a/*//c/e/c/d.
+  EXPECT_TRUE(des_cov(parse_xpe("/*/a//*/c"), parse_xpe("/a/a/*//c/e/c/d")));
+}
+
+TEST(DesCovTest, PaperExampleTwo) {
+  // s1 = /*/a//*/c does NOT cover s2 = /a/a/*//c/b/d.
+  EXPECT_FALSE(des_cov(parse_xpe("/*/a//*/c"), parse_xpe("/a/a/*//c/b/d")));
+}
+
+TEST(DesCovTest, PaperSpecialCaseTrailingWildcardCrossesBoundary) {
+  // s1 = /a/*//*/d covers s2 = /a//b/c/d: the '*' may absorb the '//'.
+  EXPECT_TRUE(des_cov(parse_xpe("/a/*//*/d"), parse_xpe("/a//b/c/d")));
+}
+
+TEST(DesCovTest, ConcreteTailMayNotCrossBoundary) {
+  // A segment with a concrete element after the boundary cannot cross:
+  // */c does not cover *//c (paper: "refers to a smaller matching set").
+  EXPECT_FALSE(des_cov(parse_xpe("/a/*/c"), parse_xpe("/a/*//c")));
+  EXPECT_TRUE(des_cov(parse_xpe("/a/*//c"), parse_xpe("/a/*/c")));
+}
+
+TEST(DesCovTest, DescendantGeneralisesChild) {
+  EXPECT_TRUE(C("/a//b", "/a/b"));
+  EXPECT_TRUE(C("/a//b", "/a/x/b"));
+  EXPECT_FALSE(C("/a/b", "/a//b"));
+  EXPECT_TRUE(C("//b", "/a/b"));
+  EXPECT_TRUE(C("/a//c", "/a/b//c"));
+}
+
+TEST(CoversDispatch, AnchoredNeverCoversFloating) {
+  EXPECT_FALSE(C("/a", "a"));
+  EXPECT_FALSE(C("/a/b", "a/b"));
+  EXPECT_FALSE(C("/a//b", "a//b"));
+  // But floating covers anchored when the window fits.
+  EXPECT_TRUE(C("a", "/a"));
+  EXPECT_TRUE(C("b/c", "/a/b/c"));
+  EXPECT_TRUE(C("a/b", "//a/b"));
+}
+
+TEST(CoversDispatch, SelfCovering) {
+  for (const char* s : {"/a/b", "a/b", "/a//b/*", "*", "//x"}) {
+    EXPECT_TRUE(C(s, s)) << s;
+  }
+}
+
+TEST(CoversDispatch, TransitiveChain) {
+  // /a covers /a/b covers /a/b/c; covering must hold across the chain.
+  EXPECT_TRUE(C("/a", "/a/b"));
+  EXPECT_TRUE(C("/a/b", "/a/b/c"));
+  EXPECT_TRUE(C("/a", "/a/b/c"));
+}
+
+TEST(CoversDispatch, SubscriptionTreeFigureRelations) {
+  // Relations visible in the paper's Fig. 4 subscription tree.
+  EXPECT_TRUE(C("/a", "/a/b"));
+  EXPECT_TRUE(C("/a/b", "/a/b/a"));
+  EXPECT_TRUE(C("/a", "/a/c/d"));
+  EXPECT_TRUE(C("/*/b", "/a/b"));     // super pointer source
+  EXPECT_TRUE(C("/*/b", "/*/b//c"));
+  EXPECT_TRUE(C("/b", "/b/d/a"));
+  // And some that must NOT hold.
+  EXPECT_FALSE(C("/a/b", "/a/c"));
+  EXPECT_FALSE(C("/b", "/a/b"));
+  EXPECT_FALSE(C("d/a", "/a"));
+}
+
+TEST(CoversDispatch, MergerCoversOriginals) {
+  // The merging rules' outputs must cover their inputs (paper §4.3).
+  EXPECT_TRUE(C("a/*/c/*", "a/*/c/d"));
+  EXPECT_TRUE(C("a/*/c/*", "a/*/c/e"));
+  EXPECT_TRUE(C("/a//c/*/*", "/a/c/*/*"));
+  EXPECT_TRUE(C("/a//c/*/*", "/a//c/*/c"));
+  EXPECT_TRUE(C("/a//d", "/a/b/c/d"));
+  EXPECT_TRUE(C("/a//d", "/a/x/d"));
+}
+
+TEST(AdvCoversTest, EqualLengthOnly) {
+  EXPECT_TRUE(adv_covers({"a", "*"}, {"a", "b"}));
+  EXPECT_TRUE(adv_covers({"*", "*"}, {"a", "b"}));
+  EXPECT_FALSE(adv_covers({"a"}, {"a", "b"}));  // unequal length
+  EXPECT_FALSE(adv_covers({"a", "b"}, {"a", "*"}));
+  EXPECT_TRUE(adv_covers({"a", "b"}, {"a", "b"}));
+}
+
+}  // namespace
+}  // namespace xroute

@@ -1,0 +1,170 @@
+// Unit + property tests for advertisement derivation from DTDs
+// (paper §3.1): shape of derived advertisements and the completeness
+// contract (every conforming path matches some advertisement).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "adv/derive.hpp"
+#include "dtd/parser.hpp"
+#include "dtd/universe.hpp"
+#include "match/adv_automaton.hpp"
+#include "workload/dtd_corpus.hpp"
+
+namespace xroute {
+namespace {
+
+std::set<std::string> adv_strings(const DerivedAdvertisements& d) {
+  std::set<std::string> out;
+  for (const Advertisement& a : d.advertisements) out.insert(a.to_string());
+  return out;
+}
+
+/// Completeness oracle: every universe path accepted by some advertisement.
+::testing::AssertionResult complete(const Dtd& dtd,
+                                    const DerivedAdvertisements& derived,
+                                    std::size_t depth) {
+  PathUniverse::Options opts;
+  opts.max_depth = depth;
+  PathUniverse universe(dtd, opts);
+  std::vector<AdvAutomaton> automata;
+  for (const Advertisement& a : derived.advertisements) automata.emplace_back(a);
+  for (const Path& p : universe.paths()) {
+    bool matched = false;
+    for (const AdvAutomaton& m : automata) {
+      if (m.accepts_path(p)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return ::testing::AssertionFailure()
+             << "path " << p.to_string() << " matches no advertisement";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(Derive, NonRecursiveEnumeratesAllPaths) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT root (a, b?)>
+<!ELEMENT a (c | d)>
+<!ELEMENT b (c)*>
+<!ELEMENT c EMPTY>
+<!ELEMENT d (#PCDATA)>
+)");
+  auto derived = derive_advertisements(dtd);
+  EXPECT_EQ(derived.repaired, 0u);
+  EXPECT_FALSE(derived.truncated);
+  EXPECT_EQ(adv_strings(derived),
+            (std::set<std::string>{"/root/a/c", "/root/a/d", "/root/b",
+                                   "/root/b/c"}));
+  EXPECT_TRUE(complete(dtd, derived, 8));
+}
+
+TEST(Derive, SelfRecursionYieldsGroups) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (block)*>
+<!ELEMENT block (p | block)*>
+<!ELEMENT p (#PCDATA)>
+)");
+  auto derived = derive_advertisements(dtd);
+  auto strings = adv_strings(derived);
+  // Plain paths and the (block)+ recursive variants.
+  EXPECT_TRUE(strings.count("/r"));
+  EXPECT_TRUE(strings.count("/r/block"));
+  EXPECT_TRUE(strings.count("/r/block/p"));
+  bool has_recursive = std::any_of(
+      derived.advertisements.begin(), derived.advertisements.end(),
+      [](const Advertisement& a) { return !a.non_recursive(); });
+  EXPECT_TRUE(has_recursive);
+  EXPECT_EQ(derived.repaired, 0u);
+  EXPECT_TRUE(complete(dtd, derived, 7));
+}
+
+TEST(Derive, MutualRecursionStaysComplete) {
+  // A 2-cycle is not expressible as nested groups in this derivation; the
+  // coarse fallback plus repair must still give a complete set.
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (x)*>
+<!ELEMENT x (y | leaf)*>
+<!ELEMENT y (x)*>
+<!ELEMENT leaf EMPTY>
+)");
+  auto derived = derive_advertisements(dtd);
+  EXPECT_TRUE(complete(dtd, derived, 8));
+}
+
+TEST(Derive, EmbeddedRecursion) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (a)*>
+<!ELEMENT a (b | a)*>
+<!ELEMENT b (c | b)*>
+<!ELEMENT c EMPTY>
+)");
+  auto derived = derive_advertisements(dtd);
+  EXPECT_TRUE(complete(dtd, derived, 8));
+  // Some advertisement should nest or chain groups (a then b recursion).
+  bool has_two_groups = false;
+  for (const Advertisement& adv : derived.advertisements) {
+    std::size_t groups = 0;
+    for (const AdvNode& n : adv.nodes()) {
+      if (n.kind == AdvNode::Kind::kGroup) ++groups;
+    }
+    if (groups >= 2 || (adv.shape() == Advertisement::Shape::kEmbeddedRecursive)) {
+      has_two_groups = true;
+    }
+  }
+  EXPECT_TRUE(has_two_groups);
+}
+
+TEST(Derive, TruncationCap) {
+  Dtd dtd = news_dtd();
+  DeriveOptions options;
+  options.max_advertisements = 10;
+  options.repair = false;
+  auto derived = derive_advertisements(dtd, options);
+  EXPECT_TRUE(derived.truncated);
+  EXPECT_LE(derived.advertisements.size(), 10u);
+}
+
+TEST(DeriveCorpus, NewsIsRecursiveAndClean) {
+  Dtd dtd = news_dtd();
+  ElementGraph graph(dtd);
+  EXPECT_TRUE(graph.is_recursive());
+  auto derived = derive_advertisements(dtd);
+  EXPECT_FALSE(derived.truncated);
+  // The NEWS recursion is a clean self-loop: no repair needed.
+  EXPECT_EQ(derived.repaired, 0u);
+  EXPECT_TRUE(complete(dtd, derived, 10));
+}
+
+TEST(DeriveCorpus, PsdIsNonRecursive) {
+  Dtd dtd = psd_dtd();
+  ElementGraph graph(dtd);
+  EXPECT_FALSE(graph.is_recursive());
+  auto derived = derive_advertisements(dtd);
+  EXPECT_EQ(derived.repaired, 0u);
+  for (const Advertisement& a : derived.advertisements) {
+    EXPECT_TRUE(a.non_recursive());
+  }
+  EXPECT_TRUE(complete(dtd, derived, 12));
+}
+
+TEST(DeriveCorpus, NewsAdvertisementSetMuchLargerThanPsd) {
+  // The paper reports NITF deriving ~35x more advertisements than PSD;
+  // the synthetic corpus preserves "well over an order of magnitude".
+  auto news = derive_advertisements(news_dtd());
+  auto psd = derive_advertisements(psd_dtd());
+  EXPECT_GE(news.advertisements.size(), 10 * psd.advertisements.size())
+      << "news=" << news.advertisements.size()
+      << " psd=" << psd.advertisements.size();
+  RecordProperty("news_advertisements",
+                 static_cast<int>(news.advertisements.size()));
+  RecordProperty("psd_advertisements",
+                 static_cast<int>(psd.advertisements.size()));
+}
+
+}  // namespace
+}  // namespace xroute

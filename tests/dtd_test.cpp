@@ -1,0 +1,187 @@
+// Unit tests for the DTD parser, element graph and path universe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dtd/dtd.hpp"
+#include "dtd/graph.hpp"
+#include "dtd/parser.hpp"
+#include "dtd/universe.hpp"
+#include "util/error.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+const char kToyDtd[] = R"(
+<!-- toy -->
+<!ELEMENT root (a, b?, c*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (a | c)+>
+<!ELEMENT c EMPTY>
+<!ATTLIST root version CDATA "1">
+)";
+
+TEST(DtdParser, Declarations) {
+  Dtd dtd = parse_dtd(kToyDtd);
+  EXPECT_EQ(dtd.size(), 4u);
+  EXPECT_EQ(dtd.root(), "root");
+  EXPECT_TRUE(dtd.has_element("a"));
+  EXPECT_TRUE(dtd.undeclared_references().empty());
+}
+
+TEST(DtdParser, ContentModels) {
+  Dtd dtd = parse_dtd(kToyDtd);
+  const ElementDecl& root = dtd.element("root");
+  EXPECT_EQ(root.content.kind, ContentParticle::Kind::kSequence);
+  ASSERT_EQ(root.content.children.size(), 3u);
+  EXPECT_EQ(root.content.children[1].occurrence, Occurrence::kOptional);
+  EXPECT_EQ(root.content.children[2].occurrence, Occurrence::kZeroOrMore);
+  auto kids = root.child_elements();
+  EXPECT_EQ(kids, (std::vector<std::string>{"a", "b", "c"}));
+
+  const ElementDecl& b = dtd.element("b");
+  EXPECT_EQ(b.content.kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(b.content.occurrence, Occurrence::kOneOrMore);
+}
+
+TEST(DtdParser, MixedContent) {
+  Dtd dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | strong)*>"
+                      "<!ELEMENT em (#PCDATA)><!ELEMENT strong (#PCDATA)>");
+  const ElementDecl& p = dtd.element("p");
+  EXPECT_EQ(p.content.kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(p.content.occurrence, Occurrence::kZeroOrMore);
+  EXPECT_EQ(p.child_elements(), (std::vector<std::string>{"em", "strong"}));
+  EXPECT_TRUE(p.may_be_childless());
+}
+
+TEST(DtdParser, Errors) {
+  EXPECT_THROW(parse_dtd(""), ParseError);
+  EXPECT_THROW(parse_dtd("<!ELEMENT a>"), ParseError);
+  EXPECT_THROW(parse_dtd("<!ELEMENT a (b,>"), ParseError);
+  EXPECT_THROW(parse_dtd("<!ELEMENT a (b | c, d)>"), ParseError);  // mixed seps
+  EXPECT_THROW(parse_dtd("<!ELEMENT a (%ent;)>"), ParseError);
+  EXPECT_THROW(parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dtd("<!WRONG a EMPTY>"), ParseError);
+  EXPECT_THROW(parse_dtd("<!ELEMENT p (#PCDATA | em)>"), ParseError);
+}
+
+TEST(DtdModel, MayBeChildless) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (a, b)>
+<!ELEMENT a (b?, c*)>
+<!ELEMENT b (c)+>
+<!ELEMENT c EMPTY>
+)");
+  EXPECT_FALSE(dtd.element("r").may_be_childless());
+  EXPECT_TRUE(dtd.element("a").may_be_childless());
+  EXPECT_FALSE(dtd.element("b").may_be_childless());
+  EXPECT_TRUE(dtd.element("c").may_be_childless());
+  EXPECT_TRUE(dtd.element("c").is_leaf());
+}
+
+TEST(ElementGraphTest, ChildrenAndLeaves) {
+  Dtd dtd = parse_dtd(kToyDtd);
+  ElementGraph graph(dtd);
+  EXPECT_EQ(graph.children("root"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(graph.is_leaf("a"));
+  EXPECT_TRUE(graph.is_leaf("c"));
+  EXPECT_FALSE(graph.is_leaf("root"));
+  EXPECT_FALSE(graph.is_recursive());
+  EXPECT_EQ(graph.reachable().size(), 4u);
+}
+
+TEST(ElementGraphTest, SelfRecursion) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (block)*>
+<!ELEMENT block (p | block)*>
+<!ELEMENT p (#PCDATA)>
+)");
+  ElementGraph graph(dtd);
+  EXPECT_TRUE(graph.is_recursive());
+  EXPECT_TRUE(graph.is_cyclic("block"));
+  EXPECT_FALSE(graph.is_cyclic("r"));
+  EXPECT_FALSE(graph.is_cyclic("p"));
+}
+
+TEST(ElementGraphTest, MutualRecursion) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (x)*>
+<!ELEMENT x (y)*>
+<!ELEMENT y (x)*>
+)");
+  ElementGraph graph(dtd);
+  EXPECT_TRUE(graph.is_recursive());
+  EXPECT_TRUE(graph.is_cyclic("x"));
+  EXPECT_TRUE(graph.is_cyclic("y"));
+}
+
+TEST(ElementGraphTest, UnreachableCycleIgnored) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (a)>
+<!ELEMENT a EMPTY>
+<!ELEMENT loop (loop)*>
+)");
+  ElementGraph graph(dtd);
+  EXPECT_FALSE(graph.is_recursive());
+}
+
+TEST(PathUniverseTest, NonRecursiveEnumeration) {
+  Dtd dtd = parse_dtd(kToyDtd);
+  PathUniverse universe(dtd);
+  // Terminal paths: /root (b?,c* optional but a required -> root cannot be
+  // childless), /root/a, /root/b/a, /root/b/c, /root/c.
+  std::vector<std::string> got;
+  for (const Path& p : universe.paths()) got.push_back(p.to_string());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::string>{"/root/a", "/root/b/a", "/root/b/c",
+                                           "/root/c"}));
+  EXPECT_FALSE(universe.truncated());
+}
+
+TEST(PathUniverseTest, RecursiveDepthCap) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (block)*>
+<!ELEMENT block (p | block)*>
+<!ELEMENT p (#PCDATA)>
+)");
+  PathUniverse::Options opts;
+  opts.max_depth = 4;
+  PathUniverse universe(dtd, opts);
+  // /r, /r/block, /r/block/p, /r/block/block, /r/block/block/p,
+  // /r/block/block/block (cap).
+  EXPECT_EQ(universe.paths().size(), 6u);
+  for (const Path& p : universe.paths()) {
+    EXPECT_LE(p.size(), 4u);
+  }
+}
+
+TEST(PathUniverseTest, CountMatching) {
+  Dtd dtd = parse_dtd(kToyDtd);
+  PathUniverse universe(dtd);
+  EXPECT_EQ(universe.count_matching(parse_xpe("/root")), 4u);
+  EXPECT_EQ(universe.count_matching(parse_xpe("/root/b")), 2u);
+  EXPECT_EQ(universe.count_matching(parse_xpe("//a")), 2u);
+  EXPECT_EQ(universe.count_matching(parse_xpe("/root/b/c")), 1u);
+  EXPECT_EQ(universe.count_matching(parse_xpe("/nothing")), 0u);
+  EXPECT_DOUBLE_EQ(universe.selectivity(parse_xpe("/root/b")), 0.5);
+}
+
+TEST(PathUniverseTest, TruncationCap) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (x)*>
+<!ELEMENT x (x | y)*>
+<!ELEMENT y EMPTY>
+)");
+  PathUniverse::Options opts;
+  opts.max_depth = 12;
+  opts.max_paths = 10;
+  PathUniverse universe(dtd, opts);
+  EXPECT_TRUE(universe.truncated());
+  EXPECT_EQ(universe.paths().size(), 10u);
+}
+
+}  // namespace
+}  // namespace xroute

@@ -1,0 +1,137 @@
+// Fuzz tests over randomly generated DTDs: the derivation/generation
+// invariants must hold for arbitrary (valid) DTD shapes, not just the
+// bundled corpus.
+#include <gtest/gtest.h>
+
+#include "adv/derive.hpp"
+#include "dtd/graph.hpp"
+#include "dtd/universe.hpp"
+#include "match/adv_automaton.hpp"
+#include "match/pub_match.hpp"
+#include "workload/dtd_gen.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+
+namespace xroute {
+namespace {
+
+class DtdFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DtdFuzz, GeneratedDtdsAreWellFormed) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    DtdGenOptions options;
+    options.elements = 5 + rng.index(25);
+    options.self_recursion_prob = rng.uniform() * 0.3;
+    options.mutual_recursion_prob = rng.uniform() * 0.15;
+    Dtd dtd = generate_random_dtd(rng, options);
+    EXPECT_TRUE(dtd.undeclared_references().empty());
+    for (const std::string& name : dtd.declaration_order()) {
+      EXPECT_NO_THROW({
+        std::size_t depth = minimal_depth(dtd, name);
+        EXPECT_GE(depth, 1u);
+      }) << name;
+    }
+  }
+}
+
+TEST_P(DtdFuzz, DerivationStaysComplete) {
+  // Every conforming path (to the repair depth) must match some derived
+  // advertisement — including DTDs with mutual cycles, where the coarse
+  // fallback plus the repair pass must close the gap.
+  Rng rng(GetParam() + 100);
+  for (int round = 0; round < 6; ++round) {
+    DtdGenOptions options;
+    options.elements = 5 + rng.index(15);
+    options.self_recursion_prob = 0.25;
+    options.mutual_recursion_prob = 0.15;
+    Dtd dtd = generate_random_dtd(rng, options);
+
+    DeriveOptions dopts;
+    dopts.repair_depth = 8;
+    auto derived = derive_advertisements(dtd, dopts);
+    ASSERT_FALSE(derived.advertisements.empty());
+
+    std::vector<AdvAutomaton> automata;
+    for (const Advertisement& a : derived.advertisements) {
+      automata.emplace_back(a);
+    }
+    PathUniverse::Options uopts;
+    uopts.max_depth = 8;
+    uopts.max_paths = 5000;
+    PathUniverse universe(dtd, uopts);
+    for (const Path& p : universe.paths()) {
+      bool matched = false;
+      for (const AdvAutomaton& m : automata) {
+        if (m.accepts_path(p)) {
+          matched = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(matched) << p.to_string() << " (round " << round << ")";
+    }
+  }
+}
+
+TEST_P(DtdFuzz, GeneratedDocumentsStayInTheAdvertisedLanguage) {
+  Rng rng(GetParam() + 200);
+  for (int round = 0; round < 5; ++round) {
+    DtdGenOptions options;
+    options.elements = 6 + rng.index(12);
+    options.self_recursion_prob = 0.2;
+    Dtd dtd = generate_random_dtd(rng, options);
+
+    DeriveOptions dopts;
+    dopts.repair_depth = 14;
+    auto derived = derive_advertisements(dtd, dopts);
+    std::vector<AdvAutomaton> automata;
+    for (const Advertisement& a : derived.advertisements) {
+      automata.emplace_back(a);
+    }
+
+    XmlGenOptions gopts;
+    gopts.max_levels = 8;
+    for (int d = 0; d < 5; ++d) {
+      XmlDocument doc = generate_document(dtd, rng, gopts);
+      for (const Path& p : extract_paths(doc)) {
+        if (p.size() > 14) continue;  // beyond the repair horizon
+        bool matched = false;
+        for (const AdvAutomaton& m : automata) {
+          if (m.accepts_path(p)) {
+            matched = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(matched) << p.to_string();
+      }
+    }
+  }
+}
+
+TEST_P(DtdFuzz, GeneratedQueriesSatisfiable) {
+  Rng rng(GetParam() + 300);
+  for (int round = 0; round < 5; ++round) {
+    Dtd dtd = generate_random_dtd(rng);
+    PathUniverse::Options uopts;
+    uopts.max_depth = 10;
+    uopts.max_paths = 20000;
+    PathUniverse universe(dtd, uopts);
+    if (universe.paths().empty()) continue;
+
+    XpathGenOptions xopts;
+    xopts.count = 40;
+    xopts.seed = GetParam() + static_cast<std::uint64_t>(round);
+    xopts.wildcard_prob = 0.0;
+    xopts.descendant_prob = 0.0;
+    xopts.relative_prob = 0.0;
+    xopts.max_length = 8;
+    for (const Xpe& q : generate_xpaths(dtd, xopts)) {
+      EXPECT_GT(universe.count_matching(q), 0u) << q.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtdFuzz, ::testing::Values(41, 42, 43));
+
+}  // namespace
+}  // namespace xroute

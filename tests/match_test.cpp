@@ -1,0 +1,169 @@
+// Unit tests for publication matching and non-recursive advertisement
+// matching (paper §3.2), including every worked example from the paper.
+#include <gtest/gtest.h>
+
+#include "match/adv_match.hpp"
+#include "match/pub_match.hpp"
+#include "match/rules.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+Path P(const std::string& s) { return parse_path(s); }
+
+TEST(Rules, Overlap) {
+  EXPECT_TRUE(elements_overlap("*", "*"));
+  EXPECT_TRUE(elements_overlap("*", "t"));
+  EXPECT_TRUE(elements_overlap("t", "*"));
+  EXPECT_TRUE(elements_overlap("t", "t"));
+  EXPECT_FALSE(elements_overlap("t1", "t2"));
+}
+
+TEST(Rules, Covering) {
+  EXPECT_TRUE(element_covers("*", "anything"));
+  EXPECT_TRUE(element_covers("*", "*"));
+  EXPECT_TRUE(element_covers("t", "t"));
+  EXPECT_FALSE(element_covers("t", "*"));
+  EXPECT_FALSE(element_covers("t", "u"));
+}
+
+// ---------- publication vs subscription ----------
+
+TEST(PubMatch, AbsoluteSimple) {
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("/a/b/c")));
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("/a/b")));  // prefix semantics
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("/a/*/c")));
+  EXPECT_FALSE(matches(P("/a/b/c"), parse_xpe("/a/b/c/d")));  // too long
+  EXPECT_FALSE(matches(P("/a/b/c"), parse_xpe("/b")));
+  EXPECT_FALSE(matches(P("/a/b/c"), parse_xpe("/a/c")));
+}
+
+TEST(PubMatch, Relative) {
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("b/c")));
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("c")));
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("a")));
+  EXPECT_FALSE(matches(P("/a/b/c"), parse_xpe("c/b")));
+  EXPECT_TRUE(matches(P("/a/b/c"), parse_xpe("*/c")));
+}
+
+TEST(PubMatch, Descendant) {
+  EXPECT_TRUE(matches(P("/a/b/c/d"), parse_xpe("/a//d")));
+  EXPECT_TRUE(matches(P("/a/b/c/d"), parse_xpe("/a//c/d")));
+  EXPECT_TRUE(matches(P("/a/b"), parse_xpe("/a//b")));  // '//' gap may be 0
+  EXPECT_TRUE(matches(P("/a/b/c/d"), parse_xpe("//b//d")));
+  EXPECT_FALSE(matches(P("/a/b/c/d"), parse_xpe("/a//d/c")));
+  EXPECT_FALSE(matches(P("/a/b"), parse_xpe("/b//a")));
+}
+
+TEST(PubMatch, GreedyBacktrackFree) {
+  // Greedy earliest placement must not break later segments.
+  EXPECT_TRUE(matches(P("/a/b/a/b/c"), parse_xpe("/a//b/c")));
+  EXPECT_TRUE(matches(P("/x/a/x/a/b"), parse_xpe("a/b")));
+  EXPECT_TRUE(matches(P("/a/a/a/b"), parse_xpe("/a/a//b")));
+}
+
+TEST(PubMatch, WildcardsAndDescendants) {
+  EXPECT_TRUE(matches(P("/a/x/y/c"), parse_xpe("/a/*//c")));
+  EXPECT_TRUE(matches(P("/a/x/c"), parse_xpe("/a/*//c")));
+  EXPECT_FALSE(matches(P("/a/c"), parse_xpe("/a/*//c")));
+  EXPECT_TRUE(matches(P("/a"), parse_xpe("*")));
+}
+
+// ---------- AbsExprAndAdv ----------
+
+TEST(AbsExprAndAdv, PaperExample) {
+  // a = /b/*/*/c/c/d, s = /*/c/*/b/c -> no overlap (position 4: c vs b).
+  std::vector<std::string> a{"b", "*", "*", "c", "c", "d"};
+  EXPECT_FALSE(abs_expr_and_adv(a, parse_xpe("/*/c/*/b/c")));
+  EXPECT_TRUE(abs_expr_and_adv(a, parse_xpe("/*/c/*/c/c")));
+  EXPECT_TRUE(abs_expr_and_adv(a, parse_xpe("/b/x/y")));
+}
+
+TEST(AbsExprAndAdv, LengthRule) {
+  std::vector<std::string> a{"a", "b"};
+  // An XPE longer than the advertisement cannot match its publications.
+  EXPECT_FALSE(abs_expr_and_adv(a, parse_xpe("/a/b/c")));
+  EXPECT_TRUE(abs_expr_and_adv(a, parse_xpe("/a/b")));
+  EXPECT_TRUE(abs_expr_and_adv(a, parse_xpe("/a")));
+}
+
+TEST(AbsExprAndAdv, WildcardInAdv) {
+  std::vector<std::string> a{"*", "*"};
+  EXPECT_TRUE(abs_expr_and_adv(a, parse_xpe("/x/y")));
+}
+
+// ---------- RelExprAndAdv ----------
+
+TEST(RelExprAndAdv, WindowSearch) {
+  std::vector<std::string> a{"a", "b", "c", "d"};
+  EXPECT_TRUE(rel_expr_and_adv(a, parse_xpe("b/c")));
+  EXPECT_TRUE(rel_expr_and_adv(a, parse_xpe("c/d")));
+  EXPECT_FALSE(rel_expr_and_adv(a, parse_xpe("b/d")));
+  EXPECT_TRUE(rel_expr_and_adv(a, parse_xpe("*/d")));
+  EXPECT_FALSE(rel_expr_and_adv(a, parse_xpe("a/b/c/d/e")));
+}
+
+TEST(RelExprAndAdv, NaiveAndKmpAgree) {
+  std::vector<std::string> a{"a", "b", "a", "b", "c"};
+  for (const char* q : {"a/b/c", "b/a", "b/c", "c/a", "a/a"}) {
+    EXPECT_EQ(rel_expr_and_adv(a, parse_xpe(q), SearchStrategy::kNaive),
+              rel_expr_and_adv(a, parse_xpe(q), SearchStrategy::kKmpWhenSound))
+        << q;
+  }
+}
+
+TEST(RelExprAndAdv, KmpUnsoundCaseFallsBack) {
+  // The counterexample to KMP with text don't-cares: pattern "a/c/b" in
+  // text a,*,c,b occurs at offset 1 but a naive KMP scan misses it. The
+  // strategy must fall back to the exhaustive scan here.
+  std::vector<std::string> a{"a", "*", "c", "b"};
+  EXPECT_TRUE(
+      rel_expr_and_adv(a, parse_xpe("a/c/b"), SearchStrategy::kKmpWhenSound));
+  EXPECT_TRUE(rel_expr_and_adv(a, parse_xpe("a/c/b"), SearchStrategy::kNaive));
+}
+
+TEST(KmpContains, Basics) {
+  std::vector<std::string> text{"a", "b", "a", "a", "b"};
+  EXPECT_TRUE(kmp_contains(text, {"a", "a", "b"}));
+  EXPECT_TRUE(kmp_contains(text, {"a", "b", "a"}));
+  EXPECT_FALSE(kmp_contains(text, {"b", "b"}));
+  EXPECT_TRUE(kmp_contains(text, {}));
+  EXPECT_FALSE(kmp_contains({}, {"a"}));
+}
+
+// ---------- DesExprAndAdv ----------
+
+TEST(DesExprAndAdv, PaperExample) {
+  // a = /a/*/e/*/d/*/c/b, s = */a//d/*/c//b -> 1.
+  std::vector<std::string> a{"a", "*", "e", "*", "d", "*", "c", "b"};
+  EXPECT_TRUE(des_expr_and_adv(a, parse_xpe("*/a//d/*/c//b")));
+}
+
+TEST(DesExprAndAdv, OrderingMatters) {
+  std::vector<std::string> a{"a", "b", "c"};
+  EXPECT_TRUE(des_expr_and_adv(a, parse_xpe("/a//c")));
+  EXPECT_FALSE(des_expr_and_adv(a, parse_xpe("/c//a")));
+  EXPECT_FALSE(des_expr_and_adv(a, parse_xpe("b//a")));
+  EXPECT_TRUE(des_expr_and_adv(a, parse_xpe("a//c")));
+}
+
+TEST(DesExprAndAdv, AnchoredFirstSegment) {
+  std::vector<std::string> a{"a", "b", "c"};
+  EXPECT_FALSE(des_expr_and_adv(a, parse_xpe("/b//c")));
+  EXPECT_TRUE(des_expr_and_adv(a, parse_xpe("/a/b//c")));
+  EXPECT_FALSE(des_expr_and_adv(a, parse_xpe("/a/c//b")));
+}
+
+TEST(NonRecDispatcher, RoutesAllCases) {
+  std::vector<std::string> a{"a", "b", "c", "d"};
+  EXPECT_TRUE(nonrec_adv_overlaps(a, parse_xpe("/a/b")));       // absolute
+  EXPECT_TRUE(nonrec_adv_overlaps(a, parse_xpe("b/c")));        // relative
+  EXPECT_TRUE(nonrec_adv_overlaps(a, parse_xpe("/a//d")));      // descendant
+  EXPECT_TRUE(nonrec_adv_overlaps(a, parse_xpe("//b/c")));      // desc-led
+  EXPECT_FALSE(nonrec_adv_overlaps(a, parse_xpe("/b")));
+}
+
+}  // namespace
+}  // namespace xroute

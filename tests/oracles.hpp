@@ -1,0 +1,135 @@
+// Brute-force oracles and random generators shared by the property tests.
+//
+// The key semantic objects (covering, advertisement overlap) are defined by
+// quantification over concrete paths; over a small alphabet and bounded
+// length the quantification is exhaustively checkable, giving ground truth
+// against which the paper's PTIME algorithms are verified (soundness
+// everywhere; exactness where claimed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adv/advertisement.hpp"
+#include "match/pub_match.hpp"
+#include "util/rng.hpp"
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute::testing {
+
+/// All concrete paths over `alphabet` with length in [1, max_len].
+inline std::vector<Path> all_paths(const std::vector<std::string>& alphabet,
+                                   std::size_t max_len) {
+  std::vector<Path> out;
+  std::vector<Path> frontier{Path{}};
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    std::vector<Path> next;
+    for (const Path& p : frontier) {
+      for (const std::string& e : alphabet) {
+        Path q = p;
+        q.elements.push_back(e);
+        out.push_back(q);
+        next.push_back(std::move(q));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+/// Ground-truth covering over the finite path set: P(s1) ⊇ P(s2)?
+/// (Restricting path length is safe for *refuting* covering; for
+/// confirming it we rely on lengths comfortably above both XPE lengths.)
+inline bool covers_oracle(const Xpe& s1, const Xpe& s2,
+                          const std::vector<Path>& paths) {
+  for (const Path& p : paths) {
+    if (matches(p, s2) && !matches(p, s1)) return false;
+  }
+  return true;
+}
+
+/// Ground-truth advertisement overlap: ∃ path in P(a) matching s.
+/// P(a) is approximated by instantiating every expansion's wildcards over
+/// the alphabet — exact when the alphabet includes every element that
+/// occurs plus at least one fresh element.
+inline bool overlap_oracle(const Advertisement& a, const Xpe& s,
+                           const std::vector<std::string>& alphabet,
+                           std::size_t max_len) {
+  for (const auto& expansion : a.expansions(max_len)) {
+    // Instantiate wildcards over the alphabet, depth-first.
+    std::vector<std::size_t> wildcard_positions;
+    for (std::size_t i = 0; i < expansion.size(); ++i) {
+      if (expansion[i] == "*") wildcard_positions.push_back(i);
+    }
+    Path p;
+    p.elements = expansion;
+    std::size_t combos = 1;
+    for (std::size_t i = 0; i < wildcard_positions.size(); ++i) {
+      combos *= alphabet.size();
+    }
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      std::size_t m = mask;
+      for (std::size_t pos : wildcard_positions) {
+        p.elements[pos] = alphabet[m % alphabet.size()];
+        m /= alphabet.size();
+      }
+      if (matches(p, s)) return true;
+    }
+  }
+  return false;
+}
+
+/// Random XPE over `alphabet`.
+inline Xpe random_xpe(Rng& rng, const std::vector<std::string>& alphabet,
+                      std::size_t max_len, double wildcard_prob = 0.25,
+                      double descendant_prob = 0.25,
+                      double relative_prob = 0.3) {
+  std::size_t len = 1 + rng.index(max_len);
+  bool relative = rng.chance(relative_prob);
+  std::vector<Step> steps;
+  for (std::size_t i = 0; i < len; ++i) {
+    Step step;
+    if (i == 0) {
+      step.axis = relative ? Axis::kDescendant : Axis::kChild;
+    } else {
+      step.axis =
+          rng.chance(descendant_prob) ? Axis::kDescendant : Axis::kChild;
+    }
+    step.name = rng.chance(wildcard_prob) ? std::string(kWildcard)
+                                          : rng.pick(alphabet);
+    steps.push_back(std::move(step));
+  }
+  return relative ? Xpe::relative(std::move(steps))
+                  : Xpe::absolute(std::move(steps));
+}
+
+/// Random concrete path over `alphabet`.
+inline Path random_path(Rng& rng, const std::vector<std::string>& alphabet,
+                        std::size_t max_len) {
+  Path p;
+  std::size_t len = 1 + rng.index(max_len);
+  for (std::size_t i = 0; i < len; ++i) p.elements.push_back(rng.pick(alphabet));
+  return p;
+}
+
+/// Random non-recursive advertisement.
+inline Advertisement random_flat_adv(Rng& rng,
+                                     const std::vector<std::string>& alphabet,
+                                     std::size_t max_len,
+                                     double wildcard_prob = 0.25) {
+  std::vector<std::string> elements;
+  std::size_t len = 1 + rng.index(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    elements.push_back(rng.chance(wildcard_prob) ? std::string(kWildcard)
+                                                 : rng.pick(alphabet));
+  }
+  return Advertisement::from_elements(std::move(elements));
+}
+
+inline const std::vector<std::string>& small_alphabet() {
+  static const std::vector<std::string> alphabet{"a", "b", "c"};
+  return alphabet;
+}
+
+}  // namespace xroute::testing

@@ -1,0 +1,86 @@
+// Round-trip fuzz: every textual form in the system must survive
+// serialise -> parse -> serialise across randomly generated instances.
+#include <gtest/gtest.h>
+
+#include "adv/derive.hpp"
+#include "oracles.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/dtd_gen.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+#include "xml/parser.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+class RoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripFuzz, XmlDocuments) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    Dtd dtd = generate_random_dtd(rng);
+    for (int d = 0; d < 4; ++d) {
+      XmlDocument doc = generate_document(dtd, rng, {});
+      std::string once = doc.serialize();
+      XmlDocument reparsed = parse_xml(once);
+      EXPECT_EQ(reparsed.serialize(), once);
+      // Structure identical, not just text.
+      EXPECT_EQ(extract_paths(reparsed), extract_paths(doc));
+    }
+  }
+}
+
+TEST_P(RoundTripFuzz, CorpusDocuments) {
+  Rng rng(GetParam() + 1);
+  for (const char* name : {"news", "psd"}) {
+    Dtd dtd = corpus_dtd(name);
+    for (int d = 0; d < 5; ++d) {
+      XmlGenOptions options;
+      options.target_bytes = 2048;
+      XmlDocument doc = generate_document(dtd, rng, options);
+      std::string once = doc.serialize();
+      EXPECT_EQ(parse_xml(once).serialize(), once) << name;
+    }
+  }
+}
+
+TEST_P(RoundTripFuzz, Xpes) {
+  Rng rng(GetParam() + 2);
+  // Structural XPEs over a small alphabet.
+  for (int i = 0; i < 300; ++i) {
+    Xpe x = testing::random_xpe(rng, testing::small_alphabet(), 6);
+    EXPECT_EQ(parse_xpe(x.to_string()), x) << x.to_string();
+    EXPECT_EQ(parse_xpe(x.to_string()).to_string(), x.to_string());
+  }
+  // DTD-guided XPEs with predicates.
+  Dtd dtd = psd_dtd();
+  XpathGenOptions options;
+  options.count = 200;
+  options.seed = GetParam();
+  options.predicate_prob = 0.5;
+  for (const Xpe& x : generate_xpaths(dtd, options)) {
+    EXPECT_EQ(parse_xpe(x.to_string()), x) << x.to_string();
+  }
+}
+
+TEST_P(RoundTripFuzz, DerivedAdvertisements) {
+  Rng rng(GetParam() + 3);
+  for (int round = 0; round < 5; ++round) {
+    DtdGenOptions gopts;
+    gopts.self_recursion_prob = 0.3;
+    Dtd dtd = generate_random_dtd(rng, gopts);
+    DeriveOptions dopts;
+    dopts.max_advertisements = 500;
+    dopts.repair = false;
+    for (const Advertisement& a :
+         derive_advertisements(dtd, dopts).advertisements) {
+      EXPECT_EQ(parse_advertisement(a.to_string()), a) << a.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzz, ::testing::Values(71, 72));
+
+}  // namespace
+}  // namespace xroute

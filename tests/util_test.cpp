@@ -1,0 +1,117 @@
+// Unit tests for the utility layer: flags, rng, messages, text tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "router/message.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+TEST(FlagsTest, ParsesAllForms) {
+  Flags flags("test");
+  flags.define("count", "10", "a count");
+  flags.define("rate", "0.5", "a rate");
+  flags.define("name", "x", "a name");
+  flags.define("verbose", "false", "a bool");
+  const char* argv[] = {"prog", "--count=42", "--rate", "0.9", "--verbose"};
+  EXPECT_TRUE(flags.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 0.9);
+  EXPECT_EQ(flags.get_string("name"), "x");  // default preserved
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagThrows) {
+  Flags flags("test");
+  flags.define("count", "10", "a count");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(flags.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(FlagsTest, HelpReturnsFalse) {
+  Flags flags("test");
+  flags.define("count", "10", "a count");
+  const char* argv[] = {"prog", "--help"};
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+  std::string usage = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(1), b(1);
+  for (int i = 0; i < 100; ++i) {
+    int va = a.uniform_int(3, 7);
+    EXPECT_EQ(va, b.uniform_int(3, 7));
+    EXPECT_GE(va, 3);
+    EXPECT_LE(va, 7);
+    double d = a.uniform();
+    (void)b.uniform();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(MessageTest, TypesAndWireBytes) {
+  Message adv = Message::advertise(Advertisement::from_elements({"a", "b"}), 1);
+  Message sub = Message::subscribe(parse_xpe("/a/b"));
+  Message unsub = Message::unsubscribe(parse_xpe("/a/b"));
+  EXPECT_EQ(adv.type(), MessageType::kAdvertise);
+  EXPECT_EQ(sub.type(), MessageType::kSubscribe);
+  EXPECT_EQ(unsub.type(), MessageType::kUnsubscribe);
+  EXPECT_GT(adv.wire_bytes(), 0u);
+  EXPECT_GT(sub.wire_bytes(), 0u);
+
+  PublishMsg pub;
+  pub.path = parse_path("/a/b");
+  pub.doc_bytes = 10000;
+  pub.paths_in_doc = 10;
+  Message msg{pub};
+  EXPECT_EQ(msg.type(), MessageType::kPublish);
+  // Document bytes amortise over the document's paths.
+  EXPECT_GE(msg.wire_bytes(), 1000u);
+  EXPECT_LT(msg.wire_bytes(), 2000u);
+
+  EXPECT_STREQ(to_string(MessageType::kPublish), "publish");
+  EXPECT_STREQ(to_string(MessageType::kAdvertise), "advertise");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "2.50"});
+  std::ostringstream os;
+  table.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(TextTable::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(std::size_t{42}), "42");
+}
+
+TEST(StrategyMatrixTest, PaperOrderAndNames) {
+  auto specs = paper_strategy_matrix(0.1);
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs.front().name, "no-Adv-no-Cov");
+  EXPECT_EQ(specs.back().name, "with-Adv-with-CovIPM");
+  EXPECT_FALSE(specs[0].strategy.advertisements);
+  EXPECT_TRUE(specs[5].strategy.merging);
+  EXPECT_DOUBLE_EQ(specs[5].strategy.max_imperfect_degree, 0.1);
+  EXPECT_DOUBLE_EQ(specs[4].strategy.max_imperfect_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace xroute

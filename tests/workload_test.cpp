@@ -1,0 +1,191 @@
+// Unit tests for the workload generators and corpus DTDs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dtd/graph.hpp"
+#include "dtd/universe.hpp"
+#include "match/pub_match.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+namespace {
+
+TEST(CorpusDtd, ParsesAndIsClosed) {
+  for (const char* name : {"news", "psd"}) {
+    Dtd dtd = corpus_dtd(name);
+    EXPECT_GT(dtd.size(), 20u) << name;
+    EXPECT_TRUE(dtd.undeclared_references().empty()) << name;
+  }
+  EXPECT_THROW(corpus_dtd("nope"), std::invalid_argument);
+}
+
+TEST(CorpusDtd, StructuralProperties) {
+  ElementGraph news(news_dtd());
+  EXPECT_TRUE(news.is_recursive());
+  EXPECT_TRUE(news.is_cyclic("block"));
+  ElementGraph psd(psd_dtd());
+  EXPECT_FALSE(psd.is_recursive());
+}
+
+TEST(CorpusDtd, EveryElementHasFiniteExpansion) {
+  for (const char* name : {"news", "psd"}) {
+    Dtd dtd = corpus_dtd(name);
+    for (const std::string& element : dtd.declaration_order()) {
+      EXPECT_NO_THROW({
+        std::size_t d = minimal_depth(dtd, element);
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, 5u) << element;  // generator cap headroom
+      }) << name << "/" << element;
+    }
+  }
+}
+
+TEST(XpathGen, GeneratesDistinctBoundedQueries) {
+  XpathGenOptions options;
+  options.count = 500;
+  options.max_length = 10;
+  options.seed = 7;
+  auto xpes = generate_xpaths(news_dtd(), options);
+  ASSERT_EQ(xpes.size(), 500u);
+  std::set<std::string> seen;
+  for (const Xpe& x : xpes) {
+    EXPECT_GE(x.size(), options.min_length);
+    EXPECT_LE(x.size(), options.max_length);
+    EXPECT_TRUE(seen.insert(x.to_string()).second) << x.to_string();
+  }
+}
+
+TEST(XpathGen, Reproducible) {
+  XpathGenOptions options;
+  options.count = 50;
+  options.seed = 99;
+  auto a = generate_xpaths(psd_dtd(), options);
+  auto b = generate_xpaths(psd_dtd(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(XpathGen, KnobsControlOperators) {
+  XpathGenOptions none;
+  none.count = 200;
+  none.wildcard_prob = 0.0;
+  none.descendant_prob = 0.0;
+  none.relative_prob = 0.0;
+  none.seed = 3;
+  for (const Xpe& x : generate_xpaths(news_dtd(), none)) {
+    EXPECT_FALSE(x.has_wildcard());
+    EXPECT_FALSE(x.has_descendant());
+    EXPECT_TRUE(x.anchored());
+  }
+  XpathGenOptions lots = none;
+  lots.wildcard_prob = 1.0;
+  for (const Xpe& x : generate_xpaths(news_dtd(), lots)) {
+    EXPECT_TRUE(x.has_wildcard());
+  }
+}
+
+TEST(XpathGen, QueriesAreSatisfiableByTheDtd) {
+  // Wildcard/descendant-free absolute queries follow the element graph, so
+  // some universe path must match each of them.
+  XpathGenOptions options;
+  options.count = 150;
+  options.wildcard_prob = 0.0;
+  options.descendant_prob = 0.0;
+  options.relative_prob = 0.0;
+  options.seed = 11;
+  Dtd dtd = psd_dtd();
+  PathUniverse universe(dtd);
+  for (const Xpe& x : generate_xpaths(dtd, options)) {
+    EXPECT_GT(universe.count_matching(x), 0u) << x.to_string();
+  }
+}
+
+TEST(XpathGen, CoveringRateMovesWithGenerality) {
+  XpathGenOptions narrow;
+  narrow.count = 800;
+  narrow.wildcard_prob = 0.02;
+  narrow.descendant_prob = 0.02;
+  narrow.seed = 21;
+  XpathGenOptions broad = narrow;
+  broad.wildcard_prob = 0.45;
+  broad.descendant_prob = 0.45;
+
+  double low = covering_rate(generate_xpaths(psd_dtd(), narrow));
+  double high = covering_rate(generate_xpaths(psd_dtd(), broad));
+  EXPECT_LT(low, high);
+  EXPECT_GT(high, 0.5);
+}
+
+TEST(XmlGen, GeneratesConformingishDocuments) {
+  Dtd dtd = news_dtd();
+  Rng rng(5);
+  XmlGenOptions options;
+  XmlDocument doc = generate_document(dtd, rng, options);
+  EXPECT_EQ(doc.root().name, "news");
+  // Every element used is declared.
+  std::vector<const XmlNode*> stack{&doc.root()};
+  while (!stack.empty()) {
+    const XmlNode* node = stack.back();
+    stack.pop_back();
+    EXPECT_TRUE(dtd.has_element(node->name)) << node->name;
+    for (const XmlNode& c : node->children) stack.push_back(&c);
+  }
+}
+
+TEST(XmlGen, RespectsDepthCapWithHeadroom) {
+  Dtd dtd = news_dtd();
+  Rng rng(6);
+  XmlGenOptions options;
+  options.max_levels = 10;
+  for (int i = 0; i < 20; ++i) {
+    XmlDocument doc = generate_document(dtd, rng, options);
+    // At the cap the generator switches to minimal expansions; the
+    // overshoot is bounded by the deepest minimal expansion.
+    EXPECT_LE(doc.root().depth(), options.max_levels + 4);
+  }
+}
+
+TEST(XmlGen, TargetBytesReached) {
+  Dtd dtd = psd_dtd();
+  Rng rng(7);
+  for (std::size_t target : {2048u, 10240u, 20480u}) {
+    XmlGenOptions options;
+    options.target_bytes = target;
+    XmlDocument doc = generate_document(dtd, rng, options);
+    EXPECT_GE(doc.byte_size(), target);
+    EXPECT_LE(doc.byte_size(), target + 4096);
+  }
+}
+
+TEST(XmlGen, ExtractedPathsMatchGeneratedAdvertisements) {
+  // Ties generator and DTD together: document paths live in the universe.
+  Dtd dtd = psd_dtd();
+  PathUniverse::Options uopts;
+  uopts.max_depth = 16;
+  PathUniverse universe(dtd, uopts);
+  std::set<std::vector<std::string>> universe_set;
+  for (const Path& p : universe.paths()) universe_set.insert(p.elements);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    XmlDocument doc = generate_document(dtd, rng, {});
+    // Extracted paths carry attribute/text annotations; structurally they
+    // must all live in the universe.
+    for (const Path& p : extract_paths(doc)) {
+      EXPECT_TRUE(universe_set.count(p.elements)) << p.to_string();
+    }
+  }
+}
+
+TEST(XmlGen, Reproducible) {
+  Dtd dtd = news_dtd();
+  Rng r1(42), r2(42);
+  EXPECT_EQ(generate_document(dtd, r1, {}).serialize(),
+            generate_document(dtd, r2, {}).serialize());
+}
+
+}  // namespace
+}  // namespace xroute

@@ -1,0 +1,129 @@
+// Unit tests for the XML document model, parser and path extraction.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "xml/document.hpp"
+#include "xml/parser.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+namespace {
+
+TEST(XmlParser, SimpleDocument) {
+  XmlDocument doc = parse_xml("<a><b>hello</b><c/></a>");
+  EXPECT_EQ(doc.root().name, "a");
+  ASSERT_EQ(doc.root().children.size(), 2u);
+  EXPECT_EQ(doc.root().children[0].name, "b");
+  EXPECT_EQ(doc.root().children[0].text, "hello");
+  EXPECT_TRUE(doc.root().children[1].is_leaf());
+}
+
+TEST(XmlParser, Attributes) {
+  XmlDocument doc = parse_xml(R"(<a x="1" y='two &amp; three'><b k="v"/></a>)");
+  ASSERT_EQ(doc.root().attributes.size(), 2u);
+  EXPECT_EQ(doc.root().attributes[0].first, "x");
+  EXPECT_EQ(doc.root().attributes[0].second, "1");
+  EXPECT_EQ(doc.root().attributes[1].second, "two & three");
+  EXPECT_EQ(doc.root().children[0].attributes[0].second, "v");
+}
+
+TEST(XmlParser, EntitiesInText) {
+  XmlDocument doc = parse_xml("<a>&lt;x&gt; &amp; &quot;y&quot; &#65;</a>");
+  EXPECT_EQ(doc.root().text, "<x> & \"y\" A");
+}
+
+TEST(XmlParser, CommentsAndProcessingInstructions) {
+  XmlDocument doc = parse_xml(
+      "<?xml version=\"1.0\"?><!-- head --><a><!-- inner --><b/></a><!-- tail -->");
+  EXPECT_EQ(doc.root().name, "a");
+  ASSERT_EQ(doc.root().children.size(), 1u);
+}
+
+TEST(XmlParser, Doctype) {
+  XmlDocument doc = parse_xml(
+      "<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b/></a>");
+  EXPECT_EQ(doc.root().name, "a");
+}
+
+TEST(XmlParser, Cdata) {
+  XmlDocument doc = parse_xml("<a><![CDATA[<not-a-tag>]]><b/></a>");
+  ASSERT_EQ(doc.root().children.size(), 1u);
+}
+
+TEST(XmlParser, Whitespace) {
+  XmlDocument doc = parse_xml("  <a >\n  <b  x = \"1\" />\n</a>  ");
+  EXPECT_EQ(doc.root().name, "a");
+  ASSERT_EQ(doc.root().children.size(), 1u);
+}
+
+TEST(XmlParser, Errors) {
+  EXPECT_THROW(parse_xml(""), ParseError);
+  EXPECT_THROW(parse_xml("<a>"), ParseError);
+  EXPECT_THROW(parse_xml("<a></b>"), ParseError);
+  EXPECT_THROW(parse_xml("<a><b></a></b>"), ParseError);
+  EXPECT_THROW(parse_xml("<a x=1/>"), ParseError);
+  EXPECT_THROW(parse_xml("<a x=\"1/>"), ParseError);
+  EXPECT_THROW(parse_xml("<a/><b/>"), ParseError);
+  EXPECT_THROW(parse_xml("<a>&unknown;</a>"), ParseError);
+  EXPECT_THROW(parse_xml("<!-- unterminated <a/>"), ParseError);
+}
+
+TEST(XmlSerialize, RoundTrip) {
+  const char* text =
+      R"(<?xml version="1.0"?><news a="1"><head><title>x &amp; y</title></head><body/></news>)";
+  XmlDocument doc = parse_xml(text);
+  XmlDocument again = parse_xml(doc.serialize());
+  EXPECT_EQ(doc.serialize(), again.serialize());
+  EXPECT_EQ(again.root().children[0].children[0].text, "x & y");
+}
+
+TEST(XmlNode, SubtreeSizeAndDepth) {
+  XmlDocument doc = parse_xml("<a><b><c/><d/></b><e/></a>");
+  EXPECT_EQ(doc.root().subtree_size(), 5u);
+  EXPECT_EQ(doc.root().depth(), 3u);
+}
+
+TEST(PathExtraction, RootToLeafPaths) {
+  XmlDocument doc = parse_xml("<a><b><c/><d/></b><e/></a>");
+  auto paths = extract_paths(doc);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].to_string(), "/a/b/c");
+  EXPECT_EQ(paths[1].to_string(), "/a/b/d");
+  EXPECT_EQ(paths[2].to_string(), "/a/e");
+}
+
+TEST(PathExtraction, DuplicatePathsCollapse) {
+  XmlDocument doc = parse_xml("<a><b><c/></b><b><c/></b></a>");
+  auto paths = extract_paths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].to_string(), "/a/b/c");
+}
+
+TEST(PathExtraction, DepthCap) {
+  XmlDocument doc = parse_xml("<a><b><c><d/></c></b></a>");
+  auto paths = extract_paths(doc, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].to_string(), "/a/b");
+}
+
+TEST(PathExtraction, SingleElementDocument) {
+  auto paths = extract_paths(parse_xml("<solo/>"));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].to_string(), "/solo");
+}
+
+TEST(PathParse, RoundTrip) {
+  Path p = parse_path("/a/b/c");
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.to_string(), "/a/b/c");
+  EXPECT_THROW(parse_path(""), ParseError);
+  EXPECT_THROW(parse_path("a/b"), ParseError);
+  EXPECT_THROW(parse_path("/a//b"), ParseError);
+}
+
+TEST(XmlEscape, AllEntities) {
+  EXPECT_EQ(xml_escape("<&>'\""), "&lt;&amp;&gt;&apos;&quot;");
+}
+
+}  // namespace
+}  // namespace xroute

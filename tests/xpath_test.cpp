@@ -1,0 +1,118 @@
+// Unit tests for the XPE model and parser.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute {
+namespace {
+
+TEST(XpeParser, AbsoluteSimple) {
+  Xpe x = parse_xpe("/a/b/c");
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_TRUE(x.anchored());
+  EXPECT_FALSE(x.relative());
+  EXPECT_FALSE(x.has_descendant());
+  EXPECT_FALSE(x.has_wildcard());
+  EXPECT_TRUE(x.is_absolute_simple());
+  EXPECT_EQ(x.to_string(), "/a/b/c");
+}
+
+TEST(XpeParser, Wildcards) {
+  Xpe x = parse_xpe("/*/c/*/b/c");
+  ASSERT_EQ(x.size(), 5u);
+  EXPECT_TRUE(x.step(0).is_wildcard());
+  EXPECT_TRUE(x.has_wildcard());
+  EXPECT_EQ(x.to_string(), "/*/c/*/b/c");
+}
+
+TEST(XpeParser, Relative) {
+  Xpe x = parse_xpe("d/a");
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_TRUE(x.relative());
+  EXPECT_FALSE(x.anchored());
+  // Relative form is semantically descendant-led.
+  EXPECT_EQ(x.step(0).axis, Axis::kDescendant);
+  EXPECT_EQ(x.to_string(), "d/a");
+}
+
+TEST(XpeParser, LeadingDescendant) {
+  Xpe x = parse_xpe("//a/b");
+  EXPECT_FALSE(x.relative());
+  EXPECT_FALSE(x.anchored());
+  EXPECT_EQ(x.step(0).axis, Axis::kDescendant);
+  EXPECT_EQ(x.to_string(), "//a/b");
+}
+
+TEST(XpeParser, MixedOperators) {
+  Xpe x = parse_xpe("*/a//d/*/c//b");
+  ASSERT_EQ(x.size(), 6u);
+  EXPECT_TRUE(x.relative());
+  EXPECT_EQ(x.step(2).axis, Axis::kDescendant);
+  EXPECT_EQ(x.step(3).axis, Axis::kChild);
+  EXPECT_EQ(x.step(5).axis, Axis::kDescendant);
+  EXPECT_EQ(x.to_string(), "*/a//d/*/c//b");
+}
+
+TEST(XpeParser, RelativeEqualsDescendantLed) {
+  // "a/b" and "//a/b" match at any position: semantically equal.
+  EXPECT_EQ(parse_xpe("a/b"), parse_xpe("//a/b"));
+  EXPECT_NE(parse_xpe("a/b"), parse_xpe("/a/b"));
+}
+
+TEST(XpeParser, RoundTrip) {
+  for (const char* text :
+       {"/a", "/a/b/c", "/*/b", "a//b", "//x", "*", "/a/*/c//d/*",
+        "item/price", "/root//leaf"}) {
+    EXPECT_EQ(parse_xpe(text).to_string(), text) << text;
+  }
+}
+
+TEST(XpeParser, Errors) {
+  EXPECT_THROW(parse_xpe(""), ParseError);
+  EXPECT_THROW(parse_xpe("/"), ParseError);
+  EXPECT_THROW(parse_xpe("/a/"), ParseError);
+  EXPECT_THROW(parse_xpe("/a//"), ParseError);
+  EXPECT_THROW(parse_xpe("//"), ParseError);
+  EXPECT_THROW(parse_xpe("/a/$"), ParseError);
+  EXPECT_THROW(parse_xpe("/a b"), ParseError);
+  EXPECT_THROW(parse_xpe("/3a"), ParseError);
+}
+
+TEST(XpeParser, NamesWithPunctuation) {
+  Xpe x = parse_xpe("/doc-id/date.issue/a_b");
+  EXPECT_EQ(x.step(0).name, "doc-id");
+  EXPECT_EQ(x.step(1).name, "date.issue");
+  EXPECT_EQ(x.step(2).name, "a_b");
+}
+
+TEST(XpeSegments, Splitting) {
+  Xpe x = parse_xpe("/a/b//c/d//e");
+  auto segs = x.segments();
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_TRUE(segs[0].anchored);
+  EXPECT_EQ(segs[0].first, 0u);
+  EXPECT_EQ(segs[0].length, 2u);
+  EXPECT_FALSE(segs[1].anchored);
+  EXPECT_EQ(segs[1].first, 2u);
+  EXPECT_EQ(segs[1].length, 2u);
+  EXPECT_EQ(segs[2].first, 4u);
+  EXPECT_EQ(segs[2].length, 1u);
+}
+
+TEST(XpeSegments, RelativeFirstSegmentFloats) {
+  Xpe x = parse_xpe("a/b/c");
+  auto segs = x.segments();
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_FALSE(segs[0].anchored);
+}
+
+TEST(XpeHashTest, EqualXpesHashEqual) {
+  XpeHash h;
+  EXPECT_EQ(h(parse_xpe("a/b")), h(parse_xpe("//a/b")));
+  EXPECT_NE(h(parse_xpe("/a/b")), h(parse_xpe("/a/c")));
+}
+
+}  // namespace
+}  // namespace xroute

@@ -1,0 +1,125 @@
+// Tests for the YFilter-style shared-NFA baseline matcher.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "match/pub_match.hpp"
+#include "match/yfilter.hpp"
+#include "oracles.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
+#include "xml/parser.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+using testing::random_path;
+using testing::random_xpe;
+using testing::small_alphabet;
+
+TEST(YFilter, BasicStructuralMatching) {
+  YFilterIndex index;
+  int q_abs = index.add(parse_xpe("/a/b/c"));
+  int q_prefix = index.add(parse_xpe("/a/b"));
+  int q_wild = index.add(parse_xpe("/a/*/c"));
+  int q_desc = index.add(parse_xpe("/a//c"));
+  int q_rel = index.add(parse_xpe("b/c"));
+  int q_none = index.add(parse_xpe("/x"));
+
+  auto got = index.match(parse_path("/a/b/c"));
+  EXPECT_EQ(std::set<int>(got.begin(), got.end()),
+            (std::set<int>{q_abs, q_prefix, q_wild, q_desc, q_rel}));
+  EXPECT_EQ(index.size(), 6u);
+  (void)q_none;
+}
+
+TEST(YFilter, SharedPrefixesShareStates) {
+  YFilterIndex a;
+  a.add(parse_xpe("/a/b/c"));
+  std::size_t one = a.state_count();
+  a.add(parse_xpe("/a/b/d"));
+  a.add(parse_xpe("/a/b/e"));
+  // Each extra query adds exactly one state: the prefix is shared.
+  EXPECT_EQ(a.state_count(), one + 2);
+}
+
+TEST(YFilter, DescendantSelfLoop) {
+  YFilterIndex index;
+  int q = index.add(parse_xpe("//b//d"));
+  for (const char* path : {"/b/d", "/a/b/d", "/b/x/y/d", "/a/b/c/d/e"}) {
+    auto got = index.match(parse_path(path));
+    EXPECT_EQ(got, (std::vector<int>{q})) << path;
+  }
+  EXPECT_TRUE(index.match(parse_path("/d/b")).empty());
+}
+
+TEST(YFilter, PredicatePostVerification) {
+  YFilterIndex index;
+  int typed = index.add(parse_xpe("//media[@type='photo']"));
+  int any = index.add(parse_xpe("//media"));
+  XmlDocument doc =
+      parse_xml(R"(<n><media type="photo"><r/></media><q/></n>)");
+  Path p = extract_paths(doc)[0];
+  auto got = index.match(p);
+  EXPECT_EQ(std::set<int>(got.begin(), got.end()),
+            (std::set<int>{typed, any}));
+
+  XmlDocument doc2 = parse_xml(R"(<n><media type="video"><r/></media></n>)");
+  auto got2 = index.match(extract_paths(doc2)[0]);
+  EXPECT_EQ(got2, (std::vector<int>{any}));
+}
+
+class YFilterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YFilterProperty, AgreesWithFlatScan) {
+  Rng rng(GetParam());
+  YFilterIndex index;
+  std::vector<Xpe> queries;
+  for (int i = 0; i < 200; ++i) {
+    Xpe q = random_xpe(rng, small_alphabet(), 5);
+    index.add(q);
+    queries.push_back(q);
+  }
+  for (int i = 0; i < 300; ++i) {
+    Path p = random_path(rng, small_alphabet(), 7);
+    std::set<int> expected;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (matches(p, queries[q])) expected.insert(static_cast<int>(q));
+    }
+    auto got = index.match(p);
+    ASSERT_EQ(std::set<int>(got.begin(), got.end()), expected)
+        << p.to_string() << " seed " << GetParam();
+  }
+}
+
+TEST_P(YFilterProperty, AgreesOnDtdWorkload) {
+  Rng rng(GetParam() + 7);
+  Dtd dtd = psd_dtd();
+  XpathGenOptions options;
+  options.count = 150;
+  options.seed = GetParam();
+  options.predicate_prob = 0.2;
+  auto queries = generate_xpaths(dtd, options);
+  YFilterIndex index;
+  for (const Xpe& q : queries) index.add(q);
+
+  for (int d = 0; d < 10; ++d) {
+    XmlDocument doc = generate_document(dtd, rng, {});
+    for (const Path& p : extract_paths(doc)) {
+      std::set<int> expected;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        if (matches(p, queries[q])) expected.insert(static_cast<int>(q));
+      }
+      auto got = index.match(p);
+      ASSERT_EQ(std::set<int>(got.begin(), got.end()), expected)
+          << p.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YFilterProperty, ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace xroute

@@ -1,0 +1,139 @@
+// xroutectl — command-line front end to the xroute library.
+//
+//   xroutectl parse '<xpe>'                  parse + echo an XPE
+//   xroutectl covers '<xpe1>' '<xpe2>'       does xpe1 cover xpe2?
+//   xroutectl derive <dtd-file> [root]       advertisements from a DTD
+//   xroutectl match <xml-file> '<xpe>'...    which XPEs match the document
+//   xroutectl paths <xml-file>               root-to-leaf paths of a document
+//   xroutectl universe <dtd-file> [depth]    conforming paths of a DTD
+//
+// Exit code: 0 on success (for `covers`: 0 = covers, 1 = does not).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adv/derive.hpp"
+#include "dtd/parser.hpp"
+#include "dtd/universe.hpp"
+#include "match/covering.hpp"
+#include "match/pub_match.hpp"
+#include "util/error.hpp"
+#include "xml/parser.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+namespace {
+
+using namespace xroute;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int cmd_parse(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("usage: parse '<xpe>'");
+  Xpe xpe = parse_xpe(args[0]);
+  std::cout << xpe.to_string() << "\n";
+  std::cout << "  steps: " << xpe.size()
+            << (xpe.relative() ? ", relative" : ", absolute")
+            << (xpe.anchored() ? ", anchored" : ", floating")
+            << (xpe.has_descendant() ? ", has //" : "")
+            << (xpe.has_wildcard() ? ", has *" : "")
+            << (xpe.has_predicates() ? ", has predicates" : "") << "\n";
+  return 0;
+}
+
+int cmd_covers(const std::vector<std::string>& args) {
+  if (args.size() != 2) throw std::runtime_error("usage: covers '<s1>' '<s2>'");
+  Xpe s1 = parse_xpe(args[0]);
+  Xpe s2 = parse_xpe(args[1]);
+  bool result = covers(s1, s2);
+  std::cout << s1.to_string() << (result ? "  COVERS  " : "  does not cover  ")
+            << s2.to_string() << "\n";
+  return result ? 0 : 1;
+}
+
+int cmd_derive(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("usage: derive <dtd-file> [root]");
+  Dtd dtd = parse_dtd(read_file(args[0]));
+  if (args.size() > 1) dtd.set_root(args[1]);
+  auto derived = derive_advertisements(dtd);
+  for (const Advertisement& a : derived.advertisements) {
+    std::cout << a.to_string() << "\n";
+  }
+  std::cerr << derived.advertisements.size() << " advertisements ("
+            << derived.repaired << " from the repair pass"
+            << (derived.truncated ? ", TRUNCATED" : "") << ")\n";
+  return 0;
+}
+
+int cmd_match(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    throw std::runtime_error("usage: match <xml-file> '<xpe>' ...");
+  }
+  XmlDocument doc = parse_xml(read_file(args[0]));
+  auto paths = extract_paths(doc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    Xpe xpe = parse_xpe(args[i]);
+    bool hit = false;
+    for (const Path& p : paths) {
+      if (matches(p, xpe)) {
+        hit = true;
+        break;
+      }
+    }
+    std::cout << (hit ? "MATCH     " : "no match  ") << xpe.to_string()
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_paths(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("usage: paths <xml-file>");
+  XmlDocument doc = parse_xml(read_file(args[0]));
+  for (const Path& p : extract_paths(doc)) std::cout << p.to_string() << "\n";
+  return 0;
+}
+
+int cmd_universe(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("usage: universe <dtd-file> [depth]");
+  Dtd dtd = parse_dtd(read_file(args[0]));
+  PathUniverse::Options options;
+  if (args.size() > 1) options.max_depth = std::stoul(args[1]);
+  PathUniverse universe(dtd, options);
+  for (const Path& p : universe.paths()) std::cout << p.to_string() << "\n";
+  if (universe.truncated()) std::cerr << "(truncated)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: xroutectl <parse|covers|derive|match|paths|universe>"
+              << " ...\n";
+    return 2;
+  }
+  std::string command = args[0];
+  args.erase(args.begin());
+  try {
+    if (command == "parse") return cmd_parse(args);
+    if (command == "covers") return cmd_covers(args);
+    if (command == "derive") return cmd_derive(args);
+    if (command == "match") return cmd_match(args);
+    if (command == "paths") return cmd_paths(args);
+    if (command == "universe") return cmd_universe(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
