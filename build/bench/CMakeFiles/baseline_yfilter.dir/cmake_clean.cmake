@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_yfilter.dir/baseline_yfilter.cpp.o"
+  "CMakeFiles/baseline_yfilter.dir/baseline_yfilter.cpp.o.d"
+  "baseline_yfilter"
+  "baseline_yfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_yfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_delay_psd.dir/fig10_delay_psd.cpp.o"
+  "CMakeFiles/fig10_delay_psd.dir/fig10_delay_psd.cpp.o.d"
+  "fig10_delay_psd"
+  "fig10_delay_psd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_delay_psd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_delay_news.dir/fig11_delay_news.cpp.o"
+  "CMakeFiles/fig11_delay_news.dir/fig11_delay_news.cpp.o.d"
+  "fig11_delay_news"
+  "fig11_delay_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_delay_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rts.dir/fig6_rts.cpp.o"
+  "CMakeFiles/fig6_rts.dir/fig6_rts.cpp.o.d"
+  "fig6_rts"
+  "fig6_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

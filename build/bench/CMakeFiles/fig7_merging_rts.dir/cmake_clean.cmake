@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_merging_rts.dir/fig7_merging_rts.cpp.o"
+  "CMakeFiles/fig7_merging_rts.dir/fig7_merging_rts.cpp.o.d"
+  "fig7_merging_rts"
+  "fig7_merging_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_merging_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_false_positives.dir/fig9_false_positives.cpp.o"
+  "CMakeFiles/fig9_false_positives.dir/fig9_false_positives.cpp.o.d"
+  "fig9_false_positives"
+  "fig9_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pub_routing.dir/table1_pub_routing.cpp.o"
+  "CMakeFiles/table1_pub_routing.dir/table1_pub_routing.cpp.o.d"
+  "table1_pub_routing"
+  "table1_pub_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pub_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_network7.dir/table2_network7.cpp.o"
+  "CMakeFiles/table2_network7.dir/table2_network7.cpp.o.d"
+  "table2_network7"
+  "table2_network7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_network7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

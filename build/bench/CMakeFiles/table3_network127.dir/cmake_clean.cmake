@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_network127.dir/table3_network127.cpp.o"
+  "CMakeFiles/table3_network127.dir/table3_network127.cpp.o.d"
+  "table3_network127"
+  "table3_network127.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_network127.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covering_explorer.dir/covering_explorer.cpp.o"
+  "CMakeFiles/covering_explorer.dir/covering_explorer.cpp.o.d"
+  "covering_explorer"
+  "covering_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covering_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_dissemination.dir/news_dissemination.cpp.o"
+  "CMakeFiles/news_dissemination.dir/news_dissemination.cpp.o.d"
+  "news_dissemination"
+  "news_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

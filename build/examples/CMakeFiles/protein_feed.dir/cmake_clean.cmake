@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_feed.dir/protein_feed.cpp.o"
+  "CMakeFiles/protein_feed.dir/protein_feed.cpp.o.d"
+  "protein_feed"
+  "protein_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

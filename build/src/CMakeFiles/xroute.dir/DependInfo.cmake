@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adv/advertisement.cpp" "src/CMakeFiles/xroute.dir/adv/advertisement.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/adv/advertisement.cpp.o.d"
+  "/root/repo/src/adv/derive.cpp" "src/CMakeFiles/xroute.dir/adv/derive.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/adv/derive.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/xroute.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/xroute.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/core/network.cpp.o.d"
+  "/root/repo/src/dtd/dtd.cpp" "src/CMakeFiles/xroute.dir/dtd/dtd.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/dtd/dtd.cpp.o.d"
+  "/root/repo/src/dtd/graph.cpp" "src/CMakeFiles/xroute.dir/dtd/graph.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/dtd/graph.cpp.o.d"
+  "/root/repo/src/dtd/parser.cpp" "src/CMakeFiles/xroute.dir/dtd/parser.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/dtd/parser.cpp.o.d"
+  "/root/repo/src/dtd/universe.cpp" "src/CMakeFiles/xroute.dir/dtd/universe.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/dtd/universe.cpp.o.d"
+  "/root/repo/src/index/merging.cpp" "src/CMakeFiles/xroute.dir/index/merging.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/index/merging.cpp.o.d"
+  "/root/repo/src/index/subscription_tree.cpp" "src/CMakeFiles/xroute.dir/index/subscription_tree.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/index/subscription_tree.cpp.o.d"
+  "/root/repo/src/match/adv_automaton.cpp" "src/CMakeFiles/xroute.dir/match/adv_automaton.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/match/adv_automaton.cpp.o.d"
+  "/root/repo/src/match/adv_match.cpp" "src/CMakeFiles/xroute.dir/match/adv_match.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/match/adv_match.cpp.o.d"
+  "/root/repo/src/match/covering.cpp" "src/CMakeFiles/xroute.dir/match/covering.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/match/covering.cpp.o.d"
+  "/root/repo/src/match/pub_match.cpp" "src/CMakeFiles/xroute.dir/match/pub_match.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/match/pub_match.cpp.o.d"
+  "/root/repo/src/match/rec_adv_match.cpp" "src/CMakeFiles/xroute.dir/match/rec_adv_match.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/match/rec_adv_match.cpp.o.d"
+  "/root/repo/src/match/yfilter.cpp" "src/CMakeFiles/xroute.dir/match/yfilter.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/match/yfilter.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/CMakeFiles/xroute.dir/net/simulator.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/net/simulator.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/xroute.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/net/topology.cpp.o.d"
+  "/root/repo/src/router/broker.cpp" "src/CMakeFiles/xroute.dir/router/broker.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/router/broker.cpp.o.d"
+  "/root/repo/src/router/message.cpp" "src/CMakeFiles/xroute.dir/router/message.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/router/message.cpp.o.d"
+  "/root/repo/src/router/routing_tables.cpp" "src/CMakeFiles/xroute.dir/router/routing_tables.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/router/routing_tables.cpp.o.d"
+  "/root/repo/src/router/snapshot.cpp" "src/CMakeFiles/xroute.dir/router/snapshot.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/router/snapshot.cpp.o.d"
+  "/root/repo/src/workload/dtd_corpus.cpp" "src/CMakeFiles/xroute.dir/workload/dtd_corpus.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/workload/dtd_corpus.cpp.o.d"
+  "/root/repo/src/workload/dtd_gen.cpp" "src/CMakeFiles/xroute.dir/workload/dtd_gen.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/workload/dtd_gen.cpp.o.d"
+  "/root/repo/src/workload/set_builder.cpp" "src/CMakeFiles/xroute.dir/workload/set_builder.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/workload/set_builder.cpp.o.d"
+  "/root/repo/src/workload/xml_gen.cpp" "src/CMakeFiles/xroute.dir/workload/xml_gen.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/workload/xml_gen.cpp.o.d"
+  "/root/repo/src/workload/xpath_gen.cpp" "src/CMakeFiles/xroute.dir/workload/xpath_gen.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/workload/xpath_gen.cpp.o.d"
+  "/root/repo/src/xml/document.cpp" "src/CMakeFiles/xroute.dir/xml/document.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/xml/document.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/CMakeFiles/xroute.dir/xml/parser.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/xml/parser.cpp.o.d"
+  "/root/repo/src/xml/paths.cpp" "src/CMakeFiles/xroute.dir/xml/paths.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/xml/paths.cpp.o.d"
+  "/root/repo/src/xpath/parser.cpp" "src/CMakeFiles/xroute.dir/xpath/parser.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/xpath/parser.cpp.o.d"
+  "/root/repo/src/xpath/predicate.cpp" "src/CMakeFiles/xroute.dir/xpath/predicate.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/xpath/predicate.cpp.o.d"
+  "/root/repo/src/xpath/xpe.cpp" "src/CMakeFiles/xroute.dir/xpath/xpe.cpp.o" "gcc" "src/CMakeFiles/xroute.dir/xpath/xpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for xroute.
+# This may be replaced when dependencies are built.

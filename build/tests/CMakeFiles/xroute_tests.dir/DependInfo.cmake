@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adv_test.cpp" "tests/CMakeFiles/xroute_tests.dir/adv_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/adv_test.cpp.o.d"
+  "/root/repo/tests/covering_test.cpp" "tests/CMakeFiles/xroute_tests.dir/covering_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/covering_test.cpp.o.d"
+  "/root/repo/tests/derive_test.cpp" "tests/CMakeFiles/xroute_tests.dir/derive_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/derive_test.cpp.o.d"
+  "/root/repo/tests/dtd_test.cpp" "tests/CMakeFiles/xroute_tests.dir/dtd_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/dtd_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/xroute_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/fuzz_dtd_test.cpp" "tests/CMakeFiles/xroute_tests.dir/fuzz_dtd_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/fuzz_dtd_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/xroute_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/match_test.cpp" "tests/CMakeFiles/xroute_tests.dir/match_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/match_test.cpp.o.d"
+  "/root/repo/tests/merging_test.cpp" "tests/CMakeFiles/xroute_tests.dir/merging_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/merging_test.cpp.o.d"
+  "/root/repo/tests/predicate_test.cpp" "tests/CMakeFiles/xroute_tests.dir/predicate_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/predicate_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/xroute_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/roundtrip_fuzz_test.cpp" "tests/CMakeFiles/xroute_tests.dir/roundtrip_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/roundtrip_fuzz_test.cpp.o.d"
+  "/root/repo/tests/router_test.cpp" "tests/CMakeFiles/xroute_tests.dir/router_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/router_test.cpp.o.d"
+  "/root/repo/tests/set_builder_test.cpp" "tests/CMakeFiles/xroute_tests.dir/set_builder_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/set_builder_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/xroute_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/snapshot_test.cpp" "tests/CMakeFiles/xroute_tests.dir/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/snapshot_test.cpp.o.d"
+  "/root/repo/tests/soak_test.cpp" "tests/CMakeFiles/xroute_tests.dir/soak_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/soak_test.cpp.o.d"
+  "/root/repo/tests/subscription_tree_test.cpp" "tests/CMakeFiles/xroute_tests.dir/subscription_tree_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/subscription_tree_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/xroute_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/xroute_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/workload_test.cpp.o.d"
+  "/root/repo/tests/xml_test.cpp" "tests/CMakeFiles/xroute_tests.dir/xml_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/xml_test.cpp.o.d"
+  "/root/repo/tests/xpath_test.cpp" "tests/CMakeFiles/xroute_tests.dir/xpath_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/xpath_test.cpp.o.d"
+  "/root/repo/tests/yfilter_test.cpp" "tests/CMakeFiles/xroute_tests.dir/yfilter_test.cpp.o" "gcc" "tests/CMakeFiles/xroute_tests.dir/yfilter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xroute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

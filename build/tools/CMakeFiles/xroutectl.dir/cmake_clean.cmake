@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xroutectl.dir/xroutectl.cpp.o"
+  "CMakeFiles/xroutectl.dir/xroutectl.cpp.o.d"
+  "xroutectl"
+  "xroutectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xroutectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
