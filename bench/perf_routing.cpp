@@ -1,0 +1,253 @@
+// Broker hot-path throughput: indexed + interned matching vs the retained
+// linear-scan reference implementations.
+//
+// Measures the two routing-table operations every message crosses:
+//
+//   subscription forward — Srt::hops_overlapping (symbol index + interned
+//       overlap) vs Srt::hops_overlapping_scan (pre-PR linear scan with
+//       string element comparisons);
+//   publication match    — flat Prt::match_hops at --subs subscriptions
+//       (deepest-symbol index + interned matcher) vs Prt::match_hops_scan
+//       (pre-PR linear scan), plus the covering tree's root index as an
+//       informative extra.
+//
+// Every indexed result is verified equal to the reference before timing;
+// the run aborts if any differs. Results land in BENCH_routing.json
+// (see DESIGN.md "Performance architecture" for how to read it).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "adv/derive.hpp"
+#include "router/routing_tables.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/set_builder.hpp"
+#include "workload/xml_gen.hpp"
+#include "xml/paths.hpp"
+
+using namespace xroute;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `body` repeatedly until at least `min_seconds` have elapsed and
+/// returns operations per second (ops = `ops_per_rep` * repetitions).
+double ops_per_sec(double min_seconds, std::size_t ops_per_rep,
+                   const std::function<void()>& body) {
+  std::size_t reps = 0;
+  auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(ops_per_rep) * static_cast<double>(reps) /
+         elapsed;
+}
+
+struct Metric {
+  std::size_t table_entries = 0;
+  std::size_t queries = 0;
+  double scan_per_sec = 0.0;
+  double indexed_per_sec = 0.0;
+  std::size_t tests_scan = 0;
+  std::size_t tests_indexed = 0;
+  double speedup() const {
+    return scan_per_sec > 0 ? indexed_per_sec / scan_per_sec : 0.0;
+  }
+};
+
+void emit(std::ostream& os, const Metric& m) {
+  os << "    \"table_entries\": " << m.table_entries << ",\n"
+     << "    \"queries\": " << m.queries << ",\n"
+     << "    \"baseline_scan_per_sec\": " << m.scan_per_sec << ",\n"
+     << "    \"indexed_per_sec\": " << m.indexed_per_sec << ",\n"
+     << "    \"speedup\": " << m.speedup() << ",\n"
+     << "    \"tests_scan\": " << m.tests_scan << ",\n"
+     << "    \"tests_indexed\": " << m.tests_indexed << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("Broker hot-path throughput: indexed vs linear-scan reference");
+  flags.define("subs", "10000", "subscription count (PRT size)");
+  flags.define("srt-queries", "2000", "subscriptions timed against the SRT");
+  flags.define("docs", "40", "generated documents (publication paths)");
+  flags.define("dtd", "news", "corpus DTD (news|psd)");
+  flags.define("rate", "0.9", "target covering rate of the subscription set");
+  flags.define("seed", "1", "workload seed");
+  flags.define("hops", "64", "distinct last-hop interfaces");
+  flags.define("min-seconds", "0.3", "minimum timed duration per loop");
+  flags.define("out", "BENCH_routing.json", "output file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::size_t subs = flags.get_int("subs");
+  const std::size_t srt_queries = flags.get_int("srt-queries");
+  const int hops = static_cast<int>(flags.get_int("hops"));
+  const double min_seconds = flags.get_double("min-seconds");
+  Dtd dtd = corpus_dtd(flags.get_string("dtd"));
+
+  // ---- Workload -------------------------------------------------------
+  CoverSetOptions set_opts;
+  set_opts.count = subs;
+  set_opts.target_rate = flags.get_double("rate");
+  set_opts.seed = flags.get_int64("seed");
+  CoverSet set = build_covering_set(dtd, set_opts);
+  std::cout << set.xpes.size() << " subscriptions (covering rate "
+            << set.constructed_rate << ")\n";
+
+  DerivedAdvertisements derived = derive_advertisements(dtd);
+  std::cout << derived.advertisements.size() << " advertisements\n";
+
+  Rng rng(flags.get_int64("seed"));
+  std::vector<Path> paths;
+  for (int d = 0; d < flags.get_int("docs"); ++d) {
+    XmlDocument doc = generate_document(dtd, rng);
+    for (Path& p : extract_paths(doc)) paths.push_back(std::move(p));
+  }
+  std::cout << paths.size() << " publication paths\n";
+  if (set.xpes.empty() || derived.advertisements.empty() || paths.empty()) {
+    std::cerr << "empty workload\n";
+    return 1;
+  }
+
+  bool verified = true;
+
+  // ---- Subscription forward (SRT) -------------------------------------
+  Metric srt_metric;
+  {
+    Srt srt;
+    for (std::size_t i = 0; i < derived.advertisements.size(); ++i) {
+      srt.add(derived.advertisements[i], static_cast<int>(i) % hops);
+    }
+    std::vector<const Xpe*> queries;
+    for (std::size_t i = 0; i < srt_queries; ++i) {
+      queries.push_back(&set.xpes[i % set.xpes.size()]);
+    }
+    srt_metric.table_entries = srt.size();
+    srt_metric.queries = queries.size();
+
+    // Verification pass (also warms the lazy advertisement automatons so
+    // neither timed loop pays compilation).
+    for (const Xpe* q : queries) {
+      if (srt.hops_overlapping(*q) != srt.hops_overlapping_scan(*q)) {
+        std::cerr << "MISMATCH: hops_overlapping(" << q->to_string() << ")\n";
+        verified = false;
+      }
+    }
+
+    std::size_t before = srt.comparisons();
+    srt_metric.scan_per_sec = ops_per_sec(min_seconds, queries.size(), [&] {
+      for (const Xpe* q : queries) srt.hops_overlapping_scan(*q);
+    });
+    std::size_t mid = srt.comparisons();
+    srt_metric.indexed_per_sec = ops_per_sec(min_seconds, queries.size(), [&] {
+      for (const Xpe* q : queries) srt.hops_overlapping(*q);
+    });
+    std::size_t after = srt.comparisons();
+    srt_metric.tests_scan = mid - before;
+    srt_metric.tests_indexed = after - mid;
+    std::cout << "SRT forward: scan " << srt_metric.scan_per_sec
+              << " subs/s, indexed " << srt_metric.indexed_per_sec
+              << " subs/s (" << srt_metric.speedup() << "x)\n";
+  }
+
+  // ---- Publication match (flat PRT, the no-covering baseline) ---------
+  Metric prt_metric;
+  {
+    Prt prt(/*covering=*/false);
+    for (std::size_t i = 0; i < set.xpes.size(); ++i) {
+      prt.insert(set.xpes[i], static_cast<int>(i) % hops);
+    }
+    prt_metric.table_entries = prt.size();
+    prt_metric.queries = paths.size();
+
+    for (const Path& p : paths) {
+      if (prt.match_hops(p) != prt.match_hops_scan(p)) {
+        std::cerr << "MISMATCH: match_hops(" << p.to_string() << ")\n";
+        verified = false;
+      }
+    }
+
+    std::size_t before = prt.comparisons();
+    prt_metric.scan_per_sec = ops_per_sec(min_seconds, paths.size(), [&] {
+      for (const Path& p : paths) prt.match_hops_scan(p);
+    });
+    std::size_t mid = prt.comparisons();
+    prt_metric.indexed_per_sec = ops_per_sec(min_seconds, paths.size(), [&] {
+      for (const Path& p : paths) prt.match_hops(p);
+    });
+    std::size_t after = prt.comparisons();
+    prt_metric.tests_scan = mid - before;
+    prt_metric.tests_indexed = after - mid;
+    std::cout << "PRT match: scan " << prt_metric.scan_per_sec
+              << " pubs/s, indexed " << prt_metric.indexed_per_sec
+              << " pubs/s (" << prt_metric.speedup() << "x)\n";
+  }
+
+  // ---- Covering-tree match (informative) ------------------------------
+  Metric tree_metric;
+  {
+    Prt prt(/*covering=*/true, /*track_covered=*/false);
+    for (std::size_t i = 0; i < set.xpes.size(); ++i) {
+      prt.insert(set.xpes[i], static_cast<int>(i) % hops);
+    }
+    tree_metric.table_entries = prt.size();
+    tree_metric.queries = paths.size();
+    for (const Path& p : paths) {
+      if (prt.match_hops(p) != prt.match_hops_scan(p)) {
+        std::cerr << "MISMATCH: tree match_hops(" << p.to_string() << ")\n";
+        verified = false;
+      }
+    }
+    std::size_t before = prt.comparisons();
+    tree_metric.scan_per_sec = ops_per_sec(min_seconds, paths.size(), [&] {
+      for (const Path& p : paths) prt.match_hops_scan(p);
+    });
+    std::size_t mid = prt.comparisons();
+    tree_metric.indexed_per_sec = ops_per_sec(min_seconds, paths.size(), [&] {
+      for (const Path& p : paths) prt.match_hops(p);
+    });
+    tree_metric.tests_scan = mid - before;
+    tree_metric.tests_indexed = prt.comparisons() - mid;
+    std::cout << "Tree match: scan " << tree_metric.scan_per_sec
+              << " pubs/s, indexed " << tree_metric.indexed_per_sec
+              << " pubs/s (" << tree_metric.speedup() << "x)\n";
+  }
+
+  std::ofstream out(flags.get_string("out"));
+  out << "{\n"
+      << "  \"bench\": \"perf_routing\",\n"
+      << "  \"config\": {\n"
+      << "    \"dtd\": \"" << flags.get_string("dtd") << "\",\n"
+      << "    \"subscriptions\": " << set.xpes.size() << ",\n"
+      << "    \"advertisements\": " << derived.advertisements.size() << ",\n"
+      << "    \"publication_paths\": " << paths.size() << ",\n"
+      << "    \"hops\": " << hops << ",\n"
+      << "    \"seed\": " << flags.get_int64("seed") << "\n"
+      << "  },\n"
+      << "  \"subscription_forward\": {\n";
+  emit(out, srt_metric);
+  out << "  },\n"
+      << "  \"publication_match\": {\n";
+  emit(out, prt_metric);
+  out << "  },\n"
+      << "  \"covering_tree_match\": {\n";
+  emit(out, tree_metric);
+  out << "  },\n"
+      << "  \"verified_identical\": " << (verified ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << (verified ? "results verified identical\n"
+                         : "VERIFICATION FAILED\n")
+            << "wrote " << flags.get_string("out") << "\n";
+  return verified ? 0 : 1;
+}

@@ -1,14 +1,47 @@
 #include "adv/advertisement.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/symbols.hpp"
+#include "xpath/step.hpp"
+
 namespace xroute {
 
+namespace {
+
+void collect_symbols(const std::vector<AdvNode>& nodes,
+                     std::vector<std::uint32_t>* alphabet,
+                     bool* has_wildcard) {
+  for (const AdvNode& n : nodes) {
+    if (n.kind == AdvNode::Kind::kGroup) {
+      collect_symbols(n.children, alphabet, has_wildcard);
+    } else if (n.name == kWildcard) {
+      *has_wildcard = true;
+    } else {
+      alphabet->push_back(intern_symbol(n.name));
+    }
+  }
+}
+
+}  // namespace
+
 Advertisement::Advertisement(std::vector<AdvNode> nodes)
-    : nodes_(std::move(nodes)) {}
+    : nodes_(std::move(nodes)) {
+  collect_symbols(nodes_, &alphabet_, &has_wildcard_);
+  std::sort(alphabet_.begin(), alphabet_.end());
+  alphabet_.erase(std::unique(alphabet_.begin(), alphabet_.end()),
+                  alphabet_.end());
+  if (non_recursive()) {
+    flat_symbols_.reserve(nodes_.size());
+    for (const AdvNode& n : nodes_) {
+      flat_symbols_.push_back(intern_symbol(n.name));
+    }
+  }
+}
 
 Advertisement Advertisement::from_elements(std::vector<std::string> elements) {
   std::vector<AdvNode> nodes;

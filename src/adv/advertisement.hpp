@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,6 +77,25 @@ class Advertisement {
   /// the advertisement has groups.
   std::vector<std::string> flat_elements() const;
 
+  /// Interned positions of a non-recursive advertisement, cached at
+  /// construction (empty for recursive advertisements). The SRT overlap
+  /// hot path compares these against Xpe::symbols().
+  const std::vector<std::uint32_t>& flat_symbols() const {
+    return flat_symbols_;
+  }
+
+  /// Distinct interned element names appearing anywhere in the pattern
+  /// (groups included, wildcard excluded) — the advertisement's symbol
+  /// alphabet, used by the SRT first-step index: an advertisement with no
+  /// wildcard can only overlap an XPE whose concrete steps all lie in this
+  /// alphabet.
+  const std::vector<std::uint32_t>& symbol_alphabet() const {
+    return alphabet_;
+  }
+
+  /// True if any position (groups included) is the wildcard "*".
+  bool has_wildcard() const { return has_wildcard_; }
+
   /// Length of the shortest expansion (every group taken exactly once).
   std::size_t min_length() const;
 
@@ -93,6 +113,10 @@ class Advertisement {
 
  private:
   std::vector<AdvNode> nodes_;
+  // Interned caches, derived from nodes_ at construction.
+  std::vector<std::uint32_t> flat_symbols_;  ///< non-recursive only
+  std::vector<std::uint32_t> alphabet_;
+  bool has_wildcard_ = false;
 };
 
 /// Parses the paper's advertisement notation (inverse of to_string);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/symbols.hpp"
+
 namespace xroute {
 
 SubscriptionTree::SubscriptionTree() : SubscriptionTree(Options{}) {}
@@ -25,9 +27,8 @@ bool may_cover(const Xpe& c, const Xpe& x) {
     // coverers ("A relative XPE ... will never be inserted in a subtree
     // rooted by an absolute XPE" is the contrapositive).
     if (!x.anchored()) return false;
-    const Step& c0 = c.step(0);
-    const Step& x0 = x.step(0);
-    if (!c0.is_wildcard() && c0.name != x0.name) return false;
+    const std::uint32_t c0 = c.symbol(0);
+    if (c0 != SymbolTable::kWildcardId && c0 != x.symbol(0)) return false;
   }
   return true;
 }
@@ -35,9 +36,21 @@ bool may_cover(const Xpe& c, const Xpe& x) {
 }  // namespace
 
 bool SubscriptionTree::covers_cached(const Xpe& a, const Xpe& b) const {
+  // Counts the *request* whether or not the memo answers it, so the
+  // paper's processing-time counters are identical with and without the
+  // cache (the cache changes cost, never outcomes or call counts).
   ++comparisons_;
-  if (!may_cover(a, b)) return false;
-  return covers(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a.uid()) << 32) | b.uid();
+  auto it = cover_cache_.find(key);
+  if (it != cover_cache_.end()) {
+    ++cover_cache_hits_;
+    return it->second;
+  }
+  const bool result = may_cover(a, b) && covers(a, b);
+  if (cover_cache_.size() >= kCoverCacheCap) cover_cache_.clear();
+  cover_cache_.emplace(key, result);
+  return result;
 }
 
 const SubscriptionTree::Node* SubscriptionTree::find(const Xpe& xpe) const {
@@ -106,6 +119,8 @@ SubscriptionTree::InsertResult SubscriptionTree::insert_new(const Xpe& xpe,
   raw->parent = parent;
   parent->children.push_back(std::move(node));
   by_xpe_.emplace(xpe, raw);
+  // Only mutations of the root's child list can invalidate the root index.
+  if (parent == root_.get()) root_index_dirty_ = true;
   result.node = raw;
   result.covered_by_existing = parent != root_.get();
 
@@ -178,6 +193,7 @@ void SubscriptionTree::unlink_super(Node* node) {
 void SubscriptionTree::detach_node(Node* node) {
   unlink_super(node);
   Node* parent = node->parent;
+  if (parent == root_.get()) root_index_dirty_ = true;
   // Splice children to the parent: covering is transitive, so the
   // parent-covers-child invariant is preserved.
   for (auto& child : node->children) {
@@ -195,6 +211,7 @@ void SubscriptionTree::detach_node(Node* node) {
 
 SubscriptionTree::Node* SubscriptionTree::adopt(Node* parent,
                                                 std::unique_ptr<Node> child) {
+  if (parent == root_.get()) root_index_dirty_ = true;
   child->parent = parent;
   Node* raw = child.get();
   by_xpe_.emplace(raw->xpe, raw);
@@ -262,6 +279,7 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
   }
 
   // Remove the originals from the parent and the lookup map.
+  if (parent == root_.get()) root_index_dirty_ = true;
   auto& siblings = parent->children;
   for (Node* original : originals) {
     by_xpe_.erase(original->xpe);
@@ -342,7 +360,77 @@ std::set<int> SubscriptionTree::match_hops(const Path& path) const {
   return hops;
 }
 
+std::set<int> SubscriptionTree::match_hops_scan(const Path& path) const {
+  std::set<int> hops;
+  for (const Node* node : match_nodes_scan(path)) {
+    hops.insert(node->hops.begin(), node->hops.end());
+  }
+  return hops;
+}
+
+void SubscriptionTree::rebuild_root_index() const {
+  roots_by_symbol_.clear();
+  unindexed_roots_.clear();
+  for (const auto& child : root_->children) {
+    Node* node = child.get();
+    // Bucket under the deepest concrete step: a path can only match this
+    // XPE (or anything it covers — covering preserves concrete steps of
+    // the coverer) if it contains that element somewhere.
+    std::uint32_t key = SymbolTable::kNoSymbol;
+    const std::vector<std::uint32_t>& syms = node->xpe.symbols();
+    for (std::size_t i = syms.size(); i-- > 0;) {
+      if (syms[i] != SymbolTable::kWildcardId) {
+        key = syms[i];
+        break;
+      }
+    }
+    if (key == SymbolTable::kNoSymbol) {
+      unindexed_roots_.push_back(node);
+    } else {
+      roots_by_symbol_[key].push_back(node);
+    }
+  }
+  root_index_dirty_ = false;
+}
+
 std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes(
+    const Path& path) const {
+  if (root_index_dirty_) rebuild_root_index();
+  const InternedPath ip(path);
+  std::vector<const Node*> out;
+  std::vector<const Node*> stack;
+  stack.insert(stack.end(), unindexed_roots_.begin(), unindexed_roots_.end());
+  // Union the buckets of each distinct symbol occurring in the path.
+  for (std::size_t i = 0; i < ip.size(); ++i) {
+    const std::uint32_t sym = ip[i];
+    if (sym == SymbolTable::kNoSymbol) continue;  // element never interned
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (ip[j] == sym) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    auto it = roots_by_symbol_.find(sym);
+    if (it == roots_by_symbol_.end()) continue;
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++comparisons_;
+    if (!matches(ip, node->xpe)) {
+      // The node covers its whole subtree: nothing below can match either.
+      continue;
+    }
+    out.push_back(node);
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return out;
+}
+
+std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes_scan(
     const Path& path) const {
   std::vector<const Node*> out;
   std::vector<const Node*> stack;

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
@@ -99,7 +100,17 @@ class SubscriptionTree {
   std::set<int> match_hops(const Path& path) const;
 
   /// Matching subscriptions themselves (used by edge delivery and tests).
+  /// Uses the first-step root index + interned matching: only root buckets
+  /// whose discriminating symbol appears in the path are visited, then the
+  /// usual covering-pruned descent. Results are exactly the linear scan's
+  /// (order may differ; callers treat the result as a set).
   std::vector<const Node*> match_nodes(const Path& path) const;
+
+  /// Pre-index linear-scan reference: visits every root with the string
+  /// matcher. Retained as the differential-test oracle and the
+  /// perf_routing "before" baseline; do not use on the hot path.
+  std::vector<const Node*> match_nodes_scan(const Path& path) const;
+  std::set<int> match_hops_scan(const Path& path) const;
 
   /// Number of subscriptions stored — the paper's "routing table size".
   std::size_t size() const { return by_xpe_.size(); }
@@ -111,9 +122,18 @@ class SubscriptionTree {
   /// Depth-first visit of every node (parents before children).
   void for_each(const std::function<void(const Node&)>& fn) const;
 
-  /// Comparison counter: number of covers()/matches() evaluations since
-  /// construction; the processing-time experiments report it.
+  /// Comparison counter: number of covers()/matches() tests requested
+  /// since construction; the processing-time experiments report it.
+  /// Covering tests answered from the memo cache still count (the request
+  /// happened; only its cost changed), so covering-routing experiment
+  /// numbers are unchanged by the cache. Matching tests skipped by the
+  /// root index are NOT counted — the index provably excludes those roots
+  /// without evaluating them.
   std::size_t comparisons() const { return comparisons_; }
+
+  /// Covering-memo statistics (see DESIGN.md "Performance architecture").
+  std::size_t cover_cache_hits() const { return cover_cache_hits_; }
+  std::size_t cover_cache_size() const { return cover_cache_.size(); }
 
   /// Test hook: checks all structural invariants, returning a description
   /// of the first violation or an empty string if consistent.
@@ -148,11 +168,34 @@ class SubscriptionTree {
                                std::vector<Xpe>* out);
   bool covers_cached(const Xpe& a, const Xpe& b) const;
   void unlink_super(Node* node);
+  void rebuild_root_index() const;
+
+  /// Bounded memo for covers() over canonical XPE uid pairs. Entries bind
+  /// XPE *values* — covers(a, b) is a pure function of the two
+  /// expressions and uids are never recycled — so no tree mutation can
+  /// make an entry stale; removal-time invalidation is a no-op by
+  /// construction (tested in subscription_tree_test). Cleared wholesale
+  /// when it reaches kCoverCacheCap to bound memory on adversarial churn.
+  static constexpr std::size_t kCoverCacheCap = 1u << 20;
 
   Options options_;
   std::unique_ptr<Node> root_;  ///< virtual root; xpe empty, matches all
   std::unordered_map<Xpe, Node*, XpeHash> by_xpe_;
   mutable std::size_t comparisons_ = 0;
+
+  mutable std::unordered_map<std::uint64_t, bool> cover_cache_;
+  mutable std::size_t cover_cache_hits_ = 0;
+
+  // First-step index over root children, rebuilt lazily after structural
+  // mutations: each root is bucketed under its deepest concrete step
+  // symbol (a path can only match it if it contains that element); roots
+  // with no concrete step (all-wildcard XPEs) stay in the always-visited
+  // side list. match_nodes() visits only the buckets of symbols present
+  // in the path, plus the side list.
+  mutable std::unordered_map<std::uint32_t, std::vector<Node*>>
+      roots_by_symbol_;
+  mutable std::vector<Node*> unindexed_roots_;
+  mutable bool root_index_dirty_ = true;
 };
 
 }  // namespace xroute

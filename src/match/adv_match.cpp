@@ -4,8 +4,18 @@
 
 namespace xroute {
 
-bool kmp_contains(const std::vector<std::string>& text,
-                  const std::vector<std::string>& pattern) {
+namespace {
+
+/// Resolves kAuto against the pattern length (see kAutoKmpThreshold).
+SearchStrategy resolve(SearchStrategy strategy, std::size_t pattern_len) {
+  if (strategy != SearchStrategy::kAuto) return strategy;
+  return pattern_len >= kAutoKmpThreshold ? SearchStrategy::kKmpWhenSound
+                                          : SearchStrategy::kNaive;
+}
+
+template <typename Elem>
+bool kmp_contains_impl(const std::vector<Elem>& text,
+                       const std::vector<Elem>& pattern) {
   if (pattern.empty()) return true;
   if (pattern.size() > text.size()) return false;
   // Failure function.
@@ -18,12 +28,24 @@ bool kmp_contains(const std::vector<std::string>& text,
   }
   // Scan.
   std::size_t j = 0;
-  for (const std::string& t : text) {
+  for (const Elem& t : text) {
     while (j > 0 && t != pattern[j]) j = fail[j - 1];
     if (t == pattern[j]) ++j;
     if (j == pattern.size()) return true;
   }
   return false;
+}
+
+}  // namespace
+
+bool kmp_contains(const std::vector<std::string>& text,
+                  const std::vector<std::string>& pattern) {
+  return kmp_contains_impl(text, pattern);
+}
+
+bool kmp_contains(const std::vector<std::uint32_t>& text,
+                  const std::vector<std::uint32_t>& pattern) {
+  return kmp_contains_impl(text, pattern);
 }
 
 bool abs_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s) {
@@ -53,13 +75,20 @@ bool any_wildcard(const std::vector<std::string>& v) {
   return false;
 }
 
+bool any_wildcard(const std::vector<std::uint32_t>& v) {
+  for (std::uint32_t e : v) {
+    if (e == SymbolTable::kWildcardId) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 bool rel_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s,
                       SearchStrategy strategy) {
   if (s.size() > adv.size()) return false;
-  if (strategy == SearchStrategy::kKmpWhenSound && !s.has_wildcard() &&
-      !any_wildcard(adv)) {
+  if (resolve(strategy, s.size()) == SearchStrategy::kKmpWhenSound &&
+      !s.has_wildcard() && !any_wildcard(adv)) {
     // With no wildcard on either side the overlap relation degenerates to
     // equality and KMP is an exact substring search.
     std::vector<std::string> pattern;
@@ -106,6 +135,71 @@ bool nonrec_adv_overlaps(const std::vector<std::string>& adv, const Xpe& s,
   if (s.is_absolute_simple()) return abs_expr_and_adv(adv, s);
   // A single floating segment is the "relative simple" case; everything
   // else contains a descendant operator in the middle.
+  if (!s.anchored() && s.segments().size() == 1) {
+    return rel_expr_and_adv(adv, s, strategy);
+  }
+  return des_expr_and_adv(adv, s);
+}
+
+// ---- Interned variants (SRT hot path) -------------------------------------
+
+bool abs_expr_and_adv(const std::vector<std::uint32_t>& adv, const Xpe& s) {
+  if (s.size() > adv.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!symbols_overlap(adv[i], s.symbol(i))) return false;
+  }
+  return true;
+}
+
+bool rel_expr_and_adv(const std::vector<std::uint32_t>& adv, const Xpe& s,
+                      SearchStrategy strategy) {
+  if (s.size() > adv.size()) return false;
+  if (resolve(strategy, s.size()) == SearchStrategy::kKmpWhenSound &&
+      !s.has_wildcard() && !any_wildcard(adv)) {
+    return kmp_contains(adv, s.symbols());
+  }
+  for (std::size_t j = 0; j + s.size() <= adv.size(); ++j) {
+    bool fits = true;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!symbols_overlap(adv[j + i], s.symbol(i))) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return true;
+  }
+  return false;
+}
+
+bool des_expr_and_adv(const std::vector<std::uint32_t>& adv, const Xpe& s) {
+  if (s.size() > adv.size()) return false;
+  std::size_t pos = 0;
+  for (const Segment& seg : s.segments()) {
+    bool placed = false;
+    for (std::size_t j = pos; j + seg.length <= adv.size(); ++j) {
+      bool fits = true;
+      for (std::size_t i = 0; i < seg.length; ++i) {
+        if (!symbols_overlap(adv[j + i], s.symbol(seg.first + i))) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        pos = j + seg.length;
+        placed = true;
+        break;
+      }
+      if (seg.anchored) break;
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+bool nonrec_adv_overlaps(const std::vector<std::uint32_t>& adv, const Xpe& s,
+                         SearchStrategy strategy) {
+  if (s.empty()) return true;
+  if (s.is_absolute_simple()) return abs_expr_and_adv(adv, s);
   if (!s.anchored() && s.segments().size() == 1) {
     return rel_expr_and_adv(adv, s, strategy);
   }

@@ -15,6 +15,7 @@
 //    constrained independently).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,17 +26,32 @@ namespace xroute {
 /// Window-search strategy for RelExprAndAdv / RelSimCov. The paper
 /// proposes KMP; our ablation (bench/ablation_micro) measures the naive
 /// scan ~6x faster at the paper's length cap of 10 — the failure-table
-/// setup dominates at these sizes — so kNaive is the default and
-/// kKmpWhenSound is kept for fidelity and for longer expressions.
+/// setup (an allocation plus the table build) dominates at these sizes,
+/// while the naive scan's worst case is only n·k element comparisons.
+/// kAuto therefore picks the naive scan for patterns up to
+/// kAutoKmpThreshold steps and KMP-when-sound above it, and is the
+/// default everywhere (covers(), rel_sim_cov(), rel_expr_and_adv()).
 enum class SearchStrategy : unsigned char {
   kNaive,         ///< O(n·k) scan, always sound
   kKmpWhenSound,  ///< KMP when provably sound for the relation, else naive
+  kAuto,          ///< naive below kAutoKmpThreshold, kKmpWhenSound above
 };
+
+/// Pattern length at which kAuto switches from the naive scan to KMP.
+/// Micro-benchmark (ablation_micro, RelExprAndAdv over the news corpus):
+/// at the paper's cap of 10 steps the naive scan wins ~6x; the crossover
+/// sits past the cap, so 16 keeps every paper workload on the fast path
+/// while long synthetic expressions still get the O(n+k) guarantee.
+inline constexpr std::size_t kAutoKmpThreshold = 16;
 
 /// KMP substring search on element-name sequences under plain equality.
 /// Exposed for the covering algorithms and the ablation bench.
 bool kmp_contains(const std::vector<std::string>& text,
                   const std::vector<std::string>& pattern);
+
+/// KMP on interned symbol sequences (util/symbols.hpp), plain equality.
+bool kmp_contains(const std::vector<std::uint32_t>& text,
+                  const std::vector<std::uint32_t>& pattern);
 
 /// Paper's AbsExprAndAdv: `s` must be an absolute simple XPE.
 bool abs_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s);
@@ -43,7 +59,7 @@ bool abs_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s);
 /// Paper's RelExprAndAdv: `s` must be a relative (or '//'-led) simple XPE,
 /// i.e. a single floating segment.
 bool rel_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s,
-                      SearchStrategy strategy = SearchStrategy::kNaive);
+                      SearchStrategy strategy = SearchStrategy::kAuto);
 
 /// Paper's DesExprAndAdv: XPEs containing descendant operators.
 bool des_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s);
@@ -51,6 +67,17 @@ bool des_expr_and_adv(const std::vector<std::string>& adv, const Xpe& s);
 /// Dispatcher: routes `s` to the appropriate algorithm above.
 bool nonrec_adv_overlaps(
     const std::vector<std::string>& adv, const Xpe& s,
-    SearchStrategy strategy = SearchStrategy::kNaive);
+    SearchStrategy strategy = SearchStrategy::kAuto);
+
+// Interned twins: the advertisement's positions as dense symbol ids
+// (Advertisement::flat_symbols()). Same results as the string versions —
+// the SRT hot path uses these; the string forms remain the reference.
+bool abs_expr_and_adv(const std::vector<std::uint32_t>& adv, const Xpe& s);
+bool rel_expr_and_adv(const std::vector<std::uint32_t>& adv, const Xpe& s,
+                      SearchStrategy strategy = SearchStrategy::kAuto);
+bool des_expr_and_adv(const std::vector<std::uint32_t>& adv, const Xpe& s);
+bool nonrec_adv_overlaps(
+    const std::vector<std::uint32_t>& adv, const Xpe& s,
+    SearchStrategy strategy = SearchStrategy::kAuto);
 
 }  // namespace xroute

@@ -4,34 +4,44 @@
 
 namespace xroute {
 
+namespace {
+
+/// Step-level covering on the interned form: symbol test first (one
+/// integer compare for the common predicate-free case), then predicate
+/// implication on the underlying steps.
+inline bool xstep_covers(const Xpe& s1, std::size_t i, const Xpe& s2,
+                         std::size_t j) {
+  return symbol_covers(s1.symbol(i), s2.symbol(j)) &&
+         step_predicates_cover(s1.step(i), s2.step(j));
+}
+
+}  // namespace
+
 bool abs_sim_cov(const Xpe& s1, const Xpe& s2) {
   // A longer (or equal-length, more constrained) expression selects a
   // smaller publication set; s1 must be a prefix-coverer of s2.
   if (s1.size() > s2.size()) return false;
   for (std::size_t i = 0; i < s1.size(); ++i) {
-    if (!step_covers(s1.step(i), s2.step(i))) return false;
+    if (!xstep_covers(s1, i, s2, i)) return false;
   }
   return true;
 }
 
 bool rel_sim_cov(const Xpe& s1, const Xpe& s2, SearchStrategy strategy) {
   if (s1.size() > s2.size()) return false;
-  if (strategy == SearchStrategy::kKmpWhenSound && !s1.has_wildcard() &&
-      !s1.has_predicates() && !s2.has_predicates()) {
+  if (strategy != SearchStrategy::kNaive &&
+      (strategy == SearchStrategy::kKmpWhenSound ||
+       s1.size() >= kAutoKmpThreshold) &&
+      !s1.has_wildcard() && !s1.has_predicates() && !s2.has_predicates()) {
     // With a wildcard-free coverer the covering rule is plain equality
     // ('*' on the covered side is never covered by a concrete name, i.e.
     // behaves as just another symbol), so KMP is exact.
-    std::vector<std::string> pattern, text;
-    pattern.reserve(s1.size());
-    text.reserve(s2.size());
-    for (const Step& step : s1.steps()) pattern.push_back(step.name);
-    for (const Step& step : s2.steps()) text.push_back(step.name);
-    return kmp_contains(text, pattern);
+    return kmp_contains(s2.symbols(), s1.symbols());
   }
   for (std::size_t j = 0; j + s1.size() <= s2.size(); ++j) {
     bool ok = true;
     for (std::size_t i = 0; i < s1.size(); ++i) {
-      if (!step_covers(s1.step(i), s2.step(j + i))) {
+      if (!xstep_covers(s1, i, s2, j + i)) {
         ok = false;
         break;
       }
@@ -59,11 +69,14 @@ bool segment_placeable(const Xpe& s1, const Segment& seg, const Xpe& s2,
       // wildcards (a predicated wildcard does not match arbitrary gap
       // elements).
       for (std::size_t r = i; r < seg.length; ++r) {
-        if (!s1.step(seg.first + r).unconstrained_wildcard()) return false;
+        if (s1.symbol(seg.first + r) != SymbolTable::kWildcardId ||
+            !s1.step(seg.first + r).predicates.empty()) {
+          return false;
+        }
       }
       return true;
     }
-    if (!step_covers(s1.step(seg.first + i), s2.step(q))) {
+    if (!xstep_covers(s1, seg.first + i, s2, q)) {
       return false;
     }
   }

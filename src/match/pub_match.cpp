@@ -1,5 +1,7 @@
 #include "match/pub_match.hpp"
 
+#include "util/symbols.hpp"
+
 namespace xroute {
 
 namespace {
@@ -61,6 +63,53 @@ bool matches(const Path& p, const Xpe& s) {
       // Floating segment: greedy earliest occurrence at or after `pos`.
       // Greedy is complete because the path is concrete — taking the
       // earliest occurrence only leaves more room for later segments.
+      bool placed = false;
+      for (std::size_t j = pos; j + length <= p.size(); ++j) {
+        if (segment_fits(p, s, first, length, j)) {
+          pos = j + length;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) return false;
+    }
+    first = last;
+  }
+  return true;
+}
+
+namespace {
+
+/// Interned twin of segment_fits: symbol comparison for the element test,
+/// string-side predicates via the underlying path.
+bool segment_fits(const InternedPath& p, const Xpe& s, std::size_t first,
+                  std::size_t len, std::size_t j) {
+  if (j + len > p.size()) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint32_t sym = s.symbol(first + i);
+    if (sym != SymbolTable::kWildcardId && sym != p[j + i]) return false;
+    if (!predicates_hold(s.step(first + i), *p.path, j + i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool matches(const InternedPath& p, const Xpe& s) {
+  if (s.empty()) return true;
+  std::size_t pos = 0;
+  std::size_t first = 0;
+  const std::size_t n = s.size();
+  while (first < n) {
+    std::size_t last = first + 1;
+    while (last < n && s.step(last).axis == Axis::kChild) ++last;
+    const std::size_t length = last - first;
+    const bool anchored = (first == 0 && s.step(0).axis == Axis::kChild);
+
+    if (anchored) {
+      if (!segment_fits(p, s, first, length, 0)) return false;
+      pos = length;
+    } else {
       bool placed = false;
       for (std::size_t j = pos; j + length <= p.size(); ++j) {
         if (segment_fits(p, s, first, length, j)) {

@@ -17,4 +17,12 @@ namespace xroute {
 /// embedding, which is complete because the path is concrete).
 bool matches(const Path& p, const Xpe& s);
 
+/// Interned fast path: same relation, but element tests compare dense
+/// symbol ids (util/symbols.hpp) instead of strings. Intern the path once
+/// per routing decision and amortise over every table entry visited. Kept
+/// as a separate implementation so the string version above remains the
+/// byte-for-byte pre-optimisation reference for differential tests and
+/// the perf_routing baseline.
+bool matches(const InternedPath& p, const Xpe& s);
+
 }  // namespace xroute

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "util/symbols.hpp"
 #include "xpath/step.hpp"
 
 namespace xroute {
@@ -28,11 +29,11 @@ inline bool element_covers(const std::string& t, const std::string& m) {
   return t == kWildcard || t == m;
 }
 
-/// Step-level covering: element test + predicate implication. Every
-/// predicate of the coverer must be implied by some predicate of the
-/// covered step (the covered step is at least as constrained).
-inline bool step_covers(const Step& coverer, const Step& covered) {
-  if (!element_covers(coverer.name, covered.name)) return false;
+/// Predicate half of step-level covering: every predicate of the coverer
+/// must be implied by some predicate of the covered step (the covered step
+/// is at least as constrained). Factored out so the interned fast paths
+/// can pair it with the symbol-level element test.
+inline bool step_predicates_cover(const Step& coverer, const Step& covered) {
   for (const Predicate& general : coverer.predicates) {
     bool implied = false;
     for (const Predicate& specific : covered.predicates) {
@@ -44,6 +45,12 @@ inline bool step_covers(const Step& coverer, const Step& covered) {
     if (!implied) return false;
   }
   return true;
+}
+
+/// Step-level covering: element test + predicate implication.
+inline bool step_covers(const Step& coverer, const Step& covered) {
+  return element_covers(coverer.name, covered.name) &&
+         step_predicates_cover(coverer, covered);
 }
 
 }  // namespace xroute

@@ -93,13 +93,7 @@ void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
   // is the root of its advertisement tree).
   if (!config_.use_advertisements || neighbors_.count(from) == 0) return;
 
-  const Srt::Entry* entry = nullptr;
-  for (const auto& e : srt_.entries()) {
-    if (e->advertisement == msg.advertisement) {
-      entry = e.get();
-      break;
-    }
-  }
+  const Srt::Entry* entry = srt_.find(msg.advertisement);
   if (!entry) return;
 
   for (const Xpe& xpe : prt_.top_level_xpes()) {
@@ -118,14 +112,7 @@ void Broker::handle_unadvertise(int from, const UnadvertiseMsg& msg,
   // subscriptions are left in place: they become stale routing state, not
   // incorrect behaviour (publications simply stop flowing from there).
   if (!srt_.remove(msg.advertisement, from)) return;
-  bool gone = true;
-  for (const auto& entry : srt_.entries()) {
-    if (entry->advertisement == msg.advertisement) {
-      gone = false;
-      break;
-    }
-  }
-  if (!gone) return;
+  if (srt_.contains(msg.advertisement)) return;
   for (int neighbor : neighbors_) {
     if (neighbor != from) {
       out->forwards.push_back(Forward{

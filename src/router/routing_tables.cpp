@@ -4,6 +4,7 @@
 
 #include "match/adv_match.hpp"
 #include "match/pub_match.hpp"
+#include "util/symbols.hpp"
 
 namespace xroute {
 
@@ -18,6 +19,7 @@ bool Srt::add(const Advertisement& adv, int hop) {
   entry->hops.insert(hop);
   by_adv_.emplace(adv, entry.get());
   entries_.push_back(std::move(entry));
+  index_dirty_ = true;
   return true;
 }
 
@@ -31,14 +33,20 @@ bool Srt::remove(const Advertisement& adv, int hop) {
     entries_.erase(std::find_if(
         entries_.begin(), entries_.end(),
         [&](const std::unique_ptr<Entry>& e) { return e.get() == entry; }));
+    index_dirty_ = true;
   }
   return true;
+}
+
+const Srt::Entry* Srt::find(const Advertisement& adv) const {
+  auto it = by_adv_.find(adv);
+  return it == by_adv_.end() ? nullptr : it->second;
 }
 
 bool Srt::entry_overlaps(const Entry& entry, const Xpe& xpe) const {
   ++comparisons_;
   if (entry.advertisement.non_recursive()) {
-    return nonrec_adv_overlaps(entry.advertisement.flat_elements(), xpe);
+    return nonrec_adv_overlaps(entry.advertisement.flat_symbols(), xpe);
   }
   if (!entry.automaton) {
     // Lazily compile; Entry is owned by unique_ptr so the address is
@@ -49,14 +57,82 @@ bool Srt::entry_overlaps(const Entry& entry, const Xpe& xpe) const {
   return entry.automaton->overlaps(xpe);
 }
 
+bool Srt::entry_overlaps_strings(const Entry& entry, const Xpe& xpe) const {
+  ++comparisons_;
+  if (entry.advertisement.non_recursive()) {
+    return nonrec_adv_overlaps(entry.advertisement.flat_elements(), xpe);
+  }
+  if (!entry.automaton) {
+    const_cast<Entry&>(entry).automaton =
+        std::make_unique<AdvAutomaton>(entry.advertisement);
+  }
+  return entry.automaton->overlaps(xpe);
+}
+
+void Srt::rebuild_index() const {
+  by_symbol_.clear();
+  wildcard_entries_.clear();
+  for (const auto& entry : entries_) {
+    const Advertisement& adv = entry->advertisement;
+    if (adv.has_wildcard() || adv.symbol_alphabet().empty()) {
+      wildcard_entries_.push_back(entry.get());
+    } else {
+      for (std::uint32_t sym : adv.symbol_alphabet()) {
+        by_symbol_[sym].push_back(entry.get());
+      }
+    }
+  }
+  index_dirty_ = false;
+}
+
 std::set<int> Srt::hops_overlapping(const Xpe& xpe) const {
+  if (index_dirty_) rebuild_index();
+  // A wildcard-free advertisement only produces paths over its own
+  // alphabet, and a path matching `xpe` must realise every concrete step
+  // of `xpe`; so any such advertisement overlapping `xpe` lives in the
+  // bucket of EACH concrete query symbol — testing the smallest bucket
+  // suffices.
+  static const std::vector<Entry*> kEmptyBucket;
+  const std::vector<Entry*>* bucket = nullptr;
+  bool has_concrete = false;
+  for (std::uint32_t sym : xpe.symbols()) {
+    if (sym == SymbolTable::kWildcardId) continue;
+    has_concrete = true;
+    auto it = by_symbol_.find(sym);
+    if (it == by_symbol_.end()) {
+      // No wildcard-free advertisement mentions this element at all.
+      bucket = &kEmptyBucket;
+      break;
+    }
+    if (!bucket || it->second.size() < bucket->size()) bucket = &it->second;
+  }
+  std::set<int> hops;
+  auto consider = [&](const Entry& entry) {
+    // Skip entries whose every hop is already selected.
+    bool all_present = std::all_of(entry.hops.begin(), entry.hops.end(),
+                                   [&](int h) { return hops.count(h) > 0; });
+    if (all_present) return;
+    if (entry_overlaps(entry, xpe)) {
+      hops.insert(entry.hops.begin(), entry.hops.end());
+    }
+  };
+  if (!has_concrete) {
+    // All-wildcard query: no symbol discriminates, test everything.
+    for (const auto& entry : entries_) consider(*entry);
+    return hops;
+  }
+  for (const Entry* entry : wildcard_entries_) consider(*entry);
+  for (const Entry* entry : *bucket) consider(*entry);
+  return hops;
+}
+
+std::set<int> Srt::hops_overlapping_scan(const Xpe& xpe) const {
   std::set<int> hops;
   for (const auto& entry : entries_) {
-    // Skip entries whose every hop is already selected.
     bool all_present = std::all_of(entry->hops.begin(), entry->hops.end(),
                                    [&](int h) { return hops.count(h) > 0; });
     if (all_present) continue;
-    if (entry_overlaps(*entry, xpe)) {
+    if (entry_overlaps_strings(*entry, xpe)) {
       hops.insert(entry->hops.begin(), entry->hops.end());
     }
   }
@@ -88,6 +164,7 @@ Prt::InsertOutcome Prt::insert(const Xpe& xpe, int hop) {
   }
   flat_index_.emplace(xpe, flat_.size());
   flat_.push_back(FlatEntry{xpe, {hop}});
+  flat_index_dirty_ = true;
   outcome.was_new = true;
   return outcome;
 }
@@ -107,12 +184,83 @@ bool Prt::remove(const Xpe& xpe, int hop) {
       flat_index_[flat_[pos].xpe] = pos;
     }
     flat_.pop_back();
+    flat_index_dirty_ = true;
   }
   return true;
 }
 
+void Prt::rebuild_flat_index() const {
+  flat_by_symbol_.clear();
+  flat_unindexed_.clear();
+  for (std::size_t pos = 0; pos < flat_.size(); ++pos) {
+    // Bucket by the deepest concrete step: a path can only match the XPE
+    // if it contains that element somewhere.
+    std::uint32_t key = SymbolTable::kNoSymbol;
+    const std::vector<std::uint32_t>& syms = flat_[pos].xpe.symbols();
+    for (std::size_t i = syms.size(); i-- > 0;) {
+      if (syms[i] != SymbolTable::kWildcardId) {
+        key = syms[i];
+        break;
+      }
+    }
+    if (key == SymbolTable::kNoSymbol) {
+      flat_unindexed_.push_back(pos);
+    } else {
+      flat_by_symbol_[key].push_back(pos);
+    }
+  }
+  flat_index_dirty_ = false;
+}
+
+namespace {
+
+/// Candidate positions for matching `ip` in a deepest-concrete-symbol
+/// index: the side list plus the bucket of each distinct path symbol.
+/// Buckets partition the indexed entries, so no position repeats.
+std::vector<std::size_t> flat_candidates(
+    const InternedPath& ip,
+    const std::unordered_map<std::uint32_t, std::vector<std::size_t>>&
+        by_symbol,
+    const std::vector<std::size_t>& unindexed) {
+  std::vector<std::size_t> out(unindexed);
+  for (std::size_t i = 0; i < ip.size(); ++i) {
+    const std::uint32_t sym = ip[i];
+    if (sym == SymbolTable::kNoSymbol) continue;
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (ip[j] == sym) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    auto it = by_symbol.find(sym);
+    if (it == by_symbol.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace
+
 std::set<int> Prt::match_hops(const Path& path) const {
   if (covering_) return tree_->match_hops(path);
+  if (flat_index_dirty_) rebuild_flat_index();
+  const InternedPath ip(path);
+  std::set<int> hops;
+  for (std::size_t pos :
+       flat_candidates(ip, flat_by_symbol_, flat_unindexed_)) {
+    const FlatEntry& entry = flat_[pos];
+    ++flat_comparisons_;
+    if (matches(ip, entry.xpe)) {
+      hops.insert(entry.hops.begin(), entry.hops.end());
+    }
+  }
+  return hops;
+}
+
+std::set<int> Prt::match_hops_scan(const Path& path) const {
+  if (covering_) return tree_->match_hops_scan(path);
   std::set<int> hops;
   for (const FlatEntry& entry : flat_) {
     ++flat_comparisons_;
@@ -132,9 +280,13 @@ std::vector<std::pair<const Xpe*, const std::set<int>*>> Prt::match_entries(
     }
     return out;
   }
-  for (const FlatEntry& entry : flat_) {
+  if (flat_index_dirty_) rebuild_flat_index();
+  const InternedPath ip(path);
+  for (std::size_t pos :
+       flat_candidates(ip, flat_by_symbol_, flat_unindexed_)) {
+    const FlatEntry& entry = flat_[pos];
     ++flat_comparisons_;
-    if (matches(path, entry.xpe)) out.emplace_back(&entry.xpe, &entry.hops);
+    if (matches(ip, entry.xpe)) out.emplace_back(&entry.xpe, &entry.hops);
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -42,26 +43,56 @@ class Srt {
   /// Drops an advertisement/hop pair (unadvertise support).
   bool remove(const Advertisement& adv, int hop);
 
+  /// O(1) entry lookup by advertisement; nullptr if absent.
+  const Entry* find(const Advertisement& adv) const;
+  bool contains(const Advertisement& adv) const {
+    return find(adv) != nullptr;
+  }
+
   /// All hops through which some advertisement overlapping `xpe` arrived —
-  /// the next hops for forwarding the subscription.
+  /// the next hops for forwarding the subscription. Uses the symbol index:
+  /// a wildcard-free advertisement overlapping `xpe` must contain every
+  /// concrete step name of `xpe` in its alphabet, so only the bucket of
+  /// the query's rarest concrete symbol (plus the wildcard side list) is
+  /// tested. Results are exactly the linear scan's.
   std::set<int> hops_overlapping(const Xpe& xpe) const;
+
+  /// Pre-index linear-scan reference (string element comparisons over
+  /// every entry). Retained as the differential-test oracle and the
+  /// perf_routing "before" baseline; do not use on the hot path.
+  std::set<int> hops_overlapping_scan(const Xpe& xpe) const;
 
   /// Does any advertisement from `hop` overlap `xpe`? (Used to route
   /// existing subscriptions toward a newly arrived advertisement.)
   bool entry_overlaps(const Entry& entry, const Xpe& xpe) const;
+
+  /// The pre-interning implementation of entry_overlaps (string element
+  /// comparisons); reference twin for tests and the scan baseline.
+  bool entry_overlaps_strings(const Entry& entry, const Xpe& xpe) const;
 
   std::size_t size() const { return entries_.size(); }
   const std::vector<std::unique_ptr<Entry>>& entries() const {
     return entries_;
   }
 
-  /// Overlap-test counter (reported by the processing-time experiments).
+  /// Overlap-test counter (reported by the processing-time experiments):
+  /// number of entry_overlaps tests actually performed. Entries the symbol
+  /// index provably excludes are skipped without being counted.
   std::size_t comparisons() const { return comparisons_; }
 
  private:
+  void rebuild_index() const;
+
   std::vector<std::unique_ptr<Entry>> entries_;
   std::unordered_map<Advertisement, Entry*, AdvHash> by_adv_;
   mutable std::size_t comparisons_ = 0;
+
+  // Symbol index, rebuilt lazily after add/remove: wildcard-free
+  // advertisements are registered under every symbol of their alphabet;
+  // advertisements containing '*' go to the always-tested side list.
+  mutable std::unordered_map<std::uint32_t, std::vector<Entry*>> by_symbol_;
+  mutable std::vector<Entry*> wildcard_entries_;
+  mutable bool index_dirty_ = true;
 };
 
 /// Publication routing table: subscription-tree or flat, behind one
@@ -79,6 +110,10 @@ class Prt {
   InsertOutcome insert(const Xpe& xpe, int hop);
   bool remove(const Xpe& xpe, int hop);
   std::set<int> match_hops(const Path& path) const;
+  /// Pre-index linear-scan reference (flat mode: string matcher over every
+  /// entry; covering mode: the tree's scan twin). Differential-test oracle
+  /// and perf_routing "before" baseline.
+  std::set<int> match_hops_scan(const Path& path) const;
   /// Matching subscriptions with their hop sets (edge delivery needs both).
   std::vector<std::pair<const Xpe*, const std::set<int>*>> match_entries(
       const Path& path) const;
@@ -99,6 +134,8 @@ class Prt {
   const SubscriptionTree* tree() const { return tree_.get(); }
 
  private:
+  void rebuild_flat_index() const;
+
   bool covering_;
   std::unique_ptr<SubscriptionTree> tree_;  // covering mode
   // Flat mode storage.
@@ -109,6 +146,15 @@ class Prt {
   std::vector<FlatEntry> flat_;
   std::unordered_map<Xpe, std::size_t, XpeHash> flat_index_;
   mutable std::size_t flat_comparisons_ = 0;
+
+  // Flat-mode symbol index (mirror of the subscription tree's root index):
+  // each entry is bucketed by position under its XPE's deepest concrete
+  // step symbol; all-wildcard XPEs stay in the always-tested side list.
+  // Rebuilt lazily after insert/remove (swap-and-pop moves positions).
+  mutable std::unordered_map<std::uint32_t, std::vector<std::size_t>>
+      flat_by_symbol_;
+  mutable std::vector<std::size_t> flat_unindexed_;
+  mutable bool flat_index_dirty_ = true;
 };
 
 }  // namespace xroute

@@ -1,0 +1,56 @@
+#include "util/symbols.hpp"
+
+#include <mutex>
+
+#include "xpath/step.hpp"
+
+namespace xroute {
+
+SymbolTable::SymbolTable() {
+  // Pre-register the wildcard so its id is the branch-cheap constant 0.
+  std::uint32_t id = intern(kWildcard);
+  (void)id;
+}
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+std::uint32_t SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;  // raced with another writer
+  std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  auto [pos, inserted] = ids_.emplace(std::string(name), id);
+  (void)inserted;
+  names_.push_back(&pos->first);
+  return id;
+}
+
+std::uint32_t SymbolTable::lookup(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& SymbolTable::name(std::uint32_t id) const {
+  std::shared_lock lock(mutex_);
+  return *names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+std::uint32_t intern_symbol(std::string_view name) {
+  return SymbolTable::global().intern(name);
+}
+
+}  // namespace xroute

@@ -5,8 +5,15 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/symbols.hpp"
 
 namespace xroute {
+
+InternedPath::InternedPath(const Path& p) : path(&p) {
+  const SymbolTable& table = SymbolTable::global();
+  symbols.reserve(p.elements.size());
+  for (const std::string& e : p.elements) symbols.push_back(table.lookup(e));
+}
 
 std::string Path::to_string() const {
   std::ostringstream os;

@@ -4,6 +4,7 @@
 // lives in router::Publication, the bare path lives here.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,6 +43,24 @@ struct Path {
 
   friend bool operator==(const Path&, const Path&) = default;
   friend auto operator<=>(const Path&, const Path&) = default;
+};
+
+/// A path with its element names resolved to interned symbol ids
+/// (util/symbols.hpp), built once per publication-matching call so the
+/// per-node hot loops compare integers instead of strings. Elements never
+/// seen in any XPE or advertisement resolve to SymbolTable::kNoSymbol,
+/// which matches nothing but a wildcard — exactly the string semantics.
+/// Holds a pointer to the source path (for predicate payloads); the path
+/// must outlive the view.
+struct InternedPath {
+  explicit InternedPath(const Path& p);
+
+  const Path* path = nullptr;
+  std::vector<std::uint32_t> symbols;
+
+  std::size_t size() const { return symbols.size(); }
+  bool empty() const { return symbols.empty(); }
+  std::uint32_t operator[](std::size_t i) const { return symbols[i]; }
 };
 
 /// Parses "/t1/t2/.../tn" into a Path; throws ParseError on bad syntax

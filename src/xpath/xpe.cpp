@@ -1,13 +1,86 @@
 #include "xpath/xpe.hpp"
 
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
+#include <unordered_map>
+
+#include "util/symbols.hpp"
 
 namespace xroute {
+
+namespace {
+
+/// Structural (value) hash over the semantic form — used only by the uid
+/// registry; everything else hashes the O(1) uid.
+struct XpeDeepHash {
+  std::size_t operator()(const Xpe& x) const {
+    std::size_t h = 1469598103934665603ull;  // FNV offset basis
+    auto mix = [&h](std::size_t v) {
+      h ^= v;
+      h *= 1099511628211ull;  // FNV prime
+    };
+    for (const Step& s : x.steps()) {
+      mix(static_cast<std::size_t>(s.axis) + 1);
+      mix(std::hash<std::string>{}(s.name));
+      for (const Predicate& p : s.predicates) {
+        mix(static_cast<std::size_t>(p.target));
+        mix(static_cast<std::size_t>(p.op) + 17);
+        mix(std::hash<std::string>{}(p.name));
+        mix(std::hash<std::string>{}(p.value));
+      }
+    }
+    return h;
+  }
+};
+
+struct XpeDeepEq {
+  bool operator()(const Xpe& a, const Xpe& b) const {
+    return a.steps() == b.steps();
+  }
+};
+
+/// Value-keyed registry assigning each distinct semantic XPE a dense,
+/// never-recycled uid; the canonical backbone of O(1) XPE equality,
+/// hashing, and the covering cache. Ids bind values, not table slots, so a
+/// cached fact about a uid pair can never go stale.
+class XpeRegistry {
+ public:
+  static XpeRegistry& global() {
+    static XpeRegistry registry;
+    return registry;
+  }
+
+  std::uint32_t uid_for(const Xpe& x) {
+    if (x.empty()) return 0;
+    {
+      std::shared_lock lock(mutex_);
+      auto it = uids_.find(x);
+      if (it != uids_.end()) return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    auto it = uids_.find(x);
+    if (it != uids_.end()) return it->second;
+    std::uint32_t uid = next_++;
+    uids_.emplace(x, uid);
+    return uid;
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  std::unordered_map<Xpe, std::uint32_t, XpeDeepHash, XpeDeepEq> uids_;
+  std::uint32_t next_ = 1;  // 0 is the empty XPE
+};
+
+}  // namespace
 
 Xpe Xpe::absolute(std::vector<Step> steps) {
   Xpe x;
   x.steps_ = std::move(steps);
   x.relative_ = false;
+  x.symbols_.reserve(x.steps_.size());
+  for (const Step& s : x.steps_) x.symbols_.push_back(intern_symbol(s.name));
+  x.uid_ = XpeRegistry::global().uid_for(x);
   return x;
 }
 
@@ -16,6 +89,9 @@ Xpe Xpe::relative(std::vector<Step> steps) {
   x.steps_ = std::move(steps);
   if (!x.steps_.empty()) x.steps_[0].axis = Axis::kDescendant;
   x.relative_ = true;
+  x.symbols_.reserve(x.steps_.size());
+  for (const Step& s : x.steps_) x.symbols_.push_back(intern_symbol(s.name));
+  x.uid_ = XpeRegistry::global().uid_for(x);
   return x;
 }
 
@@ -27,8 +103,8 @@ bool Xpe::has_descendant() const {
 }
 
 bool Xpe::has_wildcard() const {
-  for (const Step& s : steps_) {
-    if (s.is_wildcard()) return true;
+  for (std::uint32_t sym : symbols_) {
+    if (sym == SymbolTable::kWildcardId) return true;
   }
   return false;
 }
@@ -72,22 +148,12 @@ std::string Xpe::to_string() const {
 }
 
 std::size_t XpeHash::operator()(const Xpe& x) const {
-  std::size_t h = 1469598103934665603ull;  // FNV offset basis
-  auto mix = [&h](std::size_t v) {
-    h ^= v;
-    h *= 1099511628211ull;  // FNV prime
-  };
-  for (const Step& s : x.steps()) {
-    mix(static_cast<std::size_t>(s.axis) + 1);
-    mix(std::hash<std::string>{}(s.name));
-    for (const Predicate& p : s.predicates) {
-      mix(static_cast<std::size_t>(p.target));
-      mix(static_cast<std::size_t>(p.op) + 17);
-      mix(std::hash<std::string>{}(p.name));
-      mix(std::hash<std::string>{}(p.value));
-    }
-  }
-  return h;
+  // splitmix64 finalizer over the canonical uid: equal values share a uid,
+  // so this is a valid O(1) hash for value-keyed containers.
+  std::uint64_t z = static_cast<std::uint64_t>(x.uid()) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(z ^ (z >> 31));
 }
 
 }  // namespace xroute

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -36,6 +37,22 @@ struct Segment {
 class Xpe {
  public:
   Xpe() = default;
+  Xpe(const Xpe&) = default;
+  Xpe& operator=(const Xpe&) = default;
+  // Moves leave the source as the canonical empty XPE so the uid invariant
+  // (uid identifies the semantic value) holds even for moved-from objects.
+  Xpe(Xpe&& other) noexcept { *this = std::move(other); }
+  Xpe& operator=(Xpe&& other) noexcept {
+    steps_ = std::move(other.steps_);
+    symbols_ = std::move(other.symbols_);
+    relative_ = other.relative_;
+    uid_ = other.uid_;
+    other.steps_.clear();
+    other.symbols_.clear();
+    other.relative_ = false;
+    other.uid_ = 0;
+    return *this;
+  }
 
   /// Builds an absolute XPE; the first step's axis distinguishes '/a…'
   /// (Axis::kChild) from '//a…' (Axis::kDescendant).
@@ -49,6 +66,18 @@ class Xpe {
   const Step& step(std::size_t i) const { return steps_[i]; }
   std::size_t size() const { return steps_.size(); }
   bool empty() const { return steps_.empty(); }
+
+  /// Interned element symbol of step i (util/symbols.hpp): wildcard steps
+  /// map to SymbolTable::kWildcardId. Hot matching loops compare these
+  /// instead of Step::name strings.
+  std::uint32_t symbol(std::size_t i) const { return symbols_[i]; }
+  const std::vector<std::uint32_t>& symbols() const { return symbols_; }
+
+  /// Dense process-wide id canonical for the *semantic value*: two XPEs
+  /// compare equal iff their uids are equal (the factories register every
+  /// XPE in a value-keyed registry; ids are never recycled). The covering
+  /// cache and unordered containers key on it. 0 is the empty XPE.
+  std::uint32_t uid() const { return uid_; }
 
   /// True if written without a leading slash.
   bool relative() const { return relative_; }
@@ -75,9 +104,10 @@ class Xpe {
   std::string to_string() const;
 
   /// Semantic equality: same steps after axis normalisation. "a/b" equals
-  /// "//a/b" (both match anywhere) but not "/a/b".
+  /// "//a/b" (both match anywhere) but not "/a/b". O(1): the uid registry
+  /// is canonical, so equal values always carry the same uid.
   friend bool operator==(const Xpe& a, const Xpe& b) {
-    return a.steps_ == b.steps_;
+    return a.uid_ == b.uid_;
   }
   friend auto operator<=>(const Xpe& a, const Xpe& b) {
     return a.steps_ <=> b.steps_;
@@ -85,10 +115,13 @@ class Xpe {
 
  private:
   std::vector<Step> steps_;
+  std::vector<std::uint32_t> symbols_;
   bool relative_ = false;
+  std::uint32_t uid_ = 0;
 };
 
 /// Hash functor so XPEs can key unordered containers (routing tables).
+/// O(1): mixes the canonical uid.
 struct XpeHash {
   std::size_t operator()(const Xpe& x) const;
 };

@@ -4,9 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <string>
 
+#include "adv/derive.hpp"
 #include "dtd/parser.hpp"
+#include "match/pub_match.hpp"
 #include "router/broker.hpp"
+#include "util/rng.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
 #include "xml/paths.hpp"
 #include "xpath/parser.hpp"
 
@@ -324,6 +332,90 @@ TEST(BrokerClientTable, TracksOriginals) {
   broker.handle(kClient, Message::unsubscribe(X("/a")));
   EXPECT_EQ(broker.client_subscriptions(kClient)->size(), 1u);
   EXPECT_EQ(broker.client_subscriptions(kRight), nullptr);
+}
+
+// --- Indexed routing tables vs linear-scan reference --------------------
+
+TEST(SrtIndex, FindAndContains) {
+  Srt srt;
+  Advertisement adv = parse_advertisement("/a/b/c");
+  EXPECT_EQ(srt.find(adv), nullptr);
+  srt.add(adv, 1);
+  ASSERT_NE(srt.find(adv), nullptr);
+  EXPECT_TRUE(srt.contains(adv));
+  EXPECT_EQ(srt.find(adv)->hops, (std::set<int>{1}));
+  srt.remove(adv, 1);
+  EXPECT_FALSE(srt.contains(adv));
+}
+
+TEST(SrtIndex, HopsOverlappingEqualsScanOnRandomWorkload) {
+  Dtd dtd = corpus_dtd("news");
+  DerivedAdvertisements derived = derive_advertisements(dtd);
+  ASSERT_FALSE(derived.advertisements.empty());
+
+  XpathGenOptions gen;
+  gen.count = 200;
+  gen.wildcard_prob = 0.2;
+  gen.descendant_prob = 0.2;
+  gen.relative_prob = 0.2;
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    gen.seed = seed;
+    std::vector<Xpe> queries = generate_xpaths(dtd, gen);
+    Srt srt;
+    for (std::size_t i = 0; i < derived.advertisements.size(); ++i) {
+      srt.add(derived.advertisements[i], static_cast<int>(i % 8));
+    }
+    // Churn: withdraw every fourth advertisement so the index rebuilds.
+    for (std::size_t i = 0; i < derived.advertisements.size(); i += 4) {
+      srt.remove(derived.advertisements[i], static_cast<int>(i % 8));
+    }
+    for (const Xpe& q : queries) {
+      EXPECT_EQ(srt.hops_overlapping(q), srt.hops_overlapping_scan(q))
+          << "query " << q.to_string() << " seed " << seed;
+    }
+  }
+}
+
+TEST(PrtFlatIndex, MatchHopsEqualsScanOnRandomWorkload) {
+  Dtd dtd = corpus_dtd("news");
+  XpathGenOptions gen;
+  gen.count = 400;
+  gen.wildcard_prob = 0.2;
+  gen.descendant_prob = 0.2;
+  gen.relative_prob = 0.2;
+
+  Rng rng(11);
+  std::vector<Path> probes;
+  for (int d = 0; d < 4; ++d) {
+    XmlDocument doc = generate_document(dtd, rng);
+    for (Path& p : extract_paths(doc)) probes.push_back(std::move(p));
+  }
+  ASSERT_FALSE(probes.empty());
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    gen.seed = seed;
+    std::vector<Xpe> xpes = generate_xpaths(dtd, gen);
+    Prt prt(/*covering=*/false);
+    for (std::size_t i = 0; i < xpes.size(); ++i) {
+      prt.insert(xpes[i], static_cast<int>(i % 16));
+      // Churn: removals exercise the swap-and-pop index invalidation.
+      if (i % 3 == 2) prt.remove(xpes[i - 1], static_cast<int>((i - 1) % 16));
+    }
+    for (const Path& p : probes) {
+      EXPECT_EQ(prt.match_hops(p), prt.match_hops_scan(p))
+          << "path " << p.to_string() << " seed " << seed;
+      // match_entries must select exactly the scan's subscriptions.
+      std::multiset<std::string> via_entries, via_scan;
+      for (const auto& [xpe, hops] : prt.match_entries(p)) {
+        via_entries.insert(xpe->to_string());
+      }
+      for (const Xpe& xpe : prt.all_xpes()) {
+        if (matches(p, xpe)) via_scan.insert(xpe.to_string());
+      }
+      EXPECT_EQ(via_entries, via_scan) << "path " << p.to_string();
+    }
+  }
 }
 
 }  // namespace

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "index/subscription_tree.hpp"
+#include "util/rng.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/xml_gen.hpp"
+#include "workload/xpath_gen.hpp"
 #include "xml/paths.hpp"
 #include "xpath/parser.hpp"
 
@@ -222,6 +227,111 @@ TEST(SubscriptionTreeTest, MergeCollisionReturnsNull) {
                                                  tree.find(X("/q/b"))};
   EXPECT_EQ(tree.merge_children(tree.root(), originals, X("/a/*")), nullptr);
   EXPECT_EQ(tree.size(), 3u);
+}
+
+// --- Root-index and covering-cache tests (the PR's indexed hot path) ----
+
+/// Canonical form of a match result for set comparison (callers treat
+/// match_nodes results as a set; only the membership is the contract).
+std::multiset<std::string> match_set(
+    const std::vector<const SubscriptionTree::Node*>& nodes) {
+  std::multiset<std::string> out;
+  for (const SubscriptionTree::Node* node : nodes) {
+    out.insert(node->xpe.to_string());
+  }
+  return out;
+}
+
+TEST(SubscriptionTreeTest, IndexedMatchEqualsScanOnRandomChurn) {
+  Dtd dtd = corpus_dtd("news");
+  XpathGenOptions gen;
+  gen.count = 300;
+  gen.wildcard_prob = 0.2;
+  gen.descendant_prob = 0.2;
+  gen.relative_prob = 0.2;
+
+  Rng rng(7);
+  std::vector<Path> probes;
+  for (int d = 0; d < 4; ++d) {
+    XmlDocument doc = generate_document(dtd, rng);
+    for (Path& p : extract_paths(doc)) probes.push_back(std::move(p));
+  }
+  ASSERT_FALSE(probes.empty());
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    gen.seed = seed;
+    std::vector<Xpe> xpes = generate_xpaths(dtd, gen);
+    SubscriptionTree tree;
+    // Insert everything, interleaving removals of every third XPE so the
+    // index sees root-set churn (splice-to-root on detach included).
+    for (std::size_t i = 0; i < xpes.size(); ++i) {
+      tree.insert(xpes[i], static_cast<int>(i % 16));
+      if (i % 3 == 2) tree.remove(xpes[i - 1], static_cast<int>((i - 1) % 16));
+    }
+    ASSERT_EQ(tree.validate(), "");
+    for (const Path& p : probes) {
+      EXPECT_EQ(match_set(tree.match_nodes(p)),
+                match_set(tree.match_nodes_scan(p)))
+          << "path " << p.to_string() << " seed " << seed;
+      EXPECT_EQ(tree.match_hops(p), tree.match_hops_scan(p))
+          << "path " << p.to_string() << " seed " << seed;
+    }
+  }
+}
+
+TEST(SubscriptionTreeTest, IndexedMatchSeesMutationsImmediately) {
+  SubscriptionTree tree;
+  tree.insert(X("/a/b"), 1);
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1}));
+  // Root-set mutation after a match (index built): new root must be found.
+  tree.insert(X("/x"), 2);
+  EXPECT_EQ(tree.match_hops(parse_path("/x")), (std::set<int>{2}));
+  // Removal must drop it again.
+  tree.remove(X("/x"), 2);
+  EXPECT_EQ(tree.match_hops(parse_path("/x")), (std::set<int>{}));
+  // Detaching a root splices its children to the root: still matched.
+  tree.insert(X("/a"), 3);
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1, 3}));
+  tree.remove(X("/a"), 3);
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1}));
+}
+
+TEST(SubscriptionTreeTest, CoverCacheServesRepeatsWithoutStaleResults) {
+  SubscriptionTree tree;
+  // insert → query: /a covers /a/b, so the newcomer is absorbed.
+  tree.insert(X("/a"), 1);
+  auto first = tree.insert(X("/a/b"), 2);
+  EXPECT_TRUE(first.covered_by_existing);
+  EXPECT_TRUE(tree.covered(X("/a/b")));
+
+  // remove → query: the coverer is gone; a stale cache entry would keep
+  // reporting /a/b as covered. Uids bind XPE values, so the memo stays
+  // valid across the mutation by construction.
+  tree.erase(X("/a"));
+  EXPECT_FALSE(tree.covered(X("/a/b")));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{2}));
+
+  // re-insert → query: same value, same uids, same (still correct) verdict.
+  auto again = tree.insert(X("/a"), 1);
+  EXPECT_FALSE(again.covered_by_existing);
+  EXPECT_TRUE(tree.covered(X("/a/b")));
+  // The repeats above were answered from the memo at least once.
+  EXPECT_GT(tree.cover_cache_hits(), 0u);
+  EXPECT_GT(tree.cover_cache_size(), 0u);
+}
+
+TEST(SubscriptionTreeTest, CoverCacheHitsStillCountAsComparisons) {
+  SubscriptionTree tree;
+  tree.insert(X("/a"), 1);
+  std::size_t before = tree.comparisons();
+  EXPECT_TRUE(tree.covered(X("/a/b")));
+  std::size_t cold = tree.comparisons() - before;
+  std::size_t hits_before = tree.cover_cache_hits();
+  EXPECT_TRUE(tree.covered(X("/a/b")));
+  // Same number of covering requests, now memo-served: the experiment
+  // counter is unchanged by the cache.
+  EXPECT_EQ(tree.comparisons() - before, 2 * cold);
+  EXPECT_GT(tree.cover_cache_hits(), hits_before);
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 // Unit tests for the utility layer: flags, rng, messages, text tables.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <utility>
 
 #include "core/experiment.hpp"
 #include "router/message.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/symbols.hpp"
 #include "xpath/parser.hpp"
 
 namespace xroute {
@@ -111,6 +114,50 @@ TEST(StrategyMatrixTest, PaperOrderAndNames) {
   EXPECT_TRUE(specs[5].strategy.merging);
   EXPECT_DOUBLE_EQ(specs[5].strategy.max_imperfect_degree, 0.1);
   EXPECT_DOUBLE_EQ(specs[4].strategy.max_imperfect_degree, 0.0);
+}
+
+TEST(SymbolTableTest, InternIsIdempotentAndDense) {
+  SymbolTable& table = SymbolTable::global();
+  std::uint32_t a = table.intern("util_test_elem_a");
+  std::uint32_t b = table.intern("util_test_elem_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.intern("util_test_elem_a"), a);
+  EXPECT_EQ(table.name(a), "util_test_elem_a");
+  // The wildcard is pre-interned as id 0.
+  EXPECT_EQ(table.intern("*"), SymbolTable::kWildcardId);
+}
+
+TEST(SymbolTableTest, LookupIsReadOnly) {
+  SymbolTable& table = SymbolTable::global();
+  std::size_t before = table.size();
+  // Unknown names must not grow the table (publication vocabulary would
+  // otherwise balloon it): they map to the never-matching sentinel.
+  EXPECT_EQ(table.lookup("util_test_never_interned_q"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(table.size(), before);
+  std::uint32_t id = table.intern("util_test_elem_c");
+  EXPECT_EQ(table.lookup("util_test_elem_c"), id);
+}
+
+TEST(XpeUidTest, EqualValuesShareUidAcrossParses) {
+  Xpe a = parse_xpe("/a/b[@x='1']/c");
+  Xpe b = parse_xpe("/a/b[@x='1']/c");
+  Xpe c = parse_xpe("/a/b/c");
+  EXPECT_EQ(a.uid(), b.uid());
+  EXPECT_NE(a.uid(), c.uid());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(XpeHash{}(a), XpeHash{}(b));
+}
+
+TEST(XpeUidTest, MovedFromBecomesCanonicalEmpty) {
+  Xpe a = parse_xpe("/a/b");
+  Xpe b = std::move(a);
+  EXPECT_EQ(b, parse_xpe("/a/b"));
+  // The moved-from value must compare as the empty XPE, never as its old
+  // value (uid-based equality would otherwise report a false match).
+  // NOLINTNEXTLINE(bugprone-use-after-move) — deliberate post-move check.
+  EXPECT_EQ(a, Xpe{});
+  EXPECT_TRUE(a.empty());
 }
 
 }  // namespace

@@ -79,10 +79,16 @@ int cmd_match(const std::vector<std::string>& args) {
   }
   XmlDocument doc = parse_xml(read_file(args[0]));
   auto paths = extract_paths(doc);
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    Xpe xpe = parse_xpe(args[i]);
+  // Parse the XPEs first: parsing interns their element names, and the
+  // path snapshot below uses read-only lookup (unseen names would map to
+  // the never-matching sentinel if taken before the XPEs exist).
+  std::vector<Xpe> xpes;
+  for (std::size_t i = 1; i < args.size(); ++i) xpes.push_back(parse_xpe(args[i]));
+  // Intern once; the match loop below then compares symbol ids.
+  std::vector<InternedPath> interned(paths.begin(), paths.end());
+  for (const Xpe& xpe : xpes) {
     bool hit = false;
-    for (const Path& p : paths) {
+    for (const InternedPath& p : interned) {
       if (matches(p, xpe)) {
         hit = true;
         break;
