@@ -49,6 +49,10 @@ Network::Network(Options options)
 
   sim_.build(options_.topology, broker_config(options_, universe_.get()),
              options_.profile, rng_);
+  if (options_.fault_injection) {
+    sim_.enable_fault_injection(options_.fault_seed, options_.reliability);
+    sim_.set_default_link_faults(options_.link_faults);
+  }
 }
 
 int Network::add_subscriber(int broker) { return sim_.attach_client(broker); }

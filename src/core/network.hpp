@@ -66,6 +66,14 @@ class Network {
     /// 0 disables folding measured processing time into simulated time
     /// (deterministic message counting); 1.0 = wall clock.
     double processing_scale = 1.0;
+    /// Fault tolerance (DESIGN.md §7). Off by default: a clean network
+    /// carries zero reliability overhead. When on, broker links run the
+    /// reliable transport and `link_faults` applies to all of them; draws
+    /// come from a dedicated Rng seeded with `fault_seed`.
+    bool fault_injection = false;
+    std::uint64_t fault_seed = 4242;
+    FaultProfile link_faults;
+    ReliabilityOptions reliability;
   };
 
   explicit Network(Options options);

@@ -1,0 +1,139 @@
+#include "net/fault.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xroute {
+
+bool FaultProfile::link_up(double time) const {
+  for (const auto& [from, to] : down_windows) {
+    if (time >= from && time < to) return false;
+  }
+  return true;
+}
+
+bool FaultProfile::any() const {
+  return drop_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0 ||
+         !down_windows.empty();
+}
+
+namespace {
+
+double parse_double(const std::string& token, const std::string& line) {
+  try {
+    std::size_t used = 0;
+    double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError("fault plan: bad number '" + token + "' in: " + line);
+  }
+}
+
+int parse_broker(const std::string& token, const std::string& line) {
+  try {
+    std::size_t used = 0;
+    int value = std::stoi(token, &used);
+    if (used != token.size() || value < 0) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError("fault plan: bad broker id '" + token + "' in: " + line);
+  }
+}
+
+/// Applies one profile sub-directive (drop/dup/reorder/down) to `profile`.
+void apply_profile_directive(FaultProfile& profile, const std::string& word,
+                             const std::vector<std::string>& args,
+                             const std::string& line) {
+  if (word == "drop" && args.size() == 1) {
+    profile.drop_prob = parse_double(args[0], line);
+  } else if (word == "dup" && args.size() == 1) {
+    profile.dup_prob = parse_double(args[0], line);
+  } else if (word == "reorder" && args.size() == 2) {
+    profile.reorder_prob = parse_double(args[0], line);
+    profile.reorder_jitter_ms = parse_double(args[1], line);
+  } else if (word == "down" && args.size() == 2) {
+    double from = parse_double(args[0], line);
+    double to = parse_double(args[1], line);
+    if (to <= from) throw ParseError("fault plan: empty down window: " + line);
+    profile.down_windows.emplace_back(from, to);
+  } else {
+    throw ParseError("fault plan: bad directive: " + line);
+  }
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::vector<std::string> words;
+    for (std::string w; tokens >> w;) words.push_back(w);
+    if (words.empty()) continue;
+    const std::string& head = words[0];
+    std::vector<std::string> rest(words.begin() + 1, words.end());
+    if (head == "seed" && rest.size() == 1) {
+      plan.seed = static_cast<std::uint64_t>(
+          parse_double(rest[0], line));
+    } else if (head == "topology" && rest.size() == 2) {
+      if (rest[0] != "tree" && rest[0] != "chain" && rest[0] != "star" &&
+          rest[0] != "random") {
+        throw ParseError("fault plan: unknown topology: " + line);
+      }
+      plan.topology = rest[0];
+      plan.topology_size =
+          static_cast<std::size_t>(parse_broker(rest[1], line));
+    } else if (head == "subscribers" && rest.size() == 1) {
+      plan.subscribers = static_cast<std::size_t>(parse_broker(rest[0], line));
+    } else if (head == "documents" && rest.size() == 1) {
+      plan.documents = static_cast<std::size_t>(parse_broker(rest[0], line));
+    } else if (head == "link") {
+      if (rest.size() < 3) throw ParseError("fault plan: bad link line: " + line);
+      int a = parse_broker(rest[0], line);
+      int b = parse_broker(rest[1], line);
+      std::pair<int, int> key{std::min(a, b), std::max(a, b)};
+      apply_profile_directive(
+          plan.link_profiles[key], rest[2],
+          std::vector<std::string>(rest.begin() + 3, rest.end()), line);
+    } else if (head == "crash") {
+      if (rest.size() != 3) throw ParseError("fault plan: bad crash line: " + line);
+      CrashEvent event;
+      event.broker = parse_broker(rest[0], line);
+      event.time = parse_double(rest[1], line);
+      if (rest[2] == "cold") {
+        event.mode = RestartMode::kCold;
+      } else if (rest[2] == "resync") {
+        event.mode = RestartMode::kColdResync;
+      } else if (rest[2] == "snapshot") {
+        event.mode = RestartMode::kSnapshot;
+      } else {
+        throw ParseError("fault plan: unknown restart mode: " + line);
+      }
+      plan.crashes.push_back(event);
+    } else {
+      apply_profile_directive(plan.default_profile, head, rest, line);
+    }
+  }
+  return plan;
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  std::istringstream is(text);
+  return parse_fault_plan(is);
+}
+
+const char* to_string(RestartMode mode) {
+  switch (mode) {
+    case RestartMode::kCold: return "cold";
+    case RestartMode::kColdResync: return "resync";
+    case RestartMode::kSnapshot: return "snapshot";
+  }
+  return "unknown";
+}
+
+}  // namespace xroute

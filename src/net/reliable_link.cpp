@@ -1,0 +1,70 @@
+#include "net/reliable_link.hpp"
+
+namespace xroute {
+
+std::uint64_t ReliableChannel::stage(Message msg) {
+  std::uint64_t seq = next_seq_++;
+  unacked_.emplace(seq, Pending{std::move(msg), 0});
+  return seq;
+}
+
+const Message* ReliableChannel::pending_message(std::uint64_t seq) const {
+  auto it = unacked_.find(seq);
+  return it == unacked_.end() ? nullptr : &it->second.msg;
+}
+
+int ReliableChannel::retries(std::uint64_t seq) const {
+  auto it = unacked_.find(seq);
+  return it == unacked_.end() ? 0 : it->second.retries;
+}
+
+int ReliableChannel::bump_retries(std::uint64_t seq) {
+  auto it = unacked_.find(seq);
+  return it == unacked_.end() ? 0 : ++it->second.retries;
+}
+
+void ReliableChannel::ack_up_to(std::uint64_t cum) {
+  unacked_.erase(unacked_.begin(), unacked_.upper_bound(cum));
+}
+
+std::vector<std::uint64_t> ReliableChannel::pending_seqs() const {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(unacked_.size());
+  for (const auto& [seq, pending] : unacked_) seqs.push_back(seq);
+  return seqs;
+}
+
+ReliableChannel::Arrival ReliableChannel::accept(std::uint64_t seq,
+                                                 Message msg) {
+  Arrival arrival;
+  if (seq < next_expected_ || reorder_.count(seq)) {
+    // Already delivered or already parked: a retransmission racing its own
+    // (lost) ack, or an injected duplicate.
+    arrival.duplicate = true;
+  } else if (seq == next_expected_) {
+    arrival.deliver.push_back(std::move(msg));
+    ++next_expected_;
+    // Release any parked successors the gap was blocking.
+    auto it = reorder_.begin();
+    while (it != reorder_.end() && it->first == next_expected_) {
+      arrival.deliver.push_back(std::move(it->second));
+      it = reorder_.erase(it);
+      ++next_expected_;
+    }
+  } else {
+    arrival.out_of_order = true;
+    reorder_.emplace(seq, std::move(msg));
+  }
+  arrival.cumulative_ack = next_expected_ - 1;
+  return arrival;
+}
+
+void ReliableChannel::reset() {
+  next_seq_ = 1;
+  unacked_.clear();
+  next_expected_ = 1;
+  reorder_.clear();
+  ++epoch_;
+}
+
+}  // namespace xroute

@@ -1,6 +1,8 @@
 #include "net/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 #include "router/snapshot.hpp"
@@ -8,12 +10,19 @@
 
 namespace xroute {
 
+namespace {
+/// Profile for endpoints without faults installed (clean link).
+const FaultProfile kCleanLink{};
+}  // namespace
+
 Simulator::Simulator() : Simulator(Options{}) {}
 
 Simulator::Simulator(Options options) : options_(options) {}
 
 int Simulator::new_endpoint() {
   endpoints_.emplace_back();
+  endpoint_faults_.emplace_back();
+  channels_.emplace_back();
   return static_cast<int>(endpoints_.size()) - 1;
 }
 
@@ -21,24 +30,60 @@ int Simulator::add_broker(const Broker::Config& config) {
   int id = static_cast<int>(brokers_.size());
   brokers_.push_back(std::make_unique<Broker>(id, config));
   broker_configs_.push_back(config);
+  incarnations_.push_back(0);
+  resync_started_.push_back(-1.0);
   return id;
 }
 
-void Simulator::restart_broker(int broker, const std::string& snapshot) {
+void Simulator::restart_broker(int broker, const std::string& snapshot,
+                               bool resync) {
+  // Invalidate events still in flight toward the dead instance: a message
+  // addressed to the old incarnation must not reach the replacement as if
+  // nothing happened (it is lost with the crash; the reliable transport or
+  // the resync handshake recovers what can be recovered).
+  ++incarnations_[static_cast<std::size_t>(broker)];
+  stats_.count_broker_restart();
+
   auto fresh = std::make_unique<Broker>(broker, broker_configs_.at(
                                                     static_cast<std::size_t>(broker)));
-  // Re-declare the interfaces from the wiring records.
+  // Re-declare the interfaces from the wiring records, and reset the
+  // transport state of adjacent broker links on both sides: the crashed
+  // node's link stacks died with it, and the surviving peers' flows toward
+  // it are meaningless against a fresh instance. Unacked frames are
+  // permanent losses (counted), recovered only by the resync handshake.
+  std::vector<int> neighbor_endpoints;
   for (std::size_t e = 0; e < endpoints_.size(); ++e) {
     const Endpoint& endpoint = endpoints_[e];
     if (endpoint.is_client || endpoint.broker != broker) continue;
     if (endpoint.client >= 0) {
       fresh->add_client(static_cast<int>(e));
     } else {
+      neighbor_endpoints.push_back(static_cast<int>(e));
       fresh->add_neighbor(static_cast<int>(e));
+      if (fault_rng_) {
+        stats_.count_frames_lost_to_crash(
+            channels_[e].in_flight() +
+            channels_[static_cast<std::size_t>(endpoint.peer)].in_flight());
+        channels_[e].reset();
+        channels_[static_cast<std::size_t>(endpoint.peer)].reset();
+      }
     }
   }
   if (!snapshot.empty()) snapshot_from_string(*fresh, snapshot);
   brokers_[static_cast<std::size_t>(broker)] = std::move(fresh);
+
+  if (resync && snapshot.empty()) {
+    brokers_[static_cast<std::size_t>(broker)]->begin_resync(
+        neighbor_endpoints.size());
+    resync_started_[static_cast<std::size_t>(broker)] = now_;
+    if (neighbor_endpoints.empty()) {
+      finish_resync(broker);
+    } else {
+      for (int endpoint : neighbor_endpoints) {
+        transmit(endpoint, Message::sync_request(), now_);
+      }
+    }
+  }
 }
 
 void Simulator::connect(int broker_a, int broker_b, const LinkConfig& link) {
@@ -65,9 +110,103 @@ int Simulator::attach_client(int broker, const LinkConfig& link) {
   endpoints_[client_end] = Endpoint{true, -1, client_id, broker_end, link};
   endpoints_[broker_end] = Endpoint{false, broker, client_id, client_end, link};
   brokers_[broker]->add_client(broker_end);
-  clients_.push_back(Client{broker, client_end, broker_end, {}});
+  clients_.push_back(Client{broker, client_end, broker_end, {}, {}, {}, {}});
   return client_id;
 }
+
+// -- Fault injection ---------------------------------------------------------
+
+void Simulator::enable_fault_injection(std::uint64_t seed,
+                                       const ReliabilityOptions& options) {
+  fault_rng_ = std::make_unique<Rng>(seed);
+  reliability_ = options;
+}
+
+void Simulator::set_default_link_faults(const FaultProfile& profile) {
+  if (!fault_rng_) {
+    throw std::logic_error("set_default_link_faults: call "
+                           "enable_fault_injection first");
+  }
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    const Endpoint& endpoint = endpoints_[e];
+    if (endpoint.is_client || endpoint.client >= 0) continue;  // broker links only
+    endpoint_faults_[e] = profile;
+    schedule_link_up_nudges(static_cast<int>(e), profile);
+  }
+}
+
+void Simulator::set_link_faults(int broker_a, int broker_b,
+                                const FaultProfile& profile) {
+  if (!fault_rng_) {
+    throw std::logic_error("set_link_faults: call enable_fault_injection "
+                           "first");
+  }
+  bool found = false;
+  for (std::size_t e = 0; e < endpoints_.size(); ++e) {
+    const Endpoint& endpoint = endpoints_[e];
+    if (endpoint.is_client || endpoint.client >= 0) continue;
+    const Endpoint& peer = endpoints_[static_cast<std::size_t>(endpoint.peer)];
+    if ((endpoint.broker == broker_a && peer.broker == broker_b) ||
+        (endpoint.broker == broker_b && peer.broker == broker_a)) {
+      endpoint_faults_[e] = profile;
+      schedule_link_up_nudges(static_cast<int>(e), profile);
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::logic_error("set_link_faults: no link between the brokers");
+  }
+}
+
+void Simulator::apply_fault_plan(const FaultPlan& plan) {
+  enable_fault_injection(plan.seed);
+  set_default_link_faults(plan.default_profile);
+  for (const auto& [pair, profile] : plan.link_profiles) {
+    set_link_faults(pair.first, pair.second, profile);
+  }
+  for (const CrashEvent& event : plan.crashes) {
+    queue_.schedule(event.time, [this, event]() {
+      switch (event.mode) {
+        case RestartMode::kCold:
+          restart_broker(event.broker);
+          break;
+        case RestartMode::kColdResync:
+          restart_broker(event.broker, "", /*resync=*/true);
+          break;
+        case RestartMode::kSnapshot:
+          // Durable state: the snapshot reflects the broker at the moment
+          // it went down.
+          restart_broker(event.broker,
+                         snapshot_to_string(*brokers_[static_cast<std::size_t>(
+                             event.broker)]));
+          break;
+      }
+    });
+  }
+}
+
+void Simulator::schedule_link_up_nudges(int endpoint,
+                                        const FaultProfile& profile) {
+  for (const auto& [from, to] : profile.down_windows) {
+    if (to <= now_) continue;
+    queue_.schedule(to, [this, endpoint]() {
+      // The link is back: retransmit everything still pending immediately
+      // instead of waiting out the backed-off timers.
+      for (std::uint64_t seq : channels_[endpoint].pending_seqs()) {
+        stats_.count_retransmit();
+        send_frame(endpoint, seq,
+                   channels_[endpoint].retries(seq), now_);
+      }
+    });
+  }
+}
+
+const FaultProfile& Simulator::faults_of(int endpoint) const {
+  return fault_rng_ ? endpoint_faults_[static_cast<std::size_t>(endpoint)]
+                    : kCleanLink;
+}
+
+// -- Client actions ----------------------------------------------------------
 
 void Simulator::send_from_client(int client, Message msg) {
   const Client& c = clients_.at(client);
@@ -75,18 +214,26 @@ void Simulator::send_from_client(int client, Message msg) {
 }
 
 void Simulator::subscribe(int client, const Xpe& xpe) {
+  clients_.at(client).subscriptions.push_back(xpe);
   send_from_client(client, Message::subscribe(xpe));
 }
 
 void Simulator::unsubscribe(int client, const Xpe& xpe) {
+  auto& subs = clients_.at(client).subscriptions;
+  auto pos = std::find(subs.begin(), subs.end(), xpe);
+  if (pos != subs.end()) subs.erase(pos);
   send_from_client(client, Message::unsubscribe(xpe));
 }
 
 void Simulator::advertise(int client, const Advertisement& adv) {
+  clients_.at(client).advertisements.push_back(adv);
   send_from_client(client, Message::advertise(adv, clients_.at(client).broker));
 }
 
 void Simulator::unadvertise(int client, const Advertisement& adv) {
+  auto& advs = clients_.at(client).advertisements;
+  auto pos = std::find(advs.begin(), advs.end(), adv);
+  if (pos != advs.end()) advs.erase(pos);
   send_from_client(client,
                    Message::unadvertise(adv, clients_.at(client).broker));
 }
@@ -113,25 +260,173 @@ std::uint64_t Simulator::publish_paths(int client,
   return doc_id;
 }
 
+// -- Transport ---------------------------------------------------------------
+
 void Simulator::transmit(int from_endpoint, Message msg,
                          double departure_time) {
   const Endpoint& from = endpoints_.at(from_endpoint);
+  if (from.peer < 0) throw std::logic_error("endpoint has no peer");
+  const Endpoint& to = endpoints_.at(static_cast<std::size_t>(from.peer));
+  // Client links stay perfect (a client and its edge broker are one
+  // administrative unit); broker links go through the reliable transport
+  // once fault injection is on.
+  if (!fault_rng_ || from.is_client || to.is_client) {
+    transmit_direct(from_endpoint, std::move(msg), departure_time);
+    return;
+  }
+  std::uint64_t seq = channels_[from_endpoint].stage(std::move(msg));
+  send_frame(from_endpoint, seq, /*attempt=*/0, departure_time);
+}
+
+void Simulator::transmit_direct(int from_endpoint, Message msg,
+                                double departure_time) {
+  const Endpoint& from = endpoints_.at(from_endpoint);
   int peer = from.peer;
-  if (peer < 0) throw std::logic_error("endpoint has no peer");
-  const Endpoint& to = endpoints_.at(peer);
+  const Endpoint& to = endpoints_.at(static_cast<std::size_t>(peer));
   double arrival = departure_time + from.link.latency_ms +
                    static_cast<double>(msg.wire_bytes()) / from.link.bytes_per_ms;
-  queue_.schedule(arrival, [this, peer, to, msg = std::move(msg)]() mutable {
+  // A message addressed to a broker that crashes before arrival dies with
+  // the old incarnation: the replacement must not receive pre-crash
+  // traffic as if nothing happened.
+  std::uint64_t incarnation =
+      to.is_client ? 0 : incarnations_[static_cast<std::size_t>(to.broker)];
+  queue_.schedule(arrival, [this, peer, to, incarnation,
+                            msg = std::move(msg)]() mutable {
     if (to.is_client) {
       deliver_to_client(to.client, std::move(msg));
     } else {
+      if (incarnations_[static_cast<std::size_t>(to.broker)] != incarnation) {
+        stats_.count_event_flushed_on_crash();
+        return;
+      }
       deliver_to_broker(to.broker, peer, std::move(msg));
     }
   });
 }
 
+double Simulator::link_rto(int from_endpoint, int attempt) const {
+  const Endpoint& from = endpoints_[static_cast<std::size_t>(from_endpoint)];
+  double base = std::max(reliability_.rto_ms, 4.0 * from.link.latency_ms);
+  return base * std::pow(reliability_.backoff, attempt);
+}
+
+void Simulator::send_frame(int from_endpoint, std::uint64_t seq, int attempt,
+                           double departure_time) {
+  ReliableChannel& channel = channels_[static_cast<std::size_t>(from_endpoint)];
+  const Message* pending = channel.pending_message(seq);
+  if (!pending) return;  // acked or abandoned in the meantime
+  const Endpoint& from = endpoints_[static_cast<std::size_t>(from_endpoint)];
+  const Endpoint& to = endpoints_[static_cast<std::size_t>(from.peer)];
+  const FaultProfile& faults = faults_of(from_endpoint);
+
+  double base_arrival =
+      departure_time + from.link.latency_ms +
+      static_cast<double>(pending->wire_bytes()) / from.link.bytes_per_ms;
+
+  // Fault draws, one transmission attempt at a time (deterministic: the
+  // draws happen in event order from the dedicated fault Rng).
+  int copies = 1;
+  if (!faults.link_up(departure_time)) {
+    stats_.count_frame_dropped();
+    copies = 0;
+  } else if (faults.drop_prob > 0.0 && fault_rng_->chance(faults.drop_prob)) {
+    stats_.count_frame_dropped();
+    copies = 0;
+  } else if (faults.dup_prob > 0.0 && fault_rng_->chance(faults.dup_prob)) {
+    stats_.count_frame_duplicated();
+    copies = 2;
+  }
+  std::uint64_t epoch = channel.epoch();
+  std::uint64_t incarnation = incarnations_[static_cast<std::size_t>(to.broker)];
+  for (int copy = 0; copy < copies; ++copy) {
+    double arrival = base_arrival + 0.01 * copy;
+    if (faults.reorder_prob > 0.0 && fault_rng_->chance(faults.reorder_prob)) {
+      stats_.count_reorder_injected();
+      arrival += fault_rng_->uniform() * faults.reorder_jitter_ms;
+    }
+    queue_.schedule(arrival, [this, from_endpoint, seq, epoch, incarnation,
+                              msg = *pending]() mutable {
+      receive_frame(from_endpoint, seq, epoch, incarnation, std::move(msg));
+    });
+  }
+
+  // Retransmission timer with exponential backoff and a retry cap. The
+  // timer cannot be cancelled (the queue holds closures), so it re-checks
+  // the channel when it fires: acked or stale-epoch timers are no-ops.
+  double rto = link_rto(from_endpoint, attempt);
+  queue_.schedule(departure_time + rto, [this, from_endpoint, seq, epoch,
+                                         attempt]() {
+    ReliableChannel& ch = channels_[static_cast<std::size_t>(from_endpoint)];
+    if (ch.epoch() != epoch || !ch.unacked(seq)) return;
+    if (attempt >= reliability_.max_retries) {
+      ch.abandon(seq);
+      stats_.count_retransmit_failure();
+      return;
+    }
+    ch.bump_retries(seq);
+    stats_.count_retransmit();
+    send_frame(from_endpoint, seq, attempt + 1, now_);
+  });
+}
+
+void Simulator::receive_frame(int from_endpoint, std::uint64_t seq,
+                              std::uint64_t epoch,
+                              std::uint64_t target_incarnation, Message msg) {
+  ReliableChannel& sender = channels_[static_cast<std::size_t>(from_endpoint)];
+  if (sender.epoch() != epoch) {
+    // The flow this frame belonged to was reset (an adjacent broker
+    // crashed): the frame is part of the wreckage.
+    stats_.count_frames_lost_to_crash(1);
+    return;
+  }
+  const Endpoint& from = endpoints_[static_cast<std::size_t>(from_endpoint)];
+  int to_endpoint = from.peer;
+  const Endpoint& to = endpoints_[static_cast<std::size_t>(to_endpoint)];
+  if (incarnations_[static_cast<std::size_t>(to.broker)] !=
+      target_incarnation) {
+    stats_.count_event_flushed_on_crash();
+    return;
+  }
+
+  ReliableChannel::Arrival arrival =
+      channels_[static_cast<std::size_t>(to_endpoint)].accept(seq,
+                                                              std::move(msg));
+  if (arrival.duplicate) stats_.count_link_duplicate_suppressed();
+  if (arrival.out_of_order) stats_.count_out_of_order_delivery();
+  for (Message& released : arrival.deliver) {
+    deliver_to_broker(to.broker, to_endpoint, std::move(released));
+  }
+  send_ack(to_endpoint, arrival.cumulative_ack);
+}
+
+void Simulator::send_ack(int from_endpoint, std::uint64_t cumulative) {
+  const Endpoint& from = endpoints_[static_cast<std::size_t>(from_endpoint)];
+  int peer = from.peer;
+  const FaultProfile& faults = faults_of(from_endpoint);
+  stats_.count_ack(reliability_.ack_bytes);
+  // Acks traverse the same lossy link; a lost ack is repaired by the data
+  // sender's retransmission, whose duplicate re-triggers the ack.
+  if (!faults.link_up(now_) ||
+      (faults.drop_prob > 0.0 && fault_rng_->chance(faults.drop_prob))) {
+    stats_.count_frame_dropped();
+    return;
+  }
+  double arrival = now_ + from.link.latency_ms +
+                   static_cast<double>(reliability_.ack_bytes) /
+                       from.link.bytes_per_ms;
+  std::uint64_t epoch = channels_[static_cast<std::size_t>(peer)].epoch();
+  queue_.schedule(arrival, [this, peer, cumulative, epoch]() {
+    ReliableChannel& ch = channels_[static_cast<std::size_t>(peer)];
+    if (ch.epoch() != epoch) return;
+    ch.ack_up_to(cumulative);
+  });
+}
+
+// -- Delivery ----------------------------------------------------------------
+
 void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
   stats_.count_broker_message(msg.type(), msg.wire_bytes());
+  last_activity_ = now_;
   if (trace_) trace_(broker, at_endpoint, msg);
 
   auto started = std::chrono::steady_clock::now();
@@ -149,10 +444,31 @@ void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
   for (Broker::Forward& fwd : result.forwards) {
     transmit(fwd.interface, std::move(fwd.message), departure);
   }
+  if (result.resync_completed) finish_resync(broker);
+}
+
+void Simulator::finish_resync(int broker) {
+  double started = resync_started_[static_cast<std::size_t>(broker)];
+  stats_.record_resync(started >= 0 ? now_ - started : 0.0);
+  resync_started_[static_cast<std::size_t>(broker)] = -1.0;
+  // The broker's link state is back; its own clients now replay their
+  // control state (a real client re-issues interests on reconnect). The
+  // restored forwarding records keep the replays local: anything the
+  // neighbours already hold is not forwarded again.
+  for (const Client& client : clients_) {
+    if (client.broker != broker) continue;
+    for (const Advertisement& adv : client.advertisements) {
+      transmit(client.endpoint, Message::advertise(adv, broker), now_);
+    }
+    for (const Xpe& xpe : client.subscriptions) {
+      transmit(client.endpoint, Message::subscribe(xpe), now_);
+    }
+  }
 }
 
 void Simulator::deliver_to_client(int client, Message msg) {
   if (msg.type() != MessageType::kPublish) return;
+  last_activity_ = now_;
   const PublishMsg& pub = std::get<PublishMsg>(msg.payload);
   Client& c = clients_.at(client);
   auto [it, first] = c.first_arrival.emplace(pub.doc_id, now_);
@@ -163,6 +479,8 @@ void Simulator::deliver_to_client(int client, Message msg) {
     stats_.count_duplicate_notification();
   }
 }
+
+// -- Execution ---------------------------------------------------------------
 
 std::size_t Simulator::run() { return run_limited(0); }
 
@@ -179,8 +497,26 @@ std::size_t Simulator::run_limited(std::size_t max_events) {
   return processed;
 }
 
+Simulator::QuiesceReport Simulator::run_until_quiescent(
+    std::size_t max_events) {
+  QuiesceReport report;
+  report.processed = run_limited(max_events);
+  report.quiesced = queue_.empty();
+  report.completed_at = now_;
+  report.last_activity = last_activity_;
+  return report;
+}
+
 std::size_t Simulator::notifications_of(int client) const {
   return clients_.at(client).first_arrival.size();
+}
+
+std::set<std::uint64_t> Simulator::delivered_docs(int client) const {
+  std::set<std::uint64_t> docs;
+  for (const auto& [doc_id, time] : clients_.at(client).first_arrival) {
+    docs.insert(doc_id);
+  }
+  return docs;
 }
 
 const std::vector<double>& Simulator::delays_of(int client) const {

@@ -10,17 +10,30 @@
 // Interface-id scheme: every link end and every client gets a globally
 // unique endpoint id; a broker addresses its neighbours and local clients
 // by the endpoint on its own side.
+//
+// Fault tolerance (DESIGN.md §7): with fault injection enabled the
+// simulator models a PlanetLab-grade network — per-link FaultProfiles
+// (drops, duplication, reordering jitter, down windows) drawn from a
+// seeded Rng, scripted broker crash/restarts — and layers a reliable
+// transport (net/reliable_link.h) under broker links so the broker's
+// exactly-once handle() contract survives. With fault injection off the
+// transport path is byte-for-byte the original perfect network: no frames,
+// no acks, no overhead.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "net/event_queue.hpp"
+#include "net/fault.hpp"
+#include "net/reliable_link.hpp"
 #include "net/stats.hpp"
 #include "net/topology.hpp"
 #include "router/broker.hpp"
+#include "util/rng.hpp"
 #include "xml/document.hpp"
 
 namespace xroute {
@@ -47,10 +60,36 @@ class Simulator {
   int attach_client(int broker, const LinkConfig& link = LinkConfig{});
 
   /// Simulates a crash-restart of a broker: the instance is replaced by a
-  /// fresh one with the same configuration and interfaces. With an empty
-  /// `snapshot` all routing state is lost (cold restart); otherwise state
-  /// is rebuilt via router/snapshot.h.
-  void restart_broker(int broker, const std::string& snapshot = "");
+  /// fresh one with the same configuration and interfaces, events still in
+  /// flight toward the dead instance are flushed, and the transport state
+  /// of its links is reset. With an empty `snapshot` all routing state is
+  /// lost (cold restart); otherwise state is rebuilt via router/snapshot.h.
+  /// With `resync` (and no snapshot) the restarted broker runs the
+  /// recovery handshake: it requests each neighbour's link state, and once
+  /// the last SyncState arrives, locally attached clients replay their
+  /// control state — routing re-converges without a network-wide
+  /// re-subscription storm.
+  void restart_broker(int broker, const std::string& snapshot = "",
+                      bool resync = false);
+
+  // -- Fault injection -----------------------------------------------------
+  /// Turns on fault injection and the reliable transport on broker-broker
+  /// links. All fault draws come from a dedicated Rng seeded here, so runs
+  /// stay deterministic. Must be called before installing fault profiles.
+  void enable_fault_injection(std::uint64_t seed,
+                              const ReliabilityOptions& options = {});
+  bool fault_injection_enabled() const { return fault_rng_ != nullptr; }
+  /// Installs `profile` on every existing broker-broker link (both
+  /// directions). Client links always stay clean.
+  void set_default_link_faults(const FaultProfile& profile);
+  /// Installs `profile` on the link between two brokers (both directions).
+  void set_link_faults(int broker_a, int broker_b,
+                       const FaultProfile& profile);
+  /// Applies a whole scripted scenario: enables fault injection with
+  /// `plan.seed`, installs the default and per-link profiles, and schedules
+  /// the crash events (snapshot-mode crashes capture the snapshot at crash
+  /// time, modelling durable broker state).
+  void apply_fault_plan(const FaultPlan& plan);
 
   // -- Client actions (enqueued at the current simulated time) -------------
   void subscribe(int client, const Xpe& xpe);
@@ -73,6 +112,20 @@ class Simulator {
   std::size_t run_limited(std::size_t max_events);
   bool idle() const { return queue_.empty(); }
 
+  /// Quiescence detector: drains the queue (bounded by `max_events`,
+  /// 0 = unlimited) and reports when the network went quiet. Under fault
+  /// injection the queue can outlive the last meaningful event (pending
+  /// retransmission timers fire as no-ops once acked), so convergence is
+  /// measured by `last_activity` — the time of the last message actually
+  /// delivered to a broker or client — not by the final queue time.
+  struct QuiesceReport {
+    std::size_t processed = 0;
+    bool quiesced = false;    ///< queue fully drained within the budget
+    double completed_at = 0;  ///< simulated time when the run stopped
+    double last_activity = 0; ///< time of the last delivery (convergence)
+  };
+  QuiesceReport run_until_quiescent(std::size_t max_events = 0);
+
   /// Optional message trace: invoked for every message a broker receives.
   using TraceFn =
       std::function<void(int broker, int endpoint, const Message& msg)>;
@@ -87,6 +140,8 @@ class Simulator {
   const NetworkStats& stats() const { return stats_; }
   /// Documents delivered to `client` (distinct doc ids).
   std::size_t notifications_of(int client) const;
+  /// Distinct document ids delivered to `client` (delivery-equality checks).
+  std::set<std::uint64_t> delivered_docs(int client) const;
   /// Per-document notification delays observed by `client`.
   const std::vector<double>& delays_of(int client) const;
 
@@ -104,6 +159,10 @@ class Simulator {
     int broker_endpoint = -1;  ///< the broker-side endpoint id
     std::map<std::uint64_t, double> first_arrival;  ///< doc id -> time
     std::vector<double> delays;                      ///< first-arrival delays
+    /// Active control state, replayed after an edge broker resyncs (a real
+    /// client re-issues its interests when its broker reconnects).
+    std::vector<Xpe> subscriptions;
+    std::vector<Advertisement> advertisements;
   };
 
   int new_endpoint();
@@ -113,6 +172,24 @@ class Simulator {
   void deliver_to_broker(int broker, int at_endpoint, Message msg);
   void deliver_to_client(int client, Message msg);
   void transmit(int from_endpoint, Message msg, double departure_time);
+  /// Perfect-network delivery (fault injection off, and client links).
+  void transmit_direct(int from_endpoint, Message msg, double departure_time);
+  /// Reliable-transport path: one attempt (initial or retransmission) of a
+  /// staged frame, with fault draws, plus its retransmission timer.
+  void send_frame(int from_endpoint, std::uint64_t seq, int attempt,
+                  double departure_time);
+  void receive_frame(int from_endpoint, std::uint64_t seq,
+                     std::uint64_t epoch, std::uint64_t target_incarnation,
+                     Message msg);
+  void send_ack(int from_endpoint, std::uint64_t cumulative);
+  double link_rto(int from_endpoint, int attempt) const;
+  const FaultProfile& faults_of(int endpoint) const;
+  /// Schedules retransmission nudges at each down-window end of `profile`
+  /// so pending frames go out the moment the link is back.
+  void schedule_link_up_nudges(int endpoint, const FaultProfile& profile);
+  /// Crash-recovery completion: records convergence and replays the
+  /// control state of the broker's attached clients.
+  void finish_resync(int broker);
 
   Options options_;
   EventQueue queue_;
@@ -124,6 +201,15 @@ class Simulator {
   NetworkStats stats_;
   std::uint64_t next_doc_id_ = 1;
   TraceFn trace_;
+
+  // Fault-injection state (inert until enable_fault_injection).
+  std::unique_ptr<Rng> fault_rng_;
+  ReliabilityOptions reliability_;
+  std::vector<FaultProfile> endpoint_faults_;   ///< outbound, per endpoint
+  std::vector<ReliableChannel> channels_;       ///< per endpoint
+  std::vector<std::uint64_t> incarnations_;     ///< per broker
+  std::vector<double> resync_started_;          ///< per broker, <0 = none
+  double last_activity_ = 0.0;
 };
 
 }  // namespace xroute

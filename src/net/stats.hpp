@@ -42,6 +42,26 @@ class NetworkStats {
   }
   void add_processing_time(double ms) { processing_ms_ += ms; }
 
+  // -- Fault-injection / reliability counters (all zero on a clean run) ----
+  void count_frame_dropped() { ++frames_dropped_; }
+  void count_frame_duplicated() { ++frames_duplicated_; }
+  void count_reorder_injected() { ++reorders_injected_; }
+  void count_retransmit() { ++retransmits_; }
+  void count_retransmit_failure() { ++retransmit_failures_; }
+  void count_link_duplicate_suppressed() { ++link_duplicates_suppressed_; }
+  void count_out_of_order_delivery() { ++out_of_order_deliveries_; }
+  void count_ack(std::size_t wire_bytes) {
+    ++acks_sent_;
+    ack_bytes_ += wire_bytes;
+  }
+  void count_event_flushed_on_crash() { ++events_flushed_on_crash_; }
+  void count_frames_lost_to_crash(std::size_t n) { frames_lost_to_crash_ += n; }
+  void count_broker_restart() { ++broker_restarts_; }
+  void record_resync(double duration_ms) {
+    ++resyncs_completed_;
+    resync_ms_.push_back(duration_ms);
+  }
+
   /// Paper Tables 2/3: "total number of messages ... received by all
   /// brokers ... including advertisements, publications and subscriptions".
   std::size_t total_broker_messages() const {
@@ -75,6 +95,29 @@ class NetworkStats {
   std::size_t merger_false_matches() const { return merger_false_matches_; }
   double total_processing_ms() const { return processing_ms_; }
 
+  // Fault-injection / reliability readouts.
+  std::size_t frames_dropped() const { return frames_dropped_; }
+  std::size_t frames_duplicated() const { return frames_duplicated_; }
+  std::size_t reorders_injected() const { return reorders_injected_; }
+  std::size_t retransmits() const { return retransmits_; }
+  std::size_t retransmit_failures() const { return retransmit_failures_; }
+  std::size_t link_duplicates_suppressed() const {
+    return link_duplicates_suppressed_;
+  }
+  std::size_t out_of_order_deliveries() const {
+    return out_of_order_deliveries_;
+  }
+  std::size_t acks_sent() const { return acks_sent_; }
+  std::size_t ack_bytes() const { return ack_bytes_; }
+  std::size_t events_flushed_on_crash() const {
+    return events_flushed_on_crash_;
+  }
+  std::size_t frames_lost_to_crash() const { return frames_lost_to_crash_; }
+  std::size_t broker_restarts() const { return broker_restarts_; }
+  std::size_t resyncs_completed() const { return resyncs_completed_; }
+  /// Per-resync handshake duration (restart to last SyncState processed).
+  const std::vector<double>& resync_durations_ms() const { return resync_ms_; }
+
   DelaySummary delay_summary() const {
     DelaySummary s;
     if (delays_.empty()) return s;
@@ -107,6 +150,20 @@ class NetworkStats {
   std::size_t merger_false_matches_ = 0;
   double processing_ms_ = 0.0;
   std::vector<double> delays_;
+  std::size_t frames_dropped_ = 0;
+  std::size_t frames_duplicated_ = 0;
+  std::size_t reorders_injected_ = 0;
+  std::size_t retransmits_ = 0;
+  std::size_t retransmit_failures_ = 0;
+  std::size_t link_duplicates_suppressed_ = 0;
+  std::size_t out_of_order_deliveries_ = 0;
+  std::size_t acks_sent_ = 0;
+  std::size_t ack_bytes_ = 0;
+  std::size_t events_flushed_on_crash_ = 0;
+  std::size_t frames_lost_to_crash_ = 0;
+  std::size_t broker_restarts_ = 0;
+  std::size_t resyncs_completed_ = 0;
+  std::vector<double> resync_ms_;
 };
 
 }  // namespace xroute

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "match/pub_match.hpp"
+#include "router/snapshot.hpp"
 
 namespace xroute {
 
@@ -46,6 +47,10 @@ void Broker::restore_forwarding(const Xpe& xpe, std::set<int> interfaces) {
   forwarded_to_[xpe] = std::move(interfaces);
 }
 
+void Broker::restore_forwarding_add(const Xpe& xpe, int interface_id) {
+  forwarded_to_[xpe].insert(interface_id);
+}
+
 Broker::HandleResult Broker::handle(int from_interface, const Message& msg) {
   HandleResult out;
   switch (msg.type()) {
@@ -67,6 +72,13 @@ Broker::HandleResult Broker::handle(int from_interface, const Message& msg) {
     case MessageType::kUnadvertise:
       handle_unadvertise(from_interface,
                          std::get<UnadvertiseMsg>(msg.payload), &out);
+      break;
+    case MessageType::kSyncRequest:
+      handle_sync_request(from_interface, &out);
+      break;
+    case MessageType::kSyncState:
+      handle_sync_state(from_interface, std::get<SyncStateMsg>(msg.payload),
+                        &out);
       break;
   }
   return out;
@@ -328,6 +340,22 @@ void Broker::handle_publish(int from, const PublishMsg& msg,
     } else {
       out->forwards.push_back(Forward{hop, Message{msg}});
     }
+  }
+}
+
+void Broker::handle_sync_request(int from, HandleResult* out) {
+  // A neighbour restarted cold: replay the slice of our state that
+  // concerns the shared link. Restoration on the other side is passive, so
+  // the transfer is bounded by this link's state — no network-wide storm.
+  out->forwards.push_back(
+      Forward{from, Message::sync_state(export_link_state(*this, from))});
+}
+
+void Broker::handle_sync_state(int from, const SyncStateMsg& msg,
+                               HandleResult* out) {
+  import_link_state(*this, from, msg.state);
+  if (pending_syncs_ > 0 && --pending_syncs_ == 0) {
+    out->resync_completed = true;
   }
 }
 

@@ -68,6 +68,10 @@ class Broker {
     /// Matches against merger entries not backed by any merged original:
     /// the paper's in-network false positives (Fig. 9).
     std::size_t merger_false_matches = 0;
+    /// This message completed the crash-recovery handshake: the last
+    /// outstanding SyncState arrived (the transport layer may now replay
+    /// local-client control state).
+    bool resync_completed = false;
   };
 
   Broker(int id, Config config);
@@ -109,6 +113,16 @@ class Broker {
   void restore_merger(const Xpe& merger, const std::vector<Xpe>& originals);
   void restore_client_table(int interface_id, std::vector<Xpe> xpes);
   void restore_forwarding(const Xpe& xpe, std::set<int> interfaces);
+  /// Adds one interface to a forwarding record (link resync restores the
+  /// per-link slice without clobbering records from other links).
+  void restore_forwarding_add(const Xpe& xpe, int interface_id);
+
+  // -- Crash recovery (router/snapshot.h link-state transfer) --------------
+  /// Arms the resync handshake after a cold restart: the broker expects
+  /// `outstanding` SyncState replies (one per neighbour link); the handle()
+  /// call processing the last one reports resync_completed.
+  void begin_resync(std::size_t outstanding) { pending_syncs_ = outstanding; }
+  std::size_t pending_syncs() const { return pending_syncs_; }
 
  private:
   void handle_advertise(int from, const AdvertiseMsg& msg, HandleResult* out);
@@ -118,6 +132,8 @@ class Broker {
   void handle_unsubscribe(int from, const UnsubscribeMsg& msg,
                           HandleResult* out);
   void handle_publish(int from, const PublishMsg& msg, HandleResult* out);
+  void handle_sync_request(int from, HandleResult* out);
+  void handle_sync_state(int from, const SyncStateMsg& msg, HandleResult* out);
   void run_merge_pass(HandleResult* out);
 
   /// Next-hop broker interfaces for a subscription: SRT overlap when
@@ -158,6 +174,9 @@ class Broker {
   std::unordered_map<Xpe, std::set<int>, XpeHash> forwarded_to_;
   std::size_t new_subs_since_merge_ = 0;
   std::size_t merges_applied_ = 0;
+  /// SyncState replies still outstanding after a cold restart (0 = not
+  /// resyncing).
+  std::size_t pending_syncs_ = 0;
   /// Publications already processed, for duplicate suppression on cyclic
   /// overlays (a publication can arrive over several paths; forwarding it
   /// again would loop). Keyed by (doc id, path id).

@@ -27,6 +27,10 @@ std::size_t Message::wire_bytes() const {
     case MessageType::kUnadvertise:
       return kHeader +
              std::get<UnadvertiseMsg>(payload).advertisement.to_string().size();
+    case MessageType::kSyncRequest:
+      return kHeader;
+    case MessageType::kSyncState:
+      return kHeader + std::get<SyncStateMsg>(payload).state.size();
     case MessageType::kPublish: {
       // A publication carries its path; the document body travels with it
       // (subscribers receive the full document, unlike ONYX — paper §1),
@@ -48,6 +52,8 @@ const char* to_string(MessageType type) {
     case MessageType::kUnsubscribe: return "unsubscribe";
     case MessageType::kPublish: return "publish";
     case MessageType::kUnadvertise: return "unadvertise";
+    case MessageType::kSyncRequest: return "sync-request";
+    case MessageType::kSyncState: return "sync-state";
   }
   return "unknown";
 }

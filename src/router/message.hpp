@@ -35,6 +35,19 @@ struct UnsubscribeMsg {
   Xpe xpe;
 };
 
+/// Recovery handshake (crash resync): a restarted broker asks each
+/// neighbour to replay the state relevant to their shared link.
+struct SyncRequestMsg {};
+
+/// The neighbour's reply: a bounded, line-oriented state transfer built on
+/// router/snapshot's serialisation (see export_link_state): the
+/// advertisements it would flood over the link, the subscriptions it has
+/// forwarded over the link, and the subscriptions it already holds from
+/// the restarted broker (so nothing is re-forwarded needlessly).
+struct SyncStateMsg {
+  std::string state;
+};
+
 struct PublishMsg {
   Path path;
   std::uint64_t doc_id = 0;
@@ -51,7 +64,8 @@ struct PublishMsg {
 };
 
 using Payload = std::variant<AdvertiseMsg, SubscribeMsg, UnsubscribeMsg,
-                             PublishMsg, UnadvertiseMsg>;
+                             PublishMsg, UnadvertiseMsg, SyncRequestMsg,
+                             SyncStateMsg>;
 
 enum class MessageType : unsigned char {
   kAdvertise,
@@ -59,9 +73,11 @@ enum class MessageType : unsigned char {
   kUnsubscribe,
   kPublish,
   kUnadvertise,
+  kSyncRequest,
+  kSyncState,
 };
 
-inline constexpr std::size_t kMessageTypeCount = 5;
+inline constexpr std::size_t kMessageTypeCount = 7;
 
 struct Message {
   Payload payload;
@@ -82,6 +98,10 @@ struct Message {
   }
   static Message unadvertise(Advertisement a, int origin) {
     return Message{UnadvertiseMsg{std::move(a), origin}};
+  }
+  static Message sync_request() { return Message{SyncRequestMsg{}}; }
+  static Message sync_state(std::string state) {
+    return Message{SyncStateMsg{std::move(state)}};
   }
 };
 

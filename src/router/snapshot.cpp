@@ -1,6 +1,7 @@
 #include "router/snapshot.hpp"
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,7 +12,22 @@ namespace xroute {
 
 namespace {
 
+constexpr const char kHeaderPrefix[] = "xroute-broker-snapshot";
 constexpr const char kHeader[] = "xroute-broker-snapshot 1";
+constexpr const char kSyncHeader[] = "xroute-link-sync 1";
+
+/// Rejects a first line that is not exactly `expected`, distinguishing an
+/// unsupported version of the right format from a foreign/missing header.
+void check_header(const std::string& line, const char* expected,
+                  const char* prefix, const char* what) {
+  if (line == expected) return;
+  if (line.rfind(prefix, 0) == 0) {
+    throw ParseError(std::string(what) + ": unsupported version header '" +
+                     line + "' (expected '" + expected + "')");
+  }
+  throw ParseError(std::string(what) + ": missing or unrecognised header '" +
+                   line + "' (expected '" + expected + "')");
+}
 
 std::vector<std::string> split_tabs(const std::string& line) {
   std::vector<std::string> fields;
@@ -79,10 +95,18 @@ void save_snapshot(const Broker& broker, std::ostream& out) {
 }
 
 void load_snapshot(Broker& broker, std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
-    throw ParseError("snapshot: missing or unsupported header");
+  if (broker.srt_size() > 0 || broker.prt_size() > 0 ||
+      !broker.client_tables().empty() || !broker.forwarding_record().empty()) {
+    throw std::logic_error(
+        "load_snapshot: broker already holds routing state; restore "
+        "requires a freshly constructed broker");
   }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError("snapshot: missing or unrecognised header '' (expected '" +
+                     std::string(kHeader) + "')");
+  }
+  check_header(line, kHeader, kHeaderPrefix, "snapshot");
   bool ended = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -148,6 +172,79 @@ std::string snapshot_to_string(const Broker& broker) {
 void snapshot_from_string(Broker& broker, const std::string& text) {
   std::istringstream is(text);
   load_snapshot(broker, is);
+}
+
+std::string export_link_state(const Broker& broker, int interface_id) {
+  std::ostringstream out;
+  out << kSyncHeader << '\n';
+
+  // Advertisements this broker would flood over the link: everything held
+  // via some hop other than the link itself (entries held *only* via the
+  // link came from the restarted side and will be re-advertised by its
+  // publishers).
+  for (const auto& entry : broker.srt().entries()) {
+    bool via_elsewhere = false;
+    for (int hop : entry->hops) {
+      if (hop != interface_id) {
+        via_elsewhere = true;
+        break;
+      }
+    }
+    if (via_elsewhere) out << "srt\t" << entry->advertisement.to_string() << '\n';
+  }
+
+  // Subscriptions forwarded over the link: the restarted side must hold
+  // them in its PRT with the link as lasthop, or publications stop routing
+  // back here. The forwarding record captures them even if the subscribe
+  // was still unacked in flight when the neighbour crashed.
+  for (const auto& [xpe, interfaces] : broker.forwarding_record()) {
+    if (interfaces.count(interface_id)) out << "sub\t" << xpe.to_string() << '\n';
+  }
+
+  // Subscriptions already held *from* the restarted side (its pre-crash
+  // forwards, mergers included): restoring them into its forwarding record
+  // stops it from re-forwarding what this side already has.
+  for (const auto& [xpe, hops] : broker.prt().entries_with_hops()) {
+    if (hops.count(interface_id)) out << "fwd\t" << xpe.to_string() << '\n';
+  }
+
+  out << "end\n";
+  return out.str();
+}
+
+void import_link_state(Broker& broker, int interface_id,
+                       const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError("link sync: missing or unrecognised header '' (expected '" +
+                     std::string(kSyncHeader) + "')");
+  }
+  check_header(line, kSyncHeader, "xroute-link-sync", "link sync");
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      ended = true;
+      break;
+    }
+    std::vector<std::string> fields = split_tabs(line);
+    if (fields.size() != 2) {
+      throw ParseError("link sync: bad record '" + line + "'");
+    }
+    const std::string& kind = fields[0];
+    if (kind == "srt") {
+      broker.restore_advertisement(parse_advertisement(fields[1]),
+                                   {interface_id});
+    } else if (kind == "sub") {
+      broker.restore_subscription(parse_xpe(fields[1]), {interface_id});
+    } else if (kind == "fwd") {
+      broker.restore_forwarding_add(parse_xpe(fields[1]), interface_id);
+    } else {
+      throw ParseError("link sync: unknown record '" + kind + "'");
+    }
+  }
+  if (!ended) throw ParseError("link sync: truncated (no 'end')");
 }
 
 }  // namespace xroute

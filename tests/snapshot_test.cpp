@@ -3,6 +3,8 @@
 
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "dtd/parser.hpp"
 #include "dtd/universe.hpp"
@@ -123,6 +125,61 @@ TEST(Snapshot, PreservesMergers) {
   EXPECT_EQ(r2.deliveries, 1u);
 }
 
+TEST(Snapshot, MergingRoundTripForwardingBitIdentical) {
+  Dtd dtd = parse_dtd(R"(
+<!ELEMENT r (x)+>
+<!ELEMENT x (a | b)>
+<!ELEMENT a EMPTY><!ELEMENT b EMPTY>
+)");
+  PathUniverse universe(dtd);
+  Broker::Config config;
+  config.use_advertisements = false;
+  config.merging_enabled = true;
+  config.merge_universe = &universe;
+  config.merge_interval = 2;
+  Broker original = make_broker(config);
+  // Client originals on two interfaces plus a neighbour subscription, so
+  // the snapshot carries mergers, client tables and forwarding records.
+  original.handle(kClient, Message::subscribe(X("/r/x/a")));
+  original.handle(kClient, Message::subscribe(X("/r/x/b")));
+  original.handle(kRight, Message::subscribe(X("/r/x")));
+  ASSERT_GE(original.merges_applied(), 1u);
+  ASSERT_FALSE(original.client_tables().empty());
+
+  std::string snapshot = snapshot_to_string(original);
+  Broker restored = make_broker(config);
+  snapshot_from_string(restored, snapshot);
+
+  // Forwarding must be bit-identical: same interfaces, same message types,
+  // same deliveries, same suppression counts, for every probe publication.
+  for (const char* path : {"/r/x/a", "/r/x/b", "/r/x", "/r"}) {
+    Message probe = pub(path);  // same doc id into both brokers
+    auto before = original.handle(kLeft, probe);
+    auto after = restored.handle(kLeft, probe);
+    std::multiset<std::pair<int, int>> b_fwd, a_fwd;
+    for (const auto& f : before.forwards) {
+      b_fwd.emplace(f.interface, static_cast<int>(f.message.type()));
+    }
+    for (const auto& f : after.forwards) {
+      a_fwd.emplace(f.interface, static_cast<int>(f.message.type()));
+    }
+    EXPECT_EQ(b_fwd, a_fwd) << path;
+    EXPECT_EQ(before.deliveries, after.deliveries) << path;
+    EXPECT_EQ(before.suppressed_false_positives,
+              after.suppressed_false_positives)
+        << path;
+  }
+
+  // The restored broker re-serialises to the same record set.
+  auto lines = [](const std::string& text) {
+    std::multiset<std::string> out;
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);) out.insert(line);
+    return out;
+  };
+  EXPECT_EQ(lines(snapshot_to_string(restored)), lines(snapshot));
+}
+
 TEST(Snapshot, FlatModeRoundTrip) {
   Broker::Config config;
   config.use_covering = false;
@@ -139,21 +196,52 @@ TEST(Snapshot, FlatModeRoundTrip) {
 }
 
 TEST(Snapshot, MalformedInputs) {
-  Broker broker = make_broker();
-  EXPECT_THROW(snapshot_from_string(broker, ""), ParseError);
-  EXPECT_THROW(snapshot_from_string(broker, "wrong header\nend\n"), ParseError);
-  EXPECT_THROW(
-      snapshot_from_string(broker, "xroute-broker-snapshot 1\nsub\t/a\n"),
-      ParseError);  // sub without hops
-  EXPECT_THROW(
-      snapshot_from_string(broker, "xroute-broker-snapshot 1\nbogus\tx\nend\n"),
-      ParseError);
-  EXPECT_THROW(
-      snapshot_from_string(broker, "xroute-broker-snapshot 1\nsub\t/a\t1\n"),
-      ParseError);  // truncated: no 'end'
-  EXPECT_THROW(snapshot_from_string(
-                   broker, "xroute-broker-snapshot 1\nsrt\t/a\tNaN\nend\n"),
-               ParseError);
+  // Fresh broker per case: a restore aborted mid-stream may already have
+  // applied records, and a second restore into that broker is a
+  // logic_error, not a ParseError.
+  auto expect_parse_error = [](const char* text) {
+    Broker broker = make_broker();
+    EXPECT_THROW(snapshot_from_string(broker, text), ParseError) << text;
+  };
+  expect_parse_error("");
+  expect_parse_error("wrong header\nend\n");
+  // sub without hops
+  expect_parse_error("xroute-broker-snapshot 1\nsub\t/a\n");
+  expect_parse_error("xroute-broker-snapshot 1\nbogus\tx\nend\n");
+  // truncated: no 'end'
+  expect_parse_error("xroute-broker-snapshot 1\nsub\t/a\t1\n");
+  expect_parse_error("xroute-broker-snapshot 1\nsrt\t/a\tNaN\nend\n");
+}
+
+TEST(Snapshot, UnsupportedVersionHeaderIsParseError) {
+  auto expect_parse_error = [](const char* text) {
+    Broker broker = make_broker();
+    EXPECT_THROW(snapshot_from_string(broker, text), ParseError) << text;
+  };
+  // Right format, future version: rejected with a clear ParseError rather
+  // than misparsed.
+  expect_parse_error("xroute-broker-snapshot 2\nend\n");
+  expect_parse_error("xroute-broker-snapshot\nend\n");
+  // Foreign header entirely.
+  expect_parse_error("xroute-link-sync 1\nend\n");
+}
+
+TEST(Snapshot, RestoreIntoNonEmptyBrokerIsLogicError) {
+  Broker populated = populated_broker();
+  std::string snapshot = snapshot_to_string(populated);
+  // Any pre-existing routing state vetoes a restore: SRT/PRT entries,
+  // client tables, or forwarding records.
+  EXPECT_THROW(snapshot_from_string(populated, snapshot), std::logic_error);
+
+  Broker subscribed = make_broker();
+  subscribed.handle(kLeft, Message::subscribe(X("/a/b")));
+  EXPECT_THROW(snapshot_from_string(subscribed, snapshot), std::logic_error);
+
+  // A fresh broker with the same interfaces accepts the same snapshot.
+  Broker fresh = make_broker();
+  EXPECT_NO_THROW(snapshot_from_string(fresh, snapshot));
+  EXPECT_EQ(fresh.srt_size(), populated.srt_size());
+  EXPECT_EQ(fresh.prt_size(), populated.prt_size());
 }
 
 TEST(Snapshot, EmptyBrokerRoundTrip) {

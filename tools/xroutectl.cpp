@@ -6,10 +6,14 @@
 //   xroutectl match <xml-file> '<xpe>'...    which XPEs match the document
 //   xroutectl paths <xml-file>               root-to-leaf paths of a document
 //   xroutectl universe <dtd-file> [depth]    conforming paths of a DTD
+//   xroutectl faultsim <plan-file>           run a fault plan, report
+//                                            delivery equality + recovery
 //
-// Exit code: 0 on success (for `covers`: 0 = covers, 1 = does not).
+// Exit code: 0 on success (for `covers`: 0 = covers, 1 = does not; for
+// `faultsim`: 0 = delivery equal to the fault-free reference, 1 = not).
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,7 +23,11 @@
 #include "dtd/universe.hpp"
 #include "match/covering.hpp"
 #include "match/pub_match.hpp"
+#include "net/fault.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "xml/parser.hpp"
 #include "xml/paths.hpp"
 #include "xpath/parser.hpp"
@@ -118,13 +126,124 @@ int cmd_universe(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// One faultsim run over the plan's scenario; `faulted` toggles the fault
+/// plan itself (off = the clean reference the verdict compares against).
+struct FaultSimResult {
+  std::vector<std::set<std::uint64_t>> delivered;
+  Simulator::QuiesceReport report;
+  std::size_t duplicates = 0;
+  std::size_t retransmits = 0;
+  std::size_t frames_dropped = 0;
+  std::size_t flushed = 0;
+  std::size_t restarts = 0;
+  std::size_t resyncs = 0;
+  std::vector<double> resync_ms;
+};
+
+FaultSimResult run_faultsim(const FaultPlan& plan, bool faulted) {
+  Rng rng(plan.seed);
+  Topology topology;
+  if (plan.topology == "tree") {
+    topology = complete_binary_tree(plan.topology_size);
+  } else if (plan.topology == "chain") {
+    topology = chain(plan.topology_size);
+  } else if (plan.topology == "star") {
+    topology = star(plan.topology_size);
+  } else {
+    topology = random_connected(plan.topology_size, 0, rng);
+  }
+
+  Simulator sim(Simulator::Options{0.0});
+  Broker::Config config;
+  config.use_advertisements = false;
+  for (std::size_t i = 0; i < topology.num_brokers; ++i) sim.add_broker(config);
+  for (auto [a, b] : topology.edges) sim.connect(a, b, LinkConfig{});
+  if (faulted) sim.apply_fault_plan(plan);
+
+  const char* xpes[] = {"/a", "/a/b", "//c", "/d//e", "/a//c"};
+  std::vector<int> subscribers;
+  for (std::size_t i = 0; i < plan.subscribers; ++i) {
+    int client =
+        sim.attach_client(static_cast<int>(rng.index(topology.num_brokers)));
+    sim.subscribe(client, parse_xpe(xpes[i % 5]));
+    subscribers.push_back(client);
+  }
+  int publisher =
+      sim.attach_client(static_cast<int>(rng.index(topology.num_brokers)));
+  sim.run_limited(100000);
+
+  const char* paths[] = {"/a/b", "/a/b/c", "/d/x/e", "/q", "/a"};
+  for (std::size_t i = 0; i < plan.documents; ++i) {
+    sim.publish_paths(publisher, {parse_path(paths[i % 5])}, 200);
+  }
+
+  FaultSimResult result;
+  // Bounded drain: scheduled crash events fire at their plan times during
+  // this run, possibly mid-traffic (in-flight publications then die with
+  // the broker — that is the fault model, and the verdict will say so).
+  result.report = sim.run_until_quiescent(1000000);
+  for (int client : subscribers) {
+    result.delivered.push_back(sim.delivered_docs(client));
+  }
+  const NetworkStats& stats = sim.stats();
+  result.duplicates = stats.duplicate_notifications();
+  result.retransmits = stats.retransmits();
+  result.frames_dropped = stats.frames_dropped();
+  result.flushed = stats.events_flushed_on_crash();
+  result.restarts = stats.broker_restarts();
+  result.resyncs = stats.resyncs_completed();
+  result.resync_ms = stats.resync_durations_ms();
+  return result;
+}
+
+int cmd_faultsim(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("usage: faultsim <plan-file>");
+  std::ifstream in(args[0]);
+  if (!in) throw std::runtime_error("cannot open " + args[0]);
+  FaultPlan plan = parse_fault_plan(in);
+
+  FaultSimResult reference = run_faultsim(plan, /*faulted=*/false);
+  FaultSimResult faulted = run_faultsim(plan, /*faulted=*/true);
+
+  std::cout << "topology " << plan.topology << " " << plan.topology_size
+            << ", " << plan.subscribers << " subscribers, " << plan.documents
+            << " documents, seed " << plan.seed << "\n";
+  std::cout << "faulted run: " << faulted.report.processed << " events, "
+            << "quiesced at " << faulted.report.last_activity << " ms"
+            << (faulted.report.quiesced ? "" : " (EVENT BUDGET EXHAUSTED)")
+            << "\n";
+  std::cout << "  frames dropped " << faulted.frames_dropped
+            << ", retransmits " << faulted.retransmits << ", flushed on crash "
+            << faulted.flushed << "\n";
+  std::cout << "  restarts " << faulted.restarts << ", resyncs "
+            << faulted.resyncs;
+  for (double ms : faulted.resync_ms) std::cout << " (" << ms << " ms)";
+  std::cout << "\n";
+
+  bool equal = reference.delivered == faulted.delivered &&
+               faulted.duplicates == 0;
+  for (std::size_t i = 0; i < reference.delivered.size(); ++i) {
+    if (reference.delivered[i] != faulted.delivered[i]) {
+      std::cout << "  subscriber " << i << ": reference "
+                << reference.delivered[i].size() << " docs, faulted "
+                << faulted.delivered[i].size() << " docs\n";
+    }
+  }
+  if (faulted.duplicates > 0) {
+    std::cout << "  " << faulted.duplicates << " duplicate notifications\n";
+  }
+  std::cout << "delivery: " << (equal ? "EQUAL" : "MISMATCH")
+            << " (vs fault-free reference)\n";
+  return equal ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
-    std::cerr << "usage: xroutectl <parse|covers|derive|match|paths|universe>"
-              << " ...\n";
+    std::cerr << "usage: xroutectl "
+              << "<parse|covers|derive|match|paths|universe|faultsim> ...\n";
     return 2;
   }
   std::string command = args[0];
@@ -136,6 +255,7 @@ int main(int argc, char** argv) {
     if (command == "match") return cmd_match(args);
     if (command == "paths") return cmd_paths(args);
     if (command == "universe") return cmd_universe(args);
+    if (command == "faultsim") return cmd_faultsim(args);
     std::cerr << "unknown command: " << command << "\n";
     return 2;
   } catch (const std::exception& e) {
