@@ -20,9 +20,11 @@
 #include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "metrics_snapshot.hpp"
 #include "net/fault.hpp"
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
@@ -73,8 +75,11 @@ struct Outcome {
 /// One experiment: 7-broker tree, subscribers at the leaves, publisher at
 /// the root; half the documents, a crash/recovery at a quiescent point,
 /// the other half. `faulted=false` gives the clean reference (no faults,
-/// no crash) the notification sets are compared against.
-Outcome run_scenario(const Scenario& s, bool faulted) {
+/// no crash) the notification sets are compared against. When
+/// `metrics_json` is given, the run's full metrics-registry dump is
+/// captured into it (the simulator dies with this scope).
+Outcome run_scenario(const Scenario& s, bool faulted,
+                     std::string* metrics_json = nullptr) {
   Simulator sim(Simulator::Options{0.0});
   Topology topology = complete_binary_tree(3);
   Broker::Config config;
@@ -147,6 +152,11 @@ Outcome run_scenario(const Scenario& s, bool faulted) {
   outcome.acks = sim.stats().acks_sent();
   outcome.ack_bytes = sim.stats().ack_bytes();
   outcome.broker_bytes = sim.stats().total_broker_bytes();
+  if (metrics_json) {
+    std::ostringstream dump;
+    sim.stats().registry().write_json(dump);
+    *metrics_json = dump.str();
+  }
   return outcome;
 }
 
@@ -156,11 +166,11 @@ struct Row {
   bool equal = false;
 };
 
-Row run_row(const Scenario& s) {
+Row run_row(const Scenario& s, std::string* metrics_json = nullptr) {
   Row row;
   row.scenario = s;
   Outcome reference = run_scenario(s, /*faulted=*/false);
-  row.outcome = run_scenario(s, /*faulted=*/true);
+  row.outcome = run_scenario(s, /*faulted=*/true, metrics_json);
   row.equal = reference.delivered == row.outcome.delivered &&
               row.outcome.duplicates == 0;
   return row;
@@ -220,7 +230,11 @@ int main(int argc, char** argv) {
   }
 
   // ---- Recovery comparison (resync vs snapshot) -----------------------
+  // The resync run's full metrics snapshot (retransmit/crash counters,
+  // resync-duration histogram, per-broker series) is embedded in the
+  // output JSON — it is the most instrumented cell of the bench.
   std::vector<Row> recovery;
+  std::string metrics_json;
   for (Recovery mode : {Recovery::kResync, Recovery::kSnapshot}) {
     Scenario s;
     s.drop = 0.05;
@@ -229,7 +243,7 @@ int main(int argc, char** argv) {
     s.recovery = mode;
     s.seed = seed;
     s.documents = documents;
-    Row row = run_row(s);
+    Row row = run_row(s, mode == Recovery::kResync ? &metrics_json : nullptr);
     all_equal = all_equal && row.equal;
     std::cout << "recovery " << to_string(mode) << ": handshake "
               << row.outcome.resync_ms << " ms, requiesced after "
@@ -279,7 +293,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < soak.size(); ++i) {
     emit_row(out, soak[i], i + 1 == soak.size());
   }
-  out << "  ],\n"
+  out << "  ],\n";
+  emit_metrics_snapshot(out, metrics_json, "metrics");
+  out << ",\n"
       << "  \"all_delivery_equal\": " << (all_equal ? "true" : "false")
       << "\n}\n";
 

@@ -1,0 +1,49 @@
+// Embeds a MetricsRegistry dump inside a hand-written BENCH_*.json file.
+//
+// The bench binaries write their JSON by hand (no serialisation library);
+// this helper re-indents the registry's own write_json output so a full
+// metrics snapshot nests cleanly as one member of the bench object:
+//
+//   "metrics": {
+//     "counters": [...], "gauges": [...], "histograms": [...]
+//   }
+//
+// The caller supplies the surrounding commas and newlines.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace xroute {
+
+/// Writes `"<key>": { ... }` from an already-captured registry dump
+/// (the exact text of MetricsRegistry::write_json), re-indented by
+/// `indent` spaces. Useful when the simulator that owned the registry is
+/// gone by the time the JSON file is written.
+inline void emit_metrics_snapshot(std::ostream& os,
+                                  const std::string& registry_json,
+                                  const std::string& key, int indent = 2) {
+  std::string json = registry_json;
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  if (json.empty()) json = "{}";
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "\"" << key << "\": ";
+  for (char c : json) {
+    os << c;
+    if (c == '\n') os << pad;
+  }
+}
+
+/// As above, straight from a live registry.
+inline void emit_metrics_snapshot(std::ostream& os,
+                                  const MetricsRegistry& registry,
+                                  const std::string& key, int indent = 2) {
+  std::ostringstream dump;
+  registry.write_json(dump);
+  emit_metrics_snapshot(os, dump.str(), key, indent);
+}
+
+}  // namespace xroute

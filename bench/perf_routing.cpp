@@ -12,7 +12,10 @@
 //       informative extra.
 //
 // Every indexed result is verified equal to the reference before timing;
-// the run aborts if any differs. Results land in BENCH_routing.json
+// the run aborts if any differs. The run also replays the pinned
+// clean-network golden scenario (net/golden.hpp) and fails if the totals
+// moved — the observability layer's zero-overhead contract — and embeds
+// that run's full metrics snapshot. Results land in BENCH_routing.json
 // (see DESIGN.md "Performance architecture" for how to read it).
 #include <chrono>
 #include <cstdint>
@@ -23,6 +26,9 @@
 #include <vector>
 
 #include "adv/derive.hpp"
+#include "metrics_snapshot.hpp"
+#include "net/golden.hpp"
+#include "net/simulator.hpp"
 #include "router/routing_tables.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -224,6 +230,21 @@ int main(int argc, char** argv) {
               << " pubs/s (" << tree_metric.speedup() << "x)\n";
   }
 
+  // ---- Clean-network golden (zero-overhead contract) ------------------
+  // Same assertion tests/obs_test.cpp makes: replaying the pinned golden
+  // scenario must reproduce the pre-observability totals exactly. A
+  // metrics or tracing hook that moves a single message or byte fails the
+  // bench the same way a routing mismatch does.
+  Simulator golden_sim(Simulator::Options{0.0});
+  const bool golden_ok = run_golden_scenario(golden_sim) == golden_expected();
+  if (!golden_ok) {
+    std::cerr << "GOLDEN MISMATCH: clean-network totals moved "
+                 "(observability overhead?)\n";
+    verified = false;
+  }
+  std::cout << "golden network: "
+            << (golden_ok ? "totals identical" : "TOTALS MOVED") << "\n";
+
   std::ofstream out(flags.get_string("out"));
   out << "{\n"
       << "  \"bench\": \"perf_routing\",\n"
@@ -244,6 +265,9 @@ int main(int argc, char** argv) {
       << "  \"covering_tree_match\": {\n";
   emit(out, tree_metric);
   out << "  },\n"
+      << "  \"golden_network\": " << (golden_ok ? "true" : "false") << ",\n";
+  emit_metrics_snapshot(out, golden_sim.stats().registry(), "metrics");
+  out << ",\n"
       << "  \"verified_identical\": " << (verified ? "true" : "false") << "\n"
       << "}\n";
   std::cout << (verified ? "results verified identical\n"

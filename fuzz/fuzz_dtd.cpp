@@ -1,0 +1,37 @@
+// libFuzzer harness for the DTD-subset parser (dtd/parser.hpp).
+//
+// Feeds arbitrary bytes to parse_dtd. ParseError is the only exception
+// the parser may throw on malformed input; on accepted input the parsed
+// Dtd must be internally consistent — every declared element name must be
+// a valid name, and the structural queries must not crash.
+//
+// Build and run: see fuzz/CMakeLists.txt.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "dtd/parser.hpp"
+#include "util/error.hpp"
+#include "xpath/parser.hpp"  // is_valid_name
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    xroute::Dtd dtd = xroute::parse_dtd(text);
+    for (const std::string& name : dtd.declaration_order()) {
+      if (!xroute::is_valid_name(name)) {
+        std::fprintf(stderr, "accepted invalid element name: \"%s\"\n",
+                     name.c_str());
+        std::abort();
+      }
+    }
+    (void)dtd.undeclared_references();
+  } catch (const xroute::ParseError&) {
+    // Malformed input, correctly rejected.
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// libFuzzer harness for the XPath-fragment parser (xpath/parser.hpp).
+//
+// Feeds arbitrary bytes to parse_xpe. Accepted inputs must round-trip:
+// to_string() must reparse to the same canonical text — a cheap oracle
+// that catches printer/parser drift as well as outright crashes.
+// ParseError is the only exception the parser may throw; anything else,
+// or an ASan/UBSan report, aborts the run.
+//
+// Build and run: see fuzz/CMakeLists.txt.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "xpath/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    xroute::Xpe xpe = xroute::parse_xpe(text);
+    std::string printed = xpe.to_string();
+    xroute::Xpe reparsed = xroute::parse_xpe(printed);
+    if (reparsed.to_string() != printed) {
+      std::fprintf(stderr, "round-trip drift: \"%s\"\n", printed.c_str());
+      std::abort();
+    }
+  } catch (const xroute::ParseError&) {
+    // Malformed input, correctly rejected.
+  }
+  return 0;
+}

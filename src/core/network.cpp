@@ -53,6 +53,7 @@ Network::Network(Options options)
     sim_.enable_fault_injection(options_.fault_seed, options_.reliability);
     sim_.set_default_link_faults(options_.link_faults);
   }
+  if (options_.tracing) sim_.enable_tracing();
 }
 
 int Network::add_subscriber(int broker) { return sim_.attach_client(broker); }

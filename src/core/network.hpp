@@ -74,6 +74,9 @@ class Network {
     std::uint64_t fault_seed = 4242;
     FaultProfile link_faults;
     ReliabilityOptions reliability;
+    /// Causal tracing (obs/trace.hpp). Off by default; requires the build
+    /// to have XROUTE_TRACING on (the default).
+    bool tracing = false;
   };
 
   explicit Network(Options options);

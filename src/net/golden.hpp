@@ -1,0 +1,43 @@
+// The pinned clean-network golden scenario.
+//
+// A fixed deterministic run (7-broker binary tree, subscription flooding,
+// 60 single-path publications, processing_scale = 0, no faults) whose
+// message/byte/notification totals were captured *before* the tracing
+// hooks existed. tests/obs_test.cpp and bench/perf_routing replay it and
+// assert the totals still match — the observability layer's zero-overhead
+// contract (DESIGN.md §8): tracing on, off, or compiled out must not move
+// a single message or byte.
+#pragma once
+
+#include <cstdint>
+
+namespace xroute {
+
+class Simulator;
+
+struct GoldenTotals {
+  std::uint64_t messages = 0;       ///< broker messages, all types
+  std::uint64_t bytes = 0;          ///< broker bytes, all types
+  std::uint64_t notifications = 0;  ///< first-arrival client deliveries
+  std::uint64_t publish_messages = 0;
+  std::uint64_t publish_bytes = 0;
+  std::uint64_t subscribe_messages = 0;
+  std::uint64_t subscribe_bytes = 0;
+
+  bool operator==(const GoldenTotals&) const = default;
+};
+
+/// The totals captured from the pre-observability tree.
+GoldenTotals golden_expected();
+
+/// Runs the golden scenario on a fresh simulator and returns its totals.
+/// With `tracing` the causal tracer is enabled first (requires a build
+/// with XROUTE_TRACING on); the totals must come out identical.
+GoldenTotals run_golden_scenario(bool tracing = false);
+
+/// As above, but runs on a caller-provided simulator (so tests can also
+/// inspect the tracer or the metrics registry afterwards). The simulator
+/// must be freshly constructed with processing_scale = 0.
+GoldenTotals run_golden_scenario(Simulator& sim);
+
+}  // namespace xroute

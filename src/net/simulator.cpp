@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <variant>
 
 #include "router/snapshot.hpp"
 #include "xml/paths.hpp"
@@ -80,7 +82,9 @@ void Simulator::restart_broker(int broker, const std::string& snapshot,
       finish_resync(broker);
     } else {
       for (int endpoint : neighbor_endpoints) {
-        transmit(endpoint, Message::sync_request(), now_);
+        Message msg = Message::sync_request();
+        trace_inject(&msg, /*client=*/-1, broker);
+        transmit(endpoint, std::move(msg), now_);
       }
     }
   }
@@ -112,6 +116,60 @@ int Simulator::attach_client(int broker, const LinkConfig& link) {
   brokers_[broker]->add_client(broker_end);
   clients_.push_back(Client{broker, client_end, broker_end, {}, {}, {}, {}});
   return client_id;
+}
+
+// -- Causal tracing ----------------------------------------------------------
+
+void Simulator::enable_tracing() {
+#if XROUTE_TRACING_ENABLED
+  if (!tracer_) tracer_ = std::make_unique<Tracer>();
+#else
+  throw std::logic_error(
+      "enable_tracing: tracing compiled out (-DXROUTE_TRACING=OFF)");
+#endif
+}
+
+void Simulator::trace_inject(Message* msg, int client, int broker) {
+#if XROUTE_TRACING_ENABLED
+  if (!tracer_) return;
+  Span root;
+  root.trace = tracer_->new_trace();
+  root.kind = SpanKind::kInject;
+  root.start_ms = now_;
+  root.end_ms = now_;
+  root.client = client;
+  root.broker = broker;
+  root.msg_type = static_cast<unsigned char>(msg->type());
+  root.bytes = msg->wire_bytes();
+  if (const auto* pub = std::get_if<PublishMsg>(&msg->payload)) {
+    root.doc_id = pub->doc_id;
+    root.path_id = pub->path_id;
+  }
+  msg->trace = TraceContext{root.trace, tracer_->add(root)};
+#else
+  (void)msg;
+  (void)client;
+  (void)broker;
+#endif
+}
+
+void Simulator::trace_flush(const Message& msg, double time) {
+#if XROUTE_TRACING_ENABLED
+  if (!tracer_ || !msg.trace) return;
+  Span span;
+  span.trace = msg.trace.trace;
+  span.parent = msg.trace.parent;
+  span.kind = SpanKind::kLink;
+  span.start_ms = time;
+  span.end_ms = time;
+  span.msg_type = static_cast<unsigned char>(msg.type());
+  span.bytes = msg.wire_bytes();
+  span.dropped = true;
+  tracer_->add(span);
+#else
+  (void)msg;
+  (void)time;
+#endif
 }
 
 // -- Fault injection ---------------------------------------------------------
@@ -193,9 +251,10 @@ void Simulator::schedule_link_up_nudges(int endpoint,
       // The link is back: retransmit everything still pending immediately
       // instead of waiting out the backed-off timers.
       for (std::uint64_t seq : channels_[endpoint].pending_seqs()) {
-        stats_.count_retransmit();
+        stats_.count_retransmit(endpoint);
         send_frame(endpoint, seq,
-                   channels_[endpoint].retries(seq), now_);
+                   channels_[endpoint].retries(seq), now_,
+                   /*retransmission=*/true);
       }
     });
   }
@@ -215,27 +274,34 @@ void Simulator::send_from_client(int client, Message msg) {
 
 void Simulator::subscribe(int client, const Xpe& xpe) {
   clients_.at(client).subscriptions.push_back(xpe);
-  send_from_client(client, Message::subscribe(xpe));
+  Message msg = Message::subscribe(xpe);
+  trace_inject(&msg, client, clients_.at(client).broker);
+  send_from_client(client, std::move(msg));
 }
 
 void Simulator::unsubscribe(int client, const Xpe& xpe) {
   auto& subs = clients_.at(client).subscriptions;
   auto pos = std::find(subs.begin(), subs.end(), xpe);
   if (pos != subs.end()) subs.erase(pos);
-  send_from_client(client, Message::unsubscribe(xpe));
+  Message msg = Message::unsubscribe(xpe);
+  trace_inject(&msg, client, clients_.at(client).broker);
+  send_from_client(client, std::move(msg));
 }
 
 void Simulator::advertise(int client, const Advertisement& adv) {
   clients_.at(client).advertisements.push_back(adv);
-  send_from_client(client, Message::advertise(adv, clients_.at(client).broker));
+  Message msg = Message::advertise(adv, clients_.at(client).broker);
+  trace_inject(&msg, client, clients_.at(client).broker);
+  send_from_client(client, std::move(msg));
 }
 
 void Simulator::unadvertise(int client, const Advertisement& adv) {
   auto& advs = clients_.at(client).advertisements;
   auto pos = std::find(advs.begin(), advs.end(), adv);
   if (pos != advs.end()) advs.erase(pos);
-  send_from_client(client,
-                   Message::unadvertise(adv, clients_.at(client).broker));
+  Message msg = Message::unadvertise(adv, clients_.at(client).broker);
+  trace_inject(&msg, client, clients_.at(client).broker);
+  send_from_client(client, std::move(msg));
 }
 
 std::uint64_t Simulator::publish(int client, const XmlDocument& doc) {
@@ -255,7 +321,9 @@ std::uint64_t Simulator::publish_paths(int client,
     msg.doc_bytes = doc_bytes;
     msg.paths_in_doc = static_cast<std::uint32_t>(paths.size());
     msg.publish_time = now_;
-    send_from_client(client, Message{std::move(msg)});
+    Message message{std::move(msg)};
+    trace_inject(&message, client, clients_.at(client).broker);
+    send_from_client(client, std::move(message));
   }
   return doc_id;
 }
@@ -285,6 +353,20 @@ void Simulator::transmit_direct(int from_endpoint, Message msg,
   const Endpoint& to = endpoints_.at(static_cast<std::size_t>(peer));
   double arrival = departure_time + from.link.latency_ms +
                    static_cast<double>(msg.wire_bytes()) / from.link.bytes_per_ms;
+#if XROUTE_TRACING_ENABLED
+  if (tracer_ && msg.trace) {
+    Span span;
+    span.trace = msg.trace.trace;
+    span.parent = msg.trace.parent;
+    span.kind = SpanKind::kLink;
+    span.start_ms = departure_time;
+    span.end_ms = arrival;
+    span.endpoint = from_endpoint;
+    span.msg_type = static_cast<unsigned char>(msg.type());
+    span.bytes = msg.wire_bytes();
+    msg.trace.parent = tracer_->add(span);
+  }
+#endif
   // A message addressed to a broker that crashes before arrival dies with
   // the old incarnation: the replacement must not receive pre-crash
   // traffic as if nothing happened.
@@ -297,6 +379,7 @@ void Simulator::transmit_direct(int from_endpoint, Message msg,
     } else {
       if (incarnations_[static_cast<std::size_t>(to.broker)] != incarnation) {
         stats_.count_event_flushed_on_crash();
+        trace_flush(msg, now_);
         return;
       }
       deliver_to_broker(to.broker, peer, std::move(msg));
@@ -311,7 +394,7 @@ double Simulator::link_rto(int from_endpoint, int attempt) const {
 }
 
 void Simulator::send_frame(int from_endpoint, std::uint64_t seq, int attempt,
-                           double departure_time) {
+                           double departure_time, bool retransmission) {
   ReliableChannel& channel = channels_[static_cast<std::size_t>(from_endpoint)];
   const Message* pending = channel.pending_message(seq);
   if (!pending) return;  // acked or abandoned in the meantime
@@ -336,16 +419,51 @@ void Simulator::send_frame(int from_endpoint, std::uint64_t seq, int attempt,
     stats_.count_frame_duplicated();
     copies = 2;
   }
-  std::uint64_t epoch = channel.epoch();
-  std::uint64_t incarnation = incarnations_[static_cast<std::size_t>(to.broker)];
+  // Draw the per-copy arrival times first (keeping the Rng call order of
+  // the untraced code path), so the attempt span below can close at the
+  // latest arrival before any receive event is scheduled.
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(copies));
   for (int copy = 0; copy < copies; ++copy) {
     double arrival = base_arrival + 0.01 * copy;
     if (faults.reorder_prob > 0.0 && fault_rng_->chance(faults.reorder_prob)) {
       stats_.count_reorder_injected();
       arrival += fault_rng_->uniform() * faults.reorder_jitter_ms;
     }
+    arrivals.push_back(arrival);
+  }
+
+  // One link span per transmission attempt (not per duplicated copy), so
+  // retransmit-flagged spans count exactly what stats_.retransmits() does.
+  TraceContext attempt_ctx = pending->trace;
+#if XROUTE_TRACING_ENABLED
+  if (tracer_ && pending->trace) {
+    Span span;
+    span.trace = pending->trace.trace;
+    span.parent = pending->trace.parent;
+    span.kind = SpanKind::kLink;
+    span.start_ms = departure_time;
+    span.end_ms = arrivals.empty()
+                      ? departure_time
+                      : *std::max_element(arrivals.begin(), arrivals.end());
+    span.endpoint = from_endpoint;
+    span.msg_type = static_cast<unsigned char>(pending->type());
+    span.bytes = pending->wire_bytes();
+    span.retransmit = retransmission;
+    span.dropped = arrivals.empty();
+    attempt_ctx.parent = tracer_->add(span);
+  }
+#else
+  (void)retransmission;
+#endif
+
+  std::uint64_t epoch = channel.epoch();
+  std::uint64_t incarnation = incarnations_[static_cast<std::size_t>(to.broker)];
+  for (double arrival : arrivals) {
+    Message copy = *pending;
+    copy.trace = attempt_ctx;
     queue_.schedule(arrival, [this, from_endpoint, seq, epoch, incarnation,
-                              msg = *pending]() mutable {
+                              msg = std::move(copy)]() mutable {
       receive_frame(from_endpoint, seq, epoch, incarnation, std::move(msg));
     });
   }
@@ -364,8 +482,8 @@ void Simulator::send_frame(int from_endpoint, std::uint64_t seq, int attempt,
       return;
     }
     ch.bump_retries(seq);
-    stats_.count_retransmit();
-    send_frame(from_endpoint, seq, attempt + 1, now_);
+    stats_.count_retransmit(from_endpoint);
+    send_frame(from_endpoint, seq, attempt + 1, now_, /*retransmission=*/true);
   });
 }
 
@@ -377,6 +495,7 @@ void Simulator::receive_frame(int from_endpoint, std::uint64_t seq,
     // The flow this frame belonged to was reset (an adjacent broker
     // crashed): the frame is part of the wreckage.
     stats_.count_frames_lost_to_crash(1);
+    trace_flush(msg, now_);
     return;
   }
   const Endpoint& from = endpoints_[static_cast<std::size_t>(from_endpoint)];
@@ -385,6 +504,7 @@ void Simulator::receive_frame(int from_endpoint, std::uint64_t seq,
   if (incarnations_[static_cast<std::size_t>(to.broker)] !=
       target_incarnation) {
     stats_.count_event_flushed_on_crash();
+    trace_flush(msg, now_);
     return;
   }
 
@@ -425,12 +545,19 @@ void Simulator::send_ack(int from_endpoint, std::uint64_t cumulative) {
 // -- Delivery ----------------------------------------------------------------
 
 void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
-  stats_.count_broker_message(msg.type(), msg.wire_bytes());
+  stats_.count_broker_message(msg.type(), msg.wire_bytes(), broker);
   last_activity_ = now_;
   if (trace_) trace_(broker, at_endpoint, msg);
 
+#if XROUTE_TRACING_ENABLED
+  Broker::StageTimings stages;
+  Broker::StageTimings* stage_sink = (tracer_ && msg.trace) ? &stages : nullptr;
+#else
+  Broker::StageTimings* stage_sink = nullptr;
+#endif
   auto started = std::chrono::steady_clock::now();
-  Broker::HandleResult result = brokers_[broker]->handle(at_endpoint, msg);
+  Broker::HandleResult result =
+      brokers_[broker]->handle(at_endpoint, msg, stage_sink);
   auto finished = std::chrono::steady_clock::now();
   double processing_ms =
       std::chrono::duration<double, std::milli>(finished - started).count() *
@@ -441,7 +568,73 @@ void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
   stats_.count_merger_false_matches(result.merger_false_matches);
 
   double departure = now_ + processing_ms;
+#if XROUTE_TRACING_ENABLED
+  std::uint64_t broker_span = 0;
+  if (stage_sink) {
+    Span span;
+    span.trace = msg.trace.trace;
+    span.parent = msg.trace.parent;
+    span.kind = SpanKind::kBroker;
+    span.start_ms = now_;
+    span.end_ms = departure;
+    span.broker = broker;
+    span.endpoint = at_endpoint;
+    span.msg_type = static_cast<unsigned char>(msg.type());
+    span.bytes = msg.wire_bytes();
+    if (const auto* pub = std::get_if<PublishMsg>(&msg.payload)) {
+      span.doc_id = pub->doc_id;
+      span.path_id = pub->path_id;
+    }
+    broker_span = tracer_->add(span);
+
+    // Stage sub-spans: the timed leaf regions scaled like processing_ms,
+    // laid back to back under the broker span; the unattributed remainder
+    // (decode, dispatch, bookkeeping) leads as the "parse" stage. With
+    // processing_scale = 0 they collapse to zero-width markers, still in
+    // causal order.
+    double scale = options_.processing_scale;
+    double srt = stages.srt_check_ms * scale;
+    double prt = stages.prt_match_ms * scale;
+    double merge = stages.merge_ms * scale;
+    double fwd_ms = stages.forward_ms * scale;
+    double parse = std::max(0.0, processing_ms - (srt + prt + merge + fwd_ms));
+    const std::pair<SpanKind, double> layout[] = {
+        {SpanKind::kStageParse, parse},
+        {SpanKind::kStageSrtCheck, srt},
+        {SpanKind::kStagePrtMatch, prt},
+        {SpanKind::kStageMerge, merge},
+        {SpanKind::kStageForward, fwd_ms},
+    };
+    double cursor = now_;
+    for (const auto& [kind, width] : layout) {
+      Span stage;
+      stage.trace = msg.trace.trace;
+      stage.parent = broker_span;
+      stage.kind = kind;
+      stage.start_ms = cursor;
+      cursor = std::min(departure, cursor + width);
+      stage.end_ms = cursor;
+      stage.broker = broker;
+      tracer_->add(stage);
+    }
+  }
+#endif
   for (Broker::Forward& fwd : result.forwards) {
+#if XROUTE_TRACING_ENABLED
+    if (stage_sink) {
+      Span enq;
+      enq.trace = msg.trace.trace;
+      enq.parent = broker_span;
+      enq.kind = SpanKind::kEnqueue;
+      enq.start_ms = now_;
+      enq.end_ms = departure;
+      enq.broker = broker;
+      enq.endpoint = fwd.interface;
+      enq.msg_type = static_cast<unsigned char>(fwd.message.type());
+      enq.bytes = fwd.message.wire_bytes();
+      fwd.message.trace = TraceContext{msg.trace.trace, tracer_->add(enq)};
+    }
+#endif
     transmit(fwd.interface, std::move(fwd.message), departure);
   }
   if (result.resync_completed) finish_resync(broker);
@@ -455,13 +648,18 @@ void Simulator::finish_resync(int broker) {
   // control state (a real client re-issues interests on reconnect). The
   // restored forwarding records keep the replays local: anything the
   // neighbours already hold is not forwarded again.
-  for (const Client& client : clients_) {
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    const Client& client = clients_[ci];
     if (client.broker != broker) continue;
     for (const Advertisement& adv : client.advertisements) {
-      transmit(client.endpoint, Message::advertise(adv, broker), now_);
+      Message msg = Message::advertise(adv, broker);
+      trace_inject(&msg, static_cast<int>(ci), broker);
+      transmit(client.endpoint, std::move(msg), now_);
     }
     for (const Xpe& xpe : client.subscriptions) {
-      transmit(client.endpoint, Message::subscribe(xpe), now_);
+      Message msg = Message::subscribe(xpe);
+      trace_inject(&msg, static_cast<int>(ci), broker);
+      transmit(client.endpoint, std::move(msg), now_);
     }
   }
 }
@@ -478,6 +676,23 @@ void Simulator::deliver_to_client(int client, Message msg) {
   } else {
     stats_.count_duplicate_notification();
   }
+#if XROUTE_TRACING_ENABLED
+  if (tracer_ && msg.trace) {
+    Span span;
+    span.trace = msg.trace.trace;
+    span.parent = msg.trace.parent;
+    span.kind = SpanKind::kDeliver;
+    span.start_ms = now_;
+    span.end_ms = now_;
+    span.client = client;
+    span.msg_type = static_cast<unsigned char>(msg.type());
+    span.doc_id = pub.doc_id;
+    span.path_id = pub.path_id;
+    span.bytes = msg.wire_bytes();
+    span.duplicate = !first;
+    tracer_->add(span);
+  }
+#endif
 }
 
 // -- Execution ---------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "net/reliable_link.hpp"
 #include "net/stats.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "router/broker.hpp"
 #include "util/rng.hpp"
 #include "xml/document.hpp"
@@ -132,6 +133,17 @@ class Simulator {
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
   double now() const { return now_; }
 
+  // -- Causal tracing (obs/trace.hpp) ---------------------------------------
+  /// Turns on the causal tracer: every message injected from here on gets
+  /// a trace id, and transport/broker/delivery spans accumulate in
+  /// tracer(). No effect on message or byte counts (TraceContext is
+  /// out-of-band). Throws std::logic_error when tracing was compiled out
+  /// (-DXROUTE_TRACING=OFF).
+  void enable_tracing();
+  bool tracing_enabled() const { return tracer_ != nullptr; }
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
+
   // -- Inspection -----------------------------------------------------------
   Broker& broker(int id) { return *brokers_[id]; }
   const Broker& broker(int id) const { return *brokers_[id]; }
@@ -177,7 +189,13 @@ class Simulator {
   /// Reliable-transport path: one attempt (initial or retransmission) of a
   /// staged frame, with fault draws, plus its retransmission timer.
   void send_frame(int from_endpoint, std::uint64_t seq, int attempt,
-                  double departure_time);
+                  double departure_time, bool retransmission = false);
+  /// Tracing hooks (no-ops when the tracer is off or compiled out).
+  /// Assigns `msg` a fresh trace rooted in an inject span.
+  void trace_inject(Message* msg, int client, int broker = -1);
+  /// Records a zero-width dropped-link span for a message flushed by a
+  /// crash (stale incarnation or reset channel epoch).
+  void trace_flush(const Message& msg, double time);
   void receive_frame(int from_endpoint, std::uint64_t seq,
                      std::uint64_t epoch, std::uint64_t target_incarnation,
                      Message msg);
@@ -201,6 +219,7 @@ class Simulator {
   NetworkStats stats_;
   std::uint64_t next_doc_id_ = 1;
   TraceFn trace_;
+  std::unique_ptr<Tracer> tracer_;
 
   // Fault-injection state (inert until enable_fault_injection).
   std::unique_ptr<Rng> fault_rng_;

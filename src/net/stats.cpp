@@ -1,0 +1,82 @@
+#include "net/stats.hpp"
+
+#include <algorithm>
+
+#include "obs/percentile.hpp"
+
+namespace xroute {
+
+NetworkStats::NetworkStats() {
+  for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+    MetricLabels type{{"type", to_string(static_cast<MessageType>(i))}};
+    msgs_by_type_[i] = &registry_.counter("broker.messages", type);
+    bytes_by_type_[i] = &registry_.counter("broker.bytes", type);
+  }
+  notifications_ = &registry_.counter("client.notifications");
+  duplicate_notifications_ =
+      &registry_.counter("client.duplicate_notifications");
+  suppressed_false_positives_ =
+      &registry_.counter("match.suppressed_false_positives");
+  publication_matches_ = &registry_.counter("match.publication_matches");
+  merger_false_matches_ = &registry_.counter("match.merger_false_matches");
+  processing_ms_ = &registry_.gauge("broker.processing_ms");
+  delay_ms_ = &registry_.histogram("client.delay_ms");
+  frames_dropped_ = &registry_.counter("link.frames_dropped");
+  frames_duplicated_ = &registry_.counter("link.frames_duplicated");
+  reorders_injected_ = &registry_.counter("link.reorders_injected");
+  retransmits_ = &registry_.counter("link.retransmits");
+  retransmit_failures_ = &registry_.counter("link.retransmit_failures");
+  link_duplicates_suppressed_ =
+      &registry_.counter("link.duplicates_suppressed");
+  out_of_order_deliveries_ =
+      &registry_.counter("link.out_of_order_deliveries");
+  acks_sent_ = &registry_.counter("link.acks");
+  ack_bytes_ = &registry_.counter("link.ack_bytes");
+  events_flushed_on_crash_ = &registry_.counter("crash.events_flushed");
+  frames_lost_to_crash_ = &registry_.counter("crash.frames_lost");
+  broker_restarts_ = &registry_.counter("crash.broker_restarts");
+  resyncs_completed_ = &registry_.counter("crash.resyncs");
+  resync_ms_ = &registry_.histogram("crash.resync_ms");
+}
+
+void NetworkStats::count_broker_message(MessageType type,
+                                        std::size_t wire_bytes, int broker) {
+  count_broker_message(type, wire_bytes);
+  std::size_t b = static_cast<std::size_t>(broker);
+  if (b >= msgs_by_broker_.size()) {
+    msgs_by_broker_.resize(b + 1, nullptr);
+    bytes_by_broker_.resize(b + 1, nullptr);
+  }
+  if (!msgs_by_broker_[b]) {
+    MetricLabels labels{{"broker", std::to_string(broker)}};
+    msgs_by_broker_[b] = &registry_.counter("broker.messages", labels);
+    bytes_by_broker_[b] = &registry_.counter("broker.bytes", labels);
+  }
+  msgs_by_broker_[b]->inc();
+  bytes_by_broker_[b]->inc(wire_bytes);
+}
+
+void NetworkStats::count_retransmit(int endpoint) {
+  count_retransmit();
+  registry_
+      .counter("link.retransmits",
+               {{"endpoint", std::to_string(endpoint)}})
+      .inc();
+}
+
+DelaySummary NetworkStats::delay_summary() const {
+  DelaySummary s;
+  const std::vector<double>& delays = delay_ms_->samples();
+  if (delays.empty()) return s;
+  s.count = delays.size();
+  std::vector<double> sorted = delays;
+  std::sort(sorted.begin(), sorted.end());
+  s.min_ms = sorted.front();
+  s.max_ms = sorted.back();
+  s.mean_ms = delay_ms_->mean();
+  s.p50_ms = percentile_nearest_rank(sorted, 0.50);
+  s.p95_ms = percentile_nearest_rank(sorted, 0.95);
+  return s;
+}
+
+}  // namespace xroute

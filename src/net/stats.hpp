@@ -1,14 +1,21 @@
 // Network-wide measurement aggregation for the evaluation experiments.
+//
+// Since the observability PR the counters live in a MetricsRegistry
+// (obs/metrics.hpp) as labelled series — per message type, per broker,
+// per link endpoint — and NetworkStats is the hot-path facade over it:
+// every count_*() increments through a Counter/Histogram reference
+// resolved once at construction (registry series have stable addresses),
+// so the per-message cost stays one pointer-chase + add, and the original
+// accessors keep their exact pre-registry semantics.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "router/message.hpp"
 
 namespace xroute {
@@ -24,146 +31,162 @@ struct DelaySummary {
 
 class NetworkStats {
  public:
+  NetworkStats();
+  // The facade caches series pointers into its own registry; copying
+  // would leave the copy incrementing the original's series.
+  NetworkStats(const NetworkStats&) = delete;
+  NetworkStats& operator=(const NetworkStats&) = delete;
+
   void count_broker_message(MessageType type, std::size_t wire_bytes) {
-    ++broker_messages_[static_cast<std::size_t>(type)];
-    broker_bytes_[static_cast<std::size_t>(type)] += wire_bytes;
+    std::size_t i = static_cast<std::size_t>(type);
+    msgs_by_type_[i]->inc();
+    bytes_by_type_[i]->inc(wire_bytes);
   }
+  /// As above, plus the per-broker labelled series.
+  void count_broker_message(MessageType type, std::size_t wire_bytes,
+                            int broker);
   void count_notification(double delay_ms) {
-    ++notifications_;
-    delays_.push_back(delay_ms);
+    notifications_->inc();
+    delay_ms_->observe(delay_ms);
   }
-  void count_duplicate_notification() { ++duplicate_notifications_; }
+  void count_duplicate_notification() { duplicate_notifications_->inc(); }
   void count_suppressed_false_positive(std::size_t n) {
-    suppressed_false_positives_ += n;
+    suppressed_false_positives_->inc(n);
   }
-  void count_publication_match() { ++publication_matches_; }
+  void count_publication_match() { publication_matches_->inc(); }
   void count_merger_false_matches(std::size_t n) {
-    merger_false_matches_ += n;
+    merger_false_matches_->inc(n);
   }
-  void add_processing_time(double ms) { processing_ms_ += ms; }
+  void add_processing_time(double ms) { processing_ms_->add(ms); }
 
   // -- Fault-injection / reliability counters (all zero on a clean run) ----
-  void count_frame_dropped() { ++frames_dropped_; }
-  void count_frame_duplicated() { ++frames_duplicated_; }
-  void count_reorder_injected() { ++reorders_injected_; }
-  void count_retransmit() { ++retransmits_; }
-  void count_retransmit_failure() { ++retransmit_failures_; }
-  void count_link_duplicate_suppressed() { ++link_duplicates_suppressed_; }
-  void count_out_of_order_delivery() { ++out_of_order_deliveries_; }
+  void count_frame_dropped() { frames_dropped_->inc(); }
+  void count_frame_duplicated() { frames_duplicated_->inc(); }
+  void count_reorder_injected() { reorders_injected_->inc(); }
+  void count_retransmit() { retransmits_->inc(); }
+  /// As above, plus the per-link labelled series (`endpoint` is the
+  /// sending link endpoint).
+  void count_retransmit(int endpoint);
+  void count_retransmit_failure() { retransmit_failures_->inc(); }
+  void count_link_duplicate_suppressed() { link_duplicates_suppressed_->inc(); }
+  void count_out_of_order_delivery() { out_of_order_deliveries_->inc(); }
   void count_ack(std::size_t wire_bytes) {
-    ++acks_sent_;
-    ack_bytes_ += wire_bytes;
+    acks_sent_->inc();
+    ack_bytes_->inc(wire_bytes);
   }
-  void count_event_flushed_on_crash() { ++events_flushed_on_crash_; }
-  void count_frames_lost_to_crash(std::size_t n) { frames_lost_to_crash_ += n; }
-  void count_broker_restart() { ++broker_restarts_; }
+  void count_event_flushed_on_crash() { events_flushed_on_crash_->inc(); }
+  void count_frames_lost_to_crash(std::size_t n) {
+    frames_lost_to_crash_->inc(n);
+  }
+  void count_broker_restart() { broker_restarts_->inc(); }
   void record_resync(double duration_ms) {
-    ++resyncs_completed_;
-    resync_ms_.push_back(duration_ms);
+    resyncs_completed_->inc();
+    resync_ms_->observe(duration_ms);
   }
 
   /// Paper Tables 2/3: "total number of messages ... received by all
   /// brokers ... including advertisements, publications and subscriptions".
   std::size_t total_broker_messages() const {
     std::size_t total = 0;
-    for (std::size_t n : broker_messages_) total += n;
+    for (const Counter* c : msgs_by_type_) total += c->value();
     return total;
   }
   std::size_t broker_messages(MessageType type) const {
-    return broker_messages_[static_cast<std::size_t>(type)];
+    return msgs_by_type_[static_cast<std::size_t>(type)]->value();
   }
   /// Bytes received by brokers, total and per message type.
   std::size_t total_broker_bytes() const {
     std::size_t total = 0;
-    for (std::size_t n : broker_bytes_) total += n;
+    for (const Counter* c : bytes_by_type_) total += c->value();
     return total;
   }
   std::size_t broker_bytes(MessageType type) const {
-    return broker_bytes_[static_cast<std::size_t>(type)];
+    return bytes_by_type_[static_cast<std::size_t>(type)]->value();
   }
 
-  std::size_t notifications() const { return notifications_; }
+  std::size_t notifications() const { return notifications_->value(); }
   std::size_t duplicate_notifications() const {
-    return duplicate_notifications_;
+    return duplicate_notifications_->value();
   }
   std::size_t suppressed_false_positives() const {
-    return suppressed_false_positives_;
+    return suppressed_false_positives_->value();
   }
   /// (broker, publication) pairs with at least one PRT match.
-  std::size_t publication_matches() const { return publication_matches_; }
+  std::size_t publication_matches() const {
+    return publication_matches_->value();
+  }
   /// Merger matches not backed by an original (in-network false positives).
-  std::size_t merger_false_matches() const { return merger_false_matches_; }
-  double total_processing_ms() const { return processing_ms_; }
+  std::size_t merger_false_matches() const {
+    return merger_false_matches_->value();
+  }
+  double total_processing_ms() const { return processing_ms_->value(); }
 
   // Fault-injection / reliability readouts.
-  std::size_t frames_dropped() const { return frames_dropped_; }
-  std::size_t frames_duplicated() const { return frames_duplicated_; }
-  std::size_t reorders_injected() const { return reorders_injected_; }
-  std::size_t retransmits() const { return retransmits_; }
-  std::size_t retransmit_failures() const { return retransmit_failures_; }
+  std::size_t frames_dropped() const { return frames_dropped_->value(); }
+  std::size_t frames_duplicated() const { return frames_duplicated_->value(); }
+  std::size_t reorders_injected() const { return reorders_injected_->value(); }
+  std::size_t retransmits() const { return retransmits_->value(); }
+  std::size_t retransmit_failures() const {
+    return retransmit_failures_->value();
+  }
   std::size_t link_duplicates_suppressed() const {
-    return link_duplicates_suppressed_;
+    return link_duplicates_suppressed_->value();
   }
   std::size_t out_of_order_deliveries() const {
-    return out_of_order_deliveries_;
+    return out_of_order_deliveries_->value();
   }
-  std::size_t acks_sent() const { return acks_sent_; }
-  std::size_t ack_bytes() const { return ack_bytes_; }
+  std::size_t acks_sent() const { return acks_sent_->value(); }
+  std::size_t ack_bytes() const { return ack_bytes_->value(); }
   std::size_t events_flushed_on_crash() const {
-    return events_flushed_on_crash_;
+    return events_flushed_on_crash_->value();
   }
-  std::size_t frames_lost_to_crash() const { return frames_lost_to_crash_; }
-  std::size_t broker_restarts() const { return broker_restarts_; }
-  std::size_t resyncs_completed() const { return resyncs_completed_; }
+  std::size_t frames_lost_to_crash() const {
+    return frames_lost_to_crash_->value();
+  }
+  std::size_t broker_restarts() const { return broker_restarts_->value(); }
+  std::size_t resyncs_completed() const { return resyncs_completed_->value(); }
   /// Per-resync handshake duration (restart to last SyncState processed).
-  const std::vector<double>& resync_durations_ms() const { return resync_ms_; }
-
-  DelaySummary delay_summary() const {
-    DelaySummary s;
-    if (delays_.empty()) return s;
-    s.count = delays_.size();
-    std::vector<double> sorted = delays_;
-    std::sort(sorted.begin(), sorted.end());
-    s.min_ms = sorted.front();
-    s.max_ms = sorted.back();
-    double sum = 0.0;
-    for (double d : sorted) sum += d;
-    s.mean_ms = sum / static_cast<double>(sorted.size());
-    auto percentile = [&](double q) {
-      std::size_t index = static_cast<std::size_t>(
-          q * static_cast<double>(sorted.size() - 1) + 0.5);
-      return sorted[index];
-    };
-    s.p50_ms = percentile(0.50);
-    s.p95_ms = percentile(0.95);
-    return s;
+  const std::vector<double>& resync_durations_ms() const {
+    return resync_ms_->samples();
   }
-  const std::vector<double>& delays() const { return delays_; }
+
+  DelaySummary delay_summary() const;
+  const std::vector<double>& delays() const { return delay_ms_->samples(); }
+
+  /// The underlying registry (JSON export, labelled-series inspection).
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
 
  private:
-  std::array<std::size_t, kMessageTypeCount> broker_messages_{};
-  std::array<std::size_t, kMessageTypeCount> broker_bytes_{};
-  std::size_t notifications_ = 0;
-  std::size_t duplicate_notifications_ = 0;
-  std::size_t suppressed_false_positives_ = 0;
-  std::size_t publication_matches_ = 0;
-  std::size_t merger_false_matches_ = 0;
-  double processing_ms_ = 0.0;
-  std::vector<double> delays_;
-  std::size_t frames_dropped_ = 0;
-  std::size_t frames_duplicated_ = 0;
-  std::size_t reorders_injected_ = 0;
-  std::size_t retransmits_ = 0;
-  std::size_t retransmit_failures_ = 0;
-  std::size_t link_duplicates_suppressed_ = 0;
-  std::size_t out_of_order_deliveries_ = 0;
-  std::size_t acks_sent_ = 0;
-  std::size_t ack_bytes_ = 0;
-  std::size_t events_flushed_on_crash_ = 0;
-  std::size_t frames_lost_to_crash_ = 0;
-  std::size_t broker_restarts_ = 0;
-  std::size_t resyncs_completed_ = 0;
-  std::vector<double> resync_ms_;
+  MetricsRegistry registry_;
+
+  std::array<Counter*, kMessageTypeCount> msgs_by_type_{};
+  std::array<Counter*, kMessageTypeCount> bytes_by_type_{};
+  /// Per-broker series, indexed by broker id, grown on demand.
+  std::vector<Counter*> msgs_by_broker_;
+  std::vector<Counter*> bytes_by_broker_;
+
+  Counter* notifications_;
+  Counter* duplicate_notifications_;
+  Counter* suppressed_false_positives_;
+  Counter* publication_matches_;
+  Counter* merger_false_matches_;
+  Gauge* processing_ms_;
+  Histogram* delay_ms_;
+  Counter* frames_dropped_;
+  Counter* frames_duplicated_;
+  Counter* reorders_injected_;
+  Counter* retransmits_;
+  Counter* retransmit_failures_;
+  Counter* link_duplicates_suppressed_;
+  Counter* out_of_order_deliveries_;
+  Counter* acks_sent_;
+  Counter* ack_bytes_;
+  Counter* events_flushed_on_crash_;
+  Counter* frames_lost_to_crash_;
+  Counter* broker_restarts_;
+  Counter* resyncs_completed_;
+  Histogram* resync_ms_;
 };
 
 }  // namespace xroute

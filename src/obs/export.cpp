@@ -1,0 +1,110 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "router/message.hpp"
+
+namespace xroute {
+
+namespace {
+
+std::string msg_type_name(unsigned char msg_type) {
+  if (msg_type == kMsgTypeNone || msg_type >= kMessageTypeCount) return "";
+  return to_string(static_cast<MessageType>(msg_type));
+}
+
+void write_span_json(const Span& span, std::ostream& os) {
+  os << "{\"id\": " << span.id << ", \"parent\": " << span.parent
+     << ", \"kind\": \"" << to_string(span.kind) << "\", \"start_ms\": "
+     << span.start_ms << ", \"end_ms\": " << span.end_ms;
+  if (span.broker >= 0) os << ", \"broker\": " << span.broker;
+  if (span.endpoint >= 0) os << ", \"endpoint\": " << span.endpoint;
+  if (span.client >= 0) os << ", \"client\": " << span.client;
+  std::string type = msg_type_name(span.msg_type);
+  if (!type.empty()) os << ", \"msg_type\": \"" << type << "\"";
+  if (span.doc_id != 0) {
+    os << ", \"doc_id\": " << span.doc_id << ", \"path_id\": " << span.path_id;
+  }
+  if (span.bytes != 0) os << ", \"bytes\": " << span.bytes;
+  if (span.retransmit) os << ", \"retransmit\": true";
+  if (span.dropped) os << ", \"dropped\": true";
+  if (span.duplicate) os << ", \"duplicate\": true";
+  os << "}";
+}
+
+/// Chrome trace_event lanes: pid 0 is the network (inject, enqueue, link,
+/// deliver); pid 1+b is broker b (processing + stage spans).
+int lane_of(const Span& span) {
+  switch (span.kind) {
+    case SpanKind::kBroker:
+    case SpanKind::kStageParse:
+    case SpanKind::kStageSrtCheck:
+    case SpanKind::kStagePrtMatch:
+    case SpanKind::kStageMerge:
+    case SpanKind::kStageForward:
+      return 1 + span.broker;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+void write_trace_json(const Tracer& tracer, std::uint64_t trace,
+                      std::ostream& os) {
+  os << "{\n  \"trace\": " << trace << ",\n  \"spans\": [";
+  bool first = true;
+  for (const Span& span : tracer.spans()) {
+    if (span.trace != trace) continue;
+    os << (first ? "\n    " : ",\n    ");
+    write_span_json(span, os);
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"traceEvents\": [\n";
+  // Process-name metadata so Perfetto labels the lanes.
+  std::set<int> lanes;
+  for (const Span& span : tracer.spans()) lanes.insert(lane_of(span));
+  bool first = true;
+  for (int lane : lanes) {
+    if (!first) os << ",\n";
+    os << "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << lane
+       << ", \"tid\": 0, \"args\": {\"name\": \""
+       << (lane == 0 ? std::string("network")
+                     : "broker " + std::to_string(lane - 1))
+       << "\"}}";
+    first = false;
+  }
+  for (const Span& span : tracer.spans()) {
+    if (!first) os << ",\n";
+    std::string name = to_string(span.kind);
+    std::string type = msg_type_name(span.msg_type);
+    if (!type.empty() && span.kind != SpanKind::kDeliver) {
+      name += " " + type;
+    }
+    if (span.retransmit) name += " (rexmit)";
+    if (span.dropped) name += " (dropped)";
+    if (span.duplicate) name += " (dup)";
+    // Simulated ms -> trace_event microseconds.
+    os << "  {\"ph\": \"X\", \"name\": \"" << json_escape(name)
+       << "\", \"cat\": \"" << to_string(span.kind)
+       << "\", \"ts\": " << span.start_ms * 1000.0
+       << ", \"dur\": " << (span.end_ms - span.start_ms) * 1000.0
+       << ", \"pid\": " << lane_of(span) << ", \"tid\": " << span.trace
+       << ", \"args\": {\"span\": " << span.id
+       << ", \"parent\": " << span.parent;
+    if (span.doc_id != 0) os << ", \"doc\": " << span.doc_id;
+    if (span.bytes != 0) os << ", \"bytes\": " << span.bytes;
+    os << "}}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace xroute

@@ -1,0 +1,26 @@
+// Trace exporters.
+//
+//   write_trace_json   — one trace as a JSON span list (parent ids intact,
+//                        so the span tree can be rebuilt by any consumer);
+//   write_chrome_trace — the whole tracer as a Chrome trace_event file:
+//                        load it in about:tracing or https://ui.perfetto.dev
+//                        (complete "X" events; pid = broker / network lane,
+//                        tid = trace id; timestamps in microseconds of
+//                        simulated time).
+//
+// The metrics JSON dump lives on MetricsRegistry::write_json.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "obs/trace.hpp"
+
+namespace xroute {
+
+void write_trace_json(const Tracer& tracer, std::uint64_t trace,
+                      std::ostream& os);
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+}  // namespace xroute

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/percentile.hpp"
+
+namespace xroute {
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double q) const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_nearest_rank(sorted, q);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  return counters_[SeriesKey{name, labels}];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  return gauges_[SeriesKey{name, labels}];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const MetricLabels& labels) {
+  return histograms_[SeriesKey{name, labels}];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const MetricLabels& labels) const {
+  auto it = counters_.find(SeriesKey{name, labels});
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const MetricLabels& labels) const {
+  auto it = gauges_.find(SeriesKey{name, labels});
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name, const MetricLabels& labels) const {
+  auto it = histograms_.find(SeriesKey{name, labels});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, counter] : counters_) {
+    if (key.first == name) total += counter.value();
+  }
+  return total;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_series_head(std::ostream& os, const std::string& name,
+                       const MetricLabels& labels) {
+  os << "{\"name\": \"" << json_escape(name) << "\", \"labels\": {";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ", ";
+    os << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+    first = false;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    write_series_head(os, key.first, key.second);
+    os << ", \"value\": " << counter.value() << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    write_series_head(os, key.first, key.second);
+    os << ", \"value\": " << gauge.value() << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    write_series_head(os, key.first, key.second);
+    os << ", \"count\": " << histogram.count()
+       << ", \"sum\": " << histogram.sum() << ", \"min\": " << histogram.min()
+       << ", \"max\": " << histogram.max()
+       << ", \"mean\": " << histogram.mean()
+       << ", \"p50\": " << histogram.percentile(0.50)
+       << ", \"p95\": " << histogram.percentile(0.95) << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace xroute

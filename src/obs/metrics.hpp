@@ -1,0 +1,113 @@
+// MetricsRegistry — named counters, gauges and histograms with labelled
+// series (per-broker, per-link, per-message-type).
+//
+// Naming scheme (DESIGN.md "Observability architecture"):
+//
+//   <subsystem>.<noun>[_<unit>]     e.g. broker.messages, link.retransmits,
+//                                        client.delay_ms
+//
+// A series is (name, labels); the same name may carry several label sets
+// (broker.messages{type=publish} and broker.messages{broker=3} are
+// distinct series). Series objects live in node-based maps, so references
+// returned by counter()/gauge()/histogram() stay valid for the registry's
+// lifetime — hot paths resolve a series once and increment through the
+// cached reference (NetworkStats does exactly this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xroute {
+
+using MetricLabels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Sample-keeping histogram. Samples stay in observation order (callers
+/// may expose them as an event sequence); percentiles sort a copy and use
+/// the shared nearest-rank helper (obs/percentile.hpp).
+class Histogram {
+ public:
+  void observe(double v) {
+    samples_.push_back(v);
+    sum_ += v;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+  /// Nearest-rank percentile, `q` in [0, 1].
+  double percentile(double q) const;
+  /// Samples in observation order.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the series; the returned reference stays valid for
+  /// the registry's lifetime.
+  Counter& counter(const std::string& name, const MetricLabels& labels = {});
+  Gauge& gauge(const std::string& name, const MetricLabels& labels = {});
+  Histogram& histogram(const std::string& name,
+                       const MetricLabels& labels = {});
+
+  /// Read-only lookups; nullptr when the series does not exist.
+  const Counter* find_counter(const std::string& name,
+                              const MetricLabels& labels = {}) const;
+  const Gauge* find_gauge(const std::string& name,
+                          const MetricLabels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const MetricLabels& labels = {}) const;
+
+  /// Sum of every counter series sharing `name` (across all label sets).
+  std::uint64_t counter_total(const std::string& name) const;
+
+  std::size_t series_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// JSON metrics dump: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]} with name, labels and values per series
+  /// (histograms emit count/sum/min/max/mean/p50/p95).
+  void write_json(std::ostream& os) const;
+
+ private:
+  using SeriesKey = std::pair<std::string, MetricLabels>;
+
+  std::map<SeriesKey, Counter> counters_;
+  std::map<SeriesKey, Gauge> gauges_;
+  std::map<SeriesKey, Histogram> histograms_;
+};
+
+/// Escapes `text` for inclusion in a JSON string literal.
+std::string json_escape(const std::string& text);
+
+}  // namespace xroute

@@ -1,0 +1,32 @@
+// Shared percentile computation for every summary in the system.
+//
+// Nearest-rank definition (the one the paper's tables imply for small
+// sample counts): the p-th percentile of n ascending samples is the value
+// at rank ceil(p * n), 1-based. For n = 1 every percentile is the sample
+// itself; for duplicated values the duplicate is returned as-is rather
+// than an interpolated midpoint. NetworkStats::delay_summary() and
+// obs::Histogram::percentile() both route through this helper so the
+// metrics registry and the legacy accessors can never disagree.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace xroute {
+
+/// Nearest-rank percentile of `sorted` (ascending). `q` in [0, 1];
+/// q <= 0 returns the minimum, q >= 1 the maximum, empty input 0.
+inline double percentile_nearest_rank(const std::vector<double>& sorted,
+                                      double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace xroute

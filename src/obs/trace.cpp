@@ -1,0 +1,29 @@
+#include "obs/trace.hpp"
+
+namespace xroute {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kInject: return "inject";
+    case SpanKind::kEnqueue: return "enqueue";
+    case SpanKind::kLink: return "link";
+    case SpanKind::kBroker: return "broker";
+    case SpanKind::kStageParse: return "parse";
+    case SpanKind::kStageSrtCheck: return "srt_check";
+    case SpanKind::kStagePrtMatch: return "prt_match";
+    case SpanKind::kStageMerge: return "merge";
+    case SpanKind::kStageForward: return "forward";
+    case SpanKind::kDeliver: return "deliver";
+  }
+  return "unknown";
+}
+
+std::vector<Span> Tracer::spans_of(std::uint64_t trace) const {
+  std::vector<Span> out;
+  for (const Span& span : spans_) {
+    if (span.trace == trace) out.push_back(span);
+  }
+  return out;
+}
+
+}  // namespace xroute

@@ -1,0 +1,110 @@
+// Causal tracer for the dissemination overlay.
+//
+// Every injected advertisement / subscription / publication (and every
+// simulator-originated recovery message) gets a trace id; as the message
+// and its causal descendants move through the network, the transport and
+// the brokers append spans: inject, enqueue (processing + queueing before
+// a forward departs), link (one transmission attempt, flagged when it is
+// a retransmission or was dropped), broker processing (split into parse /
+// SRT check / PRT match / merge / forward stage sub-spans) and deliver
+// (arrival at a client, flagged when it is a suppressed duplicate).
+//
+// All timestamps are *simulated* milliseconds, so traces are deterministic
+// for a seeded run (stage sub-spans apportion the broker's measured
+// processing time; with processing_scale = 0 they are zero-width markers).
+//
+// Span trees are well-formed by construction: each span's parent is
+// recorded before it, belongs to the same trace, and starts no later —
+// tests/trace_test.cpp asserts exactly this, and reconstructs every
+// publication's delivery set from deliver spans as an oracle against the
+// simulator's own records.
+//
+// Overhead contract: tracing is off unless Simulator::enable_tracing() is
+// called, carries no wire bytes (TraceContext is out-of-band metadata,
+// like PublishMsg::publish_time), and the hooks compile out entirely with
+// -DXROUTE_TRACING=OFF — clean-run message/byte counts are bit-identical
+// either way (tests/obs_test.cpp pins them against a pre-tracing golden).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifndef XROUTE_TRACING_ENABLED
+#define XROUTE_TRACING_ENABLED 1
+#endif
+
+namespace xroute {
+
+/// Carried on every Message. Zero-initialised = untraced. Excluded from
+/// Message::wire_bytes(): observability metadata does not ride the
+/// simulated wire.
+struct TraceContext {
+  std::uint64_t trace = 0;   ///< trace id (0 = untraced)
+  std::uint64_t parent = 0;  ///< span id the next hop's spans attach to
+  explicit operator bool() const { return trace != 0; }
+};
+
+enum class SpanKind : unsigned char {
+  kInject,         ///< client/simulator injected the root message
+  kEnqueue,        ///< forward scheduled: broker done -> departure
+  kLink,           ///< one transmission attempt: departure -> arrival
+  kBroker,         ///< broker processed the message (handle())
+  kStageParse,     ///< decode + dispatch remainder of the broker span
+  kStageSrtCheck,  ///< SRT overlap checks (routing decisions)
+  kStagePrtMatch,  ///< PRT insert/match work
+  kStageMerge,     ///< merge pass triggered by this message
+  kStageForward,   ///< assembling the outgoing forwards
+  kDeliver,        ///< publication arrived at a client
+};
+
+struct Span {
+  std::uint64_t trace = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = trace root
+  SpanKind kind = SpanKind::kInject;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  int broker = -1;    ///< kBroker / kStage* spans
+  int endpoint = -1;  ///< sending endpoint of kLink / kEnqueue spans
+  int client = -1;    ///< kInject (origin) / kDeliver (destination)
+  /// MessageType of the message this span observed, as its underlying
+  /// integer; kMsgTypeNone for spans without a message (stage spans).
+  unsigned char msg_type = 0xff;
+  std::uint64_t doc_id = 0;   ///< kInject/kDeliver of publications
+  std::uint32_t path_id = 0;  ///< publication path within the document
+  std::uint64_t bytes = 0;    ///< wire bytes (kLink / kBroker)
+  bool retransmit = false;    ///< kLink: a retransmission attempt
+  bool dropped = false;       ///< kLink: lost (fault or crash flush)
+  bool duplicate = false;     ///< kDeliver: suppressed duplicate arrival
+};
+
+inline constexpr unsigned char kMsgTypeNone = 0xff;
+
+const char* to_string(SpanKind kind);
+
+/// Append-only span store. Trace and span ids start at 1; 0 means "none".
+class Tracer {
+ public:
+  std::uint64_t new_trace() { return next_trace_++; }
+
+  /// Assigns the span an id, appends it, and returns the id.
+  std::uint64_t add(Span span) {
+    span.id = next_span_++;
+    spans_.push_back(span);
+    return span.id;
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t trace_count() const { return next_trace_ - 1; }
+
+  /// Spans of one trace, in record order.
+  std::vector<Span> spans_of(std::uint64_t trace) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_span_ = 1;
+};
+
+}  // namespace xroute

@@ -1,11 +1,39 @@
 #include "router/broker.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "match/pub_match.hpp"
 #include "router/snapshot.hpp"
 
 namespace xroute {
+
+namespace {
+
+/// Accrues the scope's wall-clock time into `*sink_ms`; inert (no clock
+/// reads) when the sink is null. Instrumented regions are leaves — a
+/// StageTimer scope never contains another — so stage times stay disjoint.
+class StageTimer {
+ public:
+  explicit StageTimer(double* sink_ms) : sink_ms_(sink_ms) {
+    if (sink_ms_) start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() {
+    if (sink_ms_) {
+      *sink_ms_ += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double* sink_ms_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 Broker::Broker(int id, Config config)
     : id_(id),
@@ -51,7 +79,9 @@ void Broker::restore_forwarding_add(const Xpe& xpe, int interface_id) {
   forwarded_to_[xpe].insert(interface_id);
 }
 
-Broker::HandleResult Broker::handle(int from_interface, const Message& msg) {
+Broker::HandleResult Broker::handle(int from_interface, const Message& msg,
+                                    StageTimings* stages) {
+  stages_ = stages;
   HandleResult out;
   switch (msg.type()) {
     case MessageType::kAdvertise:
@@ -81,20 +111,29 @@ Broker::HandleResult Broker::handle(int from_interface, const Message& msg) {
                         &out);
       break;
   }
+  stages_ = nullptr;
   return out;
 }
 
 void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
                               HandleResult* out) {
-  bool is_new = srt_.add(msg.advertisement, from);
+  bool is_new;
+  {
+    StageTimer srt_timer(stages_ ? &stages_->srt_check_ms : nullptr);
+    is_new = srt_.add(msg.advertisement, from);
+  }
   if (!is_new) return;
 
   // Flood the advertisement to every other neighbour (paper §2.1:
   // "advertisements are flooded in the publish/subscribe overlay").
-  for (int neighbor : neighbors_) {
-    if (neighbor != from) {
-      out->forwards.push_back(Forward{
-          neighbor, Message::advertise(msg.advertisement, msg.origin_broker)});
+  {
+    StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
+    for (int neighbor : neighbors_) {
+      if (neighbor != from) {
+        out->forwards.push_back(Forward{
+            neighbor,
+            Message::advertise(msg.advertisement, msg.origin_broker)});
+      }
     }
   }
 
@@ -105,6 +144,7 @@ void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
   // is the root of its advertisement tree).
   if (!config_.use_advertisements || neighbors_.count(from) == 0) return;
 
+  StageTimer srt_timer(stages_ ? &stages_->srt_check_ms : nullptr);
   const Srt::Entry* entry = srt_.find(msg.advertisement);
   if (!entry) return;
 
@@ -135,6 +175,7 @@ void Broker::handle_unadvertise(int from, const UnadvertiseMsg& msg,
 }
 
 std::set<int> Broker::subscription_targets(const Xpe& xpe, int exclude) const {
+  StageTimer srt_timer(stages_ ? &stages_->srt_check_ms : nullptr);
   std::set<int> targets;
   if (config_.use_advertisements) {
     for (int hop : srt_.hops_overlapping(xpe)) {
@@ -178,7 +219,9 @@ void Broker::forward_subscription(const Xpe& xpe, int exclude,
   std::set<int>& sent = forwarded_to_[xpe];
   std::set<int> covered_on;
   if (config_.use_covering) covered_on = coverage_interfaces(xpe);
-  for (int target : subscription_targets(xpe, exclude)) {
+  std::set<int> targets = subscription_targets(xpe, exclude);
+  StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
+  for (int target : targets) {
     if (covered_on.count(target)) continue;  // a coverer routes this way
     if (sent.insert(target).second) {
       out->forwards.push_back(Forward{target, Message::subscribe(xpe)});
@@ -189,6 +232,7 @@ void Broker::forward_subscription(const Xpe& xpe, int exclude,
 
 void Broker::unsubscribe_covered(const Xpe& covered, const std::set<int>& via,
                                  HandleResult* out) {
+  StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
   auto it = forwarded_to_.find(covered);
   if (it == forwarded_to_.end()) return;
   for (int target : via) {
@@ -201,6 +245,7 @@ void Broker::unsubscribe_covered(const Xpe& covered, const std::set<int>& via,
 
 void Broker::forward_unsubscription(const Xpe& xpe, int exclude,
                                     HandleResult* out) {
+  StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
   auto it = forwarded_to_.find(xpe);
   if (it == forwarded_to_.end()) return;
   for (int target : it->second) {
@@ -216,7 +261,10 @@ void Broker::handle_subscribe(int from, const SubscribeMsg& msg,
   if (clients_.count(from)) {
     client_subs_[from].push_back(msg.xpe);
   }
-  Prt::InsertOutcome outcome = prt_.insert(msg.xpe, from);
+  Prt::InsertOutcome outcome = [&] {
+    StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
+    return prt_.insert(msg.xpe, from);
+  }();
   if (outcome.was_new) ++new_subs_since_merge_;
 
   if (outcome.was_new) {
@@ -274,7 +322,12 @@ void Broker::handle_unsubscribe(int from, const UnsubscribeMsg& msg,
     }
   }
 
-  if (!prt_.remove(msg.xpe, from)) return;
+  bool removed;
+  {
+    StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
+    removed = prt_.remove(msg.xpe, from);
+  }
+  if (!removed) return;
   if (prt_.contains(msg.xpe)) return;  // other hops still hold it
   forward_unsubscription(msg.xpe, from, out);
 
@@ -291,29 +344,34 @@ void Broker::handle_publish(int from, const PublishMsg& msg,
   if (!seen_publications_.emplace(msg.doc_id, msg.path_id).second) return;
 
   std::set<int> hops;
-  if (prt_.covering()) {
-    for (const SubscriptionTree::Node* node :
-         prt_.tree()->match_nodes(msg.path)) {
-      hops.insert(node->hops.begin(), node->hops.end());
-      if (node->merger) {
-        // A merger match that no merged original backs is an in-network
-        // false positive introduced by imperfect merging (paper Fig. 9).
-        bool backed = false;
-        for (const Xpe& original : node->merged_from) {
-          if (matches(msg.path, original)) {
-            backed = true;
-            break;
+  {
+    StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
+    if (prt_.covering()) {
+      for (const SubscriptionTree::Node* node :
+           prt_.tree()->match_nodes(msg.path)) {
+        hops.insert(node->hops.begin(), node->hops.end());
+        if (node->merger) {
+          // A merger match that no merged original backs is an in-network
+          // false positive introduced by imperfect merging (paper Fig. 9).
+          bool backed = false;
+          for (const Xpe& original : node->merged_from) {
+            if (matches(msg.path, original)) {
+              backed = true;
+              break;
+            }
           }
+          if (!backed) ++out->merger_false_matches;
         }
-        if (!backed) ++out->merger_false_matches;
       }
+    } else {
+      hops = prt_.match_hops(msg.path);
     }
-  } else {
-    hops = prt_.match_hops(msg.path);
   }
   out->publication_matched = !hops.empty();
   // The hop set deduplicates: several matching subscriptions sharing a
-  // next hop yield one forwarded copy.
+  // next hop yield one forwarded copy. Edge-exactness checks against the
+  // clients' original XPEs count as forwarding work (stage attribution).
+  StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
   for (int hop : hops) {
     if (hop == from) continue;
     if (clients_.count(hop)) {
@@ -361,7 +419,10 @@ void Broker::handle_sync_state(int from, const SyncStateMsg& msg,
 
 void Broker::run_merge_pass(HandleResult* out) {
   MergeEngine engine(config_.merge_universe, config_.merge_options);
-  MergeReport report = engine.run(*prt_.tree());
+  MergeReport report = [&] {
+    StageTimer merge_timer(stages_ ? &stages_->merge_ms : nullptr);
+    return engine.run(*prt_.tree());
+  }();
   merges_applied_ += report.merges.size();
   for (const MergeRecord& record : report.merges) {
     // Subscribe the merger upstream first so no delivery gap opens, then

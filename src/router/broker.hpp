@@ -56,6 +56,20 @@ class Broker {
     Message message;
   };
 
+  /// Wall-clock milliseconds spent in each processing stage of one
+  /// handle() call, for the tracer's stage sub-spans (obs/trace.hpp).
+  /// The regions are disjoint (no nesting), so their sum never exceeds
+  /// the call's total; whatever is not attributed here — message decode,
+  /// dispatch, bookkeeping — shows up as the "parse" remainder computed
+  /// by the simulator. Only filled when a sink is passed to handle(), so
+  /// untraced runs pay no clock reads.
+  struct StageTimings {
+    double srt_check_ms = 0.0;  ///< SRT adds + overlap checks
+    double prt_match_ms = 0.0;  ///< PRT inserts/removals + match walks
+    double merge_ms = 0.0;      ///< merge-engine pass
+    double forward_ms = 0.0;    ///< assembling outgoing forwards
+  };
+
   struct HandleResult {
     std::vector<Forward> forwards;
     /// Publications that matched a (merged) PRT entry pointing at a local
@@ -82,8 +96,10 @@ class Broker {
   void add_client(int interface_id);
 
   /// Processes one message arriving on `from_interface` (use the client's
-  /// interface id for client-issued messages).
-  HandleResult handle(int from_interface, const Message& msg);
+  /// interface id for client-issued messages). A non-null `stages` sink
+  /// collects per-stage wall-clock time (traced runs only).
+  HandleResult handle(int from_interface, const Message& msg,
+                      StageTimings* stages = nullptr);
 
   int id() const { return id_; }
   const Config& config() const { return config_; }
@@ -164,6 +180,8 @@ class Broker {
 
   int id_;
   Config config_;
+  /// Stage sink of the handle() call in flight (null = untraced).
+  StageTimings* stages_ = nullptr;
   std::set<int> neighbors_;
   std::set<int> clients_;
   Srt srt_;

@@ -11,6 +11,7 @@
 #include <variant>
 
 #include "adv/advertisement.hpp"
+#include "obs/trace.hpp"
 #include "xml/paths.hpp"
 #include "xpath/xpe.hpp"
 
@@ -81,6 +82,14 @@ inline constexpr std::size_t kMessageTypeCount = 7;
 
 struct Message {
   Payload payload;
+  /// Causal trace context (obs/trace.hpp). Out-of-band observability
+  /// metadata, like PublishMsg::publish_time: zero unless tracing is on,
+  /// never part of wire_bytes(), so byte/message counts are identical
+  /// with tracing on, off, or compiled out.
+  TraceContext trace;
+
+  Message() = default;
+  Message(Payload p) : payload(std::move(p)) {}
 
   MessageType type() const {
     return static_cast<MessageType>(payload.index());

@@ -1,0 +1,270 @@
+// Observability layer: percentile edge cases, the metrics registry, the
+// exporters, and the zero-overhead contract (tracing must not move a
+// single message or byte against the pre-observability golden run).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "net/golden.hpp"
+#include "net/simulator.hpp"
+#include "net/stats.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/percentile.hpp"
+#include "obs/trace.hpp"
+
+namespace xroute {
+namespace {
+
+// -- Nearest-rank percentile -------------------------------------------------
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile_nearest_rank({}, 0.5), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  // The n=1 edge case: any quantile of one sample is that sample
+  // (the old implementation indexed past the end for high quantiles).
+  std::vector<double> one{42.0};
+  EXPECT_EQ(percentile_nearest_rank(one, 0.0), 42.0);
+  EXPECT_EQ(percentile_nearest_rank(one, 0.5), 42.0);
+  EXPECT_EQ(percentile_nearest_rank(one, 0.95), 42.0);
+  EXPECT_EQ(percentile_nearest_rank(one, 1.0), 42.0);
+}
+
+TEST(Percentile, TwoSamples) {
+  std::vector<double> two{1.0, 2.0};
+  // rank = ceil(q * 2): p50 -> rank 1, anything above -> rank 2.
+  EXPECT_EQ(percentile_nearest_rank(two, 0.50), 1.0);
+  EXPECT_EQ(percentile_nearest_rank(two, 0.51), 2.0);
+  EXPECT_EQ(percentile_nearest_rank(two, 0.95), 2.0);
+}
+
+TEST(Percentile, SmallCounts) {
+  std::vector<double> four{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(percentile_nearest_rank(four, 0.50), 2.0);
+  EXPECT_EQ(percentile_nearest_rank(four, 0.95), 4.0);
+  std::vector<double> five{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(percentile_nearest_rank(five, 0.50), 3.0);
+  EXPECT_EQ(percentile_nearest_rank(five, 0.95), 5.0);
+}
+
+TEST(Percentile, TwentySamples) {
+  std::vector<double> v;
+  for (int i = 1; i <= 20; ++i) v.push_back(i);
+  EXPECT_EQ(percentile_nearest_rank(v, 0.50), 10.0);  // ceil(0.50*20) = 10
+  EXPECT_EQ(percentile_nearest_rank(v, 0.95), 19.0);  // ceil(0.95*20) = 19
+  EXPECT_EQ(percentile_nearest_rank(v, 1.00), 20.0);
+}
+
+TEST(Percentile, DuplicatedValues) {
+  // p95 on duplicates: the rank falls inside the run of equal values and
+  // must return that value, not step past it.
+  std::vector<double> v{5.0, 5.0, 5.0, 5.0, 9.0};
+  EXPECT_EQ(percentile_nearest_rank(v, 0.50), 5.0);
+  EXPECT_EQ(percentile_nearest_rank(v, 0.80), 5.0);
+  EXPECT_EQ(percentile_nearest_rank(v, 0.95), 9.0);
+  std::vector<double> all_same(10, 3.0);
+  EXPECT_EQ(percentile_nearest_rank(all_same, 0.95), 3.0);
+}
+
+TEST(DelaySummary, SingleDelayPinsBothPercentiles) {
+  NetworkStats stats;
+  stats.count_notification(7.5);
+  DelaySummary s = stats.delay_summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.p50_ms, 7.5);
+  EXPECT_EQ(s.p95_ms, 7.5);
+  EXPECT_EQ(s.min_ms, 7.5);
+  EXPECT_EQ(s.max_ms, 7.5);
+}
+
+TEST(DelaySummary, PinnedPercentiles) {
+  NetworkStats stats;
+  // Out of order on purpose: the summary must sort.
+  for (double d : {4.0, 1.0, 3.0, 2.0, 5.0}) stats.count_notification(d);
+  DelaySummary s = stats.delay_summary();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.p50_ms, 3.0);
+  EXPECT_EQ(s.p95_ms, 5.0);
+  EXPECT_EQ(s.min_ms, 1.0);
+  EXPECT_EQ(s.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 3.0);
+}
+
+// -- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistry, CountersAndLabelledSeries) {
+  MetricsRegistry reg;
+  Counter& plain = reg.counter("broker.messages");
+  Counter& publish = reg.counter("broker.messages", {{"type", "publish"}});
+  plain.inc();
+  publish.inc(3);
+  EXPECT_EQ(reg.counter("broker.messages").value(), 1u);
+  EXPECT_EQ(reg.counter("broker.messages", {{"type", "publish"}}).value(), 3u);
+  EXPECT_EQ(reg.counter_total("broker.messages"), 4u);
+  EXPECT_EQ(reg.find_counter("broker.messages", {{"type", "subscribe"}}),
+            nullptr);
+}
+
+TEST(MetricsRegistry, ReferencesStayValidAcrossInserts) {
+  // The hot-path contract: NetworkStats caches Counter&; inserting more
+  // series must not invalidate it.
+  MetricsRegistry reg;
+  Counter& first = reg.counter("a.first");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("a.series", {{"i", std::to_string(i)}});
+  }
+  first.inc(5);
+  EXPECT_EQ(reg.counter("a.first").value(), 5u);
+}
+
+TEST(MetricsRegistry, HistogramPercentilesUseNearestRank) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("client.delay_ms");
+  h.observe(10.0);
+  EXPECT_EQ(h.percentile(0.95), 10.0);  // n=1 edge case, shared helper
+  h.observe(20.0);
+  h.observe(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.percentile(0.50), 20.0);
+  EXPECT_EQ(h.percentile(0.95), 30.0);
+  EXPECT_EQ(h.min(), 10.0);
+  EXPECT_EQ(h.max(), 30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  // Samples keep observation order (they back NetworkStats::delays()).
+  EXPECT_EQ(h.samples(), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(MetricsRegistry, JsonDump) {
+  MetricsRegistry reg;
+  reg.counter("broker.messages", {{"type", "publish"}}).inc(7);
+  reg.gauge("broker.processing_ms").set(1.5);
+  reg.histogram("client.delay_ms").observe(2.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"broker.messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"publish\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+}
+
+// -- NetworkStats as a registry facade ---------------------------------------
+
+TEST(NetworkStats, PerTypeSeriesBackTheAccessors) {
+  NetworkStats stats;
+  stats.count_broker_message(MessageType::kPublish, 100);
+  stats.count_broker_message(MessageType::kPublish, 50);
+  stats.count_broker_message(MessageType::kSubscribe, 10);
+  EXPECT_EQ(stats.total_broker_messages(), 3u);
+  EXPECT_EQ(stats.total_broker_bytes(), 160u);
+  EXPECT_EQ(stats.broker_messages(MessageType::kPublish), 2u);
+  EXPECT_EQ(stats.broker_bytes(MessageType::kPublish), 150u);
+  const Counter* series = stats.registry().find_counter(
+      "broker.messages", {{"type", "publish"}});
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->value(), 2u);
+}
+
+TEST(NetworkStats, PerBrokerSeries) {
+  NetworkStats stats;
+  stats.count_broker_message(MessageType::kPublish, 100, /*broker=*/2);
+  stats.count_broker_message(MessageType::kPublish, 100, /*broker=*/2);
+  stats.count_broker_message(MessageType::kSubscribe, 10, /*broker=*/0);
+  // The per-broker labelled series carry the same events...
+  const Counter* b2 =
+      stats.registry().find_counter("broker.messages", {{"broker", "2"}});
+  ASSERT_NE(b2, nullptr);
+  EXPECT_EQ(b2->value(), 2u);
+  const Counter* b2_bytes =
+      stats.registry().find_counter("broker.bytes", {{"broker", "2"}});
+  ASSERT_NE(b2_bytes, nullptr);
+  EXPECT_EQ(b2_bytes->value(), 200u);
+  // ...and the per-type totals are unchanged by the extra dimension.
+  EXPECT_EQ(stats.total_broker_messages(), 3u);
+  EXPECT_EQ(stats.total_broker_bytes(), 210u);
+}
+
+TEST(NetworkStats, PerLinkRetransmitSeries) {
+  NetworkStats stats;
+  stats.count_retransmit(4);
+  stats.count_retransmit(4);
+  stats.count_retransmit(9);
+  EXPECT_EQ(stats.retransmits(), 3u);
+  const Counter* e4 =
+      stats.registry().find_counter("link.retransmits", {{"endpoint", "4"}});
+  ASSERT_NE(e4, nullptr);
+  EXPECT_EQ(e4->value(), 2u);
+}
+
+// -- Zero-overhead contract ---------------------------------------------------
+
+TEST(ZeroOverhead, CleanRunMatchesPreObservabilityGolden) {
+  // These totals were captured before src/obs existed. If this fails, the
+  // observability layer changed what the network does — which it must not.
+  EXPECT_EQ(run_golden_scenario(/*tracing=*/false), golden_expected());
+}
+
+#if XROUTE_TRACING_ENABLED
+TEST(ZeroOverhead, TracedRunIsByteIdentical) {
+  Simulator sim(Simulator::Options{0.0});
+  sim.enable_tracing();
+  EXPECT_EQ(run_golden_scenario(sim), golden_expected());
+  // ...while actually having traced the whole run.
+  ASSERT_NE(sim.tracer(), nullptr);
+  EXPECT_GT(sim.tracer()->trace_count(), 0u);
+  EXPECT_GT(sim.tracer()->spans().size(), 0u);
+}
+
+TEST(ZeroOverhead, GoldenRunPerBrokerSeriesSumToTotal) {
+  Simulator sim(Simulator::Options{0.0});
+  GoldenTotals totals = run_golden_scenario(sim);
+  std::uint64_t per_broker = 0;
+  for (std::size_t b = 0; b < sim.broker_count(); ++b) {
+    const Counter* c = sim.stats().registry().find_counter(
+        "broker.messages", {{"broker", std::to_string(b)}});
+    ASSERT_NE(c, nullptr) << "broker " << b << " has no series";
+    per_broker += c->value();
+  }
+  EXPECT_EQ(per_broker, totals.messages);
+}
+
+// -- Exporter smoke tests -----------------------------------------------------
+
+TEST(Exporters, PerTraceJsonAndChromeTrace) {
+  Simulator sim(Simulator::Options{0.0});
+  sim.enable_tracing();
+  run_golden_scenario(sim);
+
+  std::ostringstream trace_json;
+  write_trace_json(*sim.tracer(), 1, trace_json);
+  std::string json = trace_json.str();
+  EXPECT_NE(json.find("\"inject\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+
+  std::ostringstream chrome;
+  write_chrome_trace(*sim.tracer(), chrome);
+  std::string events = chrome.str();
+  ASSERT_FALSE(events.empty());
+  EXPECT_NE(events.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(events.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(events.find("process_name"), std::string::npos);
+}
+#else
+TEST(ZeroOverhead, EnableTracingThrowsWhenCompiledOut) {
+  Simulator sim(Simulator::Options{0.0});
+  EXPECT_THROW(sim.enable_tracing(), std::logic_error);
+}
+#endif
+
+}  // namespace
+}  // namespace xroute

@@ -8,11 +8,21 @@
 //   xroutectl universe <dtd-file> [depth]    conforming paths of a DTD
 //   xroutectl faultsim <plan-file>           run a fault plan, report
 //                                            delivery equality + recovery
+//   xroutectl trace <plan-file> [out.json]   run a fault plan with the causal
+//                                            tracer on: span summary, trace-vs-
+//                                            simulator delivery verdict, Chrome
+//                                            trace file (--dump <id> prints one
+//                                            trace as JSON)
+//   xroutectl metrics <plan-file>            run a fault plan and dump the
+//                                            metrics registry as JSON
 //
 // Exit code: 0 on success (for `covers`: 0 = covers, 1 = does not; for
-// `faultsim`: 0 = delivery equal to the fault-free reference, 1 = not).
+// `faultsim`: 0 = delivery equal to the fault-free reference, 1 = not; for
+// `trace`: 0 = trace reconstruction matches the simulator, 1 = not).
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -26,6 +36,9 @@
 #include "net/fault.hpp"
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "xml/parser.hpp"
@@ -140,7 +153,17 @@ struct FaultSimResult {
   std::vector<double> resync_ms;
 };
 
-FaultSimResult run_faultsim(const FaultPlan& plan, bool faulted) {
+/// Builds the plan's scenario on `sim` and runs it to quiescence: the
+/// shared workload behind faultsim, trace and metrics (with `traced` the
+/// causal tracer is on for the whole run).
+struct ScenarioRun {
+  std::vector<int> subscribers;
+  int publisher = -1;
+  Simulator::QuiesceReport report;
+};
+
+ScenarioRun run_scenario(Simulator& sim, const FaultPlan& plan, bool faulted,
+                         bool traced) {
   Rng rng(plan.seed);
   Topology topology;
   if (plan.topology == "tree") {
@@ -153,36 +176,43 @@ FaultSimResult run_faultsim(const FaultPlan& plan, bool faulted) {
     topology = random_connected(plan.topology_size, 0, rng);
   }
 
-  Simulator sim(Simulator::Options{0.0});
   Broker::Config config;
   config.use_advertisements = false;
   for (std::size_t i = 0; i < topology.num_brokers; ++i) sim.add_broker(config);
   for (auto [a, b] : topology.edges) sim.connect(a, b, LinkConfig{});
   if (faulted) sim.apply_fault_plan(plan);
+  if (traced) sim.enable_tracing();
 
   const char* xpes[] = {"/a", "/a/b", "//c", "/d//e", "/a//c"};
-  std::vector<int> subscribers;
+  ScenarioRun run;
   for (std::size_t i = 0; i < plan.subscribers; ++i) {
     int client =
         sim.attach_client(static_cast<int>(rng.index(topology.num_brokers)));
     sim.subscribe(client, parse_xpe(xpes[i % 5]));
-    subscribers.push_back(client);
+    run.subscribers.push_back(client);
   }
-  int publisher =
+  run.publisher =
       sim.attach_client(static_cast<int>(rng.index(topology.num_brokers)));
   sim.run_limited(100000);
 
   const char* paths[] = {"/a/b", "/a/b/c", "/d/x/e", "/q", "/a"};
   for (std::size_t i = 0; i < plan.documents; ++i) {
-    sim.publish_paths(publisher, {parse_path(paths[i % 5])}, 200);
+    sim.publish_paths(run.publisher, {parse_path(paths[i % 5])}, 200);
   }
-
-  FaultSimResult result;
   // Bounded drain: scheduled crash events fire at their plan times during
   // this run, possibly mid-traffic (in-flight publications then die with
   // the broker — that is the fault model, and the verdict will say so).
-  result.report = sim.run_until_quiescent(1000000);
-  for (int client : subscribers) {
+  run.report = sim.run_until_quiescent(1000000);
+  return run;
+}
+
+FaultSimResult run_faultsim(const FaultPlan& plan, bool faulted) {
+  Simulator sim(Simulator::Options{0.0});
+  ScenarioRun run = run_scenario(sim, plan, faulted, /*traced=*/false);
+
+  FaultSimResult result;
+  result.report = run.report;
+  for (int client : run.subscribers) {
     result.delivered.push_back(sim.delivered_docs(client));
   }
   const NetworkStats& stats = sim.stats();
@@ -237,13 +267,105 @@ int cmd_faultsim(const std::vector<std::string>& args) {
   return equal ? 0 : 1;
 }
 
+int cmd_trace(const std::vector<std::string>& args) {
+#if !XROUTE_TRACING_ENABLED
+  (void)args;
+  std::cerr << "trace: tracing was compiled out (-DXROUTE_TRACING=OFF)\n";
+  return 2;
+#else
+  if (args.empty()) {
+    throw std::runtime_error(
+        "usage: trace <plan-file> [chrome-out.json] [--dump <trace-id>]");
+  }
+  std::string chrome_out;
+  std::uint64_t dump_trace = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--dump") {
+      if (++i >= args.size()) throw std::runtime_error("--dump needs an id");
+      dump_trace = std::stoull(args[i]);
+    } else {
+      chrome_out = args[i];
+    }
+  }
+  std::ifstream in(args[0]);
+  if (!in) throw std::runtime_error("cannot open " + args[0]);
+  FaultPlan plan = parse_fault_plan(in);
+
+  Simulator sim(Simulator::Options{0.0});
+  ScenarioRun run = run_scenario(sim, plan, /*faulted=*/true, /*traced=*/true);
+  const Tracer& tracer = *sim.tracer();
+
+  std::size_t kind_counts[10] = {};
+  std::size_t retransmits = 0, dropped = 0;
+  for (const Span& span : tracer.spans()) {
+    ++kind_counts[static_cast<std::size_t>(span.kind)];
+    if (span.retransmit) ++retransmits;
+    if (span.dropped) ++dropped;
+  }
+  std::cout << tracer.trace_count() << " traces, " << tracer.spans().size()
+            << " spans (quiesced at " << run.report.last_activity << " ms)\n";
+  const SpanKind kinds[] = {SpanKind::kInject, SpanKind::kEnqueue,
+                            SpanKind::kLink,   SpanKind::kBroker,
+                            SpanKind::kDeliver};
+  for (SpanKind kind : kinds) {
+    std::cout << "  " << to_string(kind) << " "
+              << kind_counts[static_cast<std::size_t>(kind)];
+  }
+  std::cout << "\n  retransmit attempts " << retransmits << ", dropped "
+            << dropped << "\n";
+
+  // The trace is only worth exporting if it is a faithful witness:
+  // reconstruct every subscriber's delivery set from deliver spans and
+  // hold it against the simulator's records.
+  std::map<int, std::set<std::uint64_t>> from_trace;
+  for (const Span& span : tracer.spans()) {
+    if (span.kind == SpanKind::kDeliver && !span.duplicate) {
+      from_trace[span.client].insert(span.doc_id);
+    }
+  }
+  bool faithful = true;
+  for (int client : run.subscribers) {
+    if (from_trace[client] != sim.delivered_docs(client)) {
+      faithful = false;
+      std::cout << "  subscriber client " << client << ": trace says "
+                << from_trace[client].size() << " docs, simulator "
+                << sim.delivered_docs(client).size() << "\n";
+    }
+  }
+  std::cout << "trace reconstruction: " << (faithful ? "EQUAL" : "MISMATCH")
+            << " (vs simulator delivery records)\n";
+
+  if (!chrome_out.empty()) {
+    std::ofstream out(chrome_out);
+    if (!out) throw std::runtime_error("cannot write " + chrome_out);
+    write_chrome_trace(tracer, out);
+    std::cout << "chrome trace written to " << chrome_out
+              << " (load in about:tracing or ui.perfetto.dev)\n";
+  }
+  if (dump_trace != 0) write_trace_json(tracer, dump_trace, std::cout);
+  return faithful ? 0 : 1;
+#endif
+}
+
+int cmd_metrics(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("usage: metrics <plan-file>");
+  std::ifstream in(args[0]);
+  if (!in) throw std::runtime_error("cannot open " + args[0]);
+  FaultPlan plan = parse_fault_plan(in);
+
+  Simulator sim(Simulator::Options{0.0});
+  run_scenario(sim, plan, /*faulted=*/true, /*traced=*/false);
+  sim.stats().registry().write_json(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
-    std::cerr << "usage: xroutectl "
-              << "<parse|covers|derive|match|paths|universe|faultsim> ...\n";
+    std::cerr << "usage: xroutectl <parse|covers|derive|match|paths|universe|"
+              << "faultsim|trace|metrics> ...\n";
     return 2;
   }
   std::string command = args[0];
@@ -256,6 +378,8 @@ int main(int argc, char** argv) {
     if (command == "paths") return cmd_paths(args);
     if (command == "universe") return cmd_universe(args);
     if (command == "faultsim") return cmd_faultsim(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "metrics") return cmd_metrics(args);
     std::cerr << "unknown command: " << command << "\n";
     return 2;
   } catch (const std::exception& e) {
