@@ -1,0 +1,257 @@
+// Transport loopback echo: frames/sec and per-frame RTT percentiles.
+//
+// A bare Transport pair on 127.0.0.1 — the server echoes every frame
+// back verbatim — measures the floor the overlay pays per message:
+// encode, two socket hops, frame reassembly, decode. Two message shapes
+// bracket the real traffic: Subscribe (a dozen payload bytes, the
+// steady-state control frame) and SyncState (a multi-KiB recovery
+// blob). Latency is a sequential ping-pong (one frame in flight);
+// throughput is a pipelined burst. Results land in BENCH_transport.json
+// with the echo registry's full metrics snapshot.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics_snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/transport.hpp"
+#include "util/flags.hpp"
+#include "wire/codec.hpp"
+#include "xpath/parser.hpp"
+
+using namespace xroute;
+using transport::Connection;
+using transport::EventLoop;
+using transport::Transport;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile over a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct EchoResult {
+  std::string label;
+  std::size_t frame_bytes = 0;
+  std::size_t pingpong_frames = 0;
+  std::size_t burst_frames = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double frames_per_sec = 0.0;
+  double mbytes_per_sec = 0.0;
+};
+
+Transport::Options endpoint(wire::Hello::PeerKind kind, std::uint32_t id) {
+  Transport::Options options;
+  options.self = wire::Hello{kind, id};
+  return options;
+}
+
+/// One echo endpoint pair over loopback TCP. The server loop re-encodes
+/// and returns every message frame; the client loop counts arrivals.
+class EchoRig {
+ public:
+  EchoRig() {
+    server_transport_.set_frame_handler(
+        [](Connection* conn, wire::Decoded&& decoded) {
+          conn->send(wire::encode_frame(decoded.message));
+        });
+    client_transport_.set_peer_handler(
+        [this](Connection* conn, const wire::Hello&) {
+          conn_.store(conn, std::memory_order_release);
+        });
+    client_transport_.set_frame_handler(
+        [this](Connection*, wire::Decoded&&) {
+          echoed_.fetch_add(1, std::memory_order_acq_rel);
+        });
+
+    std::atomic<std::uint16_t> port{0};
+    server_loop_.post([this, &port] {
+      port.store(server_transport_.listen(0), std::memory_order_release);
+    });
+    server_thread_ = std::thread([this] { server_loop_.run(); });
+    client_thread_ = std::thread([this] { client_loop_.run(); });
+    while (port.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    std::uint16_t bound = port.load(std::memory_order_acquire);
+    client_loop_.post(
+        [this, bound] { client_transport_.dial("127.0.0.1", bound); });
+    while (conn_.load(std::memory_order_acquire) == nullptr) {
+      std::this_thread::yield();
+    }
+  }
+
+  ~EchoRig() {
+    client_loop_.post([this] { client_transport_.shutdown(); });
+    server_loop_.post([this] { server_transport_.shutdown(); });
+    client_loop_.stop();
+    server_loop_.stop();
+    client_thread_.join();
+    server_thread_.join();
+  }
+
+  /// Sends `frame` once from the client loop thread.
+  void send(const std::vector<std::uint8_t>& frame) {
+    Connection* conn = conn_.load(std::memory_order_acquire);
+    client_loop_.post([conn, frame] { conn->send(frame); });
+  }
+
+  std::size_t echoed() const { return echoed_.load(std::memory_order_acquire); }
+
+  void wait_echoed(std::size_t target) {
+    while (echoed() < target) std::this_thread::yield();
+  }
+
+ private:
+  EventLoop server_loop_;
+  EventLoop client_loop_;
+  Transport server_transport_{&server_loop_,
+                              endpoint(wire::Hello::PeerKind::kBroker, 0)};
+  Transport client_transport_{&client_loop_,
+                              endpoint(wire::Hello::PeerKind::kClient, 1)};
+  std::thread server_thread_;
+  std::thread client_thread_;
+  std::atomic<Connection*> conn_{nullptr};
+  std::atomic<std::size_t> echoed_{0};
+};
+
+EchoResult run_echo(const std::string& label, const Message& message,
+                    std::size_t pingpong_frames, std::size_t burst_frames,
+                    MetricsRegistry& registry) {
+  const std::vector<std::uint8_t> frame = wire::encode_frame(message);
+  EchoRig rig;
+
+  EchoResult result;
+  result.label = label;
+  result.frame_bytes = frame.size();
+  result.pingpong_frames = pingpong_frames;
+  result.burst_frames = burst_frames;
+
+  // Warm-up: first exchanges pay one-off costs (handshake tail, page
+  // faults, branch training) that do not represent steady state.
+  for (std::size_t i = 0; i < 32; ++i) {
+    std::size_t before = rig.echoed();
+    rig.send(frame);
+    rig.wait_echoed(before + 1);
+  }
+
+  // ---- Latency: sequential ping-pong, one frame in flight -------------
+  Histogram& rtt = registry.histogram("transport.echo_rtt_ms", {{"size", label}});
+  std::vector<double> samples;
+  samples.reserve(pingpong_frames);
+  for (std::size_t i = 0; i < pingpong_frames; ++i) {
+    std::size_t before = rig.echoed();
+    Clock::time_point t0 = Clock::now();
+    rig.send(frame);
+    rig.wait_echoed(before + 1);
+    double ms = ms_between(t0, Clock::now());
+    samples.push_back(ms);
+    rtt.observe(ms);
+  }
+  std::sort(samples.begin(), samples.end());
+  result.p50_ms = percentile(samples, 0.50);
+  result.p99_ms = percentile(samples, 0.99);
+
+  // ---- Throughput: pipelined burst, echoes drained concurrently -------
+  std::size_t before = rig.echoed();
+  Clock::time_point t0 = Clock::now();
+  for (std::size_t i = 0; i < burst_frames; ++i) rig.send(frame);
+  rig.wait_echoed(before + burst_frames);
+  double seconds = ms_between(t0, Clock::now()) / 1000.0;
+  result.frames_per_sec = static_cast<double>(burst_frames) / seconds;
+  // Bytes cross the wire twice (out and echoed back); report one-way.
+  result.mbytes_per_sec =
+      result.frames_per_sec * static_cast<double>(frame.size()) / (1024.0 * 1024.0);
+
+  registry.counter("transport.echo_frames", {{"size", label}})
+      .inc(pingpong_frames + burst_frames + 32);
+  registry.counter("transport.echo_bytes", {{"size", label}})
+      .inc((pingpong_frames + burst_frames + 32) * frame.size());
+
+  std::cout << label << ": " << frame.size() << " B/frame, RTT p50 "
+            << result.p50_ms << " ms, p99 " << result.p99_ms << " ms, "
+            << static_cast<std::size_t>(result.frames_per_sec) << " frames/s ("
+            << result.mbytes_per_sec << " MiB/s)\n";
+  return result;
+}
+
+void emit(std::ostream& os, const EchoResult& r) {
+  os << "    \"frame_bytes\": " << r.frame_bytes << ",\n"
+     << "    \"pingpong_frames\": " << r.pingpong_frames << ",\n"
+     << "    \"burst_frames\": " << r.burst_frames << ",\n"
+     << "    \"rtt_p50_ms\": " << r.p50_ms << ",\n"
+     << "    \"rtt_p99_ms\": " << r.p99_ms << ",\n"
+     << "    \"frames_per_sec\": " << r.frames_per_sec << ",\n"
+     << "    \"mbytes_per_sec\": " << r.mbytes_per_sec << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("Transport loopback echo: frames/sec and RTT percentiles");
+  flags.define("pingpong", "2000", "sequential round-trips per size");
+  flags.define("burst", "20000", "pipelined frames per size (small)");
+  flags.define("burst-large", "1000", "pipelined frames per size (large)");
+  flags.define("state-kib", "64", "SyncState payload size in KiB");
+  flags.define("out", "BENCH_transport.json", "output file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::size_t pingpong = flags.get_int("pingpong");
+  const std::size_t burst = flags.get_int("burst");
+  const std::size_t burst_large = flags.get_int("burst-large");
+  const std::size_t state_kib = flags.get_int("state-kib");
+
+  MetricsRegistry registry;
+
+  // Small: the steady-state control frame.
+  Message small = Message::subscribe(parse_xpe("/nitf/head/title"));
+
+  // Large: a recovery blob shaped like a link-state export.
+  std::string state = "xroute-link-sync 1\n";
+  while (state.size() < state_kib * 1024) {
+    state += "sub 3 /a/b/c[@id='42']\nadv 1 /a/#\n";
+  }
+  Message large = Message::sync_state(std::move(state));
+
+  EchoResult small_result =
+      run_echo("small", small, pingpong, burst, registry);
+  EchoResult large_result =
+      run_echo("large", large, pingpong, burst_large, registry);
+
+  std::ofstream out(flags.get_string("out"));
+  out << "{\n"
+      << "  \"bench\": \"transport_echo\",\n"
+      << "  \"config\": {\n"
+      << "    \"pingpong\": " << pingpong << ",\n"
+      << "    \"burst_small\": " << burst << ",\n"
+      << "    \"burst_large\": " << burst_large << ",\n"
+      << "    \"state_kib\": " << state_kib << "\n"
+      << "  },\n"
+      << "  \"small_subscribe\": {\n";
+  emit(out, small_result);
+  out << "  },\n"
+      << "  \"large_sync_state\": {\n";
+  emit(out, large_result);
+  out << "  },\n";
+  emit_metrics_snapshot(out, registry, "metrics");
+  out << "\n}\n";
+  std::cout << "wrote " << flags.get_string("out") << "\n";
+  return 0;
+}

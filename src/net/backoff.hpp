@@ -1,0 +1,32 @@
+// Exponential backoff policy, shared by the simulator's retransmission
+// timers (net/reliable_link) and the real transport's reconnect logic
+// (transport/transport). One policy object answers "how long until attempt
+// n retries" and "has attempt n exhausted the budget".
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace xroute {
+
+struct BackoffPolicy {
+  /// Delay before the first retry; attempt n waits base_ms * multiplier^n.
+  double base_ms = 50.0;
+  double multiplier = 2.0;
+  /// Ceiling on any single delay (infinity = uncapped, the simulator's
+  /// historical retransmission behaviour).
+  double max_ms = std::numeric_limits<double>::infinity();
+  /// Attempts before giving up (< 0 = retry forever).
+  int max_attempts = -1;
+
+  double delay_ms(int attempt) const {
+    double delay = base_ms * std::pow(multiplier, attempt);
+    return delay < max_ms ? delay : max_ms;
+  }
+
+  bool exhausted(int attempt) const {
+    return max_attempts >= 0 && attempt >= max_attempts;
+  }
+};
+
+}  // namespace xroute

@@ -17,10 +17,12 @@
 // Table 2/3 message counts are unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "net/backoff.hpp"
 #include "router/message.hpp"
 
 namespace xroute {
@@ -36,6 +38,14 @@ struct ReliabilityOptions {
   int max_retries = 16;
   /// Wire size charged to an ack frame (bandwidth model).
   std::size_t ack_bytes = 24;
+
+  /// The knobs as the shared exponential-backoff policy (net/backoff.hpp),
+  /// specialised to one link's latency. Uncapped: the historical RTO
+  /// schedule grows geometrically until max_retries exhausts it.
+  BackoffPolicy retransmit_policy(double link_latency_ms) const {
+    return BackoffPolicy{std::max(rto_ms, 4.0 * link_latency_ms), backoff,
+                         std::numeric_limits<double>::infinity(), max_retries};
+  }
 };
 
 /// Transport state at one endpoint of a link: the sender half of the

@@ -389,8 +389,7 @@ void Simulator::transmit_direct(int from_endpoint, Message msg,
 
 double Simulator::link_rto(int from_endpoint, int attempt) const {
   const Endpoint& from = endpoints_[static_cast<std::size_t>(from_endpoint)];
-  double base = std::max(reliability_.rto_ms, 4.0 * from.link.latency_ms);
-  return base * std::pow(reliability_.backoff, attempt);
+  return reliability_.retransmit_policy(from.link.latency_ms).delay_ms(attempt);
 }
 
 void Simulator::send_frame(int from_endpoint, std::uint64_t seq, int attempt,

@@ -21,24 +21,37 @@ struct AdvertiseMsg {
   Advertisement advertisement;
   /// Broker the advertising publisher is attached to (for diagnostics).
   int origin_broker = -1;
+
+  friend bool operator==(const AdvertiseMsg&, const AdvertiseMsg&) = default;
 };
 
 struct SubscribeMsg {
   Xpe xpe;
+
+  friend bool operator==(const SubscribeMsg&, const SubscribeMsg&) = default;
 };
 
 struct UnadvertiseMsg {
   Advertisement advertisement;
   int origin_broker = -1;
+
+  friend bool operator==(const UnadvertiseMsg&, const UnadvertiseMsg&) =
+      default;
 };
 
 struct UnsubscribeMsg {
   Xpe xpe;
+
+  friend bool operator==(const UnsubscribeMsg&, const UnsubscribeMsg&) =
+      default;
 };
 
 /// Recovery handshake (crash resync): a restarted broker asks each
 /// neighbour to replay the state relevant to their shared link.
-struct SyncRequestMsg {};
+struct SyncRequestMsg {
+  friend bool operator==(const SyncRequestMsg&, const SyncRequestMsg&) =
+      default;
+};
 
 /// The neighbour's reply: a bounded, line-oriented state transfer built on
 /// router/snapshot's serialisation (see export_link_state): the
@@ -47,6 +60,8 @@ struct SyncRequestMsg {};
 /// the restarted broker (so nothing is re-forwarded needlessly).
 struct SyncStateMsg {
   std::string state;
+
+  friend bool operator==(const SyncStateMsg&, const SyncStateMsg&) = default;
 };
 
 struct PublishMsg {
@@ -62,6 +77,8 @@ struct PublishMsg {
   std::uint32_t paths_in_doc = 1;
   /// Simulated publish timestamp (set by the simulator) for delay metrics.
   double publish_time = 0.0;
+
+  friend bool operator==(const PublishMsg&, const PublishMsg&) = default;
 };
 
 using Payload = std::variant<AdvertiseMsg, SubscribeMsg, UnsubscribeMsg,

@@ -1,0 +1,149 @@
+#include "transport/broker_node.hpp"
+
+#include <future>
+#include <sstream>
+#include <utility>
+
+namespace xroute::transport {
+
+TransportBroker::TransportBroker(Options options)
+    : options_(std::move(options)),
+      loop_(std::make_unique<EventLoop>(options_.force_poll)),
+      broker_(options_.id, options_.config) {
+  Transport::Options topts;
+  topts.self.kind = wire::Hello::PeerKind::kBroker;
+  topts.self.peer_id = static_cast<std::uint32_t>(options_.id);
+  topts.connection = options_.connection;
+  topts.dial_backoff = options_.dial_backoff;
+  transport_ = std::make_unique<Transport>(loop_.get(), std::move(topts));
+  transport_->set_peer_handler(
+      [this](Connection* c, const wire::Hello& h) { on_peer(c, h); });
+  transport_->set_frame_handler(
+      [this](Connection* c, wire::Decoded&& d) { on_frame(c, std::move(d)); });
+  transport_->set_disconnect_handler(
+      [this](Connection* c, const std::string& r) { on_disconnect(c, r); });
+}
+
+TransportBroker::~TransportBroker() { stop(); }
+
+void TransportBroker::start() {
+  if (running_) return;
+  port_ = transport_->listen(options_.listen_port);
+  running_ = true;
+  thread_ = std::thread([this] { loop_->run(); });
+}
+
+void TransportBroker::connect_to(const std::string& host, std::uint16_t port) {
+  loop_->post([this, host, port] { transport_->dial(host, port); });
+}
+
+void TransportBroker::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_->post([this] { transport_->shutdown(); });
+  loop_->stop();
+  thread_.join();
+}
+
+void TransportBroker::on_peer(Connection* connection, const wire::Hello& hello) {
+  Peer peer;
+  peer.interface_id = next_interface_++;
+  peer.hello = hello;
+  std::string peer_label =
+      (hello.kind == wire::Hello::PeerKind::kBroker ? "broker-" : "client-") +
+      std::to_string(hello.peer_id);
+  peer.frames_in = &registry_.counter("transport.frames",
+                                      {{"peer", peer_label}, {"dir", "in"}});
+  peer.frames_out = &registry_.counter("transport.frames",
+                                       {{"peer", peer_label}, {"dir", "out"}});
+  peer.bytes_in = &registry_.counter("transport.bytes",
+                                     {{"peer", peer_label}, {"dir", "in"}});
+  peer.bytes_out = &registry_.counter("transport.bytes",
+                                      {{"peer", peer_label}, {"dir", "out"}});
+  interfaces_[peer.interface_id] = connection;
+  if (hello.kind == wire::Hello::PeerKind::kBroker) {
+    broker_.add_neighbor(peer.interface_id);
+    broker_peers_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    broker_.add_client(peer.interface_id);
+    client_peers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  peers_.emplace(connection, peer);
+  connection->set_backpressure_handler(
+      [this](bool engaged) { on_backpressure(engaged); });
+}
+
+void TransportBroker::on_disconnect(Connection* connection,
+                                    const std::string& reason) {
+  (void)reason;
+  auto it = peers_.find(connection);
+  if (it == peers_.end()) return;
+  if (it->second.hello.kind == wire::Hello::PeerKind::kBroker) {
+    broker_peers_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    client_peers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry_.counter("transport.disconnects").inc();
+  interfaces_.erase(it->second.interface_id);
+  peers_.erase(it);
+  // The Broker keeps the interface's routing state: a reconnecting peer
+  // gets a fresh interface and re-announces (crash resync is the
+  // SyncRequest/SyncState handshake, driven by the restarted side).
+}
+
+void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) {
+  auto it = peers_.find(connection);
+  if (it == peers_.end()) return;
+  Peer& peer = it->second;
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  peer.frames_in->inc();
+  peer.bytes_in->inc(decoded.consumed);
+
+  Broker::HandleResult result =
+      broker_.handle(peer.interface_id, decoded.message);
+  for (const Broker::Forward& forward : result.forwards) {
+    send_on(forward.interface, forward.message);
+  }
+}
+
+void TransportBroker::send_on(int interface_id, const Message& msg) {
+  auto it = interfaces_.find(interface_id);
+  if (it == interfaces_.end()) return;  // interface's peer is gone
+  auto peer_it = peers_.find(it->second);
+  std::vector<std::uint8_t> frame = wire::encode_frame(msg);
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  if (peer_it != peers_.end()) {
+    peer_it->second.frames_out->inc();
+    peer_it->second.bytes_out->inc(frame.size());
+  }
+  it->second->send(std::move(frame));
+}
+
+void TransportBroker::on_backpressure(bool engaged) {
+  if (engaged) {
+    ++backpressured_connections_;
+    backpressure_events_.fetch_add(1, std::memory_order_relaxed);
+    registry_.counter("transport.backpressure_events").inc();
+  } else if (backpressured_connections_ > 0) {
+    --backpressured_connections_;
+  }
+  // Ingress is the only source of egress: pause every reader while any
+  // sink is saturated, resume when the last one drains.
+  bool paused = backpressured_connections_ > 0;
+  for (auto& [connection, peer] : peers_) {
+    connection->set_read_enabled(!paused);
+  }
+}
+
+std::string TransportBroker::metrics_json() {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  loop_->post([this, &promise] {
+    std::ostringstream os;
+    registry_.write_json(os);
+    promise.set_value(os.str());
+  });
+  return future.get();
+}
+
+}  // namespace xroute::transport

@@ -1,0 +1,120 @@
+// TransportBroker — one router/Broker hosted behind real sockets.
+//
+// The broker core stays the pure message transformer it is in the
+// simulator; this adapter gives it a network face: every accepted or
+// dialed connection that completes the Hello handshake becomes one broker
+// interface (the same dense interface-id scheme the simulator uses), an
+// arriving frame decodes to a Message and runs through Broker::handle()
+// on the loop thread, and each resulting forward encodes back onto the
+// connection owning its interface.
+//
+// Backpressure: when any egress connection's send queue crosses its high
+// watermark the node stops reading from *all* connections (ingress is the
+// only thing that generates egress), resuming when every queue is back
+// under the low watermark. TCP flow control then pushes back on the
+// upstream sender.
+//
+// Threading: one event-loop thread owns the Broker, the connections and
+// the MetricsRegistry. Cross-thread observation goes through atomics
+// (frame/byte totals, peer counts) or posted tasks (metrics_json).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "router/broker.hpp"
+#include "transport/transport.hpp"
+
+namespace xroute::transport {
+
+class TransportBroker {
+ public:
+  struct Options {
+    int id = 0;
+    Broker::Config config;
+    /// 0 = ephemeral (port() reports the bound one).
+    std::uint16_t listen_port = 0;
+    Connection::Options connection;
+    BackoffPolicy dial_backoff{50.0, 2.0, 2000.0, -1};
+    /// Use the poll(2) backend instead of the platform default.
+    bool force_poll = false;
+  };
+
+  explicit TransportBroker(Options options);
+  ~TransportBroker();
+
+  /// Binds the listener and starts the loop thread.
+  void start();
+  /// Dials a neighbouring broker (callable from any thread, before or
+  /// after the peer is up — dialing retries with backoff).
+  void connect_to(const std::string& host, std::uint16_t port);
+  /// Stops the loop thread and closes every connection.
+  void stop();
+
+  int id() const { return options_.id; }
+  std::uint16_t port() const { return port_; }
+
+  // -- Cross-thread observables --------------------------------------------
+  std::uint64_t frames_in() const {
+    return frames_in_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_out() const {
+    return frames_out_.load(std::memory_order_relaxed);
+  }
+  std::size_t broker_peers() const {
+    return broker_peers_.load(std::memory_order_relaxed);
+  }
+  std::size_t client_peers() const {
+    return client_peers_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t backpressure_engagements() const {
+    return backpressure_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the node's MetricsRegistry (per-connection byte/frame
+  /// series) as JSON. Runs on the loop thread; blocks the caller.
+  std::string metrics_json();
+
+ private:
+  struct Peer {
+    int interface_id = -1;
+    wire::Hello hello;
+    /// Registry series resolved once at handshake (loop thread).
+    Counter* frames_in = nullptr;
+    Counter* frames_out = nullptr;
+    Counter* bytes_in = nullptr;
+    Counter* bytes_out = nullptr;
+  };
+
+  void on_peer(Connection* connection, const wire::Hello& hello);
+  void on_frame(Connection* connection, wire::Decoded&& decoded);
+  void on_disconnect(Connection* connection, const std::string& reason);
+  void on_backpressure(bool engaged);
+  void send_on(int interface_id, const Message& msg);
+
+  Options options_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Transport> transport_;
+  Broker broker_;
+  MetricsRegistry registry_;
+  std::map<Connection*, Peer> peers_;
+  std::map<int, Connection*> interfaces_;
+  int next_interface_ = 0;
+  std::size_t backpressured_connections_ = 0;
+  std::thread thread_;
+  bool running_ = false;
+  std::uint16_t port_ = 0;
+
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> backpressure_events_{0};
+  std::atomic<std::size_t> broker_peers_{0};
+  std::atomic<std::size_t> client_peers_{0};
+};
+
+}  // namespace xroute::transport

@@ -1,0 +1,114 @@
+#include "transport/client.hpp"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace xroute::transport {
+
+TransportClient::TransportClient(Options options)
+    : options_(std::move(options)),
+      loop_(std::make_unique<EventLoop>(options_.force_poll)) {
+  Transport::Options topts;
+  topts.self.kind = wire::Hello::PeerKind::kClient;
+  topts.self.peer_id = static_cast<std::uint32_t>(options_.id);
+  topts.connection = options_.connection;
+  topts.dial_backoff = options_.dial_backoff;
+  transport_ = std::make_unique<Transport>(loop_.get(), std::move(topts));
+  transport_->set_peer_handler(
+      [this](Connection* c, const wire::Hello&) { on_peer(c); });
+  transport_->set_frame_handler(
+      [this](Connection*, wire::Decoded&& d) { on_frame(std::move(d)); });
+  transport_->set_disconnect_handler(
+      [this](Connection*, const std::string&) { on_disconnect(); });
+}
+
+TransportClient::~TransportClient() { stop(); }
+
+void TransportClient::start(const std::string& host, std::uint16_t port) {
+  if (running_) return;
+  running_ = true;
+  loop_->post([this, host, port] { transport_->dial(host, port); });
+  thread_ = std::thread([this] { loop_->run(); });
+}
+
+void TransportClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_->post([this] { transport_->shutdown(); });
+  loop_->stop();
+  thread_.join();
+}
+
+bool TransportClient::wait_connected(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return connected_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                [this] { return connected(); });
+}
+
+void TransportClient::send(Message msg) {
+  loop_->post([this, msg = std::move(msg)]() mutable {
+    if (connection_ != nullptr) {
+      connection_->send(wire::encode_frame(msg));
+    } else {
+      pending_.push_back(std::move(msg));
+    }
+  });
+}
+
+void TransportClient::sync() {
+  std::promise<void> done;
+  loop_->post([&done] { done.set_value(); });
+  done.get_future().wait();
+}
+
+void TransportClient::set_message_handler(
+    std::function<void(const Message&)> handler) {
+  loop_->post([this, handler = std::move(handler)]() mutable {
+    on_message_ = std::move(handler);
+  });
+}
+
+void TransportClient::on_peer(Connection* connection) {
+  connection_ = connection;
+  for (Message& msg : pending_) {
+    connection_->send(wire::encode_frame(msg));
+  }
+  pending_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connected_.store(true, std::memory_order_release);
+  }
+  connected_cv_.notify_all();
+}
+
+void TransportClient::on_frame(wire::Decoded&& decoded) {
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  if (decoded.message.type() == MessageType::kPublish) {
+    const auto& pub = std::get<PublishMsg>(decoded.message.payload);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++arrivals_[pub.doc_id];
+  }
+  if (on_message_) on_message_(decoded.message);
+}
+
+void TransportClient::on_disconnect() {
+  connection_ = nullptr;
+  connected_.store(false, std::memory_order_release);
+}
+
+std::set<std::uint64_t> TransportClient::delivered_docs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<std::uint64_t> docs;
+  for (const auto& [doc, count] : arrivals_) docs.insert(doc);
+  return docs;
+}
+
+std::size_t TransportClient::duplicate_publications() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t duplicates = 0;
+  for (const auto& [doc, count] : arrivals_) duplicates += count - 1;
+  return duplicates;
+}
+
+}  // namespace xroute::transport

@@ -1,0 +1,101 @@
+// TransportClient — a publisher/subscriber endpoint speaking the wire
+// protocol to its edge broker over one TCP connection.
+//
+// Mirrors the simulator's client endpoints: send() issues control and
+// publication messages, and arriving Publication frames are recorded with
+// the simulator's first-arrival bookkeeping (delivered_docs() is the set
+// of distinct document ids, duplicates counted separately) so the
+// differential test can compare delivery sets across the two transports.
+//
+// Threading: one event-loop thread owns the connection; send() and the
+// observation accessors are callable from any thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/message.hpp"
+#include "transport/transport.hpp"
+
+namespace xroute::transport {
+
+class TransportClient {
+ public:
+  struct Options {
+    int id = 0;
+    Connection::Options connection;
+    BackoffPolicy dial_backoff{50.0, 2.0, 2000.0, -1};
+    bool force_poll = false;
+  };
+
+  explicit TransportClient(Options options);
+  ~TransportClient();
+
+  /// Starts the loop thread and dials the edge broker.
+  void start(const std::string& host, std::uint16_t port);
+  void stop();
+
+  /// Blocks until the Hello handshake with the broker completes.
+  bool wait_connected(int timeout_ms = 5000);
+
+  /// Sends one message to the broker. Messages sent before the handshake
+  /// completes are queued and flushed on connect.
+  void send(Message msg);
+
+  /// Blocks until every send() posted before this call has been handed to
+  /// the connection (and opportunistically flushed to the socket).
+  void sync();
+
+  /// Optional hook invoked on the loop thread for every arriving message
+  /// (after delivery bookkeeping).
+  void set_message_handler(std::function<void(const Message&)> handler);
+
+  int id() const { return options_.id; }
+  bool connected() const {
+    return connected_.load(std::memory_order_acquire);
+  }
+
+  // -- Delivery observation (any thread) -----------------------------------
+  /// Distinct document ids delivered (first arrival per document).
+  std::set<std::uint64_t> delivered_docs() const;
+  /// Publication frames beyond the first arrival of their document.
+  std::size_t duplicate_publications() const;
+  /// Total frames received (handshake excluded).
+  std::uint64_t frames_in() const {
+    return frames_in_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void on_peer(Connection* connection);
+  void on_frame(wire::Decoded&& decoded);
+  void on_disconnect();
+
+  Options options_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Transport> transport_;
+  std::thread thread_;
+  bool running_ = false;
+
+  /// Loop-thread state.
+  Connection* connection_ = nullptr;
+  std::vector<Message> pending_;
+  std::function<void(const Message&)> on_message_;
+
+  /// Cross-thread state.
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> frames_in_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable connected_cv_;
+  std::map<std::uint64_t, std::size_t> arrivals_;  ///< doc id -> frame count
+};
+
+}  // namespace xroute::transport

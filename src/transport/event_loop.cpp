@@ -1,0 +1,255 @@
+#include "transport/event_loop.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace xroute::transport {
+
+namespace {
+
+void set_nonblocking_fd(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// -- poll(2) backend ---------------------------------------------------------
+
+class PollPoller : public Poller {
+ public:
+  void add(int fd, std::uint32_t interest) override { interest_[fd] = interest; }
+  void modify(int fd, std::uint32_t interest) override {
+    interest_[fd] = interest;
+  }
+  void remove(int fd) override { interest_.erase(fd); }
+
+  void wait(int timeout_ms, std::vector<Ready>* out) override {
+    fds_.clear();
+    for (const auto& [fd, interest] : interest_) {
+      short events = 0;
+      if (interest & kReadable) events |= POLLIN;
+      if (interest & kWritable) events |= POLLOUT;
+      fds_.push_back(pollfd{fd, events, 0});
+    }
+    int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;  // timeout or EINTR: nothing ready
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      std::uint32_t events = 0;
+      if (p.revents & (POLLIN | POLLPRI)) events |= kReadable;
+      if (p.revents & POLLOUT) events |= kWritable;
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kError;
+      out->push_back(Ready{p.fd, events});
+    }
+  }
+
+ private:
+  std::map<int, std::uint32_t> interest_;
+  std::vector<pollfd> fds_;
+};
+
+#if defined(__linux__)
+
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epfd_(epoll_create1(EPOLL_CLOEXEC)) {
+    if (epfd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void add(int fd, std::uint32_t interest) override { ctl(EPOLL_CTL_ADD, fd, interest); }
+  void modify(int fd, std::uint32_t interest) override {
+    ctl(EPOLL_CTL_MOD, fd, interest);
+  }
+  void remove(int fd) override {
+    epoll_event ev{};
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  void wait(int timeout_ms, std::vector<Ready>* out) override {
+    epoll_event events[64];
+    int n = epoll_wait(epfd_, events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      std::uint32_t ready = 0;
+      if (events[i].events & (EPOLLIN | EPOLLPRI)) ready |= kReadable;
+      if (events[i].events & EPOLLOUT) ready |= kWritable;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) ready |= kError;
+      out->push_back(Ready{events[i].data.fd, ready});
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, std::uint32_t interest) {
+    epoll_event ev{};
+    if (interest & kReadable) ev.events |= EPOLLIN;
+    if (interest & kWritable) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    if (epoll_ctl(epfd_, op, fd, &ev) != 0 && op == EPOLL_CTL_MOD) {
+      // MOD on an fd re-added after remove(): fall back to ADD.
+      epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+  }
+
+  int epfd_;
+};
+
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> make_poll_poller() {
+  return std::make_unique<PollPoller>();
+}
+
+std::unique_ptr<Poller> make_default_poller() {
+#if defined(__linux__)
+  return std::make_unique<EpollPoller>();
+#else
+  return make_poll_poller();
+#endif
+}
+
+EventLoop::EventLoop(bool force_poll)
+    : poller_(force_poll ? make_poll_poller() : make_default_poller()),
+      poll_backend_(force_poll
+#if !defined(__linux__)
+                    || true
+#endif
+      ) {
+  if (::pipe(wake_fds_) != 0) throw std::runtime_error("pipe failed");
+  set_nonblocking_fd(wake_fds_[0]);
+  set_nonblocking_fd(wake_fds_[1]);
+  add_fd(wake_fds_[0], kReadable, [this](std::uint32_t) {
+    char drain[64];
+    while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, IoCallback callback) {
+  callbacks_[fd] = std::move(callback);
+  poller_->add(fd, interest);
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  poller_->modify(fd, interest);
+}
+
+void EventLoop::remove_fd(int fd) {
+  callbacks_.erase(fd);
+  poller_->remove(fd);
+}
+
+double EventLoop::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t EventLoop::schedule(double delay_ms, std::function<void()> fn) {
+  std::uint64_t id = next_timer_id_++;
+  timers_.push(Timer{now_ms() + (delay_ms > 0 ? delay_ms : 0), id});
+  timer_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) { timer_fns_.erase(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  char byte = 1;
+  ssize_t written = ::write(wake_fds_[1], &byte, 1);
+  (void)written;  // pipe full means a wakeup is already pending
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    stop_requested_ = true;
+  }
+  char byte = 1;
+  ssize_t written = ::write(wake_fds_[1], &byte, 1);
+  (void)written;
+}
+
+int EventLoop::next_timeout_ms(int cap_ms) const {
+  // Skip cancelled timers at the head lazily.
+  auto timers = timers_;  // local copy is fine: only peeking the head chain
+  while (!timers.empty() && !timer_fns_.count(timers.top().id)) timers.pop();
+  if (timers.empty()) return cap_ms;
+  double wait = timers.top().due_ms - now_ms();
+  if (wait <= 0) return 0;
+  int ms = static_cast<int>(std::ceil(wait));
+  return (cap_ms >= 0 && ms > cap_ms) ? cap_ms : ms;
+}
+
+void EventLoop::fire_due_timers() {
+  double now = now_ms();
+  while (!timers_.empty() && timers_.top().due_ms <= now) {
+    Timer timer = timers_.top();
+    timers_.pop();
+    auto it = timer_fns_.find(timer.id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+  }
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::run_once(int timeout_ms) {
+  ready_.clear();
+  poller_->wait(next_timeout_ms(timeout_ms), &ready_);
+  for (const Poller::Ready& ready : ready_) {
+    auto it = callbacks_.find(ready.fd);
+    if (it == callbacks_.end()) continue;  // removed by an earlier callback
+    // Copy: the callback may remove_fd(its own fd), destroying the stored
+    // function mid-call otherwise.
+    IoCallback callback = it->second;
+    callback(ready.events);
+  }
+  fire_due_timers();
+  drain_posted();
+}
+
+void EventLoop::run() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(posted_mutex_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        break;
+      }
+    }
+    run_once(250);
+  }
+  drain_posted();  // run anything posted just before stop
+}
+
+}  // namespace xroute::transport

@@ -1,0 +1,116 @@
+// Single-threaded, non-blocking I/O event loop.
+//
+// One EventLoop drives one transport node (a broker daemon or a client):
+// readiness callbacks for registered fds, monotonic one-shot timers, and a
+// thread-safe post() that wakes the loop via a self-pipe so other threads
+// can hand work onto the loop thread. Everything except post()/stop() must
+// run on the loop thread; the loop never locks around user callbacks.
+//
+// Backend: epoll on Linux, poll(2) everywhere else (and on demand — the
+// poll backend stays compiled on Linux too, selectable per loop, so tests
+// exercise both).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace xroute::transport {
+
+/// Readiness bits delivered to io callbacks (and requested as interest).
+inline constexpr std::uint32_t kReadable = 1;
+inline constexpr std::uint32_t kWritable = 2;
+/// Error/hangup on the fd; always delivered, never requested.
+inline constexpr std::uint32_t kError = 4;
+
+/// Poller backend interface: readiness notification only, no callbacks.
+class Poller {
+ public:
+  struct Ready {
+    int fd = -1;
+    std::uint32_t events = 0;
+  };
+
+  virtual ~Poller() = default;
+  virtual void add(int fd, std::uint32_t interest) = 0;
+  virtual void modify(int fd, std::uint32_t interest) = 0;
+  virtual void remove(int fd) = 0;
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready fds.
+  virtual void wait(int timeout_ms, std::vector<Ready>* out) = 0;
+};
+
+/// Builds the platform-default backend (epoll on Linux, else poll).
+std::unique_ptr<Poller> make_default_poller();
+/// The portable poll(2) backend, available on every platform.
+std::unique_ptr<Poller> make_poll_poller();
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  /// Uses the platform-default poller, or poll(2) when force_poll is set.
+  explicit EventLoop(bool force_poll = false);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // -- fd registration (loop thread only) ----------------------------------
+  void add_fd(int fd, std::uint32_t interest, IoCallback callback);
+  void set_interest(int fd, std::uint32_t interest);
+  void remove_fd(int fd);
+
+  // -- timers (loop thread only) -------------------------------------------
+  /// Runs `fn` once after delay_ms (monotonic clock); returns a handle
+  /// usable with cancel_timer.
+  std::uint64_t schedule(double delay_ms, std::function<void()> fn);
+  void cancel_timer(std::uint64_t id);
+
+  // -- cross-thread entry points -------------------------------------------
+  /// Enqueues `fn` to run on the loop thread; wakes the loop if blocked.
+  void post(std::function<void()> fn);
+  /// Makes run() return after the current iteration. Thread-safe.
+  void stop();
+
+  /// Runs until stop(): dispatches readiness, due timers, posted tasks.
+  void run();
+  /// One iteration: polls with a timeout bounded by the next timer (or
+  /// timeout_ms when no timer is due sooner), dispatches everything due.
+  void run_once(int timeout_ms);
+
+  bool using_poll_backend() const { return poll_backend_; }
+
+ private:
+  struct Timer {
+    double due_ms;  ///< monotonic deadline
+    std::uint64_t id;
+    bool operator>(const Timer& other) const {
+      return due_ms != other.due_ms ? due_ms > other.due_ms : id > other.id;
+    }
+  };
+
+  double now_ms() const;
+  void drain_posted();
+  void fire_due_timers();
+  int next_timeout_ms(int cap_ms) const;
+
+  std::unique_ptr<Poller> poller_;
+  bool poll_backend_ = false;
+  std::map<int, IoCallback> callbacks_;
+  std::vector<Poller::Ready> ready_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::map<std::uint64_t, std::function<void()>> timer_fns_;  ///< id -> fn
+  std::uint64_t next_timer_id_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  ///< read on loop thread, set under mutex
+  int wake_fds_[2] = {-1, -1};   ///< self-pipe: [0] read, [1] write
+};
+
+}  // namespace xroute::transport

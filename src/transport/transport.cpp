@@ -1,0 +1,199 @@
+#include "transport/transport.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace xroute::transport {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* name = (host.empty() || host == "localhost") ? "127.0.0.1"
+                                                           : host.c_str();
+  if (inet_pton(AF_INET, name, &addr.sin_addr) != 1) {
+    throw std::runtime_error("transport: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Transport::Transport(EventLoop* loop, Options options)
+    : loop_(loop), options_(std::move(options)) {}
+
+Transport::~Transport() { shutdown(); }
+
+std::uint16_t Transport::listen(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("transport: socket() failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_address("127.0.0.1", port);
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("transport: cannot listen on port " +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  listen_port_ = ntohs(addr.sin_port);
+  loop_->add_fd(fd, kReadable, [this](std::uint32_t) { accept_ready(); });
+  return listen_port_;
+}
+
+void Transport::accept_ready() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays up
+    }
+    set_nonblocking(fd);
+    adopt_socket(fd, /*dialed=*/false, nullptr);
+  }
+}
+
+void Transport::dial(const std::string& host, std::uint16_t port) {
+  auto dial = std::make_shared<Dial>();
+  dial->host = host;
+  dial->port = port;
+  start_connect(std::move(dial));
+}
+
+void Transport::start_connect(std::shared_ptr<Dial> dial) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    retry_dial(std::move(dial));
+    return;
+  }
+  set_nonblocking(fd);
+  sockaddr_in addr = make_address(dial->host, dial->port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    connect_outcome(fd, std::move(dial), true);
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    retry_dial(std::move(dial));
+    return;
+  }
+  // Async connect in flight: resolution arrives as writability.
+  loop_->add_fd(fd, kWritable, [this, fd, dial](std::uint32_t events) {
+    loop_->remove_fd(fd);
+    int error = 0;
+    socklen_t len = sizeof(error);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    bool success = (events & kError) == 0 && error == 0;
+    connect_outcome(fd, dial, success);
+  });
+}
+
+void Transport::connect_outcome(int fd, std::shared_ptr<Dial> dial,
+                                bool success) {
+  if (!success) {
+    ::close(fd);
+    retry_dial(std::move(dial));
+    return;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  dial->attempt = 0;  // established: a future drop restarts the schedule
+  adopt_socket(fd, /*dialed=*/true, std::move(dial));
+}
+
+void Transport::retry_dial(std::shared_ptr<Dial> dial) {
+  const BackoffPolicy& policy = options_.dial_backoff;
+  if (policy.exhausted(dial->attempt)) {
+    if (on_dial_failed_) on_dial_failed_(dial->host, dial->port);
+    return;
+  }
+  double delay = policy.delay_ms(dial->attempt++);
+  loop_->schedule(delay, [this, dial] { start_connect(dial); });
+}
+
+void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
+  auto connection =
+      std::make_unique<Connection>(loop_, fd, options_.connection);
+  Connection* raw = connection.get();
+  Entry& entry = connections_[raw];
+  entry.connection = std::move(connection);
+  entry.established = false;
+  entry.dial = dialed ? std::move(dial) : nullptr;
+
+  raw->set_frame_handler([this, raw](wire::Decoded&& decoded) {
+    auto it = connections_.find(raw);
+    if (it == connections_.end()) return;
+    Entry& state = it->second;
+    if (!state.established) {
+      // First frame must be the peer's Hello at a version we can speak.
+      if (decoded.kind != wire::FrameKind::kHello) {
+        raw->close("handshake: first frame was not hello");
+        return;
+      }
+      if (decoded.hello.max_version < 1) {
+        raw->close("handshake: no common protocol version");
+        return;
+      }
+      state.established = true;
+      ++peers_;
+      if (on_peer_) on_peer_(raw, decoded.hello);
+      return;
+    }
+    if (!decoded.is_message()) {
+      raw->close("unexpected session frame after handshake");
+      return;
+    }
+    if (on_frame_) on_frame_(raw, std::move(decoded));
+  });
+
+  raw->set_close_handler([this, raw](const std::string& reason) {
+    auto it = connections_.find(raw);
+    if (it == connections_.end()) return;
+    bool established = it->second.established;
+    if (established) --peers_;
+    // Keep the Connection alive until this handler returns.
+    std::unique_ptr<Connection> doomed = std::move(it->second.connection);
+    connections_.erase(it);
+    if (established && on_disconnect_) on_disconnect_(raw, reason);
+  });
+
+  raw->start();
+  raw->send(wire::encode_hello(options_.self));
+}
+
+void Transport::shutdown() {
+  if (listen_fd_ >= 0) {
+    loop_->remove_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Closing mutates connections_ via the close handlers; detach first.
+  std::map<Connection*, Entry> doomed;
+  doomed.swap(connections_);
+  peers_ = 0;
+  doomed.clear();  // ~Connection closes the fds without firing handlers
+}
+
+}  // namespace xroute::transport

@@ -1,0 +1,114 @@
+// Peer management over TCP: listening, dialing with retry/backoff, and
+// the Hello handshake that turns an anonymous socket into an identified
+// peer (wire::Hello — broker or client, with its id).
+//
+// Handshake: both sides send their Hello as the first frame immediately
+// after the socket connects; a connection becomes a *peer* when the remote
+// Hello arrives. Any other frame first, or a protocol-version mismatch, is
+// a handshake failure and the connection closes. Dialing retries with the
+// shared exponential backoff policy (net/backoff.hpp) until the handshake
+// completes or the policy is exhausted, so processes of one overlay can
+// start in any order.
+//
+// All callbacks fire on the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/backoff.hpp"
+#include "transport/connection.hpp"
+#include "transport/event_loop.hpp"
+
+namespace xroute::transport {
+
+class Transport {
+ public:
+  struct Options {
+    /// Identity announced in our Hello.
+    wire::Hello self;
+    Connection::Options connection;
+    /// Dial retry schedule (default: 50 ms doubling, capped at 2 s,
+    /// retrying forever — a daemon waits for its overlay to come up).
+    BackoffPolicy dial_backoff{50.0, 2.0, 2000.0, -1};
+  };
+
+  /// A connection completed its handshake. `hello` is the peer's identity.
+  using PeerHandler =
+      std::function<void(Connection*, const wire::Hello& hello)>;
+  /// A message frame arrived from an established peer.
+  using FrameHandler = std::function<void(Connection*, wire::Decoded&&)>;
+  /// An established peer's connection died.
+  using DisconnectHandler =
+      std::function<void(Connection*, const std::string& reason)>;
+  /// A dial gave up (backoff exhausted).
+  using DialFailedHandler =
+      std::function<void(const std::string& host, std::uint16_t port)>;
+
+  Transport(EventLoop* loop, Options options);
+  ~Transport();
+
+  void set_peer_handler(PeerHandler handler) { on_peer_ = std::move(handler); }
+  void set_frame_handler(FrameHandler handler) {
+    on_frame_ = std::move(handler);
+  }
+  void set_disconnect_handler(DisconnectHandler handler) {
+    on_disconnect_ = std::move(handler);
+  }
+  void set_dial_failed_handler(DialFailedHandler handler) {
+    on_dial_failed_ = std::move(handler);
+  }
+
+  /// Binds and listens on `port` (0 = ephemeral); returns the bound port.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Starts dialing host:port (numeric IPv4 or "localhost"); retries with
+  /// the backoff policy until the connection establishes.
+  void dial(const std::string& host, std::uint16_t port);
+
+  /// Closes every connection and the listener.
+  void shutdown();
+
+  std::size_t peer_count() const { return peers_; }
+  std::uint16_t listen_port() const { return listen_port_; }
+  EventLoop* loop() { return loop_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Dial {
+    std::string host;
+    std::uint16_t port = 0;
+    int attempt = 0;
+  };
+
+  void accept_ready();
+  void adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial);
+  void start_connect(std::shared_ptr<Dial> dial);
+  void connect_outcome(int fd, std::shared_ptr<Dial> dial, bool success);
+  void retry_dial(std::shared_ptr<Dial> dial);
+
+  EventLoop* loop_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  /// All live connections; value tracks handshake completion.
+  struct Entry {
+    std::unique_ptr<Connection> connection;
+    bool established = false;
+    /// Re-dial coordinates for connections we initiated (empty for
+    /// accepted ones).
+    std::shared_ptr<Dial> dial;
+  };
+  std::map<Connection*, Entry> connections_;
+  std::size_t peers_ = 0;
+  PeerHandler on_peer_;
+  FrameHandler on_frame_;
+  DisconnectHandler on_disconnect_;
+  DialFailedHandler on_dial_failed_;
+};
+
+}  // namespace xroute::transport

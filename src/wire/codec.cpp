@@ -1,0 +1,550 @@
+#include "wire/codec.hpp"
+
+#include <cstring>
+
+namespace xroute::wire {
+
+namespace {
+
+// -- Primitive encoders ------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+// -- Bounded reader ----------------------------------------------------------
+
+/// Cursor over one frame's payload. Every read checks bounds; a failed
+/// read leaves the cursor poisoned so callers can bail with one status.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+  bool u8(std::uint8_t* v) {
+    if (p_ == end_) return false;
+    *v = *p_++;
+    return true;
+  }
+
+  bool varint(std::uint64_t* v) {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (p_ == end_) return false;
+      std::uint8_t byte = *p_++;
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if (!(byte & 0x80)) {
+        *v = value;
+        return true;
+      }
+    }
+    return false;  // > 10 bytes: not a valid varint
+  }
+
+  /// A list/byte count: capped, and never larger than the bytes actually
+  /// left in the frame (each encoded item costs >= 1 byte), so a hostile
+  /// count cannot drive a large allocation.
+  bool count(std::uint64_t* v, std::size_t cap) {
+    if (!varint(v)) return false;
+    return *v <= cap && *v <= remaining();
+  }
+
+  bool str(std::string* out, std::size_t cap = kMaxStringBytes) {
+    std::uint64_t len = 0;
+    if (!count(&len, cap)) return false;
+    out->assign(reinterpret_cast<const char*>(p_),
+                static_cast<std::size_t>(len));
+    p_ += len;
+    return true;
+  }
+
+  bool f64(double* v) {
+    if (remaining() < 8) return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    }
+    p_ += 8;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+// -- XPE ---------------------------------------------------------------------
+
+void encode_xpe(std::vector<std::uint8_t>& out, const Xpe& xpe) {
+  put_u8(out, xpe.relative() ? 1 : 0);
+  put_varint(out, xpe.size());
+  for (const Step& step : xpe.steps()) {
+    put_u8(out, static_cast<std::uint8_t>(step.axis));
+    put_string(out, step.name);
+    put_varint(out, step.predicates.size());
+    for (const Predicate& pred : step.predicates) {
+      put_u8(out, static_cast<std::uint8_t>(pred.target));
+      put_string(out, pred.name);
+      put_u8(out, static_cast<std::uint8_t>(pred.op));
+      put_string(out, pred.value);
+    }
+  }
+}
+
+DecodeStatus decode_xpe(Reader& r, Xpe* out) {
+  std::uint8_t relative = 0;
+  std::uint64_t nsteps = 0;
+  if (!r.u8(&relative) || relative > 1 || !r.count(&nsteps, kMaxListItems)) {
+    return DecodeStatus::kBadValue;
+  }
+  std::vector<Step> steps;
+  steps.reserve(static_cast<std::size_t>(nsteps));
+  for (std::uint64_t i = 0; i < nsteps; ++i) {
+    Step step;
+    std::uint8_t axis = 0;
+    std::uint64_t npreds = 0;
+    if (!r.u8(&axis) || axis > 1 || !r.str(&step.name) ||
+        !r.count(&npreds, kMaxListItems)) {
+      return DecodeStatus::kBadValue;
+    }
+    step.axis = static_cast<Axis>(axis);
+    step.predicates.reserve(static_cast<std::size_t>(npreds));
+    for (std::uint64_t j = 0; j < npreds; ++j) {
+      Predicate pred;
+      std::uint8_t target = 0, op = 0;
+      if (!r.u8(&target) || target > 1 || !r.str(&pred.name) || !r.u8(&op) ||
+          op > static_cast<std::uint8_t>(Predicate::Op::kGe) ||
+          !r.str(&pred.value)) {
+        return DecodeStatus::kBadValue;
+      }
+      pred.target = static_cast<Predicate::Target>(target);
+      pred.op = static_cast<Predicate::Op>(op);
+      step.predicates.push_back(std::move(pred));
+    }
+    steps.push_back(std::move(step));
+  }
+  *out = relative ? Xpe::relative(std::move(steps))
+                  : Xpe::absolute(std::move(steps));
+  return DecodeStatus::kOk;
+}
+
+// -- Advertisement -----------------------------------------------------------
+
+void encode_adv_nodes(std::vector<std::uint8_t>& out,
+                      const std::vector<AdvNode>& nodes) {
+  put_varint(out, nodes.size());
+  for (const AdvNode& node : nodes) {
+    put_u8(out, static_cast<std::uint8_t>(node.kind));
+    if (node.kind == AdvNode::Kind::kElement) {
+      put_string(out, node.name);
+    } else {
+      encode_adv_nodes(out, node.children);
+    }
+  }
+}
+
+DecodeStatus decode_adv_nodes(Reader& r, std::vector<AdvNode>* out,
+                              std::size_t depth) {
+  if (depth > kMaxAdvDepth) return DecodeStatus::kDepthExceeded;
+  std::uint64_t nnodes = 0;
+  if (!r.count(&nnodes, kMaxListItems)) return DecodeStatus::kBadValue;
+  out->reserve(static_cast<std::size_t>(nnodes));
+  for (std::uint64_t i = 0; i < nnodes; ++i) {
+    AdvNode node;
+    std::uint8_t kind = 0;
+    if (!r.u8(&kind) || kind > 1) return DecodeStatus::kBadValue;
+    node.kind = static_cast<AdvNode::Kind>(kind);
+    if (node.kind == AdvNode::Kind::kElement) {
+      if (!r.str(&node.name)) return DecodeStatus::kBadValue;
+    } else {
+      DecodeStatus status = decode_adv_nodes(r, &node.children, depth + 1);
+      if (status != DecodeStatus::kOk) return status;
+      // The advertisement grammar has no empty groups; reject them here so
+      // decoded advertisements satisfy the same invariants parsed ones do.
+      if (node.children.empty()) return DecodeStatus::kBadValue;
+    }
+    out->push_back(std::move(node));
+  }
+  return DecodeStatus::kOk;
+}
+
+void encode_advertisement(std::vector<std::uint8_t>& out,
+                          const Advertisement& adv, int origin_broker) {
+  encode_adv_nodes(out, adv.nodes());
+  put_svarint(out, origin_broker);
+}
+
+DecodeStatus decode_advertisement(Reader& r, Advertisement* adv, int* origin) {
+  std::vector<AdvNode> nodes;
+  DecodeStatus status = decode_adv_nodes(r, &nodes, 0);
+  if (status != DecodeStatus::kOk) return status;
+  std::uint64_t raw = 0;
+  if (!r.varint(&raw)) return DecodeStatus::kBadValue;
+  std::int64_t value = unzigzag(raw);
+  if (value < INT32_MIN || value > INT32_MAX) return DecodeStatus::kBadValue;
+  *adv = Advertisement(std::move(nodes));
+  *origin = static_cast<int>(value);
+  return DecodeStatus::kOk;
+}
+
+// -- Path + publication ------------------------------------------------------
+
+void encode_path(std::vector<std::uint8_t>& out, const Path& path) {
+  put_varint(out, path.elements.size());
+  for (const std::string& element : path.elements) put_string(out, element);
+  put_u8(out, path.annotated() ? 1 : 0);
+  if (!path.annotated()) return;
+  for (const PathNodeData& data : path.data) {
+    put_varint(out, data.attributes.size());
+    for (const auto& [name, value] : data.attributes) {
+      put_string(out, name);
+      put_string(out, value);
+    }
+    put_string(out, data.text);
+  }
+}
+
+DecodeStatus decode_path(Reader& r, Path* out) {
+  std::uint64_t nelems = 0;
+  if (!r.count(&nelems, kMaxListItems)) return DecodeStatus::kBadValue;
+  out->elements.resize(static_cast<std::size_t>(nelems));
+  for (std::string& element : out->elements) {
+    if (!r.str(&element)) return DecodeStatus::kBadValue;
+  }
+  std::uint8_t annotated = 0;
+  if (!r.u8(&annotated) || annotated > 1) return DecodeStatus::kBadValue;
+  if (!annotated) return DecodeStatus::kOk;
+  out->data.resize(static_cast<std::size_t>(nelems));
+  for (PathNodeData& data : out->data) {
+    std::uint64_t nattrs = 0;
+    if (!r.count(&nattrs, kMaxListItems)) return DecodeStatus::kBadValue;
+    for (std::uint64_t i = 0; i < nattrs; ++i) {
+      std::string name, value;
+      if (!r.str(&name) || !r.str(&value)) return DecodeStatus::kBadValue;
+      data.attributes.emplace(std::move(name), std::move(value));
+    }
+    if (!r.str(&data.text)) return DecodeStatus::kBadValue;
+  }
+  return DecodeStatus::kOk;
+}
+
+void encode_publish(std::vector<std::uint8_t>& out, const PublishMsg& pub) {
+  encode_path(out, pub.path);
+  put_varint(out, pub.doc_id);
+  put_varint(out, pub.path_id);
+  put_varint(out, pub.doc_bytes);
+  put_varint(out, pub.paths_in_doc);
+  put_f64(out, pub.publish_time);
+}
+
+DecodeStatus decode_publish(Reader& r, PublishMsg* out) {
+  DecodeStatus status = decode_path(r, &out->path);
+  if (status != DecodeStatus::kOk) return status;
+  std::uint64_t path_id = 0, doc_bytes = 0, paths_in_doc = 0;
+  if (!r.varint(&out->doc_id) || !r.varint(&path_id) || !r.varint(&doc_bytes) ||
+      !r.varint(&paths_in_doc) || !r.f64(&out->publish_time)) {
+    return DecodeStatus::kBadValue;
+  }
+  if (path_id > UINT32_MAX || paths_in_doc > UINT32_MAX) {
+    return DecodeStatus::kBadValue;
+  }
+  out->path_id = static_cast<std::uint32_t>(path_id);
+  out->doc_bytes = static_cast<std::size_t>(doc_bytes);
+  out->paths_in_doc = static_cast<std::uint32_t>(paths_in_doc);
+  return DecodeStatus::kOk;
+}
+
+// -- Frame assembly ----------------------------------------------------------
+
+std::vector<std::uint8_t> assemble(FrameKind kind,
+                                   const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + 5 + payload.size());
+  frame.push_back(kMagic0);
+  frame.push_back(kMagic1);
+  frame.push_back(kProtocolVersion);
+  frame.push_back(static_cast<std::uint8_t>(kind));
+  put_varint(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+DecodeStatus decode_payload(FrameKind kind, Reader& r, Decoded* out) {
+  switch (kind) {
+    case FrameKind::kAdvertise: {
+      AdvertiseMsg msg;
+      DecodeStatus status =
+          decode_advertisement(r, &msg.advertisement, &msg.origin_broker);
+      if (status != DecodeStatus::kOk) return status;
+      out->message = Message{std::move(msg)};
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kUnadvertise: {
+      UnadvertiseMsg msg;
+      DecodeStatus status =
+          decode_advertisement(r, &msg.advertisement, &msg.origin_broker);
+      if (status != DecodeStatus::kOk) return status;
+      out->message = Message{std::move(msg)};
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kSubscribe: {
+      SubscribeMsg msg;
+      DecodeStatus status = decode_xpe(r, &msg.xpe);
+      if (status != DecodeStatus::kOk) return status;
+      out->message = Message{std::move(msg)};
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kUnsubscribe: {
+      UnsubscribeMsg msg;
+      DecodeStatus status = decode_xpe(r, &msg.xpe);
+      if (status != DecodeStatus::kOk) return status;
+      out->message = Message{std::move(msg)};
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kPublish: {
+      PublishMsg msg;
+      DecodeStatus status = decode_publish(r, &msg);
+      if (status != DecodeStatus::kOk) return status;
+      out->message = Message{std::move(msg)};
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kSyncRequest:
+      out->message = Message::sync_request();
+      return DecodeStatus::kOk;
+    case FrameKind::kSyncState: {
+      std::string state;
+      if (!r.str(&state, kMaxFrameBytes)) return DecodeStatus::kBadValue;
+      out->message = Message::sync_state(std::move(state));
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kHello: {
+      std::uint8_t kind_byte = 0;
+      std::uint64_t peer_id = 0;
+      if (!r.u8(&kind_byte) || kind_byte > 1 || !r.varint(&peer_id) ||
+          peer_id > UINT32_MAX || !r.u8(&out->hello.max_version)) {
+        return DecodeStatus::kBadValue;
+      }
+      out->hello.kind = static_cast<Hello::PeerKind>(kind_byte);
+      out->hello.peer_id = static_cast<std::uint32_t>(peer_id);
+      return DecodeStatus::kOk;
+    }
+  }
+  return DecodeStatus::kBadKind;
+}
+
+/// Parses one frame from the front of [data, data+size). kNeedMore means a
+/// (so far) well-formed prefix; anything else is final for these bytes.
+Decoded parse_one(const std::uint8_t* data, std::size_t size) {
+  Decoded out;
+  // Validate the fixed header byte-by-byte so garbage fails fast even when
+  // only a prefix has arrived.
+  if (size >= 1 && data[0] != kMagic0) {
+    out.status = DecodeStatus::kBadMagic;
+    return out;
+  }
+  if (size >= 2 && data[1] != kMagic1) {
+    out.status = DecodeStatus::kBadMagic;
+    return out;
+  }
+  if (size >= 3 && data[2] != kProtocolVersion) {
+    out.status = DecodeStatus::kBadVersion;
+    return out;
+  }
+  if (size >= 4) {
+    std::uint8_t kind = data[3];
+    if (kind >= kMessageTypeCount &&
+        kind != static_cast<std::uint8_t>(FrameKind::kHello)) {
+      out.status = DecodeStatus::kBadKind;
+      return out;
+    }
+  }
+  if (size < kHeaderBytes) {
+    out.status = DecodeStatus::kNeedMore;
+    return out;
+  }
+  out.kind = static_cast<FrameKind>(data[3]);
+
+  // Length varint: kMaxFrameBytes fits in 4 varint bytes, so anything
+  // needing more than 5 is oversized by construction.
+  std::uint64_t length = 0;
+  std::size_t cursor = kHeaderBytes;
+  bool terminated = false;
+  for (int i = 0; i < 5 && cursor < size; ++i, ++cursor) {
+    std::uint8_t byte = data[cursor];
+    length |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * i);
+    if (!(byte & 0x80)) {
+      ++cursor;
+      terminated = true;
+      break;
+    }
+  }
+  if (!terminated) {
+    out.status = (cursor - kHeaderBytes >= 5) ? DecodeStatus::kOversized
+                                              : DecodeStatus::kNeedMore;
+    return out;
+  }
+  if (length > kMaxFrameBytes) {
+    out.status = DecodeStatus::kOversized;
+    return out;
+  }
+  if (size - cursor < length) {
+    out.status = DecodeStatus::kNeedMore;
+    return out;
+  }
+
+  Reader reader(data + cursor, static_cast<std::size_t>(length));
+  DecodeStatus status = decode_payload(out.kind, reader, &out);
+  if (status == DecodeStatus::kOk && !reader.done()) {
+    status = DecodeStatus::kBadValue;  // payload shorter than its length
+  }
+  out.status = status;
+  if (status == DecodeStatus::kOk) {
+    out.consumed = cursor + static_cast<std::size_t>(length);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Message& msg) {
+  std::vector<std::uint8_t> payload;
+  switch (msg.type()) {
+    case MessageType::kAdvertise: {
+      const auto& adv = std::get<AdvertiseMsg>(msg.payload);
+      encode_advertisement(payload, adv.advertisement, adv.origin_broker);
+      break;
+    }
+    case MessageType::kUnadvertise: {
+      const auto& adv = std::get<UnadvertiseMsg>(msg.payload);
+      encode_advertisement(payload, adv.advertisement, adv.origin_broker);
+      break;
+    }
+    case MessageType::kSubscribe:
+      encode_xpe(payload, std::get<SubscribeMsg>(msg.payload).xpe);
+      break;
+    case MessageType::kUnsubscribe:
+      encode_xpe(payload, std::get<UnsubscribeMsg>(msg.payload).xpe);
+      break;
+    case MessageType::kPublish:
+      encode_publish(payload, std::get<PublishMsg>(msg.payload));
+      break;
+    case MessageType::kSyncRequest:
+      break;
+    case MessageType::kSyncState:
+      put_string(payload, std::get<SyncStateMsg>(msg.payload).state);
+      break;
+  }
+  return assemble(static_cast<FrameKind>(msg.type()), payload);
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello) {
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, static_cast<std::uint8_t>(hello.kind));
+  put_varint(payload, hello.peer_id);
+  put_u8(payload, hello.max_version);
+  return assemble(FrameKind::kHello, payload);
+}
+
+Decoded decode_frame(const std::uint8_t* data, std::size_t size) {
+  Decoded out = parse_one(data, size);
+  if (out.status == DecodeStatus::kOk && out.consumed < size) {
+    out.status = DecodeStatus::kTrailingBytes;
+  }
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (error_ != DecodeStatus::kOk) return;  // stream already condemned
+  // Compact the consumed prefix before growing the buffer.
+  if (offset_ > 0 && (offset_ >= (64u << 10) || offset_ == buffer_.size())) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Decoded FrameDecoder::next() {
+  if (error_ != DecodeStatus::kOk) {
+    Decoded out;
+    out.status = error_;
+    return out;
+  }
+  Decoded out = parse_one(buffer_.data() + offset_, buffer_.size() - offset_);
+  if (out.status == DecodeStatus::kOk) {
+    offset_ += out.consumed;
+  } else if (out.status != DecodeStatus::kNeedMore) {
+    error_ = out.status;  // desynchronised: no resync possible mid-stream
+  }
+  return out;
+}
+
+const char* to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kAdvertise: return "advertise";
+    case FrameKind::kSubscribe: return "subscribe";
+    case FrameKind::kUnsubscribe: return "unsubscribe";
+    case FrameKind::kPublish: return "publish";
+    case FrameKind::kUnadvertise: return "unadvertise";
+    case FrameKind::kSyncRequest: return "sync-request";
+    case FrameKind::kSyncState: return "sync-state";
+    case FrameKind::kHello: return "hello";
+  }
+  return "unknown";
+}
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadKind: return "bad-kind";
+    case DecodeStatus::kOversized: return "oversized";
+    case DecodeStatus::kBadValue: return "bad-value";
+    case DecodeStatus::kDepthExceeded: return "depth-exceeded";
+    case DecodeStatus::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+}  // namespace xroute::wire

@@ -1,0 +1,159 @@
+// Versioned binary wire protocol for broker-to-broker and client-to-broker
+// links (DESIGN.md "Transport architecture").
+//
+// Every frame is self-delimiting:
+//
+//   offset 0   magic      2 bytes, 'X' 'R'
+//   offset 2   version    1 byte, kProtocolVersion
+//   offset 3   kind       1 byte, FrameKind (message types + session control)
+//   offset 4   length     varint, payload byte count (<= kMaxFrameBytes)
+//   ...        payload    `length` bytes
+//
+// Integers are unsigned LEB128 varints (signed fields zigzag first);
+// doubles travel as their IEEE-754 bit pattern in a fixed little-endian
+// u64; strings are varint-length-prefixed bytes. The payload encodings
+// cover the full router Message variant plus the Hello session frame the
+// transport exchanges on connect.
+//
+// Decoding is strict and bounded: every claimed count is validated against
+// the bytes actually present before anything is allocated (a 4-byte frame
+// cannot demand a gigabyte of elements), nesting depth is capped, and all
+// failures are *values* (DecodeStatus), never exceptions — the decoder is
+// safe on arbitrary untrusted bytes (fuzz/fuzz_wire.cpp holds it to that).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "router/message.hpp"
+
+namespace xroute::wire {
+
+inline constexpr std::uint8_t kMagic0 = 'X';
+inline constexpr std::uint8_t kMagic1 = 'R';
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Fixed part of the header (magic + version + kind); the length varint
+/// follows.
+inline constexpr std::size_t kHeaderBytes = 4;
+
+/// Hard cap on one frame's payload. SyncState transfers (full link-state
+/// snapshots) are the largest legitimate frames; 16 MiB leaves them two
+/// orders of magnitude of headroom while bounding what a malicious length
+/// field can make the decoder buffer.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+/// Per-string cap inside payloads (element names, predicate values).
+inline constexpr std::size_t kMaxStringBytes = 1u << 20;
+/// Cap on one list's element count (XPE steps, path elements, attributes).
+inline constexpr std::size_t kMaxListItems = 1u << 16;
+/// Cap on advertisement group nesting (the parser produces depth <= 3;
+/// the cap only exists so crafted input cannot recurse the decoder off
+/// the stack).
+inline constexpr std::size_t kMaxAdvDepth = 64;
+
+/// Frame kinds. Message kinds mirror MessageType value-for-value; session
+/// kinds live above the message range.
+enum class FrameKind : std::uint8_t {
+  kAdvertise = 0,
+  kSubscribe = 1,
+  kUnsubscribe = 2,
+  kPublish = 3,
+  kUnadvertise = 4,
+  kSyncRequest = 5,
+  kSyncState = 6,
+  /// Session handshake: first frame on every connection, both directions.
+  kHello = 0x10,
+};
+
+const char* to_string(FrameKind kind);
+
+/// The handshake payload. Version negotiation is min-of-max: each side
+/// advertises the highest protocol version it speaks; the connection runs
+/// at min(theirs, ours). With a single deployed version this reduces to
+/// "header version must equal kProtocolVersion", which decode enforces.
+struct Hello {
+  enum class PeerKind : std::uint8_t { kBroker = 0, kClient = 1 };
+
+  PeerKind kind = PeerKind::kBroker;
+  /// Broker id or client id, as assigned by the deployment.
+  std::uint32_t peer_id = 0;
+  std::uint8_t max_version = kProtocolVersion;
+
+  friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  /// The buffer ends mid-frame; feed more bytes and retry.
+  kNeedMore,
+  kBadMagic,
+  kBadVersion,
+  kBadKind,
+  /// Claimed payload length exceeds kMaxFrameBytes.
+  kOversized,
+  /// A payload field claims more bytes/items than the frame carries.
+  kBadValue,
+  /// Advertisement group nesting beyond kMaxAdvDepth.
+  kDepthExceeded,
+  /// decode_frame only: bytes follow a complete frame.
+  kTrailingBytes,
+};
+
+const char* to_string(DecodeStatus status);
+
+/// One decoded frame. `message` is meaningful for message kinds, `hello`
+/// for kHello; `consumed` is the encoded size of the frame (header +
+/// payload), 0 unless status is kOk or kTrailingBytes.
+struct Decoded {
+  DecodeStatus status = DecodeStatus::kOk;
+  FrameKind kind = FrameKind::kHello;
+  Message message;
+  Hello hello;
+  std::size_t consumed = 0;
+
+  bool ok() const { return status == DecodeStatus::kOk; }
+  bool is_message() const {
+    return static_cast<std::uint8_t>(kind) < kMessageTypeCount;
+  }
+};
+
+/// Encodes one router message as a complete frame.
+std::vector<std::uint8_t> encode_frame(const Message& msg);
+/// Encodes a session Hello frame.
+std::vector<std::uint8_t> encode_hello(const Hello& hello);
+
+/// Decodes exactly one frame occupying the whole buffer. A complete frame
+/// followed by extra bytes reports kTrailingBytes (with `consumed` set);
+/// a prefix of a frame reports kNeedMore. Never throws.
+Decoded decode_frame(const std::uint8_t* data, std::size_t size);
+inline Decoded decode_frame(const std::vector<std::uint8_t>& bytes) {
+  return decode_frame(bytes.data(), bytes.size());
+}
+
+/// Incremental frame reassembly over a byte stream (one per connection).
+/// feed() appends received bytes; next() peels complete frames off the
+/// front. Hard decode errors are sticky — a stream that has desynchronised
+/// once cannot be trusted again, so the owning connection must close.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(const std::vector<std::uint8_t>& bytes) {
+    feed(bytes.data(), bytes.size());
+  }
+
+  /// Next complete frame: kOk with the frame, kNeedMore when the buffer
+  /// holds only a partial frame (or nothing), or the sticky error.
+  Decoded next();
+
+  /// Sticky error state (kOk when the stream is still healthy).
+  DecodeStatus error() const { return error_; }
+  std::size_t buffered() const { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix, compacted lazily
+  DecodeStatus error_ = DecodeStatus::kOk;
+};
+
+}  // namespace xroute::wire

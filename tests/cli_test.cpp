@@ -1,0 +1,96 @@
+// xroutectl CLI contract: unknown subcommands and missing arguments print
+// the usage text and exit 2; help exits 0; documented verdict exit codes
+// hold. Runs the real binary (XROUTECTL_PATH, injected by CMake).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  // Unique per process AND per call: ctest runs each test in its own
+  // process, all sharing TempDir().
+  static int invocation = 0;
+  std::string capture = ::testing::TempDir() + "xroutectl_cli_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(invocation++) + ".txt";
+  std::string command =
+      std::string(XROUTECTL_PATH) + " " + args + " > " + capture + " 2>&1";
+  int raw = std::system(command.c_str());
+  CliResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::ostringstream os;
+  os << in.rdbuf();
+  result.output = os.str();
+  std::remove(capture.c_str());
+  return result;
+}
+
+TEST(XroutectlCli, UnknownCommandPrintsUsageAndExitsTwo) {
+  CliResult result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command 'frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("usage: xroutectl"), std::string::npos);
+}
+
+TEST(XroutectlCli, NoCommandPrintsUsageAndExitsTwo) {
+  CliResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage: xroutectl"), std::string::npos);
+}
+
+TEST(XroutectlCli, MissingArgumentsPrintUsageAndExitTwo) {
+  for (const char* args : {"parse", "covers '/a'", "match", "serve",
+                           "connect 127.0.0.1", "sub 127.0.0.1 1", "pub"}) {
+    CliResult result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << "args: " << args;
+    EXPECT_NE(result.output.find("usage: xroutectl"), std::string::npos)
+        << "args: " << args;
+  }
+}
+
+TEST(XroutectlCli, HelpExitsZero) {
+  CliResult result = run_cli("help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage: xroutectl"), std::string::npos);
+  EXPECT_NE(result.output.find("serve"), std::string::npos);
+}
+
+TEST(XroutectlCli, CoversVerdictExitCodes) {
+  EXPECT_EQ(run_cli("covers '/a' '/a/b'").exit_code, 0);
+  EXPECT_EQ(run_cli("covers '/a/b' '/a'").exit_code, 1);
+}
+
+TEST(XroutectlCli, ParseEchoesTheXpe) {
+  CliResult result = run_cli("parse '/a/b'");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("/a/b"), std::string::npos);
+}
+
+TEST(XroutectlCli, ConnectFailsCleanlyWhenNoBrokerListens) {
+  // Port 1 is essentially never bound; one dial, no retry, exit 1.
+  CliResult result = run_cli("connect 127.0.0.1 1");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("no broker"), std::string::npos);
+}
+
+TEST(XroutectlCli, BadPortIsAUsageError) {
+  CliResult result = run_cli("connect 127.0.0.1 notaport");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("bad port"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,339 @@
+// Transport tests: event-loop semantics on both poller backends, framed
+// connections with watermark backpressure, the Hello handshake's rejection
+// paths, per-connection metrics — and the differential acceptance test:
+// the same scenario over loopback TCP and over the discrete-event
+// simulator must produce identical per-client delivery sets.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+#include "transport/broker_node.hpp"
+#include "transport/client.hpp"
+#include "transport/connection.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/loopback.hpp"
+#include "wire/codec.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+using transport::Connection;
+using transport::EventLoop;
+using transport::LoopbackOverlay;
+using transport::TransportBroker;
+using transport::TransportClient;
+
+// -- Event loop --------------------------------------------------------------
+
+class EventLoopBackends : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EventLoopBackends, PostedTasksRunOnTheLoopThread) {
+  EventLoop loop(GetParam());
+  std::thread runner([&] { loop.run(); });
+  std::promise<std::thread::id> ran_on;
+  loop.post([&] { ran_on.set_value(std::this_thread::get_id()); });
+  EXPECT_EQ(ran_on.get_future().get(), runner.get_id());
+  loop.stop();
+  runner.join();
+}
+
+TEST_P(EventLoopBackends, TimersFireInDeadlineOrderAndCancel) {
+  EventLoop loop(GetParam());
+  std::thread runner([&] { loop.run(); });
+  std::vector<int> order;  // loop-thread only; read after join
+  std::promise<void> done;
+  loop.post([&] {
+    loop.schedule(60.0, [&] {
+      order.push_back(3);
+      done.set_value();
+    });
+    loop.schedule(10.0, [&] { order.push_back(1); });
+    std::uint64_t doomed = loop.schedule(20.0, [&] { order.push_back(99); });
+    loop.schedule(30.0, [&] { order.push_back(2); });
+    loop.cancel_timer(doomed);
+  });
+  done.get_future().wait();
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackends, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Poll" : "Default";
+                         });
+
+// -- Connection backpressure -------------------------------------------------
+
+TEST(ConnectionBackpressure, WatermarksEngageAndClear) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+
+  EventLoop loop;
+  std::atomic<int> engagements{0};
+  std::atomic<int> clears{0};
+
+  Connection::Options opts;
+  opts.high_watermark = 64u << 10;
+  opts.low_watermark = 8u << 10;
+  auto connection = std::make_unique<Connection>(&loop, fds[0], opts);
+  connection->set_backpressure_handler([&](bool engaged) {
+    (engaged ? engagements : clears).fetch_add(1);
+  });
+  connection->set_frame_handler([](wire::Decoded&&) {});
+
+  std::thread runner([&] { loop.run(); });
+  // Queue ~2 MiB of frames; the socketpair buffer is far smaller, so the
+  // send queue must cross the high watermark.
+  const std::vector<std::uint8_t> frame =
+      wire::encode_frame(Message::sync_state(std::string(8192, 's')));
+  const std::size_t kFrames = 256;
+  std::promise<void> queued;
+  loop.post([&] {
+    connection->start();
+    for (std::size_t i = 0; i < kFrames; ++i) connection->send(frame);
+    queued.set_value();
+  });
+  queued.get_future().wait();
+  EXPECT_GE(engagements.load(), 1);
+
+  // Drain the peer end; the writable path must clear the mark.
+  std::size_t total = kFrames * frame.size();
+  std::size_t drained = 0;
+  std::vector<char> sink(64 * 1024);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (drained < total && std::chrono::steady_clock::now() < deadline) {
+    ssize_t n = ::read(fds[1], sink.data(), sink.size());
+    if (n > 0) {
+      drained += static_cast<std::size_t>(n);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(drained, total);
+  while (clears.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(clears.load(), 1);
+  EXPECT_GE(connection->stats().backpressure_events.load(), 1u);
+
+  loop.post([&] { connection->close("test done"); });
+  loop.stop();
+  runner.join();
+  connection.reset();
+  ::close(fds[1]);
+}
+
+// -- Handshake ---------------------------------------------------------------
+
+/// Dials `port`, writes `bytes`, and reports whether the broker hung up
+/// within the timeout (the expected reaction to every handshake violation).
+bool broker_hangs_up_after(std::uint16_t port,
+                           const std::vector<std::uint8_t>& bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  timeval timeout{5, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  if (!bytes.empty()) {
+    (void)!::write(fd, bytes.data(), bytes.size());
+  }
+  // Swallow the broker's own Hello, then expect EOF.
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n == 0) {
+      ::close(fd);
+      return true;  // orderly hangup
+    }
+    if (n < 0) {
+      ::close(fd);
+      return false;  // timeout: the broker kept the connection
+    }
+  }
+}
+
+TEST(TransportHandshake, GarbageAndNonHelloFirstFramesAreRejected) {
+  TransportBroker::Options opts;
+  opts.id = 0;
+  opts.config.use_advertisements = false;
+  TransportBroker broker(std::move(opts));
+  broker.start();
+
+  EXPECT_TRUE(broker_hangs_up_after(broker.port(),
+                                    {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}));
+  // A perfectly valid *session* frame is still a handshake violation when
+  // it arrives before Hello.
+  EXPECT_TRUE(broker_hangs_up_after(
+      broker.port(), wire::encode_frame(Message::subscribe(parse_xpe("/a")))));
+  EXPECT_EQ(broker.client_peers(), 0u);
+  EXPECT_EQ(broker.broker_peers(), 0u);
+  broker.stop();
+}
+
+TEST(TransportHandshake, ClientConnectAndDisconnectTracksPeerCounts) {
+  TransportBroker::Options opts;
+  opts.config.use_advertisements = false;
+  TransportBroker broker(std::move(opts));
+  broker.start();
+  {
+    TransportClient::Options copts;
+    copts.id = 7;
+    TransportClient client{std::move(copts)};
+    client.start("127.0.0.1", broker.port());
+    ASSERT_TRUE(client.wait_connected());
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (broker.client_peers() != 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(broker.client_peers(), 1u);
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (broker.client_peers() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(broker.client_peers(), 0u);
+  broker.stop();
+}
+
+// -- End-to-end overlays -----------------------------------------------------
+
+TEST(TransportOverlay, PollBackendDeliversAcrossTwoBrokers) {
+  LoopbackOverlay::Options opts;
+  opts.config.use_advertisements = false;
+  opts.force_poll = true;
+  LoopbackOverlay overlay(chain(2), opts);
+  ASSERT_TRUE(overlay.start());
+
+  TransportClient& subscriber = overlay.attach_client(1, 100);
+  subscriber.send(Message::subscribe(parse_xpe("/x")));
+  ASSERT_TRUE(overlay.wait_quiescent());
+
+  TransportClient& publisher = overlay.attach_client(0, 101);
+  PublishMsg pub;
+  pub.path = parse_path("/x/y");
+  pub.doc_id = 1;
+  publisher.send(Message{pub});
+  ASSERT_TRUE(overlay.wait_quiescent());
+
+  EXPECT_EQ(subscriber.delivered_docs(), std::set<std::uint64_t>{1});
+  EXPECT_EQ(subscriber.duplicate_publications(), 0u);
+}
+
+TEST(TransportOverlay, PerConnectionMetricsSeriesAppear) {
+  LoopbackOverlay::Options opts;
+  opts.config.use_advertisements = false;
+  LoopbackOverlay overlay(chain(2), opts);
+  ASSERT_TRUE(overlay.start());
+  TransportClient& subscriber = overlay.attach_client(1, 100);
+  subscriber.send(Message::subscribe(parse_xpe("/x")));
+  ASSERT_TRUE(overlay.wait_quiescent());
+
+  std::string metrics = overlay.broker(1).metrics_json();
+  EXPECT_NE(metrics.find("transport.frames"), std::string::npos);
+  EXPECT_NE(metrics.find("transport.bytes"), std::string::npos);
+  EXPECT_NE(metrics.find("client-100"), std::string::npos);
+  // Broker 1's subscription flood reaches broker 0 over the overlay link.
+  EXPECT_NE(overlay.broker(0).metrics_json().find("broker-1"),
+            std::string::npos);
+}
+
+// The differential acceptance test: ISSUE scenario over loopback TCP vs
+// the discrete-event simulator — identical per-client delivery sets.
+TEST(TransportDifferential, TcpOverlayMatchesSimulatorDeliverySets) {
+  const char* kXpes[] = {"/a", "/a/b", "//c", "/d//e", "/a//c"};
+  const char* kPaths[] = {"/a/b", "/a/b/c", "/d/x/e", "/q", "/a"};
+  const int kSubscriberBroker[] = {1, 3, 5, 6, 2};
+  const int kPublisherBroker = 0;
+  const Topology topology = complete_binary_tree(3);  // 7 brokers
+  Broker::Config config;
+  config.use_advertisements = false;
+
+  // -- Reference run: discrete-event simulator.
+  Simulator sim(Simulator::Options{0.0});
+  for (std::size_t i = 0; i < topology.num_brokers; ++i) sim.add_broker(config);
+  for (auto [a, b] : topology.edges) sim.connect(a, b, LinkConfig{});
+  std::vector<int> sim_clients;
+  for (std::size_t i = 0; i < 5; ++i) {
+    int client = sim.attach_client(kSubscriberBroker[i]);
+    sim.subscribe(client, parse_xpe(kXpes[i]));
+    sim_clients.push_back(client);
+  }
+  int sim_publisher = sim.attach_client(kPublisherBroker);
+  sim.run_limited(100000);
+  std::vector<std::uint64_t> doc_ids;
+  for (const char* path : kPaths) {
+    doc_ids.push_back(sim.publish_paths(sim_publisher, {parse_path(path)}, 200));
+  }
+  sim.run_until_quiescent(1000000);
+  std::vector<std::set<std::uint64_t>> expected;
+  for (int client : sim_clients) {
+    expected.push_back(sim.delivered_docs(client));
+  }
+  // The scenario must be non-trivial in both directions.
+  ASSERT_TRUE(std::any_of(expected.begin(), expected.end(),
+                          [](const auto& s) { return !s.empty(); }));
+  ASSERT_TRUE(std::any_of(expected.begin(), expected.end(),
+                          [&](const auto& s) { return s.size() < doc_ids.size(); }));
+
+  // -- Same scenario over real sockets.
+  LoopbackOverlay::Options opts;
+  opts.config = config;
+  LoopbackOverlay overlay(topology, opts);
+  ASSERT_TRUE(overlay.start());
+  std::vector<TransportClient*> tcp_clients;
+  for (std::size_t i = 0; i < 5; ++i) {
+    TransportClient& client =
+        overlay.attach_client(kSubscriberBroker[i], 100 + static_cast<int>(i));
+    client.send(Message::subscribe(parse_xpe(kXpes[i])));
+    tcp_clients.push_back(&client);
+  }
+  ASSERT_TRUE(overlay.wait_quiescent());
+
+  TransportClient& publisher = overlay.attach_client(kPublisherBroker, 199);
+  for (std::size_t i = 0; i < doc_ids.size(); ++i) {
+    PublishMsg pub;
+    pub.path = parse_path(kPaths[i]);
+    pub.doc_id = doc_ids[i];
+    pub.doc_bytes = 200;
+    publisher.send(Message{pub});
+  }
+  ASSERT_TRUE(overlay.wait_quiescent());
+
+  for (std::size_t i = 0; i < tcp_clients.size(); ++i) {
+    EXPECT_EQ(tcp_clients[i]->delivered_docs(), expected[i])
+        << "subscriber " << i << " (" << kXpes[i] << ") delivery set differs";
+    EXPECT_EQ(tcp_clients[i]->duplicate_publications(), 0u)
+        << "subscriber " << i << " received duplicates";
+  }
+}
+
+}  // namespace
+}  // namespace xroute

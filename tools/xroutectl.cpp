@@ -1,5 +1,7 @@
 // xroutectl — command-line front end to the xroute library.
 //
+// Library commands (in-process):
+//
 //   xroutectl parse '<xpe>'                  parse + echo an XPE
 //   xroutectl covers '<xpe1>' '<xpe2>'       does xpe1 cover xpe2?
 //   xroutectl derive <dtd-file> [root]       advertisements from a DTD
@@ -16,9 +18,31 @@
 //   xroutectl metrics <plan-file>            run a fault plan and dump the
 //                                            metrics registry as JSON
 //
+// Network commands (real TCP, src/transport):
+//
+//   xroutectl serve <overlay-file> <id>      run one broker of the overlay
+//                                            until SIGINT/SIGTERM; prints its
+//                                            metrics JSON on shutdown
+//   xroutectl connect <host> <port>          handshake with a broker and exit
+//   xroutectl sub <host> <port> '<xpe>'...   subscribe, print deliveries
+//                                            (--count N: exit after N docs)
+//   xroutectl pub <host> <port> <xml>...     publish documents' paths
+//
+// Overlay file format (one declaration per line, '#' comments):
+//
+//   broker <id> <host> <port>
+//   link <a> <b>
+//
+// Every broker of one overlay is served from the same file; the lower id
+// of each link dials the higher, so a link is exactly one TCP connection.
+//
 // Exit code: 0 on success (for `covers`: 0 = covers, 1 = does not; for
 // `faultsim`: 0 = delivery equal to the fault-free reference, 1 = not; for
-// `trace`: 0 = trace reconstruction matches the simulator, 1 = not).
+// `trace`: 0 = trace reconstruction matches the simulator, 1 = not; for
+// `connect`: 0 = handshake completed, 1 = not). Usage errors — unknown
+// command, missing arguments — print the usage text and exit 2.
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -26,6 +50,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adv/derive.hpp"
@@ -39,6 +64,8 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "transport/broker_node.hpp"
+#include "transport/client.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "xml/parser.hpp"
@@ -49,6 +76,34 @@ namespace {
 
 using namespace xroute;
 
+const char kUsage[] =
+    "usage: xroutectl <command> [args]\n"
+    "\n"
+    "library commands:\n"
+    "  parse '<xpe>'                 parse + echo an XPE\n"
+    "  covers '<xpe1>' '<xpe2>'      does xpe1 cover xpe2?\n"
+    "  derive <dtd-file> [root]      advertisements from a DTD\n"
+    "  match <xml-file> '<xpe>'...   which XPEs match the document\n"
+    "  paths <xml-file>              root-to-leaf paths of a document\n"
+    "  universe <dtd-file> [depth]   conforming paths of a DTD\n"
+    "  faultsim <plan-file>          fault plan -> delivery verdict\n"
+    "  trace <plan-file> [out.json]  fault plan under the causal tracer\n"
+    "  metrics <plan-file>           fault plan -> metrics JSON\n"
+    "\n"
+    "network commands:\n"
+    "  serve <overlay-file> <id> [--advertisements]\n"
+    "                                run one broker until SIGINT/SIGTERM\n"
+    "  connect <host> <port>         handshake with a broker and exit\n"
+    "  sub <host> <port> '<xpe>'... [--count N]\n"
+    "                                subscribe and print deliveries\n"
+    "  pub <host> <port> <xml-file>... [--first-doc-id N]\n"
+    "                                publish documents' paths\n";
+
+/// Argument problems: main prints the usage text and exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
@@ -58,7 +113,7 @@ std::string read_file(const std::string& path) {
 }
 
 int cmd_parse(const std::vector<std::string>& args) {
-  if (args.empty()) throw std::runtime_error("usage: parse '<xpe>'");
+  if (args.empty()) throw UsageError("parse: missing '<xpe>' argument");
   Xpe xpe = parse_xpe(args[0]);
   std::cout << xpe.to_string() << "\n";
   std::cout << "  steps: " << xpe.size()
@@ -71,7 +126,7 @@ int cmd_parse(const std::vector<std::string>& args) {
 }
 
 int cmd_covers(const std::vector<std::string>& args) {
-  if (args.size() != 2) throw std::runtime_error("usage: covers '<s1>' '<s2>'");
+  if (args.size() != 2) throw UsageError("covers: needs exactly two XPEs");
   Xpe s1 = parse_xpe(args[0]);
   Xpe s2 = parse_xpe(args[1]);
   bool result = covers(s1, s2);
@@ -81,7 +136,7 @@ int cmd_covers(const std::vector<std::string>& args) {
 }
 
 int cmd_derive(const std::vector<std::string>& args) {
-  if (args.empty()) throw std::runtime_error("usage: derive <dtd-file> [root]");
+  if (args.empty()) throw UsageError("derive: missing <dtd-file> argument");
   Dtd dtd = parse_dtd(read_file(args[0]));
   if (args.size() > 1) dtd.set_root(args[1]);
   auto derived = derive_advertisements(dtd);
@@ -96,7 +151,7 @@ int cmd_derive(const std::vector<std::string>& args) {
 
 int cmd_match(const std::vector<std::string>& args) {
   if (args.size() < 2) {
-    throw std::runtime_error("usage: match <xml-file> '<xpe>' ...");
+    throw UsageError("match: needs <xml-file> and at least one XPE");
   }
   XmlDocument doc = parse_xml(read_file(args[0]));
   auto paths = extract_paths(doc);
@@ -122,14 +177,14 @@ int cmd_match(const std::vector<std::string>& args) {
 }
 
 int cmd_paths(const std::vector<std::string>& args) {
-  if (args.empty()) throw std::runtime_error("usage: paths <xml-file>");
+  if (args.empty()) throw UsageError("paths: missing <xml-file> argument");
   XmlDocument doc = parse_xml(read_file(args[0]));
   for (const Path& p : extract_paths(doc)) std::cout << p.to_string() << "\n";
   return 0;
 }
 
 int cmd_universe(const std::vector<std::string>& args) {
-  if (args.empty()) throw std::runtime_error("usage: universe <dtd-file> [depth]");
+  if (args.empty()) throw UsageError("universe: missing <dtd-file> argument");
   Dtd dtd = parse_dtd(read_file(args[0]));
   PathUniverse::Options options;
   if (args.size() > 1) options.max_depth = std::stoul(args[1]);
@@ -227,7 +282,7 @@ FaultSimResult run_faultsim(const FaultPlan& plan, bool faulted) {
 }
 
 int cmd_faultsim(const std::vector<std::string>& args) {
-  if (args.empty()) throw std::runtime_error("usage: faultsim <plan-file>");
+  if (args.empty()) throw UsageError("faultsim: missing <plan-file> argument");
   std::ifstream in(args[0]);
   if (!in) throw std::runtime_error("cannot open " + args[0]);
   FaultPlan plan = parse_fault_plan(in);
@@ -273,15 +328,12 @@ int cmd_trace(const std::vector<std::string>& args) {
   std::cerr << "trace: tracing was compiled out (-DXROUTE_TRACING=OFF)\n";
   return 2;
 #else
-  if (args.empty()) {
-    throw std::runtime_error(
-        "usage: trace <plan-file> [chrome-out.json] [--dump <trace-id>]");
-  }
+  if (args.empty()) throw UsageError("trace: missing <plan-file> argument");
   std::string chrome_out;
   std::uint64_t dump_trace = 0;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--dump") {
-      if (++i >= args.size()) throw std::runtime_error("--dump needs an id");
+      if (++i >= args.size()) throw UsageError("trace: --dump needs an id");
       dump_trace = std::stoull(args[i]);
     } else {
       chrome_out = args[i];
@@ -348,7 +400,7 @@ int cmd_trace(const std::vector<std::string>& args) {
 }
 
 int cmd_metrics(const std::vector<std::string>& args) {
-  if (args.empty()) throw std::runtime_error("usage: metrics <plan-file>");
+  if (args.empty()) throw UsageError("metrics: missing <plan-file> argument");
   std::ifstream in(args[0]);
   if (!in) throw std::runtime_error("cannot open " + args[0]);
   FaultPlan plan = parse_fault_plan(in);
@@ -359,18 +411,247 @@ int cmd_metrics(const std::vector<std::string>& args) {
   return 0;
 }
 
+// -- Network commands -------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+std::uint16_t parse_port(const std::string& text) {
+  unsigned long value = 0;
+  try {
+    value = std::stoul(text);
+  } catch (const std::exception&) {
+    throw UsageError("bad port '" + text + "'");
+  }
+  if (value == 0 || value > 65535) throw UsageError("bad port '" + text + "'");
+  return static_cast<std::uint16_t>(value);
+}
+
+/// The `serve` overlay description: every broker's address plus the links.
+struct OverlayFile {
+  struct BrokerSpec {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  std::map<int, BrokerSpec> brokers;
+  std::vector<std::pair<int, int>> links;
+};
+
+OverlayFile parse_overlay_file(std::istream& in) {
+  OverlayFile overlay;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    auto fail = [&](const std::string& why) -> std::runtime_error {
+      return std::runtime_error("overlay file line " + std::to_string(line_no) +
+                                ": " + why);
+    };
+    if (word == "broker") {
+      int id = -1;
+      std::string host, port;
+      if (!(ls >> id >> host >> port)) {
+        throw fail("expected 'broker <id> <host> <port>'");
+      }
+      overlay.brokers[id] = OverlayFile::BrokerSpec{host, parse_port(port)};
+    } else if (word == "link") {
+      int a = -1, b = -1;
+      if (!(ls >> a >> b)) throw fail("expected 'link <a> <b>'");
+      if (a == b) throw fail("a link needs two distinct brokers");
+      overlay.links.emplace_back(a, b);
+    } else {
+      throw fail("unknown declaration '" + word + "'");
+    }
+  }
+  for (const auto& [a, b] : overlay.links) {
+    if (!overlay.brokers.count(a) || !overlay.brokers.count(b)) {
+      throw std::runtime_error("overlay file: link " + std::to_string(a) +
+                               " " + std::to_string(b) +
+                               " references an undeclared broker");
+    }
+  }
+  return overlay;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  bool advertisements = false;
+  for (const std::string& arg : args) {
+    if (arg == "--advertisements") {
+      advertisements = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    throw UsageError("serve: needs <overlay-file> and <broker-id>");
+  }
+  std::ifstream in(positional[0]);
+  if (!in) throw std::runtime_error("cannot open " + positional[0]);
+  OverlayFile overlay = parse_overlay_file(in);
+  int self = -1;
+  try {
+    self = std::stoi(positional[1]);
+  } catch (const std::exception&) {
+    throw UsageError("serve: bad broker id '" + positional[1] + "'");
+  }
+  auto spec = overlay.brokers.find(self);
+  if (spec == overlay.brokers.end()) {
+    throw std::runtime_error("broker " + std::to_string(self) +
+                             " is not declared in the overlay file");
+  }
+
+  transport::TransportBroker::Options opts;
+  opts.id = self;
+  opts.listen_port = spec->second.port;
+  // Without a publisher advertising, routing needs flooded subscriptions;
+  // --advertisements restores the paper's advertisement-based mode.
+  opts.config.use_advertisements = advertisements;
+  transport::TransportBroker broker(std::move(opts));
+  broker.start();
+  std::cerr << "broker " << self << " listening on port " << broker.port()
+            << "\n";
+
+  // The lower endpoint of each link dials (one TCP connection per link);
+  // dialing retries with backoff, so the overlay can start in any order.
+  for (const auto& [a, b] : overlay.links) {
+    if (self != std::min(a, b)) continue;
+    const OverlayFile::BrokerSpec& peer = overlay.brokers.at(std::max(a, b));
+    broker.connect_to(peer.host, peer.port);
+  }
+
+  install_stop_handlers();
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << broker.metrics_json() << "\n";
+  broker.stop();
+  return 0;
+}
+
+int cmd_connect(const std::vector<std::string>& args) {
+  if (args.size() != 2) throw UsageError("connect: needs <host> and <port>");
+  transport::TransportClient::Options opts;
+  // One dial, no retry: this command answers "is a broker up right now?".
+  opts.dial_backoff.max_attempts = 0;
+  transport::TransportClient client(std::move(opts));
+  client.start(args[0], parse_port(args[1]));
+  if (!client.wait_connected(3000)) {
+    std::cerr << "connect: no broker answered at " << args[0] << ":" << args[1]
+              << "\n";
+    return 1;
+  }
+  std::cout << "connected: broker at " << args[0] << ":" << args[1]
+            << " speaks protocol v" << int{wire::kProtocolVersion} << "\n";
+  return 0;
+}
+
+int cmd_sub(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--count") {
+      if (++i >= args.size()) throw UsageError("sub: --count needs a number");
+      count = std::stoul(args[i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() < 3) {
+    throw UsageError("sub: needs <host>, <port> and at least one XPE");
+  }
+  transport::TransportClient client{transport::TransportClient::Options{}};
+  client.set_message_handler([](const Message& msg) {
+    if (msg.type() != MessageType::kPublish) return;
+    const auto& pub = std::get<PublishMsg>(msg.payload);
+    std::cout << "doc " << pub.doc_id << " path " << pub.path.to_string()
+              << "\n"
+              << std::flush;
+  });
+  client.start(positional[0], parse_port(positional[1]));
+  if (!client.wait_connected()) {
+    std::cerr << "sub: no broker answered at " << positional[0] << ":"
+              << positional[1] << "\n";
+    return 1;
+  }
+  for (std::size_t i = 2; i < positional.size(); ++i) {
+    client.send(Message::subscribe(parse_xpe(positional[i])));
+  }
+  install_stop_handlers();
+  while (!g_stop && (count == 0 || client.delivered_docs().size() < count)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+int cmd_pub(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  std::uint64_t doc_id = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--first-doc-id") {
+      if (++i >= args.size()) {
+        throw UsageError("pub: --first-doc-id needs a number");
+      }
+      doc_id = std::stoull(args[i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() < 3) {
+    throw UsageError("pub: needs <host>, <port> and at least one XML file");
+  }
+  transport::TransportClient client{transport::TransportClient::Options{}};
+  client.start(positional[0], parse_port(positional[1]));
+  if (!client.wait_connected()) {
+    std::cerr << "pub: no broker answered at " << positional[0] << ":"
+              << positional[1] << "\n";
+    return 1;
+  }
+  for (std::size_t i = 2; i < positional.size(); ++i, ++doc_id) {
+    std::string xml = read_file(positional[i]);
+    XmlDocument doc = parse_xml(xml);
+    auto paths = extract_paths(doc);
+    std::uint32_t path_id = 0;
+    for (const Path& path : paths) {
+      PublishMsg msg;
+      msg.path = path;
+      msg.doc_id = doc_id;
+      msg.path_id = path_id++;
+      msg.doc_bytes = xml.size();
+      msg.paths_in_doc = static_cast<std::uint32_t>(paths.size());
+      client.send(Message{msg});
+    }
+    std::cerr << "doc " << doc_id << ": " << paths.size() << " paths, "
+              << xml.size() << " bytes\n";
+  }
+  client.sync();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
-    std::cerr << "usage: xroutectl <parse|covers|derive|match|paths|universe|"
-              << "faultsim|trace|metrics> ...\n";
+    std::cerr << kUsage;
     return 2;
   }
   std::string command = args[0];
   args.erase(args.begin());
   try {
+    if (command == "help" || command == "--help" || command == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
     if (command == "parse") return cmd_parse(args);
     if (command == "covers") return cmd_covers(args);
     if (command == "derive") return cmd_derive(args);
@@ -380,7 +661,14 @@ int main(int argc, char** argv) {
     if (command == "faultsim") return cmd_faultsim(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "metrics") return cmd_metrics(args);
-    std::cerr << "unknown command: " << command << "\n";
+    if (command == "serve") return cmd_serve(args);
+    if (command == "connect") return cmd_connect(args);
+    if (command == "sub") return cmd_sub(args);
+    if (command == "pub") return cmd_pub(args);
+    std::cerr << "xroutectl: unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const UsageError& e) {
+    std::cerr << "xroutectl: " << e.what() << "\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
