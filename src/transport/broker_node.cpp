@@ -70,7 +70,10 @@ void TransportBroker::on_peer(Connection* connection, const wire::Hello& hello) 
   }
   peers_.emplace(connection, peer);
   connection->set_backpressure_handler(
-      [this](bool engaged) { on_backpressure(engaged); });
+      [this, connection](bool engaged) { on_backpressure(connection, engaged); });
+  // Honour an ingress pause already in force: a peer whose handshake
+  // completes mid-pause must not start reading until the pause lifts.
+  connection->set_read_enabled(backpressured_connections_ == 0);
 }
 
 void TransportBroker::on_disconnect(Connection* connection,
@@ -85,7 +88,14 @@ void TransportBroker::on_disconnect(Connection* connection,
   }
   registry_.counter("transport.disconnects").inc();
   interfaces_.erase(it->second.interface_id);
+  // A dying connection never emits backpressure(false); release its share
+  // of the ingress pause here or the whole node stays paused forever.
+  bool was_backpressured = it->second.backpressured;
   peers_.erase(it);
+  if (was_backpressured && backpressured_connections_ > 0) {
+    --backpressured_connections_;
+    apply_read_pause();
+  }
   // The Broker keeps the interface's routing state: a reconnecting peer
   // gets a fresh interface and re-announces (crash resync is the
   // SyncRequest/SyncState handshake, driven by the restarted side).
@@ -119,7 +129,10 @@ void TransportBroker::send_on(int interface_id, const Message& msg) {
   it->second->send(std::move(frame));
 }
 
-void TransportBroker::on_backpressure(bool engaged) {
+void TransportBroker::on_backpressure(Connection* connection, bool engaged) {
+  auto it = peers_.find(connection);
+  if (it == peers_.end() || it->second.backpressured == engaged) return;
+  it->second.backpressured = engaged;
   if (engaged) {
     ++backpressured_connections_;
     backpressure_events_.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +140,10 @@ void TransportBroker::on_backpressure(bool engaged) {
   } else if (backpressured_connections_ > 0) {
     --backpressured_connections_;
   }
+  apply_read_pause();
+}
+
+void TransportBroker::apply_read_pause() {
   // Ingress is the only source of egress: pause every reader while any
   // sink is saturated, resume when the last one drains.
   bool paused = backpressured_connections_ > 0;

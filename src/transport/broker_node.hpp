@@ -84,6 +84,10 @@ class TransportBroker {
   struct Peer {
     int interface_id = -1;
     wire::Hello hello;
+    /// This peer's send queue is above the high watermark. Mirrors the
+    /// Connection's own flag so a dying connection (which never emits a
+    /// final backpressure(false)) still releases the global ingress pause.
+    bool backpressured = false;
     /// Registry series resolved once at handshake (loop thread).
     Counter* frames_in = nullptr;
     Counter* frames_out = nullptr;
@@ -94,7 +98,8 @@ class TransportBroker {
   void on_peer(Connection* connection, const wire::Hello& hello);
   void on_frame(Connection* connection, wire::Decoded&& decoded);
   void on_disconnect(Connection* connection, const std::string& reason);
-  void on_backpressure(bool engaged);
+  void on_backpressure(Connection* connection, bool engaged);
+  void apply_read_pause();
   void send_on(int interface_id, const Message& msg);
 
   Options options_;

@@ -1,6 +1,7 @@
 #include "transport/client.hpp"
 
 #include <chrono>
+#include <cstddef>
 #include <future>
 #include <utility>
 
@@ -60,6 +61,27 @@ void TransportClient::sync() {
   std::promise<void> done;
   loop_->post([&done] { done.set_value(); });
   done.get_future().wait();
+}
+
+bool TransportClient::drain(int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    // -1: the connection is gone (dropped, or handshake still pending
+    // with sends parked in pending_) — queued frames cannot drain.
+    std::promise<std::ptrdiff_t> probe;
+    loop_->post([this, &probe] {
+      probe.set_value(connection_ != nullptr
+                          ? static_cast<std::ptrdiff_t>(
+                                connection_->pending_bytes())
+                          : (pending_.empty() ? 0 : -1));
+    });
+    std::ptrdiff_t pending = probe.get_future().get();
+    if (pending == 0) return true;
+    if (pending < 0) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 void TransportClient::set_message_handler(

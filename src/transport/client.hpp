@@ -55,6 +55,13 @@ class TransportClient {
   /// the connection (and opportunistically flushed to the socket).
   void sync();
 
+  /// Blocks until the connection's userspace send queue is empty (every
+  /// queued byte handed to the kernel, which flushes it on close) or the
+  /// timeout expires. Returns false on timeout or if the connection
+  /// dropped while frames were still queued. Call sync() first so all
+  /// send()s have reached the connection.
+  bool drain(int timeout_ms = 10000);
+
   /// Optional hook invoked on the loop thread for every arriving message
   /// (after delivery bookkeeping).
   void set_message_handler(std::function<void(const Message&)> handler);

@@ -142,7 +142,7 @@ EventLoop::~EventLoop() {
 }
 
 void EventLoop::add_fd(int fd, std::uint32_t interest, IoCallback callback) {
-  callbacks_[fd] = std::move(callback);
+  callbacks_[fd] = FdEntry{std::move(callback), next_fd_gen_++};
   poller_->add(fd, interest);
 }
 
@@ -226,12 +226,23 @@ void EventLoop::drain_posted() {
 void EventLoop::run_once(int timeout_ms) {
   ready_.clear();
   poller_->wait(next_timeout_ms(timeout_ms), &ready_);
+  // Stamp each ready fd with its registration generation before any
+  // callback runs: a callback may close an fd whose readiness is still
+  // queued in this batch, and a new registration (e.g. an accepted
+  // connection) can reuse the number — the stale event must not reach it.
+  dispatch_.clear();
   for (const Poller::Ready& ready : ready_) {
     auto it = callbacks_.find(ready.fd);
+    if (it == callbacks_.end()) continue;
+    dispatch_.push_back(ReadyDispatch{ready.fd, ready.events, it->second.gen});
+  }
+  for (const ReadyDispatch& ready : dispatch_) {
+    auto it = callbacks_.find(ready.fd);
     if (it == callbacks_.end()) continue;  // removed by an earlier callback
+    if (it->second.gen != ready.gen) continue;  // fd reused mid-batch
     // Copy: the callback may remove_fd(its own fd), destroying the stored
     // function mid-call otherwise.
-    IoCallback callback = it->second;
+    IoCallback callback = it->second.callback;
     callback(ready.events);
   }
   fire_due_timers();

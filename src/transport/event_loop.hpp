@@ -98,10 +98,24 @@ class EventLoop {
   void fire_due_timers();
   int next_timeout_ms(int cap_ms) const;
 
+  /// Registered callback plus a generation token: fd numbers are reused
+  /// by the kernel, so readiness is matched on (fd, gen), not fd alone.
+  struct FdEntry {
+    IoCallback callback;
+    std::uint64_t gen = 0;
+  };
+  struct ReadyDispatch {
+    int fd = -1;
+    std::uint32_t events = 0;
+    std::uint64_t gen = 0;
+  };
+
   std::unique_ptr<Poller> poller_;
   bool poll_backend_ = false;
-  std::map<int, IoCallback> callbacks_;
+  std::map<int, FdEntry> callbacks_;
+  std::uint64_t next_fd_gen_ = 1;
   std::vector<Poller::Ready> ready_;
+  std::vector<ReadyDispatch> dispatch_;
 
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
   std::map<std::uint64_t, std::function<void()>> timer_fns_;  ///< id -> fn

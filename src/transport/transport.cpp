@@ -82,6 +82,7 @@ void Transport::dial(const std::string& host, std::uint16_t port) {
 }
 
 void Transport::start_connect(std::shared_ptr<Dial> dial) {
+  if (shutting_down_) return;
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     retry_dial(std::move(dial));
@@ -119,11 +120,11 @@ void Transport::connect_outcome(int fd, std::shared_ptr<Dial> dial,
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  dial->attempt = 0;  // established: a future drop restarts the schedule
   adopt_socket(fd, /*dialed=*/true, std::move(dial));
 }
 
 void Transport::retry_dial(std::shared_ptr<Dial> dial) {
+  if (shutting_down_) return;
   const BackoffPolicy& policy = options_.dial_backoff;
   if (policy.exhausted(dial->attempt)) {
     if (on_dial_failed_) on_dial_failed_(dial->host, dial->port);
@@ -158,6 +159,8 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
       }
       state.established = true;
       ++peers_;
+      // Handshake done: a future drop re-dials on a fresh schedule.
+      if (state.dial) state.dial->attempt = 0;
       if (on_peer_) on_peer_(raw, decoded.hello);
       return;
     }
@@ -173,10 +176,15 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
     if (it == connections_.end()) return;
     bool established = it->second.established;
     if (established) --peers_;
+    std::shared_ptr<Dial> redial = std::move(it->second.dial);
     // Keep the Connection alive until this handler returns.
     std::unique_ptr<Connection> doomed = std::move(it->second.connection);
     connections_.erase(it);
     if (established && on_disconnect_) on_disconnect_(raw, reason);
+    // A dropped dialed link (failed handshake or a later disconnect)
+    // resumes its retry schedule — processes of one overlay can restart
+    // in any order and the survivors re-knit the topology.
+    if (redial) retry_dial(std::move(redial));
   });
 
   raw->start();
@@ -184,6 +192,7 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
 }
 
 void Transport::shutdown() {
+  shutting_down_ = true;
   if (listen_fd_ >= 0) {
     loop_->remove_fd(listen_fd_);
     ::close(listen_fd_);

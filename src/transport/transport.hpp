@@ -105,6 +105,8 @@ class Transport {
   };
   std::map<Connection*, Entry> connections_;
   std::size_t peers_ = 0;
+  /// Set by shutdown(): suppresses re-dials from late close/timer events.
+  bool shutting_down_ = false;
   PeerHandler on_peer_;
   FrameHandler on_frame_;
   DisconnectHandler on_disconnect_;

@@ -74,6 +74,49 @@ TEST_P(EventLoopBackends, TimersFireInDeadlineOrderAndCancel) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+// A callback early in a ready batch may close another fd of the same batch
+// and accept/open a new one reusing the number; the stale readiness event
+// must not be delivered to the new registration.
+TEST_P(EventLoopBackends, StaleReadinessIsNotDeliveredToAReusedFd) {
+  EventLoop loop(GetParam());
+  int first[2], second[2];
+  ASSERT_EQ(::pipe(first), 0);
+  ASSERT_EQ(::pipe(second), 0);
+  ASSERT_EQ(::write(first[1], "x", 1), 1);
+  ASSERT_EQ(::write(second[1], "y", 1), 1);
+
+  bool spurious = false;
+  int fresh[2] = {-1, -1};
+  loop.add_fd(first[0], transport::kReadable, [&](std::uint32_t) {
+    char c;
+    (void)!::read(first[0], &c, 1);
+    loop.remove_fd(second[0]);
+    ::close(second[0]);
+    // The lowest free descriptor is the one just closed, so the new pipe
+    // reuses second[0]'s number while its readiness is still queued.
+    ASSERT_EQ(::pipe(fresh), 0);
+    loop.add_fd(fresh[0], transport::kReadable,
+                [&](std::uint32_t) { spurious = true; });
+  });
+  loop.add_fd(second[0], transport::kReadable, [&](std::uint32_t) {
+    char c;
+    (void)!::read(second[0], &c, 1);
+  });
+  loop.run_once(0);
+  EXPECT_EQ(fresh[0], second[0]);  // the scenario actually exercised reuse
+  EXPECT_FALSE(spurious);
+
+  loop.remove_fd(first[0]);
+  ::close(first[0]);
+  ::close(first[1]);
+  ::close(second[1]);
+  if (fresh[0] >= 0) {
+    loop.remove_fd(fresh[0]);
+    ::close(fresh[0]);
+    ::close(fresh[1]);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackends, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Poll" : "Default";
@@ -220,6 +263,138 @@ TEST(TransportHandshake, ClientConnectAndDisconnectTracksPeerCounts) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(broker.client_peers(), 0u);
+  broker.stop();
+}
+
+// A dialed link that drops resumes its retry schedule: a client outlives
+// its broker's restart and reconnects without outside help.
+TEST(TransportHandshake, DialedConnectionRedialsAfterBrokerRestart) {
+  std::uint16_t port = 0;
+  TransportClient::Options copts;
+  copts.id = 9;
+  TransportClient client{std::move(copts)};
+  {
+    TransportBroker::Options opts;
+    opts.config.use_advertisements = false;
+    TransportBroker broker(std::move(opts));
+    broker.start();
+    port = broker.port();
+    client.start("127.0.0.1", port);
+    ASSERT_TRUE(client.wait_connected());
+    broker.stop();
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (client.connected() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(client.connected());
+
+  TransportBroker::Options opts;
+  opts.config.use_advertisements = false;
+  opts.listen_port = port;
+  TransportBroker broker(std::move(opts));
+  broker.start();
+  EXPECT_TRUE(client.wait_connected(10000));
+  broker.stop();
+}
+
+// -- Backpressure across the broker ------------------------------------------
+
+// A peer that engages backpressure and then dies must release its share of
+// the global ingress pause — otherwise the whole node stays read-paused
+// forever (the high-severity leak this guards against).
+TEST(TransportBackpressure, SlowPeerDisconnectReleasesIngressPause) {
+  TransportBroker::Options opts;
+  opts.config.use_advertisements = false;
+  opts.connection.high_watermark = 1;  // any unflushed egress byte engages
+  opts.connection.low_watermark = 0;
+  TransportBroker broker(std::move(opts));
+  broker.start();
+
+  // A raw "subscriber" with a tiny receive buffer that never reads: the
+  // broker's egress to it backs up into its userspace queue.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 2048;
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(broker.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  wire::Hello hello;
+  hello.kind = wire::Hello::PeerKind::kClient;
+  hello.peer_id = 55;
+  std::vector<std::uint8_t> handshake = wire::encode_hello(hello);
+  std::vector<std::uint8_t> subscribe =
+      wire::encode_frame(Message::subscribe(parse_xpe("/flood")));
+  handshake.insert(handshake.end(), subscribe.begin(), subscribe.end());
+  ASSERT_EQ(::write(fd, handshake.data(), handshake.size()),
+            static_cast<ssize_t>(handshake.size()));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (broker.client_peers() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(broker.client_peers(), 1u);
+
+  // Flood publications at the stalled subscriber until backpressure
+  // engages (its kernel buffers fill, then the broker's queue grows).
+  TransportClient publisher{TransportClient::Options{}};
+  publisher.start("127.0.0.1", broker.port());
+  ASSERT_TRUE(publisher.wait_connected());
+  std::string deep = "/flood";
+  for (int i = 0; i < 100; ++i) deep += "/aaaaaaaaaa";
+  const Path flood_path = parse_path(deep);
+  std::uint64_t doc_id = 1;
+  while (broker.backpressure_engagements() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 50; ++i) {
+      PublishMsg pub;
+      pub.path = flood_path;
+      pub.doc_id = doc_id++;
+      publisher.send(Message{pub});
+    }
+    publisher.sync();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(broker.backpressure_engagements(), 1u);
+
+  // Kill the slow peer. The broker must notice despite the global read
+  // pause, release the pause, and serve fresh traffic end to end.
+  ::close(fd);
+  while (broker.client_peers() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(broker.client_peers(), 1u);  // only the publisher remains
+
+  TransportClient subscriber{TransportClient::Options{}};
+  subscriber.start("127.0.0.1", broker.port());
+  ASSERT_TRUE(subscriber.wait_connected());
+  subscriber.send(Message::subscribe(parse_xpe("/fresh")));
+  // Republish until delivered: the subscribe and the publication race
+  // through the broker, and the broker's duplicate suppression drops a
+  // repeated doc_id — so every attempt must carry a fresh one.
+  auto fresh_delivered = [&] {
+    std::set<std::uint64_t> docs = subscriber.delivered_docs();
+    return !docs.empty() && *docs.rbegin() >= 424242;
+  };
+  std::uint64_t fresh_id = 424242;
+  while (!fresh_delivered() &&
+         std::chrono::steady_clock::now() < deadline) {
+    PublishMsg pub;
+    pub.path = parse_path("/fresh/doc");
+    pub.doc_id = fresh_id++;
+    publisher.send(Message{pub});
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(fresh_delivered())
+      << "broker never resumed reads after the backpressured peer died";
+
+  subscriber.stop();
+  publisher.stop();
   broker.stop();
 }
 

@@ -634,6 +634,14 @@ int cmd_pub(const std::vector<std::string>& args) {
               << xml.size() << " bytes\n";
   }
   client.sync();
+  // sync() only guarantees frames reached the connection's userspace
+  // queue; wait for the kernel to take them before the socket closes, or
+  // the tail of a large document is silently dropped.
+  if (!client.drain(10000)) {
+    std::cerr << "pub: connection dropped or timed out before all frames "
+                 "were flushed\n";
+    return 1;
+  }
   return 0;
 }
 
