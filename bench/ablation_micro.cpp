@@ -82,7 +82,7 @@ void BM_PubMatch(benchmark::State& state, bool covering) {
   CoverSet set = build_covering_set(news_dtd(), copts);
   Prt prt(covering);
   Rng rng(3);
-  for (const Xpe& x : set.xpes) prt.insert(x, rng.uniform_int(0, 3));
+  for (const Xpe& x : set.xpes) prt.insert(x, IfaceId{rng.uniform_int(0, 3)});
   auto pubs = bench_paths(10);
   for (auto _ : state) {
     std::size_t hops = 0;
@@ -125,7 +125,7 @@ void BM_TreeInsert(benchmark::State& state, bool track_covered) {
     SubscriptionTree::Options options;
     options.track_covered = track_covered;
     SubscriptionTree tree(options);
-    for (const Xpe& q : queries) tree.insert(q, 0);
+    for (const Xpe& q : queries) tree.insert(q, IfaceId{0});
     benchmark::DoNotOptimize(tree.size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

@@ -48,7 +48,7 @@ WorkloadResult run(const Dtd& dtd, const XpathGenOptions& xopts,
   {  // flat scan
     Prt flat(/*covering=*/false);
     Rng hop_rng(1);
-    for (const Xpe& q : queries) flat.insert(q, hop_rng.uniform_int(0, 3));
+    for (const Xpe& q : queries) flat.insert(q, IfaceId{hop_rng.uniform_int(0, 3)});
     Stopwatch watch;
     std::size_t sink = 0;
     for (const Path& p : pubs) sink += flat.match_hops(p).size();
@@ -58,7 +58,7 @@ WorkloadResult run(const Dtd& dtd, const XpathGenOptions& xopts,
   {  // covering subscription tree
     Prt tree(/*covering=*/true);
     Rng hop_rng(1);
-    for (const Xpe& q : queries) tree.insert(q, hop_rng.uniform_int(0, 3));
+    for (const Xpe& q : queries) tree.insert(q, IfaceId{hop_rng.uniform_int(0, 3)});
     Stopwatch watch;
     std::size_t sink = 0;
     for (const Path& p : pubs) sink += tree.match_hops(p).size();

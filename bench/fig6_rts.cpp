@@ -81,8 +81,8 @@ int main(int argc, char** argv) {
   for (std::size_t point = 1; point <= points; ++point) {
     std::size_t goal_a = set_a.xpes.size() * point / points;
     std::size_t goal_b = set_b.xpes.size() * point / points;
-    while (ia < goal_a) tree_a.insert(set_a.xpes[ia++], 0);
-    while (ib < goal_b) tree_b.insert(set_b.xpes[ib++], 0);
+    while (ia < goal_a) tree_a.insert(set_a.xpes[ia++], IfaceId{0});
+    while (ib < goal_b) tree_b.insert(set_b.xpes[ib++], IfaceId{0});
     table.add_row({TextTable::fmt(100.0 * point / points, 0) + "%",
                    TextTable::fmt(goal_a),
                    TextTable::fmt(forwarded_table_size(tree_a)),

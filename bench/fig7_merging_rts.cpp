@@ -135,9 +135,9 @@ int main(int argc, char** argv) {
   for (std::size_t point = step; point <= n; point += step) {
     while (inserted < point) {
       const Xpe& x = xpes[inserted++];
-      cov_tree.insert(x, 0);
-      pm_tree.insert(x, 0);
-      ipm_tree.insert(x, 0);
+      cov_tree.insert(x, IfaceId{0});
+      pm_tree.insert(x, IfaceId{0});
+      ipm_tree.insert(x, IfaceId{0});
     }
     // "We periodically apply the merging rules on the subscription tree."
     perfect_engine.run(pm_tree);

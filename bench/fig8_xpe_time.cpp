@@ -35,7 +35,7 @@ Series run_dtd(const Dtd& dtd, std::size_t total, std::size_t batch,
   series.advertisements = derived.advertisements.size();
 
   Srt srt;
-  for (const Advertisement& a : derived.advertisements) srt.add(a, 0);
+  for (const Advertisement& a : derived.advertisements) srt.add(a, IfaceId{0});
 
   XpathGenOptions xopts;
   xopts.count = total;
@@ -75,7 +75,7 @@ Series run_dtd(const Dtd& dtd, std::size_t total, std::size_t batch,
     Stopwatch watch;
     std::size_t done = 0;
     for (const Xpe& x : xpes) {
-      auto result = tree.insert(x, 0);
+      auto result = tree.insert(x, IfaceId{0});
       if (result.was_new && !result.covered_by_existing) {
         volatile bool sink = false;
         for (const auto& entry : srt.entries()) {

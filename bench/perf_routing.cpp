@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
   {
     Srt srt;
     for (std::size_t i = 0; i < derived.advertisements.size(); ++i) {
-      srt.add(derived.advertisements[i], static_cast<int>(i) % hops);
+      srt.add(derived.advertisements[i], IfaceId{static_cast<int>(i) % hops});
     }
     std::vector<const Xpe*> queries;
     for (std::size_t i = 0; i < srt_queries; ++i) {
@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
   {
     Prt prt(/*covering=*/false);
     for (std::size_t i = 0; i < set.xpes.size(); ++i) {
-      prt.insert(set.xpes[i], static_cast<int>(i) % hops);
+      prt.insert(set.xpes[i], IfaceId{static_cast<int>(i) % hops});
     }
     prt_metric.table_entries = prt.size();
     prt_metric.queries = paths.size();
@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
   {
     Prt prt(/*covering=*/true, /*track_covered=*/false);
     for (std::size_t i = 0; i < set.xpes.size(); ++i) {
-      prt.insert(set.xpes[i], static_cast<int>(i) % hops);
+      prt.insert(set.xpes[i], IfaceId{static_cast<int>(i) % hops});
     }
     tree_metric.table_entries = prt.size();
     tree_metric.queries = paths.size();

@@ -46,14 +46,14 @@ SetResult run_set(const Dtd& dtd, const std::vector<Xpe>& xpes,
   // No covering: flat table scan (paper's baseline).
   {
     Prt flat(/*covering=*/false);
-    for (const Xpe& x : xpes) flat.insert(x, rng.uniform_int(0, 3));
+    for (const Xpe& x : xpes) flat.insert(x, IfaceId{rng.uniform_int(0, 3)});
     result.no_covering = route_all(flat, pubs);
   }
   // Covering: the subscription tree with subtree pruning.
   Prt covering(/*covering=*/true);
   {
     Rng hop_rng(99);
-    for (const Xpe& x : xpes) covering.insert(x, hop_rng.uniform_int(0, 3));
+    for (const Xpe& x : xpes) covering.insert(x, IfaceId{hop_rng.uniform_int(0, 3)});
     result.covering = route_all(covering, pubs);
   }
   // Merging: run merge passes on copies of the covering tree.
@@ -61,7 +61,7 @@ SetResult run_set(const Dtd& dtd, const std::vector<Xpe>& xpes,
   {
     Prt pm(/*covering=*/true);
     Rng hop_rng(99);
-    for (const Xpe& x : xpes) pm.insert(x, hop_rng.uniform_int(0, 3));
+    for (const Xpe& x : xpes) pm.insert(x, IfaceId{hop_rng.uniform_int(0, 3)});
     MergeEngine engine(&universe, MergeOptions{});
     engine.run(*pm.tree());
     result.perfect = route_all(pm, pubs);
@@ -69,7 +69,7 @@ SetResult run_set(const Dtd& dtd, const std::vector<Xpe>& xpes,
   {
     Prt ipm(/*covering=*/true);
     Rng hop_rng(99);
-    for (const Xpe& x : xpes) ipm.insert(x, hop_rng.uniform_int(0, 3));
+    for (const Xpe& x : xpes) ipm.insert(x, IfaceId{hop_rng.uniform_int(0, 3)});
     MergeOptions mopts;
     mopts.max_imperfect_degree = imperfect_degree;
     mopts.rule_general = true;

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   std::cout << "=== inserting " << inputs.size() << " XPEs ===\n";
   for (const std::string& text : inputs) {
     Xpe xpe = parse_xpe(text);
-    auto result = tree.insert(xpe, 0);
+    auto result = tree.insert(xpe, IfaceId{0});
     std::cout << "  " << text;
     if (!result.was_new) {
       std::cout << "  (duplicate)";

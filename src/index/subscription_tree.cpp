@@ -64,7 +64,7 @@ SubscriptionTree::Node* SubscriptionTree::find(const Xpe& xpe) {
 }
 
 SubscriptionTree::InsertResult SubscriptionTree::insert(const Xpe& xpe,
-                                                        int hop) {
+                                                        IfaceId hop) {
   if (Node* existing = find(xpe)) {
     InsertResult result;
     existing->hops.insert(hop);
@@ -78,7 +78,7 @@ SubscriptionTree::InsertResult SubscriptionTree::insert(const Xpe& xpe,
 }
 
 SubscriptionTree::InsertResult SubscriptionTree::insert_new(const Xpe& xpe,
-                                                            int hop) {
+                                                            IfaceId hop) {
   InsertResult result;
   result.was_new = true;
 
@@ -326,7 +326,7 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
   return adopted;
 }
 
-bool SubscriptionTree::remove(const Xpe& xpe, int hop) {
+bool SubscriptionTree::remove(const Xpe& xpe, IfaceId hop) {
   Node* node = find(xpe);
   if (!node || node->hops.erase(hop) == 0) return false;
   if (node->hops.empty()) detach_node(node);
@@ -352,16 +352,16 @@ bool SubscriptionTree::covered(const Xpe& xpe) const {
   return false;
 }
 
-std::set<int> SubscriptionTree::match_hops(const Path& path) const {
-  std::set<int> hops;
+IfaceSet SubscriptionTree::match_hops(const Path& path) const {
+  IfaceSet hops;
   for (const Node* node : match_nodes(path)) {
     hops.insert(node->hops.begin(), node->hops.end());
   }
   return hops;
 }
 
-std::set<int> SubscriptionTree::match_hops_scan(const Path& path) const {
-  std::set<int> hops;
+IfaceSet SubscriptionTree::match_hops_scan(const Path& path) const {
+  IfaceSet hops;
   for (const Node* node : match_nodes_scan(path)) {
     hops.insert(node->hops.begin(), node->hops.end());
   }
@@ -428,6 +428,44 @@ std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes(
     for (const auto& child : node->children) stack.push_back(child.get());
   }
   return out;
+}
+
+void SubscriptionTree::ensure_root_index() const {
+  if (root_index_dirty_) rebuild_root_index();
+}
+
+void SubscriptionTree::match_shard(
+    const InternedPath& ip, const std::vector<std::uint32_t>& distinct_symbols,
+    std::size_t shard, std::size_t shard_count,
+    const std::function<void(const Node&)>& visit,
+    std::size_t* comparisons) const {
+  // Pure read by contract: the index was forced by ensure_root_index() and
+  // no mutation overlaps the epoch, so the lazy-rebuild branch of
+  // match_nodes() must never trigger here.
+  std::vector<const Node*> stack;
+  if (shard == 0) {
+    stack.insert(stack.end(), unindexed_roots_.begin(),
+                 unindexed_roots_.end());
+  }
+  for (std::uint32_t sym : distinct_symbols) {
+    if (symbol_shard(sym, static_cast<std::uint32_t>(shard_count)) != shard) {
+      continue;
+    }
+    auto it = roots_by_symbol_.find(sym);
+    if (it == roots_by_symbol_.end()) continue;
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++*comparisons;
+    if (!matches(ip, node->xpe)) {
+      // The node covers its whole subtree: nothing below can match either.
+      continue;
+    }
+    visit(*node);
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
 }
 
 std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes_scan(

@@ -35,6 +35,7 @@
 
 #include "match/covering.hpp"
 #include "match/pub_match.hpp"
+#include "router/iface.hpp"
 #include "xml/paths.hpp"
 #include "xpath/xpe.hpp"
 
@@ -51,7 +52,7 @@ class SubscriptionTree {
     /// Nodes holding a super pointer to this node (for O(1) unlinking).
     std::vector<Node*> super_sources;
     /// Last hops (destinations) this subscription was received from.
-    std::set<int> hops;
+    IfaceSet hops;
     /// Merger bookkeeping (paper §4.3).
     bool merger = false;
     std::vector<Xpe> merged_from;
@@ -84,11 +85,11 @@ class SubscriptionTree {
   explicit SubscriptionTree(Options options);
 
   /// Inserts `xpe` received from `hop`.
-  InsertResult insert(const Xpe& xpe, int hop);
+  InsertResult insert(const Xpe& xpe, IfaceId hop);
 
   /// Removes `hop` from the subscription; the node disappears when no hop
   /// remains. Returns true if the subscription existed with that hop.
-  bool remove(const Xpe& xpe, int hop);
+  bool remove(const Xpe& xpe, IfaceId hop);
 
   /// Removes the subscription entirely (all hops). Returns true if found.
   bool erase(const Xpe& xpe);
@@ -97,7 +98,7 @@ class SubscriptionTree {
   bool covered(const Xpe& xpe) const;
 
   /// Destination hops of every subscription matching `path` (deduplicated).
-  std::set<int> match_hops(const Path& path) const;
+  IfaceSet match_hops(const Path& path) const;
 
   /// Matching subscriptions themselves (used by edge delivery and tests).
   /// Uses the first-step root index + interned matching: only root buckets
@@ -110,7 +111,38 @@ class SubscriptionTree {
   /// matcher. Retained as the differential-test oracle and the
   /// perf_routing "before" baseline; do not use on the hot path.
   std::vector<const Node*> match_nodes_scan(const Path& path) const;
-  std::set<int> match_hops_scan(const Path& path) const;
+  IfaceSet match_hops_scan(const Path& path) const;
+
+  // -- Parallel matching support (router/match_scheduler.hpp) --------------
+  //
+  // Shard-local matching partitions the root index by symbol_shard() of
+  // each root's discriminating symbol; the union over all shards of
+  // match_shard() visits exactly the nodes match_nodes() visits, each in
+  // exactly one shard. The methods below are pure reads: they never touch
+  // the lazy index or the mutable counters, so any number of threads may
+  // run them concurrently against an immutable tree — provided
+  // ensure_root_index() ran first and no mutation overlaps the reads
+  // (the scheduler's epoch barrier enforces both).
+
+  /// Forces the lazy root index now (control thread, before a match epoch).
+  void ensure_root_index() const;
+
+  /// Visits every node of shard `shard` (of `shard_count`) matching `ip`,
+  /// in covering-pruned descent order. `distinct_symbols` must be the
+  /// deduplicated symbol list of the path (precomputed once per path).
+  /// Shard 0 additionally owns the all-wildcard side list. Comparison
+  /// tests are accumulated into `*comparisons` instead of the member
+  /// counter; fold them back via add_comparisons() after the epoch.
+  void match_shard(const InternedPath& ip,
+                   const std::vector<std::uint32_t>& distinct_symbols,
+                   std::size_t shard, std::size_t shard_count,
+                   const std::function<void(const Node&)>& visit,
+                   std::size_t* comparisons) const;
+
+  /// Folds worker-local comparison counts back into comparisons() so the
+  /// observable totals are identical to a sequential run. Control thread
+  /// only (between epochs).
+  void add_comparisons(std::size_t n) const { comparisons_ += n; }
 
   /// Number of subscriptions stored — the paper's "routing table size".
   std::size_t size() const { return by_xpe_.size(); }
@@ -162,7 +194,7 @@ class SubscriptionTree {
                        const Xpe& merger_xpe);
 
  private:
-  InsertResult insert_new(const Xpe& xpe, int hop);
+  InsertResult insert_new(const Xpe& xpe, IfaceId hop);
   void collect_covered_outside(const Xpe& xpe, const Node* skip,
                                Node* origin_node,
                                std::vector<Xpe>* out);

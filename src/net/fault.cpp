@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "router/broker_options.hpp"
 #include "util/error.hpp"
 
 namespace xroute {
@@ -100,6 +101,17 @@ FaultPlan parse_fault_plan(std::istream& in) {
       apply_profile_directive(
           plan.link_profiles[key], rest[2],
           std::vector<std::string>(rest.begin() + 3, rest.end()), line);
+    } else if (head == "option") {
+      if (rest.size() != 2) {
+        throw ParseError("fault plan: expected 'option <key> <value>': " +
+                         line);
+      }
+      BrokerOptions scratch;
+      if (std::string err = apply_broker_option(scratch, rest[0], rest[1]);
+          !err.empty()) {
+        throw ParseError("fault plan: " + err + ": " + line);
+      }
+      plan.broker_options.emplace_back(rest[0], rest[1]);
     } else if (head == "crash") {
       if (rest.size() != 3) throw ParseError("fault plan: bad crash line: " + line);
       CrashEvent event;

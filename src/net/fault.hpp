@@ -67,6 +67,11 @@ struct FaultPlan {
   std::uint64_t seed = 42;
   std::size_t subscribers = 4;
   std::size_t documents = 10;
+  /// Broker knobs (`option <key> <value>` lines), validated at parse time
+  /// through apply_broker_option() — the same parser `xroutectl serve`
+  /// flags and overlay files use — and applied to every broker the
+  /// harness builds.
+  std::vector<std::pair<std::string, std::string>> broker_options;
 };
 
 /// Parses the plan text format. One directive per line, '#' comments:
@@ -82,6 +87,7 @@ struct FaultPlan {
 ///   link 1 2 drop 0.30       # per-link override (same sub-directives)
 ///   link 1 2 down 10.0 90.0
 ///   crash 1 200.0 resync     # broker, time, cold | resync | snapshot
+///   option merging on        # broker knob (router/broker_options.hpp)
 ///
 /// Throws ParseError on malformed input.
 FaultPlan parse_fault_plan(std::istream& in);

@@ -29,6 +29,15 @@ int Simulator::new_endpoint() {
 }
 
 int Simulator::add_broker(const Broker::Config& config) {
+  if (config.match_threads > 1) {
+    // The simulator folds wall-clock processing time into simulated time;
+    // a worker pool would perturb that measurement and the deterministic
+    // event order. Parallel matching runs under the real transport
+    // (transport/broker_node) instead.
+    throw std::invalid_argument(
+        "simulator brokers are single-threaded for determinism; "
+        "match_threads must be 1");
+  }
   int id = static_cast<int>(brokers_.size());
   brokers_.push_back(std::make_unique<Broker>(id, config));
   broker_configs_.push_back(config);
@@ -58,10 +67,10 @@ void Simulator::restart_broker(int broker, const std::string& snapshot,
     const Endpoint& endpoint = endpoints_[e];
     if (endpoint.is_client || endpoint.broker != broker) continue;
     if (endpoint.client >= 0) {
-      fresh->add_client(static_cast<int>(e));
+      fresh->add_client(IfaceId{static_cast<int>(e)});
     } else {
       neighbor_endpoints.push_back(static_cast<int>(e));
-      fresh->add_neighbor(static_cast<int>(e));
+      fresh->add_neighbor(IfaceId{static_cast<int>(e)});
       if (fault_rng_) {
         stats_.count_frames_lost_to_crash(
             channels_[e].in_flight() +
@@ -95,8 +104,8 @@ void Simulator::connect(int broker_a, int broker_b, const LinkConfig& link) {
   int end_b = new_endpoint();
   endpoints_[end_a] = Endpoint{false, broker_a, -1, end_b, link};
   endpoints_[end_b] = Endpoint{false, broker_b, -1, end_a, link};
-  brokers_[broker_a]->add_neighbor(end_a);
-  brokers_[broker_b]->add_neighbor(end_b);
+  brokers_[broker_a]->add_neighbor(IfaceId{end_a});
+  brokers_[broker_b]->add_neighbor(IfaceId{end_b});
 }
 
 void Simulator::build(const Topology& topology, const Broker::Config& config,
@@ -113,7 +122,7 @@ int Simulator::attach_client(int broker, const LinkConfig& link) {
   int broker_end = new_endpoint();
   endpoints_[client_end] = Endpoint{true, -1, client_id, broker_end, link};
   endpoints_[broker_end] = Endpoint{false, broker, client_id, client_end, link};
-  brokers_[broker]->add_client(broker_end);
+  brokers_[broker]->add_client(IfaceId{broker_end});
   clients_.push_back(Client{broker, client_end, broker_end, {}, {}, {}, {}});
   return client_id;
 }
@@ -556,7 +565,7 @@ void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
 #endif
   auto started = std::chrono::steady_clock::now();
   Broker::HandleResult result =
-      brokers_[broker]->handle(at_endpoint, msg, stage_sink);
+      brokers_[broker]->handle(IfaceId{at_endpoint}, msg, stage_sink);
   auto finished = std::chrono::steady_clock::now();
   double processing_ms =
       std::chrono::duration<double, std::milli>(finished - started).count() *
@@ -628,13 +637,13 @@ void Simulator::deliver_to_broker(int broker, int at_endpoint, Message msg) {
       enq.start_ms = now_;
       enq.end_ms = departure;
       enq.broker = broker;
-      enq.endpoint = fwd.interface;
+      enq.endpoint = fwd.interface.value();
       enq.msg_type = static_cast<unsigned char>(fwd.message.type());
       enq.bytes = fwd.message.wire_bytes();
       fwd.message.trace = TraceContext{msg.trace.trace, tracer_->add(enq)};
     }
 #endif
-    transmit(fwd.interface, std::move(fwd.message), departure);
+    transmit(fwd.interface.value(), std::move(fwd.message), departure);
   }
   if (result.resync_completed) finish_resync(broker);
 }

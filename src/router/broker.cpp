@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "match/pub_match.hpp"
+#include "router/match_scheduler.hpp"
 #include "router/snapshot.hpp"
 
 namespace xroute {
@@ -38,24 +40,62 @@ class StageTimer {
 Broker::Broker(int id, Config config)
     : id_(id),
       config_(config),
-      prt_(config.use_covering, config.track_covered) {}
+      prt_(config.use_covering, config.track_covered) {
+  if (std::string problem = config_.validate(); !problem.empty()) {
+    throw std::invalid_argument("broker " + std::to_string(id) + ": " +
+                                problem);
+  }
+  if (config_.match_threads > 1) {
+    scheduler_ = std::make_unique<MatchScheduler>(
+        &prt_, MatchScheduler::Options{config_.match_threads,
+                                       config_.effective_shards()});
+  }
+}
 
-void Broker::add_neighbor(int interface_id) { neighbors_.insert(interface_id); }
+Broker::~Broker() = default;
 
-void Broker::add_client(int interface_id) { clients_.insert(interface_id); }
+Broker::Broker(Broker&& other)
+    : id_(other.id_),
+      config_(std::move(other.config_)),
+      neighbors_(std::move(other.neighbors_)),
+      clients_(std::move(other.clients_)),
+      srt_(std::move(other.srt_)),
+      prt_(std::move(other.prt_)),
+      client_subs_(std::move(other.client_subs_)),
+      forwarded_to_(std::move(other.forwarded_to_)),
+      new_subs_since_merge_(other.new_subs_since_merge_),
+      merges_applied_(other.merges_applied_),
+      pending_syncs_(other.pending_syncs_),
+      seen_publications_(std::move(other.seen_publications_)) {
+  // The old scheduler's workers point at other.prt_; tear them down and
+  // rebuild against this object's tables.
+  other.scheduler_.reset();
+  if (config_.match_threads > 1) {
+    scheduler_ = std::make_unique<MatchScheduler>(
+        &prt_, MatchScheduler::Options{config_.match_threads,
+                                       config_.effective_shards()});
+  }
+}
 
-const std::vector<Xpe>* Broker::client_subscriptions(int interface_id) const {
+void Broker::add_neighbor(IfaceId interface_id) {
+  neighbors_.insert(interface_id);
+}
+
+void Broker::add_client(IfaceId interface_id) { clients_.insert(interface_id); }
+
+const std::vector<Xpe>* Broker::client_subscriptions(
+    IfaceId interface_id) const {
   auto it = client_subs_.find(interface_id);
   return it == client_subs_.end() ? nullptr : &it->second;
 }
 
 void Broker::restore_advertisement(const Advertisement& adv,
-                                   const std::set<int>& hops) {
-  for (int hop : hops) srt_.add(adv, hop);
+                                   const IfaceSet& hops) {
+  for (IfaceId hop : hops) srt_.add(adv, hop);
 }
 
-void Broker::restore_subscription(const Xpe& xpe, const std::set<int>& hops) {
-  for (int hop : hops) prt_.insert(xpe, hop);
+void Broker::restore_subscription(const Xpe& xpe, const IfaceSet& hops) {
+  for (IfaceId hop : hops) prt_.insert(xpe, hop);
 }
 
 void Broker::restore_merger(const Xpe& merger,
@@ -67,44 +107,52 @@ void Broker::restore_merger(const Xpe& merger,
   }
 }
 
-void Broker::restore_client_table(int interface_id, std::vector<Xpe> xpes) {
+void Broker::restore_client_table(IfaceId interface_id,
+                                  std::vector<Xpe> xpes) {
   client_subs_[interface_id] = std::move(xpes);
 }
 
-void Broker::restore_forwarding(const Xpe& xpe, std::set<int> interfaces) {
+void Broker::restore_forwarding(const Xpe& xpe, IfaceSet interfaces) {
   forwarded_to_[xpe] = std::move(interfaces);
 }
 
-void Broker::restore_forwarding_add(const Xpe& xpe, int interface_id) {
+void Broker::restore_forwarding_add(const Xpe& xpe, IfaceId interface_id) {
   forwarded_to_[xpe].insert(interface_id);
 }
 
-Broker::HandleResult Broker::handle(int from_interface, const Message& msg,
-                                    StageTimings* stages) {
+Broker::HandleStatus Broker::handle(IfaceId from_interface, const Message& msg,
+                                    ForwardSink& sink, StageTimings* stages) {
+  if (stages && scheduler_) {
+    // Stage regions are scoped to the calling thread; with the pool active
+    // the match stage runs on workers and the numbers would be garbage.
+    throw std::logic_error(
+        "stage timings are incompatible with match_threads > 1");
+  }
   stages_ = stages;
-  HandleResult out;
+  HandleStatus out;
   switch (msg.type()) {
     case MessageType::kAdvertise:
       handle_advertise(from_interface, std::get<AdvertiseMsg>(msg.payload),
-                       &out);
+                       sink, &out);
       break;
     case MessageType::kSubscribe:
       handle_subscribe(from_interface, std::get<SubscribeMsg>(msg.payload),
-                       &out);
+                       sink, &out);
       break;
     case MessageType::kUnsubscribe:
       handle_unsubscribe(from_interface,
-                         std::get<UnsubscribeMsg>(msg.payload), &out);
+                         std::get<UnsubscribeMsg>(msg.payload), sink, &out);
       break;
     case MessageType::kPublish:
-      handle_publish(from_interface, std::get<PublishMsg>(msg.payload), &out);
+      handle_publish(from_interface, std::get<PublishMsg>(msg.payload), sink,
+                     &out);
       break;
     case MessageType::kUnadvertise:
       handle_unadvertise(from_interface,
-                         std::get<UnadvertiseMsg>(msg.payload), &out);
+                         std::get<UnadvertiseMsg>(msg.payload), sink, &out);
       break;
     case MessageType::kSyncRequest:
-      handle_sync_request(from_interface, &out);
+      handle_sync_request(from_interface, sink);
       break;
     case MessageType::kSyncState:
       handle_sync_state(from_interface, std::get<SyncStateMsg>(msg.payload),
@@ -115,8 +163,72 @@ Broker::HandleResult Broker::handle(int from_interface, const Message& msg,
   return out;
 }
 
-void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
-                              HandleResult* out) {
+Broker::HandleResult Broker::handle(IfaceId from_interface, const Message& msg,
+                                    StageTimings* stages) {
+  HandleResult result;
+  CollectingSink sink(&result.forwards);
+  static_cast<HandleStatus&>(result) = handle(from_interface, msg, sink,
+                                              stages);
+  return result;
+}
+
+Broker::HandleStatus Broker::handle_batch(std::span<const Inbound> batch,
+                                          ForwardSink& sink) {
+  HandleStatus total;
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (!scheduler_ || batch[i].msg->type() != MessageType::kPublish) {
+      total += handle(batch[i].from, *batch[i].msg, sink);
+      ++i;
+      continue;
+    }
+    // A run of consecutive publications: one scheduler epoch for the whole
+    // run. Matching reads only the routing tables, which no publication
+    // mutates, so batching the match stage and then forwarding in arrival
+    // order is observationally identical to per-message handling.
+    std::size_t end = i;
+    while (end < batch.size() &&
+           batch[end].msg->type() == MessageType::kPublish) {
+      ++end;
+    }
+    std::vector<const PublishMsg*> pubs;
+    std::vector<IfaceId> froms;
+    std::vector<const Path*> paths;
+    pubs.reserve(end - i);
+    for (std::size_t j = i; j < end; ++j) {
+      const auto& pub = std::get<PublishMsg>(batch[j].msg->payload);
+      // Duplicate suppression runs sequentially up front, exactly as the
+      // per-message path would: later copies in the same batch are dropped
+      // before any matching happens.
+      if (!seen_publications_.emplace(pub.doc_id, pub.path_id).second) {
+        continue;
+      }
+      pubs.push_back(&pub);
+      froms.push_back(batch[j].from);
+      paths.push_back(&pub.path);
+    }
+    if (!paths.empty()) {
+      std::vector<MatchScheduler::MatchResult> matches =
+          scheduler_->match_batch(paths);
+      std::size_t comparisons = 0;
+      for (std::size_t k = 0; k < pubs.size(); ++k) {
+        HandleStatus out;
+        out.publication_matched = !matches[k].hops.empty();
+        out.merger_false_matches = matches[k].merger_false_matches;
+        comparisons += matches[k].comparisons;
+        forward_publication(froms[k], *pubs[k], matches[k].hops, sink, &out);
+        total += out;
+      }
+      prt_.add_comparisons(comparisons);
+    }
+    i = end;
+  }
+  return total;
+}
+
+void Broker::handle_advertise(IfaceId from, const AdvertiseMsg& msg,
+                              ForwardSink& sink, HandleStatus* out) {
+  (void)out;
   bool is_new;
   {
     StageTimer srt_timer(stages_ ? &stages_->srt_check_ms : nullptr);
@@ -128,11 +240,11 @@ void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
   // "advertisements are flooded in the publish/subscribe overlay").
   {
     StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
-    for (int neighbor : neighbors_) {
+    for (IfaceId neighbor : neighbors_) {
       if (neighbor != from) {
-        out->forwards.push_back(Forward{
-            neighbor,
-            Message::advertise(msg.advertisement, msg.origin_broker)});
+        sink.on_forward(neighbor,
+                        Message::advertise(msg.advertisement,
+                                           msg.origin_broker));
       }
     }
   }
@@ -150,49 +262,49 @@ void Broker::handle_advertise(int from, const AdvertiseMsg& msg,
 
   for (const Xpe& xpe : prt_.top_level_xpes()) {
     if (!srt_.entry_overlaps(*entry, xpe)) continue;
-    std::set<int>& sent = forwarded_to_[xpe];
+    IfaceSet& sent = forwarded_to_[xpe];
     if (sent.insert(from).second) {
-      out->forwards.push_back(Forward{from, Message::subscribe(xpe)});
+      sink.on_forward(from, Message::subscribe(xpe));
     }
   }
 }
 
-void Broker::handle_unadvertise(int from, const UnadvertiseMsg& msg,
-                                HandleResult* out) {
+void Broker::handle_unadvertise(IfaceId from, const UnadvertiseMsg& msg,
+                                ForwardSink& sink, HandleStatus* out) {
+  (void)out;
   // Withdraw the advertisement for this hop; once no hop holds it the
   // withdrawal floods on, mirroring the advertisement flood. Forwarded
   // subscriptions are left in place: they become stale routing state, not
   // incorrect behaviour (publications simply stop flowing from there).
   if (!srt_.remove(msg.advertisement, from)) return;
   if (srt_.contains(msg.advertisement)) return;
-  for (int neighbor : neighbors_) {
+  for (IfaceId neighbor : neighbors_) {
     if (neighbor != from) {
-      out->forwards.push_back(Forward{
-          neighbor,
-          Message::unadvertise(msg.advertisement, msg.origin_broker)});
+      sink.on_forward(neighbor, Message::unadvertise(msg.advertisement,
+                                                     msg.origin_broker));
     }
   }
 }
 
-std::set<int> Broker::subscription_targets(const Xpe& xpe, int exclude) const {
+IfaceSet Broker::subscription_targets(const Xpe& xpe, IfaceId exclude) const {
   StageTimer srt_timer(stages_ ? &stages_->srt_check_ms : nullptr);
-  std::set<int> targets;
+  IfaceSet targets;
   if (config_.use_advertisements) {
-    for (int hop : srt_.hops_overlapping(xpe)) {
+    for (IfaceId hop : srt_.hops_overlapping(xpe)) {
       // Only broker links: a hop can be a publisher client's interface
       // (the advertisement entered here); matching then happens locally.
       if (neighbors_.count(hop) && hop != exclude) targets.insert(hop);
     }
   } else {
-    for (int neighbor : neighbors_) {
+    for (IfaceId neighbor : neighbors_) {
       if (neighbor != exclude) targets.insert(neighbor);
     }
   }
   return targets;
 }
 
-std::set<int> Broker::coverage_interfaces(const Xpe& xpe) const {
-  std::set<int> out;
+IfaceSet Broker::coverage_interfaces(const Xpe& xpe) const {
+  IfaceSet out;
   if (!prt_.covering()) return out;
   const SubscriptionTree::Node* node = prt_.tree()->find(xpe);
   if (!node) return out;
@@ -214,50 +326,51 @@ std::set<int> Broker::coverage_interfaces(const Xpe& xpe) const {
   return out;
 }
 
-void Broker::forward_subscription(const Xpe& xpe, int exclude,
-                                  HandleResult* out) {
-  std::set<int>& sent = forwarded_to_[xpe];
-  std::set<int> covered_on;
+void Broker::forward_subscription(const Xpe& xpe, IfaceId exclude,
+                                  ForwardSink& sink) {
+  IfaceSet& sent = forwarded_to_[xpe];
+  IfaceSet covered_on;
   if (config_.use_covering) covered_on = coverage_interfaces(xpe);
-  std::set<int> targets = subscription_targets(xpe, exclude);
+  IfaceSet targets = subscription_targets(xpe, exclude);
   StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
-  for (int target : targets) {
+  for (IfaceId target : targets) {
     if (covered_on.count(target)) continue;  // a coverer routes this way
     if (sent.insert(target).second) {
-      out->forwards.push_back(Forward{target, Message::subscribe(xpe)});
+      sink.on_forward(target, Message::subscribe(xpe));
     }
   }
   if (sent.empty()) forwarded_to_.erase(xpe);
 }
 
-void Broker::unsubscribe_covered(const Xpe& covered, const std::set<int>& via,
-                                 HandleResult* out) {
+void Broker::unsubscribe_covered(const Xpe& covered, const IfaceSet& via,
+                                 ForwardSink& sink) {
   StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
   auto it = forwarded_to_.find(covered);
   if (it == forwarded_to_.end()) return;
-  for (int target : via) {
+  for (IfaceId target : via) {
     if (it->second.erase(target) > 0) {
-      out->forwards.push_back(Forward{target, Message::unsubscribe(covered)});
+      sink.on_forward(target, Message::unsubscribe(covered));
     }
   }
   if (it->second.empty()) forwarded_to_.erase(it);
 }
 
-void Broker::forward_unsubscription(const Xpe& xpe, int exclude,
-                                    HandleResult* out) {
+void Broker::forward_unsubscription(const Xpe& xpe, IfaceId exclude,
+                                    ForwardSink& sink) {
   StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
   auto it = forwarded_to_.find(xpe);
   if (it == forwarded_to_.end()) return;
-  for (int target : it->second) {
+  for (IfaceId target : it->second) {
     if (target != exclude) {
-      out->forwards.push_back(Forward{target, Message::unsubscribe(xpe)});
+      sink.on_forward(target, Message::unsubscribe(xpe));
     }
   }
   forwarded_to_.erase(it);
 }
 
-void Broker::handle_subscribe(int from, const SubscribeMsg& msg,
-                              HandleResult* out) {
+void Broker::handle_subscribe(IfaceId from, const SubscribeMsg& msg,
+                              ForwardSink& sink, HandleStatus* out) {
+  (void)out;
   if (clients_.count(from)) {
     client_subs_[from].push_back(msg.xpe);
   }
@@ -270,7 +383,7 @@ void Broker::handle_subscribe(int from, const SubscribeMsg& msg,
   if (outcome.was_new) {
     // Per-interface covering decision happens inside forward_subscription:
     // the newcomer goes wherever no coverer already provides a route.
-    forward_subscription(msg.xpe, from, out);
+    forward_subscription(msg.xpe, from, sink);
     // Withdraw the subscriptions the newcomer covers (paper §4.1) — but
     // only on interfaces the newcomer itself was forwarded to. On any
     // other interface (in particular the one it arrived from) the
@@ -279,7 +392,7 @@ void Broker::handle_subscribe(int from, const SubscribeMsg& msg,
       auto it = forwarded_to_.find(msg.xpe);
       if (it != forwarded_to_.end()) {
         for (const Xpe& covered : outcome.now_covered) {
-          unsubscribe_covered(covered, it->second, out);
+          unsubscribe_covered(covered, it->second, sink);
         }
       }
     }
@@ -288,13 +401,14 @@ void Broker::handle_subscribe(int from, const SubscribeMsg& msg,
   if (config_.merging_enabled && prt_.covering() &&
       config_.merge_interval > 0 &&
       new_subs_since_merge_ >= config_.merge_interval) {
-    run_merge_pass(out);
+    run_merge_pass(sink);
     new_subs_since_merge_ = 0;
   }
 }
 
-void Broker::handle_unsubscribe(int from, const UnsubscribeMsg& msg,
-                                HandleResult* out) {
+void Broker::handle_unsubscribe(IfaceId from, const UnsubscribeMsg& msg,
+                                ForwardSink& sink, HandleStatus* out) {
+  (void)out;
   if (clients_.count(from)) {
     auto it = client_subs_.find(from);
     if (it != client_subs_.end()) {
@@ -329,50 +443,61 @@ void Broker::handle_unsubscribe(int from, const UnsubscribeMsg& msg,
   }
   if (!removed) return;
   if (prt_.contains(msg.xpe)) return;  // other hops still hold it
-  forward_unsubscription(msg.xpe, from, out);
+  forward_unsubscription(msg.xpe, from, sink);
 
   for (const Xpe& xpe : orphaned) {
-    forward_subscription(xpe, /*exclude=*/-1, out);
+    forward_subscription(xpe, kNoIface, sink);
   }
 }
 
-void Broker::handle_publish(int from, const PublishMsg& msg,
-                            HandleResult* out) {
-  // Duplicate suppression: on overlays with cycles the same publication
-  // can arrive over several paths; processing it once keeps routing loop-
-  // free and deliveries exact.
-  if (!seen_publications_.emplace(msg.doc_id, msg.path_id).second) return;
-
-  std::set<int> hops;
-  {
-    StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
-    if (prt_.covering()) {
-      for (const SubscriptionTree::Node* node :
-           prt_.tree()->match_nodes(msg.path)) {
-        hops.insert(node->hops.begin(), node->hops.end());
-        if (node->merger) {
-          // A merger match that no merged original backs is an in-network
-          // false positive introduced by imperfect merging (paper Fig. 9).
-          bool backed = false;
-          for (const Xpe& original : node->merged_from) {
-            if (matches(msg.path, original)) {
-              backed = true;
-              break;
-            }
-          }
-          if (!backed) ++out->merger_false_matches;
-        }
-      }
-    } else {
-      hops = prt_.match_hops(msg.path);
-    }
+IfaceSet Broker::match_publication(const PublishMsg& msg, HandleStatus* out) {
+  if (scheduler_) {
+    // The epoch blocks this (single-writer) thread until every worker is
+    // parked again, so table mutation can never overlap the reads.
+    MatchScheduler::MatchResult result = scheduler_->match_one(msg.path);
+    out->merger_false_matches += result.merger_false_matches;
+    prt_.add_comparisons(result.comparisons);
+    return std::move(result.hops);
   }
-  out->publication_matched = !hops.empty();
+  IfaceSet hops;
+  StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
+  if (prt_.covering()) {
+    for (const SubscriptionTree::Node* node :
+         prt_.tree()->match_nodes(msg.path)) {
+      hops.insert(node->hops.begin(), node->hops.end());
+      if (node->merger) {
+        // A merger match that no merged original backs is an in-network
+        // false positive introduced by imperfect merging (paper Fig. 9).
+        bool backed = false;
+        for (const Xpe& original : node->merged_from) {
+          if (matches(msg.path, original)) {
+            backed = true;
+            break;
+          }
+        }
+        if (!backed) ++out->merger_false_matches;
+      }
+    }
+  } else {
+    hops = prt_.match_hops(msg.path);
+  }
+  return hops;
+}
+
+void Broker::forward_publication(IfaceId from, const PublishMsg& msg,
+                                 const IfaceSet& hops, ForwardSink& sink,
+                                 HandleStatus* out) {
   // The hop set deduplicates: several matching subscriptions sharing a
-  // next hop yield one forwarded copy. Edge-exactness checks against the
-  // clients' original XPEs count as forwarding work (stage attribution).
+  // next hop yield one forwarded copy. Iteration is in ascending interface
+  // order — the determinism anchor for the parallel engine. Edge-exactness
+  // checks against the clients' original XPEs count as forwarding work
+  // (stage attribution).
   StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
-  for (int hop : hops) {
+  if (hops.empty() || (hops.size() == 1 && *hops.begin() == from)) return;
+  // One wrapped copy shared by every hop: Path holds per-element strings,
+  // so re-wrapping inside the loop would allocate per interface.
+  const Message wrapped{msg};
+  for (IfaceId hop : hops) {
     if (hop == from) continue;
     if (clients_.count(hop)) {
       // Edge exactness: deliver only if one of the client's original XPEs
@@ -390,34 +515,47 @@ void Broker::handle_publish(int from, const PublishMsg& msg,
         }
       }
       if (exact) {
-        out->forwards.push_back(Forward{hop, Message{msg}});
+        sink.on_local_delivery(hop, wrapped);
         ++out->deliveries;
       } else {
+        sink.on_suppressed(hop, wrapped);
         ++out->suppressed_false_positives;
       }
     } else {
-      out->forwards.push_back(Forward{hop, Message{msg}});
+      sink.on_forward(hop, wrapped);
     }
   }
 }
 
-void Broker::handle_sync_request(int from, HandleResult* out) {
+void Broker::handle_publish(IfaceId from, const PublishMsg& msg,
+                            ForwardSink& sink, HandleStatus* out) {
+  // Duplicate suppression: on overlays with cycles the same publication
+  // can arrive over several paths; processing it once keeps routing loop-
+  // free and deliveries exact.
+  if (!seen_publications_.emplace(msg.doc_id, msg.path_id).second) return;
+
+  IfaceSet hops = match_publication(msg, out);
+  out->publication_matched = !hops.empty();
+  forward_publication(from, msg, hops, sink, out);
+}
+
+void Broker::handle_sync_request(IfaceId from, ForwardSink& sink) {
   // A neighbour restarted cold: replay the slice of our state that
   // concerns the shared link. Restoration on the other side is passive, so
   // the transfer is bounded by this link's state — no network-wide storm.
-  out->forwards.push_back(
-      Forward{from, Message::sync_state(export_link_state(*this, from))});
+  sink.on_forward(from,
+                  Message::sync_state(export_link_state(*this, from)));
 }
 
-void Broker::handle_sync_state(int from, const SyncStateMsg& msg,
-                               HandleResult* out) {
+void Broker::handle_sync_state(IfaceId from, const SyncStateMsg& msg,
+                               HandleStatus* out) {
   import_link_state(*this, from, msg.state);
   if (pending_syncs_ > 0 && --pending_syncs_ == 0) {
     out->resync_completed = true;
   }
 }
 
-void Broker::run_merge_pass(HandleResult* out) {
+void Broker::run_merge_pass(ForwardSink& sink) {
   MergeEngine engine(config_.merge_universe, config_.merge_options);
   MergeReport report = [&] {
     StageTimer merge_timer(stages_ ? &stages_->merge_ms : nullptr);
@@ -427,10 +565,10 @@ void Broker::run_merge_pass(HandleResult* out) {
   for (const MergeRecord& record : report.merges) {
     // Subscribe the merger upstream first so no delivery gap opens, then
     // withdraw the originals — only where the merger provides coverage.
-    forward_subscription(record.merger, /*exclude=*/-1, out);
-    const std::set<int>& coverage = forwarded_to_[record.merger];
+    forward_subscription(record.merger, kNoIface, sink);
+    const IfaceSet& coverage = forwarded_to_[record.merger];
     for (const Xpe& original : record.originals) {
-      unsubscribe_covered(original, coverage, out);
+      unsubscribe_covered(original, coverage, sink);
     }
   }
 }

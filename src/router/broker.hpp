@@ -1,8 +1,8 @@
 // The XML content-based router ("broker", paper Fig. 1).
 //
 // A broker owns an SRT and a PRT, knows its neighbour links and locally
-// attached clients (both addressed by interface ids), and implements the
-// routing strategies the paper evaluates:
+// attached clients (both addressed by strong IfaceId interface ids), and
+// implements the routing strategies the paper evaluates:
 //
 //   * advertisement-based routing — advertisements flood; subscriptions
 //     follow SRT entries whose publication sets overlap them; without
@@ -18,42 +18,87 @@
 // imperfect merging stay inside the network (paper §4.3/§5).
 //
 // The broker is a pure message transformer: handle() maps one incoming
-// message to the set of outgoing (interface, message) pairs; the
-// discrete-event simulator (src/net) provides transport and timing.
+// message to a stream of outgoing (interface, message) pairs pushed into a
+// ForwardSink; the discrete-event simulator (src/net) and the TCP
+// transport (src/transport) provide transport and timing. With
+// match_threads > 1 in BrokerOptions, publication matching fans out over
+// the scheduler's worker pool (router/match_scheduler.hpp); results are
+// merged back in deterministic order, so the sink observes the exact
+// forward sequence a sequential broker would emit.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <span>
 #include <utility>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "index/merging.hpp"
+#include "router/broker_options.hpp"
+#include "router/iface.hpp"
 #include "router/message.hpp"
 #include "router/routing_tables.hpp"
 
 namespace xroute {
 
+class MatchScheduler;
+
+/// Receiver of a broker's outgoing messages. handle() pushes each
+/// (interface, message) pair the moment it is decided, in the exact order
+/// a sequential broker emits them — transports can put frames on the wire
+/// without waiting for the whole call to finish, and tests can byte-compare
+/// the sequence across thread counts.
+class ForwardSink {
+ public:
+  virtual ~ForwardSink() = default;
+
+  /// An outgoing message on `iface` (neighbour link or client edge).
+  /// Local client deliveries route through on_local_delivery first; its
+  /// default lands them here, so a sink that treats every send alike
+  /// overrides only this.
+  virtual void on_forward(IfaceId iface, const Message& msg) = 0;
+
+  /// A publication that passed the edge-exactness check for local client
+  /// `client`. Default: treat as an ordinary forward.
+  virtual void on_local_delivery(IfaceId client, const Message& msg) {
+    on_forward(client, msg);
+  }
+
+  /// A publication that matched a (merged) PRT entry pointing at local
+  /// client `client` but none of the client's own XPEs: suppressed at the
+  /// edge, nothing is sent. Default: ignore.
+  virtual void on_suppressed(IfaceId client, const Message& msg) {
+    (void)client;
+    (void)msg;
+  }
+};
+
 class Broker {
  public:
-  struct Config {
-    bool use_advertisements = true;
-    bool use_covering = true;
-    /// Track subscriptions a newcomer covers (enables the upstream
-    /// unsubscription optimisation; costs an extra tree sweep per insert).
-    bool track_covered = true;
-    bool merging_enabled = false;
-    MergeOptions merge_options;
-    /// Path universe for D_imperfect (required for merging to take effect).
-    const PathUniverse* merge_universe = nullptr;
-    /// Run a merge pass after this many newly inserted subscriptions.
-    std::size_t merge_interval = 100;
-  };
+  /// All knobs live in router/broker_options.hpp; `Broker::Config` remains
+  /// as the historical spelling.
+  using Config = BrokerOptions;
 
   struct Forward {
-    int interface = -1;
+    IfaceId interface = kNoIface;
     Message message;
+  };
+
+  /// Collects every outgoing message into a vector, preserving emission
+  /// order. The adapter behind the legacy HandleResult API; also the
+  /// natural sink for tests.
+  class CollectingSink : public ForwardSink {
+   public:
+    explicit CollectingSink(std::vector<Forward>* out) : out_(out) {}
+    void on_forward(IfaceId iface, const Message& msg) override {
+      out_->push_back(Forward{iface, msg});
+    }
+
+   private:
+    std::vector<Forward>* out_;
   };
 
   /// Wall-clock milliseconds spent in each processing stage of one
@@ -62,7 +107,8 @@ class Broker {
   /// the call's total; whatever is not attributed here — message decode,
   /// dispatch, bookkeeping — shows up as the "parse" remainder computed
   /// by the simulator. Only filled when a sink is passed to handle(), so
-  /// untraced runs pay no clock reads.
+  /// untraced runs pay no clock reads. Incompatible with match_threads > 1
+  /// (stage regions would overlap across workers): handle() throws.
   struct StageTimings {
     double srt_check_ms = 0.0;  ///< SRT adds + overlap checks
     double prt_match_ms = 0.0;  ///< PRT inserts/removals + match walks
@@ -70,8 +116,8 @@ class Broker {
     double forward_ms = 0.0;    ///< assembling outgoing forwards
   };
 
-  struct HandleResult {
-    std::vector<Forward> forwards;
+  /// Per-call counters; the messages themselves go to the ForwardSink.
+  struct HandleStatus {
     /// Publications that matched a (merged) PRT entry pointing at a local
     /// client but none of the client's own XPEs: suppressed at the edge.
     std::size_t suppressed_false_positives = 0;
@@ -86,20 +132,67 @@ class Broker {
     /// outstanding SyncState arrived (the transport layer may now replay
     /// local-client control state).
     bool resync_completed = false;
+
+    HandleStatus& operator+=(const HandleStatus& other) {
+      suppressed_false_positives += other.suppressed_false_positives;
+      deliveries += other.deliveries;
+      publication_matched = publication_matched || other.publication_matched;
+      merger_false_matches += other.merger_false_matches;
+      resync_completed = resync_completed || other.resync_completed;
+      return *this;
+    }
   };
 
+  /// Legacy value-returning shape: HandleStatus plus the collected
+  /// forwards. Kept so callers that want the whole result as a value
+  /// (tests, the simulator's tracing hooks) stay one call.
+  struct HandleResult : HandleStatus {
+    std::vector<Forward> forwards;
+  };
+
+  /// One queued inbound message, for handle_batch(). The message is
+  /// borrowed, not owned — it must stay alive for the call.
+  struct Inbound {
+    IfaceId from = kNoIface;
+    const Message* msg = nullptr;
+  };
+
+  /// Throws std::invalid_argument if `config.validate()` rejects the
+  /// combination.
   Broker(int id, Config config);
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+  /// Move rebuilds the scheduler against the moved-to PRT (the worker pool
+  /// holds the table's address). Only legal between epochs, i.e. whenever
+  /// no handle() call is in flight — the broker's usual single-writer rule.
+  Broker(Broker&& other);
+  Broker& operator=(Broker&&) = delete;
 
   /// Declares `interface_id` as a link to a neighbouring broker.
-  void add_neighbor(int interface_id);
+  void add_neighbor(IfaceId interface_id);
   /// Declares `interface_id` as a locally attached client.
-  void add_client(int interface_id);
+  void add_client(IfaceId interface_id);
 
   /// Processes one message arriving on `from_interface` (use the client's
-  /// interface id for client-issued messages). A non-null `stages` sink
-  /// collects per-stage wall-clock time (traced runs only).
-  HandleResult handle(int from_interface, const Message& msg,
+  /// interface id for client-issued messages), pushing outgoing messages
+  /// into `sink` in deterministic order. A non-null `stages` sink collects
+  /// per-stage wall-clock time (traced sequential runs only; throws
+  /// std::logic_error when combined with match_threads > 1).
+  HandleStatus handle(IfaceId from_interface, const Message& msg,
+                      ForwardSink& sink, StageTimings* stages = nullptr);
+
+  /// Value-returning wrapper over a CollectingSink.
+  HandleResult handle(IfaceId from_interface, const Message& msg,
                       StageTimings* stages = nullptr);
+
+  /// Processes a queue of inbound messages in order, returning the summed
+  /// status. Semantically identical to calling handle() per element —
+  /// the sink sees the concatenation of the per-message sequences — but
+  /// with match_threads > 1, runs of consecutive publications are matched
+  /// as one scheduler epoch (publication × shard task grid), which is
+  /// where the parallel engine earns its throughput.
+  HandleStatus handle_batch(std::span<const Inbound> batch, ForwardSink& sink);
 
   int id() const { return id_; }
   const Config& config() const { return config_; }
@@ -109,29 +202,34 @@ class Broker {
     return prt_.comparisons() + srt_.comparisons();
   }
   std::size_t merges_applied() const { return merges_applied_; }
-  const std::set<int>& neighbors() const { return neighbors_; }
-  const std::vector<Xpe>* client_subscriptions(int interface_id) const;
+  const IfaceSet& neighbors() const { return neighbors_; }
+  const IfaceSet& clients() const { return clients_; }
+  const std::vector<Xpe>* client_subscriptions(IfaceId interface_id) const;
+
+  /// The parallel engine, or nullptr when match_threads == 1 (metrics
+  /// export and tests).
+  const MatchScheduler* scheduler() const { return scheduler_.get(); }
 
   // -- Snapshot support (router/snapshot.h) --------------------------------
   const Srt& srt() const { return srt_; }
   const Prt& prt() const { return prt_; }
   Prt& prt() { return prt_; }
-  const std::map<int, std::vector<Xpe>>& client_tables() const {
+  const std::map<IfaceId, std::vector<Xpe>>& client_tables() const {
     return client_subs_;
   }
-  const std::unordered_map<Xpe, std::set<int>, XpeHash>& forwarding_record()
+  const std::unordered_map<Xpe, IfaceSet, XpeHash>& forwarding_record()
       const {
     return forwarded_to_;
   }
   /// Restore-time mutators: rebuild state without emitting messages.
-  void restore_advertisement(const Advertisement& adv, const std::set<int>& hops);
-  void restore_subscription(const Xpe& xpe, const std::set<int>& hops);
+  void restore_advertisement(const Advertisement& adv, const IfaceSet& hops);
+  void restore_subscription(const Xpe& xpe, const IfaceSet& hops);
   void restore_merger(const Xpe& merger, const std::vector<Xpe>& originals);
-  void restore_client_table(int interface_id, std::vector<Xpe> xpes);
-  void restore_forwarding(const Xpe& xpe, std::set<int> interfaces);
+  void restore_client_table(IfaceId interface_id, std::vector<Xpe> xpes);
+  void restore_forwarding(const Xpe& xpe, IfaceSet interfaces);
   /// Adds one interface to a forwarding record (link resync restores the
   /// per-link slice without clobbering records from other links).
-  void restore_forwarding_add(const Xpe& xpe, int interface_id);
+  void restore_forwarding_add(const Xpe& xpe, IfaceId interface_id);
 
   // -- Crash recovery (router/snapshot.h link-state transfer) --------------
   /// Arms the resync handshake after a cold restart: the broker expects
@@ -141,21 +239,37 @@ class Broker {
   std::size_t pending_syncs() const { return pending_syncs_; }
 
  private:
-  void handle_advertise(int from, const AdvertiseMsg& msg, HandleResult* out);
-  void handle_unadvertise(int from, const UnadvertiseMsg& msg,
-                          HandleResult* out);
-  void handle_subscribe(int from, const SubscribeMsg& msg, HandleResult* out);
-  void handle_unsubscribe(int from, const UnsubscribeMsg& msg,
-                          HandleResult* out);
-  void handle_publish(int from, const PublishMsg& msg, HandleResult* out);
-  void handle_sync_request(int from, HandleResult* out);
-  void handle_sync_state(int from, const SyncStateMsg& msg, HandleResult* out);
-  void run_merge_pass(HandleResult* out);
+  void handle_advertise(IfaceId from, const AdvertiseMsg& msg,
+                        ForwardSink& sink, HandleStatus* out);
+  void handle_unadvertise(IfaceId from, const UnadvertiseMsg& msg,
+                          ForwardSink& sink, HandleStatus* out);
+  void handle_subscribe(IfaceId from, const SubscribeMsg& msg,
+                        ForwardSink& sink, HandleStatus* out);
+  void handle_unsubscribe(IfaceId from, const UnsubscribeMsg& msg,
+                          ForwardSink& sink, HandleStatus* out);
+  void handle_publish(IfaceId from, const PublishMsg& msg, ForwardSink& sink,
+                      HandleStatus* out);
+  void handle_sync_request(IfaceId from, ForwardSink& sink);
+  void handle_sync_state(IfaceId from, const SyncStateMsg& msg,
+                         HandleStatus* out);
+  void run_merge_pass(ForwardSink& sink);
+
+  /// The match stage of handle_publish: the hops of every matching PRT
+  /// entry, with merger false matches counted. Sequential or — when the
+  /// scheduler exists — fanned across the worker pool.
+  IfaceSet match_publication(const PublishMsg& msg, HandleStatus* out);
+
+  /// The forward stage of handle_publish: edge-exactness per client hop,
+  /// plain forward per neighbour hop. Identical for sequential, parallel
+  /// and batched paths — determinism lives here (hop sets are ordered).
+  void forward_publication(IfaceId from, const PublishMsg& msg,
+                           const IfaceSet& hops, ForwardSink& sink,
+                           HandleStatus* out);
 
   /// Next-hop broker interfaces for a subscription: SRT overlap when
   /// advertisements are on, otherwise every neighbour. `exclude` is the
   /// arrival interface.
-  std::set<int> subscription_targets(const Xpe& xpe, int exclude) const;
+  IfaceSet subscription_targets(const Xpe& xpe, IfaceId exclude) const;
 
   /// Sends `subscribe(xpe)` to every target not yet holding it and records
   /// the forwarding. Under covering-based routing the decision is made
@@ -163,33 +277,40 @@ class Broker {
   /// covering `xpe` has already been forwarded there (a coverer provides
   /// no route on the interface it arrived from, so global absorption
   /// would lose deliveries).
-  void forward_subscription(const Xpe& xpe, int exclude, HandleResult* out);
+  void forward_subscription(const Xpe& xpe, IfaceId exclude,
+                            ForwardSink& sink);
 
   /// Interfaces on which some covering subscription already provides a
   /// route for `xpe` (union of the coverers' forwarding records).
-  std::set<int> coverage_interfaces(const Xpe& xpe) const;
+  IfaceSet coverage_interfaces(const Xpe& xpe) const;
 
   /// Sends `unsubscribe(xpe)` along the recorded forwarding paths.
-  void forward_unsubscription(const Xpe& xpe, int exclude, HandleResult* out);
+  void forward_unsubscription(const Xpe& xpe, IfaceId exclude,
+                              ForwardSink& sink);
 
   /// Withdraws a covered subscription, but only on interfaces in `via`
   /// (where the covering subscription provides a route); its forwarding
   /// record shrinks accordingly.
-  void unsubscribe_covered(const Xpe& covered, const std::set<int>& via,
-                           HandleResult* out);
+  void unsubscribe_covered(const Xpe& covered, const IfaceSet& via,
+                           ForwardSink& sink);
 
   int id_;
   Config config_;
   /// Stage sink of the handle() call in flight (null = untraced).
   StageTimings* stages_ = nullptr;
-  std::set<int> neighbors_;
-  std::set<int> clients_;
+  IfaceSet neighbors_;
+  IfaceSet clients_;
   Srt srt_;
   Prt prt_;
+  /// Worker pool for parallel publication matching; null when
+  /// match_threads == 1. Workers only run inside match_publication() /
+  /// handle_batch() epochs, during which this (single-writer) broker is
+  /// blocked — so table mutation never overlaps worker reads.
+  std::unique_ptr<MatchScheduler> scheduler_;
   /// Original XPEs per locally attached client (edge exactness).
-  std::map<int, std::vector<Xpe>> client_subs_;
+  std::map<IfaceId, std::vector<Xpe>> client_subs_;
   /// Interfaces each subscription was forwarded to (for unsubscription).
-  std::unordered_map<Xpe, std::set<int>, XpeHash> forwarded_to_;
+  std::unordered_map<Xpe, IfaceSet, XpeHash> forwarded_to_;
   std::size_t new_subs_since_merge_ = 0;
   std::size_t merges_applied_ = 0;
   /// SyncState replies still outstanding after a cold restart (0 = not

@@ -1,0 +1,69 @@
+// BrokerOptions — every broker knob, in one validated struct.
+//
+// Routing strategy (advertisements/covering), merging, and the parallel
+// matching engine are configured here, and every harness that builds a
+// broker — the discrete-event simulator, `xroutectl serve` over an overlay
+// file, the benches — parses textual knobs through the same
+// apply_broker_option(), so a knob spelled once works everywhere and an
+// invalid combination fails loudly at construction instead of as UB later.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "index/merging.hpp"
+
+namespace xroute {
+
+struct BrokerOptions {
+  bool use_advertisements = true;
+  bool use_covering = true;
+  /// Track subscriptions a newcomer covers (enables the upstream
+  /// unsubscription optimisation; costs an extra tree sweep per insert).
+  bool track_covered = true;
+  bool merging_enabled = false;
+  MergeOptions merge_options;
+  /// Path universe for D_imperfect (required for merging to take effect).
+  const PathUniverse* merge_universe = nullptr;
+  /// Run a merge pass after this many newly inserted subscriptions.
+  std::size_t merge_interval = 100;
+
+  // -- Parallel matching engine (router/match_scheduler.hpp) ---------------
+  /// Worker threads for publication matching. 1 = sequential (no pool, no
+  /// synchronisation anywhere on the hot path). The discrete-event
+  /// simulator only accepts 1 (it folds wall-clock processing time into
+  /// simulated time, which a pool would perturb); the transport broker
+  /// takes any validated value.
+  std::size_t match_threads = 1;
+  /// PRT shards for the parallel engine; 0 = auto (2x match_threads).
+  /// Ignored when match_threads == 1.
+  std::size_t shard_count = 0;
+
+  /// Effective shard count after defaulting.
+  std::size_t effective_shards() const {
+    return shard_count != 0 ? shard_count : 2 * match_threads;
+  }
+
+  /// Validates the combination; returns an empty string if usable, else a
+  /// one-line description of the first problem. Broker's constructor
+  /// throws std::invalid_argument with this text.
+  std::string validate() const;
+};
+
+/// Applies one textual knob to `options`; returns an empty string on
+/// success, else a one-line error. Shared by `xroutectl serve` flags, the
+/// overlay file's `option` lines and the simulator harness, so the three
+/// parse identically. Keys (values: on/off/true/false/1/0 for booleans):
+///
+///   advertisements, covering, track_covered, merging  booleans
+///   merge_interval                                    size_t > 0
+///   threads                                           match_threads
+///   shards                                            shard_count
+std::string apply_broker_option(BrokerOptions& options, const std::string& key,
+                                const std::string& value);
+
+/// Applies a "key=value" spelling (CLI convenience); same errors.
+std::string apply_broker_option(BrokerOptions& options,
+                                const std::string& key_equals_value);
+
+}  // namespace xroute

@@ -1,0 +1,63 @@
+// IfaceId — a broker-local interface identifier, strongly typed.
+//
+// A broker addresses everything beyond itself — neighbour links and locally
+// attached clients alike — by interface id. Three unrelated integer spaces
+// used to meet in these APIs as raw `int`: the simulator's global endpoint
+// ids, the transport layer's dense per-node interface indices, and the wire
+// Hello's peer_id. Cross-assigning them compiles silently and routes
+// traffic to the wrong place at runtime. IfaceId closes that hole: the
+// constructor is explicit, there is no implicit conversion back to int, so
+// every boundary crossing (simulator endpoint -> broker interface,
+// handshake -> interface allocation) is a visible, greppable cast.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <set>
+
+namespace xroute {
+
+class IfaceId {
+ public:
+  constexpr IfaceId() = default;
+  constexpr explicit IfaceId(int value) : value_(value) {}
+
+  /// The raw index, for serialisation and container addressing. Converting
+  /// back into another id space still requires an explicit constructor
+  /// call on that side.
+  constexpr int value() const { return value_; }
+  /// Default-constructed ids (and explicit -1) denote "no interface".
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(IfaceId, IfaceId) = default;
+
+ private:
+  int value_ = -1;
+};
+
+/// Sentinel: "no interface" (used where -1 used to flow as an exclusion).
+inline constexpr IfaceId kNoIface{};
+
+using IfaceSet = std::set<IfaceId>;
+
+/// Convenience literal-set builder for tests and tools:
+/// ifaces({1, 2}) == IfaceSet{IfaceId{1}, IfaceId{2}}.
+inline IfaceSet ifaces(std::initializer_list<int> values) {
+  IfaceSet out;
+  for (int v : values) out.insert(IfaceId{v});
+  return out;
+}
+
+inline std::ostream& operator<<(std::ostream& os, IfaceId id) {
+  return os << "iface:" << id.value();
+}
+
+struct IfaceIdHash {
+  std::size_t operator()(IfaceId id) const {
+    return std::hash<int>{}(id.value());
+  }
+};
+
+}  // namespace xroute

@@ -1,0 +1,317 @@
+#include "router/match_scheduler.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/symbols.hpp"
+
+namespace xroute {
+
+namespace {
+
+/// Calms the pipeline inside spin loops (PAUSE on x86); elsewhere a
+/// plain compiler barrier keeps the load in the loop honest.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// This thread's CPU time. Immune to preemption: when workers outnumber
+/// cores, wall-clock "busy" intervals would include time spent
+/// descheduled and overstate the work.
+inline std::uint64_t thread_cpu_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Spin iterations before a waiter gives up and parks on the condvar.
+/// Epochs arrive back to back under batch load, so the spin almost
+/// always wins there; an idle broker costs at most this much busy-wait
+/// per epoch before the pool sleeps.
+constexpr int kSpinIterations = 8192;
+
+/// grid_ descriptor layout: epoch<<32 | batch-bit | task count.
+constexpr std::uint64_t kGridBatchBit = 1ull << 31;
+constexpr std::uint64_t kGridCountMask = kGridBatchBit - 1;
+
+constexpr std::uint32_t epoch_tag(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word >> 32);
+}
+
+}  // namespace
+
+namespace {
+
+/// Deduplicated symbol list in first-occurrence order, exactly as
+/// match_nodes() builds its bucket union — the shard matchers partition
+/// this list, so computing it once per publication keeps per-shard work
+/// disjoint.
+void build_distinct_symbols(const InternedPath& ip,
+                            std::vector<std::uint32_t>* out) {
+  out->clear();
+  out->reserve(ip.size());
+  for (std::size_t i = 0; i < ip.size(); ++i) {
+    const std::uint32_t sym = ip[i];
+    if (sym == SymbolTable::kNoSymbol) continue;  // element never interned
+    if (std::find(out->begin(), out->end(), sym) == out->end()) {
+      out->push_back(sym);
+    }
+  }
+}
+
+}  // namespace
+
+MatchScheduler::Pub::Pub(const Path& p, std::size_t shards)
+    : src(&p), ip(std::in_place, p), per_shard(shards) {
+  build_distinct_symbols(*ip, &distinct_symbols);
+}
+
+MatchScheduler::MatchScheduler(const Prt* prt, Options options)
+    : prt_(prt), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.shards < 1) options_.shards = 1;
+  // Spinning for the next epoch only pays when the pool and the control
+  // thread can actually run at once; on a core-starved machine a spinning
+  // waiter steals the very core the work needs, so park immediately.
+  const unsigned cores = std::thread::hardware_concurrency();
+  spin_iterations_ =
+      cores > options_.threads ? kSpinIterations : 0;
+  stats_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    stats_.push_back(std::make_unique<AtomicWorkerStats>());
+  }
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+MatchScheduler::~MatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void MatchScheduler::worker_loop(std::size_t worker_index) {
+  AtomicWorkerStats& stats = *stats_[worker_index];
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    // Wait for the next epoch: spin first (under batch load the next grid
+    // is published within microseconds of the last one draining), then
+    // park. idle_workers_ counts parked workers only; a spinning worker
+    // touches nothing but this atomic, which is why the control thread
+    // may stage the next grid while workers are still waking up.
+    std::uint64_t gen;
+    int spins = 0;
+    while ((gen = generation_.load(std::memory_order_acquire)) ==
+               seen_generation &&
+           !shutdown_.load(std::memory_order_relaxed)) {
+      if (++spins < spin_iterations_) {
+        cpu_relax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++idle_workers_;
+      work_cv_.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_relaxed) != seen_generation;
+      });
+      --idle_workers_;
+      spins = 0;
+    }
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    seen_generation = gen;
+
+    // The grid descriptor is epoch-tagged: if this worker woke so late
+    // that the epoch it observed is already over (or was reclaimed for
+    // staging), the tag mismatch sends it back to the wait loop instead
+    // of letting it read a half-staged grid.
+    const std::uint64_t grid = grid_.load(std::memory_order_relaxed);
+    if (epoch_tag(grid) != static_cast<std::uint32_t>(gen)) continue;
+    const bool batch = (grid & kGridBatchBit) != 0;
+    const std::size_t count = grid & kGridCountMask;
+    const std::size_t shards = options_.shards;
+
+    // Claim tasks by CAS; the epoch tag in claim_ makes claims from a
+    // finished epoch fail instead of poaching the next grid's tasks.
+    // Accounting is per drain, not per task: a task can be tiny, so
+    // per-task clock reads would rival the work itself.
+    std::uint64_t claimed = 0;
+    const std::uint64_t cpu_start = thread_cpu_ns();
+    std::vector<std::uint32_t> distinct;  // per-drain scratch, reused
+    std::uint64_t word = claim_.load(std::memory_order_relaxed);
+    while (epoch_tag(word) == static_cast<std::uint32_t>(gen)) {
+      const std::size_t task = static_cast<std::uint32_t>(word);
+      if (task >= count) break;
+      if (!claim_.compare_exchange_weak(word, word + 1,
+                                        std::memory_order_relaxed)) {
+        continue;  // word was reloaded by the failed CAS
+      }
+      if (batch) {
+        // One publication: intern here (table lookups are read-only and
+        // the control thread is quiescent inside the epoch), match
+        // against the whole table in a single call (shard_count 1
+        // degenerates to the sequential routine, so comparison counts
+        // are identical by construction), and merge in place — all off
+        // the control thread.
+        Pub& pub = pubs_[task];
+        const InternedPath ip(*pub.src);
+        build_distinct_symbols(ip, &distinct);
+        Prt::ShardMatch cell;
+        prt_->match_shard(ip, distinct, 0, 1, &cell);
+        pub.result.hops = std::move(cell.hops);
+        pub.result.merger_false_matches = cell.merger_false_matches;
+        pub.result.comparisons = cell.comparisons;
+      } else {
+        // One shard of the single staged publication: latency-parallel
+        // matching for the per-message path.
+        Pub& pub = pubs_.front();
+        prt_->match_shard(*pub.ip, pub.distinct_symbols, task, shards,
+                          &pub.per_shard[task]);
+      }
+      ++claimed;
+      word = claim_.load(std::memory_order_relaxed);
+    }
+    if (claimed > 0) {
+      const std::uint64_t busy = thread_cpu_ns() - cpu_start;
+      stats.tasks.fetch_add(claimed, std::memory_order_relaxed);
+      stats.busy_ns.fetch_add(busy, std::memory_order_relaxed);
+      stats.epoch_busy_ns.store(busy, std::memory_order_relaxed);
+      // The release add publishes this drain's result writes (and the
+      // epoch busy figure) to the control thread's acquire in run_epoch.
+      if (tasks_done_.fetch_add(claimed, std::memory_order_release) +
+              claimed ==
+          count) {
+        // Last task of the epoch: the control thread may be parked.
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+std::uint64_t MatchScheduler::begin_staging() {
+  // The previous epoch's completion wait saw tasks_done_ == task_count_
+  // (acquire), so every claim was processed and no claim below the old
+  // count can succeed again; restamping claim_ with the next epoch's tag
+  // then voids stale claim attempts entirely. After this, pubs_ and the
+  // routing tables are exclusively the control thread's.
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed) + 1;
+  claim_.store(gen << 32, std::memory_order_relaxed);
+  pubs_.clear();
+  for (auto& stats : stats_) {
+    stats->epoch_busy_ns.store(0, std::memory_order_relaxed);
+  }
+  return gen;
+}
+
+void MatchScheduler::run_epoch(std::uint64_t gen) {
+  // prepare_match() forces the lazy symbol indexes now, on this thread,
+  // so the epoch's reads are pure.
+  prt_->prepare_match();
+  tasks_done_.store(0, std::memory_order_relaxed);
+  generation_.store(gen, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idle_workers_ > 0) work_cv_.notify_all();
+  }
+  // Completion: spin briefly (an epoch is typically tens to hundreds of
+  // microseconds), then park on done_cv until the last worker signals.
+  const std::size_t count = task_count_;
+  int spins = 0;
+  while (tasks_done_.load(std::memory_order_acquire) != count) {
+    if (++spins < spin_iterations_) {
+      cpu_relax();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return tasks_done_.load(std::memory_order_relaxed) == count;
+    });
+    spins = 0;
+  }
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+  // The busiest worker's CPU time is this epoch's contribution to the
+  // match stage's critical path (workers are quiescent now; their final
+  // epoch_busy_ns stores were published by the tasks_done_ release).
+  std::uint64_t max_busy = 0;
+  for (const auto& stats : stats_) {
+    max_busy = std::max(
+        max_busy, stats->epoch_busy_ns.load(std::memory_order_relaxed));
+  }
+  critical_path_ns_.fetch_add(max_busy, std::memory_order_relaxed);
+}
+
+MatchScheduler::MatchResult MatchScheduler::merge_pub(const Pub& pub) const {
+  // Shard order is fixed, but hops land in an ordered set anyway, so the
+  // merged result is independent of which worker ran which shard.
+  MatchResult out;
+  for (const Prt::ShardMatch& shard : pub.per_shard) {
+    out.hops.insert(shard.hops.begin(), shard.hops.end());
+    out.merger_false_matches += shard.merger_false_matches;
+    out.comparisons += shard.comparisons;
+  }
+  return out;
+}
+
+MatchScheduler::MatchResult MatchScheduler::match_one(const Path& path) {
+  const std::uint64_t gen = begin_staging();
+  pubs_.emplace_back(path, options_.shards);
+  task_count_ = options_.shards;
+  grid_.store(gen << 32 | static_cast<std::uint64_t>(task_count_),
+              std::memory_order_relaxed);
+  run_epoch(gen);
+  MatchResult result = merge_pub(pubs_.front());
+  pubs_.clear();
+  return result;
+}
+
+std::vector<MatchScheduler::MatchResult> MatchScheduler::match_batch(
+    const std::vector<const Path*>& paths) {
+  std::vector<MatchResult> results;
+  if (paths.empty()) return results;
+  const std::uint64_t gen = begin_staging();
+  pubs_.reserve(paths.size());
+  for (const Path* path : paths) pubs_.emplace_back(path);
+  task_count_ = pubs_.size();
+  grid_.store(gen << 32 | kGridBatchBit |
+                  static_cast<std::uint64_t>(task_count_),
+              std::memory_order_relaxed);
+  run_epoch(gen);
+  results.reserve(pubs_.size());
+  for (Pub& pub : pubs_) results.push_back(std::move(pub.result));
+  pubs_.clear();
+  return results;
+}
+
+std::uint64_t MatchScheduler::total_tasks() const {
+  std::uint64_t total = 0;
+  for (const auto& stats : stats_) {
+    total += stats->tasks.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<MatchScheduler::WorkerStats> MatchScheduler::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(stats_.size());
+  for (const auto& stats : stats_) {
+    out.push_back(WorkerStats{stats->tasks.load(std::memory_order_relaxed),
+                              stats->busy_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace xroute

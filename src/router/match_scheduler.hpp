@@ -1,0 +1,179 @@
+// MatchScheduler — the parallel publication-matching engine.
+//
+// Publication matching is the broker's hot path and is embarrassingly
+// parallel once the routing tables are sharded: the PRT's symbol indexes
+// (the covering tree's root index, or the flat list's deepest-symbol
+// buckets) partition entries by their discriminating symbol, and
+// symbol_shard() partitions those buckets into `shards` disjoint groups.
+// A worker matching shard k visits exactly the entries of its buckets —
+// no locks, no shared mutable state — and the union over all shards is
+// provably the sequential match set, with identical comparison counts.
+//
+// The scheduler owns a fixed pool of worker threads and runs *epochs*: the
+// control thread (the broker's single writer) publishes an immutable task
+// grid (publications × shards), wakes the pool, and blocks until every
+// task is done and every worker is parked again. Workers therefore only
+// ever read the tables while the one thread that could mutate them is
+// blocked inside the epoch — the epoch barrier IS the synchronisation, and
+// the match path itself stays free of locks (task claiming is one
+// fetch_add per whole-publication chunk). Workers spin briefly for the
+// next epoch before parking on the condvar: under batch load epochs
+// arrive back to back, and futex wake/park latency would otherwise rival
+// the matching work itself.
+//
+// Determinism: per-shard results are merged in shard order into ordered
+// hop sets (by the worker that matched the publication, or by the control
+// thread for single-publication epochs), and the broker's forward loop
+// iterates those sets in ascending interface order — so the emitted
+// forward sequence is byte-identical at any thread count
+// (tests/parallel_test).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "router/iface.hpp"
+#include "router/routing_tables.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+
+class MatchScheduler {
+ public:
+  struct Options {
+    std::size_t threads = 2;
+    std::size_t shards = 4;
+  };
+
+  /// The merged result for one publication path — the same facts the
+  /// sequential match stage produces.
+  struct MatchResult {
+    IfaceSet hops;
+    std::size_t merger_false_matches = 0;
+    std::size_t comparisons = 0;
+  };
+
+  /// Monotonic per-worker counters (metrics export; relaxed reads).
+  /// busy_ns is thread-CPU time (CLOCK_THREAD_CPUTIME_ID), not wall
+  /// clock, so it stays honest when workers outnumber cores.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;
+    std::uint64_t busy_ns = 0;
+  };
+
+  /// `prt` must outlive the scheduler; `options.threads >= 1`,
+  /// `options.shards >= 1` (BrokerOptions::validate() enforces sane
+  /// combinations upstream).
+  MatchScheduler(const Prt* prt, Options options);
+  ~MatchScheduler();
+  MatchScheduler(const MatchScheduler&) = delete;
+  MatchScheduler& operator=(const MatchScheduler&) = delete;
+
+  /// Matches one publication path across all shards (one epoch). Blocks
+  /// until done; the caller must be the broker's single control thread.
+  MatchResult match_one(const Path& path);
+
+  /// Matches a batch in one epoch (publications × shards task grid);
+  /// result[i] corresponds to paths[i]. The batch is where parallelism
+  /// pays: per-path matching cost can be small, but a batch keeps every
+  /// worker busy for the whole epoch.
+  std::vector<MatchResult> match_batch(const std::vector<const Path*>& paths);
+
+  std::size_t threads() const { return options_.threads; }
+  std::size_t shards() const { return options_.shards; }
+  /// Epochs run since construction.
+  std::uint64_t epochs() const {
+    return epochs_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed since construction (one publication in a batch epoch,
+  /// one shard of the publication in a single-publication epoch).
+  std::uint64_t total_tasks() const;
+  std::vector<WorkerStats> worker_stats() const;
+  /// Sum over epochs of the busiest worker's CPU time in that epoch —
+  /// the match stage's critical path. On a core-starved machine (cores <
+  /// workers) wall-clock scaling is unmeasurable; this figure is what an
+  /// unloaded machine's epoch wall time would be dominated by, and
+  /// bench/parallel_match builds its labelled projection from it.
+  std::uint64_t critical_path_ns() const {
+    return critical_path_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-publication epoch state. Single-publication epochs intern the
+  /// path up front and shard it across the pool (one cell per shard,
+  /// each written by exactly one task). Batch epochs stage only the path
+  /// pointer: the claiming worker interns, matches the whole table in
+  /// one call, and folds straight into `result` — interning, matching,
+  /// and merging all parallelise, and the control thread's staging cost
+  /// per publication is one pointer.
+  struct Pub {
+    /// Batch shell: everything else happens on the claiming worker.
+    explicit Pub(const Path* p) : src(p) {}
+    /// Single-publication form: interned now, one cell per shard.
+    Pub(const Path& p, std::size_t shards);
+    const Path* src = nullptr;
+    std::optional<InternedPath> ip;
+    std::vector<std::uint32_t> distinct_symbols;
+    std::vector<Prt::ShardMatch> per_shard;
+    MatchResult result;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  /// Publishes the staged grid as epoch `gen` and blocks until every task
+  /// is done (the completion wait is the write barrier: afterwards the
+  /// caller may mutate tables and restage freely).
+  void run_epoch(std::uint64_t gen);
+  /// Restamps claim_ for the upcoming epoch and clears pubs_; returns the
+  /// new epoch number. Call before staging the grid.
+  std::uint64_t begin_staging();
+  MatchResult merge_pub(const Pub& pub) const;
+
+  const Prt* prt_;
+  Options options_;
+
+  // Epoch state. The control thread stages pubs_ between epochs (no
+  // claim can succeed then), publishes the grid by storing epoch-tagged
+  // atomics, and finally bumps generation_. Workers claim tasks by CAS
+  // on claim_; the embedded epoch tag makes a stale claim — a worker
+  // that woke late for a finished epoch — fail harmlessly instead of
+  // poaching a task from the next grid. Batch epochs: task =
+  // publication index (full-table match, worker merges). Single-pub
+  // epochs: task = shard index (control thread merges).
+  std::vector<Pub> pubs_;
+  std::size_t task_count_ = 0;  ///< control thread only
+  /// epoch<<32 | next unclaimed task index (CAS-claimed).
+  std::atomic<std::uint64_t> claim_{0};
+  /// epoch<<32 | kGridBatchBit? | task count — the grid descriptor
+  /// workers read instead of racing on plain members.
+  std::atomic<std::uint64_t> grid_{0};
+  std::atomic<std::size_t> tasks_done_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers park here between epochs
+  std::condition_variable done_cv_;  ///< control thread blocks here
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> shutdown_{false};
+  std::size_t idle_workers_ = 0;  ///< guarded by mutex_ (park accounting)
+
+  struct AtomicWorkerStats {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    /// This epoch's drain CPU time; zeroed by the control thread during
+    /// staging, published by the worker's tasks_done_ release.
+    std::atomic<std::uint64_t> epoch_busy_ns{0};
+  };
+  std::vector<std::unique_ptr<AtomicWorkerStats>> stats_;
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<std::uint64_t> critical_path_ns_{0};
+  /// Spin budget before parking; 0 on machines with too few cores for
+  /// the pool (spinning there steals the core the work needs).
+  int spin_iterations_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xroute

@@ -8,7 +8,7 @@
 
 namespace xroute {
 
-bool Srt::add(const Advertisement& adv, int hop) {
+bool Srt::add(const Advertisement& adv, IfaceId hop) {
   auto it = by_adv_.find(adv);
   if (it != by_adv_.end()) {
     it->second->hops.insert(hop);
@@ -23,7 +23,7 @@ bool Srt::add(const Advertisement& adv, int hop) {
   return true;
 }
 
-bool Srt::remove(const Advertisement& adv, int hop) {
+bool Srt::remove(const Advertisement& adv, IfaceId hop) {
   auto it = by_adv_.find(adv);
   if (it == by_adv_.end()) return false;
   Entry* entry = it->second;
@@ -85,7 +85,7 @@ void Srt::rebuild_index() const {
   index_dirty_ = false;
 }
 
-std::set<int> Srt::hops_overlapping(const Xpe& xpe) const {
+IfaceSet Srt::hops_overlapping(const Xpe& xpe) const {
   if (index_dirty_) rebuild_index();
   // A wildcard-free advertisement only produces paths over its own
   // alphabet, and a path matching `xpe` must realise every concrete step
@@ -106,11 +106,11 @@ std::set<int> Srt::hops_overlapping(const Xpe& xpe) const {
     }
     if (!bucket || it->second.size() < bucket->size()) bucket = &it->second;
   }
-  std::set<int> hops;
+  IfaceSet hops;
   auto consider = [&](const Entry& entry) {
     // Skip entries whose every hop is already selected.
     bool all_present = std::all_of(entry.hops.begin(), entry.hops.end(),
-                                   [&](int h) { return hops.count(h) > 0; });
+                                   [&](IfaceId h) { return hops.count(h) > 0; });
     if (all_present) return;
     if (entry_overlaps(entry, xpe)) {
       hops.insert(entry.hops.begin(), entry.hops.end());
@@ -126,11 +126,11 @@ std::set<int> Srt::hops_overlapping(const Xpe& xpe) const {
   return hops;
 }
 
-std::set<int> Srt::hops_overlapping_scan(const Xpe& xpe) const {
-  std::set<int> hops;
+IfaceSet Srt::hops_overlapping_scan(const Xpe& xpe) const {
+  IfaceSet hops;
   for (const auto& entry : entries_) {
     bool all_present = std::all_of(entry->hops.begin(), entry->hops.end(),
-                                   [&](int h) { return hops.count(h) > 0; });
+                                   [&](IfaceId h) { return hops.count(h) > 0; });
     if (all_present) continue;
     if (entry_overlaps_strings(*entry, xpe)) {
       hops.insert(entry->hops.begin(), entry->hops.end());
@@ -147,7 +147,7 @@ Prt::Prt(bool covering, bool track_covered) : covering_(covering) {
   }
 }
 
-Prt::InsertOutcome Prt::insert(const Xpe& xpe, int hop) {
+Prt::InsertOutcome Prt::insert(const Xpe& xpe, IfaceId hop) {
   InsertOutcome outcome;
   if (covering_) {
     auto result = tree_->insert(xpe, hop);
@@ -169,7 +169,7 @@ Prt::InsertOutcome Prt::insert(const Xpe& xpe, int hop) {
   return outcome;
 }
 
-bool Prt::remove(const Xpe& xpe, int hop) {
+bool Prt::remove(const Xpe& xpe, IfaceId hop) {
   if (covering_) return tree_->remove(xpe, hop);
   auto it = flat_index_.find(xpe);
   if (it == flat_index_.end()) return false;
@@ -243,11 +243,11 @@ std::vector<std::size_t> flat_candidates(
 
 }  // namespace
 
-std::set<int> Prt::match_hops(const Path& path) const {
+IfaceSet Prt::match_hops(const Path& path) const {
   if (covering_) return tree_->match_hops(path);
   if (flat_index_dirty_) rebuild_flat_index();
   const InternedPath ip(path);
-  std::set<int> hops;
+  IfaceSet hops;
   for (std::size_t pos :
        flat_candidates(ip, flat_by_symbol_, flat_unindexed_)) {
     const FlatEntry& entry = flat_[pos];
@@ -259,9 +259,9 @@ std::set<int> Prt::match_hops(const Path& path) const {
   return hops;
 }
 
-std::set<int> Prt::match_hops_scan(const Path& path) const {
+IfaceSet Prt::match_hops_scan(const Path& path) const {
   if (covering_) return tree_->match_hops_scan(path);
-  std::set<int> hops;
+  IfaceSet hops;
   for (const FlatEntry& entry : flat_) {
     ++flat_comparisons_;
     if (matches(path, entry.xpe)) {
@@ -271,9 +271,9 @@ std::set<int> Prt::match_hops_scan(const Path& path) const {
   return hops;
 }
 
-std::vector<std::pair<const Xpe*, const std::set<int>*>> Prt::match_entries(
+std::vector<std::pair<const Xpe*, const IfaceSet*>> Prt::match_entries(
     const Path& path) const {
-  std::vector<std::pair<const Xpe*, const std::set<int>*>> out;
+  std::vector<std::pair<const Xpe*, const IfaceSet*>> out;
   if (covering_) {
     for (const SubscriptionTree::Node* node : tree_->match_nodes(path)) {
       out.emplace_back(&node->xpe, &node->hops);
@@ -313,8 +313,8 @@ std::vector<Xpe> Prt::all_xpes() const {
   return out;
 }
 
-std::vector<std::pair<Xpe, std::set<int>>> Prt::entries_with_hops() const {
-  std::vector<std::pair<Xpe, std::set<int>>> out;
+std::vector<std::pair<Xpe, IfaceSet>> Prt::entries_with_hops() const {
+  std::vector<std::pair<Xpe, IfaceSet>> out;
   if (covering_) {
     tree_->for_each([&](const SubscriptionTree::Node& node) {
       out.emplace_back(node.xpe, node.hops);
@@ -336,6 +336,70 @@ std::vector<Xpe> Prt::top_level_xpes() const {
 
 std::size_t Prt::comparisons() const {
   return covering_ ? tree_->comparisons() : flat_comparisons_;
+}
+
+void Prt::prepare_match() const {
+  if (covering_) {
+    tree_->ensure_root_index();
+  } else if (flat_index_dirty_) {
+    rebuild_flat_index();
+  }
+}
+
+void Prt::add_comparisons(std::size_t n) const {
+  if (covering_) {
+    tree_->add_comparisons(n);
+  } else {
+    flat_comparisons_ += n;
+  }
+}
+
+void Prt::match_shard(const InternedPath& ip,
+                      const std::vector<std::uint32_t>& distinct_symbols,
+                      std::size_t shard, std::size_t shard_count,
+                      ShardMatch* out) const {
+  if (covering_) {
+    tree_->match_shard(
+        ip, distinct_symbols, shard, shard_count,
+        [&](const SubscriptionTree::Node& node) {
+          out->hops.insert(node.hops.begin(), node.hops.end());
+          if (node.merger) {
+            // Same backing test as the sequential broker: a merger match
+            // no merged original backs is an in-network false positive.
+            bool backed = false;
+            for (const Xpe& original : node.merged_from) {
+              if (matches(*ip.path, original)) {
+                backed = true;
+                break;
+              }
+            }
+            if (!backed) ++out->merger_false_matches;
+          }
+        },
+        &out->comparisons);
+    return;
+  }
+  // Flat mode: the deepest-symbol buckets partition the indexed entries;
+  // this shard owns the buckets of its symbols, shard 0 additionally owns
+  // the all-wildcard side list.
+  auto test = [&](std::size_t pos) {
+    const FlatEntry& entry = flat_[pos];
+    ++out->comparisons;
+    if (matches(ip, entry.xpe)) {
+      out->hops.insert(entry.hops.begin(), entry.hops.end());
+    }
+  };
+  if (shard == 0) {
+    for (std::size_t pos : flat_unindexed_) test(pos);
+  }
+  for (std::uint32_t sym : distinct_symbols) {
+    if (symbol_shard(sym, static_cast<std::uint32_t>(shard_count)) != shard) {
+      continue;
+    }
+    auto it = flat_by_symbol_.find(sym);
+    if (it == flat_by_symbol_.end()) continue;
+    for (std::size_t pos : it->second) test(pos);
+  }
 }
 
 }  // namespace xroute

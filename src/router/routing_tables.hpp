@@ -20,6 +20,7 @@
 
 #include "adv/advertisement.hpp"
 #include "index/subscription_tree.hpp"
+#include "router/iface.hpp"
 #include "match/adv_automaton.hpp"
 #include "match/rec_adv_match.hpp"
 #include "xpath/xpe.hpp"
@@ -31,17 +32,17 @@ class Srt {
  public:
   struct Entry {
     Advertisement advertisement;
-    std::set<int> hops;
+    IfaceSet hops;
     /// Compiled matcher for recursive advertisements (lazily built).
     std::unique_ptr<AdvAutomaton> automaton;
   };
 
   /// Records the advertisement as reachable via `hop`. Returns true if the
   /// advertisement itself is new to this broker (=> flood it on).
-  bool add(const Advertisement& adv, int hop);
+  bool add(const Advertisement& adv, IfaceId hop);
 
   /// Drops an advertisement/hop pair (unadvertise support).
-  bool remove(const Advertisement& adv, int hop);
+  bool remove(const Advertisement& adv, IfaceId hop);
 
   /// O(1) entry lookup by advertisement; nullptr if absent.
   const Entry* find(const Advertisement& adv) const;
@@ -55,12 +56,12 @@ class Srt {
   /// concrete step name of `xpe` in its alphabet, so only the bucket of
   /// the query's rarest concrete symbol (plus the wildcard side list) is
   /// tested. Results are exactly the linear scan's.
-  std::set<int> hops_overlapping(const Xpe& xpe) const;
+  IfaceSet hops_overlapping(const Xpe& xpe) const;
 
   /// Pre-index linear-scan reference (string element comparisons over
   /// every entry). Retained as the differential-test oracle and the
   /// perf_routing "before" baseline; do not use on the hot path.
-  std::set<int> hops_overlapping_scan(const Xpe& xpe) const;
+  IfaceSet hops_overlapping_scan(const Xpe& xpe) const;
 
   /// Does any advertisement from `hop` overlap `xpe`? (Used to route
   /// existing subscriptions toward a newly arrived advertisement.)
@@ -107,15 +108,15 @@ class Prt {
 
   explicit Prt(bool covering, bool track_covered = true);
 
-  InsertOutcome insert(const Xpe& xpe, int hop);
-  bool remove(const Xpe& xpe, int hop);
-  std::set<int> match_hops(const Path& path) const;
+  InsertOutcome insert(const Xpe& xpe, IfaceId hop);
+  bool remove(const Xpe& xpe, IfaceId hop);
+  IfaceSet match_hops(const Path& path) const;
   /// Pre-index linear-scan reference (flat mode: string matcher over every
   /// entry; covering mode: the tree's scan twin). Differential-test oracle
   /// and perf_routing "before" baseline.
-  std::set<int> match_hops_scan(const Path& path) const;
+  IfaceSet match_hops_scan(const Path& path) const;
   /// Matching subscriptions with their hop sets (edge delivery needs both).
-  std::vector<std::pair<const Xpe*, const std::set<int>*>> match_entries(
+  std::vector<std::pair<const Xpe*, const IfaceSet*>> match_entries(
       const Path& path) const;
   std::size_t size() const;
   std::size_t comparisons() const;
@@ -127,7 +128,40 @@ class Prt {
   /// roots without super sources; flat mode: everything).
   std::vector<Xpe> top_level_xpes() const;
   /// Every stored subscription with its hop set (both modes; snapshots).
-  std::vector<std::pair<Xpe, std::set<int>>> entries_with_hops() const;
+  std::vector<std::pair<Xpe, IfaceSet>> entries_with_hops() const;
+
+  // -- Parallel matching support (router/match_scheduler.hpp) --------------
+
+  /// Forces the lazy match indexes now. Must run on the control thread
+  /// before a parallel match epoch: the shard matchers are pure reads and
+  /// never rebuild.
+  void prepare_match() const;
+
+  /// Per-shard slice of one publication match. The shards partition the
+  /// table (tree roots or flat entries) by symbol_shard() of each entry's
+  /// discriminating symbol, so the union over all shards equals the
+  /// sequential result exactly — hops, merger false-positive count and
+  /// comparison count alike.
+  struct ShardMatch {
+    IfaceSet hops;
+    /// Matches against merger entries not backed by any merged original
+    /// (covering mode; the paper's in-network false positives, Fig. 9).
+    std::size_t merger_false_matches = 0;
+    /// Comparison tests performed; fold back via add_comparisons().
+    std::size_t comparisons = 0;
+  };
+
+  /// Matches `ip` against shard `shard` of `shard_count`. Thread-safe pure
+  /// read after prepare_match(), provided no mutation overlaps the epoch.
+  /// `distinct_symbols` is the deduplicated symbol list of the path.
+  void match_shard(const InternedPath& ip,
+                   const std::vector<std::uint32_t>& distinct_symbols,
+                   std::size_t shard, std::size_t shard_count,
+                   ShardMatch* out) const;
+
+  /// Folds worker-local comparison counts back into comparisons().
+  /// Control thread only (between epochs).
+  void add_comparisons(std::size_t n) const;
 
   /// Covering mode only: the underlying tree (merging runs on it).
   SubscriptionTree* tree() { return tree_.get(); }
@@ -141,7 +175,7 @@ class Prt {
   // Flat mode storage.
   struct FlatEntry {
     Xpe xpe;
-    std::set<int> hops;
+    IfaceSet hops;
   };
   std::vector<FlatEntry> flat_;
   std::unordered_map<Xpe, std::size_t, XpeHash> flat_index_;

@@ -58,13 +58,13 @@ void save_snapshot(const Broker& broker, std::ostream& out) {
 
   for (const auto& entry : broker.srt().entries()) {
     out << "srt\t" << entry->advertisement.to_string();
-    for (int hop : entry->hops) out << '\t' << hop;
+    for (IfaceId hop : entry->hops) out << '\t' << hop.value();
     out << '\n';
   }
 
   for (const auto& [xpe, hops] : broker.prt().entries_with_hops()) {
     out << "sub\t" << xpe.to_string();
-    for (int hop : hops) out << '\t' << hop;
+    for (IfaceId hop : hops) out << '\t' << hop.value();
     out << '\n';
   }
   if (broker.prt().covering()) {
@@ -79,14 +79,14 @@ void save_snapshot(const Broker& broker, std::ostream& out) {
   }
 
   for (const auto& [interface_id, xpes] : broker.client_tables()) {
-    out << "client\t" << interface_id;
+    out << "client\t" << interface_id.value();
     for (const Xpe& xpe : xpes) out << '\t' << xpe.to_string();
     out << '\n';
   }
 
   for (const auto& [xpe, interfaces] : broker.forwarding_record()) {
     out << "fwd\t" << xpe.to_string();
-    for (int interface_id : interfaces) out << '\t' << interface_id;
+    for (IfaceId interface_id : interfaces) out << '\t' << interface_id.value();
     out << '\n';
   }
 
@@ -119,17 +119,17 @@ void load_snapshot(Broker& broker, std::istream& in) {
     if (kind == "srt") {
       if (fields.size() < 3) throw ParseError("snapshot: srt needs hops");
       Advertisement adv = parse_advertisement(fields[1]);
-      std::set<int> hops;
+      IfaceSet hops;
       for (std::size_t i = 2; i < fields.size(); ++i) {
-        hops.insert(parse_int(fields[i]));
+        hops.insert(IfaceId{parse_int(fields[i])});
       }
       broker.restore_advertisement(adv, hops);
     } else if (kind == "sub") {
       if (fields.size() < 3) throw ParseError("snapshot: sub needs hops");
       Xpe xpe = parse_xpe(fields[1]);
-      std::set<int> hops;
+      IfaceSet hops;
       for (std::size_t i = 2; i < fields.size(); ++i) {
-        hops.insert(parse_int(fields[i]));
+        hops.insert(IfaceId{parse_int(fields[i])});
       }
       broker.restore_subscription(xpe, hops);
     } else if (kind == "merger") {
@@ -142,7 +142,7 @@ void load_snapshot(Broker& broker, std::istream& in) {
       broker.restore_merger(merger, originals);
     } else if (kind == "client") {
       if (fields.size() < 2) throw ParseError("snapshot: bad client line");
-      int interface_id = parse_int(fields[1]);
+      IfaceId interface_id{parse_int(fields[1])};
       std::vector<Xpe> xpes;
       for (std::size_t i = 2; i < fields.size(); ++i) {
         xpes.push_back(parse_xpe(fields[i]));
@@ -151,9 +151,9 @@ void load_snapshot(Broker& broker, std::istream& in) {
     } else if (kind == "fwd") {
       if (fields.size() < 2) throw ParseError("snapshot: bad fwd line");
       Xpe xpe = parse_xpe(fields[1]);
-      std::set<int> interfaces;
+      IfaceSet interfaces;
       for (std::size_t i = 2; i < fields.size(); ++i) {
-        interfaces.insert(parse_int(fields[i]));
+        interfaces.insert(IfaceId{parse_int(fields[i])});
       }
       broker.restore_forwarding(xpe, std::move(interfaces));
     } else {
@@ -174,7 +174,7 @@ void snapshot_from_string(Broker& broker, const std::string& text) {
   load_snapshot(broker, is);
 }
 
-std::string export_link_state(const Broker& broker, int interface_id) {
+std::string export_link_state(const Broker& broker, IfaceId interface_id) {
   std::ostringstream out;
   out << kSyncHeader << '\n';
 
@@ -184,7 +184,7 @@ std::string export_link_state(const Broker& broker, int interface_id) {
   // publishers).
   for (const auto& entry : broker.srt().entries()) {
     bool via_elsewhere = false;
-    for (int hop : entry->hops) {
+    for (IfaceId hop : entry->hops) {
       if (hop != interface_id) {
         via_elsewhere = true;
         break;
@@ -212,7 +212,7 @@ std::string export_link_state(const Broker& broker, int interface_id) {
   return out.str();
 }
 
-void import_link_state(Broker& broker, int interface_id,
+void import_link_state(Broker& broker, IfaceId interface_id,
                        const std::string& text) {
   std::istringstream in(text);
   std::string line;

@@ -57,13 +57,13 @@ void snapshot_from_string(Broker& broker, const std::string& text);
 //   end
 
 /// Serialises the state `broker` holds about the link on `interface_id`.
-std::string export_link_state(const Broker& broker, int interface_id);
+std::string export_link_state(const Broker& broker, IfaceId interface_id);
 
 /// Restores a neighbour's link state arriving on `interface_id`:
 /// srt lines become SRT entries via that interface, sub lines PRT entries
 /// from it, fwd lines forwarding-record hops toward it. Restoration is
 /// passive (no messages are emitted). Throws ParseError on malformed input.
-void import_link_state(Broker& broker, int interface_id,
+void import_link_state(Broker& broker, IfaceId interface_id,
                        const std::string& text);
 
 }  // namespace xroute

@@ -1,10 +1,29 @@
 #include "transport/broker_node.hpp"
 
+#include <functional>
 #include <future>
 #include <sstream>
 #include <utility>
 
+#include "router/match_scheduler.hpp"
+
 namespace xroute::transport {
+
+/// Encodes every outgoing message on the calling thread — the expensive
+/// half of sending — and forwards (interface, bytes) to `emit`. In
+/// sequential mode `emit` sends inline on the loop thread; in async mode
+/// it collects the batch the match thread later posts to the loop.
+class TransportBroker::EncodingSink : public ForwardSink {
+ public:
+  using Emit = std::function<void(IfaceId, std::vector<std::uint8_t>)>;
+  explicit EncodingSink(Emit emit) : emit_(std::move(emit)) {}
+  void on_forward(IfaceId iface, const Message& msg) override {
+    emit_(iface, wire::encode_frame(msg));
+  }
+
+ private:
+  Emit emit_;
+};
 
 TransportBroker::TransportBroker(Options options)
     : options_(std::move(options)),
@@ -31,6 +50,9 @@ void TransportBroker::start() {
   port_ = transport_->listen(options_.listen_port);
   running_ = true;
   thread_ = std::thread([this] { loop_->run(); });
+  if (async()) {
+    match_thread_ = std::thread([this] { match_loop(); });
+  }
 }
 
 void TransportBroker::connect_to(const std::string& host, std::uint16_t port) {
@@ -40,6 +62,16 @@ void TransportBroker::connect_to(const std::string& host, std::uint16_t port) {
 void TransportBroker::stop() {
   if (!running_) return;
   running_ = false;
+  if (match_thread_.joinable()) {
+    // Drain the match thread first: its final sends are posted to the loop
+    // while the loop is still alive, then the loop shuts the sockets down.
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      inbox_shutdown_ = true;
+    }
+    inbox_cv_.notify_one();
+    match_thread_.join();
+  }
   loop_->post([this] { transport_->shutdown(); });
   loop_->stop();
   thread_.join();
@@ -61,12 +93,22 @@ void TransportBroker::on_peer(Connection* connection, const wire::Hello& hello) 
   peer.bytes_out = &registry_.counter("transport.bytes",
                                       {{"peer", peer_label}, {"dir", "out"}});
   interfaces_[peer.interface_id] = connection;
-  if (hello.kind == wire::Hello::PeerKind::kBroker) {
-    broker_.add_neighbor(peer.interface_id);
+  const bool is_broker = hello.kind == wire::Hello::PeerKind::kBroker;
+  if (is_broker) {
     broker_peers_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    broker_.add_client(peer.interface_id);
     client_peers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (async()) {
+    // Membership rides the inbox so the Broker (owned by the match thread)
+    // learns about the interface before any frame queued behind it.
+    enqueue_event(InboundEvent{is_broker ? InboundEvent::Kind::kAddNeighbor
+                                         : InboundEvent::Kind::kAddClient,
+                               IfaceId{peer.interface_id}, Message{}});
+  } else if (is_broker) {
+    broker_.add_neighbor(IfaceId{peer.interface_id});
+  } else {
+    broker_.add_client(IfaceId{peer.interface_id});
   }
   peers_.emplace(connection, peer);
   connection->set_backpressure_handler(
@@ -109,18 +151,86 @@ void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) 
   peer.frames_in->inc();
   peer.bytes_in->inc(decoded.consumed);
 
-  Broker::HandleResult result =
-      broker_.handle(peer.interface_id, decoded.message);
-  for (const Broker::Forward& forward : result.forwards) {
-    send_on(forward.interface, forward.message);
+  if (async()) {
+    enqueue_event(InboundEvent{InboundEvent::Kind::kFrame,
+                               IfaceId{peer.interface_id},
+                               std::move(decoded.message)});
+    return;
+  }
+  EncodingSink sink([this](IfaceId iface, std::vector<std::uint8_t> frame) {
+    send_encoded(iface, std::move(frame));
+  });
+  broker_.handle(IfaceId{peer.interface_id}, decoded.message, sink);
+}
+
+void TransportBroker::enqueue_event(InboundEvent event) {
+  queued_messages_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    inbox_.push_back(std::move(event));
+  }
+  inbox_cv_.notify_one();
+}
+
+void TransportBroker::match_loop() {
+  std::vector<InboundEvent> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(inbox_mutex_);
+      inbox_cv_.wait(lock,
+                     [&] { return inbox_shutdown_ || !inbox_.empty(); });
+      if (inbox_.empty()) return;  // shutdown and fully drained
+      batch.swap(inbox_);
+    }
+    // Encode off the loop thread; ship the whole batch's output in one
+    // posted task so the loop wakes once per batch, not once per frame.
+    auto sends = std::make_shared<
+        std::vector<std::pair<IfaceId, std::vector<std::uint8_t>>>>();
+    EncodingSink sink(
+        [&sends](IfaceId iface, std::vector<std::uint8_t> frame) {
+          sends->emplace_back(iface, std::move(frame));
+        });
+    std::vector<Broker::Inbound> run;
+    run.reserve(batch.size());
+    auto flush_run = [&] {
+      if (run.empty()) return;
+      broker_.handle_batch(run, sink);
+      run.clear();
+    };
+    for (InboundEvent& event : batch) {
+      switch (event.kind) {
+        case InboundEvent::Kind::kFrame:
+          run.push_back(Broker::Inbound{event.iface, &event.msg});
+          break;
+        case InboundEvent::Kind::kAddNeighbor:
+          flush_run();
+          broker_.add_neighbor(event.iface);
+          break;
+        case InboundEvent::Kind::kAddClient:
+          flush_run();
+          broker_.add_client(event.iface);
+          break;
+      }
+    }
+    flush_run();
+    if (!sends->empty()) {
+      loop_->post([this, sends] {
+        for (auto& [iface, frame] : *sends) {
+          send_encoded(iface, std::move(frame));
+        }
+      });
+    }
+    batches_processed_.fetch_add(1, std::memory_order_relaxed);
+    queued_messages_.fetch_sub(batch.size(), std::memory_order_relaxed);
+    batch.clear();
   }
 }
 
-void TransportBroker::send_on(int interface_id, const Message& msg) {
-  auto it = interfaces_.find(interface_id);
+void TransportBroker::send_encoded(IfaceId interface_id,
+                                   std::vector<std::uint8_t> frame) {
+  auto it = interfaces_.find(interface_id.value());
   if (it == interfaces_.end()) return;  // interface's peer is gone
   auto peer_it = peers_.find(it->second);
-  std::vector<std::uint8_t> frame = wire::encode_frame(msg);
   frames_out_.fetch_add(1, std::memory_order_relaxed);
   if (peer_it != peers_.end()) {
     peer_it->second.frames_out->inc();
@@ -156,6 +266,26 @@ std::string TransportBroker::metrics_json() {
   std::promise<std::string> promise;
   std::future<std::string> future = promise.get_future();
   loop_->post([this, &promise] {
+    // The scheduler's counters are monotonic atomics — safe to read here
+    // while the match thread runs; the registry itself is loop-owned.
+    if (const MatchScheduler* scheduler = broker_.scheduler()) {
+      registry_.gauge("match.queue_depth")
+          .set(static_cast<double>(queued_messages()));
+      registry_.gauge("match.epochs")
+          .set(static_cast<double>(scheduler->epochs()));
+      registry_.gauge("match.batches")
+          .set(static_cast<double>(
+              batches_processed_.load(std::memory_order_relaxed)));
+      std::vector<MatchScheduler::WorkerStats> workers =
+          scheduler->worker_stats();
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        MetricLabels labels{{"worker", std::to_string(i)}};
+        registry_.gauge("match.worker_tasks", labels)
+            .set(static_cast<double>(workers[i].tasks));
+        registry_.gauge("match.worker_busy_ms", labels)
+            .set(static_cast<double>(workers[i].busy_ns) / 1e6);
+      }
+    }
     std::ostringstream os;
     registry_.write_json(os);
     promise.set_value(os.str());

@@ -5,8 +5,8 @@
 // dialed connection that completes the Hello handshake becomes one broker
 // interface (the same dense interface-id scheme the simulator uses), an
 // arriving frame decodes to a Message and runs through Broker::handle()
-// on the loop thread, and each resulting forward encodes back onto the
-// connection owning its interface.
+// pushing forwards straight into a ForwardSink that encodes them back onto
+// the connection owning each interface.
 //
 // Backpressure: when any egress connection's send queue crosses its high
 // watermark the node stops reading from *all* connections (ingress is the
@@ -14,17 +14,29 @@
 // under the low watermark. TCP flow control then pushes back on the
 // upstream sender.
 //
-// Threading: one event-loop thread owns the Broker, the connections and
-// the MetricsRegistry. Cross-thread observation goes through atomics
-// (frame/byte totals, peer counts) or posted tasks (metrics_json).
+// Threading: one event-loop thread owns the connections and the
+// MetricsRegistry. With match_threads == 1 it also owns the Broker and
+// everything happens inline, exactly as before. With match_threads > 1 a
+// dedicated *match thread* owns the Broker: the loop thread enqueues
+// inbound events (frames AND membership changes, through the same FIFO so
+// broker state mutation stays ordered with traffic) into an inbox; the
+// match thread drains the inbox in batches — runs of publications become
+// one scheduler epoch across the worker pool — encodes the resulting
+// frames off the loop, and posts them back to the loop thread for
+// sending. The event loop stays I/O-only. Cross-thread observation goes
+// through atomics (frame/byte totals, peer counts, inbox depth) or posted
+// tasks (metrics_json).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "router/broker.hpp"
@@ -48,12 +60,14 @@ class TransportBroker {
   explicit TransportBroker(Options options);
   ~TransportBroker();
 
-  /// Binds the listener and starts the loop thread.
+  /// Binds the listener and starts the loop thread (and, with
+  /// match_threads > 1, the match thread).
   void start();
   /// Dials a neighbouring broker (callable from any thread, before or
   /// after the peer is up — dialing retries with backoff).
   void connect_to(const std::string& host, std::uint16_t port);
-  /// Stops the loop thread and closes every connection.
+  /// Stops the match thread (draining its inbox), then the loop thread,
+  /// and closes every connection.
   void stop();
 
   int id() const { return options_.id; }
@@ -75,9 +89,16 @@ class TransportBroker {
   std::uint64_t backpressure_engagements() const {
     return backpressure_events_.load(std::memory_order_relaxed);
   }
+  /// Inbound events accepted but not yet processed by the match thread
+  /// (always 0 with match_threads == 1). Quiescence checks must include
+  /// this: frames can be "received" yet still queued.
+  std::size_t queued_messages() const {
+    return queued_messages_.load(std::memory_order_relaxed);
+  }
 
   /// Snapshot of the node's MetricsRegistry (per-connection byte/frame
-  /// series) as JSON. Runs on the loop thread; blocks the caller.
+  /// series, plus the parallel engine's queue/worker series when the pool
+  /// is active) as JSON. Runs on the loop thread; blocks the caller.
   std::string metrics_json();
 
  private:
@@ -95,12 +116,32 @@ class TransportBroker {
     Counter* bytes_out = nullptr;
   };
 
+  /// One inbox entry for the match thread. Membership changes ride the
+  /// same FIFO as frames: an add_neighbor must reach the Broker before
+  /// any frame that arrived after the handshake, and making both flow
+  /// through one queue gives that ordering for free.
+  struct InboundEvent {
+    enum class Kind { kFrame, kAddNeighbor, kAddClient };
+    Kind kind = Kind::kFrame;
+    IfaceId iface;
+    Message msg;  // kFrame only
+  };
+
+  /// ForwardSink that encodes each outgoing message immediately (on the
+  /// calling thread) and hands the wire bytes to `emit`.
+  class EncodingSink;
+
   void on_peer(Connection* connection, const wire::Hello& hello);
   void on_frame(Connection* connection, wire::Decoded&& decoded);
   void on_disconnect(Connection* connection, const std::string& reason);
   void on_backpressure(Connection* connection, bool engaged);
   void apply_read_pause();
-  void send_on(int interface_id, const Message& msg);
+  /// Loop thread only: puts an already-encoded frame on the interface's
+  /// connection (drops it if the peer is gone).
+  void send_encoded(IfaceId interface_id, std::vector<std::uint8_t> frame);
+  void enqueue_event(InboundEvent event);
+  void match_loop();
+  bool async() const { return options_.config.match_threads > 1; }
 
   Options options_;
   std::unique_ptr<EventLoop> loop_;
@@ -115,11 +156,20 @@ class TransportBroker {
   bool running_ = false;
   std::uint16_t port_ = 0;
 
+  // Match-thread inbox (async mode only).
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  std::vector<InboundEvent> inbox_;
+  bool inbox_shutdown_ = false;
+  std::thread match_thread_;
+
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};
   std::atomic<std::uint64_t> backpressure_events_{0};
   std::atomic<std::size_t> broker_peers_{0};
   std::atomic<std::size_t> client_peers_{0};
+  std::atomic<std::size_t> queued_messages_{0};
+  std::atomic<std::uint64_t> batches_processed_{0};
 };
 
 }  // namespace xroute::transport

@@ -86,7 +86,7 @@ CoverSet build_covering_set(const Dtd& dtd, const CoverSetOptions& options) {
   auto insert = [&](const Xpe& xpe, const Path& base,
                     std::vector<std::size_t> wildcards) {
     if (!emitted.insert(xpe.to_string()).second) return false;
-    auto r = tree.insert(xpe, 0);
+    auto r = tree.insert(xpe, IfaceId{0});
     if (!r.was_new) return false;
     if (!r.covered_by_existing) uncovered.insert(xpe);
     for (const Xpe& newly : r.now_covered) uncovered.erase(newly);

@@ -129,7 +129,7 @@ std::vector<Xpe> generate_xpaths(const Dtd& dtd,
 double covering_rate(const std::vector<Xpe>& xpes) {
   if (xpes.empty()) return 0.0;
   SubscriptionTree tree;
-  for (const Xpe& xpe : xpes) tree.insert(xpe, /*hop=*/0);
+  for (const Xpe& xpe : xpes) tree.insert(xpe, IfaceId{0});
   std::size_t covered = 0;
   tree.for_each([&](const SubscriptionTree::Node& node) {
     if (node.parent->parent != nullptr || !node.super_sources.empty()) {

@@ -93,4 +93,61 @@ TEST(XroutectlCli, BadPortIsAUsageError) {
   EXPECT_NE(result.output.find("bad port"), std::string::npos);
 }
 
+/// Writes `text` to a unique temp file and returns its path.
+std::string write_temp(const std::string& tag, const std::string& text) {
+  std::string path = ::testing::TempDir() + "xroutectl_cli_" + tag + "_" +
+                     std::to_string(::getpid()) + ".txt";
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(XroutectlCli, ServeBrokerOptionErrorsAreUsageErrors) {
+  std::string overlay = write_temp("overlay", "broker 0 127.0.0.1 45123\n");
+  // Bad knob value, unknown knob, malformed --option, invalid combination:
+  // all usage errors (exit 2) with the parser's message, before any socket
+  // is opened.
+  for (const char* args :
+       {" 0 --threads zero", " 0 --threads 0", " 0 --option bogus=1",
+        " 0 --option no-equals", " 0 --threads 4 --option shards=2"}) {
+    CliResult result = run_cli("serve " + overlay + args);
+    EXPECT_EQ(result.exit_code, 2) << "args: " << args;
+    EXPECT_NE(result.output.find("usage: xroutectl"), std::string::npos)
+        << "args: " << args;
+  }
+  std::remove(overlay.c_str());
+}
+
+TEST(XroutectlCli, OverlayOptionLinesAreValidatedAtParse) {
+  std::string overlay = write_temp(
+      "overlay_bad", "broker 0 127.0.0.1 45123\noption threads many\n");
+  CliResult result = run_cli("serve " + overlay + " 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("overlay file line 2"), std::string::npos);
+  std::remove(overlay.c_str());
+}
+
+TEST(XroutectlCli, FaultPlanOptionLinesAreValidated) {
+  // A valid option line parses and runs; a bad one is a ParseError.
+  std::string good = write_temp(
+      "plan_good",
+      "topology chain 2\nsubscribers 2\ndocuments 2\noption covering off\n");
+  EXPECT_EQ(run_cli("faultsim " + good).exit_code, 0);
+  std::string bad =
+      write_temp("plan_bad", "topology chain 2\noption threads 4 extra\n");
+  CliResult result = run_cli("faultsim " + bad);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("option"), std::string::npos);
+  // Parses fine, but the discrete-event simulator only runs sequential
+  // brokers: a clear rejection, not UB or silent fallback.
+  std::string threaded =
+      write_temp("plan_threaded", "topology chain 2\noption threads 4\n");
+  CliResult rejected = run_cli("faultsim " + threaded);
+  EXPECT_EQ(rejected.exit_code, 2);
+  EXPECT_NE(rejected.output.find("single-threaded"), std::string::npos);
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+  std::remove(threaded.c_str());
+}
+
 }  // namespace

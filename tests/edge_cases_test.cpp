@@ -20,22 +20,22 @@ TEST(SrtTest, AddRemoveAndOverlap) {
   Srt srt;
   Advertisement a1 = Advertisement::from_elements({"a", "b"});
   Advertisement a2 = parse_advertisement("/a(/b)+/c");
-  EXPECT_TRUE(srt.add(a1, 1));
-  EXPECT_FALSE(srt.add(a1, 2));  // second hop, same advertisement
-  EXPECT_TRUE(srt.add(a2, 1));
+  EXPECT_TRUE(srt.add(a1, IfaceId{1}));
+  EXPECT_FALSE(srt.add(a1, IfaceId{2}));  // second hop, same advertisement
+  EXPECT_TRUE(srt.add(a2, IfaceId{1}));
   EXPECT_EQ(srt.size(), 2u);
 
   auto hops = srt.hops_overlapping(parse_xpe("/a/b"));
-  EXPECT_EQ(hops, (std::set<int>{1, 2}));
+  EXPECT_EQ(hops, ifaces({1, 2}));
   // Overlapping only the recursive advertisement.
-  EXPECT_EQ(srt.hops_overlapping(parse_xpe("/a/b/b/c")), (std::set<int>{1}));
+  EXPECT_EQ(srt.hops_overlapping(parse_xpe("/a/b/b/c")), ifaces({1}));
   EXPECT_TRUE(srt.hops_overlapping(parse_xpe("/zzz")).empty());
 
-  EXPECT_TRUE(srt.remove(a1, 1));
+  EXPECT_TRUE(srt.remove(a1, IfaceId{1}));
   EXPECT_EQ(srt.size(), 2u);  // hop 2 remains
-  EXPECT_TRUE(srt.remove(a1, 2));
+  EXPECT_TRUE(srt.remove(a1, IfaceId{2}));
   EXPECT_EQ(srt.size(), 1u);
-  EXPECT_FALSE(srt.remove(a1, 2));  // already gone
+  EXPECT_FALSE(srt.remove(a1, IfaceId{2}));  // already gone
 }
 
 TEST(SimulatorUnadvertise, StopsSubscriptionRouting) {
@@ -69,23 +69,23 @@ TEST(BrokerDedup, SamePublicationProcessedOnce) {
   Broker::Config config;
   config.use_advertisements = false;
   Broker broker(0, config);
-  broker.add_neighbor(1);
-  broker.add_neighbor(2);
-  broker.handle(2, Message::subscribe(parse_xpe("/a")));
+  broker.add_neighbor(IfaceId{1});
+  broker.add_neighbor(IfaceId{2});
+  broker.handle(IfaceId{2}, Message::subscribe(parse_xpe("/a")));
 
   PublishMsg msg;
   msg.path = parse_path("/a/b");
   msg.doc_id = 7;
   msg.path_id = 3;
-  auto first = broker.handle(1, Message{msg});
+  auto first = broker.handle(IfaceId{1}, Message{msg});
   EXPECT_EQ(first.forwards.size(), 1u);
   // The same (doc, path) arriving again — e.g. over another overlay path —
   // is suppressed entirely.
-  auto second = broker.handle(1, Message{msg});
+  auto second = broker.handle(IfaceId{1}, Message{msg});
   EXPECT_TRUE(second.forwards.empty());
   // A different path of the same document still flows.
   msg.path_id = 4;
-  auto third = broker.handle(1, Message{msg});
+  auto third = broker.handle(IfaceId{1}, Message{msg});
   EXPECT_EQ(third.forwards.size(), 1u);
 }
 

@@ -117,7 +117,7 @@ TEST(MergeEngineTest, PerfectMergeApplied) {
   SubscriptionTree tree;
   for (const char* s :
        {"/r/x/a", "/r/x/b", "/r/x/c", "/r/x/d", "/r/x/e"}) {
-    tree.insert(X(s), 1);
+    tree.insert(X(s), IfaceId{1});
   }
   MergeOptions options;
   options.max_imperfect_degree = 0.0;
@@ -136,8 +136,8 @@ TEST(MergeEngineTest, ImperfectMergeGatedByTolerance) {
   Dtd dtd = parse_dtd(kMergeDtd);
   PathUniverse universe(dtd);
   SubscriptionTree tree;
-  tree.insert(X("/r/x/d"), 1);
-  tree.insert(X("/r/x/e"), 2);
+  tree.insert(X("/r/x/d"), IfaceId{1});
+  tree.insert(X("/r/x/e"), IfaceId{2});
 
   {
     MergeOptions strict;  // perfect only
@@ -153,14 +153,14 @@ TEST(MergeEngineTest, ImperfectMergeGatedByTolerance) {
     ASSERT_EQ(report.merges.size(), 1u);
     EXPECT_NEAR(report.merges[0].d_imperfect, 0.6, 1e-9);
     EXPECT_EQ(tree.size(), 1u);
-    EXPECT_EQ(tree.match_hops(parse_path("/r/x/d")), (std::set<int>{1, 2}));
+    EXPECT_EQ(tree.match_hops(parse_path("/r/x/d")), ifaces({1, 2}));
   }
 }
 
 TEST(MergeEngineTest, NoUniverseMeansNoMerging) {
   SubscriptionTree tree;
-  tree.insert(X("/r/x/d"), 1);
-  tree.insert(X("/r/x/e"), 1);
+  tree.insert(X("/r/x/d"), IfaceId{1});
+  tree.insert(X("/r/x/e"), IfaceId{1});
   MergeEngine engine(nullptr, MergeOptions{});
   EXPECT_TRUE(engine.run(tree).merges.empty());
   EXPECT_EQ(tree.size(), 2u);
@@ -177,10 +177,10 @@ TEST(MergeEngineTest, MergersCanMergeAgain) {
 )");
   PathUniverse universe(dtd);
   SubscriptionTree tree;
-  tree.insert(X("/r/x/a"), 1);
-  tree.insert(X("/r/x/b"), 2);
-  tree.insert(X("/r/y/a"), 3);
-  tree.insert(X("/r/y/b"), 4);
+  tree.insert(X("/r/x/a"), IfaceId{1});
+  tree.insert(X("/r/x/b"), IfaceId{2});
+  tree.insert(X("/r/y/a"), IfaceId{3});
+  tree.insert(X("/r/y/b"), IfaceId{4});
   MergeOptions options;  // perfect merging
   MergeEngine engine(&universe, options);
   MergeReport report = engine.run(tree);
@@ -188,7 +188,7 @@ TEST(MergeEngineTest, MergersCanMergeAgain) {
   EXPECT_GE(report.merges.size(), 2u);
   EXPECT_EQ(tree.size(), 1u);
   EXPECT_EQ(tree.match_hops(parse_path("/r/y/b")),
-            (std::set<int>{1, 2, 3, 4}));
+            ifaces({1, 2, 3, 4}));
   EXPECT_EQ(tree.validate(), "");
 }
 

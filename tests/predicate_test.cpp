@@ -162,12 +162,12 @@ TEST(PredicateCovering, FewerPredicatesCoverMore) {
 TEST(PredicateCovering, SoundInTheTree) {
   // Covered predicated XPEs are delivered through their coverers.
   SubscriptionTree tree;
-  tree.insert(parse_xpe("//media[@type]"), 1);
-  auto r = tree.insert(parse_xpe("//media[@type='photo']"), 2);
+  tree.insert(parse_xpe("//media[@type]"), IfaceId{1});
+  auto r = tree.insert(parse_xpe("//media[@type='photo']"), IfaceId{2});
   EXPECT_TRUE(r.covered_by_existing);
 
   Path p = annotated_path();
-  EXPECT_EQ(tree.match_hops(p), (std::set<int>{1, 2}));
+  EXPECT_EQ(tree.match_hops(p), ifaces({1, 2}));
   EXPECT_EQ(tree.validate(), "");
 }
 

@@ -190,7 +190,7 @@ class TreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(TreeProperty, MatchingEqualsFlatScanUnderChurn) {
   Rng rng(GetParam());
   SubscriptionTree tree;
-  std::vector<std::pair<Xpe, int>> reference;  // flat mirror
+  std::vector<std::pair<Xpe, IfaceId>> reference;  // flat mirror
 
   for (int step = 0; step < 300; ++step) {
     if (!reference.empty() && rng.chance(0.3)) {
@@ -201,7 +201,7 @@ TEST_P(TreeProperty, MatchingEqualsFlatScanUnderChurn) {
       reference.erase(reference.begin() + static_cast<long>(victim));
     } else {
       Xpe s = random_xpe(rng, small_alphabet(), 4);
-      int hop = rng.uniform_int(0, 3);
+      IfaceId hop{rng.uniform_int(0, 3)};
       tree.insert(s, hop);
       // Mirror: avoid duplicate (xpe, hop) pairs.
       bool present = false;
@@ -214,7 +214,7 @@ TEST_P(TreeProperty, MatchingEqualsFlatScanUnderChurn) {
     ASSERT_EQ(tree.validate(), "") << "after step " << step;
 
     Path p = random_path(rng, small_alphabet(), 6);
-    std::set<int> expected;
+    IfaceSet expected;
     for (const auto& [x, h] : reference) {
       if (matches(p, x)) expected.insert(h);
     }
@@ -239,7 +239,7 @@ TEST_P(TreeProperty, CoveredFlagSoundness) {
   std::vector<Xpe> inserted;
   for (int i = 0; i < 150; ++i) {
     Xpe s = random_xpe(rng, small_alphabet(), 4);
-    auto result = tree.insert(s, 0);
+    auto result = tree.insert(s, IfaceId{0});
     if (result.was_new && result.covered_by_existing) {
       bool truly_covered = false;
       for (const Xpe& other : inserted) {
@@ -359,9 +359,9 @@ TEST_P(MergeSoundnessProperty, AppliedMergersNeverLoseDeliveries) {
   auto xpes = generate_xpaths(dtd, xopts);
 
   SubscriptionTree tree;
-  std::vector<std::pair<Xpe, int>> reference;
+  std::vector<std::pair<Xpe, IfaceId>> reference;
   for (std::size_t i = 0; i < xpes.size(); ++i) {
-    int hop = static_cast<int>(i % 5);
+    IfaceId hop{static_cast<int>(i % 5)};
     tree.insert(xpes[i], hop);
     reference.emplace_back(xpes[i], hop);
   }
@@ -376,12 +376,12 @@ TEST_P(MergeSoundnessProperty, AppliedMergersNeverLoseDeliveries) {
   std::size_t checked = 0;
   for (const Path& p : universe.paths()) {
     if (++checked > 1500) break;
-    std::set<int> expected;
+    IfaceSet expected;
     for (const auto& [xpe, hop] : reference) {
       if (matches(p, xpe)) expected.insert(hop);
     }
-    std::set<int> got = tree.match_hops(p);
-    for (int hop : expected) {
+    IfaceSet got = tree.match_hops(p);
+    for (IfaceId hop : expected) {
       ASSERT_TRUE(got.count(hop))
           << "hop " << hop << " lost for " << p.to_string() << " after "
           << report.merges.size() << " merges";

@@ -32,9 +32,9 @@ Message pub(const char* path) {
 }
 
 /// Interfaces forwarded to, for messages of one type.
-std::vector<int> targets(const Broker::HandleResult& result,
-                         MessageType type) {
-  std::vector<int> out;
+std::vector<IfaceId> targets(const Broker::HandleResult& result,
+                             MessageType type) {
+  std::vector<IfaceId> out;
   for (const auto& fwd : result.forwards) {
     if (fwd.message.type() == type) out.push_back(fwd.interface);
   }
@@ -42,7 +42,7 @@ std::vector<int> targets(const Broker::HandleResult& result,
   return out;
 }
 
-constexpr int kLeft = 1, kRight = 2, kUp = 3, kClient = 10, kClient2 = 11;
+constexpr IfaceId kLeft{1}, kRight{2}, kUp{3}, kClient{10}, kClient2{11};
 
 Broker make_broker(Broker::Config config) {
   Broker broker(0, config);
@@ -59,7 +59,7 @@ TEST(BrokerAdvertise, FloodsOnceToOtherNeighbors) {
   Advertisement adv = Advertisement::from_elements({"a", "b"});
   auto r1 = broker.handle(kUp, Message::advertise(adv, 7));
   EXPECT_EQ(targets(r1, MessageType::kAdvertise),
-            (std::vector<int>{kLeft, kRight}));
+            (std::vector<IfaceId>{kLeft, kRight}));
   EXPECT_EQ(broker.srt_size(), 1u);
   // Same advertisement from another hop: recorded, not re-flooded.
   auto r2 = broker.handle(kLeft, Message::advertise(adv, 8));
@@ -74,7 +74,7 @@ TEST(BrokerSubscribe, FollowsAdvertisements) {
 
   // A subscription overlapping only the first advertisement goes to kUp.
   auto r = broker.handle(kClient, Message::subscribe(X("/a/b")));
-  EXPECT_EQ(targets(r, MessageType::kSubscribe), (std::vector<int>{kUp}));
+  EXPECT_EQ(targets(r, MessageType::kSubscribe), (std::vector<IfaceId>{kUp}));
 
   // One overlapping nothing goes nowhere.
   auto r2 = broker.handle(kClient, Message::subscribe(X("/q")));
@@ -83,7 +83,7 @@ TEST(BrokerSubscribe, FollowsAdvertisements) {
   // One overlapping both goes to both.
   auto r3 = broker.handle(kClient, Message::subscribe(X("*")));
   EXPECT_EQ(targets(r3, MessageType::kSubscribe),
-            (std::vector<int>{kLeft, kUp}));
+            (std::vector<IfaceId>{kLeft, kUp}));
 }
 
 TEST(BrokerSubscribe, FloodsWithoutAdvertisements) {
@@ -92,11 +92,11 @@ TEST(BrokerSubscribe, FloodsWithoutAdvertisements) {
   Broker broker = make_broker(config);
   auto r = broker.handle(kClient, Message::subscribe(X("/a")));
   EXPECT_EQ(targets(r, MessageType::kSubscribe),
-            (std::vector<int>{kLeft, kRight, kUp}));
+            (std::vector<IfaceId>{kLeft, kRight, kUp}));
   // Broker-to-broker: exclude the arrival interface.
   auto r2 = broker.handle(kLeft, Message::subscribe(X("/b")));
   EXPECT_EQ(targets(r2, MessageType::kSubscribe),
-            (std::vector<int>{kRight, kUp}));
+            (std::vector<IfaceId>{kRight, kUp}));
 }
 
 TEST(BrokerSubscribe, CoveredSubscriptionAbsorbed) {
@@ -119,7 +119,7 @@ TEST(BrokerSubscribe, CoveringSubscriptionUnsubscribesCovered) {
   // The newcomer covers both: they are unsubscribed upstream, it is sent.
   auto r = broker.handle(kClient2, Message::subscribe(X("/a")));
   EXPECT_EQ(targets(r, MessageType::kSubscribe),
-            (std::vector<int>{kLeft, kRight, kUp}));
+            (std::vector<IfaceId>{kLeft, kRight, kUp}));
   auto unsubs = targets(r, MessageType::kUnsubscribe);
   EXPECT_EQ(unsubs.size(), 6u);  // two covered subs x three neighbours
 }
@@ -155,7 +155,7 @@ TEST(BrokerAdvertise, LateAdvertisementPullsSubscriptions) {
   // subscription is forwarded toward it.
   auto r1 = broker.handle(
       kUp, Message::advertise(Advertisement::from_elements({"a", "b", "c"}), 7));
-  EXPECT_EQ(targets(r1, MessageType::kSubscribe), (std::vector<int>{kUp}));
+  EXPECT_EQ(targets(r1, MessageType::kSubscribe), (std::vector<IfaceId>{kUp}));
   // Re-advertising does not re-forward.
   auto r2 = broker.handle(
       kLeft, Message::advertise(Advertisement::from_elements({"a", "b", "c"}), 7));
@@ -171,13 +171,13 @@ TEST(BrokerPublish, RoutesAlongPrtAndDelivers) {
 
   auto r = broker.handle(kUp, pub("/a/b/c"));
   EXPECT_EQ(targets(r, MessageType::kPublish),
-            (std::vector<int>{kLeft, kClient}));
+            (std::vector<IfaceId>{kLeft, kClient}));
   EXPECT_EQ(r.deliveries, 1u);
   EXPECT_EQ(r.suppressed_false_positives, 0u);
 
   // Never bounced back to the arrival interface.
   auto r2 = broker.handle(kLeft, pub("/a/b/c"));
-  EXPECT_EQ(targets(r2, MessageType::kPublish), (std::vector<int>{kClient}));
+  EXPECT_EQ(targets(r2, MessageType::kPublish), (std::vector<IfaceId>{kClient}));
 }
 
 TEST(BrokerPublish, NonMatchingDropped) {
@@ -293,7 +293,7 @@ TEST(BrokerUnadvertise, WithdrawsAndFloods) {
   auto r = broker.handle(kUp, Message::unadvertise(adv, 7));
   EXPECT_EQ(broker.srt_size(), 0u);
   EXPECT_EQ(targets(r, MessageType::kUnadvertise),
-            (std::vector<int>{kLeft, kRight}));
+            (std::vector<IfaceId>{kLeft, kRight}));
 
   // New subscriptions no longer follow the withdrawn advertisement.
   auto r2 = broker.handle(kClient, Message::subscribe(X("/a/b")));
@@ -312,7 +312,7 @@ TEST(BrokerUnadvertise, KeptWhileOtherHopsRemain) {
 
   // The remaining route still guides subscriptions.
   auto r2 = broker.handle(kClient, Message::subscribe(X("/a/b")));
-  EXPECT_EQ(targets(r2, MessageType::kSubscribe), (std::vector<int>{kLeft}));
+  EXPECT_EQ(targets(r2, MessageType::kSubscribe), (std::vector<IfaceId>{kLeft}));
 }
 
 TEST(BrokerUnadvertise, UnknownAdvertisementIgnored) {
@@ -340,11 +340,11 @@ TEST(SrtIndex, FindAndContains) {
   Srt srt;
   Advertisement adv = parse_advertisement("/a/b/c");
   EXPECT_EQ(srt.find(adv), nullptr);
-  srt.add(adv, 1);
+  srt.add(adv, IfaceId{1});
   ASSERT_NE(srt.find(adv), nullptr);
   EXPECT_TRUE(srt.contains(adv));
-  EXPECT_EQ(srt.find(adv)->hops, (std::set<int>{1}));
-  srt.remove(adv, 1);
+  EXPECT_EQ(srt.find(adv)->hops, ifaces({1}));
+  srt.remove(adv, IfaceId{1});
   EXPECT_FALSE(srt.contains(adv));
 }
 
@@ -364,11 +364,11 @@ TEST(SrtIndex, HopsOverlappingEqualsScanOnRandomWorkload) {
     std::vector<Xpe> queries = generate_xpaths(dtd, gen);
     Srt srt;
     for (std::size_t i = 0; i < derived.advertisements.size(); ++i) {
-      srt.add(derived.advertisements[i], static_cast<int>(i % 8));
+      srt.add(derived.advertisements[i], IfaceId{static_cast<int>(i % 8)});
     }
     // Churn: withdraw every fourth advertisement so the index rebuilds.
     for (std::size_t i = 0; i < derived.advertisements.size(); i += 4) {
-      srt.remove(derived.advertisements[i], static_cast<int>(i % 8));
+      srt.remove(derived.advertisements[i], IfaceId{static_cast<int>(i % 8)});
     }
     for (const Xpe& q : queries) {
       EXPECT_EQ(srt.hops_overlapping(q), srt.hops_overlapping_scan(q))
@@ -398,9 +398,9 @@ TEST(PrtFlatIndex, MatchHopsEqualsScanOnRandomWorkload) {
     std::vector<Xpe> xpes = generate_xpaths(dtd, gen);
     Prt prt(/*covering=*/false);
     for (std::size_t i = 0; i < xpes.size(); ++i) {
-      prt.insert(xpes[i], static_cast<int>(i % 16));
+      prt.insert(xpes[i], IfaceId{static_cast<int>(i % 16)});
       // Churn: removals exercise the swap-and-pop index invalidation.
-      if (i % 3 == 2) prt.remove(xpes[i - 1], static_cast<int>((i - 1) % 16));
+      if (i % 3 == 2) prt.remove(xpes[i - 1], IfaceId{static_cast<int>((i - 1) % 16)});
     }
     for (const Path& p : probes) {
       EXPECT_EQ(prt.match_hops(p), prt.match_hops_scan(p))

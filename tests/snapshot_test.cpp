@@ -18,7 +18,7 @@ namespace {
 
 Xpe X(const char* s) { return parse_xpe(s); }
 
-constexpr int kLeft = 1, kRight = 2, kClient = 10;
+constexpr IfaceId kLeft{1}, kRight{2}, kClient{10};
 
 Broker make_broker(Broker::Config config = {}) {
   Broker broker(0, config);
@@ -64,7 +64,7 @@ TEST(Snapshot, RoundTripPreservesRouting) {
   for (const char* path : {"/a/b/c", "/a/x", "/q"}) {
     auto before = original.handle(kLeft, pub(path));
     auto after = restored.handle(kLeft, pub(path));
-    std::multiset<int> b_targets, a_targets;
+    std::multiset<IfaceId> b_targets, a_targets;
     for (const auto& f : before.forwards) b_targets.insert(f.interface);
     for (const auto& f : after.forwards) a_targets.insert(f.interface);
     EXPECT_EQ(b_targets, a_targets) << path;
@@ -156,7 +156,7 @@ TEST(Snapshot, MergingRoundTripForwardingBitIdentical) {
     Message probe = pub(path);  // same doc id into both brokers
     auto before = original.handle(kLeft, probe);
     auto after = restored.handle(kLeft, probe);
-    std::multiset<std::pair<int, int>> b_fwd, a_fwd;
+    std::multiset<std::pair<IfaceId, int>> b_fwd, a_fwd;
     for (const auto& f : before.forwards) {
       b_fwd.emplace(f.interface, static_cast<int>(f.message.type()));
     }

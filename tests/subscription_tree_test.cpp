@@ -20,15 +20,15 @@ Xpe X(const char* s) { return parse_xpe(s); }
 
 TEST(SubscriptionTreeTest, InsertChainBuildsDepth) {
   SubscriptionTree tree;
-  auto r1 = tree.insert(X("/a"), 1);
+  auto r1 = tree.insert(X("/a"), IfaceId{1});
   EXPECT_TRUE(r1.was_new);
   EXPECT_FALSE(r1.covered_by_existing);
 
-  auto r2 = tree.insert(X("/a/b"), 1);
+  auto r2 = tree.insert(X("/a/b"), IfaceId{1});
   EXPECT_TRUE(r2.covered_by_existing);
   EXPECT_EQ(r2.node->parent->xpe, X("/a"));
 
-  auto r3 = tree.insert(X("/a/b/c"), 1);
+  auto r3 = tree.insert(X("/a/b/c"), IfaceId{1});
   EXPECT_TRUE(r3.covered_by_existing);
   EXPECT_EQ(r3.node->parent->xpe, X("/a/b"));
   EXPECT_EQ(tree.size(), 3u);
@@ -37,10 +37,10 @@ TEST(SubscriptionTreeTest, InsertChainBuildsDepth) {
 
 TEST(SubscriptionTreeTest, CaseTwoInsertAboveCovered) {
   SubscriptionTree tree;
-  tree.insert(X("/a/b/c"), 1);
-  tree.insert(X("/a/b/d"), 1);
+  tree.insert(X("/a/b/c"), IfaceId{1});
+  tree.insert(X("/a/b/d"), IfaceId{1});
   // The newcomer covers both existing top-level subscriptions.
-  auto r = tree.insert(X("/a/b"), 1);
+  auto r = tree.insert(X("/a/b"), IfaceId{1});
   EXPECT_FALSE(r.covered_by_existing);
   ASSERT_EQ(r.now_covered.size(), 2u);
   EXPECT_EQ(r.node->children.size(), 2u);
@@ -50,22 +50,22 @@ TEST(SubscriptionTreeTest, CaseTwoInsertAboveCovered) {
 
 TEST(SubscriptionTreeTest, DuplicateInsertAddsHop) {
   SubscriptionTree tree;
-  auto r1 = tree.insert(X("/a"), 1);
-  auto r2 = tree.insert(X("/a"), 2);
+  auto r1 = tree.insert(X("/a"), IfaceId{1});
+  auto r2 = tree.insert(X("/a"), IfaceId{2});
   EXPECT_TRUE(r1.was_new);
   EXPECT_FALSE(r2.was_new);
   EXPECT_EQ(r1.node, r2.node);
-  EXPECT_EQ(r2.node->hops, (std::set<int>{1, 2}));
+  EXPECT_EQ(r2.node->hops, ifaces({1, 2}));
   EXPECT_EQ(tree.size(), 1u);
 }
 
 TEST(SubscriptionTreeTest, SuperPointerAcrossSubtrees) {
   SubscriptionTree tree;
-  tree.insert(X("/a/b"), 1);   // goes under root
-  tree.insert(X("/*/b"), 1);   // incomparable order: also under root? no —
+  tree.insert(X("/a/b"), IfaceId{1});   // goes under root
+  tree.insert(X("/*/b"), IfaceId{1});   // incomparable order: also under root? no —
                                // /*/b covers /a/b, so Case 2 nests them.
   // Build a genuine DAG: /a covers /a/b but not /*/b; /*/b covers /a/b.
-  tree.insert(X("/a"), 1);
+  tree.insert(X("/a"), IfaceId{1});
   EXPECT_EQ(tree.validate(), "");
 
   // /a/b is covered by both /a (or /*/b) via the tree and the other via a
@@ -79,7 +79,7 @@ TEST(SubscriptionTreeTest, SuperPointerAcrossSubtrees) {
 
 TEST(SubscriptionTreeTest, CoveredQuery) {
   SubscriptionTree tree;
-  tree.insert(X("/a/*"), 1);
+  tree.insert(X("/a/*"), IfaceId{1});
   EXPECT_TRUE(tree.covered(X("/a/b")));
   EXPECT_TRUE(tree.covered(X("/a/b/c")));
   EXPECT_FALSE(tree.covered(X("/b")));
@@ -89,53 +89,53 @@ TEST(SubscriptionTreeTest, CoveredQuery) {
 
 TEST(SubscriptionTreeTest, MatchPrunesButStaysExact) {
   SubscriptionTree tree;
-  tree.insert(X("/a"), 1);
-  tree.insert(X("/a/b"), 2);
-  tree.insert(X("/a/b/c"), 3);
-  tree.insert(X("/x"), 4);
+  tree.insert(X("/a"), IfaceId{1});
+  tree.insert(X("/a/b"), IfaceId{2});
+  tree.insert(X("/a/b/c"), IfaceId{3});
+  tree.insert(X("/x"), IfaceId{4});
 
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b/c")), (std::set<int>{1, 2, 3}));
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1, 2}));
-  EXPECT_EQ(tree.match_hops(parse_path("/a/z")), (std::set<int>{1}));
-  EXPECT_EQ(tree.match_hops(parse_path("/x/y")), (std::set<int>{4}));
-  EXPECT_EQ(tree.match_hops(parse_path("/q")), (std::set<int>{}));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b/c")), ifaces({1, 2, 3}));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), ifaces({1, 2}));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/z")), ifaces({1}));
+  EXPECT_EQ(tree.match_hops(parse_path("/x/y")), ifaces({4}));
+  EXPECT_EQ(tree.match_hops(parse_path("/q")), ifaces({}));
 }
 
 TEST(SubscriptionTreeTest, RemoveLeafAndInner) {
   SubscriptionTree tree;
-  tree.insert(X("/a"), 1);
-  tree.insert(X("/a/b"), 1);
-  tree.insert(X("/a/b/c"), 1);
+  tree.insert(X("/a"), IfaceId{1});
+  tree.insert(X("/a/b"), IfaceId{1});
+  tree.insert(X("/a/b/c"), IfaceId{1});
 
   // Removing the middle node splices its child to /a.
-  EXPECT_TRUE(tree.remove(X("/a/b"), 1));
+  EXPECT_TRUE(tree.remove(X("/a/b"), IfaceId{1}));
   EXPECT_EQ(tree.size(), 2u);
   const SubscriptionTree::Node* abc = tree.find(X("/a/b/c"));
   ASSERT_NE(abc, nullptr);
   EXPECT_EQ(abc->parent->xpe, X("/a"));
   EXPECT_EQ(tree.validate(), "");
 
-  EXPECT_FALSE(tree.remove(X("/a/b"), 1));  // already gone
-  EXPECT_TRUE(tree.remove(X("/a"), 1));
-  EXPECT_TRUE(tree.remove(X("/a/b/c"), 1));
+  EXPECT_FALSE(tree.remove(X("/a/b"), IfaceId{1}));  // already gone
+  EXPECT_TRUE(tree.remove(X("/a"), IfaceId{1}));
+  EXPECT_TRUE(tree.remove(X("/a/b/c"), IfaceId{1}));
   EXPECT_TRUE(tree.empty());
 }
 
 TEST(SubscriptionTreeTest, RemoveOnlyDropsGivenHop) {
   SubscriptionTree tree;
-  tree.insert(X("/a"), 1);
-  tree.insert(X("/a"), 2);
-  EXPECT_TRUE(tree.remove(X("/a"), 1));
+  tree.insert(X("/a"), IfaceId{1});
+  tree.insert(X("/a"), IfaceId{2});
+  EXPECT_TRUE(tree.remove(X("/a"), IfaceId{1}));
   EXPECT_EQ(tree.size(), 1u);
-  EXPECT_TRUE(tree.remove(X("/a"), 2));
+  EXPECT_TRUE(tree.remove(X("/a"), IfaceId{2}));
   EXPECT_TRUE(tree.empty());
 }
 
 TEST(SubscriptionTreeTest, SuperPointerCleanupOnRemove) {
   SubscriptionTree tree;
-  tree.insert(X("/a/b"), 1);
-  tree.insert(X("/a"), 1);
-  tree.insert(X("/*/b"), 1);  // super pointer to /a/b
+  tree.insert(X("/a/b"), IfaceId{1});
+  tree.insert(X("/a"), IfaceId{1});
+  tree.insert(X("/*/b"), IfaceId{1});  // super pointer to /a/b
   EXPECT_EQ(tree.validate(), "");
   EXPECT_TRUE(tree.erase(X("/*/b")));
   EXPECT_EQ(tree.validate(), "");
@@ -147,24 +147,24 @@ TEST(SubscriptionTreeTest, SuperPointerCleanupOnRemove) {
 TEST(SubscriptionTreeTest, RelativeNeverUnderAbsolute) {
   // Paper's "Property of a Relative XPE node".
   SubscriptionTree tree;
-  tree.insert(X("/a"), 1);
-  tree.insert(X("a/b"), 1);  // relative
+  tree.insert(X("/a"), IfaceId{1});
+  tree.insert(X("a/b"), IfaceId{1});  // relative
   const SubscriptionTree::Node* rel = tree.find(X("a/b"));
   ASSERT_NE(rel, nullptr);
   EXPECT_EQ(rel->parent, tree.root());
 
   // But an absolute under a relative coverer is fine: "b" covers "/x/b".
-  tree.insert(X("b"), 1);
-  auto r = tree.insert(X("/x/b"), 1);
+  tree.insert(X("b"), IfaceId{1});
+  auto r = tree.insert(X("/x/b"), IfaceId{1});
   EXPECT_TRUE(r.covered_by_existing);
   EXPECT_EQ(tree.validate(), "");
 }
 
 TEST(SubscriptionTreeTest, NowCoveredOnlyReportsTopLevel) {
   SubscriptionTree tree;
-  tree.insert(X("/a/b"), 1);
-  tree.insert(X("/a/b/c"), 1);  // nested under /a/b
-  auto r = tree.insert(X("/a"), 1);
+  tree.insert(X("/a/b"), IfaceId{1});
+  tree.insert(X("/a/b/c"), IfaceId{1});  // nested under /a/b
+  auto r = tree.insert(X("/a"), IfaceId{1});
   // Only /a/b is top-level; /a/b/c was already covered.
   ASSERT_EQ(r.now_covered.size(), 1u);
   EXPECT_EQ(r.now_covered[0], X("/a/b"));
@@ -174,30 +174,30 @@ TEST(SubscriptionTreeTest, TrackCoveredOffStillCorrect) {
   SubscriptionTree::Options opts;
   opts.track_covered = false;
   SubscriptionTree tree(opts);
-  tree.insert(X("/a/b"), 1);
-  tree.insert(X("/c"), 2);
-  auto r = tree.insert(X("/*/b"), 3);
+  tree.insert(X("/a/b"), IfaceId{1});
+  tree.insert(X("/c"), IfaceId{2});
+  auto r = tree.insert(X("/*/b"), IfaceId{3});
   // Without tracking, cross-subtree covered subscriptions are not
   // reported, but matching stays exact... /*/b covers /a/b which is a
   // sibling scan at the same level, so Case 2 still nests it.
   EXPECT_EQ(r.now_covered.size(), 1u);
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1, 3}));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), ifaces({1, 3}));
   EXPECT_EQ(tree.validate(), "");
 }
 
 TEST(SubscriptionTreeTest, ComparisonsCounterAdvances) {
   SubscriptionTree tree;
-  tree.insert(X("/a"), 1);
+  tree.insert(X("/a"), IfaceId{1});
   std::size_t before = tree.comparisons();
-  tree.insert(X("/a/b"), 1);
+  tree.insert(X("/a/b"), IfaceId{1});
   EXPECT_GT(tree.comparisons(), before);
 }
 
 TEST(SubscriptionTreeTest, MergeChildrenBasics) {
   SubscriptionTree tree;
-  tree.insert(X("/a/b/a"), 1);
-  tree.insert(X("/a/b/b"), 2);
-  tree.insert(X("/a/b/a/x"), 3);  // child of /a/b/a
+  tree.insert(X("/a/b/a"), IfaceId{1});
+  tree.insert(X("/a/b/b"), IfaceId{2});
+  tree.insert(X("/a/b/a/x"), IfaceId{3});  // child of /a/b/a
 
   std::vector<SubscriptionTree::Node*> originals{tree.find(X("/a/b/a")),
                                                  tree.find(X("/a/b/b"))};
@@ -205,7 +205,7 @@ TEST(SubscriptionTreeTest, MergeChildrenBasics) {
       tree.merge_children(tree.root(), originals, X("/a/b/*"));
   ASSERT_NE(merger, nullptr);
   EXPECT_TRUE(merger->merger);
-  EXPECT_EQ(merger->hops, (std::set<int>{1, 2}));
+  EXPECT_EQ(merger->hops, ifaces({1, 2}));
   EXPECT_EQ(merger->merged_from.size(), 2u);
   // The original's child now hangs under the merger.
   const SubscriptionTree::Node* grandchild = tree.find(X("/a/b/a/x"));
@@ -214,14 +214,14 @@ TEST(SubscriptionTreeTest, MergeChildrenBasics) {
   EXPECT_EQ(tree.size(), 2u);
   EXPECT_EQ(tree.validate(), "");
   // Matching routes to the merger's (unioned) hops.
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b/b")), (std::set<int>{1, 2}));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b/b")), ifaces({1, 2}));
 }
 
 TEST(SubscriptionTreeTest, MergeCollisionReturnsNull) {
   SubscriptionTree tree;
-  tree.insert(X("/a/*"), 9);
-  tree.insert(X("/q/a"), 1);
-  tree.insert(X("/q/b"), 2);
+  tree.insert(X("/a/*"), IfaceId{9});
+  tree.insert(X("/q/a"), IfaceId{1});
+  tree.insert(X("/q/b"), IfaceId{2});
   // Merger XPE already exists elsewhere: merge must be refused.
   std::vector<SubscriptionTree::Node*> originals{tree.find(X("/q/a")),
                                                  tree.find(X("/q/b"))};
@@ -265,8 +265,8 @@ TEST(SubscriptionTreeTest, IndexedMatchEqualsScanOnRandomChurn) {
     // Insert everything, interleaving removals of every third XPE so the
     // index sees root-set churn (splice-to-root on detach included).
     for (std::size_t i = 0; i < xpes.size(); ++i) {
-      tree.insert(xpes[i], static_cast<int>(i % 16));
-      if (i % 3 == 2) tree.remove(xpes[i - 1], static_cast<int>((i - 1) % 16));
+      tree.insert(xpes[i], IfaceId{static_cast<int>(i % 16)});
+      if (i % 3 == 2) tree.remove(xpes[i - 1], IfaceId{static_cast<int>((i - 1) % 16)});
     }
     ASSERT_EQ(tree.validate(), "");
     for (const Path& p : probes) {
@@ -281,26 +281,26 @@ TEST(SubscriptionTreeTest, IndexedMatchEqualsScanOnRandomChurn) {
 
 TEST(SubscriptionTreeTest, IndexedMatchSeesMutationsImmediately) {
   SubscriptionTree tree;
-  tree.insert(X("/a/b"), 1);
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1}));
+  tree.insert(X("/a/b"), IfaceId{1});
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), ifaces({1}));
   // Root-set mutation after a match (index built): new root must be found.
-  tree.insert(X("/x"), 2);
-  EXPECT_EQ(tree.match_hops(parse_path("/x")), (std::set<int>{2}));
+  tree.insert(X("/x"), IfaceId{2});
+  EXPECT_EQ(tree.match_hops(parse_path("/x")), ifaces({2}));
   // Removal must drop it again.
-  tree.remove(X("/x"), 2);
-  EXPECT_EQ(tree.match_hops(parse_path("/x")), (std::set<int>{}));
+  tree.remove(X("/x"), IfaceId{2});
+  EXPECT_EQ(tree.match_hops(parse_path("/x")), ifaces({}));
   // Detaching a root splices its children to the root: still matched.
-  tree.insert(X("/a"), 3);
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1, 3}));
-  tree.remove(X("/a"), 3);
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{1}));
+  tree.insert(X("/a"), IfaceId{3});
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), ifaces({1, 3}));
+  tree.remove(X("/a"), IfaceId{3});
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), ifaces({1}));
 }
 
 TEST(SubscriptionTreeTest, CoverCacheServesRepeatsWithoutStaleResults) {
   SubscriptionTree tree;
   // insert → query: /a covers /a/b, so the newcomer is absorbed.
-  tree.insert(X("/a"), 1);
-  auto first = tree.insert(X("/a/b"), 2);
+  tree.insert(X("/a"), IfaceId{1});
+  auto first = tree.insert(X("/a/b"), IfaceId{2});
   EXPECT_TRUE(first.covered_by_existing);
   EXPECT_TRUE(tree.covered(X("/a/b")));
 
@@ -309,10 +309,10 @@ TEST(SubscriptionTreeTest, CoverCacheServesRepeatsWithoutStaleResults) {
   // valid across the mutation by construction.
   tree.erase(X("/a"));
   EXPECT_FALSE(tree.covered(X("/a/b")));
-  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), (std::set<int>{2}));
+  EXPECT_EQ(tree.match_hops(parse_path("/a/b")), ifaces({2}));
 
   // re-insert → query: same value, same uids, same (still correct) verdict.
-  auto again = tree.insert(X("/a"), 1);
+  auto again = tree.insert(X("/a"), IfaceId{1});
   EXPECT_FALSE(again.covered_by_existing);
   EXPECT_TRUE(tree.covered(X("/a/b")));
   // The repeats above were answered from the memo at least once.
@@ -322,7 +322,7 @@ TEST(SubscriptionTreeTest, CoverCacheServesRepeatsWithoutStaleResults) {
 
 TEST(SubscriptionTreeTest, CoverCacheHitsStillCountAsComparisons) {
   SubscriptionTree tree;
-  tree.insert(X("/a"), 1);
+  tree.insert(X("/a"), IfaceId{1});
   std::size_t before = tree.comparisons();
   EXPECT_TRUE(tree.covered(X("/a/b")));
   std::size_t cold = tree.comparisons() - before;

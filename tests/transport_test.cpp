@@ -442,7 +442,10 @@ TEST(TransportOverlay, PerConnectionMetricsSeriesAppear) {
 
 // The differential acceptance test: ISSUE scenario over loopback TCP vs
 // the discrete-event simulator — identical per-client delivery sets.
-TEST(TransportDifferential, TcpOverlayMatchesSimulatorDeliverySets) {
+// `match_threads` configures the TCP brokers only: the simulator reference
+// is always sequential, so the threaded overlay is held to the sequential
+// delivery contract.
+void run_tcp_vs_simulator_differential(std::size_t match_threads) {
   const char* kXpes[] = {"/a", "/a/b", "//c", "/d//e", "/a//c"};
   const char* kPaths[] = {"/a/b", "/a/b/c", "/d/x/e", "/q", "/a"};
   const int kSubscriberBroker[] = {1, 3, 5, 6, 2};
@@ -481,6 +484,7 @@ TEST(TransportDifferential, TcpOverlayMatchesSimulatorDeliverySets) {
   // -- Same scenario over real sockets.
   LoopbackOverlay::Options opts;
   opts.config = config;
+  opts.config.match_threads = match_threads;
   LoopbackOverlay overlay(topology, opts);
   ASSERT_TRUE(overlay.start());
   std::vector<TransportClient*> tcp_clients;
@@ -508,6 +512,24 @@ TEST(TransportDifferential, TcpOverlayMatchesSimulatorDeliverySets) {
     EXPECT_EQ(tcp_clients[i]->duplicate_publications(), 0u)
         << "subscriber " << i << " received duplicates";
   }
+
+  if (match_threads > 1) {
+    // The threaded brokers really ran the parallel engine, and its
+    // metrics surface through the registry export.
+    std::string metrics = overlay.broker(kPublisherBroker).metrics_json();
+    EXPECT_NE(metrics.find("match.epochs"), std::string::npos);
+    EXPECT_NE(metrics.find("match.worker_tasks"), std::string::npos);
+  }
+}
+
+TEST(TransportDifferential, TcpOverlayMatchesSimulatorDeliverySets) {
+  run_tcp_vs_simulator_differential(/*match_threads=*/1);
+}
+
+// PR 5: the same differential with every TCP broker matching on a 4-worker
+// pool behind its event loop. Delivery sets must not move.
+TEST(TransportDifferential, ThreadedTcpOverlayMatchesSimulatorDeliverySets) {
+  run_tcp_vs_simulator_differential(/*match_threads=*/4);
 }
 
 }  // namespace

@@ -268,13 +268,13 @@ TEST(WireFrameDecoder, ErrorsAreSticky) {
 Broker populated_broker() {
   Broker::Config config;
   Broker broker(1, config);
-  broker.add_neighbor(0);
-  broker.add_neighbor(1);
-  broker.add_client(2);
-  broker.handle(0, Message::advertise(parse_advertisement("/a/b"), 7));
-  broker.handle(0, Message::advertise(parse_advertisement("/a/b/c"), 7));
-  broker.handle(2, Message::subscribe(parse_xpe("/a/b")));
-  broker.handle(1, Message::subscribe(parse_xpe("/a/b/c")));
+  broker.add_neighbor(IfaceId{0});
+  broker.add_neighbor(IfaceId{1});
+  broker.add_client(IfaceId{2});
+  broker.handle(IfaceId{0}, Message::advertise(parse_advertisement("/a/b"), 7));
+  broker.handle(IfaceId{0}, Message::advertise(parse_advertisement("/a/b/c"), 7));
+  broker.handle(IfaceId{2}, Message::subscribe(parse_xpe("/a/b")));
+  broker.handle(IfaceId{1}, Message::subscribe(parse_xpe("/a/b/c")));
   return broker;
 }
 
@@ -290,9 +290,9 @@ TEST(WireSnapshot, FullSnapshotRoundTripsThroughSyncState) {
   EXPECT_EQ(state.state, snapshot);
 
   Broker restored(1, Broker::Config{});
-  restored.add_neighbor(0);
-  restored.add_neighbor(1);
-  restored.add_client(2);
+  restored.add_neighbor(IfaceId{0});
+  restored.add_neighbor(IfaceId{1});
+  restored.add_client(IfaceId{2});
   snapshot_from_string(restored, state.state);
   EXPECT_EQ(snapshot_to_string(restored), snapshot);
   EXPECT_EQ(restored.srt_size(), broker.srt_size());
@@ -301,7 +301,7 @@ TEST(WireSnapshot, FullSnapshotRoundTripsThroughSyncState) {
 
 TEST(WireSnapshot, LinkStateExportImportRoundTripsThroughWire) {
   Broker broker = populated_broker();
-  std::string exported = export_link_state(broker, 1);
+  std::string exported = export_link_state(broker, IfaceId{1});
   ASSERT_NE(exported.find("xroute-link-sync 1"), std::string::npos);
 
   wire::Decoded decoded =
@@ -313,8 +313,8 @@ TEST(WireSnapshot, LinkStateExportImportRoundTripsThroughWire) {
   // The restarted neighbour imports the decoded slice and regains routing
   // state for the shared link.
   Broker restarted(2, Broker::Config{});
-  restarted.add_neighbor(0);
-  import_link_state(restarted, 0, state.state);
+  restarted.add_neighbor(IfaceId{0});
+  import_link_state(restarted, IfaceId{0}, state.state);
   EXPECT_GT(restarted.srt_size() + restarted.prt_size(), 0u);
 }
 
@@ -328,9 +328,9 @@ TEST(WireSnapshot, MalformedVersionHeaderIsRejectedAfterDecode) {
   ASSERT_EQ(decoded.status, DecodeStatus::kOk);
 
   Broker restarted(2, Broker::Config{});
-  restarted.add_neighbor(0);
+  restarted.add_neighbor(IfaceId{0});
   EXPECT_THROW(
-      import_link_state(restarted, 0,
+      import_link_state(restarted, IfaceId{0},
                         std::get<SyncStateMsg>(decoded.message.payload).state),
       ParseError);
 

@@ -32,9 +32,13 @@
 //
 //   broker <id> <host> <port>
 //   link <a> <b>
+//   option <key> <value>      broker knob (router/broker_options.hpp),
+//                             e.g. 'option threads 4', 'option merging on'
 //
 // Every broker of one overlay is served from the same file; the lower id
 // of each link dials the higher, so a link is exactly one TCP connection.
+// `serve --threads N` and `--option key=value` override the file's knobs;
+// all three spellings run through the same apply_broker_option() parser.
 //
 // Exit code: 0 on success (for `covers`: 0 = covers, 1 = does not; for
 // `faultsim`: 0 = delivery equal to the fault-free reference, 1 = not; for
@@ -62,6 +66,7 @@
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
 #include "obs/export.hpp"
+#include "router/broker_options.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "transport/broker_node.hpp"
@@ -91,7 +96,8 @@ const char kUsage[] =
     "  metrics <plan-file>           fault plan -> metrics JSON\n"
     "\n"
     "network commands:\n"
-    "  serve <overlay-file> <id> [--advertisements]\n"
+    "  serve <overlay-file> <id> [--advertisements] [--threads N]\n"
+    "        [--option key=value]...\n"
     "                                run one broker until SIGINT/SIGTERM\n"
     "  connect <host> <port>         handshake with a broker and exit\n"
     "  sub <host> <port> '<xpe>'... [--count N]\n"
@@ -233,6 +239,14 @@ ScenarioRun run_scenario(Simulator& sim, const FaultPlan& plan, bool faulted,
 
   Broker::Config config;
   config.use_advertisements = false;
+  for (const auto& [key, value] : plan.broker_options) {
+    // Re-validated here (the plan parser already checked) so a plan built
+    // programmatically fails just as loudly as a file-driven one.
+    if (std::string err = apply_broker_option(config, key, value);
+        !err.empty()) {
+      throw std::runtime_error("fault plan option: " + err);
+    }
+  }
   for (std::size_t i = 0; i < topology.num_brokers; ++i) sim.add_broker(config);
   for (auto [a, b] : topology.edges) sim.connect(a, b, LinkConfig{});
   if (faulted) sim.apply_fault_plan(plan);
@@ -433,7 +447,8 @@ std::uint16_t parse_port(const std::string& text) {
   return static_cast<std::uint16_t>(value);
 }
 
-/// The `serve` overlay description: every broker's address plus the links.
+/// The `serve` overlay description: every broker's address plus the links
+/// and the shared broker configuration (`option` lines).
 struct OverlayFile {
   struct BrokerSpec {
     std::string host;
@@ -441,10 +456,15 @@ struct OverlayFile {
   };
   std::map<int, BrokerSpec> brokers;
   std::vector<std::pair<int, int>> links;
+  BrokerOptions config;
 };
 
 OverlayFile parse_overlay_file(std::istream& in) {
   OverlayFile overlay;
+  // Served overlays have no advertising publisher unless asked: flooded
+  // subscriptions by default (`option advertisements on` or the
+  // --advertisements flag restore the paper's advertisement-based mode).
+  overlay.config.use_advertisements = false;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -468,6 +488,13 @@ OverlayFile parse_overlay_file(std::istream& in) {
       if (!(ls >> a >> b)) throw fail("expected 'link <a> <b>'");
       if (a == b) throw fail("a link needs two distinct brokers");
       overlay.links.emplace_back(a, b);
+    } else if (word == "option") {
+      std::string key, value;
+      if (!(ls >> key >> value)) throw fail("expected 'option <key> <value>'");
+      if (std::string err = apply_broker_option(overlay.config, key, value);
+          !err.empty()) {
+        throw fail(err);
+      }
     } else {
       throw fail("unknown declaration '" + word + "'");
     }
@@ -485,11 +512,27 @@ OverlayFile parse_overlay_file(std::istream& in) {
 int cmd_serve(const std::vector<std::string>& args) {
   std::vector<std::string> positional;
   bool advertisements = false;
-  for (const std::string& arg : args) {
-    if (arg == "--advertisements") {
+  // (key, value) overrides, applied over the overlay file's `option`
+  // lines in command-line order so the last spelling of a knob wins.
+  std::vector<std::pair<std::string, std::string>> overrides;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--advertisements") {
       advertisements = true;
+    } else if (args[i] == "--threads") {
+      if (++i >= args.size()) throw UsageError("serve: --threads needs a count");
+      overrides.emplace_back("threads", args[i]);
+    } else if (args[i] == "--option") {
+      if (++i >= args.size()) {
+        throw UsageError("serve: --option needs key=value");
+      }
+      std::size_t eq = args[i].find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw UsageError("serve: --option needs key=value, got '" + args[i] +
+                         "'");
+      }
+      overrides.emplace_back(args[i].substr(0, eq), args[i].substr(eq + 1));
     } else {
-      positional.push_back(arg);
+      positional.push_back(args[i]);
     }
   }
   if (positional.size() != 2) {
@@ -513,9 +556,19 @@ int cmd_serve(const std::vector<std::string>& args) {
   transport::TransportBroker::Options opts;
   opts.id = self;
   opts.listen_port = spec->second.port;
-  // Without a publisher advertising, routing needs flooded subscriptions;
-  // --advertisements restores the paper's advertisement-based mode.
-  opts.config.use_advertisements = advertisements;
+  opts.config = overlay.config;
+  if (advertisements) opts.config.use_advertisements = true;
+  for (const auto& [key, value] : overrides) {
+    if (std::string err = apply_broker_option(opts.config, key, value);
+        !err.empty()) {
+      throw UsageError("serve: " + err);
+    }
+  }
+  // Surface an invalid combination as a usage error (exit 2) here rather
+  // than as the broker constructor's invalid_argument.
+  if (std::string err = opts.config.validate(); !err.empty()) {
+    throw UsageError("serve: " + err);
+  }
   transport::TransportBroker broker(std::move(opts));
   broker.start();
   std::cerr << "broker " << self << " listening on port " << broker.port()
