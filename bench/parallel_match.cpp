@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "dtd/universe.hpp"
 #include "metrics_snapshot.hpp"
 #include "obs/metrics.hpp"
@@ -39,8 +41,12 @@
 #include "router/match_scheduler.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/symbols.hpp"
 #include "workload/dtd_corpus.hpp"
 #include "workload/set_builder.hpp"
+#include "workload/xml_gen.hpp"
+#include "xml/parser.hpp"
+#include "xml/stream_parser.hpp"
 
 using namespace xroute;
 
@@ -87,8 +93,137 @@ struct SweepPoint {
   double projected_speedup = 1.0;
   std::uint64_t epochs = 0;
   std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
   std::vector<MatchScheduler::WorkerStats> workers;
 };
+
+/// Per-publication CPU cost of each pipeline stage, measured in isolation
+/// over the same document stream (one thread; a "pub" is one path, as on
+/// the wire). parse covers wire bytes -> paths; parse_tree is the DOM
+/// reference pipeline's figure for the same documents — the streaming
+/// tentpole's before/after pair.
+struct StageBreakdown {
+  std::size_t docs = 0;
+  std::size_t paths = 0;
+  double parse_ns = 0.0;
+  double parse_tree_ns = 0.0;
+  double intern_ns = 0.0;
+  double match_ns = 0.0;
+  double merge_ns = 0.0;
+};
+
+/// Repeats `body` (one full pass over the corpus) until it has consumed
+/// `min_ns` of thread CPU; returns CPU ns per pass.
+template <typename F>
+double timed_passes(double min_ns, F&& body) {
+  std::uint64_t start = thread_cpu_ns();
+  std::size_t passes = 0;
+  std::uint64_t spent = 0;
+  do {
+    body();
+    ++passes;
+    spent = thread_cpu_ns() - start;
+  } while (static_cast<double>(spent) < min_ns);
+  return static_cast<double>(spent) / static_cast<double>(passes);
+}
+
+StageBreakdown measure_stages(const Dtd& dtd, const CoverSet& set, int hops,
+                              std::uint64_t seed, double min_seconds) {
+  // A fresh PRT mirroring the sweep broker's table, matched directly so
+  // each stage can be timed without the scheduler around it.
+  Prt prt(/*covering=*/true);
+  for (std::size_t i = 0; i < set.xpes.size(); ++i) {
+    prt.insert(set.xpes[i], IfaceId{1 + static_cast<int>(i) % hops});
+  }
+  prt.prepare_match();
+
+  Rng rng(static_cast<std::uint64_t>(seed) + 7);
+  StageBreakdown stages;
+  stages.docs = 64;
+  std::vector<std::string> texts;
+  for (std::size_t i = 0; i < stages.docs; ++i) {
+    texts.push_back(generate_document(dtd, rng).serialize());
+  }
+
+  const double min_ns = min_seconds * 1e9 / 4.0;
+  StreamPathExtractor extractor;
+
+  // parse: streaming — bytes to paths (interning happens inline here, so
+  // this stage subsumes symbol resolution; intern below prices the
+  // per-match re-intern the tree pipeline pays instead).
+  double parse_pass = timed_passes(min_ns, [&] {
+    stages.paths = 0;
+    for (const std::string& text : texts) {
+      extractor.extract(text);
+      stages.paths += extractor.paths().size();
+    }
+  });
+  stages.parse_ns = parse_pass / static_cast<double>(stages.paths);
+
+  // parse_tree: the DOM reference pipeline over the same bytes.
+  double tree_pass = timed_passes(min_ns, [&] {
+    for (const std::string& text : texts) {
+      std::vector<Path> paths = extract_paths(parse_xml(text));
+      (void)paths;
+    }
+  });
+  stages.parse_tree_ns = tree_pass / static_cast<double>(stages.paths);
+
+  // Materialised corpus for the downstream stages.
+  std::vector<Path> corpus;
+  for (const std::string& text : texts) {
+    std::vector<Path> paths = stream_extract_paths(text);
+    corpus.insert(corpus.end(), paths.begin(), paths.end());
+  }
+
+  // intern: path -> symbol ids (the scheduler's per-pub staging cost).
+  std::vector<std::uint32_t> storage;
+  double intern_pass = timed_passes(min_ns, [&] {
+    for (const Path& p : corpus) {
+      PathView view = intern_path(p, storage);
+      (void)view;
+    }
+  });
+  stages.intern_ns = intern_pass / static_cast<double>(corpus.size());
+
+  // match: full-table shard match per interned path.
+  std::vector<InternedPath> interned(corpus.begin(), corpus.end());
+  std::vector<std::vector<std::uint32_t>> distinct(interned.size());
+  for (std::size_t i = 0; i < interned.size(); ++i) {
+    for (std::uint32_t sym : interned[i].symbols) {
+      if (sym == SymbolTable::kNoSymbol) continue;
+      auto& d = distinct[i];
+      if (std::find(d.begin(), d.end(), sym) == d.end()) d.push_back(sym);
+    }
+  }
+  Prt::ShardMatch cell;
+  double match_pass = timed_passes(min_ns, [&] {
+    for (std::size_t i = 0; i < interned.size(); ++i) {
+      cell.clear();
+      prt.match_shard(interned[i].view(), distinct[i], 0, 1, &cell);
+    }
+  });
+  stages.match_ns = match_pass / static_cast<double>(interned.size());
+
+  // merge: canonicalising the per-pub hop list (sort + unique).
+  std::vector<std::vector<IfaceId>> raw_hops(interned.size());
+  for (std::size_t i = 0; i < interned.size(); ++i) {
+    cell.clear();
+    prt.match_shard(interned[i].view(), distinct[i], 0, 1, &cell);
+    raw_hops[i] = cell.hops;
+  }
+  std::vector<IfaceId> scratch;
+  double merge_pass = timed_passes(min_ns, [&] {
+    for (const auto& hops_list : raw_hops) {
+      scratch.assign(hops_list.begin(), hops_list.end());
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+    }
+  });
+  stages.merge_ns = merge_pass / static_cast<double>(interned.size());
+  return stages;
+}
 
 }  // namespace
 
@@ -96,7 +231,7 @@ int main(int argc, char** argv) {
   Flags flags("Parallel matching engine thread sweep (1/2/4/8 workers)");
   flags.define("subs", "10000", "subscription count (PRT size)");
   flags.define("pubs", "512", "publication paths per timed batch");
-  flags.define("batch", "64", "publications per handle_batch call");
+  flags.define("batch", "256", "publications per handle_batch call");
   flags.define("hops", "64", "distinct last-hop interfaces");
   flags.define("seed", "1", "workload seed");
   flags.define("rate", "0.9", "target covering rate of the subscription set");
@@ -187,6 +322,8 @@ int main(int argc, char** argv) {
     }
     std::size_t reps = 0;
     double elapsed = 0.0;
+    std::vector<Broker::Inbound> inbound;
+    inbound.reserve(batch);
     const std::uint64_t cpu_start = thread_cpu_ns();
     auto start = Clock::now();
     do {
@@ -194,7 +331,7 @@ int main(int argc, char** argv) {
         std::get<PublishMsg>(m.payload).doc_id = doc_id++;
       }
       for (std::size_t begin = 0; begin < messages.size(); begin += batch) {
-        std::vector<Broker::Inbound> inbound;
+        inbound.clear();
         std::size_t end = std::min(begin + batch, messages.size());
         for (std::size_t i = begin; i < end; ++i) {
           inbound.push_back(
@@ -215,6 +352,7 @@ int main(int argc, char** argv) {
     if (const MatchScheduler* scheduler = broker.scheduler()) {
       point.epochs = scheduler->epochs();
       point.tasks = scheduler->total_tasks();
+      point.steals = scheduler->total_steals();
       point.workers = scheduler->worker_stats();
       std::uint64_t busy_after = 0;
       for (const auto& w : point.workers) busy_after += w.busy_ns;
@@ -263,15 +401,35 @@ int main(int argc, char** argv) {
     }
   }
   // Wall clock needs the pool and the control thread to genuinely run in
-  // parallel; otherwise report the CPU-time projection and say so.
-  const bool wall_honest = cores > 4;
-  const double speedup_at_4 = wall_honest ? measured_at_4 : projected_at_4;
+  // parallel; otherwise the machine is cores-limited: the headline follows
+  // speedup_basis to the CPU-time projection and the JSON says so.
+  const bool cores_limited = cores <= 4;
+  const char* speedup_basis =
+      cores_limited ? "critical_path_projection" : "wall_clock";
+  const double speedup_at_4 = cores_limited ? projected_at_4 : measured_at_4;
   std::cout << "speedup at 4 workers: " << speedup_at_4 << "x ("
-            << (wall_honest ? "wall clock" : "critical-path projection; ")
-            << (wall_honest ? ""
-                            : "machine has too few cores for a wall-clock "
-                              "measurement")
+            << (cores_limited ? "critical-path projection; machine has too "
+                                "few cores for a wall-clock measurement"
+                              : "wall clock")
             << ")\n";
+
+  // ---- Pipeline stage breakdown ---------------------------------------
+  StageBreakdown stages = measure_stages(dtd, set, hops,
+                                         flags.get_int64("seed"), min_seconds);
+  std::cout << "stage ns/pub: parse " << stages.parse_ns << " (tree "
+            << stages.parse_tree_ns << "), intern " << stages.intern_ns
+            << ", match " << stages.match_ns << ", merge " << stages.merge_ns
+            << "\n";
+  registry.gauge("bench.stage_ns_per_pub", {{"stage", "parse"}})
+      .set(stages.parse_ns);
+  registry.gauge("bench.stage_ns_per_pub", {{"stage", "parse_tree"}})
+      .set(stages.parse_tree_ns);
+  registry.gauge("bench.stage_ns_per_pub", {{"stage", "intern"}})
+      .set(stages.intern_ns);
+  registry.gauge("bench.stage_ns_per_pub", {{"stage", "match"}})
+      .set(stages.match_ns);
+  registry.gauge("bench.stage_ns_per_pub", {{"stage", "merge"}})
+      .set(stages.merge_ns);
 
   std::ofstream out(flags.get_string("out"));
   out << "{\n"
@@ -294,15 +452,25 @@ int main(int argc, char** argv) {
         << point.ctl_cpu_ns_per_pub << ", \"worker_busy_ns_per_pub\": "
         << point.worker_busy_ns_per_pub << ", \"critical_path_ns_per_pub\": "
         << point.critical_path_ns_per_pub << ", \"epochs\": " << point.epochs
-        << ", \"tasks\": " << point.tasks << "}"
-        << (i + 1 < sweep.size() ? ",\n" : "\n");
+        << ", \"tasks\": " << point.tasks << ", \"steals\": " << point.steals
+        << "}" << (i + 1 < sweep.size() ? ",\n" : "\n");
   }
   out << "  ],\n"
+      << "  \"stage_breakdown\": {\n"
+      << "    \"docs\": " << stages.docs << ",\n"
+      << "    \"paths\": " << stages.paths << ",\n"
+      << "    \"parse_ns_per_pub\": " << stages.parse_ns << ",\n"
+      << "    \"parse_tree_ns_per_pub\": " << stages.parse_tree_ns << ",\n"
+      << "    \"intern_ns_per_pub\": " << stages.intern_ns << ",\n"
+      << "    \"match_ns_per_pub\": " << stages.match_ns << ",\n"
+      << "    \"merge_ns_per_pub\": " << stages.merge_ns << "\n"
+      << "  },\n"
       << "  \"speedup_at_4_workers\": " << speedup_at_4 << ",\n"
       << "  \"speedup_at_4_workers_measured\": " << measured_at_4 << ",\n"
       << "  \"speedup_at_4_workers_projected\": " << projected_at_4 << ",\n"
-      << "  \"speedup_basis\": \""
-      << (wall_honest ? "wall_clock" : "critical_path_projection") << "\",\n";
+      << "  \"speedup_basis\": \"" << speedup_basis << "\",\n"
+      << "  \"cores_limited\": " << (cores_limited ? "true" : "false")
+      << ",\n";
   emit_metrics_snapshot(out, registry, "metrics");
   out << ",\n"
       << "  \"verified_identical\": " << (verified ? "true" : "false") << "\n"

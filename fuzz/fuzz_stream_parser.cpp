@@ -1,0 +1,58 @@
+// Fuzz target for the streaming path extractor — differential against the
+// tree pipeline.
+//
+// The two parsers share the lexical layer (xml/lexer.hpp) but have
+// completely different control flow: recursive-descent DOM construction
+// versus an iterative event loop with deferred path materialisation. The
+// contract is that they are observationally identical on EVERY input:
+// either both throw ParseError, or both succeed with the same path list
+// (elements, attributes, text — Path::operator== covers all of it), at
+// the uncapped depth and at a small data-dependent cap. Any divergence,
+// and any crash/overflow under ASan/UBSan (deep nesting is capped at
+// kMaxXmlDepth in both), is a bug.
+//
+// Seed corpus: fuzz/corpus/stream_xml (well-formed documents, entity and
+// CDATA edge cases, deep nesting at and beyond the cap, malformed tails).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "xml/parser.hpp"
+#include "xml/paths.hpp"
+#include "xml/stream_parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace xroute;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::vector<Path> tree;
+  bool tree_threw = false;
+  try {
+    tree = extract_paths(parse_xml(text));
+  } catch (const ParseError&) {
+    tree_threw = true;
+  }
+
+  std::vector<Path> stream;
+  bool stream_threw = false;
+  try {
+    stream = stream_extract_paths(text);
+  } catch (const ParseError&) {
+    stream_threw = true;
+  }
+
+  if (tree_threw != stream_threw) __builtin_trap();
+  if (!tree_threw && !(tree == stream)) __builtin_trap();
+
+  // Same comparison under a small depth cap (truncation + dedup paths).
+  if (!tree_threw && size > 0) {
+    std::size_t cap = data[0] % 6;
+    std::vector<Path> tree_capped = extract_paths(parse_xml(text), cap);
+    std::vector<Path> stream_capped = stream_extract_paths(text, cap);
+    if (!(tree_capped == stream_capped)) __builtin_trap();
+  }
+  return 0;
+}

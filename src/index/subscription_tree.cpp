@@ -119,8 +119,10 @@ SubscriptionTree::InsertResult SubscriptionTree::insert_new(const Xpe& xpe,
   raw->parent = parent;
   parent->children.push_back(std::move(node));
   by_xpe_.emplace(xpe, raw);
-  // Only mutations of the root's child list can invalidate the root index.
-  if (parent == root_.get()) root_index_dirty_ = true;
+  // The compiled index serialises whole subtrees, so any structural
+  // mutation anywhere invalidates it (it is rebuilt lazily on the next
+  // match, so a burst of subscription churn costs one rebuild).
+  root_index_dirty_ = true;
   result.node = raw;
   result.covered_by_existing = parent != root_.get();
 
@@ -193,7 +195,7 @@ void SubscriptionTree::unlink_super(Node* node) {
 void SubscriptionTree::detach_node(Node* node) {
   unlink_super(node);
   Node* parent = node->parent;
-  if (parent == root_.get()) root_index_dirty_ = true;
+  root_index_dirty_ = true;
   // Splice children to the parent: covering is transitive, so the
   // parent-covers-child invariant is preserved.
   for (auto& child : node->children) {
@@ -211,7 +213,7 @@ void SubscriptionTree::detach_node(Node* node) {
 
 SubscriptionTree::Node* SubscriptionTree::adopt(Node* parent,
                                                 std::unique_ptr<Node> child) {
-  if (parent == root_.get()) root_index_dirty_ = true;
+  root_index_dirty_ = true;
   child->parent = parent;
   Node* raw = child.get();
   by_xpe_.emplace(raw->xpe, raw);
@@ -279,7 +281,7 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
   }
 
   // Remove the originals from the parent and the lookup map.
-  if (parent == root_.get()) root_index_dirty_ = true;
+  root_index_dirty_ = true;
   auto& siblings = parent->children;
   for (Node* original : originals) {
     by_xpe_.erase(original->xpe);
@@ -368,9 +370,41 @@ IfaceSet SubscriptionTree::match_hops_scan(const Path& path) const {
   return hops;
 }
 
+namespace {
+
+/// Serialises `node` and its whole subtree into `bucket` in DFS pre-order
+/// (see RootBucket for the entry layout). Returns the number of words
+/// emitted for the subtree, so the caller can backpatch its own
+/// skip_words header.
+std::size_t emit_subtree(SubscriptionTree::Node* node,
+                         std::vector<SubscriptionTree::Node*>& nodes,
+                         std::vector<std::uint32_t>& words) {
+  const std::vector<std::uint32_t>& prog = node->xpe.program();
+  const std::size_t header = words.size();
+  words.push_back(static_cast<std::uint32_t>(prog.size()));
+  words.push_back(0);  // skip_words, backpatched below
+  words.push_back(0);  // skip_entries, backpatched below
+  words.insert(words.end(), prog.begin(), prog.end());
+  nodes.push_back(node);
+  const std::size_t entries_before = nodes.size();
+  std::size_t sub_words = 0;
+  for (const auto& child : node->children) {
+    sub_words += emit_subtree(child.get(), nodes, words);
+  }
+  words[header + 1] = static_cast<std::uint32_t>(sub_words);
+  words[header + 2] = static_cast<std::uint32_t>(nodes.size() - entries_before);
+  return 3 + prog.size() + sub_words;
+}
+
+}  // namespace
+
 void SubscriptionTree::rebuild_root_index() const {
   roots_by_symbol_.clear();
-  unindexed_roots_.clear();
+  unindexed_roots_.nodes.clear();
+  unindexed_roots_.words.clear();
+  auto add = [](RootBucket& bucket, Node* node) {
+    emit_subtree(node, bucket.nodes, bucket.words);
+  };
   for (const auto& child : root_->children) {
     Node* node = child.get();
     // Bucket under the deepest concrete step: a path can only match this
@@ -384,11 +418,9 @@ void SubscriptionTree::rebuild_root_index() const {
         break;
       }
     }
-    if (key == SymbolTable::kNoSymbol) {
-      unindexed_roots_.push_back(node);
-    } else {
-      roots_by_symbol_[key].push_back(node);
-    }
+    add(key == SymbolTable::kNoSymbol ? unindexed_roots_
+                                      : roots_by_symbol_[key],
+        node);
   }
   root_index_dirty_ = false;
 }
@@ -397,9 +429,10 @@ std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes(
     const Path& path) const {
   if (root_index_dirty_) rebuild_root_index();
   const InternedPath ip(path);
+  const PathView view = ip.view();
   std::vector<const Node*> out;
-  std::vector<const Node*> stack;
-  stack.insert(stack.end(), unindexed_roots_.begin(), unindexed_roots_.end());
+  auto visit = [&out](const Node& node) { out.push_back(&node); };
+  scan_root_bucket(unindexed_roots_, view, visit, &comparisons_);
   // Union the buckets of each distinct symbol occurring in the path.
   for (std::size_t i = 0; i < ip.size(); ++i) {
     const std::uint32_t sym = ip[i];
@@ -414,58 +447,13 @@ std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes(
     if (seen) continue;
     auto it = roots_by_symbol_.find(sym);
     if (it == roots_by_symbol_.end()) continue;
-    stack.insert(stack.end(), it->second.begin(), it->second.end());
-  }
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    ++comparisons_;
-    if (!matches(ip, node->xpe)) {
-      // The node covers its whole subtree: nothing below can match either.
-      continue;
-    }
-    out.push_back(node);
-    for (const auto& child : node->children) stack.push_back(child.get());
+    scan_root_bucket(it->second, view, visit, &comparisons_);
   }
   return out;
 }
 
 void SubscriptionTree::ensure_root_index() const {
   if (root_index_dirty_) rebuild_root_index();
-}
-
-void SubscriptionTree::match_shard(
-    const InternedPath& ip, const std::vector<std::uint32_t>& distinct_symbols,
-    std::size_t shard, std::size_t shard_count,
-    const std::function<void(const Node&)>& visit,
-    std::size_t* comparisons) const {
-  // Pure read by contract: the index was forced by ensure_root_index() and
-  // no mutation overlaps the epoch, so the lazy-rebuild branch of
-  // match_nodes() must never trigger here.
-  std::vector<const Node*> stack;
-  if (shard == 0) {
-    stack.insert(stack.end(), unindexed_roots_.begin(),
-                 unindexed_roots_.end());
-  }
-  for (std::uint32_t sym : distinct_symbols) {
-    if (symbol_shard(sym, static_cast<std::uint32_t>(shard_count)) != shard) {
-      continue;
-    }
-    auto it = roots_by_symbol_.find(sym);
-    if (it == roots_by_symbol_.end()) continue;
-    stack.insert(stack.end(), it->second.begin(), it->second.end());
-  }
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    ++*comparisons;
-    if (!matches(ip, node->xpe)) {
-      // The node covers its whole subtree: nothing below can match either.
-      continue;
-    }
-    visit(*node);
-    for (const auto& child : node->children) stack.push_back(child.get());
-  }
 }
 
 std::vector<const SubscriptionTree::Node*> SubscriptionTree::match_nodes_scan(

@@ -80,39 +80,54 @@ bool matches(const Path& p, const Xpe& s) {
 
 namespace {
 
-/// Interned twin of segment_fits: symbol comparison for the element test,
-/// string-side predicates via the underlying path.
-bool segment_fits(const InternedPath& p, const Xpe& s, std::size_t first,
-                  std::size_t len, std::size_t j) {
+/// Interned twin of segment_fits, driven by the XPE's packed program
+/// (Xpe::program()): the element test compares the word's low bits against
+/// the path symbol, the axis and predicate facts ride in the top bits, and
+/// the Step structs — heap strings, predicate vectors — are only touched
+/// on the rare predicated step. One contiguous uint32 array per XPE is
+/// what keeps the per-visited-entry cost at a handful of cycles instead of
+/// a cache miss per step.
+bool segment_fits(const PathView& p, const std::uint32_t* prog, const Xpe& s,
+                  std::size_t first, std::size_t len, std::size_t j) {
   if (j + len > p.size()) return false;
   for (std::size_t i = 0; i < len; ++i) {
-    const std::uint32_t sym = s.symbol(first + i);
+    const std::uint32_t word = prog[first + i];
+    const std::uint32_t sym = word & Xpe::kProgSymbolMask;
     if (sym != SymbolTable::kWildcardId && sym != p[j + i]) return false;
-    if (!predicates_hold(s.step(first + i), *p.path, j + i)) return false;
+    if (word & Xpe::kProgPredicated) {
+      if (!predicates_hold(s.step(first + i), *p.path, j + i)) return false;
+    }
   }
   return true;
 }
 
 }  // namespace
 
-bool matches(const InternedPath& p, const Xpe& s) {
-  if (s.empty()) return true;
+bool matches(const PathView& p, const Xpe& s) {
+  const std::vector<std::uint32_t>& program = s.program();
+  return matches_program(p, program.data(), program.size(), s);
+}
+
+bool matches_program(const PathView& p, const std::uint32_t* prog,
+                     std::size_t n, const Xpe& s) {
+  if (n == 0) return true;
   std::size_t pos = 0;
   std::size_t first = 0;
-  const std::size_t n = s.size();
   while (first < n) {
     std::size_t last = first + 1;
-    while (last < n && s.step(last).axis == Axis::kChild) ++last;
+    while (last < n && !(prog[last] & Xpe::kProgDescendant)) ++last;
     const std::size_t length = last - first;
-    const bool anchored = (first == 0 && s.step(0).axis == Axis::kChild);
+    const bool anchored = (first == 0 && !(prog[0] & Xpe::kProgDescendant));
 
     if (anchored) {
-      if (!segment_fits(p, s, first, length, 0)) return false;
+      if (!segment_fits(p, prog, s, first, length, 0)) return false;
       pos = length;
     } else {
+      // Floating segment: greedy earliest occurrence at or after `pos`
+      // (complete because the path is concrete).
       bool placed = false;
       for (std::size_t j = pos; j + length <= p.size(); ++j) {
-        if (segment_fits(p, s, first, length, j)) {
+        if (segment_fits(p, prog, s, first, length, j)) {
           pos = j + length;
           placed = true;
           break;

@@ -22,7 +22,22 @@ bool matches(const Path& p, const Xpe& s);
 /// per routing decision and amortise over every table entry visited. Kept
 /// as a separate implementation so the string version above remains the
 /// byte-for-byte pre-optimisation reference for differential tests and
-/// the perf_routing baseline.
-bool matches(const InternedPath& p, const Xpe& s);
+/// the perf_routing baseline. PathView is the kernel signature so callers
+/// can feed symbols from reusable scratch storage (zero allocation).
+bool matches(const PathView& p, const Xpe& s);
+
+/// Raw-program kernel: same relation as matches(PathView, Xpe), but driven
+/// by a borrowed span of Xpe::program() words that need not live inside
+/// `s` itself. The subscription-tree root index serialises every root
+/// bucket's programs into one contiguous word stream and scans it with
+/// this function, so the dominant case — a root test that fails — touches
+/// only sequential memory instead of chasing Node → Xpe → program_ per
+/// entry. `s` is consulted only for predicate evaluation (rare).
+bool matches_program(const PathView& p, const std::uint32_t* prog,
+                     std::size_t n, const Xpe& s);
+
+inline bool matches(const InternedPath& p, const Xpe& s) {
+  return matches(p.view(), s);
+}
 
 }  // namespace xroute

@@ -144,8 +144,7 @@ Broker::HandleStatus Broker::handle(IfaceId from_interface, const Message& msg,
                          std::get<UnsubscribeMsg>(msg.payload), sink, &out);
       break;
     case MessageType::kPublish:
-      handle_publish(from_interface, std::get<PublishMsg>(msg.payload), sink,
-                     &out);
+      handle_publish(from_interface, msg, {}, sink, &out);
       break;
     case MessageType::kUnadvertise:
       handle_unadvertise(from_interface,
@@ -177,8 +176,16 @@ Broker::HandleStatus Broker::handle_batch(std::span<const Inbound> batch,
   HandleStatus total;
   std::size_t i = 0;
   while (i < batch.size()) {
-    if (!scheduler_ || batch[i].msg->type() != MessageType::kPublish) {
+    if (batch[i].msg->type() != MessageType::kPublish) {
       total += handle(batch[i].from, *batch[i].msg, sink);
+      ++i;
+      continue;
+    }
+    if (!scheduler_) {
+      HandleStatus out;
+      handle_publish(batch[i].from, *batch[i].msg, batch[i].frame, sink,
+                     &out);
+      total += out;
       ++i;
       continue;
     }
@@ -191,32 +198,37 @@ Broker::HandleStatus Broker::handle_batch(std::span<const Inbound> batch,
            batch[end].msg->type() == MessageType::kPublish) {
       ++end;
     }
-    std::vector<const PublishMsg*> pubs;
-    std::vector<IfaceId> froms;
-    std::vector<const Path*> paths;
-    pubs.reserve(end - i);
+    batch_pubs_.clear();
+    batch_envelopes_.clear();
+    batch_froms_.clear();
+    batch_frames_.clear();
+    batch_paths_.clear();
+    batch_pubs_.reserve(end - i);
     for (std::size_t j = i; j < end; ++j) {
       const auto& pub = std::get<PublishMsg>(batch[j].msg->payload);
       // Duplicate suppression runs sequentially up front, exactly as the
       // per-message path would: later copies in the same batch are dropped
       // before any matching happens.
-      if (!seen_publications_.emplace(pub.doc_id, pub.path_id).second) {
+      if (!seen_publications_.insert(pub.doc_id, pub.path_id)) {
         continue;
       }
-      pubs.push_back(&pub);
-      froms.push_back(batch[j].from);
-      paths.push_back(&pub.path);
+      batch_pubs_.push_back(&pub);
+      batch_envelopes_.push_back(batch[j].msg);
+      batch_froms_.push_back(batch[j].from);
+      batch_frames_.push_back(batch[j].frame);
+      batch_paths_.push_back(&pub.path);
     }
-    if (!paths.empty()) {
-      std::vector<MatchScheduler::MatchResult> matches =
-          scheduler_->match_batch(paths);
+    if (!batch_paths_.empty()) {
+      scheduler_->match_batch(batch_paths_, &batch_results_);
       std::size_t comparisons = 0;
-      for (std::size_t k = 0; k < pubs.size(); ++k) {
+      for (std::size_t k = 0; k < batch_pubs_.size(); ++k) {
         HandleStatus out;
-        out.publication_matched = !matches[k].hops.empty();
-        out.merger_false_matches = matches[k].merger_false_matches;
-        comparisons += matches[k].comparisons;
-        forward_publication(froms[k], *pubs[k], matches[k].hops, sink, &out);
+        out.publication_matched = !batch_results_[k].hops.empty();
+        out.merger_false_matches = batch_results_[k].merger_false_matches;
+        comparisons += batch_results_[k].comparisons;
+        forward_publication(batch_froms_[k], *batch_envelopes_[k],
+                            *batch_pubs_[k], batch_results_[k].hops,
+                            batch_frames_[k], sink, &out);
         total += out;
       }
       prt_.add_comparisons(comparisons);
@@ -450,7 +462,8 @@ void Broker::handle_unsubscribe(IfaceId from, const UnsubscribeMsg& msg,
   }
 }
 
-IfaceSet Broker::match_publication(const PublishMsg& msg, HandleStatus* out) {
+std::vector<IfaceId> Broker::match_publication(const PublishMsg& msg,
+                                               HandleStatus* out) {
   if (scheduler_) {
     // The epoch blocks this (single-writer) thread until every worker is
     // parked again, so table mutation can never overlap the reads.
@@ -459,12 +472,12 @@ IfaceSet Broker::match_publication(const PublishMsg& msg, HandleStatus* out) {
     prt_.add_comparisons(result.comparisons);
     return std::move(result.hops);
   }
-  IfaceSet hops;
+  std::vector<IfaceId> hops;
   StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
   if (prt_.covering()) {
     for (const SubscriptionTree::Node* node :
          prt_.tree()->match_nodes(msg.path)) {
-      hops.insert(node->hops.begin(), node->hops.end());
+      hops.insert(hops.end(), node->hops.begin(), node->hops.end());
       if (node->merger) {
         // A merger match that no merged original backs is an in-network
         // false positive introduced by imperfect merging (paper Fig. 9).
@@ -478,25 +491,30 @@ IfaceSet Broker::match_publication(const PublishMsg& msg, HandleStatus* out) {
         if (!backed) ++out->merger_false_matches;
       }
     }
+    std::sort(hops.begin(), hops.end());
+    hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
   } else {
-    hops = prt_.match_hops(msg.path);
+    IfaceSet set = prt_.match_hops(msg.path);
+    hops.assign(set.begin(), set.end());
   }
   return hops;
 }
 
-void Broker::forward_publication(IfaceId from, const PublishMsg& msg,
-                                 const IfaceSet& hops, ForwardSink& sink,
-                                 HandleStatus* out) {
-  // The hop set deduplicates: several matching subscriptions sharing a
-  // next hop yield one forwarded copy. Iteration is in ascending interface
-  // order — the determinism anchor for the parallel engine. Edge-exactness
-  // checks against the clients' original XPEs count as forwarding work
-  // (stage attribution).
+void Broker::forward_publication(IfaceId from, const Message& envelope,
+                                 const PublishMsg& msg,
+                                 std::span<const IfaceId> hops,
+                                 std::span<const std::uint8_t> frame,
+                                 ForwardSink& sink, HandleStatus* out) {
+  // The hop list is sorted and deduplicated: several matching
+  // subscriptions sharing a next hop yield one forwarded copy, and the
+  // ascending order is the determinism anchor for the parallel engine.
+  // Edge-exactness checks against the clients' original XPEs count as
+  // forwarding work (stage attribution).
   StageTimer forward_timer(stages_ ? &stages_->forward_ms : nullptr);
-  if (hops.empty() || (hops.size() == 1 && *hops.begin() == from)) return;
-  // One wrapped copy shared by every hop: Path holds per-element strings,
-  // so re-wrapping inside the loop would allocate per interface.
-  const Message wrapped{msg};
+  if (hops.empty() || (hops.size() == 1 && hops.front() == from)) return;
+  // The caller's envelope is shared by every hop — no per-publication
+  // Message copy; sinks that need ownership copy at the edge, and the
+  // transport resends `frame` without touching the Message at all.
   for (IfaceId hop : hops) {
     if (hop == from) continue;
     if (clients_.count(hop)) {
@@ -515,28 +533,30 @@ void Broker::forward_publication(IfaceId from, const PublishMsg& msg,
         }
       }
       if (exact) {
-        sink.on_local_delivery(hop, wrapped);
+        sink.on_local_delivery_pub(hop, envelope, frame);
         ++out->deliveries;
       } else {
-        sink.on_suppressed(hop, wrapped);
+        sink.on_suppressed(hop, envelope);
         ++out->suppressed_false_positives;
       }
     } else {
-      sink.on_forward(hop, wrapped);
+      sink.on_forward_pub(hop, envelope, frame);
     }
   }
 }
 
-void Broker::handle_publish(IfaceId from, const PublishMsg& msg,
+void Broker::handle_publish(IfaceId from, const Message& envelope,
+                            std::span<const std::uint8_t> frame,
                             ForwardSink& sink, HandleStatus* out) {
+  const auto& msg = std::get<PublishMsg>(envelope.payload);
   // Duplicate suppression: on overlays with cycles the same publication
   // can arrive over several paths; processing it once keeps routing loop-
   // free and deliveries exact.
-  if (!seen_publications_.emplace(msg.doc_id, msg.path_id).second) return;
+  if (!seen_publications_.insert(msg.doc_id, msg.path_id)) return;
 
-  IfaceSet hops = match_publication(msg, out);
+  std::vector<IfaceId> hops = match_publication(msg, out);
   out->publication_matched = !hops.empty();
-  forward_publication(from, msg, hops, sink, out);
+  forward_publication(from, envelope, msg, hops, frame, sink, out);
 }
 
 void Broker::handle_sync_request(IfaceId from, ForwardSink& sink) {

@@ -32,19 +32,19 @@
 #include <memory>
 #include <span>
 #include <utility>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "index/merging.hpp"
 #include "router/broker_options.hpp"
 #include "router/iface.hpp"
+#include "router/match_scheduler.hpp"
 #include "router/message.hpp"
 #include "router/routing_tables.hpp"
+#include "router/seen_window.hpp"
 
 namespace xroute {
-
-class MatchScheduler;
 
 /// Receiver of a broker's outgoing messages. handle() pushes each
 /// (interface, message) pair the moment it is decided, in the exact order
@@ -73,6 +73,26 @@ class ForwardSink {
   virtual void on_suppressed(IfaceId client, const Message& msg) {
     (void)client;
     (void)msg;
+  }
+
+  /// A publication forward for which the broker still holds the exact
+  /// wire frame it arrived in. `frame` is borrowed — valid only for the
+  /// duration of the call — and empty when the publication entered
+  /// through a frameless path (tests, the simulator). A transport sink
+  /// overrides this to put the original bytes straight back on the wire
+  /// instead of re-encoding per hop; the default falls through to
+  /// on_forward, so sinks that do not care about frames never see them.
+  virtual void on_forward_pub(IfaceId iface, const Message& msg,
+                              std::span<const std::uint8_t> frame) {
+    (void)frame;
+    on_forward(iface, msg);
+  }
+
+  /// Frame-carrying twin of on_local_delivery; same default chain.
+  virtual void on_local_delivery_pub(IfaceId client, const Message& msg,
+                                     std::span<const std::uint8_t> frame) {
+    (void)frame;
+    on_local_delivery(client, msg);
   }
 };
 
@@ -151,10 +171,14 @@ class Broker {
   };
 
   /// One queued inbound message, for handle_batch(). The message is
-  /// borrowed, not owned — it must stay alive for the call.
+  /// borrowed, not owned — it must stay alive for the call. `frame` is
+  /// the message's wire frame when the caller has it (the transport
+  /// inbox); publications carrying one are forwarded via the sink's
+  /// frame-aware hooks so transports can resend the bytes untouched.
   struct Inbound {
     IfaceId from = kNoIface;
     const Message* msg = nullptr;
+    std::span<const std::uint8_t> frame{};
   };
 
   /// Throws std::invalid_argument if `config.validate()` rejects the
@@ -247,7 +271,8 @@ class Broker {
                         ForwardSink& sink, HandleStatus* out);
   void handle_unsubscribe(IfaceId from, const UnsubscribeMsg& msg,
                           ForwardSink& sink, HandleStatus* out);
-  void handle_publish(IfaceId from, const PublishMsg& msg, ForwardSink& sink,
+  void handle_publish(IfaceId from, const Message& envelope,
+                      std::span<const std::uint8_t> frame, ForwardSink& sink,
                       HandleStatus* out);
   void handle_sync_request(IfaceId from, ForwardSink& sink);
   void handle_sync_state(IfaceId from, const SyncStateMsg& msg,
@@ -255,16 +280,22 @@ class Broker {
   void run_merge_pass(ForwardSink& sink);
 
   /// The match stage of handle_publish: the hops of every matching PRT
-  /// entry, with merger false matches counted. Sequential or — when the
-  /// scheduler exists — fanned across the worker pool.
-  IfaceSet match_publication(const PublishMsg& msg, HandleStatus* out);
+  /// entry (sorted ascending, deduplicated), with merger false matches
+  /// counted. Sequential or — when the scheduler exists — fanned across
+  /// the worker pool.
+  std::vector<IfaceId> match_publication(const PublishMsg& msg,
+                                         HandleStatus* out);
 
   /// The forward stage of handle_publish: edge-exactness per client hop,
   /// plain forward per neighbour hop. Identical for sequential, parallel
-  /// and batched paths — determinism lives here (hop sets are ordered).
-  void forward_publication(IfaceId from, const PublishMsg& msg,
-                           const IfaceSet& hops, ForwardSink& sink,
-                           HandleStatus* out);
+  /// and batched paths — determinism lives here (hop lists are sorted).
+  /// `envelope` is the original message (no per-publication deep copy);
+  /// `frame` is its wire frame or empty.
+  void forward_publication(IfaceId from, const Message& envelope,
+                           const PublishMsg& msg,
+                           std::span<const IfaceId> hops,
+                           std::span<const std::uint8_t> frame,
+                           ForwardSink& sink, HandleStatus* out);
 
   /// Next-hop broker interfaces for a subscription: SRT overlap when
   /// advertisements are on, otherwise every neighbour. `exclude` is the
@@ -318,8 +349,20 @@ class Broker {
   std::size_t pending_syncs_ = 0;
   /// Publications already processed, for duplicate suppression on cyclic
   /// overlays (a publication can arrive over several paths; forwarding it
-  /// again would loop). Keyed by (doc id, path id).
-  std::set<std::pair<std::uint64_t, std::uint32_t>> seen_publications_;
+  /// again would loop). Bounded generational window — rationale and
+  /// guarantees in router/seen_window.hpp.
+  SeenWindow seen_publications_;
+  // handle_batch staging scratch, reused across batches so the steady
+  // state allocates nothing.
+  std::vector<const PublishMsg*> batch_pubs_;
+  std::vector<const Message*> batch_envelopes_;
+  std::vector<IfaceId> batch_froms_;
+  std::vector<std::span<const std::uint8_t>> batch_frames_;
+  std::vector<const Path*> batch_paths_;
+  /// Reused across batches: hop-vector capacity circulates between this
+  /// buffer and the scheduler's per-slot buffers (see
+  /// MatchScheduler::match_batch), so the steady state allocates nothing.
+  std::vector<MatchScheduler::MatchResult> batch_results_;
 };
 
 }  // namespace xroute

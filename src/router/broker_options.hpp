@@ -39,6 +39,15 @@ struct BrokerOptions {
   /// Ignored when match_threads == 1.
   std::size_t shard_count = 0;
 
+  // -- Publication intake (xml/stream_parser.hpp) --------------------------
+  /// Decompose published documents with the streaming path extractor
+  /// (single pass over the wire bytes, arena-backed, no DOM), and let the
+  /// transport reuse inbound publication frames verbatim when forwarding.
+  /// Off = the tree-building xml::Parser pipeline, retained as the
+  /// reference implementation; both produce byte-identical streams
+  /// (tests/stream_pipeline_test).
+  bool streaming_pipeline = true;
+
   /// Effective shard count after defaulting.
   std::size_t effective_shards() const {
     return shard_count != 0 ? shard_count : 2 * match_threads;
@@ -56,6 +65,7 @@ struct BrokerOptions {
 /// parse identically. Keys (values: on/off/true/false/1/0 for booleans):
 ///
 ///   advertisements, covering, track_covered, merging  booleans
+///   streaming                                         streaming_pipeline
 ///   merge_interval                                    size_t > 0
 ///   threads                                           match_threads
 ///   shards                                            shard_count

@@ -47,15 +47,11 @@ constexpr std::uint32_t epoch_tag(std::uint64_t word) {
   return static_cast<std::uint32_t>(word >> 32);
 }
 
-}  // namespace
-
-namespace {
-
 /// Deduplicated symbol list in first-occurrence order, exactly as
 /// match_nodes() builds its bucket union — the shard matchers partition
 /// this list, so computing it once per publication keeps per-shard work
 /// disjoint.
-void build_distinct_symbols(const InternedPath& ip,
+void build_distinct_symbols(const PathView& ip,
                             std::vector<std::uint32_t>* out) {
   out->clear();
   out->reserve(ip.size());
@@ -68,12 +64,14 @@ void build_distinct_symbols(const InternedPath& ip,
   }
 }
 
-}  // namespace
-
-MatchScheduler::Pub::Pub(const Path& p, std::size_t shards)
-    : src(&p), ip(std::in_place, p), per_shard(shards) {
-  build_distinct_symbols(*ip, &distinct_symbols);
+/// Sort + dedup a concatenated hop list into the canonical ascending
+/// order the sequential IfaceSet iteration produced.
+void canonicalize_hops(std::vector<IfaceId>* hops) {
+  std::sort(hops->begin(), hops->end());
+  hops->erase(std::unique(hops->begin(), hops->end()), hops->end());
 }
+
+}  // namespace
 
 MatchScheduler::MatchScheduler(const Prt* prt, Options options)
     : prt_(prt), options_(options) {
@@ -85,8 +83,10 @@ MatchScheduler::MatchScheduler(const Prt* prt, Options options)
   const unsigned cores = std::thread::hardware_concurrency();
   spin_iterations_ =
       cores > options_.threads ? kSpinIterations : 0;
+  queues_.reserve(options_.threads);
   stats_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
     stats_.push_back(std::make_unique<AtomicWorkerStats>());
   }
   workers_.reserve(options_.threads);
@@ -107,6 +107,13 @@ MatchScheduler::~MatchScheduler() {
 void MatchScheduler::worker_loop(std::size_t worker_index) {
   AtomicWorkerStats& stats = *stats_[worker_index];
   std::uint64_t seen_generation = 0;
+  // Private scratch, reused across every epoch this worker serves: the
+  // interned symbols, the distinct-symbol list and the match cell all
+  // keep their capacity, so a steady-state batch task allocates only its
+  // exact-size result vector.
+  std::vector<std::uint32_t> symbols;
+  std::vector<std::uint32_t> distinct;
+  Prt::ShardMatch cell;
   for (;;) {
     // Wait for the next epoch: spin first (under batch load the next grid
     // is published within microseconds of the last one draining), then
@@ -141,56 +148,67 @@ void MatchScheduler::worker_loop(std::size_t worker_index) {
     const std::uint64_t grid = grid_.load(std::memory_order_relaxed);
     if (epoch_tag(grid) != static_cast<std::uint32_t>(gen)) continue;
     const bool batch = (grid & kGridBatchBit) != 0;
-    const std::size_t count = grid & kGridCountMask;
     const std::size_t shards = options_.shards;
+    const std::size_t queue_count = queues_.size();
 
-    // Claim tasks by CAS; the epoch tag in claim_ makes claims from a
-    // finished epoch fail instead of poaching the next grid's tasks.
+    // Drain the queues: own queue first (uncontended CAS on a private
+    // cache line), then steal round-robin from the others. Queues never
+    // refill inside an epoch, so one pass over all of them is complete.
     // Accounting is per drain, not per task: a task can be tiny, so
     // per-task clock reads would rival the work itself.
     std::uint64_t claimed = 0;
+    std::uint64_t stolen = 0;
     const std::uint64_t cpu_start = thread_cpu_ns();
-    std::vector<std::uint32_t> distinct;  // per-drain scratch, reused
-    std::uint64_t word = claim_.load(std::memory_order_relaxed);
-    while (epoch_tag(word) == static_cast<std::uint32_t>(gen)) {
-      const std::size_t task = static_cast<std::uint32_t>(word);
-      if (task >= count) break;
-      if (!claim_.compare_exchange_weak(word, word + 1,
-                                        std::memory_order_relaxed)) {
-        continue;  // word was reloaded by the failed CAS
+    for (std::size_t offset = 0; offset < queue_count; ++offset) {
+      WorkQueue& queue = *queues_[(worker_index + offset) % queue_count];
+      const std::uint32_t queue_end = queue.end.load(std::memory_order_relaxed);
+      std::uint64_t word = queue.cursor.load(std::memory_order_relaxed);
+      while (epoch_tag(word) == static_cast<std::uint32_t>(gen)) {
+        const std::uint32_t task = static_cast<std::uint32_t>(word);
+        if (task >= queue_end) break;
+        if (!queue.cursor.compare_exchange_weak(word, word + 1,
+                                                std::memory_order_relaxed)) {
+          continue;  // word was reloaded by the failed CAS
+        }
+        if (batch) {
+          // One publication: intern into worker scratch (table lookups
+          // are read-only and the control thread is quiescent inside the
+          // epoch), match against the whole table in a single call
+          // (shard_count 1 degenerates to the sequential routine, so
+          // comparison counts are identical by construction), and merge
+          // in place — all off the control thread.
+          Pub& pub = pubs_[task];
+          const PathView view = intern_path(*pub.src, symbols);
+          build_distinct_symbols(view, &distinct);
+          cell.clear();
+          prt_->match_shard(view, distinct, 0, 1, &cell);
+          canonicalize_hops(&cell.hops);
+          pub.result.hops.assign(cell.hops.begin(), cell.hops.end());
+          pub.result.merger_false_matches = cell.merger_false_matches;
+          pub.result.comparisons = cell.comparisons;
+        } else {
+          // One shard of the single staged publication: latency-parallel
+          // matching for the per-message path.
+          Pub& pub = pubs_.front();
+          pub.per_shard[task].clear();
+          prt_->match_shard(pub.ip->view(), pub.distinct_symbols, task,
+                            shards, &pub.per_shard[task]);
+        }
+        ++claimed;
+        if (offset != 0) ++stolen;
+        word = queue.cursor.load(std::memory_order_relaxed);
       }
-      if (batch) {
-        // One publication: intern here (table lookups are read-only and
-        // the control thread is quiescent inside the epoch), match
-        // against the whole table in a single call (shard_count 1
-        // degenerates to the sequential routine, so comparison counts
-        // are identical by construction), and merge in place — all off
-        // the control thread.
-        Pub& pub = pubs_[task];
-        const InternedPath ip(*pub.src);
-        build_distinct_symbols(ip, &distinct);
-        Prt::ShardMatch cell;
-        prt_->match_shard(ip, distinct, 0, 1, &cell);
-        pub.result.hops = std::move(cell.hops);
-        pub.result.merger_false_matches = cell.merger_false_matches;
-        pub.result.comparisons = cell.comparisons;
-      } else {
-        // One shard of the single staged publication: latency-parallel
-        // matching for the per-message path.
-        Pub& pub = pubs_.front();
-        prt_->match_shard(*pub.ip, pub.distinct_symbols, task, shards,
-                          &pub.per_shard[task]);
-      }
-      ++claimed;
-      word = claim_.load(std::memory_order_relaxed);
     }
     if (claimed > 0) {
       const std::uint64_t busy = thread_cpu_ns() - cpu_start;
       stats.tasks.fetch_add(claimed, std::memory_order_relaxed);
       stats.busy_ns.fetch_add(busy, std::memory_order_relaxed);
+      if (stolen > 0) stats.steals.fetch_add(stolen, std::memory_order_relaxed);
       stats.epoch_busy_ns.store(busy, std::memory_order_relaxed);
       // The release add publishes this drain's result writes (and the
       // epoch busy figure) to the control thread's acquire in run_epoch.
+      const std::size_t count =
+          static_cast<std::size_t>(grid & kGridCountMask);
       if (tasks_done_.fetch_add(claimed, std::memory_order_release) +
               claimed ==
           count) {
@@ -204,17 +222,38 @@ void MatchScheduler::worker_loop(std::size_t worker_index) {
 
 std::uint64_t MatchScheduler::begin_staging() {
   // The previous epoch's completion wait saw tasks_done_ == task_count_
-  // (acquire), so every claim was processed and no claim below the old
-  // count can succeed again; restamping claim_ with the next epoch's tag
-  // then voids stale claim attempts entirely. After this, pubs_ and the
-  // routing tables are exclusively the control thread's.
+  // (acquire), so every claim was processed and no claim below a queue's
+  // end can succeed again; restamping the cursors with the next epoch's
+  // tag then voids stale claim attempts entirely. After this, pubs_ and
+  // the routing tables are exclusively the control thread's.
   const std::uint64_t gen = generation_.load(std::memory_order_relaxed) + 1;
-  claim_.store(gen << 32, std::memory_order_relaxed);
-  pubs_.clear();
+  for (auto& queue : queues_) {
+    queue->cursor.store(gen << 32, std::memory_order_relaxed);
+    queue->end.store(0, std::memory_order_relaxed);
+  }
+  // pubs_ slots are recycled across epochs (only the first task_count_
+  // are ever staged or read), so their hop/scratch capacity survives —
+  // the steady-state epoch performs no allocation and, crucially, no
+  // cross-thread free of worker-written result vectors.
   for (auto& stats : stats_) {
     stats->epoch_busy_ns.store(0, std::memory_order_relaxed);
   }
   return gen;
+}
+
+void MatchScheduler::stage_queues(std::uint64_t gen, std::size_t count) {
+  task_count_ = count;
+  const std::size_t queue_count = queues_.size();
+  const std::size_t base = count / queue_count;
+  const std::size_t extra = count % queue_count;
+  std::size_t start = 0;
+  for (std::size_t w = 0; w < queue_count; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    queues_[w]->cursor.store(gen << 32 | start, std::memory_order_relaxed);
+    queues_[w]->end.store(static_cast<std::uint32_t>(start + len),
+                          std::memory_order_relaxed);
+    start += len;
+  }
 }
 
 void MatchScheduler::run_epoch(std::uint64_t gen) {
@@ -255,45 +294,61 @@ void MatchScheduler::run_epoch(std::uint64_t gen) {
 }
 
 MatchScheduler::MatchResult MatchScheduler::merge_pub(const Pub& pub) const {
-  // Shard order is fixed, but hops land in an ordered set anyway, so the
-  // merged result is independent of which worker ran which shard.
+  // Concatenate in shard order, then canonicalize: the sorted result is
+  // independent of which worker ran which shard.
   MatchResult out;
+  std::size_t total = 0;
+  for (const Prt::ShardMatch& shard : pub.per_shard) total += shard.hops.size();
+  out.hops.reserve(total);
   for (const Prt::ShardMatch& shard : pub.per_shard) {
-    out.hops.insert(shard.hops.begin(), shard.hops.end());
+    out.hops.insert(out.hops.end(), shard.hops.begin(), shard.hops.end());
     out.merger_false_matches += shard.merger_false_matches;
     out.comparisons += shard.comparisons;
   }
+  canonicalize_hops(&out.hops);
   return out;
 }
 
 MatchScheduler::MatchResult MatchScheduler::match_one(const Path& path) {
   const std::uint64_t gen = begin_staging();
-  pubs_.emplace_back(path, options_.shards);
-  task_count_ = options_.shards;
+  if (pubs_.empty()) pubs_.resize(1);
+  Pub& pub = pubs_.front();
+  pub.src = &path;
+  pub.ip.emplace(path);
+  build_distinct_symbols(pub.ip->view(), &pub.distinct_symbols);
+  pub.per_shard.resize(options_.shards);
+  stage_queues(gen, options_.shards);
   grid_.store(gen << 32 | static_cast<std::uint64_t>(task_count_),
               std::memory_order_relaxed);
   run_epoch(gen);
-  MatchResult result = merge_pub(pubs_.front());
-  pubs_.clear();
-  return result;
+  return merge_pub(pubs_.front());
 }
 
-std::vector<MatchScheduler::MatchResult> MatchScheduler::match_batch(
-    const std::vector<const Path*>& paths) {
-  std::vector<MatchResult> results;
-  if (paths.empty()) return results;
+void MatchScheduler::match_batch(const std::vector<const Path*>& paths,
+                                 std::vector<MatchResult>* out) {
+  if (paths.empty()) {
+    out->clear();
+    return;
+  }
   const std::uint64_t gen = begin_staging();
-  pubs_.reserve(paths.size());
-  for (const Path* path : paths) pubs_.emplace_back(path);
-  task_count_ = pubs_.size();
+  if (pubs_.size() < paths.size()) pubs_.resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) pubs_[i].src = paths[i];
+  stage_queues(gen, paths.size());
   grid_.store(gen << 32 | kGridBatchBit |
                   static_cast<std::uint64_t>(task_count_),
               std::memory_order_relaxed);
   run_epoch(gen);
-  results.reserve(pubs_.size());
-  for (Pub& pub : pubs_) results.push_back(std::move(pub.result));
-  pubs_.clear();
-  return results;
+  out->resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    MatchResult& dst = (*out)[i];
+    Pub& pub = pubs_[i];
+    // Swap, don't move: the slot inherits the caller's previous hop
+    // buffer, so capacity circulates between the two sides and neither
+    // thread frees memory the other allocated.
+    dst.hops.swap(pub.result.hops);
+    dst.merger_false_matches = pub.result.merger_false_matches;
+    dst.comparisons = pub.result.comparisons;
+  }
 }
 
 std::uint64_t MatchScheduler::total_tasks() const {
@@ -304,12 +359,21 @@ std::uint64_t MatchScheduler::total_tasks() const {
   return total;
 }
 
+std::uint64_t MatchScheduler::total_steals() const {
+  std::uint64_t total = 0;
+  for (const auto& stats : stats_) {
+    total += stats->steals.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 std::vector<MatchScheduler::WorkerStats> MatchScheduler::worker_stats() const {
   std::vector<WorkerStats> out;
   out.reserve(stats_.size());
   for (const auto& stats : stats_) {
     out.push_back(WorkerStats{stats->tasks.load(std::memory_order_relaxed),
-                              stats->busy_ns.load(std::memory_order_relaxed)});
+                              stats->busy_ns.load(std::memory_order_relaxed),
+                              stats->steals.load(std::memory_order_relaxed)});
   }
   return out;
 }

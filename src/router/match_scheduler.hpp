@@ -11,27 +11,37 @@
 //
 // The scheduler owns a fixed pool of worker threads and runs *epochs*: the
 // control thread (the broker's single writer) publishes an immutable task
-// grid (publications × shards), wakes the pool, and blocks until every
-// task is done and every worker is parked again. Workers therefore only
-// ever read the tables while the one thread that could mutate them is
-// blocked inside the epoch — the epoch barrier IS the synchronisation, and
-// the match path itself stays free of locks (task claiming is one
-// fetch_add per whole-publication chunk). Workers spin briefly for the
-// next epoch before parking on the condvar: under batch load epochs
-// arrive back to back, and futex wake/park latency would otherwise rival
-// the matching work itself.
+// range, wakes the pool, and blocks until every task is done and every
+// worker is parked again. Workers therefore only ever read the tables
+// while the one thread that could mutate them is blocked inside the epoch
+// — the epoch barrier IS the synchronisation, and the match path itself
+// stays free of locks. Tasks are distributed via per-worker run queues:
+// the control thread splits the task range into one contiguous chunk per
+// worker, each worker drains its own queue (an uncontended CAS on its own
+// cache line), and a worker that runs dry steals from the other queues —
+// so a skewed batch (one expensive publication) still finishes at the
+// speed of the pool, not of the unluckiest worker, and the common case
+// never bounces a shared claim word between cores. Workers spin briefly
+// for the next epoch before parking on the condvar: under batch load
+// epochs arrive back to back, and futex wake/park latency would otherwise
+// rival the matching work itself.
 //
-// Determinism: per-shard results are merged in shard order into ordered
-// hop sets (by the worker that matched the publication, or by the control
-// thread for single-publication epochs), and the broker's forward loop
-// iterates those sets in ascending interface order — so the emitted
-// forward sequence is byte-identical at any thread count
-// (tests/parallel_test).
+// Each worker keeps private scratch (symbol buffers, a reusable
+// ShardMatch cell) across epochs, so the steady-state batch path performs
+// no heap allocation beyond the per-publication result vectors handed
+// back to the broker.
+//
+// Determinism: per-shard hop lists are concatenated, sorted and
+// deduplicated (by the worker that matched the publication, or by the
+// control thread for single-publication epochs), and the broker's forward
+// loop iterates the sorted result — so the emitted forward sequence is
+// byte-identical at any thread count (tests/parallel_test).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -51,9 +61,11 @@ class MatchScheduler {
   };
 
   /// The merged result for one publication path — the same facts the
-  /// sequential match stage produces.
+  /// sequential match stage produces. `hops` is sorted ascending and
+  /// deduplicated, i.e. exactly the iteration order of the IfaceSet the
+  /// sequential path builds.
   struct MatchResult {
-    IfaceSet hops;
+    std::vector<IfaceId> hops;
     std::size_t merger_false_matches = 0;
     std::size_t comparisons = 0;
   };
@@ -64,6 +76,7 @@ class MatchScheduler {
   struct WorkerStats {
     std::uint64_t tasks = 0;
     std::uint64_t busy_ns = 0;
+    std::uint64_t steals = 0;
   };
 
   /// `prt` must outlive the scheduler; `options.threads >= 1`,
@@ -78,11 +91,23 @@ class MatchScheduler {
   /// until done; the caller must be the broker's single control thread.
   MatchResult match_one(const Path& path);
 
-  /// Matches a batch in one epoch (publications × shards task grid);
-  /// result[i] corresponds to paths[i]. The batch is where parallelism
+  /// Matches a batch in one epoch (one task per publication);
+  /// (*out)[i] corresponds to paths[i]. The batch is where parallelism
   /// pays: per-path matching cost can be small, but a batch keeps every
-  /// worker busy for the whole epoch.
-  std::vector<MatchResult> match_batch(const std::vector<const Path*>& paths);
+  /// worker busy for the whole epoch. `out` is resized to the batch and
+  /// its entries' hop storage is recycled via swap with the internal
+  /// per-slot buffers, so a caller that reuses the same vector across
+  /// batches reaches a steady state with no allocation — and no
+  /// cross-thread free of worker-allocated hop vectors on the control
+  /// thread, which showed up as malloc arena traffic per publication.
+  void match_batch(const std::vector<const Path*>& paths,
+                   std::vector<MatchResult>* out);
+
+  std::vector<MatchResult> match_batch(const std::vector<const Path*>& paths) {
+    std::vector<MatchResult> out;
+    match_batch(paths, &out);
+    return out;
+  }
 
   std::size_t threads() const { return options_.threads; }
   std::size_t shards() const { return options_.shards; }
@@ -94,6 +119,8 @@ class MatchScheduler {
   /// one shard of the publication in a single-publication epoch).
   std::uint64_t total_tasks() const;
   std::vector<WorkerStats> worker_stats() const;
+  /// Tasks claimed from another worker's queue since construction.
+  std::uint64_t total_steals() const;
   /// Sum over epochs of the busiest worker's CPU time in that epoch —
   /// the match stage's critical path. On a core-starved machine (cores <
   /// workers) wall-clock scaling is unmeasurable; this figure is what an
@@ -107,15 +134,14 @@ class MatchScheduler {
   /// Per-publication epoch state. Single-publication epochs intern the
   /// path up front and shard it across the pool (one cell per shard,
   /// each written by exactly one task). Batch epochs stage only the path
-  /// pointer: the claiming worker interns, matches the whole table in
-  /// one call, and folds straight into `result` — interning, matching,
-  /// and merging all parallelise, and the control thread's staging cost
-  /// per publication is one pointer.
+  /// pointer: the claiming worker interns into its private scratch,
+  /// matches the whole table in one call, and folds straight into
+  /// `result` — interning, matching, and merging all parallelise, and
+  /// the control thread's staging cost per publication is one pointer.
   struct Pub {
+    Pub() = default;
     /// Batch shell: everything else happens on the claiming worker.
     explicit Pub(const Path* p) : src(p) {}
-    /// Single-publication form: interned now, one cell per shard.
-    Pub(const Path& p, std::size_t shards);
     const Path* src = nullptr;
     std::optional<InternedPath> ip;
     std::vector<std::uint32_t> distinct_symbols;
@@ -123,31 +149,42 @@ class MatchScheduler {
     MatchResult result;
   };
 
+  /// One per worker, cache-line isolated: the owner claims with an
+  /// uncontended CAS; thieves CAS the same word only after their own
+  /// queue is dry. The epoch tag embedded in `cursor` makes claims from
+  /// a finished epoch fail harmlessly instead of poaching the next
+  /// grid's tasks.
+  struct alignas(64) WorkQueue {
+    /// epoch<<32 | next unclaimed task index.
+    std::atomic<std::uint64_t> cursor{0};
+    /// One past this queue's last task index. Atomic only so a stale
+    /// worker's read during restaging is defined; relaxed everywhere.
+    std::atomic<std::uint32_t> end{0};
+  };
+
   void worker_loop(std::size_t worker_index);
-  /// Publishes the staged grid as epoch `gen` and blocks until every task
-  /// is done (the completion wait is the write barrier: afterwards the
-  /// caller may mutate tables and restage freely).
+  /// Publishes the staged queues as epoch `gen` and blocks until every
+  /// task is done (the completion wait is the write barrier: afterwards
+  /// the caller may mutate tables and restage freely).
   void run_epoch(std::uint64_t gen);
-  /// Restamps claim_ for the upcoming epoch and clears pubs_; returns the
-  /// new epoch number. Call before staging the grid.
+  /// Restamps the queues for the upcoming epoch and clears pubs_; returns
+  /// the new epoch number. Call before staging.
   std::uint64_t begin_staging();
+  /// Splits [0, count) contiguously across the worker queues.
+  void stage_queues(std::uint64_t gen, std::size_t count);
   MatchResult merge_pub(const Pub& pub) const;
 
   const Prt* prt_;
   Options options_;
 
-  // Epoch state. The control thread stages pubs_ between epochs (no
-  // claim can succeed then), publishes the grid by storing epoch-tagged
-  // atomics, and finally bumps generation_. Workers claim tasks by CAS
-  // on claim_; the embedded epoch tag makes a stale claim — a worker
-  // that woke late for a finished epoch — fail harmlessly instead of
-  // poaching a task from the next grid. Batch epochs: task =
-  // publication index (full-table match, worker merges). Single-pub
-  // epochs: task = shard index (control thread merges).
+  // Epoch state. The control thread stages pubs_ and the queues between
+  // epochs (no claim can succeed then), publishes the grid descriptor,
+  // and finally bumps generation_. Batch epochs: task = publication
+  // index (full-table match, worker merges). Single-pub epochs: task =
+  // shard index (control thread merges).
   std::vector<Pub> pubs_;
   std::size_t task_count_ = 0;  ///< control thread only
-  /// epoch<<32 | next unclaimed task index (CAS-claimed).
-  std::atomic<std::uint64_t> claim_{0};
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
   /// epoch<<32 | kGridBatchBit? | task count — the grid descriptor
   /// workers read instead of racing on plain members.
   std::atomic<std::uint64_t> grid_{0};
@@ -163,6 +200,7 @@ class MatchScheduler {
   struct AtomicWorkerStats {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> steals{0};
     /// This epoch's drain CPU time; zeroed by the control thread during
     /// staging, published by the worker's tasks_done_ release.
     std::atomic<std::uint64_t> epoch_busy_ns{0};

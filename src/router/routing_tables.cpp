@@ -218,7 +218,7 @@ namespace {
 /// index: the side list plus the bucket of each distinct path symbol.
 /// Buckets partition the indexed entries, so no position repeats.
 std::vector<std::size_t> flat_candidates(
-    const InternedPath& ip,
+    const PathView& ip,
     const std::unordered_map<std::uint32_t, std::vector<std::size_t>>&
         by_symbol,
     const std::vector<std::size_t>& unindexed) {
@@ -249,7 +249,7 @@ IfaceSet Prt::match_hops(const Path& path) const {
   const InternedPath ip(path);
   IfaceSet hops;
   for (std::size_t pos :
-       flat_candidates(ip, flat_by_symbol_, flat_unindexed_)) {
+       flat_candidates(ip.view(), flat_by_symbol_, flat_unindexed_)) {
     const FlatEntry& entry = flat_[pos];
     ++flat_comparisons_;
     if (matches(ip, entry.xpe)) {
@@ -283,7 +283,7 @@ std::vector<std::pair<const Xpe*, const IfaceSet*>> Prt::match_entries(
   if (flat_index_dirty_) rebuild_flat_index();
   const InternedPath ip(path);
   for (std::size_t pos :
-       flat_candidates(ip, flat_by_symbol_, flat_unindexed_)) {
+       flat_candidates(ip.view(), flat_by_symbol_, flat_unindexed_)) {
     const FlatEntry& entry = flat_[pos];
     ++flat_comparisons_;
     if (matches(ip, entry.xpe)) out.emplace_back(&entry.xpe, &entry.hops);
@@ -354,15 +354,16 @@ void Prt::add_comparisons(std::size_t n) const {
   }
 }
 
-void Prt::match_shard(const InternedPath& ip,
-                      const std::vector<std::uint32_t>& distinct_symbols,
+void Prt::match_shard(const PathView& ip,
+                      std::span<const std::uint32_t> distinct_symbols,
                       std::size_t shard, std::size_t shard_count,
                       ShardMatch* out) const {
   if (covering_) {
     tree_->match_shard(
         ip, distinct_symbols, shard, shard_count,
         [&](const SubscriptionTree::Node& node) {
-          out->hops.insert(node.hops.begin(), node.hops.end());
+          out->hops.insert(out->hops.end(), node.hops.begin(),
+                           node.hops.end());
           if (node.merger) {
             // Same backing test as the sequential broker: a merger match
             // no merged original backs is an in-network false positive.
@@ -386,7 +387,7 @@ void Prt::match_shard(const InternedPath& ip,
     const FlatEntry& entry = flat_[pos];
     ++out->comparisons;
     if (matches(ip, entry.xpe)) {
-      out->hops.insert(entry.hops.begin(), entry.hops.end());
+      out->hops.insert(out->hops.end(), entry.hops.begin(), entry.hops.end());
     }
   };
   if (shard == 0) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -143,19 +144,30 @@ class Prt {
   /// sequential result exactly — hops, merger false-positive count and
   /// comparison count alike.
   struct ShardMatch {
-    IfaceSet hops;
+    /// Matching hops, appended in visit order WITH duplicates: deferring
+    /// the dedup to one sort+unique at merge time replaces a per-node
+    /// red-black-tree insert on the hottest worker loop. clear() keeps the
+    /// capacity, so a reused ShardMatch allocates nothing at steady state.
+    std::vector<IfaceId> hops;
     /// Matches against merger entries not backed by any merged original
     /// (covering mode; the paper's in-network false positives, Fig. 9).
     std::size_t merger_false_matches = 0;
     /// Comparison tests performed; fold back via add_comparisons().
     std::size_t comparisons = 0;
+
+    void clear() {
+      hops.clear();
+      merger_false_matches = 0;
+      comparisons = 0;
+    }
   };
 
   /// Matches `ip` against shard `shard` of `shard_count`. Thread-safe pure
   /// read after prepare_match(), provided no mutation overlaps the epoch.
   /// `distinct_symbols` is the deduplicated symbol list of the path.
-  void match_shard(const InternedPath& ip,
-                   const std::vector<std::uint32_t>& distinct_symbols,
+  /// Appends into `out` (call out->clear() first to reuse its storage).
+  void match_shard(const PathView& ip,
+                   std::span<const std::uint32_t> distinct_symbols,
                    std::size_t shard, std::size_t shard_count,
                    ShardMatch* out) const;
 

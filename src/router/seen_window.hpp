@@ -1,0 +1,112 @@
+// Duplicate-suppression window for publication (doc id, path id) pairs.
+//
+// On overlays with cycles the same publication can arrive over several
+// paths; the broker must process it once or forwarding would loop.
+// Remembering every publication forever is both unbounded memory and —
+// measured — a control-path killer: an unordered_set's emplace degrades
+// to ~0.7 µs once the table reaches millions of entries, dominating the
+// broker's whole per-publication control budget. Duplicates, however,
+// arrive within one flooding round of the original, so a bounded window
+// that is guaranteed to remember at least the most recent kWindow
+// publications suppresses exactly the same duplicates in practice.
+//
+// The window is two fixed-size open-addressing tables (current and
+// previous generation) whose slots carry a generation stamp: a slot is
+// occupied only if its stamp equals the table's stamp, so rotating
+// generations is a pointer swap plus a stamp bump — no clearing, no
+// freeing, and the steady state performs zero allocation. Compare the
+// node-based alternative: one malloc per insert and a mass free every
+// rotation (~100-175 ns/probe); this table probes one or two cache
+// lines (~30 ns) and never touches the allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xroute {
+
+class SeenWindow {
+ public:
+  /// Inserts per generation. Membership spans two generations, so the
+  /// window always remembers at least the last kWindow publications and
+  /// at most twice that.
+  static constexpr std::size_t kWindow = 1u << 13;
+  /// Slots per table: load factor <= 0.5 keeps linear probes short.
+  static constexpr std::size_t kSlots = kWindow * 2;
+
+  SeenWindow() : current_(kSlots), previous_(kSlots) {}
+
+  /// True if (doc, path) was NOT seen within the window; records it.
+  /// False (a duplicate) leaves the window unchanged.
+  bool insert(std::uint64_t doc, std::uint32_t path) {
+    if (contains(previous_, prev_stamp_, doc, path)) return false;
+    std::size_t i = slot_of(doc, path);
+    while (current_[i].stamp == cur_stamp_) {
+      if (current_[i].doc == doc && current_[i].path == path) return false;
+      i = (i + 1) & (kSlots - 1);
+    }
+    current_[i] = Slot{doc, path, cur_stamp_};
+    if (++count_ >= kWindow) rotate();
+    return true;
+  }
+
+  /// Membership without recording (tests, introspection).
+  bool contains(std::uint64_t doc, std::uint32_t path) const {
+    return contains(current_, cur_stamp_, doc, path) ||
+           contains(previous_, prev_stamp_, doc, path);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t doc = 0;
+    std::uint32_t path = 0;
+    /// Generation this slot was written in; the slot is live only while
+    /// its table's stamp still equals it.
+    std::uint32_t stamp = 0;
+  };
+
+  static std::size_t slot_of(std::uint64_t doc, std::uint32_t path) {
+    std::uint64_t x =
+        doc ^ (static_cast<std::uint64_t>(path) * 0x9E3779B97F4A7C15ull);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x) & (kSlots - 1);
+  }
+
+  static bool contains(const std::vector<Slot>& table, std::uint32_t stamp,
+                       std::uint64_t doc, std::uint32_t path) {
+    std::size_t i = slot_of(doc, path);
+    while (table[i].stamp == stamp) {
+      if (table[i].doc == doc && table[i].path == path) return true;
+      i = (i + 1) & (kSlots - 1);
+    }
+    return false;
+  }
+
+  /// Ends the current generation: it becomes the read-only previous one
+  /// and the (two-generations-old) other table is reused as the new
+  /// current. Advancing the stamp makes every stale slot in it read as
+  /// empty — rotation costs a swap, not a sweep. Stamps start at 1 and
+  /// only grow, so the zero-initialised tables read as empty, and wrap
+  /// is beyond any realistic run (2^32 generations of 8192 inserts).
+  void rotate() {
+    current_.swap(previous_);
+    prev_stamp_ = cur_stamp_;
+    ++cur_stamp_;
+    count_ = 0;
+  }
+
+  std::vector<Slot> current_;
+  std::vector<Slot> previous_;
+  std::uint32_t cur_stamp_ = 1;
+  /// Must never equal a slot's stamp while the previous table is
+  /// logically empty. Slots zero-initialise to stamp 0 and live stamps
+  /// count up from 1, so 0 would make every empty slot read as occupied
+  /// (an unterminated probe); ~0 is unreachable until stamp wrap.
+  std::uint32_t prev_stamp_ = ~0u;
+  std::size_t count_ = 0;
+};
+
+}  // namespace xroute

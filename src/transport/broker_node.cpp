@@ -20,6 +20,22 @@ class TransportBroker::EncodingSink : public ForwardSink {
   void on_forward(IfaceId iface, const Message& msg) override {
     emit_(iface, wire::encode_frame(msg));
   }
+  // Publications that arrived with their wire frame are forwarded by
+  // copying the bytes — the encode (the expensive half: walking the Path
+  // and growing a payload) is skipped entirely. Frameless publications
+  // (empty span) fall back to encoding.
+  void on_forward_pub(IfaceId iface, const Message& msg,
+                      std::span<const std::uint8_t> frame) override {
+    if (frame.empty()) {
+      on_forward(iface, msg);
+    } else {
+      emit_(iface, std::vector<std::uint8_t>(frame.begin(), frame.end()));
+    }
+  }
+  void on_local_delivery_pub(IfaceId iface, const Message& msg,
+                             std::span<const std::uint8_t> frame) override {
+    on_forward_pub(iface, msg, frame);
+  }
 
  private:
   Emit emit_;
@@ -151,16 +167,31 @@ void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) 
   peer.frames_in->inc();
   peer.bytes_in->inc(decoded.consumed);
 
+  // The decoded frame's raw bytes ride along for publications so the
+  // broker's forward stage can resend them verbatim (no per-hop encode).
+  const bool keep_frame = options_.config.streaming_pipeline &&
+                          decoded.message.type() == MessageType::kPublish;
   if (async()) {
-    enqueue_event(InboundEvent{InboundEvent::Kind::kFrame,
-                               IfaceId{peer.interface_id},
-                               std::move(decoded.message)});
+    InboundEvent event{InboundEvent::Kind::kFrame,
+                       IfaceId{peer.interface_id},
+                       std::move(decoded.message)};
+    if (keep_frame) {
+      // The span dies at the loop thread's next feed(); the inbox owns a
+      // copy for the match thread.
+      event.frame.assign(decoded.raw.begin(), decoded.raw.end());
+    }
+    enqueue_event(std::move(event));
     return;
   }
   EncodingSink sink([this](IfaceId iface, std::vector<std::uint8_t> frame) {
     send_encoded(iface, std::move(frame));
   });
-  broker_.handle(IfaceId{peer.interface_id}, decoded.message, sink);
+  // Inline processing: decoded.raw is still alive (nothing feeds the
+  // decoder until this handler returns), so the frame travels zero-copy.
+  Broker::Inbound one{IfaceId{peer.interface_id}, &decoded.message,
+                      keep_frame ? decoded.raw
+                                 : std::span<const std::uint8_t>{}};
+  broker_.handle_batch(std::span<const Broker::Inbound>(&one, 1), sink);
 }
 
 void TransportBroker::enqueue_event(InboundEvent event) {
@@ -200,7 +231,8 @@ void TransportBroker::match_loop() {
     for (InboundEvent& event : batch) {
       switch (event.kind) {
         case InboundEvent::Kind::kFrame:
-          run.push_back(Broker::Inbound{event.iface, &event.msg});
+          run.push_back(Broker::Inbound{event.iface, &event.msg,
+                                        event.frame});
           break;
         case InboundEvent::Kind::kAddNeighbor:
           flush_run();

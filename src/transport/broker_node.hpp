@@ -125,6 +125,10 @@ class TransportBroker {
     Kind kind = Kind::kFrame;
     IfaceId iface;
     Message msg;  // kFrame only
+    /// Publication frames keep their wire bytes (the decoder's borrowed
+    /// span is dead once the loop thread feeds more data, so the inbox
+    /// owns a copy) — the match thread forwards them without re-encoding.
+    std::vector<std::uint8_t> frame;
   };
 
   /// ForwardSink that encodes each outgoing message immediately (on the

@@ -439,6 +439,7 @@ Decoded parse_one(const std::uint8_t* data, std::size_t size) {
   out.status = status;
   if (status == DecodeStatus::kOk) {
     out.consumed = cursor + static_cast<std::size_t>(length);
+    out.raw = {data, out.consumed};
   }
   return out;
 }

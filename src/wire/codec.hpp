@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,13 @@ struct Decoded {
   Message message;
   Hello hello;
   std::size_t consumed = 0;
+  /// The frame's exact wire bytes (header + payload), borrowed from the
+  /// decode input: valid until the caller's buffer moves — for
+  /// FrameDecoder, until the next feed() (next() only advances the read
+  /// offset; feed() may compact). Empty unless status is kOk or
+  /// kTrailingBytes. Lets consumers forward a publication without
+  /// re-encoding it.
+  std::span<const std::uint8_t> raw{};
 
   bool ok() const { return status == DecodeStatus::kOk; }
   bool is_message() const {

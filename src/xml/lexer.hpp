@@ -1,0 +1,156 @@
+// Shared lexical layer for the two XML front ends.
+//
+// The tree parser (xml/parser.cpp) and the streaming path extractor
+// (xml/stream_parser.cpp) must agree byte-for-byte on what is well-formed:
+// the streaming pipeline is validated differentially against the tree
+// pipeline, so any divergence in name rules, entity decoding or
+// comment/PI/DOCTYPE skipping would show up as a false mismatch. Keeping
+// the token-level helpers in one header makes the agreement structural
+// instead of coincidental.
+//
+// Internal header: nothing here is part of the library API.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace xroute::xmldetail {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char get() { return text_[pos_++]; }
+  std::size_t pos() const { return pos_; }
+
+  bool starts_with(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void advance(std::size_t n) { pos_ += n; }
+
+  void skip_whitespace() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  /// Consumes up to and including `terminator`; errors if absent.
+  void skip_until(std::string_view terminator, const char* what) {
+    std::size_t found = text_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      fail(std::string("unterminated ") + what);
+    }
+    pos_ = found + terminator.size();
+  }
+
+  /// The slice [from, pos) of the underlying text.
+  std::string_view slice_from(std::size_t from) const {
+    return text_.substr(from, pos_ - from);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("XML parse error at offset " + std::to_string(pos_) +
+                     ": " + message);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+inline bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '.' || c == '-';
+}
+
+/// Parses an element/attribute name; the view borrows the input buffer.
+inline std::string_view parse_name(Cursor& cur) {
+  if (cur.done() || !is_name_start(cur.peek())) cur.fail("expected a name");
+  std::size_t start = cur.pos();
+  cur.get();
+  while (!cur.done() && is_name_char(cur.peek())) cur.get();
+  return cur.slice_from(start);
+}
+
+/// Decodes one entity reference; the cursor is positioned just past '&'.
+inline std::string decode_entity(Cursor& cur) {
+  std::string entity;
+  while (!cur.done() && cur.peek() != ';') entity += cur.get();
+  if (cur.done()) cur.fail("unterminated entity reference");
+  cur.get();  // ';'
+  if (entity == "amp") return "&";
+  if (entity == "lt") return "<";
+  if (entity == "gt") return ">";
+  if (entity == "quot") return "\"";
+  if (entity == "apos") return "'";
+  if (!entity.empty() && entity[0] == '#') {
+    int code = 0;
+    try {
+      code = (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X'))
+                 ? std::stoi(entity.substr(2), nullptr, 16)
+                 : std::stoi(entity.substr(1));
+    } catch (const std::exception&) {
+      cur.fail("bad character reference &" + entity + ";");
+    }
+    if (code <= 0 || code > 127) return "?";  // non-ASCII: placeholder
+    return std::string(1, static_cast<char>(code));
+  }
+  cur.fail("unknown entity &" + entity + ";");
+}
+
+/// Parses a quoted attribute value with entity decoding.
+inline std::string parse_attribute_value(Cursor& cur) {
+  if (cur.done() || (cur.peek() != '"' && cur.peek() != '\'')) {
+    cur.fail("expected quoted attribute value");
+  }
+  char quote = cur.get();
+  std::string value;
+  while (!cur.done() && cur.peek() != quote) {
+    char c = cur.get();
+    if (c == '&') {
+      value += decode_entity(cur);
+    } else {
+      value += c;
+    }
+  }
+  if (cur.done()) cur.fail("unterminated attribute value");
+  cur.get();  // closing quote
+  return value;
+}
+
+/// Skips comments, PIs, DOCTYPE. Returns true if anything was consumed.
+inline bool skip_misc(Cursor& cur) {
+  if (cur.starts_with("<!--")) {
+    cur.advance(4);
+    cur.skip_until("-->", "comment");
+    return true;
+  }
+  if (cur.starts_with("<?")) {
+    cur.advance(2);
+    cur.skip_until("?>", "processing instruction");
+    return true;
+  }
+  if (cur.starts_with("<!DOCTYPE")) {
+    // Skip to matching '>' (handles an optional internal subset [...]).
+    cur.advance(9);
+    int bracket_depth = 0;
+    while (!cur.done()) {
+      char c = cur.get();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth == 0) return true;
+    }
+    cur.fail("unterminated DOCTYPE");
+  }
+  return false;
+}
+
+}  // namespace xroute::xmldetail

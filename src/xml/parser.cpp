@@ -1,148 +1,27 @@
 #include "xml/parser.hpp"
 
-#include <cctype>
 #include <string>
+
+#include "xml/lexer.hpp"
 
 namespace xroute {
 
 namespace {
 
-class Cursor {
- public:
-  explicit Cursor(std::string_view text) : text_(text) {}
+using xmldetail::Cursor;
+using xmldetail::parse_attribute_value;
+using xmldetail::parse_name;
+using xmldetail::skip_misc;
 
-  bool done() const { return pos_ >= text_.size(); }
-  char peek() const { return text_[pos_]; }
-  char get() { return text_[pos_++]; }
-  std::size_t pos() const { return pos_; }
-
-  bool starts_with(std::string_view prefix) const {
-    return text_.substr(pos_, prefix.size()) == prefix;
-  }
-
-  void advance(std::size_t n) { pos_ += n; }
-
-  void skip_whitespace() {
-    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
-  }
-
-  /// Consumes up to and including `terminator`; errors if absent.
-  void skip_until(std::string_view terminator, const char* what) {
-    std::size_t found = text_.find(terminator, pos_);
-    if (found == std::string_view::npos) {
-      fail(std::string("unterminated ") + what);
-    }
-    pos_ = found + terminator.size();
-  }
-
-  [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError("XML parse error at offset " + std::to_string(pos_) +
-                     ": " + message);
-  }
-
- private:
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-bool is_name_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
-}
-
-bool is_name_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
-         c == '.' || c == '-';
-}
-
-std::string parse_name(Cursor& cur) {
-  if (cur.done() || !is_name_start(cur.peek())) cur.fail("expected a name");
-  std::string name;
-  name += cur.get();
-  while (!cur.done() && is_name_char(cur.peek())) name += cur.get();
-  return name;
-}
-
-std::string decode_entity(Cursor& cur) {
-  // Cursor is positioned just past '&'.
-  std::string entity;
-  while (!cur.done() && cur.peek() != ';') entity += cur.get();
-  if (cur.done()) cur.fail("unterminated entity reference");
-  cur.get();  // ';'
-  if (entity == "amp") return "&";
-  if (entity == "lt") return "<";
-  if (entity == "gt") return ">";
-  if (entity == "quot") return "\"";
-  if (entity == "apos") return "'";
-  if (!entity.empty() && entity[0] == '#') {
-    int code = 0;
-    try {
-      code = (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X'))
-                 ? std::stoi(entity.substr(2), nullptr, 16)
-                 : std::stoi(entity.substr(1));
-    } catch (const std::exception&) {
-      cur.fail("bad character reference &" + entity + ";");
-    }
-    if (code <= 0 || code > 127) return "?";  // non-ASCII: placeholder
-    return std::string(1, static_cast<char>(code));
-  }
-  cur.fail("unknown entity &" + entity + ";");
-}
-
-std::string parse_attribute_value(Cursor& cur) {
-  if (cur.done() || (cur.peek() != '"' && cur.peek() != '\'')) {
-    cur.fail("expected quoted attribute value");
-  }
-  char quote = cur.get();
-  std::string value;
-  while (!cur.done() && cur.peek() != quote) {
-    char c = cur.get();
-    if (c == '&') {
-      value += decode_entity(cur);
-    } else {
-      value += c;
-    }
-  }
-  if (cur.done()) cur.fail("unterminated attribute value");
-  cur.get();  // closing quote
-  return value;
-}
-
-/// Skips comments, PIs, DOCTYPE. Returns true if anything was consumed.
-bool skip_misc(Cursor& cur) {
-  if (cur.starts_with("<!--")) {
-    cur.advance(4);
-    cur.skip_until("-->", "comment");
-    return true;
-  }
-  if (cur.starts_with("<?")) {
-    cur.advance(2);
-    cur.skip_until("?>", "processing instruction");
-    return true;
-  }
-  if (cur.starts_with("<!DOCTYPE")) {
-    // Skip to matching '>' (handles an optional internal subset [...]).
-    cur.advance(9);
-    int bracket_depth = 0;
-    while (!cur.done()) {
-      char c = cur.get();
-      if (c == '[') ++bracket_depth;
-      if (c == ']') --bracket_depth;
-      if (c == '>' && bracket_depth == 0) return true;
-    }
-    cur.fail("unterminated DOCTYPE");
-  }
-  return false;
-}
-
-XmlNode parse_element(Cursor& cur);
+XmlNode parse_element(Cursor& cur, std::size_t depth);
 
 /// Parses the content between <name…> and </name>, filling `node`.
-void parse_content(Cursor& cur, XmlNode& node) {
+void parse_content(Cursor& cur, XmlNode& node, std::size_t depth) {
   while (true) {
     if (cur.done()) cur.fail("unexpected end of input inside <" + node.name + ">");
     if (cur.starts_with("</")) {
       cur.advance(2);
-      std::string closing = parse_name(cur);
+      std::string closing(parse_name(cur));
       cur.skip_whitespace();
       if (cur.done() || cur.get() != '>') cur.fail("malformed closing tag");
       if (closing != node.name) {
@@ -160,14 +39,14 @@ void parse_content(Cursor& cur, XmlNode& node) {
     }
     if (skip_misc(cur)) continue;
     if (cur.peek() == '<') {
-      node.children.push_back(parse_element(cur));
+      node.children.push_back(parse_element(cur, depth + 1));
       continue;
     }
     // Character data.
     while (!cur.done() && cur.peek() != '<') {
       char c = cur.get();
       if (c == '&') {
-        node.text += decode_entity(cur);
+        node.text += xmldetail::decode_entity(cur);
       } else {
         node.text += c;
       }
@@ -175,10 +54,13 @@ void parse_content(Cursor& cur, XmlNode& node) {
   }
 }
 
-XmlNode parse_element(Cursor& cur) {
+XmlNode parse_element(Cursor& cur, std::size_t depth) {
+  if (depth > kMaxXmlDepth) {
+    cur.fail("element nesting deeper than " + std::to_string(kMaxXmlDepth));
+  }
   if (cur.done() || cur.get() != '<') cur.fail("expected '<'");
   XmlNode node;
-  node.name = parse_name(cur);
+  node.name = std::string(parse_name(cur));
   // Attributes.
   while (true) {
     cur.skip_whitespace();
@@ -192,13 +74,13 @@ XmlNode parse_element(Cursor& cur) {
       cur.get();
       break;
     }
-    std::string key = parse_name(cur);
+    std::string key(parse_name(cur));
     cur.skip_whitespace();
     if (cur.done() || cur.get() != '=') cur.fail("expected '=' after attribute name");
     cur.skip_whitespace();
     node.attributes.emplace_back(std::move(key), parse_attribute_value(cur));
   }
-  parse_content(cur, node);
+  parse_content(cur, node, depth);
   return node;
 }
 
@@ -209,7 +91,7 @@ XmlDocument parse_xml(std::string_view text) {
   cur.skip_whitespace();
   while (!cur.done() && skip_misc(cur)) cur.skip_whitespace();
   if (cur.done()) cur.fail("document has no root element");
-  XmlNode root = parse_element(cur);
+  XmlNode root = parse_element(cur, 1);
   cur.skip_whitespace();
   while (!cur.done() && skip_misc(cur)) cur.skip_whitespace();
   if (!cur.done()) cur.fail("trailing content after root element");

@@ -4,6 +4,7 @@
 // the five predefined entities. Not a validating parser.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 #include "util/error.hpp"
@@ -11,8 +12,15 @@
 
 namespace xroute {
 
+/// Hard cap on element nesting, shared by the tree parser and the
+/// streaming extractor (xml/stream_parser.hpp). The paper's workloads top
+/// out around 10 levels; the cap exists so hostile deeply-nested input
+/// fails with ParseError instead of exhausting the recursion stack.
+inline constexpr std::size_t kMaxXmlDepth = 256;
+
 /// Parses a complete document; throws ParseError with position information
-/// on malformed markup (mismatched tags, bad names, unterminated literals).
+/// on malformed markup (mismatched tags, bad names, unterminated literals,
+/// nesting deeper than kMaxXmlDepth).
 XmlDocument parse_xml(std::string_view text);
 
 }  // namespace xroute

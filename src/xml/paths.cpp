@@ -15,6 +15,14 @@ InternedPath::InternedPath(const Path& p) : path(&p) {
   for (const std::string& e : p.elements) symbols.push_back(table.lookup(e));
 }
 
+PathView intern_path(const Path& p, std::vector<std::uint32_t>& storage) {
+  const SymbolTable& table = SymbolTable::global();
+  storage.clear();
+  storage.reserve(p.elements.size());
+  for (const std::string& e : p.elements) storage.push_back(table.lookup(e));
+  return {&p, storage.data(), storage.size()};
+}
+
 std::string Path::to_string() const {
   std::ostringstream os;
   for (const std::string& e : elements) os << '/' << e;

@@ -45,13 +45,29 @@ struct Path {
   friend auto operator<=>(const Path&, const Path&) = default;
 };
 
-/// A path with its element names resolved to interned symbol ids
-/// (util/symbols.hpp), built once per publication-matching call so the
-/// per-node hot loops compare integers instead of strings. Elements never
-/// seen in any XPE or advertisement resolve to SymbolTable::kNoSymbol,
-/// which matches nothing but a wildcard — exactly the string semantics.
-/// Holds a pointer to the source path (for predicate payloads); the path
+/// Borrowed view of a path with its element names resolved to interned
+/// symbol ids (util/symbols.hpp): the matching kernels' currency. The
+/// symbols live in caller-owned storage (an InternedPath, a per-worker
+/// scratch buffer, a StreamPathExtractor pool), so building one allocates
+/// nothing — that is what lets the streaming pipeline run the hot loop
+/// with zero heap traffic. Both the source path and the symbol storage
 /// must outlive the view.
+struct PathView {
+  const Path* path = nullptr;
+  const std::uint32_t* symbols = nullptr;
+  std::size_t count = 0;
+
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  std::uint32_t operator[](std::size_t i) const { return symbols[i]; }
+};
+
+/// A path with its element names resolved to interned symbol ids, built
+/// once per publication-matching call so the per-node hot loops compare
+/// integers instead of strings. Elements never seen in any XPE or
+/// advertisement resolve to SymbolTable::kNoSymbol, which matches nothing
+/// but a wildcard — exactly the string semantics. Holds a pointer to the
+/// source path (for predicate payloads); the path must outlive the view.
 struct InternedPath {
   explicit InternedPath(const Path& p);
 
@@ -61,7 +77,14 @@ struct InternedPath {
   std::size_t size() const { return symbols.size(); }
   bool empty() const { return symbols.empty(); }
   std::uint32_t operator[](std::size_t i) const { return symbols[i]; }
+
+  PathView view() const { return {path, symbols.data(), symbols.size()}; }
 };
+
+/// Interns `p`'s element names into caller-owned `storage` (cleared and
+/// refilled; reuse the vector to amortise its capacity) and returns a view
+/// over it. SymbolTable::lookup semantics, like InternedPath.
+PathView intern_path(const Path& p, std::vector<std::uint32_t>& storage);
 
 /// Parses "/t1/t2/.../tn" into a Path; throws ParseError on bad syntax
 /// (the inverse of Path::to_string, used by tests and tools).

@@ -1,0 +1,262 @@
+#include "xml/stream_parser.hpp"
+
+#include <limits>
+#include <string>
+
+#include "util/symbols.hpp"
+#include "xml/lexer.hpp"
+#include "xml/parser.hpp"
+
+namespace xroute {
+
+using xmldetail::Cursor;
+using xmldetail::decode_entity;
+using xmldetail::parse_name;
+using xmldetail::skip_misc;
+
+/// Parse-time driver: owns the cursor and writes into the extractor's
+/// pools. Split out so the header stays free of lexer internals.
+class StreamPathExtractor::Impl {
+ public:
+  Impl(StreamPathExtractor& ex, std::string_view text, std::size_t max_depth)
+      : ex_(ex), cur_(text), max_depth_(max_depth) {}
+
+  void run() {
+    // Prolog: whitespace, comments, PIs, DOCTYPE.
+    cur_.skip_whitespace();
+    while (!cur_.done() && skip_misc(cur_)) cur_.skip_whitespace();
+    if (cur_.done()) cur_.fail("document has no root element");
+    parse_start_tag();
+    while (!ex_.opens_.empty()) {
+      if (cur_.done()) {
+        cur_.fail("unexpected end of input inside <" +
+                  std::string(ex_.opens_.back().name) + ">");
+      }
+      if (cur_.starts_with("</")) {
+        parse_close_tag();
+        continue;
+      }
+      if (cur_.starts_with("<![CDATA[")) {
+        cur_.advance(9);
+        cur_.skip_until("]]>", "CDATA section");
+        continue;  // CDATA payload is not part of routed text (see parser.cpp)
+      }
+      if (skip_misc(cur_)) continue;
+      if (cur_.peek() == '<') {
+        parse_start_tag();
+        continue;
+      }
+      parse_text_run();
+    }
+    // Epilog: only whitespace and misc may follow the root.
+    cur_.skip_whitespace();
+    while (!cur_.done() && skip_misc(cur_)) cur_.skip_whitespace();
+    if (!cur_.done()) cur_.fail("trailing content after root element");
+  }
+
+ private:
+  void parse_start_tag() {
+    std::size_t depth = ex_.opens_.size() + 1;
+    if (depth > kMaxXmlDepth) {
+      cur_.fail("element nesting deeper than " + std::to_string(kMaxXmlDepth));
+    }
+    if (cur_.done() || cur_.get() != '<') cur_.fail("expected '<'");
+    std::string_view name = parse_name(cur_);
+    if (!ex_.opens_.empty() && ex_.opens_.back().rec >= 0) {
+      ex_.recs_[ex_.opens_.back().rec].has_child = true;
+    }
+    // A node contributes a record when every ancestor sits below the
+    // extraction cap — exactly the nodes the tree walk visits. Deeper
+    // elements are still parsed (and validated) but leave no trace.
+    std::int32_t rec = -1;
+    if (depth == 1 || depth - 1 < max_depth_) {
+      rec = static_cast<std::int32_t>(ex_.recs_.size());
+      Rec r;
+      r.name = name;
+      r.symbol = SymbolTable::global().lookup(name);
+      r.depth = static_cast<std::uint32_t>(depth);
+      r.first_attr = static_cast<std::int32_t>(ex_.attrs_.size());
+      ex_.recs_.push_back(r);
+    }
+    while (true) {
+      cur_.skip_whitespace();
+      if (cur_.done()) cur_.fail("unterminated start tag <" + std::string(name));
+      if (cur_.peek() == '/') {
+        cur_.get();
+        if (cur_.done() || cur_.get() != '>') {
+          cur_.fail("malformed empty-element tag");
+        }
+        return;  // <name/>: leaf, never opened
+      }
+      if (cur_.peek() == '>') {
+        cur_.get();
+        break;
+      }
+      std::string_view key = parse_name(cur_);
+      cur_.skip_whitespace();
+      if (cur_.done() || cur_.get() != '=') {
+        cur_.fail("expected '=' after attribute name");
+      }
+      cur_.skip_whitespace();
+      std::string_view value = parse_attribute_value_view();
+      if (rec >= 0) {
+        ex_.attrs_.push_back(AttrEntry{key, value});
+        ++ex_.recs_[rec].attr_count;
+      }
+    }
+    ex_.opens_.push_back(Open{name, rec});
+  }
+
+  void parse_close_tag() {
+    cur_.advance(2);
+    std::string_view closing = parse_name(cur_);
+    cur_.skip_whitespace();
+    if (cur_.done() || cur_.get() != '>') cur_.fail("malformed closing tag");
+    if (closing != ex_.opens_.back().name) {
+      cur_.fail("mismatched closing tag </" + std::string(closing) + "> for <" +
+                std::string(ex_.opens_.back().name) + ">");
+    }
+    ex_.opens_.pop_back();
+  }
+
+  /// One run of character data up to the next '<' (or end of input, which
+  /// the main loop turns into the same error the tree parser raises).
+  /// Entity-free runs borrow the input buffer; runs with entities are
+  /// decoded into the arena.
+  void parse_text_run() {
+    std::size_t start = cur_.pos();
+    while (!cur_.done() && cur_.peek() != '<' && cur_.peek() != '&') cur_.get();
+    std::string_view piece;
+    if (cur_.done() || cur_.peek() == '<') {
+      piece = cur_.slice_from(start);
+    } else {
+      ex_.scratch_.assign(cur_.slice_from(start));
+      while (!cur_.done() && cur_.peek() != '<') {
+        char c = cur_.get();
+        if (c == '&') {
+          ex_.scratch_ += decode_entity(cur_);
+        } else {
+          ex_.scratch_ += c;
+        }
+      }
+      piece = ex_.arena_.copy(ex_.scratch_);
+    }
+    std::int32_t rec = ex_.opens_.back().rec;
+    if (rec < 0 || piece.empty()) return;
+    std::int32_t chunk = static_cast<std::int32_t>(ex_.chunks_.size());
+    ex_.chunks_.push_back(ChunkEntry{piece, -1});
+    Rec& r = ex_.recs_[rec];
+    if (r.last_chunk < 0) {
+      r.first_chunk = chunk;
+    } else {
+      ex_.chunks_[r.last_chunk].next = chunk;
+    }
+    r.last_chunk = chunk;
+  }
+
+  /// Mirror of xmldetail::parse_attribute_value that avoids copying
+  /// entity-free values.
+  std::string_view parse_attribute_value_view() {
+    if (cur_.done() || (cur_.peek() != '"' && cur_.peek() != '\'')) {
+      cur_.fail("expected quoted attribute value");
+    }
+    char quote = cur_.get();
+    std::size_t start = cur_.pos();
+    while (!cur_.done() && cur_.peek() != quote && cur_.peek() != '&') {
+      cur_.get();
+    }
+    if (cur_.done()) cur_.fail("unterminated attribute value");
+    if (cur_.peek() == quote) {
+      std::string_view value = cur_.slice_from(start);
+      cur_.get();  // closing quote
+      return value;
+    }
+    ex_.scratch_.assign(cur_.slice_from(start));
+    while (!cur_.done() && cur_.peek() != quote) {
+      char c = cur_.get();
+      if (c == '&') {
+        ex_.scratch_ += decode_entity(cur_);
+      } else {
+        ex_.scratch_ += c;
+      }
+    }
+    if (cur_.done()) cur_.fail("unterminated attribute value");
+    cur_.get();  // closing quote
+    return ex_.arena_.copy(ex_.scratch_);
+  }
+
+  StreamPathExtractor& ex_;
+  Cursor cur_;
+  std::size_t max_depth_;
+};
+
+void StreamPathExtractor::extract(std::string_view text) {
+  extract(text, std::numeric_limits<std::size_t>::max());
+}
+
+void StreamPathExtractor::extract(std::string_view text,
+                                  std::size_t max_depth) {
+  recs_.clear();
+  attrs_.clear();
+  chunks_.clear();
+  opens_.clear();
+  arena_.reset();
+  paths_.clear();
+  out_symbols_.clear();
+  emitted_.clear();
+  Impl impl(*this, text, max_depth);
+  impl.run();
+  materialize(max_depth);
+}
+
+void StreamPathExtractor::materialize(std::size_t max_depth) {
+  seen_.clear();
+  sym_stack_.clear();
+  // Records are in pre-order, so replaying them with depth-driven
+  // truncation reconstructs each node's full ancestor chain — with every
+  // node's text complete, which is why emission waits for document end
+  // (text after a child still belongs to the parent's annotation).
+  Path current;
+  for (const Rec& rec : recs_) {
+    current.elements.resize(rec.depth - 1);
+    current.data.resize(rec.depth - 1);
+    sym_stack_.resize(rec.depth - 1);
+    current.elements.emplace_back(rec.name);
+    PathNodeData data;
+    for (std::int32_t a = 0; a < rec.attr_count; ++a) {
+      const AttrEntry& attr = attrs_[rec.first_attr + a];
+      data.attributes.insert_or_assign(std::string(attr.key),
+                                       std::string(attr.value));
+    }
+    for (std::int32_t c = rec.first_chunk; c >= 0; c = chunks_[c].next) {
+      data.text += chunks_[c].piece;
+    }
+    current.data.push_back(std::move(data));
+    sym_stack_.push_back(rec.symbol);
+    if (!rec.has_child || rec.depth >= max_depth) {
+      if (seen_.insert(current).second) {
+        paths_.push_back(current);
+        emitted_.push_back(
+            EmittedPath{static_cast<std::uint32_t>(out_symbols_.size()),
+                        static_cast<std::uint32_t>(sym_stack_.size())});
+        out_symbols_.insert(out_symbols_.end(), sym_stack_.begin(),
+                            sym_stack_.end());
+      }
+    }
+  }
+}
+
+std::vector<Path> stream_extract_paths(std::string_view text) {
+  StreamPathExtractor extractor;
+  extractor.extract(text);
+  return extractor.take_paths();
+}
+
+std::vector<Path> stream_extract_paths(std::string_view text,
+                                       std::size_t max_depth) {
+  StreamPathExtractor extractor;
+  extractor.extract(text, max_depth);
+  return extractor.take_paths();
+}
+
+}  // namespace xroute

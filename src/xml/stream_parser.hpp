@@ -1,0 +1,128 @@
+// Streaming publication pipeline, stage one: raw document bytes →
+// root-to-leaf paths with interned symbols, in a single pass and with no
+// element tree in between.
+//
+// The tree pipeline (parse_xml + extract_paths) materialises an XmlDocument
+// — one heap-allocated node per element, each with its own strings — only
+// to immediately flatten it into paths and throw the tree away. The
+// StreamPathExtractor walks the buffer once with a pull-style tokenizer:
+// open/close tag events drive a stack of flyweight element records (names
+// and raw text runs borrow the input buffer; only entity-decoded pieces are
+// copied, into a bump arena), and each open event resolves the element name
+// to its interned Symbol id exactly once. Paths are materialised straight
+// from the records at document end.
+//
+// Semantics are identical to the tree pipeline by construction and by
+// differential test: for every input, extract(text, d) produces exactly
+// extract_paths(parse_xml(text), d) — including which inputs throw
+// ParseError — because both front ends share the token layer in
+// xml/lexer.hpp and this file mirrors the tree walk's emission rules
+// (leaf-or-depth-capped, duplicates collapsed in first-occurrence order,
+// each node annotated with its complete concatenated text).
+//
+// The extractor is designed for reuse: all working storage (record pools,
+// arena, scratch buffers) survives across extract() calls, so a warmed-up
+// extractor parses a document with zero heap allocation outside the output
+// paths themselves. Not thread-safe; use one per worker.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+
+class StreamPathExtractor {
+ public:
+  StreamPathExtractor() = default;
+
+  /// Parses `text` and extracts its distinct root-to-leaf paths, replacing
+  /// any previous results. Throws ParseError on exactly the inputs
+  /// parse_xml rejects (including nesting deeper than kMaxXmlDepth).
+  /// `text` only needs to stay alive for the duration of the call.
+  void extract(std::string_view text);
+
+  /// Same, capped at `max_depth` levels (see extract_paths overload).
+  void extract(std::string_view text, std::size_t max_depth);
+
+  /// The extracted paths, in document order of first occurrence.
+  const std::vector<Path>& paths() const { return paths_; }
+
+  /// Moves the paths out (the extractor stays reusable).
+  std::vector<Path> take_paths() { return std::move(paths_); }
+
+  /// Interned symbol ids for paths()[i], resolved once per open-tag event
+  /// during the parse (SymbolTable::lookup semantics: names never seen in
+  /// any XPE or advertisement map to kNoSymbol). Valid until the next
+  /// extract() call.
+  std::span<const std::uint32_t> symbols(std::size_t i) const {
+    const EmittedPath& e = emitted_[i];
+    return {out_symbols_.data() + e.offset, e.count};
+  }
+
+  /// Scratch arena diagnostics (entity-decoded text lives here).
+  const Arena& arena() const { return arena_; }
+
+ private:
+  /// One element that may contribute a path node. Names and raw text runs
+  /// are views into the input buffer; entity-decoded pieces are views into
+  /// the arena.
+  struct Rec {
+    std::string_view name;
+    std::uint32_t symbol = 0;
+    std::uint32_t depth = 0;  ///< 1-based
+    std::int32_t first_attr = 0;
+    std::int32_t attr_count = 0;
+    std::int32_t first_chunk = -1;  ///< linked list into chunks_
+    std::int32_t last_chunk = -1;
+    bool has_child = false;
+  };
+  struct AttrEntry {
+    std::string_view key;
+    std::string_view value;
+  };
+  struct ChunkEntry {
+    std::string_view piece;
+    std::int32_t next = -1;
+  };
+  struct Open {
+    std::string_view name;
+    std::int32_t rec = -1;  ///< -1 when below the extraction depth cap
+  };
+  struct EmittedPath {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  class Impl;  // parse-time driver, defined in the .cpp
+
+  void materialize(std::size_t max_depth);
+
+  // Working pools, reused across documents.
+  std::vector<Rec> recs_;
+  std::vector<AttrEntry> attrs_;
+  std::vector<ChunkEntry> chunks_;
+  std::vector<Open> opens_;
+  std::vector<std::uint32_t> sym_stack_;
+  std::string scratch_;
+  std::set<Path> seen_;
+  Arena arena_;
+
+  // Results of the last extract().
+  std::vector<Path> paths_;
+  std::vector<std::uint32_t> out_symbols_;
+  std::vector<EmittedPath> emitted_;
+};
+
+/// One-shot conveniences mirroring extract_paths(parse_xml(text)[, d]).
+std::vector<Path> stream_extract_paths(std::string_view text);
+std::vector<Path> stream_extract_paths(std::string_view text,
+                                       std::size_t max_depth);
+
+}  // namespace xroute

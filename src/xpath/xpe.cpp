@@ -80,6 +80,7 @@ Xpe Xpe::absolute(std::vector<Step> steps) {
   x.relative_ = false;
   x.symbols_.reserve(x.steps_.size());
   for (const Step& s : x.steps_) x.symbols_.push_back(intern_symbol(s.name));
+  x.build_program();
   x.uid_ = XpeRegistry::global().uid_for(x);
   return x;
 }
@@ -91,8 +92,20 @@ Xpe Xpe::relative(std::vector<Step> steps) {
   x.relative_ = true;
   x.symbols_.reserve(x.steps_.size());
   for (const Step& s : x.steps_) x.symbols_.push_back(intern_symbol(s.name));
+  x.build_program();
   x.uid_ = XpeRegistry::global().uid_for(x);
   return x;
+}
+
+void Xpe::build_program() {
+  program_.clear();
+  program_.reserve(steps_.size());
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    std::uint32_t word = symbols_[i] & kProgSymbolMask;
+    if (steps_[i].axis == Axis::kDescendant) word |= kProgDescendant;
+    if (!steps_[i].predicates.empty()) word |= kProgPredicated;
+    program_.push_back(word);
+  }
 }
 
 bool Xpe::has_descendant() const {

@@ -45,10 +45,12 @@ class Xpe {
   Xpe& operator=(Xpe&& other) noexcept {
     steps_ = std::move(other.steps_);
     symbols_ = std::move(other.symbols_);
+    program_ = std::move(other.program_);
     relative_ = other.relative_;
     uid_ = other.uid_;
     other.steps_.clear();
     other.symbols_.clear();
+    other.program_.clear();
     other.relative_ = false;
     other.uid_ = 0;
     return *this;
@@ -72,6 +74,18 @@ class Xpe {
   /// instead of Step::name strings.
   std::uint32_t symbol(std::size_t i) const { return symbols_[i]; }
   const std::vector<std::uint32_t>& symbols() const { return symbols_; }
+
+  /// Packed match program: one word per step carrying everything the
+  /// publication-match kernel needs — low 30 bits the interned symbol,
+  /// kProgDescendant the step's axis, kProgPredicated whether the step has
+  /// predicates. The kernel (match/pub_match.cpp) walks this one
+  /// contiguous array instead of the Step structs, whose strings and
+  /// predicate vectors scatter across the heap and turn every visited
+  /// table entry into cache misses.
+  static constexpr std::uint32_t kProgDescendant = 0x80000000u;
+  static constexpr std::uint32_t kProgPredicated = 0x40000000u;
+  static constexpr std::uint32_t kProgSymbolMask = 0x3FFFFFFFu;
+  const std::vector<std::uint32_t>& program() const { return program_; }
 
   /// Dense process-wide id canonical for the *semantic value*: two XPEs
   /// compare equal iff their uids are equal (the factories register every
@@ -114,8 +128,11 @@ class Xpe {
   }
 
  private:
+  void build_program();
+
   std::vector<Step> steps_;
   std::vector<std::uint32_t> symbols_;
+  std::vector<std::uint32_t> program_;
   bool relative_ = false;
   std::uint32_t uid_ = 0;
 };

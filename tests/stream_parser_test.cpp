@@ -1,0 +1,285 @@
+// Differential and property tests for the streaming path extractor:
+// stream_extract_paths must agree with extract_paths(parse_xml(...)) on
+// results AND on which inputs throw, at every depth cap.
+#include "xml/stream_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/symbols.hpp"
+#include "workload/dtd_corpus.hpp"
+#include "workload/xml_gen.hpp"
+#include "xml/parser.hpp"
+#include "xml/paths.hpp"
+
+namespace xroute {
+namespace {
+
+std::vector<Path> tree_paths(std::string_view text) {
+  return extract_paths(parse_xml(text));
+}
+
+void expect_same(const std::string& text) {
+  SCOPED_TRACE(text);
+  std::vector<Path> tree = tree_paths(text);
+  std::vector<Path> stream = stream_extract_paths(text);
+  ASSERT_EQ(tree.size(), stream.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    EXPECT_EQ(tree[i], stream[i]) << "path " << i;
+  }
+}
+
+TEST(StreamParser, SingleEmptyElement) { expect_same("<a/>"); }
+
+TEST(StreamParser, EmptyElementsAtEveryLevel) {
+  expect_same("<a><b/><c><d/></c></a>");
+}
+
+TEST(StreamParser, TextOnlyNodes) {
+  expect_same("<a>hello<b>world</b> trailing</a>");
+}
+
+TEST(StreamParser, SplitTextAroundChildren) {
+  // <a>'s text is "xy": character data before AND after <b/> — the tree
+  // walk concatenates them, so the stream must defer emission to doc end.
+  expect_same("<a>x<b/>y</a>");
+  std::vector<Path> got = stream_extract_paths("<a>x<b/>y</a>");
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_TRUE(got[0].annotated());
+  EXPECT_EQ(got[0].node_data(0)->text, "xy");
+}
+
+TEST(StreamParser, AttributeBearingLeaves) {
+  expect_same(R"(<a k="v"><b type='photo' source="wire"/></a>)");
+}
+
+TEST(StreamParser, DuplicateAttributeLastWins) {
+  expect_same(R"(<a k="one" k="two"><b/></a>)");
+}
+
+TEST(StreamParser, EntitiesInTextAndAttributes) {
+  expect_same(R"(<a k="x&amp;y&#65;">M &lt;&gt; &quot;&apos; &#x41;</a>)");
+}
+
+TEST(StreamParser, NonAsciiCharRefBecomesPlaceholder) {
+  expect_same("<a>&#955;</a>");
+  std::vector<Path> got = stream_extract_paths("<a>&#955;</a>");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].node_data(0)->text, "?");
+}
+
+TEST(StreamParser, CdataSkippedCommentsAndPisIgnored) {
+  expect_same(
+      "<?xml version='1.0'?><!DOCTYPE a [<!ELEMENT a ANY>]>"
+      "<a><!-- note -->pre<![CDATA[<not><parsed>]]>post<?pi data?></a>");
+}
+
+TEST(StreamParser, DuplicatePathsCollapseInFirstOccurrenceOrder) {
+  expect_same("<a><b/><c/><b/></a>");
+  std::vector<Path> got = stream_extract_paths("<a><b/><c/><b/></a>");
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].to_string(), "/a/b");
+  EXPECT_EQ(got[1].to_string(), "/a/c");
+}
+
+TEST(StreamParser, DuplicatesWithDistinctAnnotationsStayDistinct) {
+  // Same element path, different text: not duplicates.
+  expect_same("<a><b>1</b><b>2</b></a>");
+  EXPECT_EQ(stream_extract_paths("<a><b>1</b><b>2</b></a>").size(), 2u);
+}
+
+TEST(StreamParser, DepthCapTruncatesLikeTree) {
+  const std::string text = "<a><b><c><d/></c></b><e/></a>";
+  for (std::size_t cap : {0u, 1u, 2u, 3u, 4u, 10u}) {
+    SCOPED_TRACE(cap);
+    std::vector<Path> tree = extract_paths(parse_xml(text), cap);
+    std::vector<Path> stream = stream_extract_paths(text, cap);
+    EXPECT_EQ(tree, stream);
+  }
+}
+
+TEST(StreamParser, SymbolsMatchInternedPath) {
+  intern_symbol("stream_sym_known");
+  StreamPathExtractor ex;
+  ex.extract("<stream_sym_known><stream_sym_unknown/></stream_sym_known>");
+  ASSERT_EQ(ex.paths().size(), 1u);
+  InternedPath ip(ex.paths()[0]);
+  auto syms = ex.symbols(0);
+  ASSERT_EQ(syms.size(), ip.symbols.size());
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    EXPECT_EQ(syms[i], ip.symbols[i]);
+  }
+  EXPECT_EQ(syms[1], SymbolTable::kNoSymbol);
+}
+
+TEST(StreamParser, ExtractorIsReusable) {
+  StreamPathExtractor ex;
+  ex.extract("<a><b>t</b></a>");
+  ASSERT_EQ(ex.paths().size(), 1u);
+  EXPECT_EQ(ex.paths()[0].to_string(), "/a/b");
+  ex.extract("<x/>");
+  ASSERT_EQ(ex.paths().size(), 1u);
+  EXPECT_EQ(ex.paths()[0].to_string(), "/x");
+  // Stale results fully replaced, including symbol spans.
+  EXPECT_EQ(ex.symbols(0).size(), 1u);
+}
+
+// --- malformed inputs: both front ends must reject identically ---------
+
+void expect_both_throw(const std::string& text) {
+  SCOPED_TRACE(text);
+  EXPECT_THROW(tree_paths(text), ParseError);
+  EXPECT_THROW(stream_extract_paths(text), ParseError);
+}
+
+TEST(StreamParser, MalformedInputsRejected) {
+  expect_both_throw("");
+  expect_both_throw("   ");
+  expect_both_throw("no markup");
+  expect_both_throw("<a>");
+  expect_both_throw("<a></b>");
+  expect_both_throw("<a><b></a></b>");
+  expect_both_throw("<a attr></a>");
+  expect_both_throw("<a k=v/>");
+  expect_both_throw("<a k='v/>");
+  expect_both_throw("<a>&nosuch;</a>");
+  expect_both_throw("<a>&#xzz;</a>");
+  expect_both_throw("<a>&unterminated");
+  expect_both_throw("<a/><b/>");
+  expect_both_throw("<a/>trailing");
+  expect_both_throw("<a><![CDATA[unterminated</a>");
+  expect_both_throw("<a><!-- unterminated</a>");
+  expect_both_throw("<1bad/>");
+}
+
+TEST(StreamParser, DepthLimitBothParsers) {
+  // kMaxXmlDepth nested elements parse; one more must throw in both.
+  auto nested = [](std::size_t depth) {
+    std::string text;
+    for (std::size_t i = 0; i < depth; ++i) text += "<d>";
+    for (std::size_t i = 0; i < depth; ++i) text += "</d>";
+    return text;
+  };
+  const std::string ok = nested(kMaxXmlDepth);
+  EXPECT_EQ(tree_paths(ok).size(), 1u);
+  EXPECT_EQ(stream_extract_paths(ok).size(), 1u);
+  const std::string deep = nested(kMaxXmlDepth + 1);
+  EXPECT_THROW(parse_xml(deep), ParseError);
+  EXPECT_THROW(stream_extract_paths(deep), ParseError);
+}
+
+// --- property test over generated workloads ----------------------------
+
+TEST(StreamParser, PropertyGeneratedDocumentsAgree) {
+  Rng rng(20260809);
+  for (const Dtd& dtd : {news_dtd(), psd_dtd()}) {
+    for (int round = 0; round < 60; ++round) {
+      XmlGenOptions opts;
+      opts.max_levels = 1 + rng.index(9);
+      XmlDocument doc = generate_document(dtd, rng, opts);
+      std::string text = doc.serialize();
+      SCOPED_TRACE(text);
+      std::vector<Path> tree = tree_paths(text);
+      std::vector<Path> stream = stream_extract_paths(text);
+      ASSERT_EQ(tree, stream);
+      // And under a random depth cap.
+      std::size_t cap = rng.index(6);
+      ASSERT_EQ(extract_paths(parse_xml(text), cap),
+                stream_extract_paths(text, cap));
+    }
+  }
+}
+
+TEST(StreamParser, PropertyHandAssembledEdgeDocuments) {
+  // Deterministic generator biased toward the edge shapes the issue calls
+  // out: empty elements, text-only nodes, attribute-bearing leaves, split
+  // text, repeated siblings.
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 300; ++round) {
+    std::ostringstream os;
+    std::vector<std::string> stack;
+    auto name = [&] { return std::string(1, static_cast<char>('a' + rng() % 4)); };
+    os << "<root";
+    if (rng() % 2) os << " k=\"" << rng() % 10 << "\"";
+    os << ">";
+    stack.push_back("root");
+    int steps = 2 + static_cast<int>(rng() % 12);
+    for (int s = 0; s < steps; ++s) {
+      switch (rng() % 5) {
+        case 0: {  // open child
+          if (stack.size() >= 6) break;
+          std::string n = name();
+          os << "<" << n;
+          if (rng() % 3 == 0) os << " a=\"" << rng() % 10 << "\"";
+          if (rng() % 4 == 0) {
+            os << "/>";
+          } else {
+            os << ">";
+            stack.push_back(n);
+          }
+          break;
+        }
+        case 1:  // text
+          os << "t" << rng() % 10;
+          break;
+        case 2:  // entity text
+          os << "&amp;";
+          break;
+        case 3:  // close (keep root open)
+          if (stack.size() > 1) {
+            os << "</" << stack.back() << ">";
+            stack.pop_back();
+          }
+          break;
+        default:  // comment
+          os << "<!--c-->";
+          break;
+      }
+    }
+    while (!stack.empty()) {
+      os << "</" << stack.back() << ">";
+      stack.pop_back();
+    }
+    expect_same(os.str());
+  }
+}
+
+// --- arena --------------------------------------------------------------
+
+TEST(Arena, AlignedAllocationAndReset) {
+  Arena arena;
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  std::string_view copied = arena.copy("hello arena");
+  EXPECT_EQ(copied, "hello arena");
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // After reset the kept block is reused: same capacity, no growth for a
+  // same-sized workload.
+  std::size_t reserved = arena.bytes_reserved();
+  (void)arena.copy("hello arena");
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, GrowsForOversizedRequests) {
+  Arena arena;
+  std::string big(3u << 20, 'x');
+  std::string_view copied = arena.copy(big);
+  EXPECT_EQ(copied.size(), big.size());
+  EXPECT_EQ(copied, big);
+  arena.reset();
+  // The big block is the one kept.
+  EXPECT_GE(arena.bytes_reserved(), big.size());
+}
+
+}  // namespace
+}  // namespace xroute

@@ -75,6 +75,7 @@
 #include "util/rng.hpp"
 #include "xml/parser.hpp"
 #include "xml/paths.hpp"
+#include "xml/stream_parser.hpp"
 #include "xpath/parser.hpp"
 
 namespace {
@@ -102,8 +103,9 @@ const char kUsage[] =
     "  connect <host> <port>         handshake with a broker and exit\n"
     "  sub <host> <port> '<xpe>'... [--count N]\n"
     "                                subscribe and print deliveries\n"
-    "  pub <host> <port> <xml-file>... [--first-doc-id N]\n"
-    "                                publish documents' paths\n";
+    "  pub <host> <port> <xml-file>... [--first-doc-id N] [--tree]\n"
+    "                                publish documents' paths (--tree uses\n"
+    "                                the DOM parser instead of streaming)\n";
 
 /// Argument problems: main prints the usage text and exits 2.
 struct UsageError : std::runtime_error {
@@ -649,12 +651,15 @@ int cmd_sub(const std::vector<std::string>& args) {
 int cmd_pub(const std::vector<std::string>& args) {
   std::vector<std::string> positional;
   std::uint64_t doc_id = 1;
+  bool tree = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--first-doc-id") {
       if (++i >= args.size()) {
         throw UsageError("pub: --first-doc-id needs a number");
       }
       doc_id = std::stoull(args[i]);
+    } else if (args[i] == "--tree") {
+      tree = true;
     } else {
       positional.push_back(args[i]);
     }
@@ -671,8 +676,11 @@ int cmd_pub(const std::vector<std::string>& args) {
   }
   for (std::size_t i = 2; i < positional.size(); ++i, ++doc_id) {
     std::string xml = read_file(positional[i]);
-    XmlDocument doc = parse_xml(xml);
-    auto paths = extract_paths(doc);
+    // Streaming decomposition is the default: one pass over the bytes,
+    // no tree. --tree runs the DOM reference pipeline; both produce
+    // identical path lists (tests/stream_parser_test).
+    std::vector<Path> paths =
+        tree ? extract_paths(parse_xml(xml)) : stream_extract_paths(xml);
     std::uint32_t path_id = 0;
     for (const Path& path : paths) {
       PublishMsg msg;
