@@ -83,6 +83,41 @@ void Broker::add_neighbor(IfaceId interface_id) {
 
 void Broker::add_client(IfaceId interface_id) { clients_.insert(interface_id); }
 
+void Broker::drop_interface(IfaceId interface_id, ForwardSink& sink) {
+  // Route handback rides the ordinary withdrawal handlers, exactly as if
+  // the departing peer had sent the unsubscribes/unadvertises itself:
+  // covering re-issues orphaned children, unadvertise floods the
+  // withdrawal, and neither ever forwards back toward `interface_id`.
+  std::vector<Xpe> held;
+  for (const auto& [xpe, hops] : prt_.entries_with_hops()) {
+    if (hops.count(interface_id)) held.push_back(xpe);
+  }
+  HandleStatus ignored;
+  for (const Xpe& xpe : held) {
+    handle_unsubscribe(interface_id, UnsubscribeMsg{xpe}, sink, &ignored);
+  }
+  std::vector<Advertisement> advertised;
+  for (const auto& entry : srt_.entries()) {
+    if (entry->hops.count(interface_id)) {
+      advertised.push_back(entry->advertisement);
+    }
+  }
+  for (const Advertisement& adv : advertised) {
+    handle_unadvertise(interface_id, UnadvertiseMsg{adv, /*origin=*/-1},
+                       sink, &ignored);
+  }
+  neighbors_.erase(interface_id);
+  clients_.erase(interface_id);
+  client_subs_.erase(interface_id);
+  // Forwarding records may still name the interface (subscriptions we had
+  // sent *to* the peer); scrub it so later unsubscriptions do not chase a
+  // dead edge.
+  for (auto it = forwarded_to_.begin(); it != forwarded_to_.end();) {
+    it->second.erase(interface_id);
+    it = it->second.empty() ? forwarded_to_.erase(it) : std::next(it);
+  }
+}
+
 const std::vector<Xpe>* Broker::client_subscriptions(
     IfaceId interface_id) const {
   auto it = client_subs_.find(interface_id);
@@ -391,6 +426,18 @@ void Broker::handle_subscribe(IfaceId from, const SubscribeMsg& msg,
     return prt_.insert(msg.xpe, from);
   }();
   if (outcome.was_new) ++new_subs_since_merge_;
+
+  if (!outcome.was_new) {
+    // The same XPE held from another interface already forwarded almost
+    // everywhere — except toward its own earlier arrival interfaces,
+    // which until now had no reason to route publications our way. The
+    // new holder changes that: re-run the forwarding decision, which
+    // reaches exactly the interfaces not yet sent to (typically the
+    // first arrival's) and nothing else. Without this, two identical
+    // subscriptions on opposite sides of the overlay starve each other.
+    forward_subscription(msg.xpe, from, sink);
+    return;
+  }
 
   if (outcome.was_new) {
     // Per-interface covering decision happens inside forward_subscription:

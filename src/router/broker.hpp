@@ -198,6 +198,16 @@ class Broker {
   /// Declares `interface_id` as a locally attached client.
   void add_client(IfaceId interface_id);
 
+  /// Withdraws everything routed through `interface_id` and forgets the
+  /// interface: every subscription held via it is unsubscribed (covered
+  /// children re-issued where still needed) and every advertisement that
+  /// arrived through it is withdrawn, with the resulting control traffic
+  /// pushed into `sink` toward the remaining interfaces. This is the
+  /// routing half of a planned leave (peer said goodbye) or a confirmed
+  /// failure (heartbeat down, no rejoin) — a transient disconnect keeps
+  /// the state instead, betting on reconnection.
+  void drop_interface(IfaceId interface_id, ForwardSink& sink);
+
   /// Processes one message arriving on `from_interface` (use the client's
   /// interface id for client-issued messages), pushing outgoing messages
   /// into `sink` in deterministic order. A non-null `stages` sink collects

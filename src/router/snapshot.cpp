@@ -193,12 +193,19 @@ std::string export_link_state(const Broker& broker, IfaceId interface_id) {
     if (via_elsewhere) out << "srt\t" << entry->advertisement.to_string() << '\n';
   }
 
-  // Subscriptions forwarded over the link: the restarted side must hold
-  // them in its PRT with the link as lasthop, or publications stop routing
-  // back here. The forwarding record captures them even if the subscribe
-  // was still unacked in flight when the neighbour crashed.
-  for (const auto& [xpe, interfaces] : broker.forwarding_record()) {
-    if (interfaces.count(interface_id)) out << "sub\t" << xpe.to_string() << '\n';
+  // Subscriptions this broker holds via any hop other than the link: the
+  // peer must hold them in its PRT with the link as lasthop, or
+  // publications entering on its side stop routing back here. Exporting
+  // from the PRT (rather than the per-link forwarding record) makes the
+  // slice complete for a *cold* joiner too — a fresh link was never
+  // forwarded anything, yet the newcomer still needs every route.
+  for (const auto& [xpe, hops] : broker.prt().entries_with_hops()) {
+    for (IfaceId hop : hops) {
+      if (hop != interface_id) {
+        out << "sub\t" << xpe.to_string() << '\n';
+        break;
+      }
+    }
   }
 
   // Subscriptions already held *from* the restarted side (its pre-crash

@@ -1,0 +1,83 @@
+// Chaos runner — executes a parsed Scenario against live TransportBroker
+// processes over loopback TCP, injecting the scripted membership events
+// (kill / restart / leave / join) into real sockets and asserting
+// delivery correctness against a pure matching oracle.
+//
+// Correctness model. The publication schedule is deterministic
+// (scenario/workload.hpp), so every document's matching subscriber set is
+// known up front. Documents are classified by when they were published:
+//
+//   * assured      — published while every overlay broker was up and the
+//                    last membership disruption had converged (confirmed
+//                    by an end-to-end probe). Every matching subscriber
+//                    MUST deliver these; a miss fails the run.
+//   * best-effort  — published inside a disruption window (from a
+//                    kill/leave until the overlay re-converges, plus a
+//                    small in-flight margin before the event). Losses are
+//                    counted and reported, not failed: that window is
+//                    exactly what the scenario exists to measure.
+//
+// Two assertions hold unconditionally, chaos or not: no subscriber
+// receives a document its subscription does not match, and no subscriber
+// receives any document twice.
+//
+// Convergence after each membership event is measured with probe
+// documents on a reserved id range: the event's convergence time is the
+// probe round-trip from event injection until every live subscriber holds
+// the probe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace xroute::scenario {
+
+struct MembershipRecord {
+  double at_ms = 0.0;
+  std::string kind;
+  int broker = -1;
+  /// Event injection -> probe convergence, ms (< 0: never converged).
+  double convergence_ms = -1.0;
+  /// SyncState bytes pulled by the (re)joining broker, when applicable.
+  std::uint64_t resync_bytes = 0;
+};
+
+struct ScenarioReport {
+  std::string name;
+  bool ok = true;
+  std::vector<std::string> failures;
+  double duration_ms = 0.0;
+
+  std::size_t docs_published = 0;
+  std::size_t docs_assured = 0;
+  std::size_t docs_best_effort = 0;
+  /// Best-effort (doc, subscriber) deliveries that did not happen.
+  std::size_t best_effort_losses = 0;
+  std::size_t duplicates = 0;
+  /// Total time the overlay spent inside disruption windows.
+  double loss_window_ms = 0.0;
+
+  // -- Transport counters summed over every broker life in the run --------
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t peer_down_drops = 0;
+  std::uint64_t spooled_frames = 0;
+  std::uint64_t heartbeat_downs = 0;
+  std::uint64_t suspect_events = 0;
+  std::uint64_t handshake_timeouts = 0;
+
+  std::vector<MembershipRecord> membership;
+};
+
+/// Runs one scenario end to end. Throws xroute::ParseError on scripts
+/// that are structurally unrunnable (unknown broker ids, restart without
+/// kill); runtime correctness problems land in the report's failures.
+ScenarioReport run_scenario(const Scenario& scenario);
+
+/// BENCH_scenarios.json: {"scenarios": [...]} with one object per report.
+std::string report_json(const std::vector<ScenarioReport>& reports);
+
+}  // namespace xroute::scenario

@@ -1,0 +1,230 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xroute::scenario {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ParseError("scenario line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double parse_double(const std::string& text, std::size_t line,
+                    const char* what) {
+  try {
+    std::size_t used = 0;
+    double value = std::stod(text, &used);
+    if (used != text.size()) fail(line, std::string(what) + ": '" + text + "'");
+    return value;
+  } catch (const std::exception&) {
+    fail(line, std::string(what) + ": '" + text + "'");
+  }
+}
+
+std::uint64_t parse_count(const std::string& text, std::size_t line,
+                          const char* what) {
+  try {
+    std::size_t used = 0;
+    unsigned long long value = std::stoull(text, &used);
+    if (used != text.size() || (!text.empty() && text[0] == '-')) {
+      fail(line, std::string(what) + ": '" + text + "'");
+    }
+    return value;
+  } catch (const std::exception&) {
+    fail(line, std::string(what) + ": '" + text + "'");
+  }
+}
+
+int parse_broker_id(const std::string& text, std::size_t line) {
+  std::uint64_t id = parse_count(text, line, "bad broker id");
+  if (id > 1000000) fail(line, "broker id out of range: '" + text + "'");
+  return static_cast<int>(id);
+}
+
+std::vector<int> parse_id_list(const std::string& text, std::size_t line) {
+  std::vector<int> ids;
+  std::string current;
+  std::istringstream in(text);
+  while (std::getline(in, current, ',')) {
+    if (current.empty()) fail(line, "empty id in list '" + text + "'");
+    ids.push_back(parse_broker_id(current, line));
+  }
+  if (ids.empty()) fail(line, "empty neighbor list");
+  return ids;
+}
+
+ScenarioEvent parse_event(const std::vector<std::string>& tokens,
+                          std::size_t line) {
+  // tokens: at <t> <verb> <args...>
+  if (tokens.size() < 3) fail(line, "at needs a time and a verb");
+  ScenarioEvent event;
+  event.at_ms = parse_double(tokens[1], line, "bad event time");
+  if (event.at_ms < 0) fail(line, "event time must be >= 0");
+  const std::string& verb = tokens[2];
+  auto want = [&](std::size_t n, const char* usage) {
+    if (tokens.size() != n) fail(line, std::string("usage: ") + usage);
+  };
+  if (verb == "publish") {
+    want(4, "at T publish COUNT");
+    event.kind = EventKind::kPublishBurst;
+    event.count = static_cast<std::size_t>(
+        parse_count(tokens[3], line, "bad publish count"));
+  } else if (verb == "rate") {
+    want(6, "at T rate DOCS_PER_SEC until T2");
+    if (tokens[4] != "until") fail(line, "usage: at T rate DPS until T2");
+    event.kind = EventKind::kRate;
+    event.docs_per_sec = parse_double(tokens[3], line, "bad rate");
+    event.until_ms = parse_double(tokens[5], line, "bad rate end time");
+  } else if (verb == "diurnal") {
+    want(7, "at T diurnal PEAK_DPS PERIOD_MS until T2");
+    if (tokens[5] != "until") {
+      fail(line, "usage: at T diurnal PEAK PERIOD until T2");
+    }
+    event.kind = EventKind::kDiurnal;
+    event.docs_per_sec = parse_double(tokens[3], line, "bad diurnal peak");
+    event.period_ms = parse_double(tokens[4], line, "bad diurnal period");
+    event.until_ms = parse_double(tokens[6], line, "bad diurnal end time");
+    if (event.period_ms <= 0) fail(line, "diurnal period must be > 0");
+  } else if (verb == "kill" || verb == "restart" || verb == "leave") {
+    want(4, "at T kill|restart|leave BROKER");
+    event.kind = verb == "kill"      ? EventKind::kKill
+                 : verb == "restart" ? EventKind::kRestart
+                                     : EventKind::kLeave;
+    event.broker = parse_broker_id(tokens[3], line);
+  } else if (verb == "join") {
+    want(5, "at T join BROKER NEIGHBOR[,NEIGHBOR...]");
+    event.kind = EventKind::kJoin;
+    event.broker = parse_broker_id(tokens[3], line);
+    event.neighbors = parse_id_list(tokens[4], line);
+  } else {
+    fail(line, "unknown event verb '" + verb + "'");
+  }
+  if (event.kind == EventKind::kRate || event.kind == EventKind::kDiurnal) {
+    if (event.until_ms <= event.at_ms) {
+      fail(line, "'until' must be after the start time");
+    }
+    if (event.docs_per_sec <= 0) fail(line, "rate must be > 0");
+  }
+  return event;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPublishBurst: return "publish";
+    case EventKind::kRate: return "rate";
+    case EventKind::kDiurnal: return "diurnal";
+    case EventKind::kKill: return "kill";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kLeave: return "leave";
+    case EventKind::kJoin: return "join";
+  }
+  return "?";
+}
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario scenario;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    auto want = [&](std::size_t n, const char* usage) {
+      if (tokens.size() != n) {
+        fail(line_no, std::string("usage: ") + usage);
+      }
+    };
+    if (key == "name") {
+      want(2, "name LABEL");
+      scenario.name = tokens[1];
+    } else if (key == "seed") {
+      want(2, "seed N");
+      scenario.seed = parse_count(tokens[1], line_no, "bad seed");
+    } else if (key == "topology") {
+      want(3, "topology tree|chain|star|random SIZE");
+      if (tokens[1] != "tree" && tokens[1] != "chain" && tokens[1] != "star" &&
+          tokens[1] != "random") {
+        fail(line_no, "unknown topology '" + tokens[1] + "'");
+      }
+      scenario.topology = tokens[1];
+      scenario.topology_size = static_cast<std::size_t>(
+          parse_count(tokens[2], line_no, "bad topology size"));
+      if (scenario.topology_size == 0) {
+        fail(line_no, "topology size must be > 0");
+      }
+    } else if (key == "option") {
+      want(3, "option KEY VALUE");
+      scenario.options.emplace_back(tokens[1], tokens[2]);
+    } else if (key == "subscribers") {
+      want(2, "subscribers N");
+      scenario.subscribers = static_cast<std::size_t>(
+          parse_count(tokens[1], line_no, "bad subscriber count"));
+    } else if (key == "xpe") {
+      want(2, "xpe EXPR");
+      scenario.xpes.push_back(tokens[1]);
+    } else if (key == "path") {
+      want(2, "path EXPR");
+      scenario.paths.push_back(tokens[1]);
+    } else if (key == "zipf") {
+      want(2, "zipf S");
+      scenario.zipf_s = parse_double(tokens[1], line_no, "bad zipf exponent");
+      if (scenario.zipf_s < 0) fail(line_no, "zipf exponent must be >= 0");
+    } else if (key == "heartbeat") {
+      want(4, "heartbeat INTERVAL_MS SUSPECT_MS DOWN_MS");
+      scenario.heartbeat_interval_ms =
+          parse_double(tokens[1], line_no, "bad heartbeat interval");
+      scenario.suspect_after_ms =
+          parse_double(tokens[2], line_no, "bad suspect deadline");
+      scenario.down_after_ms =
+          parse_double(tokens[3], line_no, "bad down deadline");
+      if (scenario.heartbeat_interval_ms <= 0 ||
+          scenario.suspect_after_ms <= scenario.heartbeat_interval_ms ||
+          scenario.down_after_ms <= scenario.suspect_after_ms) {
+        fail(line_no, "heartbeat must satisfy interval < suspect < down");
+      }
+    } else if (key == "warmup") {
+      want(2, "warmup MS");
+      scenario.warmup_ms = parse_double(tokens[1], line_no, "bad warmup");
+    } else if (key == "settle") {
+      want(2, "settle MS");
+      scenario.settle_ms = parse_double(tokens[1], line_no, "bad settle");
+    } else if (key == "at") {
+      scenario.events.push_back(parse_event(tokens, line_no));
+    } else {
+      fail(line_no, "unknown directive '" + key + "'");
+    }
+  }
+  if (scenario.xpes.empty()) {
+    scenario.xpes = {"/a", "/a/b", "//c", "/d//e", "/a//c"};
+  }
+  if (scenario.paths.empty()) {
+    scenario.paths = {"/a/b", "/a/b/c", "/d/x/e", "/q", "/a"};
+  }
+  std::stable_sort(
+      scenario.events.begin(), scenario.events.end(),
+      [](const ScenarioEvent& a, const ScenarioEvent& b) {
+        return a.at_ms < b.at_ms;
+      });
+  return scenario;
+}
+
+}  // namespace xroute::scenario

@@ -1,0 +1,96 @@
+// Scenario DSL — scripted day-in-the-life runs over the real transport.
+//
+// A scenario file composes the pieces the repo already has — overlay
+// topologies (net/topology), broker knobs (router/broker_options),
+// workload skew and timed membership events — into one declarative,
+// line-oriented script the chaos runner (scenario/runner.hpp) executes
+// against live TransportBroker processes, asserting delivery correctness
+// against a pure matching oracle. The format follows net/fault's fault
+// plans: one directive per line, '#' comments, whitespace-separated
+// tokens, ParseError with a line number on anything malformed.
+//
+//   name flash-crowd            # report label
+//   seed 7                      # workload determinism
+//   topology tree 3             # tree L (2^L-1 brokers) | chain N |
+//                               #   star N | random N
+//   option covering on          # any apply_broker_option key
+//   subscribers 8               # clients, round-robin over brokers
+//   xpe /a/b                    # subscription pool (one per line)
+//   path /a/b/c                 # publication pool (one per line)
+//   zipf 0.9                    # path-pool skew (0 = uniform)
+//   heartbeat 50 150 400        # interval / suspect / down, ms
+//   warmup 200                  # ms before t=0
+//   settle 400                  # quiescence wait after the last event
+//   at 0 rate 200 until 1000    # steady publications, docs/sec
+//   at 200 publish 50           # flash crowd: a burst at one instant
+//   at 0 diurnal 300 2000 until 4000   # sinusoidal rate, peak/period
+//   at 500 kill 2               # SIGKILL-equivalent: no goodbye
+//   at 900 restart 2            # same port, incarnation+1, resync
+//   at 1200 leave 1             # planned: goodbye + route handback
+//   at 1500 join 7 0,2          # new broker dials brokers 0 and 2
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xroute::scenario {
+
+enum class EventKind {
+  kPublishBurst,  ///< `count` docs at one instant
+  kRate,          ///< steady `docs_per_sec` from at_ms to until_ms
+  kDiurnal,       ///< sinusoidal rate, peak docs_per_sec, period_ms
+  kKill,          ///< hard stop, no goodbye (peers must detect it)
+  kRestart,       ///< relaunch a killed broker: same port, +1 incarnation
+  kLeave,         ///< planned leave: goodbye, route handback
+  kJoin,          ///< a broker id new to the overlay dials `neighbors`
+};
+
+const char* to_string(EventKind kind);
+
+struct ScenarioEvent {
+  double at_ms = 0.0;
+  EventKind kind = EventKind::kPublishBurst;
+  std::size_t count = 0;        ///< kPublishBurst
+  double docs_per_sec = 0.0;    ///< kRate / kDiurnal peak
+  double until_ms = 0.0;        ///< kRate / kDiurnal end
+  double period_ms = 0.0;       ///< kDiurnal
+  int broker = -1;              ///< membership events
+  std::vector<int> neighbors;   ///< kJoin
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  std::uint64_t seed = 1;
+  std::string topology = "tree";
+  /// Levels for `tree`, broker count otherwise.
+  std::size_t topology_size = 2;
+  /// Broker knobs, applied through apply_broker_option. Advertisements
+  /// default OFF so the runner's oracle is pure XPE-vs-path matching.
+  std::vector<std::pair<std::string, std::string>> options;
+  std::size_t subscribers = 4;
+  /// Subscription / publication pools; defaults cover the paper's
+  /// running-example shapes when a script names none.
+  std::vector<std::string> xpes;
+  std::vector<std::string> paths;
+  /// Zipf exponent over the path pool (0 = uniform, rank 0 hottest).
+  double zipf_s = 0.0;
+  /// Failure-detector knobs for every broker in the run. Tight defaults:
+  /// scenarios live milliseconds, not the transport's multi-second
+  /// production defaults.
+  double heartbeat_interval_ms = 50.0;
+  double suspect_after_ms = 150.0;
+  double down_after_ms = 400.0;
+  double warmup_ms = 200.0;
+  double settle_ms = 400.0;
+  /// Sorted by at_ms (stable, so same-instant events keep file order).
+  std::vector<ScenarioEvent> events;
+};
+
+/// Parses a scenario script. Throws xroute::ParseError with a line number
+/// on malformed input. Empty xpe/path pools get the default sets.
+Scenario parse_scenario(const std::string& text);
+
+}  // namespace xroute::scenario

@@ -1,0 +1,74 @@
+#include "scenario/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xroute::scenario {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<ScheduledDoc> build_schedule(const Scenario& scenario) {
+  Rng rng(scenario.seed);
+  ZipfSampler sampler(scenario.paths.size(), scenario.zipf_s);
+  std::vector<ScheduledDoc> docs;
+  auto emit = [&](double at_ms) {
+    docs.push_back(ScheduledDoc{at_ms, sampler.sample(rng)});
+  };
+  for (const ScenarioEvent& event : scenario.events) {
+    switch (event.kind) {
+      case EventKind::kPublishBurst:
+        for (std::size_t i = 0; i < event.count; ++i) emit(event.at_ms);
+        break;
+      case EventKind::kRate: {
+        double step = 1000.0 / event.docs_per_sec;
+        for (double t = event.at_ms; t < event.until_ms; t += step) emit(t);
+        break;
+      }
+      case EventKind::kDiurnal: {
+        // Integrate the raised-cosine curve in 5 ms steps, carrying the
+        // fractional document so the troughs still contribute.
+        const double dt = 5.0;
+        const double two_pi = 2.0 * 3.14159265358979323846;
+        double carry = 0.0;
+        for (double t = event.at_ms; t < event.until_ms; t += dt) {
+          double phase = (t - event.at_ms) / event.period_ms;
+          double rate =
+              event.docs_per_sec * 0.5 * (1.0 - std::cos(two_pi * phase));
+          carry += rate * dt / 1000.0;
+          while (carry >= 1.0) {
+            carry -= 1.0;
+            emit(t);
+          }
+        }
+        break;
+      }
+      case EventKind::kKill:
+      case EventKind::kRestart:
+      case EventKind::kLeave:
+      case EventKind::kJoin:
+        break;
+    }
+  }
+  std::stable_sort(docs.begin(), docs.end(),
+                   [](const ScheduledDoc& a, const ScheduledDoc& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return docs;
+}
+
+}  // namespace xroute::scenario

@@ -1,0 +1,45 @@
+// Workload synthesis for scenario runs: deterministic publication
+// schedules from the scenario's rate/burst/diurnal events, with Zipf skew
+// over the path pool.
+//
+// The schedule is computed up front from the scenario seed — a pure
+// function of the script — so a run is reproducible and the runner's
+// oracle can classify every document before any socket exists.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace xroute::scenario {
+
+/// Samples ranks with P(i) proportional to 1/(i+1)^s via a precomputed
+/// CDF. s = 0 degenerates to uniform; rank 0 is the hottest item —
+/// matching the flash-crowd/topic-skew shapes the DSL's `zipf` directive
+/// scripts.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Index in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct ScheduledDoc {
+  double at_ms = 0.0;
+  std::size_t path_index = 0;
+};
+
+/// Expands the scenario's traffic events into one time-sorted list of
+/// publications. Burst events emit `count` docs at one instant; rate
+/// events tick at 1000/dps ms; diurnal events integrate a raised-cosine
+/// rate curve (zero at the endpoints, `docs_per_sec` at the crest) in
+/// small steps with fractional-doc carry so low rates still publish.
+std::vector<ScheduledDoc> build_schedule(const Scenario& scenario);
+
+}  // namespace xroute::scenario

@@ -1,11 +1,14 @@
 #include "transport/broker_node.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
 #include <future>
 #include <sstream>
 #include <utility>
 
 #include "router/match_scheduler.hpp"
+#include "router/snapshot.hpp"
 
 namespace xroute::transport {
 
@@ -48,8 +51,11 @@ TransportBroker::TransportBroker(Options options)
   Transport::Options topts;
   topts.self.kind = wire::Hello::PeerKind::kBroker;
   topts.self.peer_id = static_cast<std::uint32_t>(options_.id);
+  topts.self.incarnation = options_.incarnation;
   topts.connection = options_.connection;
   topts.dial_backoff = options_.dial_backoff;
+  topts.handshake_timeout_ms = options_.handshake_timeout_ms;
+  topts.heartbeat = options_.heartbeat;
   transport_ = std::make_unique<Transport>(loop_.get(), std::move(topts));
   transport_->set_peer_handler(
       [this](Connection* c, const wire::Hello& h) { on_peer(c, h); });
@@ -57,6 +63,14 @@ TransportBroker::TransportBroker(Options options)
       [this](Connection* c, wire::Decoded&& d) { on_frame(c, std::move(d)); });
   transport_->set_disconnect_handler(
       [this](Connection* c, const std::string& r) { on_disconnect(c, r); });
+  transport_->set_goodbye_handler([this](Connection* c) { on_goodbye(c); });
+  transport_->set_peer_state_handler([this](Connection* c, PeerState state) {
+    (void)c;
+    if (state == PeerState::kSuspect) {
+      suspect_events_.fetch_add(1, std::memory_order_relaxed);
+      registry_.counter("transport.peer_suspect").inc();
+    }
+  });
 }
 
 TransportBroker::~TransportBroker() { stop(); }
@@ -94,8 +108,46 @@ void TransportBroker::stop() {
 }
 
 void TransportBroker::on_peer(Connection* connection, const wire::Hello& hello) {
+  const bool is_broker = hello.kind == wire::Hello::PeerKind::kBroker;
+  if (is_broker) {
+    // Zombie fence: a Hello carrying a lower incarnation than the highest
+    // one seen for this broker id is a surviving socket of a previous
+    // life — reject it before it gets an interface.
+    auto known = peer_incarnations_.find(hello.peer_id);
+    if (known != peer_incarnations_.end() &&
+        hello.incarnation < known->second) {
+      registry_.counter("transport.stale_incarnations").inc();
+      connection->close("membership: stale incarnation");
+      return;
+    }
+    peer_incarnations_[hello.peer_id] = hello.incarnation;
+  }
   Peer peer;
-  peer.interface_id = next_interface_++;
+  bool rebound = false;
+  if (is_broker) {
+    auto bound = broker_ifaces_.find(hello.peer_id);
+    if (bound != broker_ifaces_.end()) {
+      // Known broker returning (restart, or a redial racing our dial):
+      // rebind its old interface so the Broker's routing state — and the
+      // link-state export the resync handshake serves from it — stays
+      // valid.
+      peer.interface_id = bound->second;
+      rebound = true;
+      auto existing = interfaces_.find(peer.interface_id);
+      if (existing != interfaces_.end() && existing->second != connection) {
+        // Dueling sockets for one peer: newest wins, the older one closes
+        // without being treated as a failure.
+        auto old_peer = peers_.find(existing->second);
+        if (old_peer != peers_.end()) old_peer->second.parting = true;
+        existing->second->close("membership: superseded by reconnect");
+      }
+    } else {
+      peer.interface_id = next_interface_++;
+      broker_ifaces_[hello.peer_id] = peer.interface_id;
+    }
+  } else {
+    peer.interface_id = next_interface_++;
+  }
   peer.hello = hello;
   std::string peer_label =
       (hello.kind == wire::Hello::PeerKind::kBroker ? "broker-" : "client-") +
@@ -109,13 +161,15 @@ void TransportBroker::on_peer(Connection* connection, const wire::Hello& hello) 
   peer.bytes_out = &registry_.counter("transport.bytes",
                                       {{"peer", peer_label}, {"dir", "out"}});
   interfaces_[peer.interface_id] = connection;
-  const bool is_broker = hello.kind == wire::Hello::PeerKind::kBroker;
   if (is_broker) {
     broker_peers_.fetch_add(1, std::memory_order_relaxed);
   } else {
     client_peers_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (async()) {
+  if (rebound) {
+    // The Broker already knows this interface; re-declaring it would be
+    // a no-op, and the routing state behind it is still live.
+  } else if (async()) {
     // Membership rides the inbox so the Broker (owned by the match thread)
     // learns about the interface before any frame queued behind it.
     enqueue_event(InboundEvent{is_broker ? InboundEvent::Kind::kAddNeighbor
@@ -132,6 +186,46 @@ void TransportBroker::on_peer(Connection* connection, const wire::Hello& hello) 
   // Honour an ingress pause already in force: a peer whose handshake
   // completes mid-pause must not start reading until the pause lifts.
   connection->set_read_enabled(backpressured_connections_ == 0);
+
+  if (is_broker) {
+    auto quarantine = quarantined_.find(peer.interface_id);
+    if (quarantine != quarantined_.end()) {
+      // Rejoin of a quarantined peer: the routes held through its
+      // interface go live again, and the publications spooled while it
+      // was away ride the new connection first, in order.
+      for (auto& frame : quarantine->second.spool) {
+        send_encoded(IfaceId{peer.interface_id}, std::move(frame));
+      }
+      quarantined_.erase(quarantine);
+    }
+    if (join_syncs_pending_ > 0) {
+      // This handshake completes one of an in-flight join()'s expected
+      // links: pull the neighbour's state through the resync handshake.
+      --join_syncs_pending_;
+      send_encoded(IfaceId{peer.interface_id},
+                   wire::encode_frame(Message::sync_request()));
+    }
+  }
+}
+
+void TransportBroker::on_goodbye(Connection* connection) {
+  auto it = peers_.find(connection);
+  if (it == peers_.end() || it->second.parting) return;
+  it->second.parting = true;
+  registry_.counter("transport.goodbyes").inc();
+  if (it->second.hello.kind == wire::Hello::PeerKind::kBroker) {
+    // The binding is released with the routes: if this broker ever comes
+    // back it enters as a brand-new member, incarnation counter included.
+    broker_ifaces_.erase(it->second.hello.peer_id);
+    peer_incarnations_.erase(it->second.hello.peer_id);
+  }
+  // Planned departure: hand the interface's routes back now, while every
+  // other link is healthy — the eventual disconnect is then just a socket
+  // closing, not a failure.
+  InboundEvent drop;
+  drop.kind = InboundEvent::Kind::kDropInterface;
+  drop.iface = IfaceId{it->second.interface_id};
+  dispatch_event(std::move(drop));
 }
 
 void TransportBroker::on_disconnect(Connection* connection,
@@ -145,7 +239,35 @@ void TransportBroker::on_disconnect(Connection* connection,
     client_peers_.fetch_sub(1, std::memory_order_relaxed);
   }
   registry_.counter("transport.disconnects").inc();
-  interfaces_.erase(it->second.interface_id);
+  // A superseded connection's interface already points at its successor;
+  // only retire the mapping when this connection still owns it.
+  auto iface_it = interfaces_.find(it->second.interface_id);
+  bool owned = iface_it != interfaces_.end() && iface_it->second == connection;
+  if (owned) interfaces_.erase(iface_it);
+  // An unplanned broker loss quarantines the interface: the Broker keeps
+  // its routing state (betting on rejoin — crash resync is the
+  // SyncRequest/SyncState handshake, driven by the restarted side), and
+  // publications routed its way are spooled up to the configured bound
+  // instead of vanishing. A peer that said goodbye already handed its
+  // routes back, so its close is just a socket going away.
+  if (owned && it->second.hello.kind == wire::Hello::PeerKind::kBroker &&
+      !it->second.parting && running_) {
+    Quarantine quarantine;
+    quarantine.hello = it->second.hello;
+    quarantined_.emplace(it->second.interface_id, std::move(quarantine));
+    registry_.counter("transport.quarantines").inc();
+  } else if (owned &&
+             it->second.hello.kind == wire::Hello::PeerKind::kClient &&
+             running_) {
+    // A client's interface dies with its connection: on reconnect it gets
+    // a fresh interface and re-subscribes, so the old one's subscriptions
+    // are withdrawn — otherwise they would route publications at a dead
+    // interface forever.
+    InboundEvent drop;
+    drop.kind = InboundEvent::Kind::kDropInterface;
+    drop.iface = IfaceId{it->second.interface_id};
+    dispatch_event(std::move(drop));
+  }
   // A dying connection never emits backpressure(false); release its share
   // of the ingress pause here or the whole node stays paused forever.
   bool was_backpressured = it->second.backpressured;
@@ -154,9 +276,6 @@ void TransportBroker::on_disconnect(Connection* connection,
     --backpressured_connections_;
     apply_read_pause();
   }
-  // The Broker keeps the interface's routing state: a reconnecting peer
-  // gets a fresh interface and re-announces (crash resync is the
-  // SyncRequest/SyncState handshake, driven by the restarted side).
 }
 
 void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) {
@@ -166,6 +285,10 @@ void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) 
   frames_in_.fetch_add(1, std::memory_order_relaxed);
   peer.frames_in->inc();
   peer.bytes_in->inc(decoded.consumed);
+  if (decoded.kind == wire::FrameKind::kSyncState) {
+    // Convergence cost accounting: how many bytes a join/rejoin pulled.
+    resync_bytes_in_.fetch_add(decoded.consumed, std::memory_order_relaxed);
+  }
 
   // The decoded frame's raw bytes ride along for publications so the
   // broker's forward stage can resend them verbatim (no per-hop encode).
@@ -191,7 +314,19 @@ void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) 
   Broker::Inbound one{IfaceId{peer.interface_id}, &decoded.message,
                       keep_frame ? decoded.raw
                                  : std::span<const std::uint8_t>{}};
-  broker_.handle_batch(std::span<const Broker::Inbound>(&one, 1), sink);
+  Broker::HandleStatus status =
+      broker_.handle_batch(std::span<const Broker::Inbound>(&one, 1), sink);
+  note_handle_status(status);
+}
+
+void TransportBroker::note_handle_status(const Broker::HandleStatus& status) {
+  if (!status.resync_completed) return;
+  resyncs_completed_.fetch_add(1, std::memory_order_relaxed);
+  double started = join_started_ms_.exchange(0.0, std::memory_order_relaxed);
+  if (started > 0) {
+    last_join_convergence_ms_.store(loop_->now_ms() - started,
+                                    std::memory_order_relaxed);
+  }
 }
 
 void TransportBroker::enqueue_event(InboundEvent event) {
@@ -225,24 +360,19 @@ void TransportBroker::match_loop() {
     run.reserve(batch.size());
     auto flush_run = [&] {
       if (run.empty()) return;
-      broker_.handle_batch(run, sink);
+      Broker::HandleStatus status = broker_.handle_batch(run, sink);
+      note_handle_status(status);
       run.clear();
     };
     for (InboundEvent& event : batch) {
-      switch (event.kind) {
-        case InboundEvent::Kind::kFrame:
-          run.push_back(Broker::Inbound{event.iface, &event.msg,
-                                        event.frame});
-          break;
-        case InboundEvent::Kind::kAddNeighbor:
-          flush_run();
-          broker_.add_neighbor(event.iface);
-          break;
-        case InboundEvent::Kind::kAddClient:
-          flush_run();
-          broker_.add_client(event.iface);
-          break;
+      if (event.kind == InboundEvent::Kind::kFrame) {
+        run.push_back(Broker::Inbound{event.iface, &event.msg, event.frame});
+        continue;
       }
+      // Membership/control events act on the Broker directly; the run
+      // flushes first so the mutation lands in arrival order.
+      flush_run();
+      apply_event(event, sink);
     }
     flush_run();
     if (!sends->empty()) {
@@ -258,10 +388,150 @@ void TransportBroker::match_loop() {
   }
 }
 
+void TransportBroker::apply_event(InboundEvent& event, EncodingSink& sink) {
+  switch (event.kind) {
+    case InboundEvent::Kind::kFrame:
+      break;  // frames travel through handle_batch, never through here
+    case InboundEvent::Kind::kAddNeighbor:
+      broker_.add_neighbor(event.iface);
+      break;
+    case InboundEvent::Kind::kAddClient:
+      broker_.add_client(event.iface);
+      break;
+    case InboundEvent::Kind::kDropInterface:
+      broker_.drop_interface(event.iface, sink);
+      break;
+    case InboundEvent::Kind::kBeginResync:
+      broker_.begin_resync(event.count);
+      break;
+    case InboundEvent::Kind::kInspect:
+      event.inspect->set_value(snapshot_to_string(broker_));
+      break;
+  }
+}
+
+void TransportBroker::dispatch_event(InboundEvent event) {
+  // Loop thread only. In async mode the inbox orders the mutation with
+  // in-flight traffic; in sync mode the loop thread owns the Broker and
+  // the mutation applies here and now.
+  if (async()) {
+    enqueue_event(std::move(event));
+    return;
+  }
+  EncodingSink sink([this](IfaceId iface, std::vector<std::uint8_t> frame) {
+    send_encoded(iface, std::move(frame));
+  });
+  apply_event(event, sink);
+}
+
+void TransportBroker::join(
+    std::vector<std::pair<std::string, std::uint16_t>> neighbors,
+    std::size_t expected_peers) {
+  std::size_t expected = std::max(expected_peers, neighbors.size());
+  if (expected == 0) return;
+  join_started_ms_.store(loop_->now_ms(), std::memory_order_relaxed);
+  loop_->post([this, neighbors = std::move(neighbors), expected] {
+    // Arm the resync count before any handshake can complete: the
+    // handle() call processing the last SyncState reports convergence.
+    join_syncs_pending_ += expected;
+    InboundEvent arm;
+    arm.kind = InboundEvent::Kind::kBeginResync;
+    arm.count = expected;
+    dispatch_event(std::move(arm));
+    for (const auto& [host, port] : neighbors) {
+      transport_->dial(host, port);
+    }
+  });
+}
+
+bool TransportBroker::leave(double timeout_ms) {
+  if (!running_) return true;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  // Let the match thread finish everything already accepted, so the
+  // goodbye really is the last thing peers hear from us.
+  while (queued_messages() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool clean = queued_messages() == 0;
+  {
+    std::promise<void> announced;
+    loop_->post([this, &announced] {
+      for (auto& [connection, peer] : peers_) {
+        (void)peer;
+        connection->send(wire::encode_goodbye());
+      }
+      announced.set_value();
+    });
+    announced.get_future().wait();
+  }
+  // Flush the send queues: in-flight publications (and the goodbyes) must
+  // beat the FIN.
+  for (;;) {
+    std::promise<std::size_t> pending;
+    loop_->post([this, &pending] {
+      std::size_t total = 0;
+      for (auto& [connection, peer] : peers_) {
+        (void)peer;
+        total += connection->pending_bytes();
+      }
+      pending.set_value(total);
+    });
+    if (pending.get_future().get() == 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      clean = false;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop();
+  return clean;
+}
+
+std::string TransportBroker::state_snapshot() {
+  InboundEvent event;
+  event.kind = InboundEvent::Kind::kInspect;
+  event.inspect = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = event.inspect->get_future();
+  if (async()) {
+    enqueue_event(std::move(event));
+  } else {
+    loop_->post([this, event = std::move(event)]() mutable {
+      EncodingSink sink(
+          [this](IfaceId iface, std::vector<std::uint8_t> frame) {
+            send_encoded(iface, std::move(frame));
+          });
+      apply_event(event, sink);
+    });
+  }
+  return future.get();
+}
+
 void TransportBroker::send_encoded(IfaceId interface_id,
                                    std::vector<std::uint8_t> frame) {
   auto it = interfaces_.find(interface_id.value());
-  if (it == interfaces_.end()) return;  // interface's peer is gone
+  if (it == interfaces_.end()) {
+    auto quarantine = quarantined_.find(interface_id.value());
+    if (quarantine != quarantined_.end() &&
+        quarantine->second.spool_bytes + frame.size() <=
+            options_.spool_limit_bytes) {
+      // The peer is down but not written off: hold the publication for
+      // replay on its successor connection.
+      quarantine->second.spool_bytes += frame.size();
+      quarantine->second.spool.push_back(std::move(frame));
+      spooled_frames_.fetch_add(1, std::memory_order_relaxed);
+      registry_.counter("transport.spooled_frames").inc();
+      return;
+    }
+    // Interface gone for good, or its spool is full: the loss is real,
+    // make it observable instead of silent.
+    peer_down_drops_.fetch_add(1, std::memory_order_relaxed);
+    registry_.counter("transport.peer_down_drops").inc();
+    return;
+  }
   auto peer_it = peers_.find(it->second);
   frames_out_.fetch_add(1, std::memory_order_relaxed);
   if (peer_it != peers_.end()) {

@@ -31,11 +31,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -55,6 +58,18 @@ class TransportBroker {
     BackoffPolicy dial_backoff{50.0, 2.0, 2000.0, -1};
     /// Use the poll(2) backend instead of the platform default.
     bool force_poll = false;
+    /// Restart count announced in our Hello: a rejoin after crash must
+    /// carry a higher incarnation than the life that died, or peers
+    /// reject the connection as a zombie.
+    std::uint32_t incarnation = 0;
+    /// Transport-level handshake deadline and failure detector knobs
+    /// (passed through to Transport::Options).
+    double handshake_timeout_ms = 5000.0;
+    HeartbeatOptions heartbeat;
+    /// Bytes of publications buffered per quarantined broker interface
+    /// while waiting for the peer to rejoin; overflow counts as
+    /// peer_down_drops.
+    std::size_t spool_limit_bytes = 1u << 20;
   };
 
   explicit TransportBroker(Options options);
@@ -66,8 +81,25 @@ class TransportBroker {
   /// Dials a neighbouring broker (callable from any thread, before or
   /// after the peer is up — dialing retries with backoff).
   void connect_to(const std::string& host, std::uint16_t port);
+  /// Live join: dials each neighbour and pulls routing state through the
+  /// SyncRequest/SyncState resync handshake — the broker expects one
+  /// SyncState per peer and reports convergence via resyncs_completed()
+  /// once the last one lands. Also the rejoin path after a crash (pair
+  /// with a bumped Options::incarnation). `expected_peers` is the number
+  /// of broker handshakes to resync from when it exceeds the dial list —
+  /// a restarted broker dials only the neighbours it originally dialed
+  /// and counts the survivors that redial in (0 = neighbors.size()).
+  /// Callable any time after start().
+  void join(std::vector<std::pair<std::string, std::uint16_t>> neighbors,
+            std::size_t expected_peers = 0);
+  /// Planned leave: waits for the inbox to drain, announces kGoodbye on
+  /// every connection (peers hand our routes back instead of quarantining
+  /// them), flushes send queues, then stops. Returns false if the flush
+  /// missed the deadline (the node still stops).
+  bool leave(double timeout_ms = 5000.0);
   /// Stops the match thread (draining its inbox), then the loop thread,
-  /// and closes every connection.
+  /// and closes every connection. A stop() without leave() is a crash as
+  /// far as peers are concerned: they detect it and quarantine our routes.
   void stop();
 
   int id() const { return options_.id; }
@@ -95,6 +127,44 @@ class TransportBroker {
   std::size_t queued_messages() const {
     return queued_messages_.load(std::memory_order_relaxed);
   }
+  /// Forwards that targeted a quarantined or vanished interface and were
+  /// dropped (spool full or no spool) — the observable form of what used
+  /// to be silent loss.
+  std::uint64_t peer_down_drops() const {
+    return peer_down_drops_.load(std::memory_order_relaxed);
+  }
+  /// Publications buffered for a quarantined peer awaiting rejoin.
+  std::uint64_t spooled_frames() const {
+    return spooled_frames_.load(std::memory_order_relaxed);
+  }
+  /// Resync handshakes brought to completion (join() or crash rejoin).
+  std::uint64_t resyncs_completed() const {
+    return resyncs_completed_.load(std::memory_order_relaxed);
+  }
+  /// Milliseconds from the last join() to its resync completion (0 until
+  /// the first completion).
+  double last_join_convergence_ms() const {
+    return last_join_convergence_ms_.load(std::memory_order_relaxed);
+  }
+  /// SyncState payload bytes received (the cost of convergence).
+  std::uint64_t resync_bytes_in() const {
+    return resync_bytes_in_.load(std::memory_order_relaxed);
+  }
+  /// Peers whose failure detector reached kSuspect at least once.
+  std::uint64_t suspect_events() const {
+    return suspect_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t handshake_timeouts() const {
+    return transport_->handshake_timeouts();
+  }
+  std::uint64_t heartbeat_downs() const {
+    return transport_->heartbeat_downs();
+  }
+
+  /// Serialised routing state (router/snapshot format), taken on the
+  /// thread that owns the Broker so it is a consistent cut. Blocks the
+  /// caller; used by convergence checks.
+  std::string state_snapshot();
 
   /// Snapshot of the node's MetricsRegistry (per-connection byte/frame
   /// series, plus the parallel engine's queue/worker series when the pool
@@ -105,6 +175,9 @@ class TransportBroker {
   struct Peer {
     int interface_id = -1;
     wire::Hello hello;
+    /// Peer announced a planned leave: its routes were handed back at
+    /// goodbye time, so the eventual disconnect must not quarantine them.
+    bool parting = false;
     /// This peer's send queue is above the high watermark. Mirrors the
     /// Connection's own flag so a dying connection (which never emits a
     /// final backpressure(false)) still releases the global ingress pause.
@@ -121,7 +194,19 @@ class TransportBroker {
   /// any frame that arrived after the handshake, and making both flow
   /// through one queue gives that ordering for free.
   struct InboundEvent {
-    enum class Kind { kFrame, kAddNeighbor, kAddClient };
+    enum class Kind {
+      kFrame,
+      kAddNeighbor,
+      kAddClient,
+      /// Withdraw an interface's routes (goodbye, or crash rejoin
+      /// superseding the dead incarnation's interface).
+      kDropInterface,
+      /// Arm Broker::begin_resync(count) ahead of the SyncState replies a
+      /// join() is about to solicit.
+      kBeginResync,
+      /// Barrier: serialise the broker's state on its owning thread.
+      kInspect,
+    };
     Kind kind = Kind::kFrame;
     IfaceId iface;
     Message msg;  // kFrame only
@@ -129,6 +214,8 @@ class TransportBroker {
     /// span is dead once the loop thread feeds more data, so the inbox
     /// owns a copy) — the match thread forwards them without re-encoding.
     std::vector<std::uint8_t> frame;
+    std::size_t count = 0;  // kBeginResync only
+    std::shared_ptr<std::promise<std::string>> inspect;  // kInspect only
   };
 
   /// ForwardSink that encodes each outgoing message immediately (on the
@@ -138,12 +225,21 @@ class TransportBroker {
   void on_peer(Connection* connection, const wire::Hello& hello);
   void on_frame(Connection* connection, wire::Decoded&& decoded);
   void on_disconnect(Connection* connection, const std::string& reason);
+  void on_goodbye(Connection* connection);
   void on_backpressure(Connection* connection, bool engaged);
   void apply_read_pause();
   /// Loop thread only: puts an already-encoded frame on the interface's
-  /// connection (drops it if the peer is gone).
+  /// connection; spools it when the interface is quarantined, else counts
+  /// the drop.
   void send_encoded(IfaceId interface_id, std::vector<std::uint8_t> frame);
   void enqueue_event(InboundEvent event);
+  /// Routes a broker-state mutation to whichever thread owns the Broker:
+  /// the inbox in async mode (ordered with traffic), inline otherwise.
+  void dispatch_event(InboundEvent event);
+  /// Runs one event against the Broker on its owning thread; `sink`
+  /// receives any control traffic the mutation emits.
+  void apply_event(InboundEvent& event, EncodingSink& sink);
+  void note_handle_status(const Broker::HandleStatus& status);
   void match_loop();
   bool async() const { return options_.config.match_threads > 1; }
 
@@ -160,6 +256,33 @@ class TransportBroker {
   bool running_ = false;
   std::uint16_t port_ = 0;
 
+  // -- Membership state (loop thread only) ---------------------------------
+  /// A downed broker peer's interface with its bounded publication spool:
+  /// routes through it stay in the tables betting on rejoin; what would
+  /// have been sent is buffered here (up to spool_limit_bytes) and
+  /// replayed onto the successor connection.
+  struct Quarantine {
+    wire::Hello hello;
+    std::deque<std::vector<std::uint8_t>> spool;
+    std::size_t spool_bytes = 0;
+  };
+  std::map<int, Quarantine> quarantined_;  ///< interface id -> quarantine
+  /// Stable broker id -> interface binding. A reconnecting broker is
+  /// rebound to the interface it had, so the Broker's routing state (and
+  /// the link-state export the resync handshake serves from it) stays
+  /// valid across the peer's crashes. The binding is released only by a
+  /// goodbye. Clients keep the historical fresh-interface-per-connection
+  /// behaviour.
+  std::map<std::uint32_t, int> broker_ifaces_;
+  /// Highest incarnation seen per broker id (zombie rejection).
+  std::map<std::uint32_t, std::uint32_t> peer_incarnations_;
+  /// Broker handshakes that still owe a SyncRequest for an in-flight
+  /// join(); decremented as dials complete.
+  std::size_t join_syncs_pending_ = 0;
+  /// Monotonic start of the in-flight join (0 = none); consumed by
+  /// note_handle_status on whichever thread owns the Broker.
+  std::atomic<double> join_started_ms_{0.0};
+
   // Match-thread inbox (async mode only).
   std::mutex inbox_mutex_;
   std::condition_variable inbox_cv_;
@@ -174,6 +297,12 @@ class TransportBroker {
   std::atomic<std::size_t> client_peers_{0};
   std::atomic<std::size_t> queued_messages_{0};
   std::atomic<std::uint64_t> batches_processed_{0};
+  std::atomic<std::uint64_t> peer_down_drops_{0};
+  std::atomic<std::uint64_t> spooled_frames_{0};
+  std::atomic<std::uint64_t> resyncs_completed_{0};
+  std::atomic<std::uint64_t> resync_bytes_in_{0};
+  std::atomic<std::uint64_t> suspect_events_{0};
+  std::atomic<double> last_join_convergence_ms_{0.0};
 };
 
 }  // namespace xroute::transport

@@ -15,6 +15,7 @@ TransportClient::TransportClient(Options options)
   topts.self.peer_id = static_cast<std::uint32_t>(options_.id);
   topts.connection = options_.connection;
   topts.dial_backoff = options_.dial_backoff;
+  topts.heartbeat = options_.heartbeat;
   transport_ = std::make_unique<Transport>(loop_.get(), std::move(topts));
   transport_->set_peer_handler(
       [this](Connection* c, const wire::Hello&) { on_peer(c); });

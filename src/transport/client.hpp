@@ -35,6 +35,10 @@ class TransportClient {
     Connection::Options connection;
     BackoffPolicy dial_backoff{50.0, 2.0, 2000.0, -1};
     bool force_poll = false;
+    /// Failure-detector knobs, passed through to the transport. Must be
+    /// at least as fast as the broker's: a broker running a tight
+    /// detector reaps clients that beacon on the lazy default.
+    HeartbeatOptions heartbeat;
   };
 
   explicit TransportClient(Options options);

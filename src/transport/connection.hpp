@@ -78,6 +78,7 @@ class Connection {
   void close(const std::string& reason);
 
   bool closed() const { return fd_ < 0; }
+  bool read_enabled() const { return read_enabled_; }
   bool backpressured() const { return backpressured_; }
   std::size_t pending_bytes() const { return pending_bytes_; }
   int fd() const { return fd_; }

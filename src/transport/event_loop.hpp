@@ -84,6 +84,10 @@ class EventLoop {
 
   bool using_poll_backend() const { return poll_backend_; }
 
+  /// Monotonic clock in milliseconds — the same timebase timers use, so
+  /// failure detectors can compare deadlines against scheduled ticks.
+  double now_ms() const;
+
  private:
   struct Timer {
     double due_ms;  ///< monotonic deadline
@@ -92,8 +96,6 @@ class EventLoop {
       return due_ms != other.due_ms ? due_ms > other.due_ms : id > other.id;
     }
   };
-
-  double now_ms() const;
   void drain_posted();
   void fire_due_timers();
   int next_timeout_ms(int cap_ms) const;

@@ -1,0 +1,61 @@
+#include "transport/heartbeat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xroute::transport {
+
+const char* to_string(PeerState state) {
+  switch (state) {
+    case PeerState::kAlive: return "alive";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDown: return "down";
+  }
+  return "unknown";
+}
+
+PeerHealth::PeerHealth(const HeartbeatOptions& options, double now_ms)
+    : options_(options), last_seen_ms_(now_ms) {}
+
+void PeerHealth::note_activity(double now_ms) {
+  double gap = now_ms - last_seen_ms_;
+  if (gap < 0) gap = 0;
+  samples_[next_sample_] = gap;
+  next_sample_ = (next_sample_ + 1) % kWindow;
+  if (sample_count_ < kWindow) ++sample_count_;
+  last_seen_ms_ = now_ms;
+}
+
+double PeerHealth::mean_interval_ms() const {
+  if (sample_count_ == 0) return options_.interval_ms;
+  double sum = 0;
+  for (std::size_t i = 0; i < sample_count_; ++i) sum += samples_[i];
+  // Floor at the beacon period: a burst of traffic must not shrink the
+  // model so far that one quiet interval reads as a failure.
+  return std::max(sum / static_cast<double>(sample_count_),
+                  options_.interval_ms);
+}
+
+double PeerHealth::phi(double now_ms) const {
+  double silence = now_ms - last_seen_ms_;
+  if (silence <= 0) return 0.0;
+  // Exponential inter-arrival model: P(gap >= silence) = exp(-silence/mean),
+  // so phi = -log10(P) = silence / mean * log10(e).
+  return silence / mean_interval_ms() * 0.4342944819032518;
+}
+
+PeerState PeerHealth::state(double now_ms) const {
+  if (!options_.enabled) return PeerState::kAlive;
+  double silence = now_ms - last_seen_ms_;
+  if (silence >= options_.down_after_ms) return PeerState::kDown;
+  if (silence >= options_.suspect_after_ms) return PeerState::kSuspect;
+  // Accrual path: an unusually long gap for *this* peer's cadence raises
+  // suspicion before the hard bound, but never inside two beacon periods.
+  if (silence >= 2.0 * options_.interval_ms &&
+      phi(now_ms) >= options_.phi_suspect) {
+    return PeerState::kSuspect;
+  }
+  return PeerState::kAlive;
+}
+
+}  // namespace xroute::transport

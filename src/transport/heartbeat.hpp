@@ -1,0 +1,84 @@
+// Per-peer failure detection: heartbeat schedule + suspicion state machine.
+//
+// Every established connection exchanges kHeartbeat frames at a fixed
+// interval; *any* arriving frame counts as proof of life (traffic is the
+// cheapest heartbeat). PeerHealth turns the arrival history into a
+// three-state machine
+//
+//     kAlive ──silence──▶ kSuspect ──more silence──▶ kDown
+//        ▲                   │
+//        └──── any frame ────┘
+//
+// with two inputs: a hard silence timeout (suspect_after_ms / down_after_ms)
+// and a phi accrual score computed from the observed inter-arrival window
+// (Hayashibara et al.: phi = -log10 P(silence this long | past arrivals),
+// under an exponential inter-arrival model). The phi term lets a peer whose
+// cadence is normally tight be suspected earlier than the fixed timeout; the
+// timeout term bounds detection latency regardless of history. kDown is
+// terminal per connection: the transport closes the socket, which routes
+// into the ordinary disconnect → quarantine → re-dial machinery.
+//
+// PeerHealth is pure (no clocks, no I/O): callers feed it monotonic
+// timestamps, so the state machine is exhaustively unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xroute::transport {
+
+struct HeartbeatOptions {
+  /// Master switch: disabled means no beacons are sent and no peer is ever
+  /// suspected (the PR 4 behaviour).
+  bool enabled = true;
+  /// Beacon send period per connection.
+  double interval_ms = 1000.0;
+  /// Hard silence bound for kAlive -> kSuspect.
+  double suspect_after_ms = 3000.0;
+  /// Hard silence bound for -> kDown (connection is closed).
+  double down_after_ms = 6000.0;
+  /// Phi accrual score at which a peer is suspected ahead of the hard
+  /// timeout (never before two beacon intervals of silence, so a single
+  /// delayed frame cannot trip it).
+  double phi_suspect = 6.0;
+};
+
+enum class PeerState : std::uint8_t { kAlive, kSuspect, kDown };
+
+const char* to_string(PeerState state);
+
+class PeerHealth {
+ public:
+  PeerHealth(const HeartbeatOptions& options, double now_ms);
+
+  /// Any frame arrived from the peer at `now_ms`: records the inter-arrival
+  /// sample and resets suspicion.
+  void note_activity(double now_ms);
+
+  /// Phi accrual suspicion score at `now_ms`: -log10 of the probability of
+  /// observing this much silence given the arrival history. 0 right after
+  /// a frame; grows without bound during silence.
+  double phi(double now_ms) const;
+
+  /// Current state at `now_ms` (pure function of history + options).
+  PeerState state(double now_ms) const;
+
+  double silence_ms(double now_ms) const { return now_ms - last_seen_ms_; }
+  double last_seen_ms() const { return last_seen_ms_; }
+
+ private:
+  static constexpr std::size_t kWindow = 16;
+
+  /// Mean inter-arrival over the window; the configured interval before
+  /// enough samples exist (a fresh peer is judged by the contract, not by
+  /// an empty history).
+  double mean_interval_ms() const;
+
+  HeartbeatOptions options_;
+  double last_seen_ms_;
+  double samples_[kWindow] = {};
+  std::size_t sample_count_ = 0;
+  std::size_t next_sample_ = 0;
+};
+
+}  // namespace xroute::transport

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace xroute::transport {
 
@@ -159,9 +160,33 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
       }
       state.established = true;
       ++peers_;
+      if (state.handshake_timer != 0) {
+        loop_->cancel_timer(state.handshake_timer);
+        state.handshake_timer = 0;
+      }
+      state.health.emplace(options_.heartbeat, loop_->now_ms());
+      ensure_ticker();
       // Handshake done: a future drop re-dials on a fresh schedule.
       if (state.dial) state.dial->attempt = 0;
       if (on_peer_) on_peer_(raw, decoded.hello);
+      return;
+    }
+    // Any frame is proof of life — real traffic doubles as a heartbeat.
+    if (state.health) {
+      state.health->note_activity(loop_->now_ms());
+      if (state.last_state != PeerState::kAlive) {
+        state.last_state = PeerState::kAlive;
+        if (on_peer_state_) on_peer_state_(raw, PeerState::kAlive);
+      }
+    }
+    if (decoded.kind == wire::FrameKind::kHeartbeat) {
+      return;  // liveness only; never surfaced
+    }
+    if (decoded.kind == wire::FrameKind::kGoodbye) {
+      // Planned departure: stop chasing this address when it hangs up.
+      state.parting = true;
+      state.dial = nullptr;
+      if (on_goodbye_) on_goodbye_(raw);
       return;
     }
     if (!decoded.is_message()) {
@@ -176,6 +201,9 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
     if (it == connections_.end()) return;
     bool established = it->second.established;
     if (established) --peers_;
+    if (it->second.handshake_timer != 0) {
+      loop_->cancel_timer(it->second.handshake_timer);
+    }
     std::shared_ptr<Dial> redial = std::move(it->second.dial);
     // Keep the Connection alive until this handler returns.
     std::unique_ptr<Connection> doomed = std::move(it->second.connection);
@@ -187,12 +215,72 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
     if (redial) retry_dial(std::move(redial));
   });
 
+  // Reap a connector that never says Hello: without a deadline a silent
+  // socket would hold a slot (and, for dialed links, stall the redial
+  // schedule) forever.
+  if (options_.handshake_timeout_ms > 0) {
+    entry.handshake_timer = loop_->schedule(
+        options_.handshake_timeout_ms, [this, raw] {
+          auto it = connections_.find(raw);
+          if (it == connections_.end() || it->second.established) return;
+          it->second.handshake_timer = 0;  // firing now; nothing to cancel
+          handshake_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          raw->close("handshake: timeout");
+        });
+  }
+
   raw->start();
   raw->send(wire::encode_hello(options_.self));
 }
 
+void Transport::ensure_ticker() {
+  if (!options_.heartbeat.enabled || ticker_armed_ || shutting_down_) return;
+  ticker_armed_ = true;
+  ticker_id_ =
+      loop_->schedule(options_.heartbeat.interval_ms, [this] { heartbeat_tick(); });
+}
+
+void Transport::heartbeat_tick() {
+  ticker_armed_ = false;
+  if (shutting_down_) return;
+  double now = loop_->now_ms();
+  std::vector<Connection*> downed;
+  for (auto& [connection, entry] : connections_) {
+    if (!entry.established || !entry.health) continue;
+    connection->send(wire::encode_heartbeat(entry.heartbeat_seq++));
+    if (!connection->read_enabled()) {
+      // Reads are paused (ingress flow control): the silence is ours, not
+      // the peer's — its heartbeats are sitting unread in the socket
+      // buffer. Count the pause as proof of life so backpressure never
+      // masquerades as peer death.
+      entry.health->note_activity(now);
+      continue;
+    }
+    PeerState state = entry.health->state(now);
+    if (state == PeerState::kDown) {
+      downed.push_back(connection);
+      continue;
+    }
+    if (state != entry.last_state) {
+      entry.last_state = state;
+      if (on_peer_state_) on_peer_state_(connection, state);
+    }
+  }
+  // Closing mutates connections_ through the close handlers; do it outside
+  // the iteration. The close feeds the ordinary disconnect + re-dial path.
+  for (Connection* connection : downed) {
+    heartbeat_downs_.fetch_add(1, std::memory_order_relaxed);
+    connection->close("heartbeat: peer down");
+  }
+  if (!connections_.empty()) ensure_ticker();
+}
+
 void Transport::shutdown() {
   shutting_down_ = true;
+  if (ticker_armed_) {
+    loop_->cancel_timer(ticker_id_);
+    ticker_armed_ = false;
+  }
   if (listen_fd_ >= 0) {
     loop_->remove_fd(listen_fd_);
     ::close(listen_fd_);

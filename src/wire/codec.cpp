@@ -359,14 +359,23 @@ DecodeStatus decode_payload(FrameKind kind, Reader& r, Decoded* out) {
     case FrameKind::kHello: {
       std::uint8_t kind_byte = 0;
       std::uint64_t peer_id = 0;
+      std::uint64_t incarnation = 0;
       if (!r.u8(&kind_byte) || kind_byte > 1 || !r.varint(&peer_id) ||
-          peer_id > UINT32_MAX || !r.u8(&out->hello.max_version)) {
+          peer_id > UINT32_MAX || !r.u8(&out->hello.max_version) ||
+          !r.varint(&incarnation) || incarnation > UINT32_MAX) {
         return DecodeStatus::kBadValue;
       }
       out->hello.kind = static_cast<Hello::PeerKind>(kind_byte);
       out->hello.peer_id = static_cast<std::uint32_t>(peer_id);
+      out->hello.incarnation = static_cast<std::uint32_t>(incarnation);
       return DecodeStatus::kOk;
     }
+    case FrameKind::kHeartbeat: {
+      if (!r.varint(&out->heartbeat_seq)) return DecodeStatus::kBadValue;
+      return DecodeStatus::kOk;
+    }
+    case FrameKind::kGoodbye:
+      return DecodeStatus::kOk;
   }
   return DecodeStatus::kBadKind;
 }
@@ -392,7 +401,9 @@ Decoded parse_one(const std::uint8_t* data, std::size_t size) {
   if (size >= 4) {
     std::uint8_t kind = data[3];
     if (kind >= kMessageTypeCount &&
-        kind != static_cast<std::uint8_t>(FrameKind::kHello)) {
+        kind != static_cast<std::uint8_t>(FrameKind::kHello) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kHeartbeat) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kGoodbye)) {
       out.status = DecodeStatus::kBadKind;
       return out;
     }
@@ -482,7 +493,18 @@ std::vector<std::uint8_t> encode_hello(const Hello& hello) {
   put_u8(payload, static_cast<std::uint8_t>(hello.kind));
   put_varint(payload, hello.peer_id);
   put_u8(payload, hello.max_version);
+  put_varint(payload, hello.incarnation);
   return assemble(FrameKind::kHello, payload);
+}
+
+std::vector<std::uint8_t> encode_heartbeat(std::uint64_t seq) {
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, seq);
+  return assemble(FrameKind::kHeartbeat, payload);
+}
+
+std::vector<std::uint8_t> encode_goodbye() {
+  return assemble(FrameKind::kGoodbye, {});
 }
 
 Decoded decode_frame(const std::uint8_t* data, std::size_t size) {
@@ -529,6 +551,8 @@ const char* to_string(FrameKind kind) {
     case FrameKind::kSyncRequest: return "sync-request";
     case FrameKind::kSyncState: return "sync-state";
     case FrameKind::kHello: return "hello";
+    case FrameKind::kHeartbeat: return "heartbeat";
+    case FrameKind::kGoodbye: return "goodbye";
   }
   return "unknown";
 }

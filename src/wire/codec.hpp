@@ -65,6 +65,14 @@ enum class FrameKind : std::uint8_t {
   kSyncState = 6,
   /// Session handshake: first frame on every connection, both directions.
   kHello = 0x10,
+  /// Liveness beacon, exchanged periodically on every established
+  /// connection; consumed by the transport's failure detector, never
+  /// surfaced to the broker.
+  kHeartbeat = 0x11,
+  /// Planned departure: the sender is leaving the overlay after flushing
+  /// its queues. The receiver withdraws the sender's routes instead of
+  /// quarantining them, and stops re-dialing the address.
+  kGoodbye = 0x12,
 };
 
 const char* to_string(FrameKind kind);
@@ -80,6 +88,11 @@ struct Hello {
   /// Broker id or client id, as assigned by the deployment.
   std::uint32_t peer_id = 0;
   std::uint8_t max_version = kProtocolVersion;
+  /// Restart count of the announcing process. A broker that crashes and
+  /// rejoins announces a higher incarnation; a Hello carrying a *lower*
+  /// incarnation than the highest one seen for that peer id is a stale
+  /// instance (a zombie of a previous life) and is rejected.
+  std::uint32_t incarnation = 0;
 
   friend bool operator==(const Hello&, const Hello&) = default;
 };
@@ -111,6 +124,8 @@ struct Decoded {
   FrameKind kind = FrameKind::kHello;
   Message message;
   Hello hello;
+  /// Sender-side sequence number of a kHeartbeat frame.
+  std::uint64_t heartbeat_seq = 0;
   std::size_t consumed = 0;
   /// The frame's exact wire bytes (header + payload), borrowed from the
   /// decode input: valid until the caller's buffer moves — for
@@ -130,6 +145,10 @@ struct Decoded {
 std::vector<std::uint8_t> encode_frame(const Message& msg);
 /// Encodes a session Hello frame.
 std::vector<std::uint8_t> encode_hello(const Hello& hello);
+/// Encodes a session Heartbeat frame carrying the sender's beat counter.
+std::vector<std::uint8_t> encode_heartbeat(std::uint64_t seq);
+/// Encodes a session Goodbye frame (planned leave; empty payload).
+std::vector<std::uint8_t> encode_goodbye();
 
 /// Decodes exactly one frame occupying the whole buffer. A complete frame
 /// followed by extra bytes reports kTrailingBytes (with `consumed` set);

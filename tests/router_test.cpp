@@ -135,15 +135,21 @@ TEST(BrokerSubscribe, NoCoveringModeForwardsEverything) {
   EXPECT_EQ(broker.prt_size(), 2u);
 }
 
-TEST(BrokerSubscribe, DuplicateNotReforwarded) {
+TEST(BrokerSubscribe, DuplicateForwardsOnlyTowardEarlierArrivals) {
   Broker::Config config;
   config.use_advertisements = false;
   Broker broker = make_broker(config);
   auto r1 = broker.handle(kLeft, Message::subscribe(X("/a")));
   EXPECT_EQ(targets(r1, MessageType::kSubscribe).size(), 2u);
+  // Same XPE from another interface: the only forward is back toward the
+  // first arrival, so publications on that side start routing here too.
   auto r2 = broker.handle(kRight, Message::subscribe(X("/a")));
-  // Same XPE from elsewhere: hops recorded, nothing new forwarded.
-  EXPECT_TRUE(targets(r2, MessageType::kSubscribe).empty());
+  EXPECT_EQ(targets(r2, MessageType::kSubscribe),
+            (std::vector<IfaceId>{kLeft}));
+  // Every interface has now been sent to exactly once; a third holder
+  // adds nothing.
+  auto r3 = broker.handle(kUp, Message::subscribe(X("/a")));
+  EXPECT_TRUE(targets(r3, MessageType::kSubscribe).empty());
 }
 
 TEST(BrokerAdvertise, LateAdvertisementPullsSubscriptions) {

@@ -108,6 +108,41 @@ TEST(WireCodec, RoundTripsHello) {
   EXPECT_EQ(decoded.hello, hello);
 }
 
+TEST(WireCodec, RoundTripsHelloIncarnation) {
+  // The incarnation rides the Hello so peers can reject stale rejoins;
+  // zero (a first life) and large restart counts must both survive.
+  for (std::uint32_t incarnation : {0u, 1u, 7u, 0xFFFF'FFFFu}) {
+    wire::Hello hello;
+    hello.kind = wire::Hello::PeerKind::kBroker;
+    hello.peer_id = 3;
+    hello.max_version = wire::kProtocolVersion;
+    hello.incarnation = incarnation;
+    wire::Decoded decoded = wire::decode_frame(wire::encode_hello(hello));
+    ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+    ASSERT_EQ(decoded.kind, FrameKind::kHello);
+    EXPECT_EQ(decoded.hello.incarnation, incarnation);
+    EXPECT_EQ(decoded.hello, hello);
+  }
+}
+
+TEST(WireCodec, RoundTripsHeartbeatAndGoodbye) {
+  for (std::uint64_t seq : {0ull, 1ull, 300ull, 0xFFFF'FFFF'FFFFull}) {
+    std::vector<std::uint8_t> frame = wire::encode_heartbeat(seq);
+    wire::Decoded decoded = wire::decode_frame(frame);
+    ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+    ASSERT_EQ(decoded.kind, FrameKind::kHeartbeat);
+    EXPECT_FALSE(decoded.is_message());
+    EXPECT_EQ(decoded.heartbeat_seq, seq);
+    EXPECT_EQ(decoded.consumed, frame.size());
+  }
+  std::vector<std::uint8_t> bye = wire::encode_goodbye();
+  wire::Decoded decoded = wire::decode_frame(bye);
+  ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+  ASSERT_EQ(decoded.kind, FrameKind::kGoodbye);
+  EXPECT_FALSE(decoded.is_message());
+  EXPECT_EQ(decoded.consumed, bye.size());
+}
+
 // Property: every message produced from the corpus workload generators
 // survives the wire bit-exactly — queries with the paper's W/DO knobs and
 // predicates, derived advertisements, and universe paths as publications.

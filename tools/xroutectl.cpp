@@ -69,6 +69,8 @@
 #include "router/broker_options.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "transport/broker_node.hpp"
 #include "transport/client.hpp"
 #include "util/error.hpp"
@@ -97,8 +99,12 @@ const char kUsage[] =
     "  metrics <plan-file>           fault plan -> metrics JSON\n"
     "\n"
     "network commands:\n"
+    "  scenario run <file>... [--out FILE]\n"
+    "                                chaos scenarios over live brokers;\n"
+    "                                writes BENCH_scenarios.json\n"
     "  serve <overlay-file> <id> [--advertisements] [--threads N]\n"
-    "        [--option key=value]...\n"
+    "        [--option key=value] [--incarnation N] [--join]\n"
+    "        [--graceful-leave]\n"
     "                                run one broker until SIGINT/SIGTERM\n"
     "  connect <host> <port>         handshake with a broker and exit\n"
     "  sub <host> <port> '<xpe>'... [--count N]\n"
@@ -431,6 +437,46 @@ int cmd_metrics(const std::vector<std::string>& args) {
 
 volatile std::sig_atomic_t g_stop = 0;
 
+int cmd_scenario(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "run") {
+    throw UsageError("scenario: usage is 'scenario run <file>... [--out F]'");
+  }
+  std::vector<std::string> files;
+  std::string out_path = "BENCH_scenarios.json";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (++i >= args.size()) throw UsageError("scenario: --out needs a file");
+      out_path = args[i];
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.empty()) throw UsageError("scenario run: needs a scenario file");
+  std::vector<scenario::ScenarioReport> reports;
+  bool all_ok = true;
+  for (const std::string& file : files) {
+    scenario::Scenario script = scenario::parse_scenario(read_file(file));
+    std::cerr << "scenario " << script.name << " (" << file << ")...\n";
+    scenario::ScenarioReport report = scenario::run_scenario(script);
+    std::cerr << "  " << (report.ok ? "ok" : "FAILED") << ": "
+              << report.docs_published << " docs (" << report.docs_assured
+              << " assured, " << report.best_effort_losses
+              << " best-effort losses), loss window "
+              << report.loss_window_ms << " ms, " << report.duplicates
+              << " duplicates\n";
+    for (const std::string& failure : report.failures) {
+      std::cerr << "    " << failure << "\n";
+    }
+    all_ok = all_ok && report.ok;
+    reports.push_back(std::move(report));
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out << scenario::report_json(reports);
+  std::cerr << "wrote " << out_path << "\n";
+  return all_ok ? 0 : 1;
+}
+
 void handle_stop_signal(int) { g_stop = 1; }
 
 void install_stop_handlers() {
@@ -514,12 +560,28 @@ OverlayFile parse_overlay_file(std::istream& in) {
 int cmd_serve(const std::vector<std::string>& args) {
   std::vector<std::string> positional;
   bool advertisements = false;
+  bool join = false;
+  bool graceful_leave = false;
+  std::uint32_t incarnation = 0;
   // (key, value) overrides, applied over the overlay file's `option`
   // lines in command-line order so the last spelling of a knob wins.
   std::vector<std::pair<std::string, std::string>> overrides;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--advertisements") {
       advertisements = true;
+    } else if (args[i] == "--join") {
+      join = true;
+    } else if (args[i] == "--graceful-leave") {
+      graceful_leave = true;
+    } else if (args[i] == "--incarnation") {
+      if (++i >= args.size()) {
+        throw UsageError("serve: --incarnation needs a count");
+      }
+      try {
+        incarnation = static_cast<std::uint32_t>(std::stoul(args[i]));
+      } catch (const std::exception&) {
+        throw UsageError("serve: bad incarnation '" + args[i] + "'");
+      }
     } else if (args[i] == "--threads") {
       if (++i >= args.size()) throw UsageError("serve: --threads needs a count");
       overrides.emplace_back("threads", args[i]);
@@ -558,6 +620,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   transport::TransportBroker::Options opts;
   opts.id = self;
   opts.listen_port = spec->second.port;
+  opts.incarnation = incarnation;
   opts.config = overlay.config;
   if (advertisements) opts.config.use_advertisements = true;
   for (const auto& [key, value] : overrides) {
@@ -578,10 +641,23 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   // The lower endpoint of each link dials (one TCP connection per link);
   // dialing retries with backoff, so the overlay can start in any order.
+  // With --join the broker instead enters a live overlay: same dials, but
+  // every link (dialed or accepted) is asked for a SyncState so routing
+  // state converges before traffic relies on it — the rejoin-after-crash
+  // path when paired with a bumped --incarnation.
+  std::vector<std::pair<std::string, std::uint16_t>> dials;
+  std::size_t degree = 0;
   for (const auto& [a, b] : overlay.links) {
+    if (self != a && self != b) continue;
+    ++degree;
     if (self != std::min(a, b)) continue;
     const OverlayFile::BrokerSpec& peer = overlay.brokers.at(std::max(a, b));
-    broker.connect_to(peer.host, peer.port);
+    dials.emplace_back(peer.host, peer.port);
+  }
+  if (join) {
+    broker.join(std::move(dials), degree);
+  } else {
+    for (const auto& [host, port] : dials) broker.connect_to(host, port);
   }
 
   install_stop_handlers();
@@ -589,6 +665,15 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cout << broker.metrics_json() << "\n";
+  if (graceful_leave) {
+    // Planned departure: flush in-flight frames and say goodbye so peers
+    // hand our routes back instead of quarantining them for a rejoin.
+    if (!broker.leave(5000.0)) {
+      std::cerr << "serve: leave flush missed its deadline\n";
+      return 1;
+    }
+    return 0;
+  }
   broker.stop();
   return 0;
 }
@@ -730,6 +815,7 @@ int main(int argc, char** argv) {
     if (command == "faultsim") return cmd_faultsim(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "metrics") return cmd_metrics(args);
+    if (command == "scenario") return cmd_scenario(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "connect") return cmd_connect(args);
     if (command == "sub") return cmd_sub(args);
