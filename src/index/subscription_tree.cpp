@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "router/routing_snapshot.hpp"
 #include "util/symbols.hpp"
 
 namespace xroute {
@@ -63,11 +64,48 @@ SubscriptionTree::Node* SubscriptionTree::find(const Xpe& xpe) {
   return it == by_xpe_.end() ? nullptr : it->second;
 }
 
+std::uint64_t SubscriptionTree::symbol_sig(const Xpe& xpe) {
+  std::uint64_t sig = 0;
+  for (std::uint32_t sym : xpe.symbols()) {
+    if (sym == SymbolTable::kWildcardId) continue;
+    sig |= 1ull << ((sym * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+  return sig;
+}
+
+std::uint32_t SubscriptionTree::bucket_key(const Xpe& xpe) {
+  // The deepest concrete step: a path can only match this XPE (or
+  // anything it covers — covering preserves concrete steps of the
+  // coverer) if it contains that element somewhere.
+  const std::vector<std::uint32_t>& syms = xpe.symbols();
+  for (std::size_t i = syms.size(); i-- > 0;) {
+    if (syms[i] != SymbolTable::kWildcardId) return syms[i];
+  }
+  return SymbolTable::kNoSymbol;
+}
+
+void SubscriptionTree::note_snapshot_dirty(const Node* node) {
+  if (snapshot_all_dirty_) return;
+  while (node->parent != nullptr && node->parent != root_.get()) {
+    node = node->parent;
+  }
+  if (node->parent == nullptr) {
+    // Not reachable from the root (defensive): attribution unknown.
+    snapshot_all_dirty_ = true;
+    return;
+  }
+  snapshot_dirty_keys_.insert(bucket_key(node->xpe));
+}
+
 SubscriptionTree::InsertResult SubscriptionTree::insert(const Xpe& xpe,
                                                         IfaceId hop) {
   if (Node* existing = find(xpe)) {
     InsertResult result;
     existing->hops.insert(hop);
+    // Hop-only change: the live RootBucket reads hops through Node
+    // pointers and stays valid, but snapshots copy them — mark the
+    // containing bucket.
+    note_snapshot_dirty(existing);
     result.node = existing;
     result.was_new = false;
     result.covered_by_existing = existing->parent != root_.get() ||
@@ -82,9 +120,29 @@ SubscriptionTree::InsertResult SubscriptionTree::insert_new(const Xpe& xpe,
   InsertResult result;
   result.was_new = true;
 
+  const std::uint64_t xsig = symbol_sig(xpe);
+
   // Descend to the deepest node covering the newcomer (paper Case 3).
+  // The root level — thousands of siblings under real tables — goes
+  // through the packed signature index: signature-incompatible children
+  // cannot cover the newcomer, so one sequential pass over root_sigs_
+  // prunes the scan to a handful of candidates before any covering
+  // evaluation (and without touching per-node memory). Deeper sibling
+  // lists are small and keep the plain scan.
   Node* parent = root_.get();
-  while (true) {
+  {
+    Node* covering = nullptr;
+    for (std::size_t i = 0; i < root_sigs_.size(); ++i) {
+      if ((root_sigs_[i] & ~xsig) != 0) continue;
+      Node* cand = root_nodes_[i];
+      // The plain scan takes the first covering child in sibling order;
+      // sibling order is seq order, so keep the lowest-seq cover.
+      if (covering && covering->seq < cand->seq) continue;
+      if (covers_cached(cand->xpe, xpe)) covering = cand;
+    }
+    if (covering) parent = covering;
+  }
+  while (parent != root_.get()) {
     Node* covering_child = nullptr;
     for (const auto& child : parent->children) {
       if (covers_cached(child->xpe, xpe)) {
@@ -99,30 +157,68 @@ SubscriptionTree::InsertResult SubscriptionTree::insert_new(const Xpe& xpe,
   // Children of the insertion point that the newcomer covers move below it
   // (paper Case 2, generalised to any number of covered siblings).
   auto node = std::make_unique<Node>();
+  node->seq = next_seq_++;
+  node->sig = xsig;
   node->xpe = xpe;
   node->hops.insert(hop);
   Node* raw = node.get();
 
-  std::vector<std::unique_ptr<Node>> kept;
-  kept.reserve(parent->children.size());
-  for (auto& child : parent->children) {
-    if (covers_cached(xpe, child->xpe)) {
-      if (parent == root_.get()) result.now_covered.push_back(child->xpe);
-      child->parent = raw;
-      raw->children.push_back(std::move(child));
-    } else {
-      kept.push_back(std::move(child));
+  if (parent == root_.get()) {
+    // Capture at the root, signature-pruned like the descent (the
+    // newcomer covering a child requires the newcomer's signature to be
+    // a subset of the child's). The common churn case — no captures —
+    // costs the signature pass alone.
+    std::vector<Node*> captured;
+    for (std::size_t i = 0; i < root_sigs_.size(); ++i) {
+      if ((xsig & ~root_sigs_[i]) != 0) continue;
+      Node* cand = root_nodes_[i];
+      if (covers_cached(xpe, cand->xpe)) captured.push_back(cand);
     }
+    if (!captured.empty()) {
+      std::vector<std::unique_ptr<Node>> kept;
+      kept.reserve(parent->children.size());
+      for (auto& child : parent->children) {
+        if (std::find(captured.begin(), captured.end(), child.get()) !=
+            captured.end()) {
+          result.now_covered.push_back(child->xpe);
+          // The captured sibling was a root of its own bucket; it now
+          // lives inside the newcomer's — both buckets change.
+          if (!snapshot_all_dirty_) {
+            snapshot_dirty_keys_.insert(bucket_key(child->xpe));
+          }
+          root_child_removed(child.get());
+          child->parent = raw;
+          raw->children.push_back(std::move(child));
+        } else {
+          kept.push_back(std::move(child));
+        }
+      }
+      parent->children = std::move(kept);
+    }
+    raw->parent = parent;
+    parent->children.push_back(std::move(node));
+    root_child_added(raw);
+  } else {
+    std::vector<std::unique_ptr<Node>> kept;
+    kept.reserve(parent->children.size());
+    for (auto& child : parent->children) {
+      if (covers_cached(xpe, child->xpe)) {
+        child->parent = raw;
+        raw->children.push_back(std::move(child));
+      } else {
+        kept.push_back(std::move(child));
+      }
+    }
+    parent->children = std::move(kept);
+    raw->parent = parent;
+    parent->children.push_back(std::move(node));
   }
-  parent->children = std::move(kept);
-
-  raw->parent = parent;
-  parent->children.push_back(std::move(node));
   by_xpe_.emplace(xpe, raw);
   // The compiled index serialises whole subtrees, so any structural
   // mutation anywhere invalidates it (it is rebuilt lazily on the next
   // match, so a burst of subscription churn costs one rebuild).
   root_index_dirty_ = true;
+  note_snapshot_dirty(raw);
   result.node = raw;
   result.covered_by_existing = parent != root_.get();
 
@@ -196,10 +292,21 @@ void SubscriptionTree::detach_node(Node* node) {
   unlink_super(node);
   Node* parent = node->parent;
   root_index_dirty_ = true;
+  note_snapshot_dirty(node);
+  if (parent == root_.get() && !snapshot_all_dirty_) {
+    // The spliced children become roots of their own buckets.
+    for (const auto& child : node->children) {
+      snapshot_dirty_keys_.insert(bucket_key(child->xpe));
+    }
+  }
   // Splice children to the parent: covering is transitive, so the
   // parent-covers-child invariant is preserved.
   for (auto& child : node->children) {
     child->parent = parent;
+  }
+  if (parent == root_.get()) {
+    root_child_removed(node);
+    for (const auto& child : node->children) root_child_added(child.get());
   }
   by_xpe_.erase(node->xpe);
   auto& siblings = parent->children;
@@ -208,7 +315,16 @@ void SubscriptionTree::detach_node(Node* node) {
   // Steal the children before destroying the node.
   std::vector<std::unique_ptr<Node>> orphans = std::move(node->children);
   siblings.erase(it);
+  // Splice the orphans back in insertion (seq) order rather than
+  // appending: sibling lists stay canonically ordered, so removing a
+  // subscription that captured siblings restores the exact pre-insert
+  // serialisation order and the snapshot builder sees the bucket as
+  // unchanged.
+  const std::size_t merge_point = siblings.size();
   for (auto& orphan : orphans) siblings.push_back(std::move(orphan));
+  std::inplace_merge(
+      siblings.begin(), siblings.begin() + merge_point, siblings.end(),
+      [](const auto& a, const auto& b) { return a->seq < b->seq; });
 }
 
 SubscriptionTree::Node* SubscriptionTree::adopt(Node* parent,
@@ -218,12 +334,18 @@ SubscriptionTree::Node* SubscriptionTree::adopt(Node* parent,
   Node* raw = child.get();
   by_xpe_.emplace(raw->xpe, raw);
   parent->children.push_back(std::move(child));
+  if (parent == root_.get()) root_child_added(raw);
+  note_snapshot_dirty(raw);
   return raw;
 }
 
 SubscriptionTree::Node* SubscriptionTree::merge_children(
     Node* parent, const std::vector<Node*>& originals, const Xpe& merger_xpe) {
   if (find(merger_xpe) != nullptr) return nullptr;
+  // A merge restructures several buckets at once (originals removed,
+  // merger adopted possibly elsewhere, covered siblings captured);
+  // merges are periodic and rare, so attribute conservatively.
+  snapshot_all_dirty_ = true;
 
   // The merger is strictly more general than its originals and may escape
   // the parent's coverage (e.g. a '//' introduced by the general rule):
@@ -236,6 +358,8 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
   }
 
   auto merger = std::make_unique<Node>();
+  merger->seq = next_seq_++;
+  merger->sig = symbol_sig(merger_xpe);
   merger->xpe = merger_xpe;
   merger->merger = true;
   Node* raw = merger.get();
@@ -285,6 +409,7 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
   auto& siblings = parent->children;
   for (Node* original : originals) {
     by_xpe_.erase(original->xpe);
+    if (parent == root_.get()) root_child_removed(original);
     auto it = std::find_if(siblings.begin(), siblings.end(),
                            [&](const auto& p) { return p.get() == original; });
     siblings.erase(it);
@@ -297,6 +422,7 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
   kept.reserve(adoption_parent->children.size());
   for (auto& child : adoption_parent->children) {
     if (child.get() != adopted && covers_cached(adopted->xpe, child->xpe)) {
+      if (adoption_parent == root_.get()) root_child_removed(child.get());
       child->parent = adopted;
       adopted->children.push_back(std::move(child));
     } else {
@@ -331,7 +457,13 @@ SubscriptionTree::Node* SubscriptionTree::merge_children(
 bool SubscriptionTree::remove(const Xpe& xpe, IfaceId hop) {
   Node* node = find(xpe);
   if (!node || node->hops.erase(hop) == 0) return false;
-  if (node->hops.empty()) detach_node(node);
+  if (node->hops.empty()) {
+    detach_node(node);
+  } else {
+    // Hop-only change: snapshots copy hop lists, so the bucket is stale
+    // even though the tree shape is untouched.
+    note_snapshot_dirty(node);
+  }
   return true;
 }
 
@@ -396,7 +528,76 @@ std::size_t emit_subtree(SubscriptionTree::Node* node,
   return 3 + prog.size() + sub_words;
 }
 
+/// Snapshot flavour of emit_subtree: the same DFS pre-order word stream,
+/// but the per-node payload (XPE, hops, merger metadata) is copied into
+/// the immutable bucket instead of referenced through Node pointers —
+/// the live tree keeps mutating after the snapshot is published.
+std::size_t emit_snapshot_subtree(const SubscriptionTree::Node* node,
+                                  SnapshotBucket* out) {
+  const std::vector<std::uint32_t>& prog = node->xpe.program();
+  const std::size_t header = out->words.size();
+  out->words.push_back(static_cast<std::uint32_t>(prog.size()));
+  out->words.push_back(0);  // skip_words, backpatched below
+  out->words.push_back(0);  // skip_entries, backpatched below
+  out->words.insert(out->words.end(), prog.begin(), prog.end());
+  SnapshotBucket::Entry entry;
+  // Payload sharing: the node's XPE (and merger list) is immutable for
+  // the node's lifetime, so every recompile hands out the same share —
+  // no deep copy, and bucket equality degenerates to pointer compares.
+  // Plain shared_ptr, not make_shared: the control block must live on
+  // its own cache lines — recompiles bump these refcounts constantly,
+  // and a co-located control block would invalidate the payload line
+  // the match workers have cached for every touched entry.
+  if (!node->snapshot_xpe) {
+    node->snapshot_xpe = std::shared_ptr<const Xpe>(new Xpe(node->xpe));
+  }
+  entry.xpe = node->snapshot_xpe;
+  entry.hop_begin = static_cast<std::uint32_t>(out->hops.size());
+  out->hops.insert(out->hops.end(), node->hops.begin(), node->hops.end());
+  entry.hop_end = static_cast<std::uint32_t>(out->hops.size());
+  entry.merger = node->merger;
+  if (node->merger) {
+    if (!node->snapshot_merged_from) {
+      node->snapshot_merged_from = std::shared_ptr<const std::vector<Xpe>>(
+          new std::vector<Xpe>(node->merged_from));
+    }
+    entry.merged_from = node->snapshot_merged_from;
+  }
+  out->entries.push_back(std::move(entry));
+  const std::size_t entries_before = out->entries.size();
+  std::size_t sub_words = 0;
+  for (const auto& child : node->children) {
+    sub_words += emit_snapshot_subtree(child.get(), out);
+  }
+  out->words[header + 1] = static_cast<std::uint32_t>(sub_words);
+  out->words[header + 2] =
+      static_cast<std::uint32_t>(out->entries.size() - entries_before);
+  return 3 + prog.size() + sub_words;
+}
+
 }  // namespace
+
+void SubscriptionTree::compile_snapshot_bucket(std::uint32_t key,
+                                               SnapshotBucket* out) const {
+  // Same bucket membership and visit order as rebuild_root_index: root
+  // children in sibling order, each serialising its whole subtree — so a
+  // snapshot scan performs the exact comparison sequence the live index
+  // would (determinism contract).
+  for (const auto& child : root_->children) {
+    if (bucket_key(child->xpe) == key) {
+      emit_snapshot_subtree(child.get(), out);
+    }
+  }
+}
+
+std::vector<std::uint32_t> SubscriptionTree::snapshot_bucket_keys() const {
+  std::set<std::uint32_t> keys;
+  for (const auto& child : root_->children) {
+    const std::uint32_t key = bucket_key(child->xpe);
+    if (key != SymbolTable::kNoSymbol) keys.insert(key);
+  }
+  return {keys.begin(), keys.end()};
+}
 
 void SubscriptionTree::rebuild_root_index() const {
   roots_by_symbol_.clear();
@@ -407,17 +608,7 @@ void SubscriptionTree::rebuild_root_index() const {
   };
   for (const auto& child : root_->children) {
     Node* node = child.get();
-    // Bucket under the deepest concrete step: a path can only match this
-    // XPE (or anything it covers — covering preserves concrete steps of
-    // the coverer) if it contains that element somewhere.
-    std::uint32_t key = SymbolTable::kNoSymbol;
-    const std::vector<std::uint32_t>& syms = node->xpe.symbols();
-    for (std::size_t i = syms.size(); i-- > 0;) {
-      if (syms[i] != SymbolTable::kWildcardId) {
-        key = syms[i];
-        break;
-      }
-    }
+    const std::uint32_t key = bucket_key(node->xpe);
     add(key == SymbolTable::kNoSymbol ? unindexed_roots_
                                       : roots_by_symbol_[key],
         node);
@@ -532,6 +723,23 @@ std::string SubscriptionTree::validate() const {
     }
   }
   if (seen != by_xpe_.size()) return "lookup map size mismatch";
+  // Root signature index: exactly one slot per root child, back-link and
+  // signature in sync.
+  if (root_nodes_.size() != root_->children.size() ||
+      root_sigs_.size() != root_nodes_.size()) {
+    return "root signature index size mismatch";
+  }
+  for (const auto& child : root_->children) {
+    const Node* n = child.get();
+    if (n->root_slot >= root_nodes_.size() ||
+        root_nodes_[n->root_slot] != n) {
+      return "root signature index slot mismatch: " + n->xpe.to_string();
+    }
+    if (root_sigs_[n->root_slot] != n->sig ||
+        n->sig != symbol_sig(n->xpe)) {
+      return "root signature mismatch: " + n->xpe.to_string();
+    }
+  }
   return "";
 }
 

@@ -43,10 +43,27 @@
 
 namespace xroute {
 
+struct SnapshotBucket;  // router/routing_snapshot.hpp
+
 class SubscriptionTree {
  public:
   struct Node {
     Xpe xpe;
+    /// Insertion order, assigned once at creation. Sibling lists are
+    /// kept in ascending `seq` order (inserts append the newest node;
+    /// detach_node merges spliced orphans back by seq), so the compiled
+    /// serialisation order is canonical: a subscribe/unsubscribe pair
+    /// that nets out structurally reproduces the previous byte stream
+    /// exactly, which is what lets the snapshot builder detect and
+    /// elide no-op rebuilds under churn.
+    std::uint64_t seq = 0;
+    /// symbol_sig(xpe), fixed at creation like `xpe` itself. Root-level
+    /// insert scans test signatures from the packed root index instead
+    /// of touching each sibling's XPE.
+    std::uint64_t sig = 0;
+    /// This node's slot in root_nodes_/root_sigs_; meaningful only
+    /// while the node is a direct child of the root.
+    std::size_t root_slot = 0;
     Node* parent = nullptr;
     std::vector<std::unique_ptr<Node>> children;
     /// Covering shortcuts to nodes outside this node's subtree.
@@ -58,6 +75,14 @@ class SubscriptionTree {
     /// Merger bookkeeping (paper §4.3).
     bool merger = false;
     std::vector<Xpe> merged_from;
+    /// Lazily created immutable shares of the payloads snapshot
+    /// compilation needs (router/routing_snapshot.hpp): one deep copy
+    /// per node lifetime, shared by every recompile instead of copied
+    /// into each bucket. `xpe` never changes after node creation;
+    /// `merged_from`'s post-creation assignment site (restore_merger)
+    /// resets the cache.
+    mutable std::shared_ptr<const Xpe> snapshot_xpe;
+    mutable std::shared_ptr<const std::vector<Xpe>> snapshot_merged_from;
   };
 
   struct InsertResult {
@@ -168,6 +193,47 @@ class SubscriptionTree {
   /// only (between epochs).
   void add_comparisons(std::size_t n) const { comparisons_ += n; }
 
+  // -- Snapshot support (router/routing_snapshot.hpp) ----------------------
+  //
+  // The RCU snapshot builder recompiles only the root-index buckets whose
+  // content may have changed since the last build. Every mutator below
+  // marks the affected bucket key(s); overshoot (marking a clean bucket)
+  // costs one redundant recompile, undershoot would be a stale-route bug,
+  // so attribution is conservative: hop-only changes mark too (snapshots
+  // copy the hop lists the live RootBucket reads through Node pointers),
+  // and merge passes mark everything.
+
+  /// The root-index bucket key of `xpe`: its deepest concrete step
+  /// symbol, or SymbolTable::kNoSymbol for the all-wildcard side bucket.
+  static std::uint32_t bucket_key(const Xpe& xpe);
+
+  /// 64-bit Bloom signature over the XPE's concrete step symbols.
+  /// Covering maps every concrete coverer step onto an equal symbol of
+  /// the covered expression (symbol_covers), so covers(a, b) implies
+  /// sig(a) & ~sig(b) == 0 — a one-AND necessary condition that prunes
+  /// the root-level insert scans without reading either XPE.
+  static std::uint64_t symbol_sig(const Xpe& xpe);
+
+  bool snapshot_all_dirty() const { return snapshot_all_dirty_; }
+  const std::set<std::uint32_t>& snapshot_dirty_keys() const {
+    return snapshot_dirty_keys_;
+  }
+  void clear_snapshot_dirty() {
+    snapshot_dirty_keys_.clear();
+    snapshot_all_dirty_ = false;
+  }
+  void mark_snapshot_all_dirty() { snapshot_all_dirty_ = true; }
+
+  /// Compiles the bucket of `key` — every root child whose bucket_key()
+  /// is `key`, with its whole subtree — into `out` (DFS pre-order, same
+  /// membership and order as rebuild_root_index()). Reads the node tree
+  /// directly; never touches the lazy index.
+  void compile_snapshot_bucket(std::uint32_t key, SnapshotBucket* out) const;
+
+  /// Distinct bucket keys currently present among root children,
+  /// excluding kNoSymbol (full-rebuild enumeration).
+  std::vector<std::uint32_t> snapshot_bucket_keys() const;
+
   /// Number of subscriptions stored — the paper's "routing table size".
   std::size_t size() const { return by_xpe_.size(); }
   bool empty() const { return by_xpe_.empty(); }
@@ -265,6 +331,9 @@ class SubscriptionTree {
   void collect_covered_outside(const Xpe& xpe, const Node* skip,
                                Node* origin_node,
                                std::vector<Xpe>* out);
+  /// Marks the bucket containing `node` (its root ancestor's key) dirty
+  /// for the snapshot builder.
+  void note_snapshot_dirty(const Node* node);
   bool covers_cached(const Xpe& a, const Xpe& b) const;
   void unlink_super(Node* node);
   void rebuild_root_index() const;
@@ -279,6 +348,33 @@ class SubscriptionTree {
 
   Options options_;
   std::unique_ptr<Node> root_;  ///< virtual root; xpe empty, matches all
+  std::uint64_t next_seq_ = 1;  ///< Node::seq allocator (root keeps 0)
+
+  /// Packed signature index over the root's direct children (parallel
+  /// arrays, order-free: Node::root_slot maps back). Root sibling lists
+  /// run to thousands of entries under real tables, and the insert
+  /// descend/capture scans used to evaluate covering against every one
+  /// of them — a cache-hostile walk over that many XPEs (and cover-memo
+  /// probes) per control op. One sequential pass over the packed sigs
+  /// prunes both scans to the few signature-compatible candidates.
+  /// Maintained eagerly by root_child_added/removed at every site that
+  /// mutates root_->children.
+  std::vector<std::uint64_t> root_sigs_;
+  std::vector<Node*> root_nodes_;
+
+  void root_child_added(Node* n) {
+    n->root_slot = root_nodes_.size();
+    root_nodes_.push_back(n);
+    root_sigs_.push_back(n->sig);
+  }
+  void root_child_removed(Node* n) {
+    const std::size_t slot = n->root_slot;
+    root_nodes_[slot] = root_nodes_.back();
+    root_sigs_[slot] = root_sigs_.back();
+    root_nodes_[slot]->root_slot = slot;
+    root_nodes_.pop_back();
+    root_sigs_.pop_back();
+  }
   std::unordered_map<Xpe, Node*, XpeHash> by_xpe_;
   mutable std::size_t comparisons_ = 0;
 
@@ -295,6 +391,12 @@ class SubscriptionTree {
   mutable std::unordered_map<std::uint32_t, RootBucket> roots_by_symbol_;
   mutable RootBucket unindexed_roots_;
   mutable bool root_index_dirty_ = true;
+
+  // Snapshot dirty tracking (router/routing_snapshot.hpp): bucket keys
+  // whose compiled form may differ from the last clear_snapshot_dirty().
+  // Starts all-dirty so the first build is a full compile.
+  std::set<std::uint32_t> snapshot_dirty_keys_;
+  bool snapshot_all_dirty_ = true;
 };
 
 }  // namespace xroute

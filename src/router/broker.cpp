@@ -46,9 +46,8 @@ Broker::Broker(int id, Config config)
                                 problem);
   }
   if (config_.match_threads > 1) {
-    scheduler_ = std::make_unique<MatchScheduler>(
-        &prt_, MatchScheduler::Options{config_.match_threads,
-                                       config_.effective_shards()});
+    scheduler_ = std::make_unique<MatchScheduler>(MatchScheduler::Options{
+        config_.match_threads, config_.effective_shards()});
   }
 }
 
@@ -67,21 +66,42 @@ Broker::Broker(Broker&& other)
       merges_applied_(other.merges_applied_),
       pending_syncs_(other.pending_syncs_),
       seen_publications_(std::move(other.seen_publications_)) {
-  // The old scheduler's workers point at other.prt_; tear them down and
-  // rebuild against this object's tables.
+  // The old worker pool (and its possibly in-flight pin) belongs to the
+  // moved-from broker; tear it down and start a fresh pool and a fresh
+  // snapshot store here.
   other.scheduler_.reset();
   if (config_.match_threads > 1) {
-    scheduler_ = std::make_unique<MatchScheduler>(
-        &prt_, MatchScheduler::Options{config_.match_threads,
-                                       config_.effective_shards()});
+    scheduler_ = std::make_unique<MatchScheduler>(MatchScheduler::Options{
+        config_.match_threads, config_.effective_shards()});
   }
+  // The moved-in tables' dirty tracking may be clean (the old broker
+  // already built a snapshot from them), but this object's store starts
+  // empty — force a full rebuild on the first refresh.
+  prt_.mark_snapshot_all_dirty();
+  edge_dirty_ = true;
 }
 
 void Broker::add_neighbor(IfaceId interface_id) {
   neighbors_.insert(interface_id);
 }
 
-void Broker::add_client(IfaceId interface_id) { clients_.insert(interface_id); }
+void Broker::add_client(IfaceId interface_id) {
+  clients_.insert(interface_id);
+  edge_dirty_ = true;
+}
+
+void Broker::refresh_snapshot() {
+  if (!scheduler_ || defer_refresh_) return;
+  if (!edge_dirty_ && !prt_.snapshot_dirty()) return;
+  auto prev = snapshots_.current();
+  auto next = snapshot_builder_.build(prt_, clients_, client_subs_,
+                                      edge_dirty_, prev, snapshots_.gauge());
+  // build() returns prev itself when the dirty keys recompiled to
+  // identical content (control ops netted out): nothing to publish.
+  if (next != prev) snapshots_.publish(std::move(next));
+  prt_.clear_snapshot_dirty();
+  edge_dirty_ = false;
+}
 
 void Broker::drop_interface(IfaceId interface_id, ForwardSink& sink) {
   // Route handback rides the ordinary withdrawal handlers, exactly as if
@@ -109,6 +129,7 @@ void Broker::drop_interface(IfaceId interface_id, ForwardSink& sink) {
   neighbors_.erase(interface_id);
   clients_.erase(interface_id);
   client_subs_.erase(interface_id);
+  edge_dirty_ = true;
   // Forwarding records may still name the interface (subscriptions we had
   // sent *to* the peer); scrub it so later unsubscriptions do not chase a
   // dead edge.
@@ -116,6 +137,7 @@ void Broker::drop_interface(IfaceId interface_id, ForwardSink& sink) {
     it->second.erase(interface_id);
     it = it->second.empty() ? forwarded_to_.erase(it) : std::next(it);
   }
+  refresh_snapshot();
 }
 
 const std::vector<Xpe>* Broker::client_subscriptions(
@@ -139,12 +161,16 @@ void Broker::restore_merger(const Xpe& merger,
   if (SubscriptionTree::Node* node = prt_.tree()->find(merger)) {
     node->merger = true;
     node->merged_from = originals;
+    node->snapshot_merged_from.reset();
+    // Direct node surgery bypasses the tree's dirty tracking.
+    prt_.mark_snapshot_all_dirty();
   }
 }
 
 void Broker::restore_client_table(IfaceId interface_id,
                                   std::vector<Xpe> xpes) {
   client_subs_[interface_id] = std::move(xpes);
+  edge_dirty_ = true;
 }
 
 void Broker::restore_forwarding(const Xpe& xpe, IfaceSet interfaces) {
@@ -193,6 +219,12 @@ Broker::HandleStatus Broker::handle(IfaceId from_interface, const Message& msg,
                         &out);
       break;
   }
+  // Control messages mutated the live tables above; publish the next
+  // snapshot now, *without* waiting for any in-flight match epoch — the
+  // epoch keeps its pinned version, future epochs see this one. (No-op
+  // for publish messages: matching already refreshed, and matching
+  // itself dirties nothing.)
+  refresh_snapshot();
   stages_ = nullptr;
   return out;
 }
@@ -224,10 +256,13 @@ Broker::HandleStatus Broker::handle_batch(std::span<const Inbound> batch,
       ++i;
       continue;
     }
-    // A run of consecutive publications: one scheduler epoch for the whole
-    // run. Matching reads only the routing tables, which no publication
-    // mutates, so batching the match stage and then forwarding in arrival
-    // order is observationally identical to per-message handling.
+    // A run of consecutive publications: one scheduler epoch for the
+    // whole run, matched against the snapshot pinned here. While the
+    // workers match, this thread processes the control messages that
+    // follow the run — their table mutations cannot affect the pinned
+    // snapshot, and their outgoing messages are buffered and replayed
+    // after the run's forwards, so the sink sees exactly the sequential
+    // emission order.
     std::size_t end = i;
     while (end < batch.size() &&
            batch[end].msg->type() == MessageType::kPublish) {
@@ -253,22 +288,49 @@ Broker::HandleStatus Broker::handle_batch(std::span<const Inbound> batch,
       batch_frames_.push_back(batch[j].frame);
       batch_paths_.push_back(&pub.path);
     }
-    if (!batch_paths_.empty()) {
-      scheduler_->match_batch(batch_paths_, &batch_results_);
-      std::size_t comparisons = 0;
-      for (std::size_t k = 0; k < batch_pubs_.size(); ++k) {
-        HandleStatus out;
-        out.publication_matched = !batch_results_[k].hops.empty();
-        out.merger_false_matches = batch_results_[k].merger_false_matches;
-        comparisons += batch_results_[k].comparisons;
-        forward_publication(batch_froms_[k], *batch_envelopes_[k],
-                            *batch_pubs_[k], batch_results_[k].hops,
-                            batch_frames_[k], sink, &out);
-        total += out;
-      }
-      prt_.add_comparisons(comparisons);
+    if (batch_paths_.empty()) {
+      i = end;
+      continue;
     }
-    i = end;
+    refresh_snapshot();
+    std::shared_ptr<const RoutingSnapshot> pinned = snapshots_.current();
+    scheduler_->begin_batch(batch_paths_, pinned);
+    // The pipelined control window: handle the control messages that
+    // follow the publication run while the epoch is still in flight.
+    // Each one completes — tables mutated, outgoing control traffic
+    // emitted — without waiting for the workers (the no-quiesce-barrier
+    // property). Snapshot publication is coalesced across the window
+    // (defer_refresh_): no epoch can pin between these ops, so one
+    // publish at the next pin covers them all, and ops that net out
+    // inside the window (subscribe + unsubscribe of the same XPE) never
+    // cost a bucket recompile at all.
+    std::size_t next = end;
+    window_sink_.clear();
+    defer_refresh_ = true;
+    while (next < batch.size() &&
+           batch[next].msg->type() != MessageType::kPublish) {
+      total += handle(batch[next].from, *batch[next].msg, window_sink_);
+      ++next;
+    }
+    defer_refresh_ = false;
+    scheduler_->finish_batch(&batch_results_);
+    std::size_t comparisons = 0;
+    for (std::size_t k = 0; k < batch_pubs_.size(); ++k) {
+      HandleStatus out;
+      out.publication_matched = !batch_results_[k].hops.empty();
+      out.merger_false_matches = batch_results_[k].merger_false_matches;
+      comparisons += batch_results_[k].comparisons;
+      // Forward against the pinned view: the window's control ops may
+      // already have changed the live edge state, but these publications
+      // were matched before them.
+      forward_publication(batch_froms_[k], *batch_envelopes_[k],
+                          *batch_pubs_[k], batch_results_[k].hops,
+                          batch_frames_[k], pinned.get(), sink, &out);
+      total += out;
+    }
+    prt_.add_comparisons(comparisons);
+    window_sink_.replay(sink);
+    i = next;
   }
   return total;
 }
@@ -420,6 +482,7 @@ void Broker::handle_subscribe(IfaceId from, const SubscribeMsg& msg,
   (void)out;
   if (clients_.count(from)) {
     client_subs_[from].push_back(msg.xpe);
+    edge_dirty_ = true;
   }
   Prt::InsertOutcome outcome = [&] {
     StageTimer match_timer(stages_ ? &stages_->prt_match_ms : nullptr);
@@ -473,7 +536,10 @@ void Broker::handle_unsubscribe(IfaceId from, const UnsubscribeMsg& msg,
     if (it != client_subs_.end()) {
       auto& subs = it->second;
       auto pos = std::find(subs.begin(), subs.end(), msg.xpe);
-      if (pos != subs.end()) subs.erase(pos);
+      if (pos != subs.end()) {
+        subs.erase(pos);
+        edge_dirty_ = true;
+      }
     }
   }
 
@@ -512,9 +578,11 @@ void Broker::handle_unsubscribe(IfaceId from, const UnsubscribeMsg& msg,
 std::vector<IfaceId> Broker::match_publication(const PublishMsg& msg,
                                                HandleStatus* out) {
   if (scheduler_) {
-    // The epoch blocks this (single-writer) thread until every worker is
-    // parked again, so table mutation can never overlap the reads.
-    MatchScheduler::MatchResult result = scheduler_->match_one(msg.path);
+    // Match against the current snapshot (refreshed here if any control
+    // op dirtied the tables since the last build).
+    refresh_snapshot();
+    MatchScheduler::MatchResult result =
+        scheduler_->match_one(msg.path, snapshots_.current());
     out->merger_false_matches += result.merger_false_matches;
     prt_.add_comparisons(result.comparisons);
     return std::move(result.hops);
@@ -551,6 +619,7 @@ void Broker::forward_publication(IfaceId from, const Message& envelope,
                                  const PublishMsg& msg,
                                  std::span<const IfaceId> hops,
                                  std::span<const std::uint8_t> frame,
+                                 const RoutingSnapshot* view,
                                  ForwardSink& sink, HandleStatus* out) {
   // The hop list is sorted and deduplicated: several matching
   // subscriptions sharing a next hop yield one forwarded copy, and the
@@ -564,12 +633,15 @@ void Broker::forward_publication(IfaceId from, const Message& envelope,
   // transport resends `frame` without touching the Message at all.
   for (IfaceId hop : hops) {
     if (hop == from) continue;
-    if (clients_.count(hop)) {
+    const bool hop_is_client =
+        view ? view->is_client(hop) : clients_.count(hop) > 0;
+    if (hop_is_client) {
       // Edge exactness: deliver only if one of the client's original XPEs
       // matches; merged-entry surplus is a network-internal false positive
       // and is suppressed here (paper §4.3: "The false positives are not
       // delivered to subscribers").
-      const std::vector<Xpe>* originals = client_subscriptions(hop);
+      const std::vector<Xpe>* originals =
+          view ? view->client_subscriptions(hop) : client_subscriptions(hop);
       bool exact = false;
       if (originals) {
         for (const Xpe& original : *originals) {
@@ -603,7 +675,9 @@ void Broker::handle_publish(IfaceId from, const Message& envelope,
 
   std::vector<IfaceId> hops = match_publication(msg, out);
   out->publication_matched = !hops.empty();
-  forward_publication(from, envelope, msg, hops, frame, sink, out);
+  // No view: nothing ran between match and forward, the live edge state
+  // is the matched-against state.
+  forward_publication(from, envelope, msg, hops, frame, nullptr, sink, out);
 }
 
 void Broker::handle_sync_request(IfaceId from, ForwardSink& sink) {

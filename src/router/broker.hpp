@@ -41,6 +41,7 @@
 #include "router/iface.hpp"
 #include "router/match_scheduler.hpp"
 #include "router/message.hpp"
+#include "router/routing_snapshot.hpp"
 #include "router/routing_tables.hpp"
 #include "router/seen_window.hpp"
 
@@ -187,9 +188,10 @@ class Broker {
   ~Broker();
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
-  /// Move rebuilds the scheduler against the moved-to PRT (the worker pool
-  /// holds the table's address). Only legal between epochs, i.e. whenever
-  /// no handle() call is in flight — the broker's usual single-writer rule.
+  /// Move tears down the old worker pool and starts a fresh one with a
+  /// fresh snapshot store (the first refresh rebuilds in full). Only
+  /// legal whenever no handle() call is in flight — the broker's usual
+  /// single-writer rule.
   Broker(Broker&& other);
   Broker& operator=(Broker&&) = delete;
 
@@ -243,6 +245,16 @@ class Broker {
   /// The parallel engine, or nullptr when match_threads == 1 (metrics
   /// export and tests).
   const MatchScheduler* scheduler() const { return scheduler_.get(); }
+
+  /// The RCU snapshot machinery (router/routing_snapshot.hpp): the store
+  /// holding the current published snapshot and the builder's structural-
+  /// sharing counters. Only meaningful with match_threads > 1 (the
+  /// sequential path matches the live tables directly); tests and
+  /// bench/churn read these.
+  const SnapshotStore& snapshot_store() const { return snapshots_; }
+  const SnapshotBuilder& snapshot_builder() const {
+    return snapshot_builder_;
+  }
 
   // -- Snapshot support (router/snapshot.h) --------------------------------
   const Srt& srt() const { return srt_; }
@@ -300,12 +312,21 @@ class Broker {
   /// plain forward per neighbour hop. Identical for sequential, parallel
   /// and batched paths — determinism lives here (hop lists are sorted).
   /// `envelope` is the original message (no per-publication deep copy);
-  /// `frame` is its wire frame or empty.
+  /// `frame` is its wire frame or empty. A non-null `view` pins the edge
+  /// state (client set, original XPEs) as of the snapshot the publication
+  /// was matched against: with control ops pipelined into the match
+  /// epoch, the live maps may already be ahead of this publication.
   void forward_publication(IfaceId from, const Message& envelope,
                            const PublishMsg& msg,
                            std::span<const IfaceId> hops,
                            std::span<const std::uint8_t> frame,
-                           ForwardSink& sink, HandleStatus* out);
+                           const RoutingSnapshot* view, ForwardSink& sink,
+                           HandleStatus* out);
+
+  /// Rebuilds and publishes the routing snapshot if any table or edge
+  /// state changed since the last build. No-op when the scheduler is off
+  /// (sequential brokers match the live tables) or nothing is dirty.
+  void refresh_snapshot();
 
   /// Next-hop broker interfaces for a subscription: SRT overlap when
   /// advertisements are on, otherwise every neighbour. `exclude` is the
@@ -344,10 +365,64 @@ class Broker {
   Srt srt_;
   Prt prt_;
   /// Worker pool for parallel publication matching; null when
-  /// match_threads == 1. Workers only run inside match_publication() /
-  /// handle_batch() epochs, during which this (single-writer) broker is
-  /// blocked — so table mutation never overlaps worker reads.
+  /// match_threads == 1. Workers match against the immutable snapshot
+  /// pinned at epoch launch, never the live tables — this (single-writer)
+  /// broker mutates prt_/srt_ freely while an epoch runs and publishes
+  /// the next snapshot when done (no quiesce barrier).
   std::unique_ptr<MatchScheduler> scheduler_;
+  /// Current published routing snapshot + builder (control thread only
+  /// for build/publish; workers read through the scheduler's pin).
+  SnapshotStore snapshots_;
+  SnapshotBuilder snapshot_builder_;
+  /// Edge state (clients_/client_subs_) changed since the last snapshot
+  /// build. Starts true so the first refresh publishes a complete view.
+  bool edge_dirty_ = true;
+  /// True while handle_batch runs the pipelined control window: snapshot
+  /// publication coalesces to a single build at the next epoch's pin
+  /// instead of one per control op (no epoch can pin mid-window, so the
+  /// intermediate snapshots would never be observed).
+  bool defer_refresh_ = false;
+  /// Defers forwards emitted by control messages processed while a batch
+  /// epoch is in flight, replayed after the epoch's publications forward
+  /// — preserving the sequential emission order (see handle_batch).
+  class BufferedSink : public ForwardSink {
+   public:
+    void on_forward(IfaceId iface, const Message& msg) override {
+      items_.push_back({Kind::kForward, iface, msg});
+    }
+    void on_local_delivery(IfaceId client, const Message& msg) override {
+      items_.push_back({Kind::kLocalDelivery, client, msg});
+    }
+    void on_suppressed(IfaceId client, const Message& msg) override {
+      items_.push_back({Kind::kSuppressed, client, msg});
+    }
+    void replay(ForwardSink& sink) {
+      for (const Item& item : items_) {
+        switch (item.kind) {
+          case Kind::kForward:
+            sink.on_forward(item.iface, item.msg);
+            break;
+          case Kind::kLocalDelivery:
+            sink.on_local_delivery(item.iface, item.msg);
+            break;
+          case Kind::kSuppressed:
+            sink.on_suppressed(item.iface, item.msg);
+            break;
+        }
+      }
+    }
+    void clear() { items_.clear(); }
+
+   private:
+    enum class Kind { kForward, kLocalDelivery, kSuppressed };
+    struct Item {
+      Kind kind;
+      IfaceId iface;
+      Message msg;
+    };
+    std::vector<Item> items_;
+  };
+  BufferedSink window_sink_;
   /// Original XPEs per locally attached client (edge exactness).
   std::map<IfaceId, std::vector<Xpe>> client_subs_;
   /// Interfaces each subscription was forwarded to (for unsubscription).

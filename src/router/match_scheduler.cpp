@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "util/symbols.hpp"
 
@@ -73,8 +74,7 @@ void canonicalize_hops(std::vector<IfaceId>* hops) {
 
 }  // namespace
 
-MatchScheduler::MatchScheduler(const Prt* prt, Options options)
-    : prt_(prt), options_(options) {
+MatchScheduler::MatchScheduler(Options options) : options_(options) {
   if (options_.threads < 1) options_.threads = 1;
   if (options_.shards < 1) options_.shards = 1;
   // Spinning for the next epoch only pays when the pool and the control
@@ -96,6 +96,9 @@ MatchScheduler::MatchScheduler(const Prt* prt, Options options)
 }
 
 MatchScheduler::~MatchScheduler() {
+  // A batch left in flight must drain before the pool is torn down (the
+  // workers still hold the epoch's task pointers).
+  if (batch_pending_ && pending_count_ > 0) wait_epoch();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_.store(true, std::memory_order_relaxed);
@@ -156,6 +159,14 @@ void MatchScheduler::worker_loop(std::size_t worker_index) {
     // refill inside an epoch, so one pass over all of them is complete.
     // Accounting is per drain, not per task: a task can be tiny, so
     // per-task clock reads would rival the work itself.
+    //
+    // epoch_snapshot_ is a plain member, fetched lazily after the first
+    // successful claim: a claim for `gen` can only succeed after staging
+    // for `gen` restamped the cursors (the CAS is an RMW and sees the
+    // latest value in modification order, so stale-generation claims
+    // always fail), and the control thread set epoch_snapshot_ strictly
+    // before publishing `gen` — so the read below never overlaps a write.
+    const RoutingSnapshot* snap = nullptr;
     std::uint64_t claimed = 0;
     std::uint64_t stolen = 0;
     const std::uint64_t cpu_start = thread_cpu_ns();
@@ -170,18 +181,19 @@ void MatchScheduler::worker_loop(std::size_t worker_index) {
                                                 std::memory_order_relaxed)) {
           continue;  // word was reloaded by the failed CAS
         }
+        if (!snap) snap = epoch_snapshot_.get();
         if (batch) {
-          // One publication: intern into worker scratch (table lookups
-          // are read-only and the control thread is quiescent inside the
-          // epoch), match against the whole table in a single call
-          // (shard_count 1 degenerates to the sequential routine, so
-          // comparison counts are identical by construction), and merge
-          // in place — all off the control thread.
+          // One publication: intern into worker scratch (the symbol table
+          // only grows and its lookups take a shared lock), match against
+          // the whole pinned snapshot in a single call (shard_count 1
+          // degenerates to the sequential routine, so comparison counts
+          // are identical by construction), and merge in place — all off
+          // the control thread.
           Pub& pub = pubs_[task];
           const PathView view = intern_path(*pub.src, symbols);
           build_distinct_symbols(view, &distinct);
           cell.clear();
-          prt_->match_shard(view, distinct, 0, 1, &cell);
+          snap->match_shard(view, distinct, 0, 1, &cell);
           canonicalize_hops(&cell.hops);
           pub.result.hops.assign(cell.hops.begin(), cell.hops.end());
           pub.result.merger_false_matches = cell.merger_false_matches;
@@ -191,7 +203,7 @@ void MatchScheduler::worker_loop(std::size_t worker_index) {
           // matching for the per-message path.
           Pub& pub = pubs_.front();
           pub.per_shard[task].clear();
-          prt_->match_shard(pub.ip->view(), pub.distinct_symbols, task,
+          snap->match_shard(pub.ip->view(), pub.distinct_symbols, task,
                             shards, &pub.per_shard[task]);
         }
         ++claimed;
@@ -256,16 +268,18 @@ void MatchScheduler::stage_queues(std::uint64_t gen, std::size_t count) {
   }
 }
 
-void MatchScheduler::run_epoch(std::uint64_t gen) {
-  // prepare_match() forces the lazy symbol indexes now, on this thread,
-  // so the epoch's reads are pure.
-  prt_->prepare_match();
+void MatchScheduler::launch_epoch(std::uint64_t gen) {
+  // epoch_snapshot_ was set by the caller; the generation release store
+  // is what publishes it (and the staged grid) to the waking workers.
   tasks_done_.store(0, std::memory_order_relaxed);
   generation_.store(gen, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (idle_workers_ > 0) work_cv_.notify_all();
   }
+}
+
+void MatchScheduler::wait_epoch() {
   // Completion: spin briefly (an epoch is typically tens to hundreds of
   // microseconds), then park on done_cv until the last worker signals.
   const std::size_t count = task_count_;
@@ -291,6 +305,11 @@ void MatchScheduler::run_epoch(std::uint64_t gen) {
         max_busy, stats->epoch_busy_ns.load(std::memory_order_relaxed));
   }
   critical_path_ns_.fetch_add(max_busy, std::memory_order_relaxed);
+  // Drop the pin: every worker finished its drain before the last
+  // tasks_done_ release, so nobody reads epoch_snapshot_ any more. If
+  // newer snapshots were published mid-epoch, this release is what
+  // retires the old one.
+  epoch_snapshot_.reset();
 }
 
 MatchScheduler::MatchResult MatchScheduler::merge_pub(const Pub& pub) const {
@@ -309,7 +328,8 @@ MatchScheduler::MatchResult MatchScheduler::merge_pub(const Pub& pub) const {
   return out;
 }
 
-MatchScheduler::MatchResult MatchScheduler::match_one(const Path& path) {
+MatchScheduler::MatchResult MatchScheduler::match_one(
+    const Path& path, std::shared_ptr<const RoutingSnapshot> snapshot) {
   const std::uint64_t gen = begin_staging();
   if (pubs_.empty()) pubs_.resize(1);
   Pub& pub = pubs_.front();
@@ -320,16 +340,21 @@ MatchScheduler::MatchResult MatchScheduler::match_one(const Path& path) {
   stage_queues(gen, options_.shards);
   grid_.store(gen << 32 | static_cast<std::uint64_t>(task_count_),
               std::memory_order_relaxed);
-  run_epoch(gen);
+  epoch_snapshot_ = std::move(snapshot);
+  launch_epoch(gen);
+  wait_epoch();
   return merge_pub(pubs_.front());
 }
 
-void MatchScheduler::match_batch(const std::vector<const Path*>& paths,
-                                 std::vector<MatchResult>* out) {
-  if (paths.empty()) {
-    out->clear();
-    return;
+void MatchScheduler::begin_batch(
+    const std::vector<const Path*>& paths,
+    std::shared_ptr<const RoutingSnapshot> snapshot) {
+  if (batch_pending_) {
+    throw std::logic_error("begin_batch: batch already in flight");
   }
+  batch_pending_ = true;
+  pending_count_ = paths.size();
+  if (paths.empty()) return;
   const std::uint64_t gen = begin_staging();
   if (pubs_.size() < paths.size()) pubs_.resize(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) pubs_[i].src = paths[i];
@@ -337,9 +362,24 @@ void MatchScheduler::match_batch(const std::vector<const Path*>& paths,
   grid_.store(gen << 32 | kGridBatchBit |
                   static_cast<std::uint64_t>(task_count_),
               std::memory_order_relaxed);
-  run_epoch(gen);
-  out->resize(paths.size());
-  for (std::size_t i = 0; i < paths.size(); ++i) {
+  epoch_snapshot_ = std::move(snapshot);
+  launch_epoch(gen);
+}
+
+void MatchScheduler::finish_batch(std::vector<MatchResult>* out) {
+  if (!batch_pending_) {
+    throw std::logic_error("finish_batch: no batch in flight");
+  }
+  batch_pending_ = false;
+  const std::size_t count = pending_count_;
+  pending_count_ = 0;
+  if (count == 0) {
+    out->clear();
+    return;
+  }
+  wait_epoch();
+  out->resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
     MatchResult& dst = (*out)[i];
     Pub& pub = pubs_[i];
     // Swap, don't move: the slot inherits the caller's previous hop

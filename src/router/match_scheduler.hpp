@@ -10,12 +10,14 @@
 // provably the sequential match set, with identical comparison counts.
 //
 // The scheduler owns a fixed pool of worker threads and runs *epochs*: the
-// control thread (the broker's single writer) publishes an immutable task
-// range, wakes the pool, and blocks until every task is done and every
-// worker is parked again. Workers therefore only ever read the tables
-// while the one thread that could mutate them is blocked inside the epoch
-// — the epoch barrier IS the synchronisation, and the match path itself
-// stays free of locks. Tasks are distributed via per-worker run queues:
+// control thread (the broker's single writer) pins an immutable
+// RoutingSnapshot (router/routing_snapshot.hpp), publishes a task range,
+// and wakes the pool. Workers match against the pinned snapshot only —
+// never the live routing tables — so the control thread is free to keep
+// mutating those tables *while the epoch runs*; there is no quiesce
+// barrier on the control path any more. The snapshot stays alive (plain
+// shared_ptr refcounting) until the epoch's completion wait drops the
+// pin. Tasks are distributed via per-worker run queues:
 // the control thread splits the task range into one contiguous chunk per
 // worker, each worker drains its own queue (an uncontended CAS on its own
 // cache line), and a worker that runs dry steals from the other queues —
@@ -48,6 +50,7 @@
 #include <vector>
 
 #include "router/iface.hpp"
+#include "router/routing_snapshot.hpp"
 #include "router/routing_tables.hpp"
 #include "xml/paths.hpp"
 
@@ -79,34 +82,49 @@ class MatchScheduler {
     std::uint64_t steals = 0;
   };
 
-  /// `prt` must outlive the scheduler; `options.threads >= 1`,
-  /// `options.shards >= 1` (BrokerOptions::validate() enforces sane
-  /// combinations upstream).
-  MatchScheduler(const Prt* prt, Options options);
+  /// `options.threads >= 1`, `options.shards >= 1`
+  /// (BrokerOptions::validate() enforces sane combinations upstream).
+  explicit MatchScheduler(Options options);
   ~MatchScheduler();
   MatchScheduler(const MatchScheduler&) = delete;
   MatchScheduler& operator=(const MatchScheduler&) = delete;
 
-  /// Matches one publication path across all shards (one epoch). Blocks
-  /// until done; the caller must be the broker's single control thread.
-  MatchResult match_one(const Path& path);
+  /// Matches one publication path across all shards (one epoch) against
+  /// `snapshot`. Blocks until done; the caller must be the broker's
+  /// single control thread.
+  MatchResult match_one(const Path& path,
+                        std::shared_ptr<const RoutingSnapshot> snapshot);
 
-  /// Matches a batch in one epoch (one task per publication);
-  /// (*out)[i] corresponds to paths[i]. The batch is where parallelism
-  /// pays: per-path matching cost can be small, but a batch keeps every
-  /// worker busy for the whole epoch. `out` is resized to the batch and
-  /// its entries' hop storage is recycled via swap with the internal
-  /// per-slot buffers, so a caller that reuses the same vector across
-  /// batches reaches a steady state with no allocation — and no
-  /// cross-thread free of worker-allocated hop vectors on the control
-  /// thread, which showed up as malloc arena traffic per publication.
+  /// Launches a batch epoch (one task per publication) pinned to
+  /// `snapshot` and returns immediately: the control thread is free to
+  /// apply control-plane ops — including publishing newer snapshots —
+  /// while the workers match. Pair with finish_batch().
+  void begin_batch(const std::vector<const Path*>& paths,
+                   std::shared_ptr<const RoutingSnapshot> snapshot);
+
+  /// Blocks until the epoch launched by begin_batch() drains, then fills
+  /// `out` ((*out)[i] corresponds to paths[i]) and drops the snapshot
+  /// pin. `out` is resized to the batch and its entries' hop storage is
+  /// recycled via swap with the internal per-slot buffers, so a caller
+  /// that reuses the same vector across batches reaches a steady state
+  /// with no allocation — and no cross-thread free of worker-allocated
+  /// hop vectors on the control thread, which showed up as malloc arena
+  /// traffic per publication.
+  void finish_batch(std::vector<MatchResult>* out);
+
+  /// begin_batch + finish_batch back to back (no overlapped control ops).
   void match_batch(const std::vector<const Path*>& paths,
-                   std::vector<MatchResult>* out);
+                   std::shared_ptr<const RoutingSnapshot> snapshot,
+                   std::vector<MatchResult>* out) {
+    begin_batch(paths, std::move(snapshot));
+    finish_batch(out);
+  }
 
-  std::vector<MatchResult> match_batch(const std::vector<const Path*>& paths) {
-    std::vector<MatchResult> out;
-    match_batch(paths, &out);
-    return out;
+  bool batch_in_flight() const { return batch_pending_; }
+  /// Version of the currently pinned snapshot, 0 if none. Control thread
+  /// only (tests).
+  std::uint64_t pinned_version() const {
+    return epoch_snapshot_ ? epoch_snapshot_->version() : 0;
   }
 
   std::size_t threads() const { return options_.threads; }
@@ -163,18 +181,21 @@ class MatchScheduler {
   };
 
   void worker_loop(std::size_t worker_index);
-  /// Publishes the staged queues as epoch `gen` and blocks until every
-  /// task is done (the completion wait is the write barrier: afterwards
-  /// the caller may mutate tables and restage freely).
-  void run_epoch(std::uint64_t gen);
-  /// Restamps the queues for the upcoming epoch and clears pubs_; returns
-  /// the new epoch number. Call before staging.
+  /// Publishes the staged queues as epoch `gen` and wakes the pool.
+  /// epoch_snapshot_ must be set before this call: the generation store
+  /// is the release that makes it visible to the workers.
+  void launch_epoch(std::uint64_t gen);
+  /// Blocks until every task of the running epoch is done and drops the
+  /// snapshot pin. Afterwards pubs_ and the queues are exclusively the
+  /// control thread's again.
+  void wait_epoch();
+  /// Restamps the queues for the upcoming epoch; returns the new epoch
+  /// number. Call before staging.
   std::uint64_t begin_staging();
   /// Splits [0, count) contiguously across the worker queues.
   void stage_queues(std::uint64_t gen, std::size_t count);
   MatchResult merge_pub(const Pub& pub) const;
 
-  const Prt* prt_;
   Options options_;
 
   // Epoch state. The control thread stages pubs_ and the queues between
@@ -184,6 +205,17 @@ class MatchScheduler {
   // shard index (control thread merges).
   std::vector<Pub> pubs_;
   std::size_t task_count_ = 0;  ///< control thread only
+  /// The snapshot this epoch matches against. Written by the control
+  /// thread strictly before the generation_ release store; read by
+  /// workers only after a successful task claim for that generation (a
+  /// claim can only succeed after staging restamped the cursors, and the
+  /// control thread never restages before the completion wait returns) —
+  /// so plain, non-atomic access is race-free. Reset at wait_epoch() end;
+  /// between begin_batch and finish_batch it carries the pin that keeps a
+  /// retired snapshot alive while newer ones are published.
+  std::shared_ptr<const RoutingSnapshot> epoch_snapshot_;
+  bool batch_pending_ = false;    ///< control thread only
+  std::size_t pending_count_ = 0; ///< control thread only
   std::vector<std::unique_ptr<WorkQueue>> queues_;
   /// epoch<<32 | kGridBatchBit? | task count — the grid descriptor
   /// workers read instead of racing on plain members.

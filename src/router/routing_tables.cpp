@@ -4,6 +4,7 @@
 
 #include "match/adv_match.hpp"
 #include "match/pub_match.hpp"
+#include "router/routing_snapshot.hpp"
 #include "util/symbols.hpp"
 
 namespace xroute {
@@ -159,12 +160,14 @@ Prt::InsertOutcome Prt::insert(const Xpe& xpe, IfaceId hop) {
   auto it = flat_index_.find(xpe);
   if (it != flat_index_.end()) {
     flat_[it->second].hops.insert(hop);
+    note_flat_snapshot_dirty(xpe);
     outcome.was_new = false;
     return outcome;
   }
   flat_index_.emplace(xpe, flat_.size());
   flat_.push_back(FlatEntry{xpe, {hop}});
   flat_index_dirty_ = true;
+  note_flat_snapshot_dirty(xpe);
   outcome.was_new = true;
   return outcome;
 }
@@ -175,6 +178,7 @@ bool Prt::remove(const Xpe& xpe, IfaceId hop) {
   if (it == flat_index_.end()) return false;
   FlatEntry& entry = flat_[it->second];
   if (entry.hops.erase(hop) == 0) return false;
+  note_flat_snapshot_dirty(xpe);
   if (entry.hops.empty()) {
     // Swap-and-pop, fixing the displaced entry's index.
     std::size_t pos = it->second;
@@ -195,14 +199,7 @@ void Prt::rebuild_flat_index() const {
   for (std::size_t pos = 0; pos < flat_.size(); ++pos) {
     // Bucket by the deepest concrete step: a path can only match the XPE
     // if it contains that element somewhere.
-    std::uint32_t key = SymbolTable::kNoSymbol;
-    const std::vector<std::uint32_t>& syms = flat_[pos].xpe.symbols();
-    for (std::size_t i = syms.size(); i-- > 0;) {
-      if (syms[i] != SymbolTable::kWildcardId) {
-        key = syms[i];
-        break;
-      }
-    }
+    const std::uint32_t key = SubscriptionTree::bucket_key(flat_[pos].xpe);
     if (key == SymbolTable::kNoSymbol) {
       flat_unindexed_.push_back(pos);
     } else {
@@ -210,6 +207,11 @@ void Prt::rebuild_flat_index() const {
     }
   }
   flat_index_dirty_ = false;
+}
+
+void Prt::note_flat_snapshot_dirty(const Xpe& xpe) {
+  if (flat_snapshot_all_dirty_) return;
+  flat_snapshot_dirty_keys_.insert(SubscriptionTree::bucket_key(xpe));
 }
 
 namespace {
@@ -401,6 +403,79 @@ void Prt::match_shard(const PathView& ip,
     if (it == flat_by_symbol_.end()) continue;
     for (std::size_t pos : it->second) test(pos);
   }
+}
+
+bool Prt::snapshot_dirty() const {
+  if (covering_) {
+    return tree_->snapshot_all_dirty() ||
+           !tree_->snapshot_dirty_keys().empty();
+  }
+  return flat_snapshot_all_dirty_ || !flat_snapshot_dirty_keys_.empty();
+}
+
+bool Prt::snapshot_all_dirty() const {
+  return covering_ ? tree_->snapshot_all_dirty() : flat_snapshot_all_dirty_;
+}
+
+const std::set<std::uint32_t>& Prt::snapshot_dirty_keys() const {
+  return covering_ ? tree_->snapshot_dirty_keys() : flat_snapshot_dirty_keys_;
+}
+
+void Prt::clear_snapshot_dirty() {
+  if (covering_) {
+    tree_->clear_snapshot_dirty();
+  } else {
+    flat_snapshot_dirty_keys_.clear();
+    flat_snapshot_all_dirty_ = false;
+  }
+}
+
+void Prt::mark_snapshot_all_dirty() {
+  if (covering_) {
+    tree_->mark_snapshot_all_dirty();
+  } else {
+    flat_snapshot_all_dirty_ = true;
+  }
+}
+
+void Prt::compile_snapshot_bucket(std::uint32_t key,
+                                  SnapshotBucket* out) const {
+  if (covering_) {
+    tree_->compile_snapshot_bucket(key, out);
+    return;
+  }
+  // Flat entries compile to leaf-only streams (zero skips, one entry
+  // each) in position order — the exact candidate order the live flat
+  // index tests, so comparison counts stay in lockstep.
+  for (const FlatEntry& entry : flat_) {
+    if (SubscriptionTree::bucket_key(entry.xpe) != key) continue;
+    const std::vector<std::uint32_t>& prog = entry.xpe.program();
+    out->words.push_back(static_cast<std::uint32_t>(prog.size()));
+    out->words.push_back(0);  // skip_words: leaves have no subtree
+    out->words.push_back(0);  // skip_entries
+    out->words.insert(out->words.end(), prog.begin(), prog.end());
+    SnapshotBucket::Entry se;
+    // Plain shared_ptr for a detached control block — see the tree-path
+    // equivalent in subscription_tree.cpp.
+    if (!entry.snapshot_xpe) {
+      entry.snapshot_xpe = std::shared_ptr<const Xpe>(new Xpe(entry.xpe));
+    }
+    se.xpe = entry.snapshot_xpe;
+    se.hop_begin = static_cast<std::uint32_t>(out->hops.size());
+    out->hops.insert(out->hops.end(), entry.hops.begin(), entry.hops.end());
+    se.hop_end = static_cast<std::uint32_t>(out->hops.size());
+    out->entries.push_back(std::move(se));
+  }
+}
+
+std::vector<std::uint32_t> Prt::snapshot_bucket_keys() const {
+  if (covering_) return tree_->snapshot_bucket_keys();
+  std::set<std::uint32_t> keys;
+  for (const FlatEntry& entry : flat_) {
+    const std::uint32_t key = SubscriptionTree::bucket_key(entry.xpe);
+    if (key != SymbolTable::kNoSymbol) keys.insert(key);
+  }
+  return {keys.begin(), keys.end()};
 }
 
 }  // namespace xroute

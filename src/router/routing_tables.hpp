@@ -179,8 +179,29 @@ class Prt {
   SubscriptionTree* tree() { return tree_.get(); }
   const SubscriptionTree* tree() const { return tree_.get(); }
 
+  // -- Snapshot compile support (router/routing_snapshot.hpp) --------------
+  //
+  // The table tracks which snapshot buckets its mutations touched since
+  // the last clear, so the SnapshotBuilder recompiles only those and
+  // structurally shares the rest. Covering mode delegates to the tree;
+  // flat mode tracks its own key set here.
+
+  /// Any mutation since clear_snapshot_dirty()?
+  bool snapshot_dirty() const;
+  bool snapshot_all_dirty() const;
+  const std::set<std::uint32_t>& snapshot_dirty_keys() const;
+  void clear_snapshot_dirty();
+  void mark_snapshot_all_dirty();
+  /// Compiles bucket `key` (SymbolTable::kNoSymbol = the all-wildcard
+  /// side bucket) from the live table, preserving the candidate order the
+  /// live index would test (determinism contract).
+  void compile_snapshot_bucket(std::uint32_t key, SnapshotBucket* out) const;
+  /// Distinct non-side bucket keys currently present (full rebuilds).
+  std::vector<std::uint32_t> snapshot_bucket_keys() const;
+
  private:
   void rebuild_flat_index() const;
+  void note_flat_snapshot_dirty(const Xpe& xpe);
 
   bool covering_;
   std::unique_ptr<SubscriptionTree> tree_;  // covering mode
@@ -188,6 +209,10 @@ class Prt {
   struct FlatEntry {
     Xpe xpe;
     IfaceSet hops;
+    /// Lazily created immutable share for snapshot compilation (see
+    /// SubscriptionTree::Node::snapshot_xpe); `xpe` never mutates after
+    /// the entry is created.
+    mutable std::shared_ptr<const Xpe> snapshot_xpe;
   };
   std::vector<FlatEntry> flat_;
   std::unordered_map<Xpe, std::size_t, XpeHash> flat_index_;
@@ -201,6 +226,10 @@ class Prt {
       flat_by_symbol_;
   mutable std::vector<std::size_t> flat_unindexed_;
   mutable bool flat_index_dirty_ = true;
+
+  // Flat-mode snapshot dirty tracking (covering mode: the tree's own).
+  std::set<std::uint32_t> flat_snapshot_dirty_keys_;
+  bool flat_snapshot_all_dirty_ = true;
 };
 
 }  // namespace xroute

@@ -84,9 +84,28 @@ struct DocRecord {
 };
 
 struct TimelineItem {
+  enum Kind { kDoc, kEvent, kChurnOp };
   double at_ms = 0.0;
-  bool is_event = false;
-  std::size_t index = 0;  ///< into docs or scenario.events
+  Kind kind = kDoc;
+  std::size_t index = 0;  ///< into docs, scenario.events or churn ops
+};
+
+/// One control-plane op of a scripted churn stream: churner `churner`
+/// (un)subscribes `xpe_index` of the scenario pool. Expanded from kChurn
+/// events before the run so the timeline merge stays one sorted pass.
+struct ChurnOp {
+  std::size_t churner = 0;
+  std::size_t xpe_index = 0;
+  bool subscribe = true;
+};
+
+/// A dedicated client driving live subscribe/unsubscribe against one
+/// broker. Deliberately NOT a Subscriber: the delivery oracle must hold
+/// for the stable subscribers *while* these mutate routing state, so
+/// churners stay out of verify()'s bookkeeping entirely.
+struct Churner {
+  std::unique_ptr<TransportClient> client;
+  int broker = -1;
 };
 
 class Runner {
@@ -122,6 +141,8 @@ class Runner {
   void do_join(const ScenarioEvent& event);
 
   void publish_doc(const ScheduledDoc& doc);
+  void attach_churners();
+  void run_churn_op(const ChurnOp& op);
   void verify();
 
   const Scenario& scenario_;
@@ -130,6 +151,9 @@ class Runner {
   Topology topology_;
   std::map<int, Node> nodes_;
   std::vector<Subscriber> subscribers_;
+  std::vector<Churner> churners_;
+  std::vector<ChurnOp> churn_ops_;
+  std::vector<double> churn_op_times_;
   std::unique_ptr<TransportClient> publisher_;
   int publisher_broker_ = 0;
   std::vector<Path> paths_;
@@ -295,6 +319,57 @@ void Runner::attach_clients() {
   }
 }
 
+void Runner::attach_churners() {
+  Rng rng(scenario_.seed ^ 0x6368726eULL);
+  for (const ScenarioEvent& event : scenario_.events) {
+    if (event.kind != EventKind::kChurn) continue;
+    auto it = nodes_.find(event.broker);
+    if (it == nodes_.end()) {
+      throw ParseError("scenario: churn targets unknown broker " +
+                       std::to_string(event.broker));
+    }
+    Churner churner;
+    churner.broker = event.broker;
+    churner.client = std::make_unique<TransportClient>(
+        client_options(200 + static_cast<int>(churners_.size())));
+    churner.client->start("127.0.0.1", it->second.port);
+    if (!churner.client->wait_connected(10000)) {
+      throw ParseError("scenario: churner handshake timed out");
+    }
+    // Expand the stream into discrete ops now: a deterministic
+    // subscribe/unsubscribe alternation over the scenario's XPE pool, so
+    // every subscription the churner adds is withdrawn one op later and
+    // the run ends with no residue beyond at most one live entry.
+    const std::size_t churner_index = churners_.size();
+    double step = 1000.0 / event.docs_per_sec;
+    std::size_t op_number = 0;
+    for (double t = event.at_ms; t < event.until_ms; t += step) {
+      ChurnOp op;
+      op.churner = churner_index;
+      op.xpe_index = (op_number / 2 + rng.index(scenario_.xpes.size())) %
+                     scenario_.xpes.size();
+      op.subscribe = op_number % 2 == 0;
+      // Unsubscribe must target what the previous op subscribed.
+      if (!op.subscribe && !churn_ops_.empty()) {
+        op.xpe_index = churn_ops_.back().xpe_index;
+      }
+      churn_ops_.push_back(op);
+      churn_op_times_.push_back(t);
+      ++op_number;
+    }
+    churners_.push_back(std::move(churner));
+  }
+}
+
+void Runner::run_churn_op(const ChurnOp& op) {
+  Churner& churner = churners_[op.churner];
+  auto it = nodes_.find(churner.broker);
+  if (it == nodes_.end() || !it->second.up) return;  // broker died mid-churn
+  const Xpe xpe = parse_xpe(scenario_.xpes[op.xpe_index]);
+  churner.client->send(op.subscribe ? Message::subscribe(xpe)
+                                    : Message::unsubscribe(xpe));
+}
+
 bool Runner::wait_quiescent(double settle_ms, double timeout_ms) {
   auto totals = [&] {
     std::uint64_t frames = 0;
@@ -306,6 +381,9 @@ bool Runner::wait_quiescent(double settle_ms, double timeout_ms) {
     }
     for (const Subscriber& sub : subscribers_) {
       frames += sub.client->frames_in();
+    }
+    for (const Churner& churner : churners_) {
+      frames += churner.client->frames_in();
     }
     if (publisher_) frames += publisher_->frames_in();
     return std::make_pair(frames, queued);
@@ -590,7 +668,8 @@ void Runner::run_event(const ScenarioEvent& event) {
     case EventKind::kPublishBurst:
     case EventKind::kRate:
     case EventKind::kDiurnal:
-      break;  // expanded into the schedule by build_schedule
+    case EventKind::kChurn:
+      break;  // expanded into the schedule / churn-op stream up front
   }
 }
 
@@ -651,7 +730,8 @@ ScenarioReport Runner::run() {
   schedule_ = build_schedule(scenario_);
   start_overlay();
   attach_clients();
-  if (!wait_quiescent(scenario_.settle_ms, 20000)) {
+  attach_churners();
+  if (!wait_quiescent(scenario_.settle_ms, scenario_.warmup_timeout_ms)) {
     fail("warmup: overlay never went quiescent");
   }
   if (probe_convergence(10000) < 0) {
@@ -664,14 +744,19 @@ ScenarioReport Runner::run() {
   // publish before they disrupt (the margin reclassifies those anyway).
   std::vector<TimelineItem> timeline;
   for (std::size_t i = 0; i < schedule_.size(); ++i) {
-    timeline.push_back(TimelineItem{schedule_[i].at_ms, false, i});
+    timeline.push_back(
+        TimelineItem{schedule_[i].at_ms, TimelineItem::kDoc, i});
   }
   for (std::size_t i = 0; i < scenario_.events.size(); ++i) {
     const ScenarioEvent& event = scenario_.events[i];
     if (event.kind == EventKind::kKill || event.kind == EventKind::kRestart ||
         event.kind == EventKind::kLeave || event.kind == EventKind::kJoin) {
-      timeline.push_back(TimelineItem{event.at_ms, true, i});
+      timeline.push_back(TimelineItem{event.at_ms, TimelineItem::kEvent, i});
     }
+  }
+  for (std::size_t i = 0; i < churn_ops_.size(); ++i) {
+    timeline.push_back(
+        TimelineItem{churn_op_times_[i], TimelineItem::kChurnOp, i});
   }
   std::stable_sort(timeline.begin(), timeline.end(),
                    [](const TimelineItem& a, const TimelineItem& b) {
@@ -685,20 +770,27 @@ ScenarioReport Runner::run() {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(item.at_ms - now));
     }
-    if (item.is_event) {
-      run_event(scenario_.events[item.index]);
-    } else {
-      publish_doc(schedule_[item.index]);
+    switch (item.kind) {
+      case TimelineItem::kEvent:
+        run_event(scenario_.events[item.index]);
+        break;
+      case TimelineItem::kChurnOp:
+        run_churn_op(churn_ops_[item.index]);
+        break;
+      case TimelineItem::kDoc:
+        publish_doc(schedule_[item.index]);
+        break;
     }
   }
   publisher_->sync();
-  if (!wait_quiescent(scenario_.settle_ms, 30000)) {
+  if (!wait_quiescent(scenario_.settle_ms, scenario_.drain_timeout_ms)) {
     fail("drain: overlay never went quiescent after the last event");
   }
   verify();
   report_.duration_ms = ms_since(t0_);
 
   for (Subscriber& sub : subscribers_) sub.client->stop();
+  for (Churner& churner : churners_) churner.client->stop();
   publisher_->stop();
   for (auto& [id, node] : nodes_) {
     if (!node.broker) continue;

@@ -111,10 +111,20 @@ ScenarioEvent parse_event(const std::vector<std::string>& tokens,
     event.kind = EventKind::kJoin;
     event.broker = parse_broker_id(tokens[3], line);
     event.neighbors = parse_id_list(tokens[4], line);
+  } else if (verb == "churn") {
+    want(7, "at T churn BROKER OPS_PER_SEC until T2");
+    if (tokens[5] != "until") {
+      fail(line, "usage: at T churn BROKER OPS until T2");
+    }
+    event.kind = EventKind::kChurn;
+    event.broker = parse_broker_id(tokens[3], line);
+    event.docs_per_sec = parse_double(tokens[4], line, "bad churn rate");
+    event.until_ms = parse_double(tokens[6], line, "bad churn end time");
   } else {
     fail(line, "unknown event verb '" + verb + "'");
   }
-  if (event.kind == EventKind::kRate || event.kind == EventKind::kDiurnal) {
+  if (event.kind == EventKind::kRate || event.kind == EventKind::kDiurnal ||
+      event.kind == EventKind::kChurn) {
     if (event.until_ms <= event.at_ms) {
       fail(line, "'until' must be after the start time");
     }
@@ -134,6 +144,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kRestart: return "restart";
     case EventKind::kLeave: return "leave";
     case EventKind::kJoin: return "join";
+    case EventKind::kChurn: return "churn";
   }
   return "?";
 }
@@ -207,6 +218,15 @@ Scenario parse_scenario(const std::string& text) {
     } else if (key == "settle") {
       want(2, "settle MS");
       scenario.settle_ms = parse_double(tokens[1], line_no, "bad settle");
+    } else if (key == "timeout") {
+      want(3, "timeout WARMUP_MS DRAIN_MS");
+      scenario.warmup_timeout_ms =
+          parse_double(tokens[1], line_no, "bad warmup timeout");
+      scenario.drain_timeout_ms =
+          parse_double(tokens[2], line_no, "bad drain timeout");
+      if (scenario.warmup_timeout_ms <= 0 || scenario.drain_timeout_ms <= 0) {
+        fail(line_no, "timeouts must be > 0");
+      }
     } else if (key == "at") {
       scenario.events.push_back(parse_event(tokens, line_no));
     } else {

@@ -21,6 +21,7 @@
 //   heartbeat 50 150 400        # interval / suspect / down, ms
 //   warmup 200                  # ms before t=0
 //   settle 400                  # quiescence wait after the last event
+//   timeout 20000 30000         # warmup / drain quiescence deadline, ms
 //   at 0 rate 200 until 1000    # steady publications, docs/sec
 //   at 200 publish 50           # flash crowd: a burst at one instant
 //   at 0 diurnal 300 2000 until 4000   # sinusoidal rate, peak/period
@@ -28,6 +29,8 @@
 //   at 900 restart 2            # same port, incarnation+1, resync
 //   at 1200 leave 1             # planned: goodbye + route handback
 //   at 1500 join 7 0,2          # new broker dials brokers 0 and 2
+//   at 0 churn 1 500 until 2000 # live subscribe/unsubscribe churn at a
+//                               #   broker, control ops/sec
 #pragma once
 
 #include <cstddef>
@@ -46,6 +49,9 @@ enum class EventKind {
   kRestart,       ///< relaunch a killed broker: same port, +1 incarnation
   kLeave,         ///< planned leave: goodbye, route handback
   kJoin,          ///< a broker id new to the overlay dials `neighbors`
+  kChurn,         ///< control-plane churn: a dedicated client at `broker`
+                  ///< alternates subscribe/unsubscribe at `docs_per_sec`
+                  ///< control ops/sec until `until_ms`
 };
 
 const char* to_string(EventKind kind);
@@ -85,6 +91,11 @@ struct Scenario {
   double down_after_ms = 400.0;
   double warmup_ms = 200.0;
   double settle_ms = 400.0;
+  /// Quiescence deadlines (previously hard-coded in the runner): how long
+  /// the runner waits for the overlay to go quiet after warmup and after
+  /// the final drain before declaring the run stuck.
+  double warmup_timeout_ms = 20000.0;
+  double drain_timeout_ms = 30000.0;
   /// Sorted by at_ms (stable, so same-instant events keep file order).
   std::vector<ScenarioEvent> events;
 };

@@ -61,6 +61,7 @@ std::vector<ScheduledDoc> build_schedule(const Scenario& scenario) {
       case EventKind::kRestart:
       case EventKind::kLeave:
       case EventKind::kJoin:
+      case EventKind::kChurn:  // expanded by the runner, not the workload
         break;
     }
   }

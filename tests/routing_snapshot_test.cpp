@@ -1,0 +1,287 @@
+// Lifetime and retirement tests for the RCU snapshot machinery
+// (router/routing_snapshot.hpp): a pinned snapshot must outlive its
+// replacement (no use-after-free under ASan), publish/current must hand
+// readers fully built snapshots, retirement must actually free the
+// chain (the live gauge stays bounded under churn), and the builder's
+// structural sharing must recompile only dirty buckets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "router/broker.hpp"
+#include "util/symbols.hpp"
+#include "router/match_scheduler.hpp"
+#include "router/routing_snapshot.hpp"
+#include "router/routing_tables.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+struct DiscardSink : ForwardSink {
+  void on_forward(IfaceId, const Message&) override {}
+  void on_local_delivery(IfaceId, const Message&) override {}
+  void on_suppressed(IfaceId, const Message&) override {}
+};
+
+/// First-occurrence deduplicated symbol list, as the scheduler stages it.
+std::vector<std::uint32_t> distinct_symbols(const InternedPath& ip) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t sym : ip.symbols) {
+    if (sym == SymbolTable::kNoSymbol) continue;
+    if (std::find(out.begin(), out.end(), sym) == out.end()) {
+      out.push_back(sym);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const RoutingSnapshot> rebuild(
+    SnapshotBuilder& builder, SnapshotStore& store, Prt& prt,
+    const IfaceSet& clients,
+    const std::map<IfaceId, std::vector<Xpe>>& client_subs,
+    bool edge_dirty = false) {
+  auto next = builder.build(prt, clients, client_subs, edge_dirty,
+                            store.current(), store.gauge());
+  prt.clear_snapshot_dirty();
+  store.publish(next);
+  return next;
+}
+
+TEST(SnapshotStore, StartsWithAnEmptyVersionZeroSnapshot) {
+  SnapshotStore store;
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.version(), 0u);
+  EXPECT_EQ(store.current()->bucket_count(), 0u);
+  EXPECT_EQ(store.live(), 1);
+}
+
+TEST(SnapshotStore, PinKeepsARetiredSnapshotAlive) {
+  SnapshotStore store;
+  SnapshotBuilder builder;
+  Prt prt(/*covering=*/true);
+  IfaceSet clients;
+  std::map<IfaceId, std::vector<Xpe>> client_subs;
+
+  prt.insert(parse_xpe("/news/article"), IfaceId{1});
+  rebuild(builder, store, prt, clients, client_subs);
+  EXPECT_EQ(store.version(), 1u);
+  // v0 was dropped when v1 replaced it.
+  EXPECT_EQ(store.live(), 1);
+
+  // Pin v1 the way a match epoch does, then retire it twice over.
+  std::shared_ptr<const RoutingSnapshot> pinned = store.current();
+  prt.insert(parse_xpe("/news/sports"), IfaceId{2});
+  rebuild(builder, store, prt, clients, client_subs);
+  prt.insert(parse_xpe("/news/weather"), IfaceId{3});
+  rebuild(builder, store, prt, clients, client_subs);
+
+  EXPECT_EQ(store.version(), 3u);
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(store.live(), 2);  // current + pinned; v2 already freed
+
+  // The retired snapshot is still fully readable (ASan would flag a
+  // use-after-free here if retirement were eager).
+  Path path = parse_path("/news/article");
+  InternedPath ip(path);
+  std::vector<std::uint32_t> symbols = distinct_symbols(ip);
+  Prt::ShardMatch match;
+  pinned->match_shard(ip.view(), symbols, 0, 1, &match);
+  ASSERT_EQ(match.hops.size(), 1u);
+  EXPECT_EQ(match.hops[0], IfaceId{1});
+
+  pinned.reset();
+  EXPECT_EQ(store.live(), 1);
+}
+
+TEST(SnapshotStore, RetirementFreesTheChainUnderChurn) {
+  SnapshotStore store;
+  SnapshotBuilder builder;
+  Prt prt(/*covering=*/true);
+  IfaceSet clients;
+  std::map<IfaceId, std::vector<Xpe>> client_subs;
+
+  for (int i = 0; i < 100; ++i) {
+    Xpe xpe = parse_xpe("/news/item" + std::to_string(i));
+    prt.insert(xpe, IfaceId{1});
+    rebuild(builder, store, prt, clients, client_subs);
+    // No pins: at most the current snapshot and the one being replaced
+    // may coexist for an instant; a growing chain would be a leak.
+    ASSERT_LE(store.live(), 2) << "after publish " << i;
+  }
+  EXPECT_EQ(store.version(), 100u);
+  EXPECT_EQ(store.live(), 1);
+}
+
+TEST(SnapshotBuilder, RecompilesOnlyDirtyBuckets) {
+  SnapshotStore store;
+  SnapshotBuilder builder;
+  Prt prt(/*covering=*/true);
+  IfaceSet clients;
+  std::map<IfaceId, std::vector<Xpe>> client_subs;
+
+  // Distinct roots => distinct discriminating-symbol buckets.
+  prt.insert(parse_xpe("/news/article"), IfaceId{1});
+  prt.insert(parse_xpe("/sports/score"), IfaceId{1});
+  prt.insert(parse_xpe("/weather/report"), IfaceId{1});
+  rebuild(builder, store, prt, clients, client_subs);
+  const std::uint64_t rebuilt_initial = builder.buckets_rebuilt();
+  ASSERT_GE(store.current()->bucket_count(), 3u);
+
+  // Touch one bucket; the other buckets must be shared, not recompiled.
+  prt.insert(parse_xpe("/news/article/body"), IfaceId{2});
+  std::shared_ptr<const RoutingSnapshot> prev = store.current();
+  rebuild(builder, store, prt, clients, client_subs);
+  EXPECT_EQ(builder.buckets_rebuilt() - rebuilt_initial, 1u);
+  EXPECT_GE(builder.buckets_shared(), 2u);
+  EXPECT_EQ(store.current()->bucket_count(), prev->bucket_count());
+
+  // A clean rebuild request (nothing dirty, edge clean) still produces a
+  // well-formed next version sharing every bucket.
+  const std::uint64_t rebuilt_before = builder.buckets_rebuilt();
+  rebuild(builder, store, prt, clients, client_subs);
+  EXPECT_EQ(builder.buckets_rebuilt(), rebuilt_before);
+}
+
+// A control window that nets out — a subscribe whose unsubscribe landed
+// before the next build — recompiles every dirty bucket back to its
+// previous content. build() must return the previous snapshot itself
+// (callers skip the publish on pointer equality), so workers keep their
+// warm bucket map instead of faulting in a byte-identical copy.
+TEST(SnapshotBuilder, NettedOutChurnElidesThePublish) {
+  SnapshotStore store;
+  SnapshotBuilder builder;
+  Prt prt(/*covering=*/true);
+  IfaceSet clients;
+  std::map<IfaceId, std::vector<Xpe>> client_subs;
+
+  prt.insert(parse_xpe("/news/article"), IfaceId{1});
+  prt.insert(parse_xpe("/sports/score"), IfaceId{1});
+  rebuild(builder, store, prt, clients, client_subs);
+  std::shared_ptr<const RoutingSnapshot> prev = store.current();
+
+  // Net-zero churn since the last build, including a capture: the
+  // newcomer covers /news/article, moves it below itself, and the
+  // removal splices it back into its original position.
+  prt.insert(parse_xpe("/news"), IfaceId{2});
+  prt.remove(parse_xpe("/news"), IfaceId{2});
+  ASSERT_TRUE(prt.snapshot_dirty());
+  const std::uint64_t elided_before = builder.builds_elided();
+  auto next = builder.build(prt, clients, client_subs, /*edge_dirty=*/false,
+                            store.current(), store.gauge());
+  prt.clear_snapshot_dirty();
+  EXPECT_EQ(next, prev);
+  EXPECT_EQ(builder.builds_elided(), elided_before + 1);
+
+  // A change that does not net out still publishes a fresh version.
+  prt.insert(parse_xpe("/weather/report"), IfaceId{2});
+  next = builder.build(prt, clients, client_subs, /*edge_dirty=*/false,
+                       store.current(), store.gauge());
+  prt.clear_snapshot_dirty();
+  EXPECT_NE(next, prev);
+  EXPECT_EQ(next->version(), prev->version() + 1);
+  EXPECT_EQ(builder.builds_elided(), elided_before + 1);
+}
+
+TEST(SnapshotBuilder, EdgeStateIsCopiedOnlyWhenDirty) {
+  SnapshotStore store;
+  SnapshotBuilder builder;
+  Prt prt(/*covering=*/true);
+  IfaceSet clients{IfaceId{10}};
+  std::map<IfaceId, std::vector<Xpe>> client_subs;
+  client_subs[IfaceId{10}].push_back(parse_xpe("/news/article"));
+
+  rebuild(builder, store, prt, clients, client_subs, /*edge_dirty=*/true);
+  EXPECT_TRUE(store.current()->is_client(IfaceId{10}));
+  EXPECT_FALSE(store.current()->is_client(IfaceId{11}));
+  ASSERT_NE(store.current()->client_subscriptions(IfaceId{10}), nullptr);
+  EXPECT_EQ(store.current()->client_subscriptions(IfaceId{11}), nullptr);
+
+  // The snapshot owns its own view: mutating the live maps afterwards
+  // must not leak through.
+  std::shared_ptr<const RoutingSnapshot> pinned = store.current();
+  clients.insert(IfaceId{11});
+  client_subs[IfaceId{10}].push_back(parse_xpe("/news/sports"));
+  EXPECT_FALSE(pinned->is_client(IfaceId{11}));
+  EXPECT_EQ(pinned->client_subscriptions(IfaceId{10})->size(), 1u);
+}
+
+TEST(MatchScheduler, BatchPinHoldsTheSnapshotUntilFinish) {
+  SnapshotStore store;
+  SnapshotBuilder builder;
+  Prt prt(/*covering=*/true);
+  IfaceSet clients;
+  std::map<IfaceId, std::vector<Xpe>> client_subs;
+
+  prt.insert(parse_xpe("/news/article"), IfaceId{1});
+  rebuild(builder, store, prt, clients, client_subs);
+
+  MatchScheduler scheduler(MatchScheduler::Options{2, 4});
+  EXPECT_EQ(scheduler.pinned_version(), 0u);
+
+  Path path = parse_path("/news/article");
+  std::vector<const Path*> paths{&path};
+  scheduler.begin_batch(paths, store.current());
+  EXPECT_EQ(scheduler.pinned_version(), 1u);
+
+  // Publish a replacement and drop every other reference to v1 while the
+  // epoch is still pinned to it: the pin alone keeps it alive.
+  prt.insert(parse_xpe("/news/sports"), IfaceId{2});
+  rebuild(builder, store, prt, clients, client_subs);
+  EXPECT_EQ(store.version(), 2u);
+  EXPECT_EQ(store.live(), 2);
+
+  std::vector<MatchScheduler::MatchResult> results;
+  scheduler.finish_batch(&results);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].hops.size(), 1u);
+  // Matched against the pinned v1, not the newer v2.
+  EXPECT_EQ(results[0].hops[0], IfaceId{1});
+  EXPECT_EQ(scheduler.pinned_version(), 0u);
+  EXPECT_EQ(store.live(), 1);
+}
+
+TEST(MatchScheduler, DoubleBeginBatchThrows) {
+  SnapshotStore store;
+  MatchScheduler scheduler(MatchScheduler::Options{2, 4});
+  Path path = parse_path("/news/article");
+  std::vector<const Path*> paths{&path};
+  scheduler.begin_batch(paths, store.current());
+  EXPECT_THROW(scheduler.begin_batch(paths, store.current()),
+               std::logic_error);
+  std::vector<MatchScheduler::MatchResult> results;
+  scheduler.finish_batch(&results);
+  EXPECT_THROW(scheduler.finish_batch(&results), std::logic_error);
+}
+
+TEST(RoutingSnapshotBroker, BrokerPublishesOnControlOpsOnly) {
+  Broker::Config config;
+  config.use_advertisements = false;
+  config.match_threads = 2;
+  Broker broker(0, config);
+  broker.add_neighbor(IfaceId{1});
+  broker.add_client(IfaceId{10});
+
+  DiscardSink sink;
+  const std::uint64_t v0 = broker.snapshot_store().version();
+  broker.handle(IfaceId{10}, Message::subscribe(parse_xpe("/news/article")),
+                sink);
+  const std::uint64_t v1 = broker.snapshot_store().version();
+  EXPECT_GT(v1, v0);
+
+  // Publications alone never publish a new snapshot.
+  PublishMsg pub;
+  pub.path = parse_path("/news/article");
+  pub.doc_id = 1;
+  broker.handle(IfaceId{1}, Message{pub}, sink);
+  EXPECT_EQ(broker.snapshot_store().version(), v1);
+  EXPECT_LE(broker.snapshot_store().live(), 2);
+}
+
+}  // namespace
+}  // namespace xroute

@@ -86,6 +86,36 @@ at 1800 diurnal 60 800 until 2600
   EXPECT_DOUBLE_EQ(s.events[6].period_ms, 800.0);
 }
 
+TEST(ScenarioParse, TimeoutDirectiveOverridesQuiescenceDeadlines) {
+  Scenario defaults = parse_scenario("name d\n");
+  EXPECT_DOUBLE_EQ(defaults.warmup_timeout_ms, 20000.0);
+  EXPECT_DOUBLE_EQ(defaults.drain_timeout_ms, 30000.0);
+  Scenario s = parse_scenario("timeout 5000 8000\n");
+  EXPECT_DOUBLE_EQ(s.warmup_timeout_ms, 5000.0);
+  EXPECT_DOUBLE_EQ(s.drain_timeout_ms, 8000.0);
+  EXPECT_THROW(parse_scenario("timeout 0 8000\n"), ParseError);
+  EXPECT_THROW(parse_scenario("timeout 5000\n"), ParseError);
+}
+
+TEST(ScenarioParse, ChurnEventCarriesBrokerRateAndWindow) {
+  Scenario s = parse_scenario("at 100 churn 2 500 until 1200\n");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, EventKind::kChurn);
+  EXPECT_EQ(s.events[0].broker, 2);
+  EXPECT_DOUBLE_EQ(s.events[0].docs_per_sec, 500.0);
+  EXPECT_DOUBLE_EQ(s.events[0].until_ms, 1200.0);
+  // Churn windows validate like rate windows.
+  EXPECT_THROW(parse_scenario("at 500 churn 1 10 until 400\n"), ParseError);
+  EXPECT_THROW(parse_scenario("at 0 churn 1 0 until 100\n"), ParseError);
+  EXPECT_THROW(parse_scenario("at 0 churn 1 10 til 100\n"), ParseError);
+}
+
+TEST(ScenarioWorkload, ChurnEventsStayOutOfThePublishSchedule) {
+  Scenario s = parse_scenario(
+      "path /a\nat 0 churn 0 1000 until 500\nat 0 publish 3\n");
+  EXPECT_EQ(build_schedule(s).size(), 3u);
+}
+
 TEST(ScenarioParse, DefaultsFillEmptyPools) {
   Scenario s = parse_scenario("name tiny\n");
   EXPECT_FALSE(s.xpes.empty());
@@ -192,6 +222,33 @@ at 500 restart 1
   EXPECT_GE(report.membership[1].convergence_ms, 0.0);
   // The kill opened a disruption window; the restart closed it.
   EXPECT_GT(report.loss_window_ms, 0.0);
+}
+
+// Live subscribe/unsubscribe churn against a running overlay with a
+// multi-threaded matcher: the stable subscribers' delivery oracle must
+// hold while churners rebuild routing snapshots hundreds of times.
+TEST(ScenarioRun, ChurnDeliveryOracleHoldsMidChurn) {
+  Scenario s = parse_scenario(R"(name churn-smoke
+seed 9
+topology chain 2
+option threads 2
+subscribers 2
+heartbeat 40 150 400
+warmup 100
+settle 200
+timeout 15000 20000
+at 0 rate 40 until 800
+at 0 churn 0 200 until 800
+at 100 churn 1 150 until 700
+)");
+  scenario::ScenarioReport report = scenario::run_scenario(s);
+  EXPECT_TRUE(report.ok) << (report.failures.empty()
+                                 ? std::string("no failures recorded")
+                                 : report.failures.front());
+  EXPECT_GT(report.docs_published, 0u);
+  EXPECT_EQ(report.docs_assured, report.docs_published);
+  EXPECT_EQ(report.duplicates, 0u);
+  EXPECT_TRUE(report.membership.empty());
 }
 
 }  // namespace
