@@ -1,0 +1,382 @@
+// Edge swarm bench: 10,000+ leased clients against one broker's edge
+// session layer (DESIGN.md "Edge session layer"). Writes BENCH_edge.json.
+//
+// What it proves:
+//   * concurrency — `clients` simultaneous leased sessions (connect and
+//     subscribe->lease-grant latency percentiles for the ramp),
+//   * serialize-once — encodes_per_fanout == 1: every publication the
+//     broker matches materialises exactly ONE frame at the edge no
+//     matter how many thousands of sessions receive it,
+//   * delivery — the swarm's received-publication count equals the
+//     oracle's expectation (interest assignment is deterministic, so the
+//     parent can compute exactly how many deliveries the run owes) with
+//     zero duplicates, and notify p50/p95/p99 from the publisher's
+//     steady-clock stamp to client arrival.
+//
+// Process shape: the box caps a process at 20k fds and every simulated
+// client costs two (its socket plus the edge's session socket), so the
+// bench forks BEFORE any thread exists: the parent runs broker + edge
+// server + publisher, the child runs the EdgeSwarm. CLOCK_MONOTONIC is
+// system-wide on Linux, so the publisher's publish_time stamps compare
+// fine across the fork. The two sides talk over pipes:
+//
+//   parent -> child:  PORT <edge-port>    then  EXPECT <deliveries>
+//   child -> parent:  READY               then  STATS k=v ...
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "edge/edge_server.hpp"
+#include "edge/swarm.hpp"
+#include "match/pub_match.hpp"
+#include "router/broker_options.hpp"
+#include "transport/broker_node.hpp"
+#include "transport/client.hpp"
+#include "util/flags.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+using namespace xroute;
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+// The interest pool and the publication paths that exercise it. Pool
+// rank 0 is the flash-crowd subscription; the last publication path
+// matches nothing, so spurious fan-out would surface as a delivery
+// mismatch, not silence.
+const char* kPool[] = {"//quote", "/news//headline", "/a/b",
+                       "/d//e",   "/misc/raw"};
+const char* kDocPaths[] = {"/stock/quote",     "/news/world/headline",
+                           "/a/b",             "/d/x/e",
+                           "/stock/quote/bid", "/unmatched/path"};
+
+constexpr std::size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+
+/// Zipf-ish deterministic interest assignment: pool rank j gets a client
+/// share proportional to 1/(j+1). Shared by both processes, so the
+/// parent can price the oracle without hearing from the child.
+std::vector<std::size_t> clients_per_rank(std::size_t clients) {
+  double harmonic = 0.0;
+  for (std::size_t j = 0; j < kPoolSize; ++j) harmonic += 1.0 / (j + 1);
+  std::vector<std::size_t> counts(kPoolSize, 0);
+  std::size_t assigned = 0;
+  for (std::size_t j = 0; j + 1 < kPoolSize; ++j) {
+    counts[j] = static_cast<std::size_t>(clients / ((j + 1) * harmonic));
+    assigned += counts[j];
+  }
+  counts[kPoolSize - 1] = clients - assigned;  // remainder to the tail
+  return counts;
+}
+
+std::size_t rank_of_client(std::size_t index,
+                           const std::vector<std::size_t>& counts) {
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    if (index < counts[j]) return j;
+    index -= counts[j];
+  }
+  return counts.size() - 1;
+}
+
+/// One '\n'-terminated line from a pipe fd (blocking).
+std::string read_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+  return line;
+}
+
+void write_line(int fd, const std::string& line) {
+  std::string out = line + "\n";
+  [[maybe_unused]] ssize_t n = write(fd, out.data(), out.size());
+}
+
+// ---- child: the client swarm --------------------------------------------
+
+int child_main(int in_fd, int out_fd, std::size_t clients, int loops,
+               double timeout_ms) {
+  std::istringstream port_line(read_line(in_fd));
+  std::string tag;
+  std::uint16_t port = 0;
+  port_line >> tag >> port;
+  if (tag != "PORT" || port == 0) return 2;
+
+  edge::EdgeSwarm::Options options;
+  options.port = port;
+  options.clients = clients;
+  options.loops = loops;
+  options.heartbeat_interval_ms = 10000.0;
+  std::vector<std::size_t> counts = clients_per_rank(clients);
+  edge::EdgeSwarm swarm(options);
+  swarm.set_interests([&counts](std::size_t index) {
+    return std::vector<Xpe>{parse_xpe(kPool[rank_of_client(index, counts)])};
+  });
+  swarm.start();
+  if (!swarm.wait_connected(clients, timeout_ms)) {
+    std::cerr << "swarm: only " << swarm.connected() << "/" << clients
+              << " connected (" << swarm.connect_failures() << " failures)\n";
+    return 2;
+  }
+  if (!swarm.wait_lease_grants(clients, timeout_ms)) {
+    std::cerr << "swarm: only " << swarm.lease_grants() << "/" << clients
+              << " leases granted\n";
+    return 2;
+  }
+  write_line(out_fd, "READY");
+
+  std::istringstream expect_line(read_line(in_fd));
+  std::uint64_t expected = 0;
+  expect_line >> tag >> expected;
+  if (tag != "EXPECT") return 2;
+  bool complete = swarm.wait_publications(expected, timeout_ms);
+
+  edge::EdgeSwarm::Latencies latencies = swarm.collect_latencies();
+  std::sort(latencies.connect_ms.begin(), latencies.connect_ms.end());
+  std::sort(latencies.subscribe_ms.begin(), latencies.subscribe_ms.end());
+  std::sort(latencies.notify_ms.begin(), latencies.notify_ms.end());
+  std::ostringstream stats;
+  stats << "STATS complete=" << (complete ? 1 : 0)
+        << " connected=" << swarm.connected()
+        << " lease_grants=" << swarm.lease_grants()
+        << " publications=" << swarm.publications()
+        << " duplicates=" << swarm.duplicates()
+        << " disconnects=" << swarm.disconnects()
+        << " connect_p50=" << percentile(latencies.connect_ms, 0.50)
+        << " connect_p99=" << percentile(latencies.connect_ms, 0.99)
+        << " subscribe_p50=" << percentile(latencies.subscribe_ms, 0.50)
+        << " subscribe_p99=" << percentile(latencies.subscribe_ms, 0.99)
+        << " notify_p50=" << percentile(latencies.notify_ms, 0.50)
+        << " notify_p95=" << percentile(latencies.notify_ms, 0.95)
+        << " notify_p99=" << percentile(latencies.notify_ms, 0.99)
+        << " notify_samples=" << latencies.notify_ms.size();
+  write_line(out_fd, stats.str());
+  swarm.stop();
+  return complete ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("Edge swarm: leased clients, serialize-once fan-out");
+  flags.define("clients", "10000", "simulated edge clients");
+  flags.define("loops", "3", "swarm driver event loops");
+  flags.define("reactors", "2", "edge server reactor threads");
+  flags.define("pubs", "60", "documents published through the broker");
+  flags.define("pub-gap-ms", "25", "pause between publications");
+  flags.define("timeout-ms", "180000", "per-phase deadline");
+  flags.define("out", "BENCH_edge.json", "output file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::size_t clients = flags.get_int("clients");
+  const int loops = flags.get_int("loops");
+  const int reactors = flags.get_int("reactors");
+  const std::size_t pubs = flags.get_int("pubs");
+  const double pub_gap_ms = flags.get_int("pub-gap-ms");
+  const double timeout_ms = flags.get_int("timeout-ms");
+
+  // Fork before any thread exists: both sides of the rig are
+  // multi-threaded, and a post-thread fork inherits locked mutexes.
+  int to_child[2], to_parent[2];
+  if (pipe(to_child) != 0 || pipe(to_parent) != 0) {
+    std::cerr << "edge_swarm: pipe failed\n";
+    return 1;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "edge_swarm: fork failed\n";
+    return 1;
+  }
+  if (pid == 0) {
+    close(to_child[1]);
+    close(to_parent[0]);
+    int rc = child_main(to_child[0], to_parent[1], clients, loops, timeout_ms);
+    std::exit(rc);
+  }
+  close(to_child[0]);
+  close(to_parent[1]);
+
+  // ---- parent: broker + edge session layer + publisher ------------------
+  transport::TransportBroker::Options broker_opts;
+  broker_opts.id = 0;
+  broker_opts.config.use_advertisements = false;
+  transport::TransportBroker broker(broker_opts);
+  broker.start();
+
+  edge::EdgeServer::Options edge_opts;
+  edge_opts.reactors = reactors;
+  edge_opts.lease_ttl_ms = 60000.0;
+  edge_opts.heartbeat_interval_ms = 5000.0;
+  edge::EdgeServer edge_server(&broker, edge_opts);
+  std::uint16_t edge_port = edge_server.start();
+  write_line(to_child[1], "PORT " + std::to_string(edge_port));
+
+  transport::TransportClient publisher{transport::TransportClient::Options{}};
+  publisher.start("127.0.0.1", broker.port());
+  if (!publisher.wait_connected(10000)) {
+    std::cerr << "edge_swarm: publisher handshake failed\n";
+    return 1;
+  }
+
+  if (read_line(to_parent[0]) != "READY") {
+    std::cerr << "edge_swarm: swarm never reported ready\n";
+    waitpid(pid, nullptr, 0);
+    return 1;
+  }
+  // Peak gauges, sampled while every session is live and leased — after
+  // the child exits they would read mid-teardown.
+  std::size_t sessions_peak = edge_server.sessions_live();
+  std::size_t interests_peak = edge_server.distinct_interests();
+
+  // Price the oracle: the interest assignment is deterministic, so the
+  // expected delivery total is exact — doc d owes one frame to every
+  // client whose pool rank matches d's path.
+  std::vector<std::size_t> counts = clients_per_rank(clients);
+  constexpr std::size_t kDocCount = sizeof(kDocPaths) / sizeof(kDocPaths[0]);
+  std::uint64_t expected = 0;
+  std::uint64_t matched_pubs = 0;
+  std::vector<Path> doc_paths;
+  std::vector<Xpe> pool;
+  for (std::size_t j = 0; j < kPoolSize; ++j) {
+    pool.push_back(parse_xpe(kPool[j]));
+  }
+  for (std::size_t d = 0; d < kDocCount; ++d) {
+    doc_paths.push_back(parse_path(kDocPaths[d]));
+  }
+  std::vector<std::uint64_t> per_doc(kDocCount, 0);
+  for (std::size_t d = 0; d < kDocCount; ++d) {
+    for (std::size_t j = 0; j < kPoolSize; ++j) {
+      if (matches(doc_paths[d], pool[j])) per_doc[d] += counts[j];
+    }
+  }
+  auto publish_start = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < pubs; ++p) {
+    std::size_t d = p % kDocCount;
+    PublishMsg msg;
+    msg.path = doc_paths[d];
+    msg.doc_id = p + 1;
+    msg.doc_bytes = 200;
+    msg.publish_time = edge::steady_ms();
+    publisher.send(Message{msg});
+    expected += per_doc[d];
+    if (per_doc[d] > 0) ++matched_pubs;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(pub_gap_ms));
+  }
+  publisher.sync();
+  write_line(to_child[1], "EXPECT " + std::to_string(expected));
+
+  std::string stats_line = read_line(to_parent[0]);
+  double publish_window_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - publish_start)
+          .count();
+  int child_status = 0;
+  waitpid(pid, &child_status, 0);
+  bool child_ok = WIFEXITED(child_status) && WEXITSTATUS(child_status) == 0;
+
+  // Parse the child's k=v stats.
+  std::map<std::string, std::string> stats;
+  {
+    std::istringstream in(stats_line);
+    std::string token;
+    in >> token;  // STATS
+    while (in >> token) {
+      auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        stats[token.substr(0, eq)] = token.substr(eq + 1);
+      }
+    }
+  }
+  auto stat = [&](const std::string& key) -> std::string {
+    auto it = stats.find(key);
+    return it == stats.end() ? "0" : it->second;
+  };
+
+  std::uint64_t encodes = edge_server.encodes();
+  std::uint64_t fanout = edge_server.fanout_frames();
+  double encodes_per_fanout =
+      matched_pubs == 0
+          ? 0.0
+          : static_cast<double>(encodes) / static_cast<double>(matched_pubs);
+  double fanout_per_sec =
+      publish_window_ms <= 0 ? 0.0 : 1000.0 * fanout / publish_window_ms;
+
+  bool ok = child_ok && stat("duplicates") == "0" &&
+            stat("publications") == std::to_string(expected) &&
+            sessions_peak == clients && encodes == matched_pubs &&
+            edge_server.slow_session_drops() == 0;
+
+  std::ofstream out(flags.get_string("out"));
+  out << "{\n"
+      << "  \"bench\": \"edge_swarm\",\n"
+      << "  \"ok\": " << (ok ? "true" : "false") << ",\n"
+      << "  \"config\": {\n"
+      << "    \"clients\": " << clients << ",\n"
+      << "    \"loops\": " << loops << ",\n"
+      << "    \"reactors\": " << reactors << ",\n"
+      << "    \"pubs\": " << pubs << ",\n"
+      << "    \"lease_ttl_ms\": " << edge_opts.lease_ttl_ms << "\n"
+      << "  },\n"
+      << "  \"swarm\": {\n"
+      << "    \"connected\": " << stat("connected") << ",\n"
+      << "    \"lease_grants\": " << stat("lease_grants") << ",\n"
+      << "    \"expected_deliveries\": " << expected << ",\n"
+      << "    \"publications\": " << stat("publications") << ",\n"
+      << "    \"duplicates\": " << stat("duplicates") << ",\n"
+      << "    \"disconnects\": " << stat("disconnects") << ",\n"
+      << "    \"connect_p50_ms\": " << stat("connect_p50") << ",\n"
+      << "    \"connect_p99_ms\": " << stat("connect_p99") << ",\n"
+      << "    \"subscribe_p50_ms\": " << stat("subscribe_p50") << ",\n"
+      << "    \"subscribe_p99_ms\": " << stat("subscribe_p99") << ",\n"
+      << "    \"notify_p50_ms\": " << stat("notify_p50") << ",\n"
+      << "    \"notify_p95_ms\": " << stat("notify_p95") << ",\n"
+      << "    \"notify_p99_ms\": " << stat("notify_p99") << ",\n"
+      << "    \"notify_samples\": " << stat("notify_samples") << "\n"
+      << "  },\n"
+      << "  \"edge\": {\n"
+      << "    \"sessions_peak\": " << sessions_peak << ",\n"
+      << "    \"leases_granted\": " << edge_server.leases_granted() << ",\n"
+      << "    \"leases_expired\": " << edge_server.leases_expired() << ",\n"
+      << "    \"distinct_interests\": " << interests_peak << ",\n"
+      << "    \"upstream_subscribes\": " << edge_server.upstream_subscribes()
+      << ",\n"
+      << "    \"matched_pubs\": " << matched_pubs << ",\n"
+      << "    \"encodes\": " << encodes << ",\n"
+      << "    \"encodes_per_fanout\": " << encodes_per_fanout << ",\n"
+      << "    \"fanout_frames\": " << fanout << ",\n"
+      << "    \"fanout_frames_per_sec\": " << fanout_per_sec << ",\n"
+      << "    \"slow_session_drops\": " << edge_server.slow_session_drops()
+      << ",\n"
+      << "    \"send_shared_bytes\": " << edge_server.send_shared_bytes()
+      << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+  std::cout << "wrote " << flags.get_string("out") << " (ok="
+            << (ok ? "true" : "false") << ", clients=" << stat("connected")
+            << ", encodes_per_fanout=" << encodes_per_fanout
+            << ", notify_p99_ms=" << stat("notify_p99") << ")\n";
+
+  publisher.stop();
+  edge_server.stop();
+  broker.stop();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,400 @@
+#include "edge/edge_server.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace xroute::edge {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+EdgeServer::EdgeServer(transport::TransportBroker* broker, Options options)
+    : broker_(broker), options_(std::move(options)) {
+  if (options_.reactors < 1) options_.reactors = 1;
+  if (options_.idle_timeout_ms <= 0.0) {
+    options_.idle_timeout_ms = 4.0 * options_.lease_ttl_ms;
+  }
+}
+
+EdgeServer::~EdgeServer() { stop(); }
+
+std::uint16_t EdgeServer::start() {
+  if (started_) return port_;
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+
+  reactors_.reserve(static_cast<std::size_t>(options_.reactors));
+  for (int i = 0; i < options_.reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+    reactor->loop =
+        std::make_unique<transport::EventLoop>(options_.force_poll);
+    reactors_.push_back(std::move(reactor));
+  }
+
+  // One client interface for the whole edge: the broker encodes each
+  // matched publication once and hands it here as a SharedFrame.
+  broker_->attach_edge([this](const Message& msg,
+                              transport::SharedFrame frame) {
+    on_delivery(msg, std::move(frame));
+  });
+
+  // Listener socket, owned by reactor 0's loop.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("edge: socket() failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.listen_port);
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 1024) != 0) {
+    ::close(fd);
+    throw std::runtime_error("edge: cannot listen on port " +
+                             std::to_string(options_.listen_port));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+
+  for (auto& reactor : reactors_) {
+    Reactor* r = reactor.get();
+    r->loop->post([this, r] {
+      r->leases = std::make_unique<LeaseManager>(options_.lease_ttl_ms,
+                                                 r->loop->now_ms());
+      sweep(*r);
+      if (options_.heartbeat_interval_ms > 0) beacon(*r);
+    });
+    if (r->index == 0) {
+      r->loop->post([this] {
+        reactors_[0]->loop->add_fd(listen_fd_, transport::kReadable,
+                                   [this](std::uint32_t) { accept_ready(); });
+      });
+    }
+    r->thread = std::thread([r] { r->loop->run(); });
+  }
+  return port_;
+}
+
+void EdgeServer::stop() {
+  if (!started_) return;
+  running_.store(false, std::memory_order_release);
+  {
+    // Wait out in-flight broker deliveries; later ones see !running_ and
+    // drop before touching the reactors.
+    std::unique_lock<std::shared_mutex> gate(delivery_gate_);
+  }
+  for (auto& reactor : reactors_) {
+    Reactor* r = reactor.get();
+    r->loop->post([this, r] {
+      if (r->index == 0 && listen_fd_ >= 0) {
+        r->loop->remove_fd(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // close() mutates r->sessions via the close handler: snapshot the
+      // connections first.
+      std::vector<transport::Connection*> open;
+      open.reserve(r->sessions.size());
+      for (auto& [fd, session] : r->sessions) {
+        (void)fd;
+        open.push_back(session.connection.get());
+      }
+      for (transport::Connection* connection : open) {
+        connection->close("edge server shutdown");
+      }
+    });
+    r->loop->stop();
+    if (r->thread.joinable()) r->thread.join();
+  }
+  reactors_.clear();
+  started_ = false;
+}
+
+std::size_t EdgeServer::reactor_sessions(int reactor) const {
+  if (reactor < 0 || reactor >= static_cast<int>(reactors_.size())) return 0;
+  return reactors_[static_cast<std::size_t>(reactor)]->live.load(
+      std::memory_order_relaxed);
+}
+
+std::size_t EdgeServer::distinct_interests() const {
+  std::lock_guard<std::mutex> lock(interest_mutex_);
+  return interest_refs_.size();
+}
+
+void EdgeServer::accept_ready() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient failure: the listener stays up
+    }
+    set_nonblocking(fd);
+    // Shard by fd: cheap, stable for the session's lifetime, and uniform
+    // enough (fds are dense small integers).
+    Reactor* target =
+        reactors_[static_cast<std::size_t>(fd) % reactors_.size()].get();
+    if (target->index == 0) {
+      adopt(*target, fd);
+    } else {
+      target->loop->post([this, target, fd] { adopt(*target, fd); });
+    }
+  }
+}
+
+void EdgeServer::adopt(Reactor& reactor, int fd) {
+  Session session;
+  session.connection = std::make_unique<transport::Connection>(
+      reactor.loop.get(), fd, options_.connection);
+  session.last_activity_ms = reactor.loop->now_ms();
+  transport::Connection* raw = session.connection.get();
+  Reactor* r = &reactor;
+  raw->set_frame_handler([this, r, fd](wire::Decoded&& decoded) {
+    on_session_frame(*r, fd, std::move(decoded));
+  });
+  raw->set_close_handler(
+      [this, r, fd](const std::string&) { on_session_close(*r, fd); });
+  reactor.sessions.emplace(fd, std::move(session));
+  reactor.live.fetch_add(1, std::memory_order_relaxed);
+  sessions_live_.fetch_add(1, std::memory_order_relaxed);
+  raw->start();
+  // Same handshake contract as the broker transport: our Hello goes out
+  // first; the client's arrives as its first frame.
+  wire::Hello hello;
+  hello.kind = wire::Hello::PeerKind::kBroker;
+  hello.peer_id = static_cast<std::uint32_t>(broker_->id());
+  raw->send(wire::encode_hello(hello));
+}
+
+void EdgeServer::on_session_frame(Reactor& reactor, int fd,
+                                  wire::Decoded&& decoded) {
+  auto it = reactor.sessions.find(fd);
+  if (it == reactor.sessions.end()) return;
+  Session& session = it->second;
+  double now = reactor.loop->now_ms();
+  session.last_activity_ms = now;
+  switch (decoded.kind) {
+    case wire::FrameKind::kHello:
+      session.hello_seen = true;
+      return;
+    case wire::FrameKind::kHeartbeat:
+      // Keepalive: a beating client never loses its leases.
+      reactor.leases->renew_session(fd, now);
+      return;
+    case wire::FrameKind::kGoodbye:
+      session.connection->close("client goodbye");
+      return;
+    case wire::FrameKind::kSubscribe: {
+      const Xpe& xpe = std::get<SubscribeMsg>(decoded.message.payload).xpe;
+      if (reactor.leases->acquire(fd, xpe.uid(), now)) {
+        leases_granted_.fetch_add(1, std::memory_order_relaxed);
+        if (reactor.interests.add(fd, xpe)) interest_up(xpe);
+      }
+      // Ack with the TTL the client must beat (also the renewal ack).
+      session.connection->send(
+          wire::encode_lease_grant(options_.lease_ttl_ms));
+      return;
+    }
+    case wire::FrameKind::kUnsubscribe: {
+      const Xpe& xpe = std::get<UnsubscribeMsg>(decoded.message.payload).xpe;
+      if (reactor.leases->release(fd, xpe.uid())) {
+        drop_interest(reactor, fd, xpe.uid());
+      }
+      return;
+    }
+    case wire::FrameKind::kPublish:
+      // Clients can publish through the edge; the broker sees it arrive
+      // on the edge interface like any client traffic.
+      broker_->edge_send(std::move(decoded.message));
+      return;
+    default:
+      return;  // advertisements etc. are broker business, not edge
+  }
+}
+
+void EdgeServer::on_session_close(Reactor& reactor, int fd) {
+  auto it = reactor.sessions.find(fd);
+  if (it == reactor.sessions.end()) return;
+  for (std::uint32_t uid : reactor.leases->release_session(fd)) {
+    drop_interest(reactor, fd, uid);
+  }
+  // The close handler runs inside Connection::close, which touches no
+  // members afterwards — destroying the connection here is the same
+  // pattern the broker transport uses.
+  reactor.sessions.erase(it);
+  reactor.live.fetch_sub(1, std::memory_order_relaxed);
+  sessions_live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EdgeServer::drop_interest(Reactor& reactor, int fd,
+                               std::uint32_t xpe_uid) {
+  if (reactor.interests.remove(fd, xpe_uid)) interest_down(xpe_uid);
+}
+
+void EdgeServer::sweep(Reactor& reactor) {
+  Reactor* r = &reactor;
+  double now = reactor.loop->now_ms();
+  for (const LeaseManager::Expired& lapsed : reactor.leases->expire(now)) {
+    leases_expired_.fetch_add(1, std::memory_order_relaxed);
+    drop_interest(reactor, lapsed.session, lapsed.xpe_uid);
+  }
+  // Idle reap: silent AND leaseless. A session still holding leases is
+  // the lease machinery's problem; one that heartbeats keeps
+  // last_activity fresh and survives.
+  std::vector<transport::Connection*> reap;
+  for (auto& [fd, session] : reactor.sessions) {
+    if (now - session.last_activity_ms > options_.idle_timeout_ms &&
+        !session.connection->closed() &&
+        reactor.leases->session_lease_count(fd) == 0) {
+      reap.push_back(session.connection.get());
+    }
+  }
+  for (transport::Connection* connection : reap) {
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    connection->close("idle session reaped");
+  }
+  reactor.loop->schedule(options_.sweep_interval_ms,
+                         [this, r] { sweep(*r); });
+}
+
+void EdgeServer::beacon(Reactor& reactor) {
+  Reactor* r = &reactor;
+  if (!reactor.sessions.empty()) {
+    // One beacon frame per reactor per tick, shared by every session.
+    auto frame = std::make_shared<const std::vector<std::uint8_t>>(
+        wire::encode_heartbeat(++reactor.beacon_seq));
+    for (auto& [fd, session] : reactor.sessions) {
+      (void)fd;
+      if (session.connection->send_shared(frame)) {
+        shared_bytes_.fetch_add(frame->size(), std::memory_order_relaxed);
+      }
+    }
+  }
+  reactor.loop->schedule(options_.heartbeat_interval_ms,
+                         [this, r] { beacon(*r); });
+}
+
+void EdgeServer::on_delivery(const Message& msg,
+                             transport::SharedFrame frame) {
+  std::shared_lock<std::shared_mutex> gate(delivery_gate_);
+  if (!running_.load(std::memory_order_acquire)) {
+    dropped_deliveries_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  encodes_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.type() != MessageType::kPublish) return;
+  // The Path travels to the reactors by shared_ptr: one copy per matched
+  // publication, resolved against each reactor's distinct-Xpe index.
+  auto path = std::make_shared<const Path>(
+      std::get<PublishMsg>(msg.payload).path);
+  for (auto& reactor : reactors_) {
+    Reactor* r = reactor.get();
+    r->loop->post([this, r, path, frame] {
+      r->resolve_scratch.clear();
+      r->interests.resolve(*path, &r->resolve_scratch);
+      for (int fd : r->resolve_scratch) {
+        auto it = r->sessions.find(fd);
+        if (it == r->sessions.end()) continue;
+        transport::Connection* connection = it->second.connection.get();
+        if (connection->backpressured()) {
+          // A slow consumer sheds load instead of growing its queue
+          // without bound; the drop is observable.
+          slow_drops_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (connection->send_shared(frame)) {
+          fanout_frames_.fetch_add(1, std::memory_order_relaxed);
+          shared_bytes_.fetch_add(frame->size(),
+                                  std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+}
+
+void EdgeServer::interest_up(const Xpe& xpe) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(interest_mutex_);
+    auto [it, inserted] = interest_refs_.try_emplace(xpe.uid());
+    if (inserted) it->second.xpe = xpe;
+    first = it->second.refs++ == 0;
+  }
+  if (first) {
+    upstream_subscribes_.fetch_add(1, std::memory_order_relaxed);
+    broker_->edge_send(Message::subscribe(xpe));
+  }
+}
+
+void EdgeServer::interest_down(std::uint32_t uid) {
+  Xpe xpe;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(interest_mutex_);
+    auto it = interest_refs_.find(uid);
+    if (it == interest_refs_.end()) return;
+    if (--it->second.refs == 0) {
+      last = true;
+      xpe = std::move(it->second.xpe);
+      interest_refs_.erase(it);
+    }
+  }
+  if (last) {
+    upstream_unsubscribes_.fetch_add(1, std::memory_order_relaxed);
+    broker_->edge_send(Message::unsubscribe(std::move(xpe)));
+  }
+}
+
+std::string EdgeServer::metrics_json() {
+  MetricsRegistry registry;
+  registry.gauge("edge.sessions_live")
+      .set(static_cast<double>(sessions_live()));
+  registry.gauge("edge.leases_granted")
+      .set(static_cast<double>(leases_granted()));
+  registry.gauge("edge.leases_expired")
+      .set(static_cast<double>(leases_expired()));
+  registry.gauge("edge.idle_reaped").set(static_cast<double>(idle_reaped()));
+  registry.gauge("edge.encodes").set(static_cast<double>(encodes()));
+  registry.gauge("edge.fanout_frames")
+      .set(static_cast<double>(fanout_frames()));
+  registry.gauge("edge.slow_session_drops")
+      .set(static_cast<double>(slow_session_drops()));
+  registry.gauge("edge.upstream_subscribes")
+      .set(static_cast<double>(upstream_subscribes()));
+  registry.gauge("edge.upstream_unsubscribes")
+      .set(static_cast<double>(upstream_unsubscribes()));
+  registry.gauge("edge.distinct_interests")
+      .set(static_cast<double>(distinct_interests()));
+  registry.gauge("transport.send_shared_bytes")
+      .set(static_cast<double>(send_shared_bytes()));
+  for (std::size_t i = 0; i < reactors_.size(); ++i) {
+    registry
+        .gauge("edge.reactor_sessions",
+               {{"reactor", std::to_string(i)}})
+        .set(static_cast<double>(reactor_sessions(static_cast<int>(i))));
+  }
+  std::ostringstream os;
+  registry.write_json(os);
+  return os.str();
+}
+
+}  // namespace xroute::edge

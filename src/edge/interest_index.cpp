@@ -1,0 +1,53 @@
+#include "edge/interest_index.hpp"
+
+#include <algorithm>
+
+#include "match/pub_match.hpp"
+
+namespace xroute::edge {
+
+bool InterestIndex::add(int session, const Xpe& xpe) {
+  auto [it, inserted] = entries_.try_emplace(xpe.uid());
+  if (inserted) it->second.xpe = xpe;
+  auto& sessions = it->second.sessions;
+  if (std::find(sessions.begin(), sessions.end(), session) == sessions.end()) {
+    sessions.push_back(session);
+  }
+  return inserted;
+}
+
+bool InterestIndex::remove(int session, std::uint32_t xpe_uid) {
+  auto it = entries_.find(xpe_uid);
+  if (it == entries_.end()) return false;
+  auto& sessions = it->second.sessions;
+  sessions.erase(std::remove(sessions.begin(), sessions.end(), session),
+                 sessions.end());
+  if (!sessions.empty()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+const Xpe* InterestIndex::xpe(std::uint32_t uid) const {
+  auto it = entries_.find(uid);
+  return it == entries_.end() ? nullptr : &it->second.xpe;
+}
+
+void InterestIndex::resolve(const Path& path, std::vector<int>* out) const {
+  std::size_t first = out->size();
+  for (const auto& [uid, entry] : entries_) {
+    if (!matches(path, entry.xpe)) continue;
+    out->insert(out->end(), entry.sessions.begin(), entry.sessions.end());
+  }
+  // Dedup across multiple matching Xpes: sort the appended tail only.
+  std::sort(out->begin() + static_cast<std::ptrdiff_t>(first), out->end());
+  out->erase(std::unique(out->begin() + static_cast<std::ptrdiff_t>(first),
+                         out->end()),
+             out->end());
+}
+
+std::size_t InterestIndex::session_count(std::uint32_t xpe_uid) const {
+  auto it = entries_.find(xpe_uid);
+  return it == entries_.end() ? 0 : it->second.sessions.size();
+}
+
+}  // namespace xroute::edge

@@ -1,0 +1,57 @@
+// Per-reactor client interest index: which sessions want which Xpe, and
+// which sessions a matched publication fans out to.
+//
+// The broker's match path stays untouched: the routing core sees the
+// whole edge as ONE client interface and matches each publication once.
+// When a publication reaches the edge, each reactor resolves its own
+// recipients here — by re-running the (cheap, already-proven) path/XPE
+// match against the reactor's DISTINCT Xpes, not per session: 10k
+// sessions subscribed to `//stock` cost one match and one session-list
+// walk.
+//
+// Single-threaded: one index per reactor, all calls on that reactor's
+// loop thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/paths.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute::edge {
+
+class InterestIndex {
+ public:
+  /// Registers the session's interest. Returns true when this reactor
+  /// gained its FIRST interest in the xpe (the caller's cue to bump the
+  /// edge-wide refcount toward a broker-side subscribe).
+  bool add(int session, const Xpe& xpe);
+
+  /// Drops the session's interest. Returns true when this reactor lost
+  /// its LAST interest in the xpe.
+  bool remove(int session, std::uint32_t xpe_uid);
+
+  /// The xpe behind a uid (nullptr when no session holds it) — needed to
+  /// build the broker-side unsubscribe after the last lease lapses.
+  const Xpe* xpe(std::uint32_t uid) const;
+
+  /// Appends every session whose interest matches `path`, deduplicated (a
+  /// session subscribed to two matching Xpes receives the document once).
+  void resolve(const Path& path, std::vector<int>* out) const;
+
+  std::size_t distinct_xpes() const { return entries_.size(); }
+  std::size_t session_count(std::uint32_t xpe_uid) const;
+
+ private:
+  struct Entry {
+    Xpe xpe;
+    std::vector<int> sessions;
+  };
+
+  std::unordered_map<std::uint32_t, Entry> entries_;
+};
+
+}  // namespace xroute::edge

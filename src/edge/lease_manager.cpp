@@ -1,0 +1,136 @@
+#include "edge/lease_manager.hpp"
+
+#include <algorithm>
+
+namespace xroute::edge {
+
+namespace {
+/// Wheel geometry: the span covers 2x the TTL so a freshly granted lease
+/// parks without wrapping, and 64 slots keep per-slot scans short at any
+/// TTL. Sub-millisecond TTLs (tests) still get a positive slot width.
+constexpr std::size_t kSlots = 64;
+}  // namespace
+
+LeaseManager::LeaseManager(double ttl_ms, double now_ms)
+    : ttl_ms_(ttl_ms),
+      slot_ms_(std::max(ttl_ms * 2.0 / static_cast<double>(kSlots), 0.01)),
+      cursor_time_ms_(now_ms),
+      slots_(kSlots) {}
+
+bool LeaseManager::acquire(int session, std::uint32_t xpe_uid, double now_ms) {
+  std::uint64_t k = key(session, xpe_uid);
+  auto [it, inserted] = leases_.try_emplace(k);
+  it->second.deadline_ms = now_ms + ttl_ms_;
+  it->second.seq = next_seq_++;
+  park(k, it->second.seq, it->second.deadline_ms);
+  if (inserted) by_session_[session].push_back(xpe_uid);
+  return inserted;
+}
+
+std::size_t LeaseManager::renew_session(int session, double now_ms) {
+  auto it = by_session_.find(session);
+  if (it == by_session_.end()) return 0;
+  for (std::uint32_t uid : it->second) {
+    auto lease = leases_.find(key(session, uid));
+    if (lease == leases_.end()) continue;
+    // Lazy renewal: bump deadline + seq; the old wheel entry dies of
+    // sequence mismatch when its slot is scanned.
+    lease->second.deadline_ms = now_ms + ttl_ms_;
+    lease->second.seq = next_seq_++;
+    park(key(session, uid), lease->second.seq, lease->second.deadline_ms);
+  }
+  return it->second.size();
+}
+
+bool LeaseManager::release(int session, std::uint32_t xpe_uid) {
+  if (leases_.erase(key(session, xpe_uid)) == 0) return false;
+  auto it = by_session_.find(session);
+  if (it != by_session_.end()) {
+    auto& uids = it->second;
+    uids.erase(std::remove(uids.begin(), uids.end(), xpe_uid), uids.end());
+    if (uids.empty()) by_session_.erase(it);
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> LeaseManager::release_session(int session) {
+  std::vector<std::uint32_t> released;
+  auto it = by_session_.find(session);
+  if (it == by_session_.end()) return released;
+  released = std::move(it->second);
+  by_session_.erase(it);
+  for (std::uint32_t uid : released) leases_.erase(key(session, uid));
+  return released;
+}
+
+std::vector<LeaseManager::Expired> LeaseManager::expire(double now_ms) {
+  std::vector<Expired> expired;
+  // Walk every slot the clock crossed since the last call. Bound the walk
+  // at one full revolution: beyond that every slot has been visited once,
+  // and re-parked far-future entries must not be popped twice in one call.
+  std::size_t steps = 0;
+  while (cursor_time_ms_ + slot_ms_ <= now_ms && steps < kSlots) {
+    std::vector<WheelEntry> entries;
+    entries.swap(slots_[cursor_]);
+    for (const WheelEntry& entry : entries) {
+      auto it = leases_.find(entry.lease_key);
+      // Released, or renewed since this entry was parked: the entry is
+      // stale, drop it.
+      if (it == leases_.end() || it->second.seq != entry.seq) continue;
+      if (it->second.deadline_ms > now_ms) {
+        // Parked beyond the wheel horizon and popped early: wait again.
+        park(entry.lease_key, entry.seq, it->second.deadline_ms);
+        continue;
+      }
+      expired.push_back(Expired{
+          static_cast<int>(entry.lease_key >> 32),
+          static_cast<std::uint32_t>(entry.lease_key & 0xffffffffu)});
+      int session = expired.back().session;
+      std::uint32_t uid = expired.back().xpe_uid;
+      leases_.erase(it);
+      auto sess = by_session_.find(session);
+      if (sess != by_session_.end()) {
+        auto& uids = sess->second;
+        uids.erase(std::remove(uids.begin(), uids.end(), uid), uids.end());
+        if (uids.empty()) by_session_.erase(sess);
+      }
+    }
+    cursor_time_ms_ += slot_ms_;
+    cursor_ = (cursor_ + 1) % kSlots;
+    ++steps;
+  }
+  if (steps == kSlots && cursor_time_ms_ + slot_ms_ <= now_ms) {
+    // The clock jumped more than a revolution: snap the wheel forward so
+    // the next call doesn't spin through empty slots again.
+    cursor_time_ms_ = now_ms;
+  }
+  return expired;
+}
+
+bool LeaseManager::held(int session, std::uint32_t xpe_uid) const {
+  return leases_.count(key(session, xpe_uid)) != 0;
+}
+
+std::size_t LeaseManager::session_lease_count(int session) const {
+  auto it = by_session_.find(session);
+  return it == by_session_.end() ? 0 : it->second.size();
+}
+
+double LeaseManager::deadline_ms(int session, std::uint32_t xpe_uid) const {
+  auto it = leases_.find(key(session, xpe_uid));
+  return it == leases_.end() ? 0.0 : it->second.deadline_ms;
+}
+
+void LeaseManager::park(std::uint64_t lease_key, std::uint64_t seq,
+                        double deadline_ms) {
+  double offset = deadline_ms - cursor_time_ms_;
+  if (offset < 0) offset = 0;
+  auto slots_ahead = static_cast<std::size_t>(offset / slot_ms_);
+  // Beyond the horizon: park in the farthest slot; expire() re-parks it
+  // when that slot is reached with the deadline still in the future.
+  if (slots_ahead >= kSlots) slots_ahead = kSlots - 1;
+  slots_[(cursor_ + slots_ahead) % kSlots].push_back(
+      WheelEntry{lease_key, seq});
+}
+
+}  // namespace xroute::edge

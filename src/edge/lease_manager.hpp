@@ -1,0 +1,107 @@
+// Subscription leases for one edge reactor (DESIGN.md "Edge session
+// layer").
+//
+// A client's subscription is not permanent routing state: it is a lease
+// with a TTL, renewed by heartbeats and re-subscribes, expired by a
+// timing wheel when the client goes quiet. The wheel makes expiry O(1)
+// amortised regardless of session count: each (session, xpe) lease hangs
+// in the slot covering its deadline, and renewals are LAZY — renewing
+// bumps the lease's deadline and sequence number without touching the
+// wheel; the stale wheel entry is recognised (sequence mismatch) and
+// discarded when its slot comes around, and the renewal parks a fresh
+// entry at the new deadline. A lease therefore has at most a handful of
+// wheel entries in flight, and expiry scans only the slots the clock
+// actually crossed.
+//
+// Pure and single-threaded by design: one LeaseManager per reactor, all
+// calls on that reactor's loop thread, timestamps fed by the caller —
+// exhaustively unit-testable without sockets or clocks (tests/lease_test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace xroute::edge {
+
+class LeaseManager {
+ public:
+  /// One expired lease: the session lost its subscription to the xpe.
+  struct Expired {
+    int session = -1;
+    std::uint32_t xpe_uid = 0;
+  };
+
+  /// `ttl_ms` is the lifetime granted on acquire/renew; `now_ms` anchors
+  /// the wheel (pass the reactor clock's current reading).
+  LeaseManager(double ttl_ms, double now_ms);
+
+  /// Acquires the lease (session, xpe) or renews it if already held.
+  /// Returns true when this is a NEW lease (first acquisition since the
+  /// last release/expiry) — the caller's cue to register interest.
+  bool acquire(int session, std::uint32_t xpe_uid, double now_ms);
+
+  /// Renews every lease the session holds (heartbeat keepalive). Returns
+  /// the number of leases renewed.
+  std::size_t renew_session(int session, double now_ms);
+
+  /// Releases one lease (explicit unsubscribe). Returns true if it was
+  /// held.
+  bool release(int session, std::uint32_t xpe_uid);
+
+  /// Releases everything the session holds (disconnect); returns the xpe
+  /// uids that were held.
+  std::vector<std::uint32_t> release_session(int session);
+
+  /// Advances the wheel to `now_ms` and returns every lease whose
+  /// deadline passed without renewal. Expired leases are removed.
+  std::vector<Expired> expire(double now_ms);
+
+  bool held(int session, std::uint32_t xpe_uid) const;
+  /// Leases the session currently holds (0 when none).
+  std::size_t session_lease_count(int session) const;
+  /// Deadline of a held lease (0 when not held) — test observability.
+  double deadline_ms(int session, std::uint32_t xpe_uid) const;
+  std::size_t lease_count() const { return leases_.size(); }
+  double ttl_ms() const { return ttl_ms_; }
+
+ private:
+  /// Leases keyed by (session << 32 | xpe uid): sessions are fds (or test
+  /// integers), non-negative and well under 2^31.
+  static std::uint64_t key(int session, std::uint32_t xpe_uid) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(session))
+            << 32) |
+           xpe_uid;
+  }
+
+  struct Lease {
+    double deadline_ms = 0.0;
+    /// Bumped on every renewal; wheel entries carry the value at park
+    /// time, so a stale entry (parked before a later renewal) never
+    /// expires the lease.
+    std::uint64_t seq = 0;
+  };
+
+  struct WheelEntry {
+    std::uint64_t lease_key = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Parks a wheel entry at `deadline_ms` (clamped into the wheel span —
+  /// an entry beyond the horizon waits in the farthest slot and re-parks
+  /// when popped early).
+  void park(std::uint64_t lease_key, std::uint64_t seq, double deadline_ms);
+
+  double ttl_ms_;
+  double slot_ms_;        ///< width of one wheel slot
+  double cursor_time_ms_; ///< start of the slot under the cursor
+  std::size_t cursor_ = 0;
+  std::vector<std::vector<WheelEntry>> slots_;
+  std::unordered_map<std::uint64_t, Lease> leases_;
+  /// session -> held xpe uids (renew_session / release_session).
+  std::unordered_map<int, std::vector<std::uint32_t>> by_session_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace xroute::edge

@@ -1,0 +1,339 @@
+#include "edge/swarm.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "router/message.hpp"
+#include "wire/codec.hpp"
+
+namespace xroute::edge {
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// A 10k-client swarm plus the edge server in one process needs more
+/// than the usual 1024 soft fd limit; raise it as far as the hard limit
+/// allows (best effort — the swarm reports connect failures if it still
+/// falls short).
+void raise_fd_limit(std::size_t wanted) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  rlim_t target = static_cast<rlim_t>(wanted);
+  if (lim.rlim_cur >= target) return;
+  lim.rlim_cur = (lim.rlim_max == RLIM_INFINITY || lim.rlim_max >= target)
+                     ? target
+                     : lim.rlim_max;
+  setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+}  // namespace
+
+EdgeSwarm::EdgeSwarm(Options options) : options_(std::move(options)) {
+  if (options_.loops < 1) options_.loops = 1;
+  if (options_.connect_batch == 0) options_.connect_batch = 1;
+  if (options_.latency_stride == 0) options_.latency_stride = 1;
+}
+
+EdgeSwarm::~EdgeSwarm() { stop(); }
+
+void EdgeSwarm::set_interests(
+    std::function<std::vector<Xpe>(std::size_t)> interests) {
+  interests_ = std::move(interests);
+}
+
+void EdgeSwarm::start() {
+  if (started_) return;
+  started_ = true;
+  // fds: one per client + loops' wake/epoll fds + slack for the process.
+  raise_fd_limit(options_.clients + 256);
+  loops_.reserve(static_cast<std::size_t>(options_.loops));
+  for (int i = 0; i < options_.loops; ++i) {
+    auto driver = std::make_unique<Loop>();
+    driver->index = i;
+    driver->loop = std::make_unique<transport::EventLoop>(options_.force_poll);
+    loops_.push_back(std::move(driver));
+  }
+  for (std::size_t c = 0; c < options_.clients; ++c) {
+    Loop* driver = loops_[c % loops_.size()].get();
+    auto client = std::make_unique<Client>();
+    client->index = c;
+    driver->clients.push_back(std::move(client));
+  }
+  for (auto& driver : loops_) {
+    Loop* d = driver.get();
+    d->loop->post([this, d] {
+      connect_tick(*d);
+      if (options_.heartbeat_interval_ms > 0) {
+        d->loop->schedule(options_.heartbeat_interval_ms,
+                          [this, d] { heartbeat_tick(*d); });
+      }
+    });
+    d->thread = std::thread([d] { d->loop->run(); });
+  }
+}
+
+void EdgeSwarm::stop() {
+  if (!started_) return;
+  for (auto& driver : loops_) {
+    Loop* d = driver.get();
+    d->loop->post([d] {
+      for (auto& client : d->clients) {
+        if (client->connection && !client->connection->closed()) {
+          client->connection->close("swarm shutdown");
+        } else if (client->fd >= 0 && !client->connection) {
+          // Connect still in flight: tear the socket down directly.
+          d->loop->remove_fd(client->fd);
+          ::close(client->fd);
+          client->fd = -1;
+        }
+      }
+    });
+    d->loop->stop();
+    if (d->thread.joinable()) d->thread.join();
+  }
+  loops_.clear();
+  started_ = false;
+}
+
+void EdgeSwarm::connect_tick(Loop& driver) {
+  std::size_t started = 0;
+  while (driver.next_connect < driver.clients.size() &&
+         started < options_.connect_batch) {
+    begin_connect(driver, *driver.clients[driver.next_connect]);
+    ++driver.next_connect;
+    ++started;
+  }
+  if (driver.next_connect < driver.clients.size()) {
+    Loop* d = &driver;
+    driver.loop->schedule(options_.connect_tick_ms,
+                          [this, d] { connect_tick(*d); });
+  }
+}
+
+void EdgeSwarm::begin_connect(Loop& driver, Client& client) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    connect_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  set_nonblocking(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const char* host = (options_.host.empty() || options_.host == "localhost")
+                         ? "127.0.0.1"
+                         : options_.host.c_str();
+  if (inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
+    ::close(fd);
+    connect_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  client.fd = fd;
+  client.connect_start_ms = steady_ms();
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    adopt(driver, client);
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    client.fd = -1;
+    connect_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Loop* d = &driver;
+  Client* c = &client;
+  driver.loop->add_fd(fd, transport::kWritable,
+                      [this, d, c, fd](std::uint32_t events) {
+    d->loop->remove_fd(fd);
+    int error = 0;
+    socklen_t len = sizeof(error);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    if ((events & transport::kError) != 0 || error != 0) {
+      ::close(fd);
+      c->fd = -1;
+      connect_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    adopt(*d, *c);
+  });
+}
+
+void EdgeSwarm::adopt(Loop& driver, Client& client) {
+  client.connection = std::make_unique<transport::Connection>(
+      driver.loop.get(), client.fd, options_.connection);
+  Loop* d = &driver;
+  Client* c = &client;
+  client.connection->set_frame_handler(
+      [this, d, c](wire::Decoded&& decoded) {
+        on_client_frame(*d, *c, std::move(decoded));
+      });
+  client.connection->set_close_handler([this, c](const std::string&) {
+    if (c->connected) {
+      c->connected = false;
+      connected_.fetch_sub(1, std::memory_order_relaxed);
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    c->fd = -1;
+    c->connection.reset();
+  });
+  client.connection->start();
+  // Handshake + interests in one burst: the edge acks each subscribe with
+  // a lease grant.
+  wire::Hello hello;
+  hello.kind = wire::Hello::PeerKind::kClient;
+  hello.peer_id = static_cast<std::uint32_t>(client.index);
+  client.connection->send(wire::encode_hello(hello));
+  if (interests_) {
+    client.subscribe_sent_ms = steady_ms();
+    for (Xpe& xpe : interests_(client.index)) {
+      client.connection->send(
+          wire::encode_frame(Message::subscribe(std::move(xpe))));
+    }
+  }
+}
+
+void EdgeSwarm::on_client_frame(Loop& driver, Client& client,
+                                wire::Decoded&& decoded) {
+  switch (decoded.kind) {
+    case wire::FrameKind::kHello:
+      if (!client.connected) {
+        client.connected = true;
+        connected_.fetch_add(1, std::memory_order_relaxed);
+        driver.latencies.connect_ms.push_back(steady_ms() -
+                                              client.connect_start_ms);
+      }
+      return;
+    case wire::FrameKind::kLeaseGrant:
+      lease_grants_.fetch_add(1, std::memory_order_relaxed);
+      if (!client.first_grant_seen) {
+        client.first_grant_seen = true;
+        if (client.subscribe_sent_ms > 0) {
+          driver.latencies.subscribe_ms.push_back(steady_ms() -
+                                                  client.subscribe_sent_ms);
+        }
+      }
+      return;
+    case wire::FrameKind::kPublish: {
+      publications_.fetch_add(1, std::memory_order_relaxed);
+      const auto& pub = std::get<PublishMsg>(decoded.message.payload);
+      if (pub.doc_id < options_.doc_capacity) {
+        if (client.delivered.empty()) {
+          client.delivered.resize(options_.doc_capacity, false);
+        }
+        if (client.delivered[pub.doc_id]) {
+          duplicates_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          client.delivered[pub.doc_id] = true;
+        }
+      }
+      if (pub.publish_time > 0 &&
+          driver.notify_seen++ % options_.latency_stride == 0) {
+        driver.latencies.notify_ms.push_back(steady_ms() - pub.publish_time);
+      }
+      return;
+    }
+    default:
+      return;  // heartbeats and the rest: proof of life, nothing to do
+  }
+}
+
+void EdgeSwarm::heartbeat_tick(Loop& driver) {
+  // One beacon frame per loop per tick, shared across its clients — the
+  // same serialize-once economics the edge uses toward us.
+  auto frame = std::make_shared<const std::vector<std::uint8_t>>(
+      wire::encode_heartbeat(++driver.beacon_seq));
+  for (auto& client : driver.clients) {
+    if (client->connection && !client->connection->closed()) {
+      client->connection->send_shared(frame);
+    }
+  }
+  Loop* d = &driver;
+  driver.loop->schedule(options_.heartbeat_interval_ms,
+                        [this, d] { heartbeat_tick(*d); });
+}
+
+bool EdgeSwarm::wait(const std::function<bool()>& done,
+                     double timeout_ms) const {
+  double deadline = steady_ms() + timeout_ms;
+  while (!done()) {
+    if (steady_ms() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+bool EdgeSwarm::wait_connected(std::size_t count, double timeout_ms) {
+  return wait([&] { return connected() >= count; }, timeout_ms);
+}
+
+bool EdgeSwarm::wait_lease_grants(std::uint64_t count, double timeout_ms) {
+  return wait([&] { return lease_grants() >= count; }, timeout_ms);
+}
+
+bool EdgeSwarm::wait_publications(std::uint64_t count, double timeout_ms) {
+  return wait([&] { return publications() >= count; }, timeout_ms);
+}
+
+EdgeSwarm::Latencies EdgeSwarm::collect_latencies() {
+  Latencies all;
+  for (auto& driver : loops_) {
+    Loop* d = driver.get();
+    std::promise<Latencies> promise;
+    d->loop->post([d, &promise] { promise.set_value(d->latencies); });
+    Latencies got = promise.get_future().get();
+    all.connect_ms.insert(all.connect_ms.end(), got.connect_ms.begin(),
+                          got.connect_ms.end());
+    all.subscribe_ms.insert(all.subscribe_ms.end(), got.subscribe_ms.begin(),
+                            got.subscribe_ms.end());
+    all.notify_ms.insert(all.notify_ms.end(), got.notify_ms.begin(),
+                         got.notify_ms.end());
+  }
+  return all;
+}
+
+std::vector<std::vector<std::uint64_t>> EdgeSwarm::collect_delivered() {
+  std::vector<std::vector<std::uint64_t>> per_client(options_.clients);
+  for (auto& driver : loops_) {
+    Loop* d = driver.get();
+    using Slice = std::vector<std::pair<std::size_t, std::vector<std::uint64_t>>>;
+    std::promise<Slice> promise;
+    d->loop->post([d, &promise] {
+      Slice slice;
+      slice.reserve(d->clients.size());
+      for (auto& client : d->clients) {
+        std::vector<std::uint64_t> docs;
+        for (std::size_t doc = 0; doc < client->delivered.size(); ++doc) {
+          if (client->delivered[doc]) docs.push_back(doc);
+        }
+        slice.emplace_back(client->index, std::move(docs));
+      }
+      promise.set_value(std::move(slice));
+    });
+    for (auto& [index, docs] : promise.get_future().get()) {
+      per_client[index] = std::move(docs);
+    }
+  }
+  return per_client;
+}
+
+}  // namespace xroute::edge

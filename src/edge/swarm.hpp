@@ -1,0 +1,153 @@
+// EdgeSwarm — a driver that simulates tens of thousands of edge clients
+// from a handful of event loops.
+//
+// TransportClient spawns one thread per client, which is perfect for
+// scenario harnesses and hopeless at 10k clients on a small box. The
+// swarm instead multiplexes raw Connections over K loops (client i lives
+// on loop i % K), speaks the same wire handshake (client Hello out,
+// broker Hello back), subscribes, heartbeats to keep its leases alive,
+// and records what every client observed:
+//
+//   - connected / lease-grant / publication counters (atomics, any thread)
+//   - per-client delivered-document BITMAPS (dense doc ids — sets of
+//     uint64 would dwarf the documents themselves at this scale) with a
+//     duplicate count
+//   - stride-sampled latencies: connect (connect() -> broker Hello),
+//     subscribe (kSubscribe -> kLeaseGrant), notify (publisher stamp ->
+//     arrival, both on steady_ms(), so publisher and swarm must share the
+//     process)
+//
+// Connects are paced in batches per tick so a 10k-client ramp does not
+// overrun the edge listener's accept backlog.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/connection.hpp"
+#include "transport/event_loop.hpp"
+#include "xpath/xpe.hpp"
+
+namespace xroute::edge {
+
+/// Process-wide steady clock in milliseconds: the swarm's notify-latency
+/// reference. Publishers stamp PublishMsg::publish_time with this.
+double steady_ms();
+
+class EdgeSwarm {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t clients = 100;
+    /// Driver event loops the clients are multiplexed over.
+    int loops = 2;
+    /// Keepalive period (must beat the edge lease TTL); 0 = no beats.
+    double heartbeat_interval_ms = 2000.0;
+    /// Delivered-doc bitmap capacity per client (doc ids >= this are
+    /// counted but not deduplicated).
+    std::size_t doc_capacity = 1u << 12;
+    /// New connects initiated per loop per pacing tick.
+    std::size_t connect_batch = 200;
+    double connect_tick_ms = 10.0;
+    /// Sample every Nth notify latency (1 = all).
+    std::size_t latency_stride = 16;
+    transport::Connection::Options connection;
+    bool force_poll = false;
+  };
+
+  explicit EdgeSwarm(Options options);
+  ~EdgeSwarm();
+
+  /// Client i's subscriptions; fixed before start(). Defaults to none.
+  void set_interests(std::function<std::vector<Xpe>(std::size_t)> interests);
+
+  /// Starts the loops and begins the paced connect ramp.
+  void start();
+  void stop();
+
+  // -- Progress (any thread; poll + sleep) ---------------------------------
+  std::size_t connected() const {
+    return connected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lease_grants() const {
+    return lease_grants_.load(std::memory_order_relaxed);
+  }
+  /// Publication frames received across all clients (duplicates included).
+  std::uint64_t publications() const {
+    return publications_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t duplicates() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connect_failures() const {
+    return connect_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t disconnects() const {
+    return disconnects_.load(std::memory_order_relaxed);
+  }
+
+  bool wait_connected(std::size_t count, double timeout_ms);
+  bool wait_lease_grants(std::uint64_t count, double timeout_ms);
+  bool wait_publications(std::uint64_t count, double timeout_ms);
+
+  // -- Post-hoc harvesting (quiesce first) ---------------------------------
+  struct Latencies {
+    std::vector<double> connect_ms;
+    std::vector<double> subscribe_ms;
+    std::vector<double> notify_ms;
+  };
+  /// Gathers the per-loop latency samples (blocks on every loop).
+  Latencies collect_latencies();
+  /// Per-client delivered doc ids (bitmap positions), index = client.
+  std::vector<std::vector<std::uint64_t>> collect_delivered();
+
+ private:
+  struct Client {
+    std::size_t index = 0;
+    int fd = -1;
+    std::unique_ptr<transport::Connection> connection;
+    std::vector<bool> delivered;
+    bool connected = false;
+    bool first_grant_seen = false;
+    double connect_start_ms = 0.0;
+    double subscribe_sent_ms = 0.0;
+  };
+
+  struct Loop {
+    int index = 0;
+    std::unique_ptr<transport::EventLoop> loop;
+    std::thread thread;
+    std::vector<std::unique_ptr<Client>> clients;  ///< loop-thread owned
+    std::size_t next_connect = 0;  ///< pacing cursor into `clients`
+    Latencies latencies;
+    std::uint64_t notify_seen = 0;  ///< stride counter
+    std::uint64_t beacon_seq = 0;
+  };
+
+  void connect_tick(Loop& driver);
+  void begin_connect(Loop& driver, Client& client);
+  void adopt(Loop& driver, Client& client);
+  void on_client_frame(Loop& driver, Client& client, wire::Decoded&& decoded);
+  void heartbeat_tick(Loop& driver);
+  bool wait(const std::function<bool()>& done, double timeout_ms) const;
+
+  Options options_;
+  std::function<std::vector<Xpe>(std::size_t)> interests_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  bool started_ = false;
+
+  std::atomic<std::size_t> connected_{0};
+  std::atomic<std::uint64_t> lease_grants_{0};
+  std::atomic<std::uint64_t> publications_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> connect_failures_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+};
+
+}  // namespace xroute::edge

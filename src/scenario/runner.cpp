@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "edge/edge_server.hpp"
 #include "match/pub_match.hpp"
 #include "net/topology.hpp"
 #include "router/broker_options.hpp"
@@ -69,6 +70,9 @@ struct Node {
 struct Subscriber {
   std::unique_ptr<TransportClient> client;
   int broker = -1;
+  /// True when the client dials an EdgeServer instead of the broker
+  /// itself; the delivery oracle is identical either way.
+  bool via_edge = false;
   std::string xpe_text;
   Xpe xpe;
   /// Scenario time the subscriber's broker left for good (leave without
@@ -119,6 +123,7 @@ class Runner {
   TransportBroker::Options broker_options(int id, std::uint16_t port,
                                           std::uint32_t incarnation) const;
   void start_overlay();
+  void attach_edge_servers();
   void attach_clients();
   void fail(const std::string& what);
   void harvest(const TransportBroker& broker);
@@ -150,6 +155,8 @@ class Runner {
   Broker::Config config_;
   Topology topology_;
   std::map<int, Node> nodes_;
+  /// Edge session layers, one per broker named by a `clients` directive.
+  std::map<int, std::unique_ptr<edge::EdgeServer>> edge_hosts_;
   std::vector<Subscriber> subscribers_;
   std::vector<Churner> churners_;
   std::vector<ChurnOp> churn_ops_;
@@ -266,6 +273,49 @@ void Runner::start_overlay() {
   }
 }
 
+void Runner::attach_edge_servers() {
+  if (scenario_.edge_swarms.empty()) return;
+  // An edge host cannot be disrupted mid-run: its leased clients would
+  // need transparent re-attachment, which the session layer deliberately
+  // does not promise (leases lapse, clients re-acquire). Scripts that
+  // want both must point the chaos at a different broker.
+  std::set<int> disrupted;
+  for (const ScenarioEvent& event : scenario_.events) {
+    if (event.kind == EventKind::kKill || event.kind == EventKind::kLeave ||
+        event.kind == EventKind::kRestart) {
+      disrupted.insert(event.broker);
+    }
+  }
+  for (const EdgeSwarmSpec& spec : scenario_.edge_swarms) {
+    auto it = nodes_.find(spec.broker);
+    if (it == nodes_.end()) {
+      throw ParseError("scenario: clients directive targets unknown broker " +
+                       std::to_string(spec.broker));
+    }
+    if (disrupted.count(spec.broker)) {
+      throw ParseError(
+          "scenario: broker " + std::to_string(spec.broker) +
+          " hosts an edge swarm and cannot be killed/restarted/left");
+    }
+    if (edge_hosts_.count(spec.broker)) continue;  // one edge per broker
+    edge::EdgeServer::Options opts;
+    // A lapsed lease means a silently lost subscription — exactly what the
+    // oracle would flag as a miss — so the default TTL sits far above the
+    // client beacon period the scenario runs.
+    opts.lease_ttl_ms = spec.lease_ttl_ms > 0
+                            ? spec.lease_ttl_ms
+                            : scenario_.heartbeat_interval_ms * 20.0;
+    opts.sweep_interval_ms = std::min(100.0, opts.lease_ttl_ms / 4.0);
+    // Beacon as fast as the brokers do, or the TransportClients' failure
+    // detector declares the edge dead between publications.
+    opts.heartbeat_interval_ms = scenario_.heartbeat_interval_ms;
+    auto server = std::make_unique<edge::EdgeServer>(
+        it->second.broker.get(), opts);
+    server->start();
+    edge_hosts_[spec.broker] = std::move(server);
+  }
+}
+
 bool Runner::subscriber_live(const Subscriber& sub) const {
   if (!std::isinf(sub.detached_at_ms)) return false;
   auto it = nodes_.find(sub.broker);
@@ -295,6 +345,29 @@ void Runner::attach_clients() {
     }
     resubscribe(sub);
     subscribers_.push_back(std::move(sub));
+  }
+  // Edge swarms: each `clients` directive adds leased sessions through
+  // the broker's EdgeServer. They fold into the same subscribers_ vector,
+  // so quiescence, probes and the delivery oracle treat them identically
+  // to direct subscribers — the run then proves edge delivery matches
+  // broker delivery for free.
+  int edge_id = 1000;
+  for (const EdgeSwarmSpec& spec : scenario_.edge_swarms) {
+    std::uint16_t edge_port = edge_hosts_.at(spec.broker)->port();
+    for (std::size_t i = 0; i < spec.count; ++i) {
+      Subscriber sub;
+      sub.broker = spec.broker;
+      sub.via_edge = true;
+      sub.xpe_text = scenario_.xpes[rng.index(scenario_.xpes.size())];
+      sub.xpe = parse_xpe(sub.xpe_text);
+      sub.client = std::make_unique<TransportClient>(client_options(edge_id++));
+      sub.client->start("127.0.0.1", edge_port);
+      if (!sub.client->wait_connected(10000)) {
+        throw ParseError("scenario: edge client handshake timed out");
+      }
+      resubscribe(sub);
+      subscribers_.push_back(std::move(sub));
+    }
   }
   // The publisher rides a broker no membership event targets, so the
   // publication stream itself survives the chaos.
@@ -729,6 +802,7 @@ ScenarioReport Runner::run() {
   }
   schedule_ = build_schedule(scenario_);
   start_overlay();
+  attach_edge_servers();
   attach_clients();
   attach_churners();
   if (!wait_quiescent(scenario_.settle_ms, scenario_.warmup_timeout_ms)) {
@@ -792,6 +866,10 @@ ScenarioReport Runner::run() {
   for (Subscriber& sub : subscribers_) sub.client->stop();
   for (Churner& churner : churners_) churner.client->stop();
   publisher_->stop();
+  // Edge layers go down before their host brokers (the reverse of
+  // startup); late broker deliveries after this are counted drops.
+  for (auto& [id, server] : edge_hosts_) server->stop();
+  edge_hosts_.clear();
   for (auto& [id, node] : nodes_) {
     if (!node.broker) continue;
     if (node.up) node.broker->stop();

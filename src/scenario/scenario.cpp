@@ -227,6 +227,21 @@ Scenario parse_scenario(const std::string& text) {
       if (scenario.warmup_timeout_ms <= 0 || scenario.drain_timeout_ms <= 0) {
         fail(line_no, "timeouts must be > 0");
       }
+    } else if (key == "clients") {
+      if (tokens.size() != 3 && tokens.size() != 4) {
+        fail(line_no, "usage: clients COUNT BROKER [LEASE_TTL_MS]");
+      }
+      EdgeSwarmSpec swarm;
+      swarm.count = static_cast<std::size_t>(
+          parse_count(tokens[1], line_no, "bad client count"));
+      if (swarm.count == 0) fail(line_no, "client count must be > 0");
+      swarm.broker = parse_broker_id(tokens[2], line_no);
+      if (tokens.size() == 4) {
+        swarm.lease_ttl_ms =
+            parse_double(tokens[3], line_no, "bad lease ttl");
+        if (swarm.lease_ttl_ms <= 0) fail(line_no, "lease ttl must be > 0");
+      }
+      scenario.edge_swarms.push_back(swarm);
     } else if (key == "at") {
       scenario.events.push_back(parse_event(tokens, line_no));
     } else {

@@ -31,6 +31,10 @@
 //   at 1500 join 7 0,2          # new broker dials brokers 0 and 2
 //   at 0 churn 1 500 until 2000 # live subscribe/unsubscribe churn at a
 //                               #   broker, control ops/sec
+//   clients 500 0               # edge swarm: 500 leased clients through
+//   clients 500 0 2000          #   an EdgeServer on broker 0 (optional
+//                               #   lease TTL ms); delivery is asserted
+//                               #   against the oracle like any subscriber
 #pragma once
 
 #include <cstddef>
@@ -67,6 +71,17 @@ struct ScenarioEvent {
   std::vector<int> neighbors;   ///< kJoin
 };
 
+/// One `clients` directive: an edge swarm of `count` leased client
+/// sessions attached to an EdgeServer hosted beside `broker`. The runner
+/// folds each edge client into the same delivery oracle as the direct
+/// subscribers.
+struct EdgeSwarmSpec {
+  int broker = 0;
+  std::size_t count = 0;
+  /// 0 = runner default (derived from the scenario's heartbeat cadence).
+  double lease_ttl_ms = 0.0;
+};
+
 struct Scenario {
   std::string name = "scenario";
   std::uint64_t seed = 1;
@@ -96,6 +111,8 @@ struct Scenario {
   /// the final drain before declaring the run stuck.
   double warmup_timeout_ms = 20000.0;
   double drain_timeout_ms = 30000.0;
+  /// Edge swarms (`clients` directives), in file order.
+  std::vector<EdgeSwarmSpec> edge_swarms;
   /// Sorted by at_ms (stable, so same-instant events keep file order).
   std::vector<ScenarioEvent> events;
 };

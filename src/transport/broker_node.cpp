@@ -19,8 +19,10 @@ namespace xroute::transport {
 class TransportBroker::EncodingSink : public ForwardSink {
  public:
   using Emit = std::function<void(IfaceId, std::vector<std::uint8_t>)>;
-  explicit EncodingSink(Emit emit) : emit_(std::move(emit)) {}
+  EncodingSink(TransportBroker* node, Emit emit)
+      : node_(node), emit_(std::move(emit)) {}
   void on_forward(IfaceId iface, const Message& msg) override {
+    if (node_->deliver_edge(iface, msg, {})) return;
     emit_(iface, wire::encode_frame(msg));
   }
   // Publications that arrived with their wire frame are forwarded by
@@ -29,8 +31,9 @@ class TransportBroker::EncodingSink : public ForwardSink {
   // (empty span) fall back to encoding.
   void on_forward_pub(IfaceId iface, const Message& msg,
                       std::span<const std::uint8_t> frame) override {
+    if (node_->deliver_edge(iface, msg, frame)) return;
     if (frame.empty()) {
-      on_forward(iface, msg);
+      emit_(iface, wire::encode_frame(msg));
     } else {
       emit_(iface, std::vector<std::uint8_t>(frame.begin(), frame.end()));
     }
@@ -41,6 +44,7 @@ class TransportBroker::EncodingSink : public ForwardSink {
   }
 
  private:
+  TransportBroker* node_;
   Emit emit_;
 };
 
@@ -306,7 +310,7 @@ void TransportBroker::on_frame(Connection* connection, wire::Decoded&& decoded) 
     enqueue_event(std::move(event));
     return;
   }
-  EncodingSink sink([this](IfaceId iface, std::vector<std::uint8_t> frame) {
+  EncodingSink sink(this, [this](IfaceId iface, std::vector<std::uint8_t> frame) {
     send_encoded(iface, std::move(frame));
   });
   // Inline processing: decoded.raw is still alive (nothing feeds the
@@ -353,7 +357,7 @@ void TransportBroker::match_loop() {
     auto sends = std::make_shared<
         std::vector<std::pair<IfaceId, std::vector<std::uint8_t>>>>();
     EncodingSink sink(
-        [&sends](IfaceId iface, std::vector<std::uint8_t> frame) {
+        this, [&sends](IfaceId iface, std::vector<std::uint8_t> frame) {
           sends->emplace_back(iface, std::move(frame));
         });
     std::vector<Broker::Inbound> run;
@@ -418,7 +422,7 @@ void TransportBroker::dispatch_event(InboundEvent event) {
     enqueue_event(std::move(event));
     return;
   }
-  EncodingSink sink([this](IfaceId iface, std::vector<std::uint8_t> frame) {
+  EncodingSink sink(this, [this](IfaceId iface, std::vector<std::uint8_t> frame) {
     send_encoded(iface, std::move(frame));
   });
   apply_event(event, sink);
@@ -501,7 +505,7 @@ std::string TransportBroker::state_snapshot() {
   } else {
     loop_->post([this, event = std::move(event)]() mutable {
       EncodingSink sink(
-          [this](IfaceId iface, std::vector<std::uint8_t> frame) {
+          this, [this](IfaceId iface, std::vector<std::uint8_t> frame) {
             send_encoded(iface, std::move(frame));
           });
       apply_event(event, sink);
@@ -539,6 +543,66 @@ void TransportBroker::send_encoded(IfaceId interface_id,
     peer_it->second.bytes_out->inc(frame.size());
   }
   it->second->send(std::move(frame));
+}
+
+IfaceId TransportBroker::attach_edge(EdgeDeliveryHandler handler) {
+  std::promise<int> attached;
+  std::future<int> future = attached.get_future();
+  loop_->post([this, handler = std::move(handler), &attached]() mutable {
+    int id = next_interface_++;
+    // Handler first, then the interface id, then the membership event:
+    // the Broker-owning thread can only forward to this interface after
+    // processing kAddClient, which the inbox mutex (async) or same-thread
+    // execution (sync) orders after both writes.
+    edge_handler_ = std::move(handler);
+    edge_iface_.store(id, std::memory_order_release);
+    InboundEvent add;
+    add.kind = InboundEvent::Kind::kAddClient;
+    add.iface = IfaceId{id};
+    dispatch_event(std::move(add));
+    attached.set_value(id);
+  });
+  return IfaceId{future.get()};
+}
+
+void TransportBroker::edge_send(Message msg) {
+  loop_->post([this, msg = std::move(msg)]() mutable {
+    int iface = edge_iface_.load(std::memory_order_relaxed);
+    if (iface < 0) return;
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    if (async()) {
+      enqueue_event(InboundEvent{InboundEvent::Kind::kFrame, IfaceId{iface},
+                                 std::move(msg)});
+      return;
+    }
+    EncodingSink sink(this, [this](IfaceId i, std::vector<std::uint8_t> f) {
+      send_encoded(i, std::move(f));
+    });
+    Broker::Inbound one{IfaceId{iface}, &msg,
+                        std::span<const std::uint8_t>{}};
+    Broker::HandleStatus status =
+        broker_.handle_batch(std::span<const Broker::Inbound>(&one, 1), sink);
+    note_handle_status(status);
+  });
+}
+
+bool TransportBroker::deliver_edge(IfaceId iface, const Message& msg,
+                                   std::span<const std::uint8_t> frame) {
+  if (iface.value() != edge_iface_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // The serialize-once point: whatever the broker wants this interface to
+  // see becomes ONE immutable refcounted frame, shared by every client
+  // session the edge fans it out to.
+  SharedFrame shared =
+      frame.empty()
+          ? std::make_shared<const std::vector<std::uint8_t>>(
+                wire::encode_frame(msg))
+          : std::make_shared<const std::vector<std::uint8_t>>(frame.begin(),
+                                                              frame.end());
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  if (edge_handler_) edge_handler_(msg, std::move(shared));
+  return true;
 }
 
 void TransportBroker::on_backpressure(Connection* connection, bool engaged) {

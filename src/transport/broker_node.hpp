@@ -105,6 +105,27 @@ class TransportBroker {
   int id() const { return options_.id; }
   std::uint16_t port() const { return port_; }
 
+  // -- Edge attachment -----------------------------------------------------
+  /// A forward the broker routed to the edge interface: the message plus
+  /// its wire bytes, encoded exactly once and shared by reference with
+  /// every recipient. With match_threads > 1 this fires on the MATCH
+  /// thread — the handler must be thread-safe (the edge server posts into
+  /// its reactors, which is).
+  using EdgeDeliveryHandler = std::function<void(const Message&, SharedFrame)>;
+
+  /// Registers the hosted edge server as one client interface of the
+  /// Broker: all client subscriptions funnel through it, and everything
+  /// the broker forwards to it lands in `handler` as a serialize-once
+  /// SharedFrame instead of on a socket. One edge per broker; callable
+  /// once, from any thread (blocks until the interface exists).
+  IfaceId attach_edge(EdgeDeliveryHandler handler);
+
+  /// Injects a message into the broker as if it arrived on the edge
+  /// interface (lease-refcounted subscribe/unsubscribe, client publishes).
+  /// Callable from any thread; ordered with network traffic by riding the
+  /// same loop->inbox path. No-op before attach_edge.
+  void edge_send(Message msg);
+
   // -- Cross-thread observables --------------------------------------------
   std::uint64_t frames_in() const {
     return frames_in_.load(std::memory_order_relaxed);
@@ -224,6 +245,11 @@ class TransportBroker {
 
   void on_peer(Connection* connection, const wire::Hello& hello);
   void on_frame(Connection* connection, wire::Decoded&& decoded);
+  /// Intercepts forwards aimed at the edge interface (any Broker-owning
+  /// thread): encodes-or-copies the frame ONCE into a SharedFrame and
+  /// hands it to the edge handler. Returns false for non-edge interfaces.
+  bool deliver_edge(IfaceId iface, const Message& msg,
+                    std::span<const std::uint8_t> frame);
   void on_disconnect(Connection* connection, const std::string& reason);
   void on_goodbye(Connection* connection);
   void on_backpressure(Connection* connection, bool engaged);
@@ -303,6 +329,13 @@ class TransportBroker {
   std::atomic<std::uint64_t> resync_bytes_in_{0};
   std::atomic<std::uint64_t> suspect_events_{0};
   std::atomic<double> last_join_convergence_ms_{0.0};
+
+  // -- Edge attachment -----------------------------------------------------
+  /// Interface id of the attached edge server (-1 = none). Written on the
+  /// loop thread before the kAddClient event is dispatched, so the match
+  /// thread observes the handler before the Broker can forward to it.
+  std::atomic<int> edge_iface_{-1};
+  EdgeDeliveryHandler edge_handler_;
 };
 
 }  // namespace xroute::transport

@@ -23,6 +23,10 @@ TransportClient::TransportClient(Options options)
       [this](Connection*, wire::Decoded&& d) { on_frame(std::move(d)); });
   transport_->set_disconnect_handler(
       [this](Connection*, const std::string&) { on_disconnect(); });
+  transport_->set_lease_handler([this](Connection*, double ttl_ms) {
+    lease_grants_.fetch_add(1, std::memory_order_relaxed);
+    last_lease_ttl_ms_.store(ttl_ms, std::memory_order_relaxed);
+  });
 }
 
 TransportClient::~TransportClient() { stop(); }
@@ -65,24 +69,41 @@ void TransportClient::sync() {
 }
 
 bool TransportClient::drain(int timeout_ms) {
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(timeout_ms);
-  for (;;) {
-    // -1: the connection is gone (dropped, or handshake still pending
-    // with sends parked in pending_) — queued frames cannot drain.
-    std::promise<std::ptrdiff_t> probe;
-    loop_->post([this, &probe] {
-      probe.set_value(connection_ != nullptr
-                          ? static_cast<std::ptrdiff_t>(
-                                connection_->pending_bytes())
-                          : (pending_.empty() ? 0 : -1));
-    });
-    std::ptrdiff_t pending = probe.get_future().get();
-    if (pending == 0) return true;
-    if (pending < 0) return false;
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto waiter = std::make_shared<DrainWaiter>();
+  loop_->post([this, waiter] {
+    if (connection_ == nullptr) {
+      // Connection gone (dropped, or handshake still pending with sends
+      // parked in pending_): queued frames cannot drain.
+      std::lock_guard<std::mutex> lock(waiter->m);
+      waiter->done = true;
+      waiter->ok = pending_.empty();
+      waiter->cv.notify_all();
+      return;
+    }
+    if (connection_->pending_bytes() == 0) {
+      std::lock_guard<std::mutex> lock(waiter->m);
+      waiter->done = true;
+      waiter->ok = true;
+      waiter->cv.notify_all();
+      return;
+    }
+    // Park until the connection's queue-empty (or close) callback fires.
+    drain_waiters_.push_back(waiter);
+  });
+  std::unique_lock<std::mutex> lock(waiter->m);
+  waiter->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return waiter->done; });
+  return waiter->done && waiter->ok;
+}
+
+void TransportClient::resolve_drain_waiters(bool ok) {
+  for (const auto& waiter : drain_waiters_) {
+    std::lock_guard<std::mutex> guard(waiter->m);
+    waiter->done = true;
+    waiter->ok = ok;
+    waiter->cv.notify_all();
   }
+  drain_waiters_.clear();
 }
 
 void TransportClient::set_message_handler(
@@ -94,6 +115,7 @@ void TransportClient::set_message_handler(
 
 void TransportClient::on_peer(Connection* connection) {
   connection_ = connection;
+  connection_->set_drain_handler([this] { resolve_drain_waiters(true); });
   for (Message& msg : pending_) {
     connection_->send(wire::encode_frame(msg));
   }
@@ -118,6 +140,8 @@ void TransportClient::on_frame(wire::Decoded&& decoded) {
 void TransportClient::on_disconnect() {
   connection_ = nullptr;
   connected_.store(false, std::memory_order_release);
+  // Frames still queued on a dead connection will never drain.
+  resolve_drain_waiters(false);
 }
 
 std::set<std::uint64_t> TransportClient::delivered_docs() const {

@@ -63,7 +63,8 @@ class TransportClient {
   /// queued byte handed to the kernel, which flushes it on close) or the
   /// timeout expires. Returns false on timeout or if the connection
   /// dropped while frames were still queued. Call sync() first so all
-  /// send()s have reached the connection.
+  /// send()s have reached the connection. Event-driven: wakes on the
+  /// connection's queue-empty callback, no polling.
   bool drain(int timeout_ms = 10000);
 
   /// Optional hook invoked on the loop thread for every arriving message
@@ -84,11 +85,31 @@ class TransportClient {
   std::uint64_t frames_in() const {
     return frames_in_.load(std::memory_order_relaxed);
   }
+  /// Lease grants received (edge servers acknowledge each subscribe).
+  std::uint64_t lease_grants() const {
+    return lease_grants_.load(std::memory_order_relaxed);
+  }
+  /// TTL carried by the most recent lease grant (0 before the first).
+  double last_lease_ttl_ms() const {
+    return last_lease_ttl_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One blocked drain() call: resolved exactly once from the loop thread
+  /// (queue emptied -> true, connection died with frames queued -> false)
+  /// or abandoned by its waiter on timeout.
+  struct DrainWaiter {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+  };
+
   void on_peer(Connection* connection);
   void on_frame(wire::Decoded&& decoded);
   void on_disconnect();
+  /// Loop thread: wakes every parked drain() with the given verdict.
+  void resolve_drain_waiters(bool ok);
 
   Options options_;
   std::unique_ptr<EventLoop> loop_;
@@ -100,10 +121,13 @@ class TransportClient {
   Connection* connection_ = nullptr;
   std::vector<Message> pending_;
   std::function<void(const Message&)> on_message_;
+  std::vector<std::shared_ptr<DrainWaiter>> drain_waiters_;
 
   /// Cross-thread state.
   std::atomic<bool> connected_{false};
   std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> lease_grants_{0};
+  std::atomic<double> last_lease_ttl_ms_{0.0};
   mutable std::mutex mutex_;
   std::condition_variable connected_cv_;
   std::map<std::uint64_t, std::size_t> arrivals_;  ///< doc id -> frame count

@@ -88,8 +88,9 @@ void Connection::handle_readable() {
 }
 
 void Connection::handle_writable() {
+  bool had_pending = !send_queue_.empty();
   while (!send_queue_.empty()) {
-    const std::vector<std::uint8_t>& head = send_queue_.front();
+    const Outgoing& head = send_queue_.front();
     ssize_t n = ::write(fd_, head.data() + send_offset_,
                         head.size() - send_offset_);
     if (n < 0) {
@@ -115,12 +116,27 @@ void Connection::handle_writable() {
     update_interest();
   }
   update_backpressure();
+  if (had_pending && send_queue_.empty() && on_drain_) on_drain_();
 }
 
 bool Connection::send(std::vector<std::uint8_t> frame) {
+  Outgoing out;
+  out.owned = std::move(frame);
+  return enqueue(std::move(out));
+}
+
+bool Connection::send_shared(SharedFrame frame) {
+  if (!frame) return fd_ >= 0;
+  stats_.shared_bytes_out.fetch_add(frame->size(), std::memory_order_relaxed);
+  Outgoing out;
+  out.shared = std::move(frame);
+  return enqueue(std::move(out));
+}
+
+bool Connection::enqueue(Outgoing out) {
   if (fd_ < 0) return false;
-  pending_bytes_ += frame.size();
-  send_queue_.push_back(std::move(frame));
+  pending_bytes_ += out.size();
+  send_queue_.push_back(std::move(out));
   if (!want_write_) {
     // Opportunistic flush: most frames go straight to the socket without
     // a poller round trip.

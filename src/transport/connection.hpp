@@ -24,6 +24,11 @@
 
 namespace xroute::transport {
 
+/// One encoded frame shared across many send queues: the serialize-once
+/// contract of the edge fan-out path. Immutable by type — every holder
+/// sees the same bytes, no copy per recipient.
+using SharedFrame = std::shared_ptr<const std::vector<std::uint8_t>>;
+
 /// Live per-connection counters (relaxed atomics: monotonic totals, no
 /// cross-field consistency promised to concurrent readers).
 struct ConnectionStats {
@@ -32,6 +37,8 @@ struct ConnectionStats {
   std::atomic<std::uint64_t> frames_in{0};
   std::atomic<std::uint64_t> frames_out{0};
   std::atomic<std::uint64_t> backpressure_events{0};
+  /// Bytes queued through send_shared (zero-copy refcounted frames).
+  std::atomic<std::uint64_t> shared_bytes_out{0};
 };
 
 class Connection {
@@ -50,6 +57,10 @@ class Connection {
   using CloseHandler = std::function<void(const std::string& reason)>;
   /// Called on backpressure transitions (true = above high watermark).
   using BackpressureHandler = std::function<void(bool engaged)>;
+  /// Called every time the send queue transitions to empty (the last
+  /// queued byte was handed to the kernel). Drives event-driven drain
+  /// waiters; never called while frames are still pending.
+  using DrainHandler = std::function<void()>;
 
   /// Takes ownership of `fd` (a connected, non-blocking socket).
   Connection(EventLoop* loop, int fd, Options options);
@@ -63,6 +74,9 @@ class Connection {
   void set_backpressure_handler(BackpressureHandler handler) {
     on_backpressure_ = std::move(handler);
   }
+  void set_drain_handler(DrainHandler handler) {
+    on_drain_ = std::move(handler);
+  }
 
   /// Registers with the loop and starts reading.
   void start();
@@ -70,6 +84,11 @@ class Connection {
   /// Queues an encoded frame; attempts an immediate write when the queue
   /// was empty. Returns false (and drops the frame) once closed.
   bool send(std::vector<std::uint8_t> frame);
+
+  /// Queues a refcounted immutable frame without copying its bytes: the
+  /// same SharedFrame can sit in thousands of connections' queues at
+  /// once (edge fan-out). Same semantics as send() otherwise.
+  bool send_shared(SharedFrame frame);
 
   /// Pauses/resumes read interest (ingress flow control; the owner calls
   /// this when some *other* connection's send queue backs up).
@@ -85,9 +104,23 @@ class Connection {
   const ConnectionStats& stats() const { return stats_; }
 
  private:
+  /// One send-queue entry: either bytes this connection owns (send()) or
+  /// a refcounted frame shared with other queues (send_shared()). Exactly
+  /// one of the two is populated.
+  struct Outgoing {
+    std::vector<std::uint8_t> owned;
+    SharedFrame shared;
+
+    const std::uint8_t* data() const {
+      return shared ? shared->data() : owned.data();
+    }
+    std::size_t size() const { return shared ? shared->size() : owned.size(); }
+  };
+
   void on_io(std::uint32_t events);
   void handle_readable();
   void handle_writable();
+  bool enqueue(Outgoing out);
   void update_interest();
   void update_backpressure();
 
@@ -95,7 +128,7 @@ class Connection {
   int fd_;
   Options options_;
   wire::FrameDecoder decoder_;
-  std::deque<std::vector<std::uint8_t>> send_queue_;
+  std::deque<Outgoing> send_queue_;
   std::size_t send_offset_ = 0;  ///< bytes of the queue head already written
   std::size_t pending_bytes_ = 0;
   bool read_enabled_ = true;
@@ -107,6 +140,7 @@ class Connection {
   FrameHandler on_frame_;
   CloseHandler on_close_;
   BackpressureHandler on_backpressure_;
+  DrainHandler on_drain_;
   ConnectionStats stats_;
 };
 

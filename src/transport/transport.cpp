@@ -189,6 +189,11 @@ void Transport::adopt_socket(int fd, bool dialed, std::shared_ptr<Dial> dial) {
       if (on_goodbye_) on_goodbye_(raw);
       return;
     }
+    if (decoded.kind == wire::FrameKind::kLeaseGrant) {
+      // Edge lease acknowledgement; meaningless without a handler.
+      if (on_lease_) on_lease_(raw, decoded.lease_ttl_ms);
+      return;
+    }
     if (!decoded.is_message()) {
       raw->close("unexpected session frame after handshake");
       return;

@@ -73,6 +73,10 @@ class Transport {
   /// the transport closes the connection with reason "heartbeat: peer
   /// down".
   using PeerStateHandler = std::function<void(Connection*, PeerState)>;
+  /// An established peer granted (or renewed) a subscription lease
+  /// (kLeaseGrant). Only edge servers send these; a transport without a
+  /// lease handler ignores the frame.
+  using LeaseHandler = std::function<void(Connection*, double ttl_ms)>;
 
   Transport(EventLoop* loop, Options options);
   ~Transport();
@@ -92,6 +96,9 @@ class Transport {
   }
   void set_peer_state_handler(PeerStateHandler handler) {
     on_peer_state_ = std::move(handler);
+  }
+  void set_lease_handler(LeaseHandler handler) {
+    on_lease_ = std::move(handler);
   }
 
   /// Binds and listens on `port` (0 = ephemeral); returns the bound port.
@@ -172,6 +179,7 @@ class Transport {
   DialFailedHandler on_dial_failed_;
   GoodbyeHandler on_goodbye_;
   PeerStateHandler on_peer_state_;
+  LeaseHandler on_lease_;
 };
 
 }  // namespace xroute::transport

@@ -376,6 +376,10 @@ DecodeStatus decode_payload(FrameKind kind, Reader& r, Decoded* out) {
     }
     case FrameKind::kGoodbye:
       return DecodeStatus::kOk;
+    case FrameKind::kLeaseGrant: {
+      if (!r.f64(&out->lease_ttl_ms)) return DecodeStatus::kBadValue;
+      return DecodeStatus::kOk;
+    }
   }
   return DecodeStatus::kBadKind;
 }
@@ -403,7 +407,8 @@ Decoded parse_one(const std::uint8_t* data, std::size_t size) {
     if (kind >= kMessageTypeCount &&
         kind != static_cast<std::uint8_t>(FrameKind::kHello) &&
         kind != static_cast<std::uint8_t>(FrameKind::kHeartbeat) &&
-        kind != static_cast<std::uint8_t>(FrameKind::kGoodbye)) {
+        kind != static_cast<std::uint8_t>(FrameKind::kGoodbye) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kLeaseGrant)) {
       out.status = DecodeStatus::kBadKind;
       return out;
     }
@@ -507,6 +512,12 @@ std::vector<std::uint8_t> encode_goodbye() {
   return assemble(FrameKind::kGoodbye, {});
 }
 
+std::vector<std::uint8_t> encode_lease_grant(double ttl_ms) {
+  std::vector<std::uint8_t> payload;
+  put_f64(payload, ttl_ms);
+  return assemble(FrameKind::kLeaseGrant, payload);
+}
+
 Decoded decode_frame(const std::uint8_t* data, std::size_t size) {
   Decoded out = parse_one(data, size);
   if (out.status == DecodeStatus::kOk && out.consumed < size) {
@@ -553,6 +564,7 @@ const char* to_string(FrameKind kind) {
     case FrameKind::kHello: return "hello";
     case FrameKind::kHeartbeat: return "heartbeat";
     case FrameKind::kGoodbye: return "goodbye";
+    case FrameKind::kLeaseGrant: return "lease-grant";
   }
   return "unknown";
 }

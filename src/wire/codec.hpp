@@ -73,6 +73,12 @@ enum class FrameKind : std::uint8_t {
   /// its queues. The receiver withdraws the sender's routes instead of
   /// quarantining them, and stops re-dialing the address.
   kGoodbye = 0x12,
+  /// Edge lease acknowledgement: the edge server granted (or renewed) a
+  /// subscription lease for the sender's most recent kSubscribe, carrying
+  /// the lease TTL the client must beat with heartbeats or re-subscribes.
+  /// TCP ordering pairs each grant with its subscribe. Brokers never send
+  /// this on core links.
+  kLeaseGrant = 0x13,
 };
 
 const char* to_string(FrameKind kind);
@@ -126,6 +132,8 @@ struct Decoded {
   Hello hello;
   /// Sender-side sequence number of a kHeartbeat frame.
   std::uint64_t heartbeat_seq = 0;
+  /// Granted lease lifetime of a kLeaseGrant frame, milliseconds.
+  double lease_ttl_ms = 0.0;
   std::size_t consumed = 0;
   /// The frame's exact wire bytes (header + payload), borrowed from the
   /// decode input: valid until the caller's buffer moves — for
@@ -149,6 +157,8 @@ std::vector<std::uint8_t> encode_hello(const Hello& hello);
 std::vector<std::uint8_t> encode_heartbeat(std::uint64_t seq);
 /// Encodes a session Goodbye frame (planned leave; empty payload).
 std::vector<std::uint8_t> encode_goodbye();
+/// Encodes a session LeaseGrant frame carrying the granted TTL.
+std::vector<std::uint8_t> encode_lease_grant(double ttl_ms);
 
 /// Decodes exactly one frame occupying the whole buffer. A complete frame
 /// followed by extra bytes reports kTrailingBytes (with `consumed` set);

@@ -1,0 +1,161 @@
+// Lease lifecycle units: the per-reactor LeaseManager timing wheel and
+// the InterestIndex first/last bookkeeping that drives broker-side
+// subscription refcounting. Pure and clockless — every timestamp is fed
+// by the test, so renewal-vs-expiry races are exact, not sleeps.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edge/interest_index.hpp"
+#include "edge/lease_manager.hpp"
+#include "xml/paths.hpp"
+#include "xpath/parser.hpp"
+
+namespace xroute {
+namespace {
+
+using edge::InterestIndex;
+using edge::LeaseManager;
+
+// -- LeaseManager ------------------------------------------------------------
+
+TEST(LeaseWheel, AcquireIsNewOnceAndRenewsAfter) {
+  LeaseManager leases(100.0, 0.0);
+  EXPECT_TRUE(leases.acquire(3, 7, 0.0));
+  EXPECT_TRUE(leases.held(3, 7));
+  EXPECT_DOUBLE_EQ(leases.deadline_ms(3, 7), 100.0);
+  // Re-subscribe is a renewal, not a second lease.
+  EXPECT_FALSE(leases.acquire(3, 7, 40.0));
+  EXPECT_DOUBLE_EQ(leases.deadline_ms(3, 7), 140.0);
+  EXPECT_EQ(leases.lease_count(), 1u);
+  EXPECT_EQ(leases.session_lease_count(3), 1u);
+}
+
+TEST(LeaseWheel, RenewalRacingExpiryKeepsTheLease) {
+  LeaseManager leases(100.0, 0.0);
+  leases.acquire(1, 42, 0.0);
+  // Renew just before the original deadline: the stale wheel entry parked
+  // at t=100 must NOT expire the lease when its slot comes around.
+  EXPECT_EQ(leases.renew_session(1, 90.0), 1u);
+  EXPECT_TRUE(leases.expire(120.0).empty());
+  EXPECT_TRUE(leases.held(1, 42));
+  // No further renewal: the renewed deadline (190) lapses for real.
+  std::vector<LeaseManager::Expired> lapsed = leases.expire(250.0);
+  ASSERT_EQ(lapsed.size(), 1u);
+  EXPECT_EQ(lapsed[0].session, 1);
+  EXPECT_EQ(lapsed[0].xpe_uid, 42u);
+  EXPECT_FALSE(leases.held(1, 42));
+  EXPECT_EQ(leases.session_lease_count(1), 0u);
+}
+
+TEST(LeaseWheel, ExpiredLeaseReacquiresAsNew) {
+  LeaseManager leases(50.0, 0.0);
+  EXPECT_TRUE(leases.acquire(2, 9, 0.0));
+  ASSERT_EQ(leases.expire(200.0).size(), 1u);
+  // Expiry is not sticky: the same (session, xpe) acquires fresh, and the
+  // caller gets the new-lease cue again.
+  EXPECT_TRUE(leases.acquire(2, 9, 200.0));
+  EXPECT_TRUE(leases.held(2, 9));
+  // ... and nothing doubles: one lease, expiring once.
+  EXPECT_TRUE(leases.expire(210.0).empty());
+  EXPECT_EQ(leases.expire(400.0).size(), 1u);
+  EXPECT_TRUE(leases.expire(600.0).empty());
+}
+
+TEST(LeaseWheel, ReleaseAndReleaseSession) {
+  LeaseManager leases(100.0, 0.0);
+  leases.acquire(5, 1, 0.0);
+  leases.acquire(5, 2, 0.0);
+  leases.acquire(6, 1, 0.0);
+  EXPECT_TRUE(leases.release(5, 1));
+  EXPECT_FALSE(leases.release(5, 1));  // already gone
+  std::vector<std::uint32_t> held = leases.release_session(5);
+  EXPECT_EQ(held, std::vector<std::uint32_t>{2});
+  EXPECT_EQ(leases.session_lease_count(5), 0u);
+  EXPECT_EQ(leases.session_lease_count(6), 1u);
+  // Released leases never surface from the wheel; only 6's lapses.
+  std::vector<LeaseManager::Expired> lapsed = leases.expire(500.0);
+  ASSERT_EQ(lapsed.size(), 1u);
+  EXPECT_EQ(lapsed[0].session, 6);
+  EXPECT_FALSE(leases.held(5, 2));
+  EXPECT_FALSE(leases.held(6, 1));
+}
+
+TEST(LeaseWheel, ClockJumpExpiresExactlyOnce) {
+  LeaseManager leases(100.0, 0.0);
+  leases.acquire(1, 1, 0.0);
+  leases.acquire(2, 2, 0.0);
+  // A jump far beyond a full wheel revolution must expire everything
+  // exactly once and leave the wheel usable, not spin it per-slot.
+  std::vector<LeaseManager::Expired> lapsed = leases.expire(1e9);
+  EXPECT_EQ(lapsed.size(), 2u);
+  EXPECT_TRUE(leases.expire(1e9 + 50.0).empty());
+  EXPECT_TRUE(leases.acquire(1, 1, 1e9 + 50.0));
+  EXPECT_TRUE(leases.expire(1e9 + 60.0).empty());
+  EXPECT_EQ(leases.expire(1e9 + 500.0).size(), 1u);
+}
+
+TEST(LeaseWheel, LongTtlNeverExpiresEarlyAndLapsesWithinOneSlot) {
+  // Wide TTL: whatever slot the entry parks in, it must never expire
+  // before its deadline, and it must lapse within one slot width after
+  // it (the wheel scans a slot once the clock passes the slot's end, so
+  // expiry lateness is bounded by slot_ms = ttl * 2 / 64).
+  constexpr double kTtl = 100000.0;
+  constexpr double kSlot = kTtl * 2.0 / 64.0;
+  LeaseManager leases(kTtl, 0.0);
+  leases.acquire(1, 1, 0.0);
+  for (double t = 1000.0; t < kTtl; t += 7000.0) {
+    EXPECT_TRUE(leases.expire(t).empty()) << "premature expiry at t=" << t;
+  }
+  EXPECT_EQ(leases.expire(kTtl + kSlot + 1.0).size(), 1u);
+  EXPECT_FALSE(leases.held(1, 1));
+}
+
+// -- InterestIndex -----------------------------------------------------------
+
+TEST(LeaseInterest, FirstAddAndLastRemoveAreTheOnlySignals) {
+  InterestIndex index;
+  Xpe xpe = parse_xpe("/stock/quote");
+  EXPECT_TRUE(index.add(1, xpe));    // reactor's first interest
+  EXPECT_FALSE(index.add(2, xpe));   // piggybacks
+  EXPECT_FALSE(index.add(2, xpe));   // idempotent per session
+  EXPECT_EQ(index.session_count(xpe.uid()), 2u);
+  EXPECT_FALSE(index.remove(1, xpe.uid()));
+  EXPECT_TRUE(index.remove(2, xpe.uid()));   // reactor's last interest
+  EXPECT_FALSE(index.remove(2, xpe.uid()));  // already gone
+  EXPECT_EQ(index.distinct_xpes(), 0u);
+}
+
+TEST(LeaseInterest, ResolveDeduplicatesSessionsAcrossMatchingXpes) {
+  InterestIndex index;
+  // Session 1 holds two Xpes that both match /a/b; it must appear once.
+  index.add(1, parse_xpe("/a"));
+  index.add(1, parse_xpe("/a/b"));
+  index.add(2, parse_xpe("/a/b"));
+  index.add(3, parse_xpe("//c"));
+  std::vector<int> out;
+  index.resolve(parse_path("/a/b"), &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  out.clear();
+  index.resolve(parse_path("/q"), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LeaseInterest, XpeLookupSurvivesUntilLastRemove) {
+  InterestIndex index;
+  Xpe xpe = parse_xpe("/d//e");
+  index.add(1, xpe);
+  index.add(2, xpe);
+  index.remove(1, xpe.uid());
+  ASSERT_NE(index.xpe(xpe.uid()), nullptr);
+  EXPECT_EQ(index.xpe(xpe.uid())->uid(), xpe.uid());
+  index.remove(2, xpe.uid());
+  EXPECT_EQ(index.xpe(xpe.uid()), nullptr);
+}
+
+}  // namespace
+}  // namespace xroute

@@ -23,10 +23,14 @@
 //   xroutectl serve <overlay-file> <id>      run one broker of the overlay
 //                                            until SIGINT/SIGTERM; prints its
 //                                            metrics JSON on shutdown
+//                                            (--edge-port P hosts an edge
+//                                            session layer beside the broker)
 //   xroutectl connect <host> <port>          handshake with a broker and exit
 //   xroutectl sub <host> <port> '<xpe>'...   subscribe, print deliveries
 //                                            (--count N: exit after N docs)
 //   xroutectl pub <host> <port> <xml>...     publish documents' paths
+//   xroutectl swarm <host> <edge-port>       drive a leased client swarm
+//                                            against an edge session layer
 //
 // Overlay file format (one declaration per line, '#' comments):
 //
@@ -59,6 +63,8 @@
 
 #include "adv/derive.hpp"
 #include "dtd/parser.hpp"
+#include "edge/edge_server.hpp"
+#include "edge/swarm.hpp"
 #include "dtd/universe.hpp"
 #include "match/covering.hpp"
 #include "match/pub_match.hpp"
@@ -104,14 +110,22 @@ const char kUsage[] =
     "                                writes BENCH_scenarios.json\n"
     "  serve <overlay-file> <id> [--advertisements] [--threads N]\n"
     "        [--option key=value] [--incarnation N] [--join]\n"
-    "        [--graceful-leave]\n"
-    "                                run one broker until SIGINT/SIGTERM\n"
+    "        [--graceful-leave] [--edge-port P] [--edge-reactors N]\n"
+    "        [--lease-ttl MS]\n"
+    "                                run one broker until SIGINT/SIGTERM;\n"
+    "                                --edge-port also hosts the edge session\n"
+    "                                layer (leased clients, port 0 = pick)\n"
     "  connect <host> <port>         handshake with a broker and exit\n"
     "  sub <host> <port> '<xpe>'... [--count N]\n"
     "                                subscribe and print deliveries\n"
     "  pub <host> <port> <xml-file>... [--first-doc-id N] [--tree]\n"
     "                                publish documents' paths (--tree uses\n"
-    "                                the DOM parser instead of streaming)\n";
+    "                                the DOM parser instead of streaming)\n"
+    "  swarm <host> <edge-port> [--clients N] [--loops K] [--xpe EXPR]...\n"
+    "        [--duration MS] [--heartbeat MS]\n"
+    "                                simulate N leased edge clients from K\n"
+    "                                event loops; each subscribes to every\n"
+    "                                --xpe and reports deliveries on exit\n";
 
 /// Argument problems: main prints the usage text and exits 2.
 struct UsageError : std::runtime_error {
@@ -563,6 +577,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   bool join = false;
   bool graceful_leave = false;
   std::uint32_t incarnation = 0;
+  bool edge = false;
+  edge::EdgeServer::Options edge_opts;
   // (key, value) overrides, applied over the overlay file's `option`
   // lines in command-line order so the last spelling of a knob wins.
   std::vector<std::pair<std::string, std::string>> overrides;
@@ -585,6 +601,32 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (args[i] == "--threads") {
       if (++i >= args.size()) throw UsageError("serve: --threads needs a count");
       overrides.emplace_back("threads", args[i]);
+    } else if (args[i] == "--edge-port") {
+      if (++i >= args.size()) throw UsageError("serve: --edge-port needs a port");
+      edge = true;
+      edge_opts.listen_port = parse_port(args[i]);
+    } else if (args[i] == "--edge-reactors") {
+      if (++i >= args.size()) {
+        throw UsageError("serve: --edge-reactors needs a count");
+      }
+      try {
+        edge_opts.reactors = std::stoi(args[i]);
+      } catch (const std::exception&) {
+        edge_opts.reactors = 0;
+      }
+      if (edge_opts.reactors < 1) {
+        throw UsageError("serve: bad reactor count '" + args[i] + "'");
+      }
+    } else if (args[i] == "--lease-ttl") {
+      if (++i >= args.size()) throw UsageError("serve: --lease-ttl needs ms");
+      try {
+        edge_opts.lease_ttl_ms = std::stod(args[i]);
+      } catch (const std::exception&) {
+        edge_opts.lease_ttl_ms = 0;
+      }
+      if (edge_opts.lease_ttl_ms <= 0) {
+        throw UsageError("serve: bad lease ttl '" + args[i] + "'");
+      }
     } else if (args[i] == "--option") {
       if (++i >= args.size()) {
         throw UsageError("serve: --option needs key=value");
@@ -638,6 +680,16 @@ int cmd_serve(const std::vector<std::string>& args) {
   broker.start();
   std::cerr << "broker " << self << " listening on port " << broker.port()
             << "\n";
+  // The edge session layer rides beside the broker in-process: leased
+  // client sessions on their own port, the whole population one broker
+  // interface.
+  std::unique_ptr<edge::EdgeServer> edge_server;
+  if (edge) {
+    edge_server = std::make_unique<edge::EdgeServer>(&broker, edge_opts);
+    std::cerr << "edge session layer on port " << edge_server->start() << " ("
+              << edge_server->reactors() << " reactors, lease ttl "
+              << edge_opts.lease_ttl_ms << " ms)\n";
+  }
 
   // The lower endpoint of each link dials (one TCP connection per link);
   // dialing retries with backoff, so the overlay can start in any order.
@@ -663,6 +715,10 @@ int cmd_serve(const std::vector<std::string>& args) {
   install_stop_handlers();
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (edge_server) {
+    std::cout << edge_server->metrics_json() << "\n";
+    edge_server->stop();  // sessions down before the broker they feed from
   }
   std::cout << broker.metrics_json() << "\n";
   if (graceful_leave) {
@@ -791,6 +847,82 @@ int cmd_pub(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_swarm(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  edge::EdgeSwarm::Options opts;
+  std::vector<std::string> xpe_texts;
+  double duration_ms = 0.0;  // 0 = until SIGINT
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto number = [&](const char* what) -> double {
+      if (++i >= args.size()) {
+        throw UsageError(std::string("swarm: ") + what + " needs a value");
+      }
+      try {
+        return std::stod(args[i]);
+      } catch (const std::exception&) {
+        throw UsageError(std::string("swarm: bad ") + what + " '" + args[i] +
+                         "'");
+      }
+    };
+    if (args[i] == "--clients") {
+      opts.clients = static_cast<std::size_t>(number("--clients"));
+      if (opts.clients == 0) throw UsageError("swarm: --clients must be > 0");
+    } else if (args[i] == "--loops") {
+      opts.loops = static_cast<int>(number("--loops"));
+      if (opts.loops < 1) throw UsageError("swarm: --loops must be >= 1");
+    } else if (args[i] == "--duration") {
+      duration_ms = number("--duration");
+    } else if (args[i] == "--heartbeat") {
+      opts.heartbeat_interval_ms = number("--heartbeat");
+    } else if (args[i] == "--xpe") {
+      if (++i >= args.size()) throw UsageError("swarm: --xpe needs an XPE");
+      xpe_texts.push_back(args[i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 2) {
+    throw UsageError("swarm: needs <host> and <edge-port>");
+  }
+  opts.host = positional[0];
+  opts.port = parse_port(positional[1]);
+  if (xpe_texts.empty()) xpe_texts.push_back("//*");
+  std::vector<Xpe> interests;
+  for (const std::string& text : xpe_texts) interests.push_back(parse_xpe(text));
+
+  edge::EdgeSwarm swarm(opts);
+  swarm.set_interests([&interests](std::size_t) { return interests; });
+  swarm.start();
+  if (!swarm.wait_connected(opts.clients, 30000)) {
+    std::cerr << "swarm: only " << swarm.connected() << "/" << opts.clients
+              << " clients connected (" << swarm.connect_failures()
+              << " failures)\n";
+    return 1;
+  }
+  std::uint64_t wanted_grants =
+      static_cast<std::uint64_t>(opts.clients) * interests.size();
+  if (!swarm.wait_lease_grants(wanted_grants, 30000)) {
+    std::cerr << "swarm: only " << swarm.lease_grants() << "/" << wanted_grants
+              << " lease grants arrived\n";
+    return 1;
+  }
+  std::cerr << "swarm: " << swarm.connected() << " clients leased on "
+            << opts.host << ":" << opts.port << "\n";
+  install_stop_handlers();
+  double started = edge::steady_ms();
+  while (!g_stop &&
+         (duration_ms <= 0 || edge::steady_ms() - started < duration_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "{\"clients\": " << swarm.connected()
+            << ", \"lease_grants\": " << swarm.lease_grants()
+            << ", \"publications\": " << swarm.publications()
+            << ", \"duplicates\": " << swarm.duplicates()
+            << ", \"disconnects\": " << swarm.disconnects() << "}\n";
+  swarm.stop();
+  return swarm.duplicates() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -820,6 +952,7 @@ int main(int argc, char** argv) {
     if (command == "connect") return cmd_connect(args);
     if (command == "sub") return cmd_sub(args);
     if (command == "pub") return cmd_pub(args);
+    if (command == "swarm") return cmd_swarm(args);
     std::cerr << "xroutectl: unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const UsageError& e) {
